@@ -1,0 +1,115 @@
+// Ablations of CL4SRec design choices called out in DESIGN.md (not a paper
+// table; engineering evidence for the defaults):
+//   1. softmax temperature tau sweep,
+//   2. pre-train batch size (number of in-batch negatives),
+//   3. projection head g(.) discarded vs trained without one,
+//   4. two-stage pre-train->fine-tune vs joint multi-task training,
+//   5. pre-train epoch budget.
+// Runs on the Beauty preset; HR@10 / NDCG@10 reported.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+
+using namespace cl4srec;
+using namespace cl4srec::bench;
+
+namespace {
+
+MetricReport RunCl4SRec(const SequenceDataset& data, const BenchConfig& config,
+                        Cl4SRecConfig cl_config, TrainOptions options) {
+  cl_config.encoder.hidden_dim = config.dim;
+  Cl4SRec model(cl_config);
+  model.Fit(data, options);
+  return model.Evaluate(data);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  flags.AddDouble("scale", 0.6, "dataset size multiplier");
+  flags.AddInt("epochs", 16, "supervised training epochs");
+  flags.AddInt("pretrain_epochs", 8, "contrastive pre-training epochs");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
+  BenchConfig config = ConfigFromFlags(flags);
+
+  auto csv = CsvWriter::Open(config.csv_path,
+                             {"ablation", "setting", "hr10", "ndcg10"});
+  CL4SREC_CHECK(csv.ok()) << csv.status().ToString();
+
+  SequenceDataset data = MakeBenchDataset(SyntheticPreset::kBeauty, config);
+  TrainOptions options = MakeTrainOptions(config);
+  std::printf("CL4SRec ablations on Beauty (%s)\n",
+              data.Stats().ToString().c_str());
+  PrintRule(64);
+  std::printf("%-28s %10s %10s\n", "setting", "HR@10", "NDCG@10");
+  PrintRule(64);
+
+  auto report_row = [&](const std::string& group, const std::string& label,
+                        const MetricReport& report) {
+    std::printf("%-28s %10s %10s\n", label.c_str(),
+                Fmt(report.hr.at(10)).c_str(), Fmt(report.ndcg.at(10)).c_str());
+    csv->WriteRow({group, label, Fmt(report.hr.at(10)),
+                   Fmt(report.ndcg.at(10))});
+  };
+
+  // 1. Temperature sweep.
+  for (float tau : {0.1f, 0.5f, 1.0f}) {
+    Cl4SRecConfig cl;
+    cl.pretrain_epochs = config.pretrain_epochs;
+    cl.temperature = tau;
+    report_row("temperature", StrFormat("tau=%.1f", tau),
+               RunCl4SRec(data, config, cl, options));
+  }
+
+  // 2. Pre-train batch size (in-batch negative count is 2(N-1)).
+  for (int64_t batch : {32, 128, 256}) {
+    Cl4SRecConfig cl;
+    cl.pretrain_epochs = config.pretrain_epochs;
+    TrainOptions batch_options = options;
+    batch_options.batch_size = batch;
+    report_row("pretrain_batch",
+               StrFormat("batch=%lld", static_cast<long long>(batch)),
+               RunCl4SRec(data, config, cl, batch_options));
+  }
+
+  // 3. Pre-train epochs budget (0 = plain SASRec).
+  for (int64_t epochs : {int64_t{0}, config.pretrain_epochs / 2,
+                         config.pretrain_epochs,
+                         config.pretrain_epochs * 2}) {
+    Cl4SRecConfig cl;
+    cl.pretrain_epochs = epochs;
+    if (epochs == 0) {
+      auto sasrec = MakeModel("SASRec", config);
+      sasrec->Fit(data, options);
+      report_row("pretrain_epochs", "epochs=0 (SASRec)",
+                 sasrec->Evaluate(data));
+    } else {
+      report_row("pretrain_epochs",
+                 StrFormat("epochs=%lld", static_cast<long long>(epochs)),
+                 RunCl4SRec(data, config, cl, options));
+    }
+  }
+
+  // 4. Two-stage vs joint multi-task training.
+  {
+    Cl4SRecConfig two_stage;
+    two_stage.pretrain_epochs = config.pretrain_epochs;
+    report_row("strategy", "two-stage (paper)",
+               RunCl4SRec(data, config, two_stage, options));
+    Cl4SRecConfig joint;
+    joint.joint_weight = 0.1f;
+    report_row("strategy", "joint lambda=0.1",
+               RunCl4SRec(data, config, joint, options));
+    Cl4SRecConfig joint_strong;
+    joint_strong.joint_weight = 0.5f;
+    report_row("strategy", "joint lambda=0.5",
+               RunCl4SRec(data, config, joint_strong, options));
+  }
+  PrintRule(64);
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace bench {
+
+void AddCommonFlags(FlagParser* flags) {
+  flags->AddDouble("scale", 1.0, "dataset size multiplier (paper scale ~10)");
+  flags->AddInt("dim", 32, "hidden dimension d (paper: 128)");
+  flags->AddInt("epochs", 16, "supervised training epochs");
+  flags->AddInt("pretrain_epochs", 8, "contrastive pre-training epochs");
+  flags->AddInt("batch", 128, "mini-batch size (paper: 256)");
+  flags->AddInt("max_len", 50, "maximum sequence length T (paper: 50)");
+  flags->AddInt("seed", 7, "experiment seed");
+  flags->AddBool("verbose", false, "per-epoch training logs");
+  flags->AddString("csv", "", "optional CSV output path");
+}
+
+BenchConfig ConfigFromFlags(const FlagParser& flags) {
+  BenchConfig config;
+  config.scale = flags.GetDouble("scale");
+  config.dim = flags.GetInt("dim");
+  config.epochs = flags.GetInt("epochs");
+  config.pretrain_epochs = flags.GetInt("pretrain_epochs");
+  config.batch_size = flags.GetInt("batch");
+  config.max_len = flags.GetInt("max_len");
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.verbose = flags.GetBool("verbose");
+  config.csv_path = flags.GetString("csv");
+  return config;
+}
+
+TrainOptions MakeTrainOptions(const BenchConfig& config) {
+  TrainOptions options;
+  options.epochs = config.epochs;
+  options.batch_size = config.batch_size;
+  options.max_len = config.max_len;
+  options.seed = config.seed;
+  options.verbose = config.verbose;
+  return options;
+}
+
+std::unique_ptr<Recommender> MakeModel(
+    const std::string& name, const BenchConfig& config,
+    const std::vector<AugmentationOp>& augmentations) {
+  if (name == "Pop") return std::make_unique<Pop>();
+  if (name == "BPR-MF") {
+    return std::make_unique<BprMf>(BprMfConfig{.dim = config.dim});
+  }
+  if (name == "NCF") {
+    NcfConfig ncf;
+    ncf.gmf_dim = config.dim;
+    ncf.mlp_dim = config.dim;
+    ncf.hidden1 = config.dim;
+    ncf.hidden2 = config.dim / 2;
+    return std::make_unique<Ncf>(ncf);
+  }
+  if (name == "GRU4Rec") {
+    Gru4RecConfig gru;
+    gru.embed_dim = config.dim;
+    gru.hidden_dim = config.dim;
+    return std::make_unique<Gru4Rec>(gru);
+  }
+  if (name == "FPMC") {
+    FpmcConfig fpmc;
+    fpmc.dim = config.dim;
+    return std::make_unique<Fpmc>(fpmc);
+  }
+  if (name == "BERT4Rec") {
+    Bert4RecConfig bert;
+    bert.hidden_dim = config.dim;
+    return std::make_unique<Bert4Rec>(bert);
+  }
+  SasRecConfig sas;
+  sas.hidden_dim = config.dim;
+  if (name == "SASRec") return std::make_unique<SasRec>(sas);
+  if (name == "SASRec_BPR") {
+    TrainOptions bpr_options = MakeTrainOptions(config);
+    return std::make_unique<SasRecBpr>(sas, bpr_options);
+  }
+  if (name == "CL4SRec") {
+    Cl4SRecConfig cl;
+    cl.encoder = sas;
+    cl.pretrain_epochs = config.pretrain_epochs;
+    // Table 2 reports CL4SRec under its best augmentation (paper §4.2);
+    // crop at a high keep-rate wins our Figure 4 sweep across datasets.
+    cl.augmentations = augmentations.empty()
+                           ? std::vector<AugmentationOp>{
+                                 {AugmentationKind::kCrop, 0.9}}
+                           : augmentations;
+    return std::make_unique<Cl4SRec>(cl);
+  }
+  CL4SREC_CHECK(false) << "unknown model: " << name;
+  return nullptr;
+}
+
+const std::vector<std::string>& Table2ModelNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"Pop",     "BPR-MF",  "NCF",
+                                   "GRU4Rec", "SASRec",  "SASRec_BPR",
+                                   "CL4SRec"};
+  return *kNames;
+}
+
+SequenceDataset MakeBenchDataset(SyntheticPreset preset,
+                                 const BenchConfig& config) {
+  SyntheticConfig data_config = PresetConfig(preset, config.scale);
+  return MakeSyntheticDataset(data_config);
+}
+
+std::string Fmt(double value) { return StrFormat("%.4f", value); }
+
+void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace cl4srec

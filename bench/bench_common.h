@@ -1,0 +1,73 @@
+// Shared plumbing for the table/figure reproduction binaries: flag set,
+// model factory, and table formatting. Every bench accepts
+//   --scale  dataset size multiplier (1.0 = reduced default, ~10 = paper)
+//   --dim    hidden dimension (paper: 128; default reduced)
+//   --epochs / --pretrain_epochs / --batch / --max_len / --seed
+//   --csv    optional machine-readable output path
+
+#ifndef CL4SREC_BENCH_BENCH_COMMON_H_
+#define CL4SREC_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "core/cl4srec.h"
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+#include "models/gru4rec.h"
+#include "models/bert4rec.h"
+#include "models/fpmc.h"
+#include "models/ncf.h"
+#include "models/pop.h"
+#include "models/sasrec.h"
+#include "util/flags.h"
+
+namespace cl4srec {
+namespace bench {
+
+struct BenchConfig {
+  double scale = 1.0;
+  int64_t dim = 32;
+  int64_t epochs = 16;
+  int64_t pretrain_epochs = 8;
+  int64_t batch_size = 128;
+  int64_t max_len = 50;
+  uint64_t seed = 7;
+  bool verbose = false;
+  std::string csv_path;
+};
+
+// Registers the common flags on `flags`.
+void AddCommonFlags(FlagParser* flags);
+
+// Reads the common flags back into a BenchConfig.
+BenchConfig ConfigFromFlags(const FlagParser& flags);
+
+// TrainOptions matching the config (early stopping off by default; benches
+// run fixed epoch budgets for comparability).
+TrainOptions MakeTrainOptions(const BenchConfig& config);
+
+// Builds one of the Table 2 models by name: Pop, BPR-MF, NCF, GRU4Rec,
+// SASRec, SASRec_BPR, CL4SRec — plus the extra FPMC and BERT4Rec baselines. CL4SRec uses the given augmentation set
+// (empty -> mask 0.5).
+std::unique_ptr<Recommender> MakeModel(
+    const std::string& name, const BenchConfig& config,
+    const std::vector<AugmentationOp>& augmentations = {});
+
+// The paper's Table 2 model order.
+const std::vector<std::string>& Table2ModelNames();
+
+// Builds the dataset for a preset at the configured scale.
+SequenceDataset MakeBenchDataset(SyntheticPreset preset,
+                                 const BenchConfig& config);
+
+// Formats one metric value like the paper (4 decimals).
+std::string Fmt(double value);
+
+// Prints a horizontal rule of the given width.
+void PrintRule(int width);
+
+}  // namespace bench
+}  // namespace cl4srec
+
+#endif  // CL4SREC_BENCH_BENCH_COMMON_H_

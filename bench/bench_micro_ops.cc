@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: matmul, fused
+// attention forward/backward, NT-Xent, augmentation operators, embedding
+// gather, and full-ranking evaluation. Not a paper artifact — engineering
+// visibility into where training time goes.
+
+#include <benchmark/benchmark.h>
+
+#include "augment/augmentations.h"
+#include "autograd/ops.h"
+#include "core/nt_xent.h"
+#include "nn/transformer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(2);
+  Tensor logits = Tensor::Randn({256, state.range(0)}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRows(logits));
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(1024);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const int64_t batch = state.range(0), seq = 50, d = 64, heads = 2;
+  Rng rng(3);
+  Variable x(Tensor::Randn({batch * seq, d}, &rng));
+  Variable wq(Tensor::Randn({d, d}, &rng, 0.f, 0.05f));
+  Variable wk(Tensor::Randn({d, d}, &rng, 0.f, 0.05f));
+  Variable wv(Tensor::Randn({d, d}, &rng, 0.f, 0.05f));
+  Variable wo(Tensor::Randn({d, d}, &rng, 0.f, 0.05f));
+  std::vector<float> valid(static_cast<size_t>(batch * seq), 1.f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MultiHeadSelfAttentionV(x, wq, wk, wv, wo, batch, seq, heads, valid));
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64);
+
+void BM_AttentionForwardBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0), seq = 50, d = 64, heads = 2;
+  Rng rng(4);
+  Variable x(Tensor::Randn({batch * seq, d}, &rng), true);
+  Variable wq(Tensor::Randn({d, d}, &rng, 0.f, 0.05f), true);
+  Variable wk(Tensor::Randn({d, d}, &rng, 0.f, 0.05f), true);
+  Variable wv(Tensor::Randn({d, d}, &rng, 0.f, 0.05f), true);
+  Variable wo(Tensor::Randn({d, d}, &rng, 0.f, 0.05f), true);
+  std::vector<float> valid(static_cast<size_t>(batch * seq), 1.f);
+  for (auto _ : state) {
+    ZeroGradAll({&x, &wq, &wk, &wv, &wo});
+    Variable y =
+        MultiHeadSelfAttentionV(x, wq, wk, wv, wo, batch, seq, heads, valid);
+    SumV(y).Backward();
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+}
+BENCHMARK(BM_AttentionForwardBackward)->Arg(16)->Arg(64);
+
+void BM_NtXent(benchmark::State& state) {
+  Rng rng(5);
+  Variable reps(Tensor::Randn({2 * state.range(0), 64}, &rng), true);
+  for (auto _ : state) {
+    reps.ZeroGrad();
+    NtXentLoss(reps, 0.5f).Backward();
+    benchmark::DoNotOptimize(reps.grad().data());
+  }
+}
+BENCHMARK(BM_NtXent)->Arg(64)->Arg(128);
+
+void BM_EmbeddingGatherScatter(benchmark::State& state) {
+  Rng rng(6);
+  Variable table(Tensor::Randn({10000, 64}, &rng), true);
+  std::vector<int64_t> indices;
+  for (int i = 0; i < 256 * 50; ++i) indices.push_back(rng.UniformInt(10000));
+  for (auto _ : state) {
+    table.ZeroGrad();
+    SumV(EmbeddingGatherV(table, indices)).Backward();
+    benchmark::DoNotOptimize(table.grad().data());
+  }
+}
+BENCHMARK(BM_EmbeddingGatherScatter);
+
+void BM_Augmentations(benchmark::State& state) {
+  Rng rng(7);
+  ItemSequence seq(50);
+  for (size_t i = 0; i < seq.size(); ++i) seq[i] = static_cast<int64_t>(i + 1);
+  const AugmentationKind kind = static_cast<AugmentationKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ApplyAugmentation({kind, 0.5}, seq, 999, &rng));
+  }
+}
+BENCHMARK(BM_Augmentations)->Arg(0)->Arg(1)->Arg(2);  // crop, mask, reorder
+
+void BM_TransformerEncodeLast(benchmark::State& state) {
+  Rng rng(8);
+  TransformerConfig config;
+  config.num_items = 1000;
+  config.hidden_dim = 64;
+  TransformerSeqEncoder encoder(config, &rng);
+  std::vector<std::vector<int64_t>> sequences;
+  for (int i = 0; i < 128; ++i) {
+    std::vector<int64_t> seq;
+    for (int j = 0; j < 10; ++j) seq.push_back(rng.UniformInt(1, 1000));
+    sequences.push_back(std::move(seq));
+  }
+  PaddedBatch batch = PackSequences(sequences, 50);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.EncodeLast(batch, ctx));
+  }
+}
+BENCHMARK(BM_TransformerEncodeLast);
+
+}  // namespace
+}  // namespace cl4srec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Reproduces Table 2: overall performance comparison of Pop, BPR-MF, NCF,
+// GRU4Rec, SASRec, SASRec_BPR, and CL4SRec on all four datasets, reporting
+// HR@{5,10,20} and NDCG@{5,10,20} under full ranking, plus the paper's two
+// improvement columns (CL4SRec over SASRec and over SASRec_BPR).
+//
+//   ./bench_table2_overall [--datasets beauty,sports,toys,yelp]
+//                          [--models Pop,...] [--scale 1.0] [--epochs 16] ...
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "util/csv_writer.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+using namespace cl4srec;
+using namespace cl4srec::bench;
+
+namespace {
+
+std::vector<std::string> SplitList(const std::string& csv_list) {
+  std::vector<std::string> out;
+  for (auto& field : Split(csv_list, ',')) {
+    std::string name(StripWhitespace(field));
+    if (!name.empty()) out.push_back(std::move(name));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  // Table defaults: larger budgets than the figure sweeps so every model is
+  // reasonably converged.
+  flags.AddInt("epochs", 30, "supervised training epochs");
+  flags.AddInt("pretrain_epochs", 12, "contrastive pre-training epochs");
+  flags.AddString("datasets", "beauty,sports,toys,yelp",
+                  "comma-separated dataset presets");
+  flags.AddString("models", "", "comma-separated model subset (default: all)");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
+  BenchConfig config = ConfigFromFlags(flags);
+
+  std::vector<std::string> model_names = Table2ModelNames();
+  if (!flags.GetString("models").empty()) {
+    model_names = SplitList(flags.GetString("models"));
+  }
+
+  auto csv = CsvWriter::Open(config.csv_path,
+                             {"dataset", "model", "metric", "k", "value"});
+  CL4SREC_CHECK(csv.ok()) << csv.status().ToString();
+
+  std::printf(
+      "Table 2: overall performance (full ranking; scale=%.2f d=%lld "
+      "epochs=%lld)\n",
+      config.scale, static_cast<long long>(config.dim),
+      static_cast<long long>(config.epochs));
+
+  const std::vector<int64_t> ks = {5, 10, 20};
+  for (const std::string& preset_name : SplitList(flags.GetString("datasets"))) {
+    auto preset = ParsePreset(preset_name);
+    CL4SREC_CHECK(preset.ok()) << preset.status().ToString();
+    SequenceDataset data = MakeBenchDataset(*preset, config);
+    std::printf("\n[%s] %s\n", PresetName(*preset).c_str(),
+                data.Stats().ToString().c_str());
+    PrintRule(100);
+    std::printf("%-12s", "Metric");
+    for (const auto& name : model_names) std::printf(" %11s", name.c_str());
+    std::printf("\n");
+    PrintRule(100);
+
+    // metric -> model -> value
+    std::map<std::string, std::map<std::string, double>> table;
+    for (const auto& name : model_names) {
+      Stopwatch timer;
+      auto model = MakeModel(name, config);
+      model->Fit(data, MakeTrainOptions(config));
+      MetricReport report = model->Evaluate(data);
+      for (int64_t k : ks) {
+        table[StrFormat("HR@%lld", (long long)k)][name] = report.hr.at(k);
+        table[StrFormat("NDCG@%lld", (long long)k)][name] = report.ndcg.at(k);
+        csv->WriteRow({PresetName(*preset), name, "HR", std::to_string(k),
+                       Fmt(report.hr.at(k))});
+        csv->WriteRow({PresetName(*preset), name, "NDCG", std::to_string(k),
+                       Fmt(report.ndcg.at(k))});
+      }
+      std::fprintf(stderr, "  trained %-11s in %.1fs\n", name.c_str(),
+                   timer.ElapsedSeconds());
+    }
+
+    for (const std::string metric :
+         {"HR@5", "HR@10", "HR@20", "NDCG@5", "NDCG@10", "NDCG@20"}) {
+      std::printf("%-12s", metric.c_str());
+      for (const auto& name : model_names) {
+        std::printf(" %11s", Fmt(table[metric][name]).c_str());
+      }
+      std::printf("\n");
+    }
+    PrintRule(100);
+    // Improvement columns as in the paper.
+    if (table["HR@10"].contains("CL4SRec") &&
+        table["HR@10"].contains("SASRec")) {
+      for (const std::string metric :
+           {"HR@5", "HR@10", "HR@20", "NDCG@5", "NDCG@10", "NDCG@20"}) {
+        const double cl = table[metric]["CL4SRec"];
+        const double sas = table[metric]["SASRec"];
+        std::printf("%-12s improv. over SASRec %+7.2f%%", metric.c_str(),
+                    sas > 0 ? (cl - sas) / sas * 100.0 : 0.0);
+        if (table[metric].contains("SASRec_BPR")) {
+          const double bpr = table[metric]["SASRec_BPR"];
+          std::printf("   over SASRec_BPR %+7.2f%%",
+                      bpr > 0 ? (cl - bpr) / bpr * 100.0 : 0.0);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

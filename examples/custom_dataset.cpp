@@ -1,0 +1,84 @@
+// Running the full pipeline on your own data: write (or bring) a CSV of
+// user,item,timestamp[,rating] events, load it, run the paper's
+// preprocessing (binarize -> 5-core -> leave-one-out), train CL4SRec, and
+// produce top-k recommendations for a user.
+//
+//   ./custom_dataset [--input my_events.csv] [--topk 10]
+// Without --input, a demo CSV is synthesized first so the example is
+// self-contained.
+
+#include <cstdio>
+
+#include "core/cl4srec.h"
+#include "data/csv_loader.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+#include "util/flags.h"
+
+using namespace cl4srec;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("input", "", "CSV of user,item,timestamp[,rating]");
+  flags.AddInt("topk", 10, "recommendations to print");
+  flags.AddInt("epochs", 10, "training epochs");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
+
+  std::string path = flags.GetString("input");
+  if (path.empty()) {
+    // Self-contained demo: synthesize a log and write it as CSV, exactly the
+    // format a user would bring.
+    path = "/tmp/cl4srec_demo_events.csv";
+    SyntheticConfig config;
+    config.num_users = 400;
+    config.num_items = 250;
+    Status status = SaveInteractionsCsv(path, GenerateSyntheticLog(config));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote demo events to %s\n", path.c_str());
+  }
+
+  auto log = LoadInteractionsCsv(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu events\n", log->size());
+
+  // The paper's preprocessing pipeline (§4.1.1).
+  SequenceDataset data(Preprocess(*log, /*rating_threshold=*/0.f,
+                                  /*min_count=*/5));
+  std::printf("after 5-core preprocessing: %s\n",
+              data.Stats().ToString().c_str());
+  if (data.num_users() == 0) {
+    std::fprintf(stderr, "no users survive 5-core filtering\n");
+    return 1;
+  }
+
+  TrainOptions options;
+  options.epochs = flags.GetInt("epochs");
+  options.batch_size = 128;
+
+  Cl4SRecConfig config;
+  config.encoder.hidden_dim = 32;
+  config.pretrain_epochs = 6;
+  Cl4SRec model(config);
+  model.Fit(data, options);
+  std::printf("test metrics: %s\n", model.Evaluate(data).ToString().c_str());
+
+  // Top-k next-item recommendations for user 0 given their full history,
+  // never recommending already-consumed items.
+  const int64_t user = 0;
+  std::printf("top-%lld items for user %lld:",
+              static_cast<long long>(flags.GetInt("topk")),
+              static_cast<long long>(user));
+  for (int64_t item : model.RecommendTopK(user, data.TestInput(user),
+                                          flags.GetInt("topk"),
+                                          data.SeenItems(user))) {
+    std::printf(" %lld", static_cast<long long>(item));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: generate a small synthetic dataset, train SASRec and CL4SRec,
+// and compare full-ranking metrics.
+//
+//   ./quickstart [--users 600] [--epochs 8] [--pretrain_epochs 6]
+
+#include <cstdio>
+
+#include "core/cl4srec.h"
+#include "data/synthetic.h"
+#include "models/pop.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+using namespace cl4srec;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt("users", 600, "number of synthetic users");
+  flags.AddInt("items", 400, "number of synthetic items");
+  flags.AddInt("epochs", 16, "fine-tune epochs");
+  flags.AddInt("pretrain_epochs", 8, "contrastive pre-train epochs");
+  flags.AddInt("dim", 32, "hidden dimension");
+  flags.AddBool("verbose", false, "log per-epoch losses");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
+
+  // 1. Data: simulate an implicit-feedback log and run the paper's
+  //    preprocessing (binarize -> 5-core -> leave-one-out split).
+  SyntheticConfig data_config;
+  data_config.num_users = flags.GetInt("users");
+  data_config.num_items = flags.GetInt("items");
+  data_config.avg_length = 9.0;
+  SequenceDataset data = MakeSyntheticDataset(data_config);
+  std::printf("dataset: %s\n", data.Stats().ToString().c_str());
+
+  TrainOptions options;
+  options.epochs = flags.GetInt("epochs");
+  options.batch_size = 128;
+  options.max_len = 50;
+  options.verbose = flags.GetBool("verbose");
+
+  // 2. Baselines for reference.
+  Stopwatch timer;
+  Pop pop;
+  pop.Fit(data, options);
+  std::printf("%-10s %s\n", "Pop", pop.Evaluate(data).ToString().c_str());
+
+  SasRecConfig encoder_config;
+  encoder_config.hidden_dim = flags.GetInt("dim");
+  timer.Reset();
+  SasRec sasrec(encoder_config);
+  sasrec.Fit(data, options);
+  std::printf("%-10s %s  (train %.1fs)\n", "SASRec",
+              sasrec.Evaluate(data).ToString().c_str(), timer.ElapsedSeconds());
+
+  // 3. CL4SRec: contrastive pre-training (crop augmentation, the strongest
+  //    single operator in our Figure 4 sweep) then supervised fine-tuning.
+  Cl4SRecConfig cl_config;
+  cl_config.encoder = encoder_config;
+  cl_config.augmentations = {{AugmentationKind::kCrop, 0.9}};
+  cl_config.pretrain_epochs = flags.GetInt("pretrain_epochs");
+  timer.Reset();
+  Cl4SRec cl4srec(cl_config);
+  cl4srec.Fit(data, options);
+  std::printf("%-10s %s  (train %.1fs)\n", "CL4SRec",
+              cl4srec.Evaluate(data).ToString().c_str(),
+              timer.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper at the default reduced
+# scale (minutes on a laptop), writing CSVs next to this script. Pass
+# FULL=1 for the paper-style full grids (hours).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BENCH=build/bench
+OUT=${OUT:-results}
+mkdir -p "$OUT"
+
+if [[ "${FULL:-0}" == "1" ]]; then
+  SCALE="--scale 4 --dim 64 --epochs 60 --pretrain_epochs 20 --batch 256"
+  RATES="--rates 0.1,0.3,0.5,0.7,0.9"
+  SETS="--datasets beauty,sports,toys,yelp"
+else
+  SCALE=""
+  RATES=""
+  SETS=""
+fi
+
+$BENCH/bench_table1_datasets            --csv "$OUT/table1.csv" $SCALE
+$BENCH/bench_table2_overall             --csv "$OUT/table2.csv" $SCALE
+$BENCH/bench_fig4_augmentation_sweep    --csv "$OUT/fig4.csv"   $SCALE $RATES $SETS
+$BENCH/bench_fig5_composition           --csv "$OUT/fig5.csv"   $SCALE $SETS
+$BENCH/bench_fig6_sparsity              --csv "$OUT/fig6.csv"   $SCALE $SETS
+$BENCH/bench_ablation_core              --csv "$OUT/ablations.csv" $SCALE
+echo "CSVs written to $OUT/"

@@ -1,0 +1,178 @@
+#include "augment/augmentations.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+
+ItemSequence CropSequence(const ItemSequence& seq, double eta, Rng* rng) {
+  CL4SREC_CHECK_GT(eta, 0.0);
+  CL4SREC_CHECK_LE(eta, 1.0);
+  const auto n = static_cast<int64_t>(seq.size());
+  if (n == 0) return seq;
+  const int64_t crop_len =
+      std::max<int64_t>(1, static_cast<int64_t>(eta * static_cast<double>(n)));
+  if (crop_len >= n) return seq;
+  const int64_t start = rng->UniformInt(n - crop_len + 1);
+  return ItemSequence(seq.begin() + start, seq.begin() + start + crop_len);
+}
+
+ItemSequence MaskSequence(const ItemSequence& seq, double gamma,
+                          int64_t mask_id, Rng* rng) {
+  CL4SREC_CHECK_GE(gamma, 0.0);
+  CL4SREC_CHECK_LE(gamma, 1.0);
+  const auto n = static_cast<int64_t>(seq.size());
+  const auto mask_len = static_cast<int64_t>(gamma * static_cast<double>(n));
+  ItemSequence out = seq;
+  if (mask_len == 0 || n == 0) return out;
+  // Choose mask_len distinct positions via partial Fisher-Yates.
+  std::vector<int64_t> positions(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) positions[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < mask_len; ++i) {
+    const int64_t j = i + rng->UniformInt(n - i);
+    std::swap(positions[static_cast<size_t>(i)],
+              positions[static_cast<size_t>(j)]);
+    out[static_cast<size_t>(positions[static_cast<size_t>(i)])] = mask_id;
+  }
+  return out;
+}
+
+ItemSequence ReorderSequence(const ItemSequence& seq, double beta, Rng* rng) {
+  CL4SREC_CHECK_GE(beta, 0.0);
+  CL4SREC_CHECK_LE(beta, 1.0);
+  const auto n = static_cast<int64_t>(seq.size());
+  const auto window = static_cast<int64_t>(beta * static_cast<double>(n));
+  ItemSequence out = seq;
+  if (window <= 1 || n == 0) return out;
+  const int64_t start = rng->UniformInt(n - window + 1);
+  rng->Shuffle(out.begin() + start, out.begin() + start + window);
+  return out;
+}
+
+ItemSequence SubstituteSequence(const ItemSequence& seq, double rate,
+                                const ItemCoCounts& similarity, Rng* rng) {
+  CL4SREC_CHECK_GE(rate, 0.0);
+  CL4SREC_CHECK_LE(rate, 1.0);
+  const auto n = static_cast<int64_t>(seq.size());
+  const auto count = static_cast<int64_t>(rate * static_cast<double>(n));
+  ItemSequence out = seq;
+  if (count == 0 || n == 0) return out;
+  std::vector<int64_t> positions(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) positions[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t j = i + rng->UniformInt(n - i);
+    std::swap(positions[static_cast<size_t>(i)],
+              positions[static_cast<size_t>(j)]);
+    const auto pos = static_cast<size_t>(positions[static_cast<size_t>(i)]);
+    out[pos] = similarity.SampleSimilar(seq[pos], rng);
+  }
+  return out;
+}
+
+ItemSequence InsertSequence(const ItemSequence& seq, double rate,
+                            const ItemCoCounts& similarity, Rng* rng) {
+  CL4SREC_CHECK_GE(rate, 0.0);
+  CL4SREC_CHECK_LE(rate, 1.0);
+  const auto n = static_cast<int64_t>(seq.size());
+  const auto count = static_cast<int64_t>(rate * static_cast<double>(n));
+  if (count == 0 || n == 0) return seq;
+  // Choose insertion anchors, then emit in one pass.
+  std::vector<bool> insert_after(static_cast<size_t>(n), false);
+  std::vector<int64_t> positions(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) positions[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t j = i + rng->UniformInt(n - i);
+    std::swap(positions[static_cast<size_t>(i)],
+              positions[static_cast<size_t>(j)]);
+    insert_after[static_cast<size_t>(positions[static_cast<size_t>(i)])] = true;
+  }
+  ItemSequence out;
+  out.reserve(static_cast<size_t>(n + count));
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(seq[static_cast<size_t>(i)]);
+    if (insert_after[static_cast<size_t>(i)]) {
+      out.push_back(similarity.SampleSimilar(seq[static_cast<size_t>(i)], rng));
+    }
+  }
+  return out;
+}
+
+const char* AugmentationKindName(AugmentationKind kind) {
+  switch (kind) {
+    case AugmentationKind::kCrop:
+      return "crop";
+    case AugmentationKind::kMask:
+      return "mask";
+    case AugmentationKind::kReorder:
+      return "reorder";
+    case AugmentationKind::kSubstitute:
+      return "substitute";
+    case AugmentationKind::kInsert:
+      return "insert";
+  }
+  return "unknown";
+}
+
+StatusOr<AugmentationKind> ParseAugmentationKind(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  if (lower == "crop") return AugmentationKind::kCrop;
+  if (lower == "mask") return AugmentationKind::kMask;
+  if (lower == "reorder") return AugmentationKind::kReorder;
+  if (lower == "substitute") return AugmentationKind::kSubstitute;
+  if (lower == "insert") return AugmentationKind::kInsert;
+  return Status::InvalidArgument("unknown augmentation: " + name);
+}
+
+std::string AugmentationOp::ToString() const {
+  return StrFormat("%s(%.2f)", AugmentationKindName(kind), rate);
+}
+
+ItemSequence ApplyAugmentation(const AugmentationOp& op,
+                               const ItemSequence& seq,
+                               const AugmentationContext& context, Rng* rng) {
+  switch (op.kind) {
+    case AugmentationKind::kCrop:
+      return CropSequence(seq, op.rate, rng);
+    case AugmentationKind::kMask:
+      return MaskSequence(seq, op.rate, context.mask_id, rng);
+    case AugmentationKind::kReorder:
+      return ReorderSequence(seq, op.rate, rng);
+    case AugmentationKind::kSubstitute:
+      CL4SREC_CHECK(context.similarity != nullptr)
+          << "substitute needs an item similarity model";
+      return SubstituteSequence(seq, op.rate, *context.similarity, rng);
+    case AugmentationKind::kInsert:
+      CL4SREC_CHECK(context.similarity != nullptr)
+          << "insert needs an item similarity model";
+      return InsertSequence(seq, op.rate, *context.similarity, rng);
+  }
+  CL4SREC_CHECK(false) << "unreachable";
+  return seq;
+}
+
+ItemSequence ApplyAugmentation(const AugmentationOp& op,
+                               const ItemSequence& seq, int64_t mask_id,
+                               Rng* rng) {
+  return ApplyAugmentation(op, seq, AugmentationContext{mask_id, nullptr}, rng);
+}
+
+Augmenter::Augmenter(std::vector<AugmentationOp> ops,
+                     AugmentationContext context)
+    : ops_(std::move(ops)), context_(context) {
+  CL4SREC_CHECK(!ops_.empty()) << "Augmenter needs at least one operator";
+}
+
+std::pair<ItemSequence, ItemSequence> Augmenter::TwoViews(
+    const ItemSequence& seq, Rng* rng) const {
+  const auto count = static_cast<int64_t>(ops_.size());
+  const AugmentationOp& first = ops_[static_cast<size_t>(rng->UniformInt(count))];
+  const AugmentationOp& second =
+      ops_[static_cast<size_t>(rng->UniformInt(count))];
+  return {ApplyAugmentation(first, seq, context_, rng),
+          ApplyAugmentation(second, seq, context_, rng)};
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,110 @@
+// The paper's three stochastic data augmentation operators (§3.3) and the
+// augmentation module that produces two correlated views per sequence
+// (§3.2.1).
+//
+//   crop    (Eq. 4): keep a random contiguous subsequence of length
+//                    floor(eta * n) (clamped to >= 1 so encoders always see
+//                    at least one item);
+//   mask    (Eq. 5): replace floor(gamma * n) random positions with the
+//                    special [mask] item;
+//   reorder (Eq. 6): shuffle a random contiguous window of length
+//                    floor(beta * n).
+
+#ifndef CL4SREC_AUGMENT_AUGMENTATIONS_H_
+#define CL4SREC_AUGMENT_AUGMENTATIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "augment/item_similarity.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cl4srec {
+
+using ItemSequence = std::vector<int64_t>;
+
+// Item crop (Eq. 4): random contiguous subsequence of length
+// max(1, floor(eta * |s|)). eta in (0, 1].
+ItemSequence CropSequence(const ItemSequence& seq, double eta, Rng* rng);
+
+// Item mask (Eq. 5): floor(gamma * |s|) random distinct positions replaced
+// by `mask_id`. gamma in [0, 1].
+ItemSequence MaskSequence(const ItemSequence& seq, double gamma,
+                          int64_t mask_id, Rng* rng);
+
+// Item reorder (Eq. 6): shuffles a random contiguous window of length
+// floor(beta * |s|). beta in [0, 1].
+ItemSequence ReorderSequence(const ItemSequence& seq, double beta, Rng* rng);
+
+// ---- Informed operators (extension beyond the paper; cf. CoSeRec) ----
+
+// Replaces floor(rate * |s|) random distinct positions with an item sampled
+// from the co-occurrence neighbours of the replaced item.
+ItemSequence SubstituteSequence(const ItemSequence& seq, double rate,
+                                const ItemCoCounts& similarity, Rng* rng);
+
+// Inserts a similar item immediately after each of floor(rate * |s|) random
+// positions (sequence grows by that many items).
+ItemSequence InsertSequence(const ItemSequence& seq, double rate,
+                            const ItemCoCounts& similarity, Rng* rng);
+
+enum class AugmentationKind { kCrop, kMask, kReorder, kSubstitute, kInsert };
+
+const char* AugmentationKindName(AugmentationKind kind);
+StatusOr<AugmentationKind> ParseAugmentationKind(const std::string& name);
+
+// One configured operator: a kind plus its proportion rate
+// (eta / gamma / beta respectively).
+struct AugmentationOp {
+  AugmentationKind kind = AugmentationKind::kCrop;
+  double rate = 0.5;
+
+  std::string ToString() const;
+};
+
+// Everything an operator may need besides the sequence itself. The
+// similarity model is only required by substitute/insert; the paper's three
+// operators ignore it.
+struct AugmentationContext {
+  int64_t mask_id = 0;
+  const ItemCoCounts* similarity = nullptr;  // not owned
+};
+
+// Applies one operator to a sequence. CHECK-fails if the operator requires
+// a similarity model and the context has none.
+ItemSequence ApplyAugmentation(const AugmentationOp& op,
+                               const ItemSequence& seq,
+                               const AugmentationContext& context, Rng* rng);
+
+// Convenience overload for the paper's three similarity-free operators.
+ItemSequence ApplyAugmentation(const AugmentationOp& op,
+                               const ItemSequence& seq, int64_t mask_id,
+                               Rng* rng);
+
+// The stochastic augmentation module: holds the operator set A and, per
+// sequence, samples two operators (uniformly, independently) to produce the
+// positive pair of views. With |A| == 1 both views use the same operator
+// with fresh randomness (the paper's single-augmentation experiments, RQ2);
+// with |A| == 2 this realizes the composition study (RQ3).
+class Augmenter {
+ public:
+  Augmenter(std::vector<AugmentationOp> ops, int64_t mask_id)
+      : Augmenter(std::move(ops), AugmentationContext{mask_id, nullptr}) {}
+  Augmenter(std::vector<AugmentationOp> ops, AugmentationContext context);
+
+  std::pair<ItemSequence, ItemSequence> TwoViews(const ItemSequence& seq,
+                                                 Rng* rng) const;
+
+  const std::vector<AugmentationOp>& ops() const { return ops_; }
+
+ private:
+  std::vector<AugmentationOp> ops_;
+  AugmentationContext context_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUGMENT_AUGMENTATIONS_H_

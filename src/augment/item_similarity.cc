@@ -1,0 +1,73 @@
+#include "augment/item_similarity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+ItemCoCounts ItemCoCounts::Build(
+    const std::vector<std::vector<int64_t>>& sequences, int64_t num_items,
+    int64_t window, int64_t max_neighbors) {
+  CL4SREC_CHECK_GT(num_items, 0);
+  CL4SREC_CHECK_GT(window, 0);
+  std::vector<std::unordered_map<int64_t, int64_t>> counts(
+      static_cast<size_t>(num_items + 1));
+  for (const auto& seq : sequences) {
+    const auto n = static_cast<int64_t>(seq.size());
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t a = seq[static_cast<size_t>(i)];
+      if (a < 1 || a > num_items) continue;
+      for (int64_t j = i + 1; j < std::min(n, i + 1 + window); ++j) {
+        const int64_t b = seq[static_cast<size_t>(j)];
+        if (b < 1 || b > num_items || a == b) continue;
+        ++counts[static_cast<size_t>(a)][b];
+        ++counts[static_cast<size_t>(b)][a];
+      }
+    }
+  }
+  ItemCoCounts model;
+  model.num_items_ = num_items;
+  model.neighbors_.resize(static_cast<size_t>(num_items + 1));
+  for (int64_t item = 1; item <= num_items; ++item) {
+    auto& list = model.neighbors_[static_cast<size_t>(item)];
+    list.assign(counts[static_cast<size_t>(item)].begin(),
+                counts[static_cast<size_t>(item)].end());
+    std::sort(list.begin(), list.end(), [](const auto& x, const auto& y) {
+      if (x.second != y.second) return x.second > y.second;
+      return x.first < y.first;  // deterministic
+    });
+    if (static_cast<int64_t>(list.size()) > max_neighbors) {
+      list.resize(static_cast<size_t>(max_neighbors));
+    }
+  }
+  return model;
+}
+
+int64_t ItemCoCounts::MostSimilar(int64_t item) const {
+  const auto& list = Neighbors(item);
+  return list.empty() ? -1 : list.front().first;
+}
+
+int64_t ItemCoCounts::SampleSimilar(int64_t item, Rng* rng) const {
+  const auto& list = Neighbors(item);
+  if (list.empty()) return rng->UniformInt(1, num_items_);
+  int64_t total = 0;
+  for (const auto& [neighbor, count] : list) total += count;
+  int64_t target = rng->UniformInt(total);
+  for (const auto& [neighbor, count] : list) {
+    target -= count;
+    if (target < 0) return neighbor;
+  }
+  return list.back().first;
+}
+
+const std::vector<std::pair<int64_t, int64_t>>& ItemCoCounts::Neighbors(
+    int64_t item) const {
+  CL4SREC_CHECK_GE(item, 1);
+  CL4SREC_CHECK_LE(item, num_items_);
+  return neighbors_[static_cast<size_t>(item)];
+}
+
+}  // namespace cl4srec

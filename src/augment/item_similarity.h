@@ -1,0 +1,46 @@
+// Co-occurrence-based item similarity, the substrate for the informed
+// augmentation operators (substitute / insert) that follow-up work added on
+// top of CL4SRec's random crop/mask/reorder (cf. CoSeRec, Liu et al. 2021).
+// Implemented as a windowed co-count model over the training sequences with
+// a per-item top-K neighbour list.
+
+#ifndef CL4SREC_AUGMENT_ITEM_SIMILARITY_H_
+#define CL4SREC_AUGMENT_ITEM_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cl4srec {
+
+class ItemCoCounts {
+ public:
+  // Builds top-`max_neighbors` co-occurrence lists from item sequences
+  // (ids 1..num_items). Two items co-occur when they appear within
+  // `window` positions of each other in the same sequence.
+  static ItemCoCounts Build(const std::vector<std::vector<int64_t>>& sequences,
+                            int64_t num_items, int64_t window = 3,
+                            int64_t max_neighbors = 10);
+
+  int64_t num_items() const { return num_items_; }
+
+  // The strongest neighbour of `item`, or -1 when the item never co-occurs.
+  int64_t MostSimilar(int64_t item) const;
+
+  // Samples one of `item`'s neighbours with probability proportional to the
+  // co-count; falls back to a uniform random item when there are none.
+  int64_t SampleSimilar(int64_t item, Rng* rng) const;
+
+  // Neighbour list (descending count) for inspection/tests.
+  const std::vector<std::pair<int64_t, int64_t>>& Neighbors(int64_t item) const;
+
+ private:
+  int64_t num_items_ = 0;
+  // neighbors_[item] = [(neighbor, count)...] sorted by descending count.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> neighbors_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUGMENT_ITEM_SIMILARITY_H_

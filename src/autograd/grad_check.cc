@@ -1,0 +1,49 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace cl4srec {
+
+GradCheckResult CheckGradients(const std::function<Variable()>& forward,
+                               const std::vector<Variable*>& params,
+                               float epsilon, float rtol, float atol) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  ZeroGradAll(params);
+  Variable loss = forward();
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Variable* p : params) analytic.push_back(p->grad().Clone());
+
+  // Numeric gradients by central differences.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = params[pi]->mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float original = value.at(i);
+      value.at(i) = original + epsilon;
+      const float plus = forward().value().at(0);
+      value.at(i) = original - epsilon;
+      const float minus = forward().value().at(0);
+      value.at(i) = original;
+      const float numeric = (plus - minus) / (2.f * epsilon);
+      const float got = analytic[pi].at(i);
+      const float err = std::fabs(got - numeric);
+      result.max_abs_error = std::max(result.max_abs_error, err);
+      if (err > atol + rtol * std::fabs(numeric)) {
+        if (result.ok) {
+          result.first_failure = StrFormat(
+              "param %zu element %lld: analytic %.6f vs numeric %.6f",
+              pi, static_cast<long long>(i), got, numeric);
+        }
+        result.ok = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,37 @@
+// Finite-difference gradient checking, used by the test suite to validate
+// every differentiable op against central differences.
+
+#ifndef CL4SREC_AUTOGRAD_GRAD_CHECK_H_
+#define CL4SREC_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace cl4srec {
+
+struct GradCheckResult {
+  bool ok = true;
+  // Largest |analytic - numeric| over all checked entries.
+  float max_abs_error = 0.f;
+  // Description of the first failing entry, empty when ok.
+  std::string first_failure;
+};
+
+// Checks d(forward())/d(param) for every element of every parameter.
+//
+// `forward` must rebuild the computation graph from the parameters' CURRENT
+// values and return a scalar Variable; it is invoked 2*numel+1 times. The
+// check uses central differences with step `epsilon` and passes when every
+// entry agrees within atol + rtol*|numeric|. float32 forward math limits
+// achievable precision, so default tolerances are loose-ish.
+GradCheckResult CheckGradients(const std::function<Variable()>& forward,
+                               const std::vector<Variable*>& params,
+                               float epsilon = 1e-2f, float rtol = 5e-2f,
+                               float atol = 1e-3f);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,52 @@
+// Internal autograd graph node. Users interact with Variable (variable.h);
+// Node is exposed only so op implementations can build the tape.
+
+#ifndef CL4SREC_AUTOGRAD_NODE_H_
+#define CL4SREC_AUTOGRAD_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+namespace autograd_internal {
+
+// One entry of the reverse-mode tape. `backward_fn` reads this node's
+// accumulated `grad` and pushes gradients into the input nodes.
+struct Node {
+  Tensor value;
+  Tensor grad;                 // Allocated on first accumulation.
+  bool requires_grad = false;
+  bool has_grad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  std::function<void()> backward_fn;
+
+  // grad += g (allocating a zero grad of value's shape on first use).
+  void AccumulateGrad(const Tensor& g) {
+    CL4SREC_CHECK(g.SameShape(value)) << "gradient shape mismatch";
+    if (!has_grad) {
+      grad = g.Clone();
+      has_grad = true;
+    } else {
+      grad.AddInPlace(g);
+    }
+  }
+
+  // Returns the gradient, materializing zeros if none was accumulated.
+  // Mutable so ops with scatter-style backward (embedding gather) can write
+  // into the buffer directly.
+  Tensor& EnsureGrad() {
+    if (!has_grad) {
+      grad = Tensor(value.shape());
+      has_grad = true;
+    }
+    return grad;
+  }
+};
+
+}  // namespace autograd_internal
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUTOGRAD_NODE_H_

@@ -1,0 +1,46 @@
+// Shared helpers for op implementations. Internal to src/autograd.
+
+#ifndef CL4SREC_AUTOGRAD_OP_HELPERS_H_
+#define CL4SREC_AUTOGRAD_OP_HELPERS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "autograd/node.h"
+#include "autograd/variable.h"
+
+namespace cl4srec {
+namespace autograd_internal {
+
+// Creates a tape node for `value` whose inputs are the given variables.
+// requires_grad is inherited from the inputs. The caller attaches
+// backward_fn afterwards (only needed when the node requires grad).
+inline std::shared_ptr<Node> MakeNode(Tensor value,
+                                      std::initializer_list<Variable> inputs) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (const Variable& v : inputs) {
+    CL4SREC_CHECK(v.defined()) << "op input is undefined";
+    node->inputs.push_back(v.node_ptr());
+    node->requires_grad = node->requires_grad || v.requires_grad();
+  }
+  return node;
+}
+
+inline std::shared_ptr<Node> MakeNode(Tensor value,
+                                      const std::vector<Variable>& inputs) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (const Variable& v : inputs) {
+    CL4SREC_CHECK(v.defined()) << "op input is undefined";
+    node->inputs.push_back(v.node_ptr());
+    node->requires_grad = node->requires_grad || v.requires_grad();
+  }
+  return node;
+}
+
+}  // namespace autograd_internal
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUTOGRAD_OP_HELPERS_H_

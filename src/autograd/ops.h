@@ -1,0 +1,121 @@
+// Differentiable operations over Variables.
+//
+// Every function computes its result eagerly with the kernels from
+// src/tensor and records a backward closure on the tape when any input
+// requires gradients. Index arguments (embedding ids, gather rows, class
+// targets) are plain integer vectors — they are never differentiated.
+
+#ifndef CL4SREC_AUTOGRAD_OPS_H_
+#define CL4SREC_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+
+// ---- Arithmetic ----
+
+// Elementwise a + b (same shape).
+Variable AddV(const Variable& a, const Variable& b);
+// Elementwise a - b (same shape).
+Variable SubV(const Variable& a, const Variable& b);
+// Elementwise a * b (same shape).
+Variable MulV(const Variable& a, const Variable& b);
+// alpha * a.
+Variable ScaleV(const Variable& a, float alpha);
+// a[m,n] + bias[n] broadcast across rows.
+Variable AddRowBroadcastV(const Variable& a, const Variable& bias);
+// op(a) * op(b) for 2-D tensors with optional transposes.
+Variable MatMulV(const Variable& a, const Variable& b, bool trans_a = false,
+                 bool trans_b = false);
+// 2-D transpose.
+Variable TransposeV(const Variable& a);
+// Shape change sharing storage; -1 infers one extent.
+Variable ReshapeV(const Variable& a, std::vector<int64_t> shape);
+// Stacks 2-D tensors with equal column counts along dim 0.
+Variable ConcatRowsV(const std::vector<Variable>& parts);
+// Rows [start, start+len) of a 2-D tensor.
+Variable SliceRowsV(const Variable& a, int64_t start, int64_t len);
+// out[i, :] = a[indices[i], :]; duplicate indices allowed (grads scatter-add).
+Variable GatherRowsV(const Variable& a, const std::vector<int64_t>& indices);
+
+// ---- Activations ----
+
+Variable ReluV(const Variable& a);
+Variable GeluV(const Variable& a);
+Variable SigmoidV(const Variable& a);
+Variable TanhV(const Variable& a);
+
+// Inverted dropout: zeroes entries with probability p and scales the rest by
+// 1/(1-p) when training; identity otherwise.
+Variable DropoutV(const Variable& a, float p, Rng* rng, bool training);
+
+// ---- Reductions ----
+
+// Sum of all elements -> scalar.
+Variable SumV(const Variable& a);
+// Mean of all elements -> scalar.
+Variable MeanV(const Variable& a);
+
+// ---- Neural-net primitives ----
+
+// out[i, :] = table[indices[i], :] for an embedding table [V, d].
+Variable EmbeddingGatherV(const Variable& table,
+                          const std::vector<int64_t>& indices);
+
+// Per-row layer normalization with learnable gain/bias:
+// y = gamma * (x - mu) / sqrt(var + eps) + beta; x [m,n], gamma/beta [n].
+Variable LayerNormV(const Variable& x, const Variable& gamma,
+                    const Variable& beta, float eps = 1e-8f);
+
+// Row softmax of logits [m,n].
+Variable SoftmaxRowsV(const Variable& logits);
+
+// out[i] = dot(a[i,:], b[i,:]) for a,b [m,d] -> [m].
+Variable RowDotV(const Variable& a, const Variable& b);
+
+// Divides each row by max(||row||_2, eps).
+Variable L2NormalizeRowsV(const Variable& a, float eps = 1e-8f);
+
+// ---- Losses ----
+
+// Mean softmax cross entropy of logits [m,C] against integer targets [m].
+Variable SoftmaxCrossEntropyV(const Variable& logits,
+                              const std::vector<int64_t>& targets);
+
+// Binary cross entropy with logits x [m] vs labels y [m] in {0,1} (constant).
+// When `weights` is non-empty it must have m entries; the loss is
+// sum(w_i * l_i) / max(sum(w), 1) so padded positions can be excluded.
+Variable BceWithLogitsV(const Variable& logits, const Tensor& labels,
+                        const Tensor& weights = Tensor());
+
+// ---- Fused transformer attention ----
+
+// Multi-head self-attention over B packed sequences of length T.
+//   x        : [B*T, d] input activations
+//   wq/wk/wv : [d, d] projection weights
+//   wo       : [d, d] output projection
+//   key_valid: B*T entries, 1 for real tokens and 0 for (left) padding
+//   causal   : when true (SASRec), queries attend only to positions <=
+//              their own; when false (BERT4Rec), to every valid position.
+// Padded keys are always masked. Query rows whose entire key set is masked
+// produce zero output rows. Returns [B*T, d].
+Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
+                                 const Variable& wk, const Variable& wv,
+                                 const Variable& wo, int64_t batch,
+                                 int64_t seq_len, int64_t num_heads,
+                                 const std::vector<float>& key_valid,
+                                 bool causal = true);
+
+// ---- Constants ----
+
+// Wraps a tensor as a non-differentiable Variable.
+Variable Constant(Tensor t);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUTOGRAD_OPS_H_

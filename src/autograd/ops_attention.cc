@@ -1,0 +1,211 @@
+// Fused multi-head causal self-attention.
+//
+// Implemented as a single tape node (instead of composing ~10 primitive ops
+// per batch element) so one training step allocates O(layers) graph nodes
+// rather than O(layers * batch * heads). Forward saves Q, K, V, the
+// attention probabilities P, and the concatenated head outputs O; backward
+// replays the standard scaled-dot-product derivative.
+
+#include <cmath>
+
+#include "autograd/op_helpers.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+using autograd_internal::MakeNode;
+using autograd_internal::Node;
+
+namespace {
+
+constexpr float kMaskValue = -1e9f;
+
+// All saved activations for the backward pass.
+struct AttentionContext {
+  Tensor q, k, v;      // [B*T, d]
+  Tensor probs;        // [B*heads*T*T]
+  Tensor head_concat;  // O = concat_h(P_h V_h): [B*T, d]
+};
+
+}  // namespace
+
+Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
+                                 const Variable& wk, const Variable& wv,
+                                 const Variable& wo, int64_t batch,
+                                 int64_t seq_len, int64_t num_heads,
+                                 const std::vector<float>& key_valid,
+                                 bool causal) {
+  const Tensor& xv = x.value();
+  CL4SREC_CHECK_EQ(xv.ndim(), 2);
+  const int64_t rows = xv.dim(0);
+  const int64_t d = xv.dim(1);
+  CL4SREC_CHECK_EQ(rows, batch * seq_len);
+  CL4SREC_CHECK_EQ(d % num_heads, 0);
+  CL4SREC_CHECK_EQ(static_cast<int64_t>(key_valid.size()), rows);
+  const int64_t dh = d / num_heads;
+  const float scale = 1.f / std::sqrt(static_cast<float>(dh));
+
+  auto ctx = std::make_shared<AttentionContext>();
+  ctx->q = MatMul(xv, wq.value());
+  ctx->k = MatMul(xv, wk.value());
+  ctx->v = MatMul(xv, wv.value());
+  ctx->probs = Tensor({batch * num_heads * seq_len * seq_len});
+  ctx->head_concat = Tensor({rows, d});
+
+  const float* q = ctx->q.data();
+  const float* k = ctx->k.data();
+  const float* v = ctx->v.data();
+  float* probs = ctx->probs.data();
+  float* concat = ctx->head_concat.data();
+
+  std::vector<float> scores(static_cast<size_t>(seq_len));
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t base = b * seq_len;
+    for (int64_t h = 0; h < num_heads; ++h) {
+      const int64_t col0 = h * dh;
+      float* p_bh = probs + ((b * num_heads + h) * seq_len) * seq_len;
+      for (int64_t i = 0; i < seq_len; ++i) {
+        const float* q_row = q + (base + i) * d + col0;
+        float max_score = kMaskValue;
+        // Key j may be attended iff it is a real (non-padding) token and,
+        // in causal mode, j <= i.
+        const int64_t key_end = causal ? i : seq_len - 1;
+        for (int64_t j = 0; j <= key_end; ++j) {
+          if (key_valid[static_cast<size_t>(base + j)] == 0.f) {
+            scores[static_cast<size_t>(j)] = kMaskValue;
+            continue;
+          }
+          const float* k_row = k + (base + j) * d + col0;
+          double dot = 0.0;
+          for (int64_t c = 0; c < dh; ++c) dot += double(q_row[c]) * k_row[c];
+          const float s = static_cast<float>(dot) * scale;
+          scores[static_cast<size_t>(j)] = s;
+          max_score = std::max(max_score, s);
+        }
+        float* p_row = p_bh + i * seq_len;
+        std::fill(p_row, p_row + seq_len, 0.f);
+        if (max_score <= kMaskValue / 2) {
+          // Entire key set masked (padded query row): emit zeros.
+          continue;
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j <= key_end; ++j) {
+          if (scores[static_cast<size_t>(j)] <= kMaskValue / 2) continue;
+          const float e = std::exp(scores[static_cast<size_t>(j)] - max_score);
+          p_row[j] = e;
+          denom += e;
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        float* out_row = concat + (base + i) * d + col0;
+        for (int64_t c = 0; c < dh; ++c) out_row[c] = 0.f;
+        for (int64_t j = 0; j <= key_end; ++j) {
+          if (p_row[j] == 0.f) continue;
+          p_row[j] *= inv;
+          const float* v_row = v + (base + j) * d + col0;
+          const float w = p_row[j];
+          for (int64_t c = 0; c < dh; ++c) out_row[c] += w * v_row[c];
+        }
+      }
+    }
+  }
+
+  Tensor out = MatMul(ctx->head_concat, wo.value());
+  auto node = MakeNode(std::move(out), {x, wq, wk, wv, wo});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* xn = x.node_ptr().get();
+    Node* wqn = wq.node_ptr().get();
+    Node* wkn = wk.node_ptr().get();
+    Node* wvn = wv.node_ptr().get();
+    Node* won = wo.node_ptr().get();
+    Tensor x_val = xv;
+    Tensor wq_val = wq.value();
+    Tensor wk_val = wk.value();
+    Tensor wv_val = wv.value();
+    Tensor wo_val = wo.value();
+    node->backward_fn = [nd, xn, wqn, wkn, wvn, won, ctx, x_val, wq_val,
+                         wk_val, wv_val, wo_val, batch, seq_len, num_heads, d,
+                         dh, scale, causal]() {
+      const Tensor& gy = nd->grad;  // [B*T, d]
+      // Output projection.
+      if (won->requires_grad) {
+        won->AccumulateGrad(MatMul(ctx->head_concat, gy, /*trans_a=*/true));
+      }
+      Tensor g_concat = MatMul(gy, wo_val, false, /*trans_b=*/true);
+
+      Tensor gq({batch * seq_len, d});
+      Tensor gk({batch * seq_len, d});
+      Tensor gv({batch * seq_len, d});
+      const float* q = ctx->q.data();
+      const float* k = ctx->k.data();
+      const float* v = ctx->v.data();
+      const float* probs = ctx->probs.data();
+      const float* go = g_concat.data();
+      float* pgq = gq.data();
+      float* pgk = gk.data();
+      float* pgv = gv.data();
+
+      std::vector<float> dp(static_cast<size_t>(seq_len));
+      for (int64_t b = 0; b < batch; ++b) {
+        const int64_t base = b * seq_len;
+        for (int64_t h = 0; h < num_heads; ++h) {
+          const int64_t col0 = h * dh;
+          const float* p_bh = probs + ((b * num_heads + h) * seq_len) * seq_len;
+          for (int64_t i = 0; i < seq_len; ++i) {
+            const float* p_row = p_bh + i * seq_len;
+            const float* go_row = go + (base + i) * d + col0;
+            const int64_t key_end = causal ? i : seq_len - 1;
+            // dP[i,j] = go_row . V_j ; dV_j += P[i,j] * go_row.
+            double dot_dp_p = 0.0;
+            for (int64_t j = 0; j <= key_end; ++j) {
+              if (p_row[j] == 0.f) {
+                dp[static_cast<size_t>(j)] = 0.f;
+                continue;
+              }
+              const float* v_row = v + (base + j) * d + col0;
+              float* gv_row = pgv + (base + j) * d + col0;
+              double dpij = 0.0;
+              const float pij = p_row[j];
+              for (int64_t c = 0; c < dh; ++c) {
+                dpij += double(go_row[c]) * v_row[c];
+                gv_row[c] += pij * go_row[c];
+              }
+              dp[static_cast<size_t>(j)] = static_cast<float>(dpij);
+              dot_dp_p += dpij * pij;
+            }
+            // Softmax backward then scaled-dot backward.
+            const float* q_row = q + (base + i) * d + col0;
+            float* gq_row = pgq + (base + i) * d + col0;
+            for (int64_t j = 0; j <= key_end; ++j) {
+              const float pij = p_row[j];
+              if (pij == 0.f) continue;
+              const float ds =
+                  pij * (dp[static_cast<size_t>(j)] -
+                         static_cast<float>(dot_dp_p)) * scale;
+              const float* k_row = k + (base + j) * d + col0;
+              float* gk_row = pgk + (base + j) * d + col0;
+              for (int64_t c = 0; c < dh; ++c) {
+                gq_row[c] += ds * k_row[c];
+                gk_row[c] += ds * q_row[c];
+              }
+            }
+          }
+        }
+      }
+
+      if (wqn->requires_grad) wqn->AccumulateGrad(MatMul(x_val, gq, true));
+      if (wkn->requires_grad) wkn->AccumulateGrad(MatMul(x_val, gk, true));
+      if (wvn->requires_grad) wvn->AccumulateGrad(MatMul(x_val, gv, true));
+      if (xn->requires_grad) {
+        Tensor gx = MatMul(gq, wq_val, false, true);
+        gx.AddInPlace(MatMul(gk, wk_val, false, true));
+        gx.AddInPlace(MatMul(gv, wv_val, false, true));
+        xn->AccumulateGrad(gx);
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+}  // namespace cl4srec

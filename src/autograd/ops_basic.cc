@@ -1,0 +1,383 @@
+// Arithmetic, structural, and activation ops.
+
+#include <cmath>
+
+#include "autograd/op_helpers.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+using autograd_internal::MakeNode;
+using autograd_internal::Node;
+
+Variable Constant(Tensor t) { return Variable(std::move(t), false); }
+
+Variable AddV(const Variable& a, const Variable& b) {
+  auto node = MakeNode(Add(a.value(), b.value()), {a, b});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Node* bn = b.node_ptr().get();
+    node->backward_fn = [n, an, bn]() {
+      if (an->requires_grad) an->AccumulateGrad(n->grad);
+      if (bn->requires_grad) bn->AccumulateGrad(n->grad);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SubV(const Variable& a, const Variable& b) {
+  auto node = MakeNode(Sub(a.value(), b.value()), {a, b});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Node* bn = b.node_ptr().get();
+    node->backward_fn = [n, an, bn]() {
+      if (an->requires_grad) an->AccumulateGrad(n->grad);
+      if (bn->requires_grad) bn->AccumulateGrad(Scale(n->grad, -1.f));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable MulV(const Variable& a, const Variable& b) {
+  auto node = MakeNode(Mul(a.value(), b.value()), {a, b});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Node* bn = b.node_ptr().get();
+    Tensor a_val = a.value();
+    Tensor b_val = b.value();
+    node->backward_fn = [n, an, bn, a_val, b_val]() {
+      if (an->requires_grad) an->AccumulateGrad(Mul(n->grad, b_val));
+      if (bn->requires_grad) bn->AccumulateGrad(Mul(n->grad, a_val));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable ScaleV(const Variable& a, float alpha) {
+  auto node = MakeNode(Scale(a.value(), alpha), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    node->backward_fn = [n, an, alpha]() {
+      an->AccumulateGrad(Scale(n->grad, alpha));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable AddRowBroadcastV(const Variable& a, const Variable& bias) {
+  auto node = MakeNode(AddRowBroadcast(a.value(), bias.value()), {a, bias});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Node* bn = bias.node_ptr().get();
+    node->backward_fn = [n, an, bn]() {
+      if (an->requires_grad) an->AccumulateGrad(n->grad);
+      if (bn->requires_grad) bn->AccumulateGrad(SumRows(n->grad));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable MatMulV(const Variable& a, const Variable& b, bool trans_a,
+                 bool trans_b) {
+  auto node =
+      MakeNode(MatMul(a.value(), b.value(), trans_a, trans_b), {a, b});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Node* bn = b.node_ptr().get();
+    Tensor a_val = a.value();
+    Tensor b_val = b.value();
+    node->backward_fn = [n, an, bn, a_val, b_val, trans_a, trans_b]() {
+      const Tensor& go = n->grad;
+      // With A' = op(A), B' = op(B), C = A'B':
+      //   dA' = dC B'^T, dB' = A'^T dC, then undo the transposes.
+      if (an->requires_grad) {
+        Tensor da;
+        if (!trans_a) {
+          // dA = dC * op(B)^T
+          da = trans_b ? MatMul(go, b_val, false, false)
+                       : MatMul(go, b_val, false, true);
+        } else {
+          // dA = (dA')^T = op(B) * dC^T
+          da = trans_b ? MatMul(b_val, go, true, true)
+                       : MatMul(b_val, go, false, true);
+        }
+        an->AccumulateGrad(da);
+      }
+      if (bn->requires_grad) {
+        Tensor db;
+        if (!trans_b) {
+          // dB = op(A)^T * dC
+          db = trans_a ? MatMul(a_val, go, false, false)
+                       : MatMul(a_val, go, true, false);
+        } else {
+          // dB = (dB')^T = dC^T * op(A)
+          db = trans_a ? MatMul(go, a_val, true, true)
+                       : MatMul(go, a_val, true, false);
+        }
+        bn->AccumulateGrad(db);
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable TransposeV(const Variable& a) {
+  auto node = MakeNode(Transpose2D(a.value()), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    node->backward_fn = [n, an]() {
+      an->AccumulateGrad(Transpose2D(n->grad));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable ReshapeV(const Variable& a, std::vector<int64_t> shape) {
+  auto node = MakeNode(a.value().Reshape(std::move(shape)), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    std::vector<int64_t> in_shape = a.value().shape();
+    node->backward_fn = [n, an, in_shape]() {
+      an->AccumulateGrad(n->grad.Reshape(in_shape));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable ConcatRowsV(const std::vector<Variable>& parts) {
+  CL4SREC_CHECK(!parts.empty());
+  const int64_t cols = parts[0].value().dim(1);
+  int64_t total_rows = 0;
+  for (const Variable& p : parts) {
+    CL4SREC_CHECK_EQ(p.value().ndim(), 2);
+    CL4SREC_CHECK_EQ(p.value().dim(1), cols);
+    total_rows += p.value().dim(0);
+  }
+  Tensor out({total_rows, cols});
+  int64_t row = 0;
+  for (const Variable& p : parts) {
+    const Tensor& v = p.value();
+    std::copy(v.data(), v.data() + v.numel(), out.data() + row * cols);
+    row += v.dim(0);
+  }
+  auto node = MakeNode(std::move(out), parts);
+  if (node->requires_grad) {
+    Node* n = node.get();
+    std::vector<Node*> part_nodes;
+    std::vector<int64_t> part_rows;
+    for (const Variable& p : parts) {
+      part_nodes.push_back(p.node_ptr().get());
+      part_rows.push_back(p.value().dim(0));
+    }
+    node->backward_fn = [n, part_nodes, part_rows, cols]() {
+      int64_t start = 0;
+      for (size_t i = 0; i < part_nodes.size(); ++i) {
+        if (part_nodes[i]->requires_grad) {
+          Tensor slice({part_rows[i], cols});
+          std::copy(n->grad.data() + start * cols,
+                    n->grad.data() + (start + part_rows[i]) * cols,
+                    slice.data());
+          part_nodes[i]->AccumulateGrad(slice);
+        }
+        start += part_rows[i];
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SliceRowsV(const Variable& a, int64_t start, int64_t len) {
+  const Tensor& v = a.value();
+  CL4SREC_CHECK_EQ(v.ndim(), 2);
+  CL4SREC_CHECK_GE(start, 0);
+  CL4SREC_CHECK_LE(start + len, v.dim(0));
+  const int64_t cols = v.dim(1);
+  Tensor out({len, cols});
+  std::copy(v.data() + start * cols, v.data() + (start + len) * cols,
+            out.data());
+  auto node = MakeNode(std::move(out), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    const int64_t rows = v.dim(0);
+    node->backward_fn = [n, an, start, len, rows, cols]() {
+      Tensor da({rows, cols});
+      std::copy(n->grad.data(), n->grad.data() + len * cols,
+                da.data() + start * cols);
+      an->AccumulateGrad(da);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable GatherRowsV(const Variable& a, const std::vector<int64_t>& indices) {
+  const Tensor& v = a.value();
+  CL4SREC_CHECK_EQ(v.ndim(), 2);
+  const int64_t cols = v.dim(1);
+  const int64_t rows = v.dim(0);
+  Tensor out({static_cast<int64_t>(indices.size()), cols});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    CL4SREC_CHECK_GE(idx, 0);
+    CL4SREC_CHECK_LT(idx, rows);
+    std::copy(v.data() + idx * cols, v.data() + (idx + 1) * cols,
+              out.data() + static_cast<int64_t>(i) * cols);
+  }
+  auto node = MakeNode(std::move(out), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    node->backward_fn = [n, an, indices, cols]() {
+      Tensor& da = an->EnsureGrad();
+      const float* g = n->grad.data();
+      float* dst = da.data();
+      for (size_t i = 0; i < indices.size(); ++i) {
+        const float* src = g + static_cast<int64_t>(i) * cols;
+        float* row = dst + indices[i] * cols;
+        for (int64_t j = 0; j < cols; ++j) row[j] += src[j];
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable ReluV(const Variable& a) {
+  auto node = MakeNode(Relu(a.value()), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Tensor a_val = a.value();
+    node->backward_fn = [n, an, a_val]() {
+      Tensor da(n->grad.shape());
+      const float* g = n->grad.data();
+      const float* x = a_val.data();
+      float* d = da.data();
+      for (int64_t i = 0; i < da.numel(); ++i) d[i] = x[i] > 0.f ? g[i] : 0.f;
+      an->AccumulateGrad(da);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable GeluV(const Variable& a) {
+  auto node = MakeNode(Gelu(a.value()), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Tensor a_val = a.value();
+    node->backward_fn = [n, an, a_val]() {
+      constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+      Tensor da(n->grad.shape());
+      const float* g = n->grad.data();
+      const float* x = a_val.data();
+      float* d = da.data();
+      for (int64_t i = 0; i < da.numel(); ++i) {
+        const float xi = x[i];
+        const float inner = kC * (xi + 0.044715f * xi * xi * xi);
+        const float t = std::tanh(inner);
+        const float dinner = kC * (1.f + 3.f * 0.044715f * xi * xi);
+        const float dgelu = 0.5f * (1.f + t) + 0.5f * xi * (1.f - t * t) * dinner;
+        d[i] = g[i] * dgelu;
+      }
+      an->AccumulateGrad(da);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SigmoidV(const Variable& a) {
+  Tensor out = Sigmoid(a.value());
+  auto node = MakeNode(out, {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Tensor y = out;  // shares storage with node->value
+    node->backward_fn = [n, an, y]() {
+      Tensor da(n->grad.shape());
+      const float* g = n->grad.data();
+      const float* s = y.data();
+      float* d = da.data();
+      for (int64_t i = 0; i < da.numel(); ++i) d[i] = g[i] * s[i] * (1.f - s[i]);
+      an->AccumulateGrad(da);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable TanhV(const Variable& a) {
+  Tensor out = Tanh(a.value());
+  auto node = MakeNode(out, {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    Tensor y = out;
+    node->backward_fn = [n, an, y]() {
+      Tensor da(n->grad.shape());
+      const float* g = n->grad.data();
+      const float* t = y.data();
+      float* d = da.data();
+      for (int64_t i = 0; i < da.numel(); ++i) d[i] = g[i] * (1.f - t[i] * t[i]);
+      an->AccumulateGrad(da);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable DropoutV(const Variable& a, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.f) return a;
+  CL4SREC_CHECK_LT(p, 1.f);
+  const float keep = 1.f - p;
+  const float inv_keep = 1.f / keep;
+  Tensor mask(a.value().shape());
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = rng->Bernoulli(keep) ? inv_keep : 0.f;
+  }
+  auto node = MakeNode(Mul(a.value(), mask), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    node->backward_fn = [n, an, mask]() {
+      an->AccumulateGrad(Mul(n->grad, mask));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SumV(const Variable& a) {
+  auto node = MakeNode(Tensor::Scalar(SumAll(a.value())), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    std::vector<int64_t> shape = a.value().shape();
+    node->backward_fn = [n, an, shape]() {
+      an->AccumulateGrad(Tensor::Full(shape, n->grad.at(0)));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable MeanV(const Variable& a) {
+  const float inv_n = 1.f / static_cast<float>(a.value().numel());
+  auto node = MakeNode(Tensor::Scalar(MeanAll(a.value())), {a});
+  if (node->requires_grad) {
+    Node* n = node.get();
+    Node* an = a.node_ptr().get();
+    std::vector<int64_t> shape = a.value().shape();
+    node->backward_fn = [n, an, shape, inv_n]() {
+      an->AccumulateGrad(Tensor::Full(shape, n->grad.at(0) * inv_n));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+}  // namespace cl4srec

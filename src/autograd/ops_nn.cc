@@ -1,0 +1,294 @@
+// Neural-net specific ops: embeddings, layer norm, softmax, losses.
+
+#include <cmath>
+
+#include "autograd/op_helpers.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+using autograd_internal::MakeNode;
+using autograd_internal::Node;
+
+Variable EmbeddingGatherV(const Variable& table,
+                          const std::vector<int64_t>& indices) {
+  // Identical machinery to GatherRowsV; kept as a named entry point because
+  // embedding lookups dominate profiles and tests target them directly.
+  return GatherRowsV(table, indices);
+}
+
+Variable LayerNormV(const Variable& x, const Variable& gamma,
+                    const Variable& beta, float eps) {
+  const Tensor& xv = x.value();
+  CL4SREC_CHECK_EQ(xv.ndim(), 2);
+  const int64_t m = xv.dim(0);
+  const int64_t n = xv.dim(1);
+  CL4SREC_CHECK_EQ(gamma.value().numel(), n);
+  CL4SREC_CHECK_EQ(beta.value().numel(), n);
+
+  Tensor xhat({m, n});       // normalized activations, saved for backward
+  Tensor inv_std({m});
+  Tensor out({m, n});
+  const float* px = xv.data();
+  const float* pg = gamma.value().data();
+  const float* pb = beta.value().data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = px + i * n;
+    double mean = 0.0;
+    for (int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= n;
+    double var = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const double d = row[j] - mean;
+      var += d * d;
+    }
+    var /= n;
+    const float istd = 1.f / std::sqrt(static_cast<float>(var) + eps);
+    inv_std.at(i) = istd;
+    for (int64_t j = 0; j < n; ++j) {
+      const float xh = (row[j] - static_cast<float>(mean)) * istd;
+      xhat.at(i, j) = xh;
+      out.at(i, j) = pg[j] * xh + pb[j];
+    }
+  }
+
+  auto node = MakeNode(std::move(out), {x, gamma, beta});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* xn = x.node_ptr().get();
+    Node* gn = gamma.node_ptr().get();
+    Node* bn = beta.node_ptr().get();
+    Tensor gamma_val = gamma.value();
+    node->backward_fn = [nd, xn, gn, bn, xhat, inv_std, gamma_val, m, n]() {
+      const float* g = nd->grad.data();
+      const float* xh = xhat.data();
+      const float* pg = gamma_val.data();
+      if (gn->requires_grad || bn->requires_grad) {
+        Tensor dgamma({n});
+        Tensor dbeta({n});
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            dgamma.at(j) += g[i * n + j] * xh[i * n + j];
+            dbeta.at(j) += g[i * n + j];
+          }
+        }
+        if (gn->requires_grad) gn->AccumulateGrad(dgamma);
+        if (bn->requires_grad) bn->AccumulateGrad(dbeta);
+      }
+      if (xn->requires_grad) {
+        // dx = inv_std/n * (n*dy_hat - sum(dy_hat) - xhat*sum(dy_hat*xhat))
+        // with dy_hat = g * gamma, per row.
+        Tensor dx({m, n});
+        for (int64_t i = 0; i < m; ++i) {
+          double sum_dyh = 0.0;
+          double sum_dyh_xh = 0.0;
+          for (int64_t j = 0; j < n; ++j) {
+            const float dyh = g[i * n + j] * pg[j];
+            sum_dyh += dyh;
+            sum_dyh_xh += double(dyh) * xh[i * n + j];
+          }
+          const float istd = inv_std.at(i);
+          const float inv_n = 1.f / static_cast<float>(n);
+          for (int64_t j = 0; j < n; ++j) {
+            const float dyh = g[i * n + j] * pg[j];
+            dx.at(i, j) =
+                istd * (dyh - inv_n * static_cast<float>(sum_dyh) -
+                        xh[i * n + j] * inv_n * static_cast<float>(sum_dyh_xh));
+          }
+        }
+        xn->AccumulateGrad(dx);
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SoftmaxRowsV(const Variable& logits) {
+  Tensor probs = SoftmaxRows(logits.value());
+  auto node = MakeNode(probs, {logits});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* ln = logits.node_ptr().get();
+    Tensor p = probs;  // aliases node->value
+    node->backward_fn = [nd, ln, p]() {
+      const int64_t m = p.dim(0);
+      const int64_t n = p.dim(1);
+      Tensor dlogits({m, n});
+      const float* g = nd->grad.data();
+      const float* pp = p.data();
+      for (int64_t i = 0; i < m; ++i) {
+        double dot = 0.0;
+        for (int64_t j = 0; j < n; ++j) dot += double(g[i * n + j]) * pp[i * n + j];
+        for (int64_t j = 0; j < n; ++j) {
+          dlogits.at(i, j) =
+              pp[i * n + j] * (g[i * n + j] - static_cast<float>(dot));
+        }
+      }
+      ln->AccumulateGrad(dlogits);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable RowDotV(const Variable& a, const Variable& b) {
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
+  CL4SREC_CHECK(av.SameShape(bv));
+  CL4SREC_CHECK_EQ(av.ndim(), 2);
+  const int64_t m = av.dim(0);
+  const int64_t d = av.dim(1);
+  Tensor out({m});
+  const float* pa = av.data();
+  const float* pb = bv.data();
+  for (int64_t i = 0; i < m; ++i) {
+    double dot = 0.0;
+    for (int64_t j = 0; j < d; ++j) dot += double(pa[i * d + j]) * pb[i * d + j];
+    out.at(i) = static_cast<float>(dot);
+  }
+  auto node = MakeNode(std::move(out), {a, b});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* an = a.node_ptr().get();
+    Node* bn = b.node_ptr().get();
+    Tensor a_val = av;
+    Tensor b_val = bv;
+    node->backward_fn = [nd, an, bn, a_val, b_val, m, d]() {
+      const float* g = nd->grad.data();
+      if (an->requires_grad) {
+        Tensor da({m, d});
+        const float* pb2 = b_val.data();
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < d; ++j) da.at(i, j) = g[i] * pb2[i * d + j];
+        }
+        an->AccumulateGrad(da);
+      }
+      if (bn->requires_grad) {
+        Tensor db({m, d});
+        const float* pa2 = a_val.data();
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < d; ++j) db.at(i, j) = g[i] * pa2[i * d + j];
+        }
+        bn->AccumulateGrad(db);
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable L2NormalizeRowsV(const Variable& a, float eps) {
+  Tensor norms;
+  Tensor normalized = L2NormalizeRows(a.value(), eps, &norms);
+  auto node = MakeNode(normalized, {a});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* an = a.node_ptr().get();
+    Tensor y = normalized;  // aliases node->value
+    node->backward_fn = [nd, an, y, norms]() {
+      // dx = (g - y * (g . y)) / ||x|| per row.
+      const int64_t m = y.dim(0);
+      const int64_t n = y.dim(1);
+      Tensor dx({m, n});
+      const float* g = nd->grad.data();
+      const float* py = y.data();
+      for (int64_t i = 0; i < m; ++i) {
+        double dot = 0.0;
+        for (int64_t j = 0; j < n; ++j) dot += double(g[i * n + j]) * py[i * n + j];
+        const float inv = 1.f / norms.at(i);
+        for (int64_t j = 0; j < n; ++j) {
+          dx.at(i, j) =
+              (g[i * n + j] - py[i * n + j] * static_cast<float>(dot)) * inv;
+        }
+      }
+      an->AccumulateGrad(dx);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SoftmaxCrossEntropyV(const Variable& logits,
+                              const std::vector<int64_t>& targets) {
+  const Tensor& lv = logits.value();
+  CL4SREC_CHECK_EQ(lv.ndim(), 2);
+  const int64_t m = lv.dim(0);
+  const int64_t c = lv.dim(1);
+  CL4SREC_CHECK_EQ(static_cast<int64_t>(targets.size()), m);
+  Tensor log_probs = LogSoftmaxRows(lv);
+  double loss = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t t = targets[static_cast<size_t>(i)];
+    CL4SREC_CHECK_GE(t, 0);
+    CL4SREC_CHECK_LT(t, c);
+    loss -= log_probs.at(i, t);
+  }
+  loss /= m;
+  auto node = MakeNode(Tensor::Scalar(static_cast<float>(loss)), {logits});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* ln = logits.node_ptr().get();
+    node->backward_fn = [nd, ln, log_probs, targets, m, c]() {
+      const float scale = nd->grad.at(0) / static_cast<float>(m);
+      Tensor dlogits({m, c});
+      const float* lp = log_probs.data();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < c; ++j) {
+          dlogits.at(i, j) = scale * std::exp(lp[i * c + j]);
+        }
+        dlogits.at(i, targets[static_cast<size_t>(i)]) -= scale;
+      }
+      ln->AccumulateGrad(dlogits);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable BceWithLogitsV(const Variable& logits, const Tensor& labels,
+                        const Tensor& weights) {
+  const Tensor& lv = logits.value();
+  CL4SREC_CHECK_EQ(lv.ndim(), 1);
+  const int64_t m = lv.dim(0);
+  CL4SREC_CHECK_EQ(labels.numel(), m);
+  const bool weighted = !weights.empty();
+  if (weighted) CL4SREC_CHECK_EQ(weights.numel(), m);
+
+  const float* x = lv.data();
+  const float* y = labels.data();
+  double weight_sum = 0.0;
+  double loss = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    const float w = weighted ? weights.data()[i] : 1.f;
+    weight_sum += w;
+    // Numerically stable: max(x,0) - x*y + log(1 + exp(-|x|)).
+    const float xi = x[i];
+    const float term = std::max(xi, 0.f) - xi * y[i] +
+                       std::log1p(std::exp(-std::fabs(xi)));
+    loss += double(w) * term;
+  }
+  const double denom = std::max(weight_sum, 1.0);
+  loss /= denom;
+  auto node = MakeNode(Tensor::Scalar(static_cast<float>(loss)), {logits});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* ln = logits.node_ptr().get();
+    Tensor labels_copy = labels;
+    Tensor weights_copy = weights;
+    const float inv_denom = static_cast<float>(1.0 / denom);
+    node->backward_fn = [nd, ln, labels_copy, weights_copy, weighted, m,
+                         inv_denom]() {
+      const float g = nd->grad.at(0);
+      Tensor dx({m});
+      const Tensor& lv2 = ln->value;
+      const float* x2 = lv2.data();
+      const float* y2 = labels_copy.data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float w = weighted ? weights_copy.data()[i] : 1.f;
+        const float sig = 1.f / (1.f + std::exp(-x2[i]));
+        dx.at(i) = g * w * (sig - y2[i]) * inv_denom;
+      }
+      ln->AccumulateGrad(dx);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,96 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace cl4srec {
+
+using autograd_internal::Node;
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::FromNode(std::shared_ptr<Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+const Tensor& Variable::value() const {
+  CL4SREC_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  CL4SREC_CHECK(defined());
+  return node_->value;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+const Tensor& Variable::grad() const {
+  CL4SREC_CHECK(defined());
+  CL4SREC_CHECK(node_->requires_grad) << "grad() on non-differentiable variable";
+  return node_->EnsureGrad();
+}
+
+bool Variable::has_grad() const { return defined() && node_->has_grad; }
+
+void Variable::ZeroGrad() {
+  CL4SREC_CHECK(defined());
+  node_->has_grad = false;
+  node_->grad = Tensor();
+}
+
+void Variable::AccumulateGrad(const Tensor& g) const {
+  CL4SREC_CHECK(defined());
+  node_->AccumulateGrad(g);
+}
+
+void Variable::Backward() const {
+  CL4SREC_CHECK(defined());
+  CL4SREC_CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() requires a scalar loss";
+  // Iterative post-order DFS to produce a topological order of the subgraph
+  // that requires gradients.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  if (node_->requires_grad) {
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_input < frame.node->inputs.size()) {
+      Node* child = frame.node->inputs[frame.next_input++].get();
+      if (child != nullptr && child->requires_grad &&
+          visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  // Seed d(loss)/d(loss) = 1 and run the tape in reverse topological order.
+  node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->has_grad) node->backward_fn();
+  }
+}
+
+void ZeroGradAll(const std::vector<Variable*>& params) {
+  for (Variable* p : params) p->ZeroGrad();
+}
+
+}  // namespace cl4srec

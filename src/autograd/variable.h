@@ -1,0 +1,71 @@
+// Variable: a Tensor tracked by the reverse-mode autodiff tape.
+//
+// Variables are cheap handles (shared_ptr to a graph node). Ops over
+// Variables (autograd/ops.h) record backward closures; calling Backward()
+// on a scalar result accumulates gradients into every reachable Variable
+// with requires_grad set. Typical training-step flow:
+//
+//   Variable loss = ...ops over parameters and inputs...;
+//   ZeroGradTree(params);
+//   loss.Backward();
+//   optimizer.Step(params);
+
+#ifndef CL4SREC_AUTOGRAD_VARIABLE_H_
+#define CL4SREC_AUTOGRAD_VARIABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/node.h"
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+
+class Variable {
+ public:
+  // An undefined Variable; defined() is false.
+  Variable() = default;
+
+  // Wraps a tensor. Set requires_grad for trainable parameters; leave false
+  // for constant inputs (masks, data).
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  // Mutable access for optimizers (updates parameters in place without
+  // creating graph nodes).
+  Tensor& mutable_value();
+
+  bool requires_grad() const;
+
+  // The accumulated gradient. CHECK-fails unless requires_grad; returns a
+  // zero tensor if Backward has not reached this variable.
+  const Tensor& grad() const;
+  bool has_grad() const;
+
+  // Clears this variable's gradient.
+  void ZeroGrad();
+
+  // Runs reverse-mode accumulation from this (scalar, single-element)
+  // variable through the recorded tape.
+  void Backward() const;
+
+  // Directly adds `g` to this variable's gradient (used by fused ops and
+  // tests).
+  void AccumulateGrad(const Tensor& g) const;
+
+  // ---- Op-author API ----
+  std::shared_ptr<autograd_internal::Node> node_ptr() const { return node_; }
+  static Variable FromNode(std::shared_ptr<autograd_internal::Node> node);
+
+ private:
+  std::shared_ptr<autograd_internal::Node> node_;
+};
+
+// Zeroes the gradients of all variables in `params`.
+void ZeroGradAll(const std::vector<Variable*>& params);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,211 @@
+#include "core/cl4srec.h"
+
+#include <algorithm>
+
+#include "core/nt_xent.h"
+#include "data/batcher.h"
+#include "models/training_utils.h"
+#include "optim/optimizer.h"
+
+namespace cl4srec {
+
+Cl4SRec::Cl4SRec(const Cl4SRecConfig& config)
+    : config_(config), sasrec_(config.encoder) {
+  CL4SREC_CHECK(!config_.augmentations.empty());
+}
+
+void Cl4SRec::BuildAugmenter(const SequenceDataset& data) {
+  AugmentationContext context;
+  context.mask_id = sasrec_.encoder()->config().mask_id();
+  const bool needs_similarity = std::any_of(
+      config_.augmentations.begin(), config_.augmentations.end(),
+      [](const AugmentationOp& op) {
+        return op.kind == AugmentationKind::kSubstitute ||
+               op.kind == AugmentationKind::kInsert;
+      });
+  if (needs_similarity) {
+    std::vector<std::vector<int64_t>> sequences;
+    sequences.reserve(static_cast<size_t>(data.num_users()));
+    for (int64_t u = 0; u < data.num_users(); ++u) {
+      sequences.push_back(data.TrainSequence(u));
+    }
+    similarity_ = std::make_unique<ItemCoCounts>(
+        ItemCoCounts::Build(sequences, data.num_items()));
+    context.similarity = similarity_.get();
+  }
+  augmenter_ = std::make_unique<Augmenter>(config_.augmentations, context);
+}
+
+Variable Cl4SRec::ContrastiveLoss(const std::vector<ItemSequence>& sequences,
+                                  int64_t max_len, Rng* rng) {
+  // Two correlated views per sequence, interleaved so rows (2i, 2i+1) are
+  // user i's positive pair.
+  std::vector<ItemSequence> views;
+  views.reserve(2 * sequences.size());
+  for (const ItemSequence& seq : sequences) {
+    auto [first, second] = augmenter_->TwoViews(seq, rng);
+    views.push_back(std::move(first));
+    views.push_back(std::move(second));
+  }
+  PaddedBatch batch = PackSequences(views, max_len);
+  ForwardContext ctx{.training = true, .rng = rng};
+  Variable reps = sasrec_.encoder()->EncodeLast(batch, ctx);  // [2N, d]
+  Variable projected = projection_->Forward(reps);            // g(f(s))
+  return NtXentLoss(projected, config_.temperature);
+}
+
+double Cl4SRec::Pretrain(const SequenceDataset& data,
+                         const TrainOptions& raw_options) {
+  TrainOptions options = raw_options;
+  if (config_.pretrain_batch_size > 0) {
+    options.batch_size = config_.pretrain_batch_size;
+  }
+  sasrec_.EnsureEncoder(data, options);
+  Rng rng(options.seed + 17);
+  BuildAugmenter(data);
+  if (projection_ == nullptr) {
+    const int64_t d = sasrec_.encoder()->config().hidden_dim;
+    projection_ = std::make_unique<Linear>(d, d, &rng);
+  }
+
+  std::vector<Variable*> params = sasrec_.encoder()->Parameters();
+  for (Variable* p : projection_->Parameters()) params.push_back(p);
+  Adam optimizer(params, AdamOptions{.lr = options.lr});
+  int64_t trainable_users = 0;
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    if (data.TrainSequence(u).size() >= 2) ++trainable_users;
+  }
+  const int64_t steps_per_epoch = std::max<int64_t>(
+      1, (trainable_users + options.batch_size - 1) / options.batch_size);
+  LinearDecaySchedule schedule(steps_per_epoch * config_.pretrain_epochs,
+                               options.lr_decay_final);
+
+  double last_epoch_loss = 0.0;
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      if (users.size() < 2) continue;  // NT-Xent needs in-batch negatives.
+      Variable loss = ContrastiveLoss(TrainSequencesOf(data, users),
+                                      options.max_len, &rng);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(optimizer.params(), options.grad_clip);
+      schedule.Apply(&optimizer, step++);
+      optimizer.Step();
+      epoch_loss += loss.value().at(0);
+      ++batches;
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    if (options.verbose) {
+      CL4SREC_LOG(Info) << name() << " pretrain epoch " << epoch + 1 << "/"
+                        << config_.pretrain_epochs << " loss "
+                        << last_epoch_loss;
+    }
+  }
+  return last_epoch_loss;
+}
+
+void Cl4SRec::JointFit(const SequenceDataset& data,
+                       const TrainOptions& options) {
+  // Multi-task variant (ICDE'22): every step optimizes
+  // L = L_next-item + joint_weight * L_cl on the same batch of users.
+  sasrec_.EnsureEncoder(data, options);
+  Rng rng(options.seed + 17);
+  BuildAugmenter(data);
+  if (projection_ == nullptr) {
+    const int64_t d = sasrec_.encoder()->config().hidden_dim;
+    projection_ = std::make_unique<Linear>(d, d, &rng);
+  }
+  std::vector<Variable*> params = sasrec_.encoder()->Parameters();
+  for (Variable* p : projection_->Parameters()) params.push_back(p);
+  Adam optimizer(params, AdamOptions{.lr = options.lr});
+  int64_t trainable_users = 0;
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    if (data.TrainSequence(u).size() >= 2) ++trainable_users;
+  }
+  const int64_t steps_per_epoch = std::max<int64_t>(
+      1, (trainable_users + options.batch_size - 1) / options.batch_size);
+  LinearDecaySchedule schedule(steps_per_epoch * options.epochs,
+                               options.lr_decay_final);
+  EarlyStopper stopper(options.patience);
+  ParameterSnapshot best;
+
+  TransformerSeqEncoder* encoder = sasrec_.encoder();
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      NextItemBatch batch = MakeNextItemBatch(data, users, options.max_len, &rng);
+      const int64_t t_count = batch.inputs.seq_len;
+      ForwardContext ctx{.training = true, .rng = &rng};
+      Variable hidden = encoder->EncodeAll(batch.inputs, ctx);
+      std::vector<int64_t> rows;
+      std::vector<int64_t> positives;
+      std::vector<int64_t> negatives;
+      for (int64_t b = 0; b < batch.inputs.batch; ++b) {
+        for (int64_t t = 0; t < t_count; ++t) {
+          const int64_t flat = b * t_count + t;
+          const int64_t target = batch.targets[static_cast<size_t>(flat)];
+          if (target == 0) continue;
+          rows.push_back(flat);
+          positives.push_back(target);
+          negatives.push_back(batch.negatives[static_cast<size_t>(flat)]);
+        }
+      }
+      if (rows.empty()) continue;
+      Variable states = GatherRowsV(hidden, rows);
+      Variable pos_scores =
+          RowDotV(states, encoder->item_embedding().Forward(positives));
+      Variable neg_scores =
+          RowDotV(states, encoder->item_embedding().Forward(negatives));
+      const auto m = static_cast<int64_t>(rows.size());
+      Variable all_scores = ReshapeV(
+          ConcatRowsV({ReshapeV(pos_scores, {m, 1}), ReshapeV(neg_scores, {m, 1})}),
+          {2 * m});
+      Tensor labels({2 * m});
+      for (int64_t i = 0; i < m; ++i) labels.at(i) = 1.f;
+      Variable loss = BceWithLogitsV(all_scores, labels);
+      if (users.size() >= 2) {
+        Variable cl = ContrastiveLoss(TrainSequencesOf(data, users),
+                                      options.max_len, &rng);
+        loss = AddV(loss, ScaleV(cl, config_.joint_weight));
+      }
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(optimizer.params(), options.grad_clip);
+      schedule.Apply(&optimizer, step++);
+      optimizer.Step();
+      epoch_loss += loss.value().at(0);
+      ++batches;
+    }
+    if (options.verbose && batches > 0) {
+      CL4SREC_LOG(Info) << name() << " joint epoch " << epoch + 1 << "/"
+                        << options.epochs << " loss " << epoch_loss / batches;
+    }
+    if (options.eval_every > 0 && (epoch + 1) % options.eval_every == 0) {
+      const MetricReport report = Evaluate(data, EvalSplit::kValidation);
+      if (stopper.Update(report.hr.at(10))) {
+        best = ParameterSnapshot::Capture(params);
+      }
+      if (options.verbose) {
+        CL4SREC_LOG(Info) << name() << " valid " << report.ToString();
+      }
+      if (stopper.ShouldStop()) break;
+    }
+  }
+  if (!best.empty()) best.Restore(params);
+}
+
+void Cl4SRec::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  if (config_.joint_weight > 0.f) {
+    JointFit(data, options);
+    return;
+  }
+  Pretrain(data, options);
+  Finetune(data, options);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,97 @@
+// CL4SRec — the paper's contribution (§3): contrastive pre-training of the
+// SASRec-style user representation encoder, followed by supervised
+// fine-tuning.
+//
+// Pre-training (§3.2): each user's training sequence is transformed by two
+// operators sampled from the augmentation set (crop / mask / reorder) into
+// two views; both views are encoded by the shared transformer f(.), mapped
+// by a linear projection head g(.), and optimized with the NT-Xent loss
+// (Eq. 3). The projection head is discarded afterwards (§3.2.3).
+//
+// Fine-tuning (§3.5): the pre-trained encoder is trained with the standard
+// SASRec next-item objective (Eq. 15).
+//
+// As an extension beyond the preprint (matching the published ICDE'22
+// CL4SRec), `joint_weight > 0` switches to multi-task training where the
+// contrastive loss is added to every supervised step instead of running as
+// a separate stage: L = L_next-item + joint_weight * L_cl.
+
+#ifndef CL4SREC_CORE_CL4SREC_H_
+#define CL4SREC_CORE_CL4SREC_H_
+
+#include <memory>
+
+#include "augment/augmentations.h"
+#include "models/sasrec.h"
+
+namespace cl4srec {
+
+struct Cl4SRecConfig {
+  SasRecConfig encoder;
+  // Augmentation set A. One op reproduces the single-augmentation study
+  // (RQ2); two distinct ops reproduce the composition study (RQ3).
+  std::vector<AugmentationOp> augmentations = {
+      {AugmentationKind::kMask, 0.5}};
+  // Softmax temperature tau (Eq. 3). 0.2 was best in our ablation
+  // (bench_ablation_core); SimCLR-style values in [0.1, 0.5] all work.
+  float temperature = 0.2f;
+  int64_t pretrain_epochs = 10;
+  // Batch size for the contrastive stage only; larger batches mean more
+  // in-batch negatives (2(N-1)) and measurably better representations.
+  // 0 = use TrainOptions::batch_size.
+  int64_t pretrain_batch_size = 256;
+  // 0 = paper's two-stage pre-train->fine-tune; >0 = joint multi-task
+  // training with this contrastive weight (ICDE'22 variant).
+  float joint_weight = 0.f;
+};
+
+class Cl4SRec : public Recommender {
+ public:
+  explicit Cl4SRec(const Cl4SRecConfig& config = {});
+
+  std::string name() const override { return "CL4SRec"; }
+
+  // Pre-trains with the contrastive objective, then fine-tunes (or trains
+  // jointly when joint_weight > 0).
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override {
+    return sasrec_.ScoreBatch(users, inputs);
+  }
+
+  // Stage 1 only: contrastive pre-training of the encoder (exposed for the
+  // examples and for diagnostics). Returns the final epoch's mean loss.
+  double Pretrain(const SequenceDataset& data, const TrainOptions& options);
+
+  // Stage 2 only: supervised fine-tuning with Eq. 15.
+  void Finetune(const SequenceDataset& data, const TrainOptions& options) {
+    sasrec_.EnsureEncoder(data, options);
+    sasrec_.TrainSupervised(data, options);
+  }
+
+  SasRec& sasrec() { return sasrec_; }
+  const Cl4SRecConfig& config() const { return config_; }
+
+ private:
+  // One contrastive step over a batch of raw sequences; returns the loss
+  // Variable (graph retained until Backward).
+  Variable ContrastiveLoss(const std::vector<ItemSequence>& sequences,
+                           int64_t max_len, Rng* rng);
+
+  // Creates augmenter_ (and, when substitute/insert operators are
+  // configured, the co-occurrence similarity model they need).
+  void BuildAugmenter(const SequenceDataset& data);
+
+  void JointFit(const SequenceDataset& data, const TrainOptions& options);
+
+  Cl4SRecConfig config_;
+  SasRec sasrec_;
+  std::unique_ptr<ItemCoCounts> similarity_;
+  std::unique_ptr<Augmenter> augmenter_;
+  std::unique_ptr<Linear> projection_;  // g(.), pre-training only
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_CORE_CL4SREC_H_

@@ -1,0 +1,51 @@
+#include "core/nt_xent.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+Variable NtXentLoss(const Variable& reps, float temperature) {
+  const int64_t rows = reps.value().dim(0);
+  CL4SREC_CHECK_GE(rows, 4) << "NT-Xent needs at least two users (4 views)";
+  CL4SREC_CHECK_EQ(rows % 2, 0);
+  CL4SREC_CHECK_GT(temperature, 0.f);
+
+  // Cosine similarity matrix: normalize rows, then Z Z^T, scaled by 1/tau.
+  Variable z = L2NormalizeRowsV(reps);
+  Variable logits = ScaleV(MatMulV(z, z, false, /*trans_b=*/true),
+                           1.f / temperature);
+  // Remove self-similarity from every anchor's candidate set.
+  Tensor diag_mask({rows, rows});
+  for (int64_t i = 0; i < rows; ++i) diag_mask.at(i, i) = -1e9f;
+  logits = AddV(logits, Constant(std::move(diag_mask)));
+
+  // Anchor 2i's positive is 2i+1 and vice versa.
+  std::vector<int64_t> targets(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    targets[static_cast<size_t>(i)] = (i % 2 == 0) ? i + 1 : i - 1;
+  }
+  return SoftmaxCrossEntropyV(logits, targets);
+}
+
+float ContrastiveAccuracy(const Tensor& reps) {
+  const int64_t rows = reps.dim(0);
+  Tensor z = L2NormalizeRows(reps);
+  Tensor sim = MatMul(z, z, false, /*trans_b=*/true);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t positive = (i % 2 == 0) ? i + 1 : i - 1;
+    float best = -1e30f;
+    int64_t best_j = -1;
+    for (int64_t j = 0; j < rows; ++j) {
+      if (j == i) continue;
+      if (sim.at(i, j) > best) {
+        best = sim.at(i, j);
+        best_j = j;
+      }
+    }
+    if (best_j == positive) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(rows);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,26 @@
+// NT-Xent contrastive loss (paper Eq. 3, following SimCLR).
+//
+// Given a batch of N users, each contributing two augmented views, the
+// representations are stacked as [2N, d] with rows (2i, 2i+1) forming the
+// positive pair for user i. For each anchor, the other 2(N-1) views in the
+// batch are the negatives. Similarity is cosine; logits are divided by the
+// temperature tau before softmax cross entropy.
+
+#ifndef CL4SREC_CORE_NT_XENT_H_
+#define CL4SREC_CORE_NT_XENT_H_
+
+#include "autograd/ops.h"
+
+namespace cl4srec {
+
+// reps: [2N, d], N >= 2. Returns the scalar mean NT-Xent loss over all 2N
+// anchors.
+Variable NtXentLoss(const Variable& reps, float temperature);
+
+// Fraction of anchors whose positive partner has the highest similarity
+// among all candidates (a diagnostic, not part of the loss).
+float ContrastiveAccuracy(const Tensor& reps);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_CORE_NT_XENT_H_

@@ -1,0 +1,72 @@
+#include "data/batcher.h"
+
+#include <numeric>
+
+namespace cl4srec {
+
+std::vector<std::vector<int64_t>> MakeEpochBatches(const SequenceDataset& data,
+                                                   int64_t batch_size,
+                                                   Rng* rng) {
+  CL4SREC_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> users;
+  users.reserve(static_cast<size_t>(data.num_users()));
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    if (data.TrainSequence(u).size() >= 2) users.push_back(u);
+  }
+  rng->Shuffle(users.begin(), users.end());
+  std::vector<std::vector<int64_t>> batches;
+  for (size_t start = 0; start < users.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(users.size(), start + static_cast<size_t>(batch_size));
+    batches.emplace_back(users.begin() + static_cast<int64_t>(start),
+                         users.begin() + static_cast<int64_t>(end));
+  }
+  return batches;
+}
+
+NextItemBatch MakeNextItemBatch(const SequenceDataset& data,
+                                const std::vector<int64_t>& users,
+                                int64_t max_len, Rng* rng) {
+  NextItemBatch batch;
+  std::vector<std::vector<int64_t>> inputs;
+  inputs.reserve(users.size());
+  std::vector<std::vector<int64_t>> targets;
+  targets.reserve(users.size());
+  for (int64_t u : users) {
+    const auto& seq = data.TrainSequence(u);
+    CL4SREC_CHECK_GE(seq.size(), 2u);
+    inputs.emplace_back(seq.begin(), seq.end() - 1);
+    targets.emplace_back(seq.begin() + 1, seq.end());
+  }
+  batch.inputs = PackSequences(inputs, max_len);
+
+  const int64_t b_count = batch.inputs.batch;
+  const int64_t t_count = batch.inputs.seq_len;
+  batch.targets.assign(static_cast<size_t>(b_count * t_count), 0);
+  batch.negatives.assign(static_cast<size_t>(b_count * t_count), 0);
+  for (int64_t b = 0; b < b_count; ++b) {
+    const auto& tgt = targets[static_cast<size_t>(b)];
+    const int64_t n = static_cast<int64_t>(tgt.size());
+    const int64_t take = std::min(n, t_count);
+    const int64_t dst0 = b * t_count + (t_count - take);
+    const int64_t src0 = n - take;
+    for (int64_t i = 0; i < take; ++i) {
+      batch.targets[static_cast<size_t>(dst0 + i)] =
+          tgt[static_cast<size_t>(src0 + i)];
+      batch.negatives[static_cast<size_t>(dst0 + i)] =
+          data.SampleNegative(users[static_cast<size_t>(b)], rng);
+    }
+  }
+  return batch;
+}
+
+std::vector<std::vector<int64_t>> TrainSequencesOf(
+    const SequenceDataset& data, const std::vector<int64_t>& users) {
+  std::vector<std::vector<int64_t>> sequences;
+  sequences.reserve(users.size());
+  for (int64_t u : users) sequences.push_back(data.TrainSequence(u));
+  return sequences;
+}
+
+}  // namespace cl4srec

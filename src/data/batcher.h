@@ -1,0 +1,42 @@
+// Mini-batch construction for next-item training and evaluation.
+
+#ifndef CL4SREC_DATA_BATCHER_H_
+#define CL4SREC_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/padded_batch.h"
+
+namespace cl4srec {
+
+// One supervised next-item batch (paper Eq. 15): for a training sequence
+// [v1..vn] the encoder input is [v1..v(n-1)] and the per-position target is
+// the next item [v2..vn]. `targets` / `negatives` align with `inputs.ids`
+// (0 at padded positions).
+struct NextItemBatch {
+  PaddedBatch inputs;
+  std::vector<int64_t> targets;
+  std::vector<int64_t> negatives;
+};
+
+// Users shuffled into batches of at most `batch_size`; users whose training
+// sequence is shorter than 2 (can't form an input/target pair) are skipped.
+std::vector<std::vector<int64_t>> MakeEpochBatches(const SequenceDataset& data,
+                                                   int64_t batch_size,
+                                                   Rng* rng);
+
+// Builds the padded inputs, aligned targets, and uniformly sampled negatives
+// (avoiding each user's history) for one batch of users.
+NextItemBatch MakeNextItemBatch(const SequenceDataset& data,
+                                const std::vector<int64_t>& users,
+                                int64_t max_len, Rng* rng);
+
+// Raw training sequences for a batch of users (used by the contrastive
+// pre-training stage, which augments them itself).
+std::vector<std::vector<int64_t>> TrainSequencesOf(
+    const SequenceDataset& data, const std::vector<int64_t>& users);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DATA_BATCHER_H_

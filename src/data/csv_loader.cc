@@ -1,0 +1,67 @@
+#include "data/csv_loader.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace cl4srec {
+
+StatusOr<InteractionLog> LoadInteractionsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  InteractionLog log;
+  std::string line;
+  bool first = true;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    auto fields = Split(trimmed, ',');
+    if (fields.size() < 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected at least 3 columns", path.c_str(),
+                    line_number));
+    }
+    if (first) {
+      first = false;
+      // Header detection: if the first column is not numeric, skip the row.
+      if (!ParseInt64(fields[0]).ok()) continue;
+    }
+    auto user = ParseInt64(fields[0]);
+    auto item = ParseInt64(fields[1]);
+    auto timestamp = ParseInt64(fields[2]);
+    if (!user.ok() || !item.ok() || !timestamp.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: malformed row", path.c_str(), line_number));
+    }
+    Interaction event;
+    event.user = *user;
+    event.item = *item;
+    event.timestamp = *timestamp;
+    if (fields.size() >= 4) {
+      auto rating = ParseDouble(fields[3]);
+      if (!rating.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: malformed rating", path.c_str(), line_number));
+      }
+      event.rating = static_cast<float>(*rating);
+    }
+    log.push_back(event);
+  }
+  return log;
+}
+
+Status SaveInteractionsCsv(const std::string& path, const InteractionLog& log) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "user,item,timestamp,rating\n";
+  for (const Interaction& event : log) {
+    out << event.user << ',' << event.item << ',' << event.timestamp << ','
+        << event.rating << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace cl4srec

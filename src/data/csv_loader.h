@@ -1,0 +1,23 @@
+// Loads an interaction log from a CSV file with columns
+// user,item,timestamp[,rating]. A header row is auto-detected. This is the
+// entry point for running the pipeline on real datasets (e.g. the Amazon
+// review dumps converted to CSV).
+
+#ifndef CL4SREC_DATA_CSV_LOADER_H_
+#define CL4SREC_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "data/interaction.h"
+#include "util/status.h"
+
+namespace cl4srec {
+
+StatusOr<InteractionLog> LoadInteractionsCsv(const std::string& path);
+
+// Writes a log back out (used by tests and the custom-dataset example).
+Status SaveInteractionsCsv(const std::string& path, const InteractionLog& log);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DATA_CSV_LOADER_H_

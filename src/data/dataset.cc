@@ -1,0 +1,99 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+
+std::string DatasetStats::ToString() const {
+  return StrFormat(
+      "users=%lld items=%lld actions=%lld avg_length=%.1f density=%.2f%%",
+      static_cast<long long>(num_users), static_cast<long long>(num_items),
+      static_cast<long long>(num_actions), avg_length, density * 100.0);
+}
+
+SequenceDataset::SequenceDataset(SequenceCorpus corpus)
+    : num_items_(corpus.num_items) {
+  for (auto& seq : corpus.sequences) {
+    if (seq.size() < 3) continue;
+    const size_t n = seq.size();
+    test_target_.push_back(seq[n - 1]);
+    valid_target_.push_back(seq[n - 2]);
+    std::unordered_set<int64_t> seen(seq.begin(), seq.end());
+    seen_.push_back(std::move(seen));
+    full_.push_back(seq);
+    seq.resize(n - 2);
+    train_.push_back(std::move(seq));
+  }
+}
+
+const std::vector<int64_t>& SequenceDataset::TrainSequence(int64_t u) const {
+  return train_[static_cast<size_t>(u)];
+}
+
+int64_t SequenceDataset::ValidTarget(int64_t u) const {
+  return valid_target_[static_cast<size_t>(u)];
+}
+
+std::vector<int64_t> SequenceDataset::TestInput(int64_t u) const {
+  std::vector<int64_t> input = train_[static_cast<size_t>(u)];
+  input.push_back(valid_target_[static_cast<size_t>(u)]);
+  return input;
+}
+
+int64_t SequenceDataset::TestTarget(int64_t u) const {
+  return test_target_[static_cast<size_t>(u)];
+}
+
+const std::unordered_set<int64_t>& SequenceDataset::SeenItems(int64_t u) const {
+  return seen_[static_cast<size_t>(u)];
+}
+
+int64_t SequenceDataset::SampleNegative(int64_t u, Rng* rng) const {
+  const auto& seen = seen_[static_cast<size_t>(u)];
+  CL4SREC_CHECK_LT(static_cast<int64_t>(seen.size()), num_items_)
+      << "user has interacted with every item";
+  while (true) {
+    const int64_t candidate = rng->UniformInt(1, num_items_);
+    if (!seen.contains(candidate)) return candidate;
+  }
+}
+
+DatasetStats SequenceDataset::Stats() const {
+  DatasetStats stats;
+  stats.num_users = num_users();
+  stats.num_items = num_items_;
+  for (const auto& seq : full_) {
+    stats.num_actions += static_cast<int64_t>(seq.size());
+  }
+  if (stats.num_users > 0) {
+    stats.avg_length =
+        static_cast<double>(stats.num_actions) / stats.num_users;
+  }
+  if (stats.num_users > 0 && stats.num_items > 0) {
+    stats.density = static_cast<double>(stats.num_actions) /
+                    (static_cast<double>(stats.num_users) * stats.num_items);
+  }
+  return stats;
+}
+
+SequenceDataset SequenceDataset::SubsampleTraining(double fraction,
+                                                   Rng* rng) const {
+  CL4SREC_CHECK_GT(fraction, 0.0);
+  CL4SREC_CHECK_LE(fraction, 1.0);
+  SequenceDataset subset = *this;
+  if (fraction >= 1.0) return subset;
+  std::vector<int64_t> users(static_cast<size_t>(num_users()));
+  std::iota(users.begin(), users.end(), 0);
+  rng->Shuffle(users.begin(), users.end());
+  const auto kept =
+      static_cast<size_t>(fraction * static_cast<double>(users.size()) + 0.5);
+  for (size_t i = kept; i < users.size(); ++i) {
+    subset.train_[static_cast<size_t>(users[i])].clear();
+  }
+  return subset;
+}
+
+}  // namespace cl4srec

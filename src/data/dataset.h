@@ -1,0 +1,77 @@
+// SequenceDataset: a preprocessed corpus with the paper's leave-one-out
+// split (§4.1.2). For each user:
+//   test target  = last item,
+//   valid target = second-to-last item,
+//   training     = everything before those.
+
+#ifndef CL4SREC_DATA_DATASET_H_
+#define CL4SREC_DATA_DATASET_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "data/preprocess.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+
+// Table 1-style statistics of a corpus.
+struct DatasetStats {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_actions = 0;
+  double avg_length = 0.0;
+  double density = 0.0;  // actions / (users * items)
+
+  std::string ToString() const;
+};
+
+class SequenceDataset {
+ public:
+  // Users with fewer than 3 interactions cannot produce a train/valid/test
+  // split and are dropped (5-core preprocessing normally guarantees >= 5).
+  explicit SequenceDataset(SequenceCorpus corpus);
+
+  int64_t num_users() const { return static_cast<int64_t>(train_.size()); }
+  int64_t num_items() const { return num_items_; }
+
+  // Training prefix for user u (everything but the last two items).
+  const std::vector<int64_t>& TrainSequence(int64_t u) const;
+  // Input for validation ranking: the training prefix. Target: item n-2.
+  int64_t ValidTarget(int64_t u) const;
+  // Input for test ranking: training prefix + validation item. Target: last.
+  std::vector<int64_t> TestInput(int64_t u) const;
+  int64_t TestTarget(int64_t u) const;
+
+  // All items user u interacted with (train+valid+test), for full-ranking
+  // exclusion and negative sampling.
+  const std::unordered_set<int64_t>& SeenItems(int64_t u) const;
+
+  // Uniformly samples an item id in [1, num_items] that user u has never
+  // interacted with.
+  int64_t SampleNegative(int64_t u, Rng* rng) const;
+
+  // Statistics over the full (unsplit) sequences, as in Table 1.
+  DatasetStats Stats() const;
+
+  // Simulates data sparsity (RQ4 / Figure 6): keeps the training sequences
+  // of a random `fraction` of users and truncates the rest to an empty
+  // training prefix. Validation and test targets are untouched so metrics
+  // remain comparable. fraction in (0, 1].
+  SequenceDataset SubsampleTraining(double fraction, Rng* rng) const;
+
+ private:
+  SequenceDataset() = default;
+
+  int64_t num_items_ = 0;
+  std::vector<std::vector<int64_t>> full_;     // complete sequences
+  std::vector<std::vector<int64_t>> train_;    // prefix (n-2 items)
+  std::vector<int64_t> valid_target_;
+  std::vector<int64_t> test_target_;
+  std::vector<std::unordered_set<int64_t>> seen_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DATA_DATASET_H_

@@ -1,0 +1,23 @@
+// Raw user-item interaction record, the input to the preprocessing pipeline.
+
+#ifndef CL4SREC_DATA_INTERACTION_H_
+#define CL4SREC_DATA_INTERACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cl4srec {
+
+struct Interaction {
+  int64_t user = 0;
+  int64_t item = 0;
+  int64_t timestamp = 0;
+  // Explicit rating when available; implicit-feedback logs use 1.0.
+  float rating = 1.f;
+};
+
+using InteractionLog = std::vector<Interaction>;
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DATA_INTERACTION_H_

@@ -1,0 +1,86 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+InteractionLog Binarize(const InteractionLog& log, float threshold) {
+  InteractionLog out;
+  out.reserve(log.size());
+  for (const Interaction& event : log) {
+    if (event.rating < threshold) continue;
+    Interaction binary = event;
+    binary.rating = 1.f;
+    out.push_back(binary);
+  }
+  return out;
+}
+
+InteractionLog KCoreFilter(const InteractionLog& log, int64_t min_count) {
+  CL4SREC_CHECK_GT(min_count, 0);
+  InteractionLog current = log;
+  while (true) {
+    std::unordered_map<int64_t, int64_t> user_count;
+    std::unordered_map<int64_t, int64_t> item_count;
+    for (const Interaction& event : current) {
+      ++user_count[event.user];
+      ++item_count[event.item];
+    }
+    InteractionLog next;
+    next.reserve(current.size());
+    for (const Interaction& event : current) {
+      if (user_count[event.user] >= min_count &&
+          item_count[event.item] >= min_count) {
+        next.push_back(event);
+      }
+    }
+    if (next.size() == current.size()) return current;
+    current = std::move(next);
+  }
+}
+
+SequenceCorpus BuildSequences(const InteractionLog& log) {
+  // Dense reindexing in first-appearance order keeps the result
+  // deterministic for a given log.
+  std::unordered_map<int64_t, int64_t> user_ids;
+  std::unordered_map<int64_t, int64_t> item_ids;
+  for (const Interaction& event : log) {
+    user_ids.emplace(event.user, static_cast<int64_t>(user_ids.size()));
+    // Item ids start at 1; 0 is the padding id.
+    item_ids.emplace(event.item, static_cast<int64_t>(item_ids.size()) + 1);
+  }
+
+  SequenceCorpus corpus;
+  corpus.num_items = static_cast<int64_t>(item_ids.size());
+  corpus.sequences.resize(user_ids.size());
+
+  // Group per user, then sort each user's events chronologically. A stable
+  // sort keeps the original log order for equal timestamps.
+  std::vector<std::vector<Interaction>> per_user(user_ids.size());
+  for (const Interaction& event : log) {
+    per_user[static_cast<size_t>(user_ids[event.user])].push_back(event);
+  }
+  for (size_t u = 0; u < per_user.size(); ++u) {
+    auto& events = per_user[u];
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Interaction& a, const Interaction& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    auto& seq = corpus.sequences[u];
+    seq.reserve(events.size());
+    for (const Interaction& event : events) {
+      seq.push_back(item_ids[event.item]);
+    }
+  }
+  return corpus;
+}
+
+SequenceCorpus Preprocess(const InteractionLog& log, float rating_threshold,
+                          int64_t min_count) {
+  return BuildSequences(KCoreFilter(Binarize(log, rating_threshold), min_count));
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,53 @@
+// Preprocessing pipeline matching the paper (§4.1.1):
+//  1. Binarize: any rating / review presence counts as an implicit "1".
+//  2. Sort each user's interactions chronologically.
+//  3. Iterative 5-core filtering: repeatedly drop users and items with
+//     fewer than `min_count` interactions until a fixed point.
+//  4. Reindex to dense ids: users 0..U-1, items 1..V (0 is reserved for
+//     padding inside the models).
+
+#ifndef CL4SREC_DATA_PREPROCESS_H_
+#define CL4SREC_DATA_PREPROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/interaction.h"
+
+namespace cl4srec {
+
+// Per-user chronological item-id sequences plus vocabulary size.
+struct SequenceCorpus {
+  // sequences[u] lists item ids (1-based) in interaction order.
+  std::vector<std::vector<int64_t>> sequences;
+  int64_t num_items = 0;
+
+  int64_t num_users() const { return static_cast<int64_t>(sequences.size()); }
+  int64_t num_actions() const {
+    int64_t total = 0;
+    for (const auto& s : sequences) total += static_cast<int64_t>(s.size());
+    return total;
+  }
+};
+
+// Drops interactions with rating below `threshold` and sets survivors'
+// rating to 1 (presence of a review in the Amazon datasets ships as a
+// positive rating, so the common threshold is "anything recorded").
+InteractionLog Binarize(const InteractionLog& log, float threshold = 0.f);
+
+// Iteratively removes users and items with fewer than `min_count`
+// interactions ("5-core" for min_count=5) until none remain.
+InteractionLog KCoreFilter(const InteractionLog& log, int64_t min_count = 5);
+
+// Sorts chronologically per user (stable on equal timestamps), reindexes
+// users/items densely, and emits per-user sequences. Duplicate (user,item)
+// events are kept, matching the paper's pipeline.
+SequenceCorpus BuildSequences(const InteractionLog& log);
+
+// Full pipeline: Binarize -> KCoreFilter -> BuildSequences.
+SequenceCorpus Preprocess(const InteractionLog& log, float rating_threshold = 0.f,
+                          int64_t min_count = 5);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DATA_PREPROCESS_H_

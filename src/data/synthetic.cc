@@ -1,0 +1,232 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace {
+
+// Samples a Poisson variate via Knuth's method (fine for small means).
+int64_t SamplePoisson(double mean, Rng* rng) {
+  const double limit = std::exp(-mean);
+  double product = 1.0;
+  int64_t count = 0;
+  do {
+    ++count;
+    product *= rng->Uniform();
+  } while (product > limit);
+  return count - 1;
+}
+
+// Precomputed per-cluster item lists with Zipfian sampling weights.
+struct ClusterCatalog {
+  // items[c] lists global item ids (0-based) in cluster c.
+  std::vector<std::vector<int64_t>> items;
+  // weights[c][r] is the unnormalized sampling weight of the r-th item.
+  std::vector<std::vector<double>> weights;
+  std::vector<double> weight_totals;
+
+  int64_t Sample(int64_t cluster, Rng* rng) const {
+    const auto& w = weights[static_cast<size_t>(cluster)];
+    double target =
+        rng->Uniform() * weight_totals[static_cast<size_t>(cluster)];
+    for (size_t r = 0; r < w.size(); ++r) {
+      target -= w[r];
+      if (target < 0.0) return items[static_cast<size_t>(cluster)][r];
+    }
+    return items[static_cast<size_t>(cluster)].back();
+  }
+};
+
+ClusterCatalog BuildCatalog(const SyntheticConfig& config) {
+  ClusterCatalog catalog;
+  const auto k = static_cast<size_t>(config.num_clusters);
+  catalog.items.resize(k);
+  catalog.weights.resize(k);
+  catalog.weight_totals.resize(k, 0.0);
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    catalog.items[static_cast<size_t>(i % config.num_clusters)].push_back(i);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    const size_t count = catalog.items[c].size();
+    catalog.weights[c].resize(count);
+    for (size_t r = 0; r < count; ++r) {
+      const double weight =
+          1.0 / std::pow(static_cast<double>(r + 1), config.zipf_exponent);
+      catalog.weights[c][r] = weight;
+      catalog.weight_totals[c] += weight;
+    }
+  }
+  return catalog;
+}
+
+// Cluster-level Markov chain: heavy self-transition, a directed "story"
+// edge to the next cluster, and two random weak edges. Rows are sampled as
+// categorical distributions.
+std::vector<std::vector<double>> BuildTransitions(
+    const SyntheticConfig& config, Rng* rng) {
+  const int64_t k = config.num_clusters;
+  std::vector<std::vector<double>> rows(static_cast<size_t>(k));
+  for (int64_t c = 0; c < k; ++c) {
+    auto& row = rows[static_cast<size_t>(c)];
+    row.assign(static_cast<size_t>(k), 0.0);
+    row[static_cast<size_t>(c)] += 0.35;
+    row[static_cast<size_t>((c + 1) % k)] += 0.35;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      row[static_cast<size_t>(rng->UniformInt(k))] += 0.15;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string PresetName(SyntheticPreset preset) {
+  switch (preset) {
+    case SyntheticPreset::kBeauty:
+      return "Beauty";
+    case SyntheticPreset::kSports:
+      return "Sports";
+    case SyntheticPreset::kToys:
+      return "Toys";
+    case SyntheticPreset::kYelp:
+      return "Yelp";
+  }
+  return "Unknown";
+}
+
+StatusOr<SyntheticPreset> ParsePreset(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  if (lower == "beauty") return SyntheticPreset::kBeauty;
+  if (lower == "sports") return SyntheticPreset::kSports;
+  if (lower == "toys") return SyntheticPreset::kToys;
+  if (lower == "yelp") return SyntheticPreset::kYelp;
+  return Status::InvalidArgument("unknown preset: " + name);
+}
+
+SyntheticConfig PresetConfig(SyntheticPreset preset, double scale) {
+  // Reduced-scale mirrors of Table 1; the user:item ratio, average length,
+  // and density track the paper's post-preprocessing statistics.
+  SyntheticConfig config;
+  switch (preset) {
+    case SyntheticPreset::kBeauty:
+      config.num_users = static_cast<int64_t>(1100 * scale);
+      config.num_items = static_cast<int64_t>(600 * scale);
+      config.avg_length = 8.8;
+      config.sequential_strength = 0.65;
+      config.order_noise = 0.04;  // Beauty shows the most rigid ordering (§4.3)
+      config.seed = 1001;
+      break;
+    case SyntheticPreset::kSports:
+      config.num_users = static_cast<int64_t>(1280 * scale);
+      config.num_items = static_cast<int64_t>(900 * scale);
+      config.avg_length = 8.3;
+      config.sequential_strength = 0.6;
+      config.order_noise = 0.12;
+      config.seed = 1002;
+      break;
+    case SyntheticPreset::kToys:
+      config.num_users = static_cast<int64_t>(970 * scale);
+      config.num_items = static_cast<int64_t>(600 * scale);
+      config.avg_length = 8.6;
+      config.sequential_strength = 0.62;
+      config.order_noise = 0.12;
+      config.seed = 1003;
+      break;
+    case SyntheticPreset::kYelp:
+      config.num_users = static_cast<int64_t>(1520 * scale);
+      config.num_items = static_cast<int64_t>(1000 * scale);
+      config.avg_length = 10.4;
+      config.sequential_strength = 0.55;
+      config.order_noise = 0.15;  // venue visits are the least order-rigid
+      config.seed = 1004;
+      break;
+  }
+  return config;
+}
+
+InteractionLog GenerateSyntheticLog(const SyntheticConfig& config) {
+  CL4SREC_CHECK_GT(config.num_users, 0);
+  CL4SREC_CHECK_GT(config.num_items, 0);
+  CL4SREC_CHECK_GE(config.num_clusters, 2);
+  CL4SREC_CHECK_GE(config.avg_length, 1.0);
+
+  Rng rng(config.seed);
+  const ClusterCatalog catalog = BuildCatalog(config);
+  const auto transitions = BuildTransitions(config, &rng);
+  const int64_t k = config.num_clusters;
+
+  InteractionLog log;
+  log.reserve(static_cast<size_t>(config.num_users * config.avg_length));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    // Long-term preference: three preferred clusters, 0.6/0.3/0.1. The
+    // primary cluster may drift over the sequence (preference_drift).
+    std::vector<double> preference(static_cast<size_t>(k), 0.0);
+    int64_t c1 = rng.UniformInt(k);
+    const int64_t c2 = rng.UniformInt(k);
+    const int64_t c3 = rng.UniformInt(k);
+    auto rebuild_preference = [&]() {
+      std::fill(preference.begin(), preference.end(), 0.0);
+      preference[static_cast<size_t>(c1)] += 0.6;
+      preference[static_cast<size_t>(c2)] += 0.3;
+      preference[static_cast<size_t>(c3)] += 0.1;
+    };
+    rebuild_preference();
+
+    // Sequence length: 5-core-friendly floor plus Poisson spread around the
+    // preset average.
+    const double extra = std::max(config.avg_length - 5.0, 0.5);
+    const int64_t length = 5 + SamplePoisson(extra, &rng);
+
+    std::vector<int64_t> items;
+    items.reserve(static_cast<size_t>(length));
+    int64_t cluster = rng.Categorical(preference);
+    int64_t previous_item = -1;
+    for (int64_t t = 0; t < length; ++t) {
+      if (t > 0) {
+        if (rng.Bernoulli(config.preference_drift)) {
+          c1 = rng.UniformInt(k);
+          rebuild_preference();
+        }
+        cluster = rng.Bernoulli(config.sequential_strength)
+                      ? rng.Categorical(transitions[static_cast<size_t>(cluster)])
+                      : rng.Categorical(preference);
+      }
+      int64_t item = catalog.Sample(cluster, &rng);
+      for (int attempt = 0; attempt < 8 && item == previous_item; ++attempt) {
+        item = catalog.Sample(cluster, &rng);
+      }
+      items.push_back(item);
+      previous_item = item;
+    }
+    // Flexible-order noise: swap adjacent events.
+    for (size_t t = 0; t + 1 < items.size(); ++t) {
+      if (rng.Bernoulli(config.order_noise)) std::swap(items[t], items[t + 1]);
+    }
+    for (size_t t = 0; t < items.size(); ++t) {
+      Interaction event;
+      event.user = u;
+      event.item = items[t];
+      event.timestamp = static_cast<int64_t>(t);
+      event.rating = 1.f;
+      log.push_back(event);
+    }
+  }
+  return log;
+}
+
+SequenceDataset MakeSyntheticDataset(const SyntheticConfig& config) {
+  return SequenceDataset(Preprocess(GenerateSyntheticLog(config)));
+}
+
+SequenceDataset MakeSyntheticDataset(SyntheticPreset preset, double scale,
+                                     uint64_t seed) {
+  SyntheticConfig config = PresetConfig(preset, scale);
+  if (seed != 42) config.seed = seed;
+  return MakeSyntheticDataset(config);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,148 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+
+std::string MetricReport::ToString() const {
+  std::string out;
+  for (const auto& [k, value] : hr) {
+    out += StrFormat("HR@%lld %.4f ", static_cast<long long>(k), value);
+  }
+  for (const auto& [k, value] : ndcg) {
+    out += StrFormat("NDCG@%lld %.4f ", static_cast<long long>(k), value);
+  }
+  out += StrFormat("MRR %.4f ", mrr);
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+int64_t RankOfTarget(const float* scores, int64_t num_items, int64_t target,
+                     const std::unordered_set<int64_t>& excluded) {
+  CL4SREC_CHECK_GE(target, 1);
+  CL4SREC_CHECK_LE(target, num_items);
+  const float target_score = scores[target];
+  int64_t rank = 1;
+  for (int64_t item = 1; item <= num_items; ++item) {
+    if (item == target) continue;
+    if (excluded.contains(item)) continue;
+    if (scores[item] >= target_score) ++rank;
+  }
+  return rank;
+}
+
+namespace {
+
+// Shared evaluation loop; `rank_fn(user, row_scores, target)` computes the
+// 1-based rank of the target within whatever candidate set the metric uses.
+template <typename RankFn>
+MetricReport EvaluateImpl(const SequenceDataset& data,
+                          const ScoreBatchFn& score_batch,
+                          const EvalOptions& options, RankFn&& rank_fn) {
+  MetricReport report;
+  for (int64_t k : options.cutoffs) {
+    report.hr[k] = 0.0;
+    report.ndcg[k] = 0.0;
+  }
+
+  const int64_t num_users = data.num_users();
+  const int64_t num_items = data.num_items();
+  std::vector<int64_t> users;
+  std::vector<std::vector<int64_t>> inputs;
+  std::vector<int64_t> targets;
+
+  auto flush = [&]() {
+    if (users.empty()) return;
+    Tensor scores = score_batch(users, inputs);
+    CL4SREC_CHECK_EQ(scores.dim(0), static_cast<int64_t>(users.size()));
+    CL4SREC_CHECK_EQ(scores.dim(1), num_items + 1);
+    for (size_t i = 0; i < users.size(); ++i) {
+      const int64_t u = users[i];
+      const int64_t target = targets[i];
+      const int64_t rank = rank_fn(
+          u, scores.data() + static_cast<int64_t>(i) * (num_items + 1),
+          target);
+      report.mrr += 1.0 / static_cast<double>(rank);
+      for (int64_t k : options.cutoffs) {
+        if (rank <= k) {
+          report.hr[k] += 1.0;
+          report.ndcg[k] += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+        }
+      }
+    }
+    report.num_users += static_cast<int64_t>(users.size());
+    users.clear();
+    inputs.clear();
+    targets.clear();
+  };
+
+  for (int64_t u = 0; u < num_users; ++u) {
+    std::vector<int64_t> input;
+    int64_t target;
+    if (options.split == EvalSplit::kValidation) {
+      input = data.TrainSequence(u);
+      target = data.ValidTarget(u);
+    } else {
+      input = data.TestInput(u);
+      target = data.TestTarget(u);
+    }
+    if (input.empty()) continue;  // Nothing to condition on.
+    users.push_back(u);
+    inputs.push_back(std::move(input));
+    targets.push_back(target);
+    if (static_cast<int64_t>(users.size()) >= options.batch_size) flush();
+  }
+  flush();
+
+  if (report.num_users > 0) {
+    report.mrr /= static_cast<double>(report.num_users);
+    for (int64_t k : options.cutoffs) {
+      report.hr[k] /= static_cast<double>(report.num_users);
+      report.ndcg[k] /= static_cast<double>(report.num_users);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+MetricReport EvaluateRanking(const SequenceDataset& data,
+                             const ScoreBatchFn& score_batch,
+                             const EvalOptions& options) {
+  const int64_t num_items = data.num_items();
+  return EvaluateImpl(
+      data, score_batch, options,
+      [&data, num_items](int64_t u, const float* scores, int64_t target) {
+        // Exclude the user's other interactions from the candidate set; the
+        // target itself must stay rankable.
+        std::unordered_set<int64_t> excluded = data.SeenItems(u);
+        excluded.erase(target);
+        return RankOfTarget(scores, num_items, target, excluded);
+      });
+}
+
+MetricReport EvaluateSampledRanking(const SequenceDataset& data,
+                                    const ScoreBatchFn& score_batch,
+                                    int64_t num_negatives, uint64_t seed,
+                                    const EvalOptions& options) {
+  CL4SREC_CHECK_GT(num_negatives, 0);
+  // One independent, deterministic negative set per user.
+  return EvaluateImpl(
+      data, score_batch, options,
+      [&data, num_negatives, seed](int64_t u, const float* scores,
+                                   int64_t target) {
+        Rng rng(seed ^ (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(u + 1)));
+        const float target_score = scores[target];
+        int64_t rank = 1;
+        for (int64_t n = 0; n < num_negatives; ++n) {
+          const int64_t candidate = data.SampleNegative(u, &rng);
+          if (scores[candidate] >= target_score) ++rank;
+        }
+        return rank;
+      });
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,72 @@
+// Full-ranking evaluation (paper §4.1.2): every method is scored on the
+// whole item set (no sampled metrics), ranking all items the user has not
+// interacted with. Metrics: HR@k and NDCG@k for k in {5, 10, 20}.
+
+#ifndef CL4SREC_EVAL_METRICS_H_
+#define CL4SREC_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+
+struct MetricReport {
+  // hr[k] and ndcg[k] averaged over evaluated users.
+  std::map<int64_t, double> hr;
+  std::map<int64_t, double> ndcg;
+  // Mean reciprocal rank over the full candidate set (no cutoff). Not in
+  // the paper's tables but standard in the area and cheap to report.
+  double mrr = 0.0;
+  int64_t num_users = 0;
+
+  // e.g. "HR@5 0.0452 HR@10 0.0715 ... NDCG@20 0.0479 MRR 0.0311".
+  std::string ToString() const;
+};
+
+// Computes the 1-based rank of `target` among candidate items given scores
+// for all items ([num_items + 1]; index 0 is the unused padding slot).
+// Items in `excluded` are skipped (the user's other interactions). Ties
+// count as ranked above the target (pessimistic, deterministic).
+int64_t RankOfTarget(const float* scores, int64_t num_items, int64_t target,
+                     const std::unordered_set<int64_t>& excluded);
+
+enum class EvalSplit { kValidation, kTest };
+
+struct EvalOptions {
+  EvalSplit split = EvalSplit::kTest;
+  std::vector<int64_t> cutoffs = {5, 10, 20};
+  int64_t batch_size = 256;
+};
+
+// Scores a batch: given user ids and their input sequences, returns a
+// [B, num_items + 1] tensor of item scores (column 0 ignored).
+using ScoreBatchFn = std::function<Tensor(
+    const std::vector<int64_t>& users,
+    const std::vector<std::vector<int64_t>>& inputs)>;
+
+// Ranks every user's held-out item over the full item set and averages
+// HR/NDCG at the configured cutoffs.
+MetricReport EvaluateRanking(const SequenceDataset& data,
+                             const ScoreBatchFn& score_batch,
+                             const EvalOptions& options = {});
+
+// SAMPLED metrics: ranks the target only against `num_negatives` uniformly
+// sampled unseen items (the shortcut many papers used before Krichene &
+// Rendle 2020). The paper (§4.1.2) deliberately avoids this because sampled
+// metrics can be inconsistent with their exact counterparts; it is provided
+// here so that inconsistency can be demonstrated (see eval tests and
+// bench_ablation_core). Deterministic for a given seed.
+MetricReport EvaluateSampledRanking(const SequenceDataset& data,
+                                    const ScoreBatchFn& score_batch,
+                                    int64_t num_negatives, uint64_t seed,
+                                    const EvalOptions& options = {});
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_EVAL_METRICS_H_

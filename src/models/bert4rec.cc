@@ -1,0 +1,158 @@
+#include "models/bert4rec.h"
+
+#include "data/batcher.h"
+#include "models/training_utils.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+void Bert4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  Rng rng(options.seed + 3);
+  max_len_ = options.max_len;
+  TransformerConfig config;
+  config.num_items = data.num_items();
+  config.max_len = options.max_len;
+  config.hidden_dim = config_.hidden_dim;
+  config.num_layers = config_.num_layers;
+  config.num_heads = config_.num_heads;
+  config.dropout = config_.dropout;
+  config.causal = false;   // bidirectional attention
+  config.gelu_ffn = true;  // BERT-style FFN
+  encoder_ = std::make_unique<TransformerSeqEncoder>(config, &rng);
+  const int64_t mask_id = config.mask_id();
+
+  std::vector<Variable*> params = encoder_->Parameters();
+  Adam optimizer(params, AdamOptions{.lr = options.lr});
+  int64_t trainable_users = 0;
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    if (data.TrainSequence(u).size() >= 2) ++trainable_users;
+  }
+  const int64_t steps_per_epoch = std::max<int64_t>(
+      1, (trainable_users + options.batch_size - 1) / options.batch_size);
+  LinearDecaySchedule schedule(steps_per_epoch * options.epochs,
+                               options.lr_decay_final);
+  EarlyStopper stopper(options.patience);
+  ParameterSnapshot best;
+
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      // Cloze corruption: replace random positions by [mask]; always include
+      // the final position half the time so training matches the
+      // append-[mask] inference setup.
+      std::vector<std::vector<int64_t>> corrupted;
+      std::vector<std::vector<std::pair<int64_t, int64_t>>> masked;  // (pos,item)
+      corrupted.reserve(users.size());
+      masked.reserve(users.size());
+      for (int64_t u : users) {
+        std::vector<int64_t> seq = data.TrainSequence(u);
+        std::vector<std::pair<int64_t, int64_t>> positions;
+        for (size_t t = 0; t < seq.size(); ++t) {
+          const bool is_last = t + 1 == seq.size();
+          const bool mask_this =
+              rng.Bernoulli(config_.mask_prob) ||
+              (is_last && positions.empty() && rng.Bernoulli(0.5));
+          if (mask_this) {
+            positions.emplace_back(static_cast<int64_t>(t), seq[t]);
+            seq[t] = mask_id;
+          }
+        }
+        if (positions.empty()) {
+          // Guarantee at least one prediction per sequence.
+          const auto t = static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(seq.size())));
+          positions.emplace_back(static_cast<int64_t>(t), seq[t]);
+          seq[t] = mask_id;
+        }
+        corrupted.push_back(std::move(seq));
+        masked.push_back(std::move(positions));
+      }
+      PaddedBatch batch = PackSequences(corrupted, max_len_);
+      ForwardContext ctx{.training = true, .rng = &rng};
+      Variable hidden = encoder_->EncodeAll(batch, ctx);  // [B*T, d]
+
+      // Map each masked (user, original position) to its padded row; account
+      // for truncation (PackSequences keeps the LAST seq_len tokens,
+      // right-aligned).
+      std::vector<int64_t> rows;
+      std::vector<int64_t> targets;  // 0-based class = item - 1
+      const int64_t t_count = batch.seq_len;
+      for (size_t b = 0; b < users.size(); ++b) {
+        const auto n = static_cast<int64_t>(corrupted[b].size());
+        const int64_t take = std::min(n, t_count);
+        const int64_t src0 = n - take;          // first kept source index
+        const int64_t dst0 = t_count - take;    // its padded column
+        for (const auto& [pos, item] : masked[b]) {
+          if (pos < src0) continue;  // truncated away
+          rows.push_back(static_cast<int64_t>(b) * t_count + dst0 +
+                         (pos - src0));
+          targets.push_back(item - 1);
+        }
+      }
+      if (rows.empty()) continue;
+      Variable states = GatherRowsV(hidden, rows);  // [M, d]
+      // Full-vocabulary logits over real items 1..V (tied embeddings).
+      Variable item_rows =
+          SliceRowsV(encoder_->item_embedding().table(), 1, data.num_items());
+      Variable logits = MatMulV(states, item_rows, false, /*trans_b=*/true);
+      Variable loss = SoftmaxCrossEntropyV(logits, targets);
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(optimizer.params(), options.grad_clip);
+      schedule.Apply(&optimizer, step++);
+      optimizer.Step();
+      epoch_loss += loss.value().at(0);
+      ++batches;
+    }
+    if (options.verbose && batches > 0) {
+      CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                        << options.epochs << " loss " << epoch_loss / batches;
+    }
+    if (options.eval_every > 0 && (epoch + 1) % options.eval_every == 0) {
+      const MetricReport report = Evaluate(data, EvalSplit::kValidation);
+      if (stopper.Update(report.hr.at(10))) {
+        best = ParameterSnapshot::Capture(params);
+      }
+      if (options.verbose) {
+        CL4SREC_LOG(Info) << name() << " valid " << report.ToString();
+      }
+      if (stopper.ShouldStop()) break;
+    }
+  }
+  if (!best.empty()) best.Restore(params);
+}
+
+Tensor Bert4Rec::ScoreBatch(const std::vector<int64_t>& users,
+                            const std::vector<std::vector<int64_t>>& inputs) {
+  (void)users;
+  CL4SREC_CHECK(encoder_ != nullptr) << "Fit must be called first";
+  const int64_t mask_id = encoder_->config().mask_id();
+  std::vector<std::vector<int64_t>> with_mask;
+  with_mask.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    std::vector<int64_t> seq = input;
+    seq.push_back(mask_id);  // the position to predict
+    with_mask.push_back(std::move(seq));
+  }
+  PaddedBatch batch = PackSequences(with_mask, max_len_);
+  Rng dummy(0);
+  ForwardContext ctx{.training = false, .rng = &dummy};
+  Variable state = encoder_->EncodeLast(batch, ctx);  // [B, d] at the [mask]
+  Tensor all = MatMul(state.value(), encoder_->item_embedding().table().value(),
+                      false, /*trans_b=*/true);  // [B, vocab]
+  const int64_t b_count = all.dim(0);
+  const int64_t num_items = encoder_->config().num_items;
+  Tensor scores({b_count, num_items + 1});
+  for (int64_t i = 0; i < b_count; ++i) {
+    std::copy(all.data() + i * all.dim(1),
+              all.data() + i * all.dim(1) + num_items + 1,
+              scores.data() + i * (num_items + 1));
+  }
+  return scores;
+}
+
+}  // namespace cl4srec

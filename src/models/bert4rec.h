@@ -1,0 +1,48 @@
+// BERT4Rec (Sun et al. 2019) — extra baseline beyond the paper's Table 2
+// (it is the paper's §2.1 state-of-the-art bidirectional model). A
+// bidirectional transformer trained with the Cloze objective: random
+// positions are replaced by [mask] and predicted with a full-vocabulary
+// softmax; at inference a [mask] is appended and its hidden state scores
+// the next item.
+
+#ifndef CL4SREC_MODELS_BERT4REC_H_
+#define CL4SREC_MODELS_BERT4REC_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/transformer.h"
+
+namespace cl4srec {
+
+struct Bert4RecConfig {
+  int64_t hidden_dim = 64;
+  int64_t num_layers = 2;
+  int64_t num_heads = 2;
+  float dropout = 0.2f;
+  // Cloze masking probability (BERT4Rec tunes this per dataset; 0.2-0.6).
+  float mask_prob = 0.3f;
+};
+
+class Bert4Rec : public Recommender {
+ public:
+  explicit Bert4Rec(const Bert4RecConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "BERT4Rec"; }
+
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override;
+
+  TransformerSeqEncoder* encoder() { return encoder_.get(); }
+
+ private:
+  Bert4RecConfig config_;
+  std::unique_ptr<TransformerSeqEncoder> encoder_;
+  int64_t max_len_ = 50;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_BERT4REC_H_

@@ -1,0 +1,89 @@
+#include "models/bpr_mf.h"
+
+#include <cmath>
+
+#include "models/training_utils.h"
+#include "util/logging.h"
+
+namespace cl4srec {
+
+void BprMf::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  Rng rng(options.seed);
+  const int64_t num_users = data.num_users();
+  const int64_t num_items = data.num_items();
+  const int64_t d = config_.dim;
+  user_factors_ = Tensor::TruncatedNormal({num_users, d}, &rng, 0.f, 0.01f);
+  item_factors_ = Tensor::TruncatedNormal({num_items + 1, d}, &rng, 0.f, 0.01f);
+  item_bias_ = Tensor({num_items + 1});
+  // Keep the padding row at zero.
+  std::fill(item_factors_.data(), item_factors_.data() + d, 0.f);
+
+  // Flatten training events into (user, item) pairs.
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t u = 0; u < num_users; ++u) {
+    for (int64_t item : data.TrainSequence(u)) pairs.emplace_back(u, item);
+  }
+  if (pairs.empty()) return;
+
+  const float reg = config_.reg;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(pairs.begin(), pairs.end());
+    // Linear LR decay across epochs.
+    const float progress = options.epochs > 1
+                               ? static_cast<float>(epoch) /
+                                     static_cast<float>(options.epochs - 1)
+                               : 0.f;
+    const float base_lr = config_.lr > 0.f ? config_.lr : options.lr;
+    const float lr =
+        base_lr * (1.f - (1.f - options.lr_decay_final) * progress);
+    double epoch_loss = 0.0;
+    for (const auto& [u, pos] : pairs) {
+      const int64_t neg = data.SampleNegative(u, &rng);
+      float* pu = user_factors_.data() + u * d;
+      float* qi = item_factors_.data() + pos * d;
+      float* qj = item_factors_.data() + neg * d;
+      float x_uij = item_bias_.at(pos) - item_bias_.at(neg);
+      for (int64_t f = 0; f < d; ++f) x_uij += pu[f] * (qi[f] - qj[f]);
+      const float sig = 1.f / (1.f + std::exp(x_uij));  // d(-log s(x))/dx = -s(-x)
+      epoch_loss += std::log1p(std::exp(-x_uij));
+      for (int64_t f = 0; f < d; ++f) {
+        const float pu_f = pu[f];
+        const float qi_f = qi[f];
+        const float qj_f = qj[f];
+        pu[f] += lr * (sig * (qi_f - qj_f) - reg * pu_f);
+        qi[f] += lr * (sig * pu_f - reg * qi_f);
+        qj[f] += lr * (-sig * pu_f - reg * qj_f);
+      }
+      item_bias_.at(pos) += lr * (sig - reg * item_bias_.at(pos));
+      item_bias_.at(neg) += lr * (-sig - reg * item_bias_.at(neg));
+    }
+    if (options.verbose) {
+      CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                        << options.epochs << " loss "
+                        << epoch_loss / static_cast<double>(pairs.size());
+    }
+  }
+}
+
+Tensor BprMf::ScoreBatch(const std::vector<int64_t>& users,
+                         const std::vector<std::vector<int64_t>>& inputs) {
+  (void)inputs;
+  CL4SREC_CHECK(!user_factors_.empty()) << "Fit must be called first";
+  const auto b = static_cast<int64_t>(users.size());
+  const int64_t cols = item_bias_.dim(0);
+  const int64_t d = config_.dim;
+  Tensor scores({b, cols});
+  for (int64_t i = 0; i < b; ++i) {
+    const float* pu = user_factors_.data() + users[static_cast<size_t>(i)] * d;
+    float* out = scores.data() + i * cols;
+    for (int64_t item = 0; item < cols; ++item) {
+      const float* qi = item_factors_.data() + item * d;
+      float score = item_bias_.at(item);
+      for (int64_t f = 0; f < d; ++f) score += pu[f] * qi[f];
+      out[item] = score;
+    }
+  }
+  return scores;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,49 @@
+// BPR-MF baseline (Rendle et al. 2009, §4.1.3): matrix factorization
+// trained with the pairwise Bayesian Personalized Ranking loss
+//   L = -log sigmoid(x_ui - x_uj),  x_ui = p_u . q_i + b_i
+// over (user, positive, sampled-negative) triples, optimized with plain SGD
+// (the classic formulation; no autograd tape needed).
+
+#ifndef CL4SREC_MODELS_BPR_MF_H_
+#define CL4SREC_MODELS_BPR_MF_H_
+
+#include "models/recommender.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+
+struct BprMfConfig {
+  int64_t dim = 64;
+  float reg = 1e-4f;  // L2 regularization on touched factors
+  // Plain SGD on MF needs a much larger step size than the Adam-based
+  // models; this overrides TrainOptions::lr (set <= 0 to use options.lr).
+  float lr = 0.05f;
+};
+
+class BprMf : public Recommender {
+ public:
+  explicit BprMf(const BprMfConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "BPR-MF"; }
+
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override;
+
+  // Learned item factors [num_items + 1, dim]; row 0 is the padding slot
+  // (zeros). Used by SASRec_BPR to warm-start the transformer's item
+  // embedding.
+  const Tensor& item_factors() const { return item_factors_; }
+  const BprMfConfig& config() const { return config_; }
+
+ private:
+  BprMfConfig config_;
+  Tensor user_factors_;  // [num_users, dim]
+  Tensor item_factors_;  // [num_items + 1, dim]
+  Tensor item_bias_;     // [num_items + 1]
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_BPR_MF_H_

@@ -1,0 +1,105 @@
+#include "models/fpmc.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+void Fpmc::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  Rng rng(options.seed);
+  const int64_t num_users = data.num_users();
+  const int64_t num_items = data.num_items();
+  const int64_t d = config_.dim;
+  user_factors_ = Tensor::TruncatedNormal({num_users, d}, &rng, 0.f, 0.01f);
+  item_factors_ = Tensor::TruncatedNormal({num_items + 1, d}, &rng, 0.f, 0.01f);
+  prev_factors_ = Tensor::TruncatedNormal({num_items + 1, d}, &rng, 0.f, 0.01f);
+  next_factors_ = Tensor::TruncatedNormal({num_items + 1, d}, &rng, 0.f, 0.01f);
+
+  // Training tuples: (user, previous item, next item) over train sequences.
+  struct Tuple {
+    int64_t user, prev, pos;
+  };
+  std::vector<Tuple> tuples;
+  for (int64_t u = 0; u < num_users; ++u) {
+    const auto& seq = data.TrainSequence(u);
+    for (size_t t = 1; t < seq.size(); ++t) {
+      tuples.push_back({u, seq[t - 1], seq[t]});
+    }
+  }
+  if (tuples.empty()) return;
+
+  const float reg = config_.reg;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(tuples.begin(), tuples.end());
+    const float progress = options.epochs > 1
+                               ? static_cast<float>(epoch) /
+                                     static_cast<float>(options.epochs - 1)
+                               : 0.f;
+    const float lr =
+        config_.lr * (1.f - (1.f - options.lr_decay_final) * progress);
+    double epoch_loss = 0.0;
+    for (const Tuple& tuple : tuples) {
+      const int64_t neg = data.SampleNegative(tuple.user, &rng);
+      float* pu = user_factors_.data() + tuple.user * d;
+      float* qi = item_factors_.data() + tuple.pos * d;
+      float* qj = item_factors_.data() + neg * d;
+      float* tp = prev_factors_.data() + tuple.prev * d;
+      float* si = next_factors_.data() + tuple.pos * d;
+      float* sj = next_factors_.data() + neg * d;
+      // x = score(pos) - score(neg) under the combined MF + MC model.
+      float x = 0.f;
+      for (int64_t f = 0; f < d; ++f) {
+        x += pu[f] * (qi[f] - qj[f]) + tp[f] * (si[f] - sj[f]);
+      }
+      const float sig = 1.f / (1.f + std::exp(x));  // d(-log sigmoid(x))/dx
+      epoch_loss += std::log1p(std::exp(-x));
+      for (int64_t f = 0; f < d; ++f) {
+        const float pu_f = pu[f], qi_f = qi[f], qj_f = qj[f];
+        const float tp_f = tp[f], si_f = si[f], sj_f = sj[f];
+        pu[f] += lr * (sig * (qi_f - qj_f) - reg * pu_f);
+        qi[f] += lr * (sig * pu_f - reg * qi_f);
+        qj[f] += lr * (-sig * pu_f - reg * qj_f);
+        tp[f] += lr * (sig * (si_f - sj_f) - reg * tp_f);
+        si[f] += lr * (sig * tp_f - reg * si_f);
+        sj[f] += lr * (-sig * tp_f - reg * sj_f);
+      }
+    }
+    if (options.verbose) {
+      CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                        << options.epochs << " loss "
+                        << epoch_loss / static_cast<double>(tuples.size());
+    }
+  }
+}
+
+Tensor Fpmc::ScoreBatch(const std::vector<int64_t>& users,
+                        const std::vector<std::vector<int64_t>>& inputs) {
+  CL4SREC_CHECK(!user_factors_.empty()) << "Fit must be called first";
+  CL4SREC_CHECK_EQ(users.size(), inputs.size());
+  const auto b = static_cast<int64_t>(users.size());
+  const int64_t cols = item_factors_.dim(0);
+  const int64_t d = config_.dim;
+  Tensor scores({b, cols});
+  for (int64_t i = 0; i < b; ++i) {
+    const float* pu = user_factors_.data() + users[static_cast<size_t>(i)] * d;
+    const auto& history = inputs[static_cast<size_t>(i)];
+    const float* tp = history.empty()
+                          ? nullptr
+                          : prev_factors_.data() + history.back() * d;
+    float* out = scores.data() + i * cols;
+    for (int64_t item = 1; item < cols; ++item) {
+      const float* qi = item_factors_.data() + item * d;
+      const float* si = next_factors_.data() + item * d;
+      float score = 0.f;
+      for (int64_t f = 0; f < d; ++f) {
+        score += pu[f] * qi[f];
+        if (tp != nullptr) score += tp[f] * si[f];
+      }
+      out[item] = score;
+    }
+  }
+  return scores;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,47 @@
+// FPMC (Rendle et al. 2010) — extra baseline from the paper's related work
+// (§2.1): Factorizing Personalized Markov Chains. Combines matrix
+// factorization (long-term preference) with a factorized first-order item
+// transition model (short-term dynamics):
+//
+//   score(u, i | prev) = <p_u, q_i> + <t_prev, s_i>
+//
+// trained with the BPR pairwise objective over (user, previous item,
+// positive, sampled negative) tuples via plain SGD, like BprMf.
+
+#ifndef CL4SREC_MODELS_FPMC_H_
+#define CL4SREC_MODELS_FPMC_H_
+
+#include "models/recommender.h"
+
+namespace cl4srec {
+
+struct FpmcConfig {
+  int64_t dim = 32;        // width of BOTH the MF and the transition factors
+  float reg = 1e-4f;
+  float lr = 0.05f;        // SGD step size (see BprMfConfig::lr)
+};
+
+class Fpmc : public Recommender {
+ public:
+  explicit Fpmc(const FpmcConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "FPMC"; }
+
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  // Uses the LAST item of each input sequence as the Markov conditioning
+  // context (users with empty inputs fall back to the MF term only).
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override;
+
+ private:
+  FpmcConfig config_;
+  Tensor user_factors_;        // [U, d]        p_u
+  Tensor item_factors_;        // [V+1, d]      q_i
+  Tensor prev_factors_;        // [V+1, d]      t_prev
+  Tensor next_factors_;        // [V+1, d]      s_i
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_FPMC_H_

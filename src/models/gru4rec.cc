@@ -1,0 +1,131 @@
+#include "models/gru4rec.h"
+
+#include "data/batcher.h"
+#include "models/training_utils.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+void Gru4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  Rng rng(options.seed);
+  max_len_ = options.max_len;
+  GruConfig config;
+  config.num_items = data.num_items();
+  config.embed_dim = config_.embed_dim;
+  config.hidden_dim = config_.hidden_dim;
+  config.dropout = config_.dropout;
+  encoder_ = std::make_unique<GruSeqEncoder>(config, &rng);
+  if (config_.hidden_dim != config_.embed_dim) {
+    hidden_to_embed_ =
+        std::make_unique<Linear>(config_.hidden_dim, config_.embed_dim, &rng);
+  } else {
+    hidden_to_embed_.reset();
+  }
+
+  std::vector<Variable*> params = encoder_->Parameters();
+  if (hidden_to_embed_ != nullptr) {
+    for (Variable* p : hidden_to_embed_->Parameters()) params.push_back(p);
+  }
+  Adam optimizer(params, AdamOptions{.lr = options.lr});
+  const int64_t trainable_users = [&] {
+    int64_t count = 0;
+    for (int64_t u = 0; u < data.num_users(); ++u) {
+      if (data.TrainSequence(u).size() >= 2) ++count;
+    }
+    return count;
+  }();
+  const int64_t steps_per_epoch =
+      std::max<int64_t>(1, (trainable_users + options.batch_size - 1) /
+                               options.batch_size);
+  LinearDecaySchedule schedule(steps_per_epoch * options.epochs,
+                               options.lr_decay_final);
+  EarlyStopper stopper(options.patience);
+  ParameterSnapshot best;
+
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      NextItemBatch batch = MakeNextItemBatch(data, users, max_len_, &rng);
+      const int64_t b_count = batch.inputs.batch;
+      const int64_t t_count = batch.inputs.seq_len;
+      ForwardContext ctx{.training = true, .rng = &rng};
+      // Hidden states stacked time-major: (b,t) -> row t*B + b.
+      Variable hidden = encoder_->EncodeAllSteps(batch.inputs, ctx);
+      if (hidden_to_embed_ != nullptr) hidden = hidden_to_embed_->Forward(hidden);
+
+      std::vector<int64_t> rows;
+      std::vector<int64_t> positives;
+      std::vector<int64_t> negatives;
+      for (int64_t b = 0; b < b_count; ++b) {
+        for (int64_t t = 0; t < t_count; ++t) {
+          const int64_t target = batch.targets[static_cast<size_t>(b * t_count + t)];
+          if (target == 0) continue;
+          rows.push_back(t * b_count + b);
+          positives.push_back(target);
+          negatives.push_back(
+              batch.negatives[static_cast<size_t>(b * t_count + t)]);
+        }
+      }
+      if (rows.empty()) continue;
+      Variable states = GatherRowsV(hidden, rows);
+      Variable pos_emb = encoder_->item_embedding().Forward(positives);
+      Variable neg_emb = encoder_->item_embedding().Forward(negatives);
+      Variable pos_scores = RowDotV(states, pos_emb);
+      Variable neg_scores = RowDotV(states, neg_emb);
+      // BPR: -log sigmoid(pos - neg) == BCE(pos - neg, label 1).
+      Variable diff = SubV(pos_scores, neg_scores);
+      Variable loss = BceWithLogitsV(
+          diff, Tensor::Ones({static_cast<int64_t>(rows.size())}));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(optimizer.params(), options.grad_clip);
+      schedule.Apply(&optimizer, step++);
+      optimizer.Step();
+      epoch_loss += loss.value().at(0);
+      ++batches;
+    }
+    if (options.verbose && batches > 0) {
+      CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                        << options.epochs << " loss " << epoch_loss / batches;
+    }
+    if (options.eval_every > 0 && (epoch + 1) % options.eval_every == 0) {
+      const MetricReport report = Evaluate(data, EvalSplit::kValidation);
+      if (stopper.Update(report.hr.at(10))) {
+        best = ParameterSnapshot::Capture(params);
+      }
+      if (options.verbose) {
+        CL4SREC_LOG(Info) << name() << " valid " << report.ToString();
+      }
+      if (stopper.ShouldStop()) break;
+    }
+  }
+  if (!best.empty()) best.Restore(params);
+}
+
+Tensor Gru4Rec::ScoreBatch(const std::vector<int64_t>& users,
+                           const std::vector<std::vector<int64_t>>& inputs) {
+  (void)users;
+  CL4SREC_CHECK(encoder_ != nullptr) << "Fit must be called first";
+  PaddedBatch batch = PackSequences(inputs, max_len_);
+  Rng dummy(0);
+  ForwardContext ctx{.training = false, .rng = &dummy};
+  Variable state = encoder_->EncodeLast(batch, ctx);
+  if (hidden_to_embed_ != nullptr) state = hidden_to_embed_->Forward(state);
+  // Scores = state . E^T over the real item columns.
+  Tensor all = MatMul(state.value(), encoder_->item_embedding().table().value(),
+                      false, /*trans_b=*/true);  // [B, vocab]
+  const int64_t b_count = all.dim(0);
+  const int64_t num_items = encoder_->config().num_items;
+  Tensor scores({b_count, num_items + 1});
+  for (int64_t i = 0; i < b_count; ++i) {
+    std::copy(all.data() + i * all.dim(1),
+              all.data() + i * all.dim(1) + num_items + 1,
+              scores.data() + i * (num_items + 1));
+  }
+  return scores;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,42 @@
+// GRU4Rec baseline (Hidasi et al. 2016, §4.1.3): GRU sequence encoder with
+// a pairwise BPR ranking loss against one sampled negative per position.
+// Items are scored by the dot product between the hidden state and the item
+// embedding (tied input/output embeddings).
+
+#ifndef CL4SREC_MODELS_GRU4REC_H_
+#define CL4SREC_MODELS_GRU4REC_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/gru.h"
+
+namespace cl4srec {
+
+struct Gru4RecConfig {
+  int64_t embed_dim = 64;
+  int64_t hidden_dim = 64;
+  float dropout = 0.2f;
+};
+
+class Gru4Rec : public Recommender {
+ public:
+  explicit Gru4Rec(const Gru4RecConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "GRU4Rec"; }
+
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override;
+
+ private:
+  Gru4RecConfig config_;
+  std::unique_ptr<GruSeqEncoder> encoder_;
+  std::unique_ptr<Linear> hidden_to_embed_;  // used when dims differ
+  int64_t max_len_ = 50;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_GRU4REC_H_

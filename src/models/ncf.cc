@@ -1,0 +1,141 @@
+#include "models/ncf.h"
+
+#include "autograd/ops.h"
+#include "models/training_utils.h"
+#include "optim/optimizer.h"
+
+namespace cl4srec {
+
+void Ncf::Initialize(int64_t num_users, int64_t num_items, Rng* rng) {
+  gmf_user_ = std::make_unique<Embedding>(num_users, config_.gmf_dim, rng);
+  gmf_item_ = std::make_unique<Embedding>(num_items + 1, config_.gmf_dim, rng,
+                                          /*zero_pad_row=*/true);
+  mlp_user_ = std::make_unique<Embedding>(num_users, config_.mlp_dim, rng);
+  mlp_item_ = std::make_unique<Embedding>(num_items + 1, config_.mlp_dim, rng,
+                                          /*zero_pad_row=*/true);
+  mlp_l1_user_ = std::make_unique<Linear>(config_.mlp_dim, config_.hidden1, rng);
+  mlp_l1_item_ =
+      std::make_unique<Linear>(config_.mlp_dim, config_.hidden1, rng,
+                               /*use_bias=*/false);  // bias lives in l1_user
+  mlp_l2_ = std::make_unique<Linear>(config_.hidden1, config_.hidden2, rng);
+  out_gmf_ = std::make_unique<Linear>(config_.gmf_dim, 1, rng);
+  out_mlp_ = std::make_unique<Linear>(config_.hidden2, 1, rng,
+                                      /*use_bias=*/false);
+}
+
+std::vector<Variable*> Ncf::Parameters() {
+  std::vector<Variable*> params;
+  for (Module* m :
+       std::initializer_list<Module*>{gmf_user_.get(), gmf_item_.get(),
+                                      mlp_user_.get(), mlp_item_.get(),
+                                      mlp_l1_user_.get(), mlp_l1_item_.get(),
+                                      mlp_l2_.get(), out_gmf_.get(),
+                                      out_mlp_.get()}) {
+    for (Variable* p : m->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+Variable Ncf::Predict(const std::vector<int64_t>& user_ids,
+                      const std::vector<int64_t>& item_ids,
+                      const ForwardContext& ctx) const {
+  (void)ctx;
+  CL4SREC_CHECK_EQ(user_ids.size(), item_ids.size());
+  const auto n = static_cast<int64_t>(user_ids.size());
+  // GMF tower.
+  Variable gmf = MulV(gmf_user_->Forward(user_ids), gmf_item_->Forward(item_ids));
+  // MLP tower; layer 1 over the concatenated embeddings is the sum of two
+  // linear maps.
+  Variable h1 = ReluV(AddV(mlp_l1_user_->Forward(mlp_user_->Forward(user_ids)),
+                           mlp_l1_item_->Forward(mlp_item_->Forward(item_ids))));
+  Variable h2 = ReluV(mlp_l2_->Forward(h1));
+  // NeuMF fusion to a single logit.
+  Variable logits = AddV(out_gmf_->Forward(gmf), out_mlp_->Forward(h2));
+  return ReshapeV(logits, {n});
+}
+
+void Ncf::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  Rng rng(options.seed);
+  Initialize(data.num_users(), data.num_items(), &rng);
+
+  std::vector<std::pair<int64_t, int64_t>> positives;
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    for (int64_t item : data.TrainSequence(u)) positives.emplace_back(u, item);
+  }
+  if (positives.empty()) return;
+
+  Adam optimizer(Parameters(), AdamOptions{.lr = options.lr});
+  const int64_t steps_per_epoch =
+      (static_cast<int64_t>(positives.size()) + options.batch_size - 1) /
+      options.batch_size;
+  LinearDecaySchedule schedule(steps_per_epoch * options.epochs,
+                               options.lr_decay_final);
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(positives.begin(), positives.end());
+    double epoch_loss = 0.0;
+    for (size_t start = 0; start < positives.size();
+         start += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(positives.size(),
+                                  start + static_cast<size_t>(options.batch_size));
+      std::vector<int64_t> users, items;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        users.push_back(positives[i].first);
+        items.push_back(positives[i].second);
+        labels.push_back(1.f);
+        for (int64_t k = 0; k < config_.negatives_per_positive; ++k) {
+          users.push_back(positives[i].first);
+          items.push_back(data.SampleNegative(positives[i].first, &rng));
+          labels.push_back(0.f);
+        }
+      }
+      ForwardContext ctx{.training = true, .rng = &rng};
+      Variable logits = Predict(users, items, ctx);
+      const auto label_count = static_cast<int64_t>(labels.size());
+      Variable loss = BceWithLogitsV(
+          logits, Tensor::FromVector({label_count}, std::move(labels)));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(optimizer.params(), options.grad_clip);
+      schedule.Apply(&optimizer, step++);
+      optimizer.Step();
+      epoch_loss += loss.value().at(0);
+    }
+    if (options.verbose) {
+      CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                        << options.epochs << " loss "
+                        << epoch_loss / static_cast<double>(steps_per_epoch);
+    }
+  }
+}
+
+Tensor Ncf::ScoreBatch(const std::vector<int64_t>& users,
+                       const std::vector<std::vector<int64_t>>& inputs) {
+  (void)inputs;
+  CL4SREC_CHECK(gmf_user_ != nullptr) << "Fit must be called first";
+  const int64_t num_items = gmf_item_->count() - 1;
+  const auto b = static_cast<int64_t>(users.size());
+  Tensor scores({b, num_items + 1});
+  Rng dummy(0);
+  ForwardContext ctx{.training = false, .rng = &dummy};
+  // Score in slabs of users x all items to bound peak memory.
+  std::vector<int64_t> user_ids;
+  std::vector<int64_t> item_ids;
+  user_ids.reserve(static_cast<size_t>(num_items));
+  item_ids.reserve(static_cast<size_t>(num_items));
+  for (int64_t i = 0; i < b; ++i) {
+    user_ids.assign(static_cast<size_t>(num_items), users[static_cast<size_t>(i)]);
+    item_ids.resize(static_cast<size_t>(num_items));
+    for (int64_t item = 1; item <= num_items; ++item) {
+      item_ids[static_cast<size_t>(item - 1)] = item;
+    }
+    Variable logits = Predict(user_ids, item_ids, ctx);
+    for (int64_t item = 1; item <= num_items; ++item) {
+      scores.at(i, item) = logits.value().at(item - 1);
+    }
+  }
+  return scores;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,58 @@
+// NCF / NeuMF baseline (He et al. 2017, §4.1.3): fuses GMF (elementwise
+// product of user/item factors) with an MLP over concatenated user/item
+// embeddings, trained with binary cross entropy and sampled negatives.
+//
+// The first MLP layer over concat(p_u, q_i) is implemented as the sum of two
+// linear maps (one per embedding), which is algebraically identical.
+
+#ifndef CL4SREC_MODELS_NCF_H_
+#define CL4SREC_MODELS_NCF_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/layers.h"
+
+namespace cl4srec {
+
+struct NcfConfig {
+  int64_t gmf_dim = 32;
+  int64_t mlp_dim = 32;    // per-tower embedding width
+  int64_t hidden1 = 32;    // first MLP layer output
+  int64_t hidden2 = 16;    // second MLP layer output
+  int64_t negatives_per_positive = 2;
+};
+
+class Ncf : public Recommender, public Module {
+ public:
+  explicit Ncf(const NcfConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "NCF"; }
+
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override;
+
+  std::vector<Variable*> Parameters() override;
+
+ private:
+  // Builds the model once dataset sizes are known.
+  void Initialize(int64_t num_users, int64_t num_items, Rng* rng);
+
+  // Prediction logits for aligned (user, item) id vectors -> [n].
+  Variable Predict(const std::vector<int64_t>& user_ids,
+                   const std::vector<int64_t>& item_ids,
+                   const ForwardContext& ctx) const;
+
+  NcfConfig config_;
+  std::unique_ptr<Embedding> gmf_user_, gmf_item_;
+  std::unique_ptr<Embedding> mlp_user_, mlp_item_;
+  std::unique_ptr<Linear> mlp_l1_user_, mlp_l1_item_;  // concat layer, split
+  std::unique_ptr<Linear> mlp_l2_;
+  std::unique_ptr<Linear> out_gmf_, out_mlp_;  // final NeuMF fusion, split
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_NCF_H_

@@ -1,0 +1,29 @@
+#include "models/pop.h"
+
+namespace cl4srec {
+
+void Pop::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  (void)options;
+  counts_ = Tensor({data.num_items() + 1});
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    for (int64_t item : data.TrainSequence(u)) {
+      counts_.at(item) += 1.f;
+    }
+  }
+}
+
+Tensor Pop::ScoreBatch(const std::vector<int64_t>& users,
+                       const std::vector<std::vector<int64_t>>& inputs) {
+  (void)inputs;
+  CL4SREC_CHECK(!counts_.empty()) << "Fit must be called before ScoreBatch";
+  const auto b = static_cast<int64_t>(users.size());
+  const int64_t cols = counts_.dim(0);
+  Tensor scores({b, cols});
+  for (int64_t i = 0; i < b; ++i) {
+    std::copy(counts_.data(), counts_.data() + cols,
+              scores.data() + i * cols);
+  }
+  return scores;
+}
+
+}  // namespace cl4srec

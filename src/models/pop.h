@@ -1,0 +1,27 @@
+// Pop baseline: non-personalized most-popular ranking (§4.1.3). Every user
+// receives the same scores — each item's interaction count in the training
+// split.
+
+#ifndef CL4SREC_MODELS_POP_H_
+#define CL4SREC_MODELS_POP_H_
+
+#include "models/recommender.h"
+
+namespace cl4srec {
+
+class Pop : public Recommender {
+ public:
+  std::string name() const override { return "Pop"; }
+
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override;
+
+ private:
+  Tensor counts_;  // [num_items + 1]
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_POP_H_

@@ -1,0 +1,21 @@
+#include "models/recommender.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+std::vector<int64_t> Recommender::RecommendTopK(
+    int64_t user, const std::vector<int64_t>& history, int64_t k,
+    const std::unordered_set<int64_t>& exclude) {
+  Tensor scores = ScoreBatch({user}, {history});
+  CL4SREC_CHECK_EQ(scores.dim(0), 1);
+  Tensor user_scores({scores.dim(1)});
+  std::copy(scores.data(), scores.data() + scores.dim(1), user_scores.data());
+  user_scores.at(0) = -1e30f;  // padding slot is never recommendable
+  for (int64_t item : exclude) {
+    if (item >= 0 && item < user_scores.dim(0)) user_scores.at(item) = -1e30f;
+  }
+  return TopKIndices(user_scores, k);
+}
+
+}  // namespace cl4srec

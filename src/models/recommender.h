@@ -1,0 +1,75 @@
+// The common interface implemented by every method in the paper's
+// evaluation (Table 2): Pop, BPR-MF, NCF, GRU4Rec, SASRec, SASRec_BPR, and
+// CL4SRec.
+
+#ifndef CL4SREC_MODELS_RECOMMENDER_H_
+#define CL4SREC_MODELS_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+
+// Hyper-parameters shared by all trainable models. Defaults follow the
+// paper's implementation details (§4.1.4) except where noted in DESIGN.md
+// (laptop-scale sizes).
+struct TrainOptions {
+  int64_t epochs = 30;
+  int64_t batch_size = 256;
+  float lr = 1e-3f;
+  int64_t max_len = 50;       // T
+  uint64_t seed = 7;
+  float grad_clip = 5.f;
+  // Linear LR decay to this fraction of the base LR over all steps.
+  float lr_decay_final = 0.1f;
+  // Early stopping: evaluate validation HR@10 every `eval_every` epochs and
+  // stop after `patience` evaluations without improvement (0 disables).
+  int64_t eval_every = 0;
+  int64_t patience = 3;
+  bool verbose = false;
+};
+
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  virtual std::string name() const = 0;
+
+  // Trains on the dataset's training split.
+  virtual void Fit(const SequenceDataset& data, const TrainOptions& options) = 0;
+
+  // Full-catalog scores for a batch of users: [B, num_items + 1]
+  // (column 0 is the unused padding slot). `inputs` carry each user's
+  // conditioning sequence; non-sequential models may use only `users`.
+  virtual Tensor ScoreBatch(const std::vector<int64_t>& users,
+                            const std::vector<std::vector<int64_t>>& inputs) = 0;
+
+  // Convenience: the top-k recommendations for one user given a history,
+  // excluding `exclude` (typically the user's already-consumed items) and
+  // the padding slot. Deterministic: score ties break toward lower ids.
+  std::vector<int64_t> RecommendTopK(
+      int64_t user, const std::vector<int64_t>& history, int64_t k,
+      const std::unordered_set<int64_t>& exclude = {});
+
+  // Convenience: full-ranking evaluation of this model.
+  MetricReport Evaluate(const SequenceDataset& data,
+                        EvalSplit split = EvalSplit::kTest) {
+    EvalOptions options;
+    options.split = split;
+    return EvaluateRanking(
+        data,
+        [this](const std::vector<int64_t>& users,
+               const std::vector<std::vector<int64_t>>& inputs) {
+          return ScoreBatch(users, inputs);
+        },
+        options);
+  }
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_RECOMMENDER_H_

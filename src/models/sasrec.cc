@@ -1,0 +1,159 @@
+#include "models/sasrec.h"
+
+#include "data/batcher.h"
+#include "models/training_utils.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+void SasRec::EnsureEncoder(const SequenceDataset& data,
+                           const TrainOptions& options) {
+  max_len_ = options.max_len;
+  if (encoder_ != nullptr &&
+      encoder_->config().num_items == data.num_items() &&
+      encoder_->config().max_len == options.max_len) {
+    return;
+  }
+  Rng rng(options.seed);
+  TransformerConfig config;
+  config.num_items = data.num_items();
+  config.max_len = options.max_len;
+  config.hidden_dim = config_.hidden_dim;
+  config.num_layers = config_.num_layers;
+  config.num_heads = config_.num_heads;
+  config.dropout = config_.dropout;
+  encoder_ = std::make_unique<TransformerSeqEncoder>(config, &rng);
+}
+
+void SasRec::TrainSupervised(const SequenceDataset& data,
+                             const TrainOptions& options) {
+  CL4SREC_CHECK(encoder_ != nullptr);
+  Rng rng(options.seed + 1);
+  std::vector<Variable*> params = encoder_->Parameters();
+  Adam optimizer(params, AdamOptions{.lr = options.lr});
+  int64_t trainable_users = 0;
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    if (data.TrainSequence(u).size() >= 2) ++trainable_users;
+  }
+  const int64_t steps_per_epoch = std::max<int64_t>(
+      1, (trainable_users + options.batch_size - 1) / options.batch_size);
+  LinearDecaySchedule schedule(steps_per_epoch * options.epochs,
+                               options.lr_decay_final);
+  EarlyStopper stopper(options.patience);
+  ParameterSnapshot best;
+
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      NextItemBatch batch = MakeNextItemBatch(data, users, max_len_, &rng);
+      const int64_t t_count = batch.inputs.seq_len;
+      ForwardContext ctx{.training = true, .rng = &rng};
+      Variable hidden = encoder_->EncodeAll(batch.inputs, ctx);  // [B*T, d]
+
+      // Gather the valid positions and their positive/negative targets.
+      std::vector<int64_t> rows;
+      std::vector<int64_t> positives;
+      std::vector<int64_t> negatives;
+      for (int64_t b = 0; b < batch.inputs.batch; ++b) {
+        for (int64_t t = 0; t < t_count; ++t) {
+          const int64_t flat = b * t_count + t;
+          const int64_t target = batch.targets[static_cast<size_t>(flat)];
+          if (target == 0) continue;
+          rows.push_back(flat);
+          positives.push_back(target);
+          negatives.push_back(batch.negatives[static_cast<size_t>(flat)]);
+        }
+      }
+      if (rows.empty()) continue;
+      Variable states = GatherRowsV(hidden, rows);
+      Variable pos_scores =
+          RowDotV(states, encoder_->item_embedding().Forward(positives));
+      Variable neg_scores =
+          RowDotV(states, encoder_->item_embedding().Forward(negatives));
+      // Eq. 15: BCE(positive, 1) + BCE(negative, 0), averaged jointly.
+      const auto m = static_cast<int64_t>(rows.size());
+      Variable all_scores = ReshapeV(
+          ConcatRowsV({ReshapeV(pos_scores, {m, 1}), ReshapeV(neg_scores, {m, 1})}),
+          {2 * m});
+      Tensor labels({2 * m});
+      for (int64_t i = 0; i < m; ++i) labels.at(i) = 1.f;
+      Variable loss = BceWithLogitsV(all_scores, labels);
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(optimizer.params(), options.grad_clip);
+      schedule.Apply(&optimizer, step++);
+      optimizer.Step();
+      epoch_loss += loss.value().at(0);
+      ++batches;
+    }
+    if (options.verbose && batches > 0) {
+      CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                        << options.epochs << " loss " << epoch_loss / batches;
+    }
+    if (options.eval_every > 0 && (epoch + 1) % options.eval_every == 0) {
+      const MetricReport report = Evaluate(data, EvalSplit::kValidation);
+      if (stopper.Update(report.hr.at(10))) {
+        best = ParameterSnapshot::Capture(params);
+      }
+      if (options.verbose) {
+        CL4SREC_LOG(Info) << name() << " valid " << report.ToString();
+      }
+      if (stopper.ShouldStop()) break;
+    }
+  }
+  if (!best.empty()) best.Restore(params);
+}
+
+void SasRec::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  EnsureEncoder(data, options);
+  TrainSupervised(data, options);
+}
+
+Tensor SasRec::ScoreBatch(const std::vector<int64_t>& users,
+                          const std::vector<std::vector<int64_t>>& inputs) {
+  (void)users;
+  CL4SREC_CHECK(encoder_ != nullptr) << "Fit must be called first";
+  PaddedBatch batch = PackSequences(inputs, max_len_);
+  Rng dummy(0);
+  ForwardContext ctx{.training = false, .rng = &dummy};
+  Variable state = encoder_->EncodeLast(batch, ctx);  // [B, d]
+  Tensor all = MatMul(state.value(), encoder_->item_embedding().table().value(),
+                      false, /*trans_b=*/true);  // [B, vocab]
+  const int64_t b_count = all.dim(0);
+  const int64_t num_items = encoder_->config().num_items;
+  Tensor scores({b_count, num_items + 1});
+  for (int64_t i = 0; i < b_count; ++i) {
+    std::copy(all.data() + i * all.dim(1),
+              all.data() + i * all.dim(1) + num_items + 1,
+              scores.data() + i * (num_items + 1));
+  }
+  return scores;
+}
+
+void SasRecBpr::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  // Stage 1: train BPR-MF factors of the same width as the transformer's
+  // item embedding.
+  BprMfConfig bpr_config;
+  bpr_config.dim = sasrec_.config().hidden_dim;
+  BprMf bpr(bpr_config);
+  TrainOptions bpr_options = bpr_options_;
+  if (bpr_options.epochs <= 0) bpr_options = options;
+  bpr.Fit(data, bpr_options);
+
+  // Stage 2: warm-start the item embedding rows 0..num_items (the [mask]
+  // row keeps its random init) and fine-tune with the supervised objective.
+  sasrec_.EnsureEncoder(data, options);
+  Tensor& table = sasrec_.encoder()->item_embedding().table().mutable_value();
+  const Tensor& factors = bpr.item_factors();
+  CL4SREC_CHECK_EQ(table.dim(1), factors.dim(1));
+  const int64_t rows = factors.dim(0);  // num_items + 1
+  std::copy(factors.data(), factors.data() + rows * factors.dim(1),
+            table.data());
+  sasrec_.TrainSupervised(data, options);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,78 @@
+// SASRec (Kang & McAuley 2018) — the paper's user representation model
+// (§3.4) and its strongest baseline — plus SASRec_BPR, the pre-training
+// baseline that warm-starts SASRec's item embedding from a trained BPR-MF.
+//
+// Training objective (Eq. 15): per-position binary cross entropy between the
+// hidden state's dot product with the true next item (label 1) and with one
+// uniformly sampled negative (label 0).
+
+#ifndef CL4SREC_MODELS_SASREC_H_
+#define CL4SREC_MODELS_SASREC_H_
+
+#include <memory>
+
+#include "models/bpr_mf.h"
+#include "models/recommender.h"
+#include "nn/transformer.h"
+
+namespace cl4srec {
+
+struct SasRecConfig {
+  int64_t hidden_dim = 64;
+  int64_t num_layers = 2;  // paper: 2 self-attention blocks
+  int64_t num_heads = 2;   // paper: 2 heads
+  float dropout = 0.2f;
+};
+
+class SasRec : public Recommender {
+ public:
+  explicit SasRec(const SasRecConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "SASRec"; }
+
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override;
+
+  // Builds the encoder without training (used by CL4SRec, which pre-trains
+  // the encoder first, and by SASRec_BPR for warm starts). No-op when the
+  // encoder already exists for this dataset size.
+  void EnsureEncoder(const SequenceDataset& data, const TrainOptions& options);
+
+  // Runs only the supervised fine-tuning loop on the existing encoder.
+  void TrainSupervised(const SequenceDataset& data, const TrainOptions& options);
+
+  TransformerSeqEncoder* encoder() { return encoder_.get(); }
+  const SasRecConfig& config() const { return config_; }
+
+ private:
+  SasRecConfig config_;
+  std::unique_ptr<TransformerSeqEncoder> encoder_;
+  int64_t max_len_ = 50;
+};
+
+// SASRec with its item embedding initialized from BPR-MF factors (§4.1.3).
+class SasRecBpr : public Recommender {
+ public:
+  explicit SasRecBpr(const SasRecConfig& config = {},
+                     const TrainOptions& bpr_options = {})
+      : sasrec_(config), bpr_options_(bpr_options) {}
+
+  std::string name() const override { return "SASRec_BPR"; }
+
+  void Fit(const SequenceDataset& data, const TrainOptions& options) override;
+
+  Tensor ScoreBatch(const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) override {
+    return sasrec_.ScoreBatch(users, inputs);
+  }
+
+ private:
+  SasRec sasrec_;
+  TrainOptions bpr_options_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_SASREC_H_

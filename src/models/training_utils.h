@@ -1,0 +1,63 @@
+// Small helpers shared by model training loops: parameter snapshots for
+// early stopping and the early-stopping tracker itself.
+
+#ifndef CL4SREC_MODELS_TRAINING_UTILS_H_
+#define CL4SREC_MODELS_TRAINING_UTILS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace cl4srec {
+
+// Deep copy of a parameter set's values, restorable later.
+class ParameterSnapshot {
+ public:
+  static ParameterSnapshot Capture(const std::vector<Variable*>& params) {
+    ParameterSnapshot snap;
+    snap.values_.reserve(params.size());
+    for (Variable* p : params) snap.values_.push_back(p->value().Clone());
+    return snap;
+  }
+
+  void Restore(const std::vector<Variable*>& params) const {
+    CL4SREC_CHECK_EQ(params.size(), values_.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->mutable_value() = values_[i].Clone();
+    }
+  }
+
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::vector<Tensor> values_;
+};
+
+// Tracks a higher-is-better validation metric with patience.
+class EarlyStopper {
+ public:
+  explicit EarlyStopper(int64_t patience) : patience_(patience) {}
+
+  // Records one evaluation; returns true when the metric improved.
+  bool Update(double metric) {
+    if (metric > best_) {
+      best_ = metric;
+      stale_ = 0;
+      return true;
+    }
+    ++stale_;
+    return false;
+  }
+
+  bool ShouldStop() const { return patience_ > 0 && stale_ >= patience_; }
+  double best() const { return best_; }
+
+ private:
+  int64_t patience_;
+  int64_t stale_ = 0;
+  double best_ = -1.0;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_MODELS_TRAINING_UTILS_H_

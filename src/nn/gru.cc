@@ -1,0 +1,99 @@
+#include "nn/gru.h"
+
+namespace cl4srec {
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : xz_(input_dim, hidden_dim, rng),
+      hz_(hidden_dim, hidden_dim, rng, /*use_bias=*/false),
+      xr_(input_dim, hidden_dim, rng),
+      hr_(hidden_dim, hidden_dim, rng, /*use_bias=*/false),
+      xn_(input_dim, hidden_dim, rng),
+      hn_(hidden_dim, hidden_dim, rng, /*use_bias=*/false),
+      hidden_dim_(hidden_dim) {}
+
+Variable GruCell::Forward(const Variable& x, const Variable& h) const {
+  Variable z = SigmoidV(AddV(xz_.Forward(x), hz_.Forward(h)));
+  Variable r = SigmoidV(AddV(xr_.Forward(x), hr_.Forward(h)));
+  Variable n = TanhV(AddV(xn_.Forward(x), hn_.Forward(MulV(r, h))));
+  // h' = (1-z)*n + z*h = n + z*(h - n)
+  return AddV(n, MulV(z, SubV(h, n)));
+}
+
+std::vector<Variable*> GruCell::Parameters() {
+  std::vector<Variable*> params;
+  for (Linear* lin : {&xz_, &hz_, &xr_, &hr_, &xn_, &hn_}) {
+    for (Variable* p : lin->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+GruSeqEncoder::GruSeqEncoder(const GruConfig& config, Rng* rng)
+    : config_(config),
+      item_embedding_(config.vocab_size(), config.embed_dim, rng,
+                      /*zero_pad_row=*/true, config.init_stddev),
+      cell_(config.embed_dim, config.hidden_dim, rng) {
+  CL4SREC_CHECK_GT(config.num_items, 0);
+}
+
+namespace {
+
+// Shared recurrence for EncodeLast / EncodeAllSteps. Appends the post-step
+// hidden state to `steps` when non-null and returns the final state.
+Variable RunGru(const GruCell& cell, const Embedding& item_embedding,
+                const GruConfig& config, const PaddedBatch& batch,
+                const ForwardContext& ctx, std::vector<Variable>* steps) {
+  const int64_t b_count = batch.batch;
+  const int64_t t_count = batch.seq_len;
+  Variable embedded = item_embedding.Forward(batch.ids);  // [B*T, e]
+  embedded = DropoutV(embedded, config.dropout, ctx.rng, ctx.training);
+
+  Variable h = Constant(Tensor({b_count, config.hidden_dim}));
+  std::vector<int64_t> step_rows(static_cast<size_t>(b_count));
+  for (int64_t t = 0; t < t_count; ++t) {
+    for (int64_t b = 0; b < b_count; ++b) {
+      step_rows[static_cast<size_t>(b)] = b * t_count + t;
+    }
+    Variable x_t = GatherRowsV(embedded, step_rows);
+    Variable h_cand = cell.Forward(x_t, h);
+    // Keep the previous hidden state at padded steps:
+    // h = h + m * (h_cand - h), m broadcast across the hidden dimension.
+    Tensor mask({b_count, config.hidden_dim});
+    bool any_pad = false;
+    for (int64_t b = 0; b < b_count; ++b) {
+      const float m = batch.valid[static_cast<size_t>(b * t_count + t)];
+      if (m == 0.f) any_pad = true;
+      float* row = mask.data() + b * config.hidden_dim;
+      std::fill(row, row + config.hidden_dim, m);
+    }
+    if (any_pad) {
+      h = AddV(h, MulV(Constant(std::move(mask)), SubV(h_cand, h)));
+    } else {
+      h = h_cand;
+    }
+    if (steps != nullptr) steps->push_back(h);
+  }
+  return h;
+}
+
+}  // namespace
+
+Variable GruSeqEncoder::EncodeLast(const PaddedBatch& batch,
+                                   const ForwardContext& ctx) const {
+  return RunGru(cell_, item_embedding_, config_, batch, ctx, nullptr);
+}
+
+Variable GruSeqEncoder::EncodeAllSteps(const PaddedBatch& batch,
+                                       const ForwardContext& ctx) const {
+  std::vector<Variable> steps;
+  steps.reserve(static_cast<size_t>(batch.seq_len));
+  RunGru(cell_, item_embedding_, config_, batch, ctx, &steps);
+  return ConcatRowsV(steps);
+}
+
+std::vector<Variable*> GruSeqEncoder::Parameters() {
+  std::vector<Variable*> params = item_embedding_.Parameters();
+  for (Variable* p : cell_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,77 @@
+// GRU sequence encoder used by the GRU4Rec baseline.
+//
+// Standard gated recurrent unit (Cho et al. 2014):
+//   z = sigma(x Wxz + h Whz + bz)        update gate
+//   r = sigma(x Wxr + h Whr + br)        reset gate
+//   n = tanh(x Wxn + (r * h) Whn + bn)   candidate state
+//   h' = (1 - z) * n + z * h
+// Padded steps (id 0) leave the hidden state unchanged.
+
+#ifndef CL4SREC_NN_GRU_H_
+#define CL4SREC_NN_GRU_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/padded_batch.h"
+
+namespace cl4srec {
+
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  // x: [B, input_dim], h: [B, hidden_dim] -> new hidden [B, hidden_dim].
+  Variable Forward(const Variable& x, const Variable& h) const;
+
+  std::vector<Variable*> Parameters() override;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  Linear xz_, hz_;  // update gate
+  Linear xr_, hr_;  // reset gate
+  Linear xn_, hn_;  // candidate
+  int64_t hidden_dim_;
+};
+
+struct GruConfig {
+  int64_t num_items = 0;
+  int64_t embed_dim = 64;
+  int64_t hidden_dim = 64;
+  float dropout = 0.2f;
+  float init_stddev = 0.02f;
+
+  int64_t vocab_size() const { return num_items + 2; }
+};
+
+// Embedding + GRU over a PaddedBatch; exposes the final hidden state as the
+// user representation.
+class GruSeqEncoder : public Module {
+ public:
+  GruSeqEncoder(const GruConfig& config, Rng* rng);
+
+  // Final hidden state per sequence: [B, hidden_dim].
+  Variable EncodeLast(const PaddedBatch& batch, const ForwardContext& ctx) const;
+
+  // Hidden states after every step, stacked time-major: row t*B + b is the
+  // state of sequence b after consuming its token at position t
+  // -> [T*B, hidden_dim]. Used for per-position next-item training.
+  Variable EncodeAllSteps(const PaddedBatch& batch,
+                          const ForwardContext& ctx) const;
+
+  std::vector<Variable*> Parameters() override;
+
+  Embedding& item_embedding() { return item_embedding_; }
+  const GruConfig& config() const { return config_; }
+
+ private:
+  GruConfig config_;
+  Embedding item_embedding_;
+  GruCell cell_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_NN_GRU_H_

@@ -1,0 +1,75 @@
+#include "nn/layers.h"
+
+namespace cl4srec {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias, float init_stddev)
+    : weight_(Tensor::TruncatedNormal({in_features, out_features}, rng, 0.f,
+                                      init_stddev),
+              /*requires_grad=*/true),
+      use_bias_(use_bias) {
+  if (use_bias_) {
+    bias_ = Variable(Tensor({out_features}), /*requires_grad=*/true);
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  Variable out = MatMulV(x, weight_);
+  if (use_bias_) out = AddRowBroadcastV(out, bias_);
+  return out;
+}
+
+std::vector<Variable*> Linear::Parameters() {
+  std::vector<Variable*> params = {&weight_};
+  if (use_bias_) params.push_back(&bias_);
+  return params;
+}
+
+Embedding::Embedding(int64_t count, int64_t dim, Rng* rng, bool zero_pad_row,
+                     float init_stddev)
+    : table_(Tensor::TruncatedNormal({count, dim}, rng, 0.f, init_stddev),
+             /*requires_grad=*/true),
+      count_(count),
+      dim_(dim) {
+  if (zero_pad_row && count > 0) {
+    float* row = table_.mutable_value().data();
+    std::fill(row, row + dim, 0.f);
+  }
+}
+
+Variable Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return EmbeddingGatherV(table_, indices);
+}
+
+std::vector<Variable*> Embedding::Parameters() { return {&table_}; }
+
+LayerNorm::LayerNorm(int64_t dim, float eps)
+    : gamma_(Tensor::Ones({dim}), /*requires_grad=*/true),
+      beta_(Tensor({dim}), /*requires_grad=*/true),
+      eps_(eps) {}
+
+Variable LayerNorm::Forward(const Variable& x) const {
+  return LayerNormV(x, gamma_, beta_, eps_);
+}
+
+std::vector<Variable*> LayerNorm::Parameters() { return {&gamma_, &beta_}; }
+
+FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng,
+                         bool use_gelu)
+    : fc1_(dim, hidden_dim, rng),
+      fc2_(hidden_dim, dim, rng),
+      use_gelu_(use_gelu) {}
+
+Variable FeedForward::Forward(const Variable& x) const {
+  Variable hidden = fc1_.Forward(x);
+  hidden = use_gelu_ ? GeluV(hidden) : ReluV(hidden);
+  return fc2_.Forward(hidden);
+}
+
+std::vector<Variable*> FeedForward::Parameters() {
+  std::vector<Variable*> params = fc1_.Parameters();
+  for (Variable* p : fc2_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,95 @@
+// Basic trainable layers: Linear, Embedding, LayerNorm, FeedForward.
+
+#ifndef CL4SREC_NN_LAYERS_H_
+#define CL4SREC_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace cl4srec {
+
+// Fully connected layer: y = x W + b (bias optional).
+class Linear : public Module {
+ public:
+  // Initializes W with truncated normal(0, init_stddev) and b with zeros.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true, float init_stddev = 0.02f);
+
+  // x: [m, in_features] -> [m, out_features].
+  Variable Forward(const Variable& x) const;
+
+  std::vector<Variable*> Parameters() override;
+
+  Variable& weight() { return weight_; }
+  Variable& bias() { return bias_; }
+
+ private:
+  Variable weight_;  // [in, out]
+  Variable bias_;    // [out] (undefined when use_bias == false)
+  bool use_bias_;
+};
+
+// Lookup table of `count` embeddings of width `dim`. Row 0 is conventionally
+// the padding id and is initialized (and kept) at zero when
+// `zero_pad_row` is set; its gradient updates still apply elsewhere.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t count, int64_t dim, Rng* rng, bool zero_pad_row = false,
+            float init_stddev = 0.02f);
+
+  // indices: n ids in [0, count) -> [n, dim].
+  Variable Forward(const std::vector<int64_t>& indices) const;
+
+  std::vector<Variable*> Parameters() override;
+
+  Variable& table() { return table_; }
+  const Variable& table() const { return table_; }
+  int64_t count() const { return count_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  Variable table_;  // [count, dim]
+  int64_t count_;
+  int64_t dim_;
+};
+
+// Layer normalization over the last dimension with learnable gain/bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-8f);
+
+  // x: [m, dim].
+  Variable Forward(const Variable& x) const;
+
+  std::vector<Variable*> Parameters() override;
+
+ private:
+  Variable gamma_;  // [dim], ones
+  Variable beta_;   // [dim], zeros
+  float eps_;
+};
+
+// Position-wise feed-forward network (paper Eq. 11):
+// FFN(h) = act(h W1 + b1) W2 + b2, applied independently at each position.
+// The activation is RELU (SASRec, Eq. 11) or GELU (BERT4Rec).
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng, bool use_gelu = false);
+
+  // x: [m, dim] -> [m, dim].
+  Variable Forward(const Variable& x) const;
+
+  std::vector<Variable*> Parameters() override;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  bool use_gelu_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_NN_LAYERS_H_

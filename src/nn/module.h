@@ -1,0 +1,50 @@
+// Module base class: anything that owns trainable parameters.
+
+#ifndef CL4SREC_NN_MODULE_H_
+#define CL4SREC_NN_MODULE_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+
+// Per-forward-call context. `training` toggles dropout; `rng` provides the
+// randomness stream for dropout masks.
+struct ForwardContext {
+  bool training = false;
+  Rng* rng = nullptr;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Pointers to every trainable parameter, recursively. Stable across calls;
+  // optimizers hold the result for the lifetime of training.
+  virtual std::vector<Variable*> Parameters() = 0;
+
+  // Total number of trainable scalars.
+  int64_t NumParameters() {
+    int64_t total = 0;
+    for (Variable* p : Parameters()) total += p->value().numel();
+    return total;
+  }
+
+  // Copies parameter values (not grads) from another module with an
+  // identical parameter layout.
+  void CopyParametersFrom(Module& other) {
+    auto dst = Parameters();
+    auto src = other.Parameters();
+    CL4SREC_CHECK_EQ(dst.size(), src.size());
+    for (size_t i = 0; i < dst.size(); ++i) {
+      CL4SREC_CHECK(dst[i]->value().SameShape(src[i]->value()));
+      dst[i]->mutable_value() = src[i]->value().Clone();
+    }
+  }
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_NN_MODULE_H_

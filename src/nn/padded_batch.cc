@@ -1,0 +1,28 @@
+#include "nn/padded_batch.h"
+
+namespace cl4srec {
+
+PaddedBatch PackSequences(const std::vector<std::vector<int64_t>>& sequences,
+                          int64_t seq_len) {
+  CL4SREC_CHECK_GT(seq_len, 0);
+  PaddedBatch batch;
+  batch.batch = static_cast<int64_t>(sequences.size());
+  batch.seq_len = seq_len;
+  batch.ids.assign(static_cast<size_t>(batch.batch * seq_len), kPaddingId);
+  batch.valid.assign(static_cast<size_t>(batch.batch * seq_len), 0.f);
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    const auto& seq = sequences[static_cast<size_t>(b)];
+    const int64_t n = static_cast<int64_t>(seq.size());
+    const int64_t take = std::min(n, seq_len);
+    const int64_t dst0 = b * seq_len + (seq_len - take);
+    const int64_t src0 = n - take;
+    for (int64_t i = 0; i < take; ++i) {
+      const int64_t id = seq[static_cast<size_t>(src0 + i)];
+      batch.ids[static_cast<size_t>(dst0 + i)] = id;
+      batch.valid[static_cast<size_t>(dst0 + i)] = id != kPaddingId ? 1.f : 0.f;
+    }
+  }
+  return batch;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,53 @@
+// PaddedBatch: the packed integer representation of a mini-batch of user
+// interaction sequences that all sequence encoders consume.
+//
+// Sequences are truncated to the last `seq_len` items and RIGHT-ALIGNED:
+// padding (id 0) occupies the leading positions, so the most recent
+// interaction always sits at column seq_len-1. This makes "the user
+// representation" simply the hidden state at the last column.
+
+#ifndef CL4SREC_NN_PADDED_BATCH_H_
+#define CL4SREC_NN_PADDED_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+// Reserved ids inside a PaddedBatch: 0 is padding; real items use
+// 1..num_items; the augmentation [mask] token is num_items+1.
+inline constexpr int64_t kPaddingId = 0;
+
+struct PaddedBatch {
+  int64_t batch = 0;
+  int64_t seq_len = 0;
+  std::vector<int64_t> ids;    // batch*seq_len entries, row-major
+  std::vector<float> valid;    // 1.f where ids != kPaddingId else 0.f
+
+  int64_t id_at(int64_t b, int64_t t) const {
+    return ids[static_cast<size_t>(b * seq_len + t)];
+  }
+  bool valid_at(int64_t b, int64_t t) const {
+    return valid[static_cast<size_t>(b * seq_len + t)] != 0.f;
+  }
+
+  // CHECKs internal consistency (sizes, valid/ids agreement).
+  void Validate() const {
+    CL4SREC_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * seq_len);
+    CL4SREC_CHECK_EQ(ids.size(), valid.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      CL4SREC_CHECK_EQ(valid[i] != 0.f, ids[i] != kPaddingId);
+    }
+  }
+};
+
+// Packs raw sequences into a right-aligned PaddedBatch of width `seq_len`,
+// truncating each sequence to its most recent `seq_len` entries.
+PaddedBatch PackSequences(const std::vector<std::vector<int64_t>>& sequences,
+                          int64_t seq_len);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_NN_PADDED_BATCH_H_

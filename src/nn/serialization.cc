@@ -1,0 +1,93 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'L', '4', 'S'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Variable*>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(params.size()));
+  for (const Variable* p : params) {
+    const Tensor& value = p->value();
+    WritePod(out, static_cast<uint32_t>(value.ndim()));
+    for (int64_t extent : value.shape()) WritePod(out, extent);
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.numel() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<Variable*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a CL4SRec checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported checkpoint version %u", version));
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::IoError("truncated header");
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint has %llu parameters, model expects %zu",
+                  static_cast<unsigned long long>(count), params.size()));
+  }
+  // Stage into temporaries so a failure midway leaves the model untouched.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    uint32_t ndim = 0;
+    if (!ReadPod(in, &ndim)) return Status::IoError("truncated parameter");
+    std::vector<int64_t> shape(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      if (!ReadPod(in, &shape[d])) return Status::IoError("truncated shape");
+    }
+    Tensor staged_tensor(shape);
+    if (!params[i]->value().SameShape(staged_tensor)) {
+      return Status::InvalidArgument(
+          StrFormat("parameter %zu shape mismatch", i));
+    }
+    in.read(reinterpret_cast<char*>(staged_tensor.data()),
+            static_cast<std::streamsize>(staged_tensor.numel() * sizeof(float)));
+    if (!in) return Status::IoError("truncated parameter data");
+    staged.push_back(std::move(staged_tensor));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->mutable_value() = std::move(staged[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,40 @@
+// Binary checkpointing of module parameters.
+//
+// Format (little-endian):
+//   magic "CL4S" | uint32 version | uint64 param_count |
+//   per parameter: uint32 ndim | int64 extents[ndim] | float data[numel]
+// Loading validates the shapes against the destination module, so a
+// checkpoint can only be restored into an identically configured model.
+
+#ifndef CL4SREC_NN_SERIALIZATION_H_
+#define CL4SREC_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace cl4srec {
+
+// Writes every parameter's current value to `path`.
+Status SaveParameters(const std::string& path,
+                      const std::vector<Variable*>& params);
+
+// Restores parameter values from `path`. Fails without modifying anything
+// if the file's parameter count or any shape disagrees.
+Status LoadParameters(const std::string& path,
+                      const std::vector<Variable*>& params);
+
+// Module conveniences.
+inline Status SaveModule(const std::string& path, Module& module) {
+  return SaveParameters(path, module.Parameters());
+}
+inline Status LoadModule(const std::string& path, Module& module) {
+  return LoadParameters(path, module.Parameters());
+}
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_NN_SERIALIZATION_H_

@@ -1,0 +1,110 @@
+#include "nn/transformer.h"
+
+namespace cl4srec {
+
+TransformerEncoderLayer::TransformerEncoderLayer(
+    const TransformerConfig& config, Rng* rng)
+    : wq_(Tensor::TruncatedNormal({config.hidden_dim, config.hidden_dim}, rng,
+                                  0.f, config.init_stddev),
+          true),
+      wk_(Tensor::TruncatedNormal({config.hidden_dim, config.hidden_dim}, rng,
+                                  0.f, config.init_stddev),
+          true),
+      wv_(Tensor::TruncatedNormal({config.hidden_dim, config.hidden_dim}, rng,
+                                  0.f, config.init_stddev),
+          true),
+      wo_(Tensor::TruncatedNormal({config.hidden_dim, config.hidden_dim}, rng,
+                                  0.f, config.init_stddev),
+          true),
+      attn_norm_(config.hidden_dim),
+      ffn_(config.hidden_dim,
+           config.ffn_dim > 0 ? config.ffn_dim : config.hidden_dim, rng,
+           config.gelu_ffn),
+      ffn_norm_(config.hidden_dim),
+      num_heads_(config.num_heads),
+      dropout_(config.dropout),
+      causal_(config.causal) {
+  CL4SREC_CHECK_EQ(config.hidden_dim % config.num_heads, 0)
+      << "hidden_dim must be divisible by num_heads";
+}
+
+Variable TransformerEncoderLayer::Forward(const Variable& x, int64_t batch,
+                                          int64_t seq_len,
+                                          const std::vector<float>& key_valid,
+                                          const ForwardContext& ctx) const {
+  // F = LayerNorm(H + Dropout(MH(H)))
+  Variable attn = MultiHeadSelfAttentionV(x, wq_, wk_, wv_, wo_, batch,
+                                          seq_len, num_heads_, key_valid,
+                                          causal_);
+  attn = DropoutV(attn, dropout_, ctx.rng, ctx.training);
+  Variable f = attn_norm_.Forward(AddV(x, attn));
+  // out = LayerNorm(F + Dropout(PFFN(F)))
+  Variable ffn_out = ffn_.Forward(f);
+  ffn_out = DropoutV(ffn_out, dropout_, ctx.rng, ctx.training);
+  return ffn_norm_.Forward(AddV(f, ffn_out));
+}
+
+std::vector<Variable*> TransformerEncoderLayer::Parameters() {
+  std::vector<Variable*> params = {&wq_, &wk_, &wv_, &wo_};
+  for (Variable* p : attn_norm_.Parameters()) params.push_back(p);
+  for (Variable* p : ffn_.Parameters()) params.push_back(p);
+  for (Variable* p : ffn_norm_.Parameters()) params.push_back(p);
+  return params;
+}
+
+TransformerSeqEncoder::TransformerSeqEncoder(const TransformerConfig& config,
+                                             Rng* rng)
+    : config_(config),
+      item_embedding_(config.vocab_size(), config.hidden_dim, rng,
+                      /*zero_pad_row=*/true, config.init_stddev),
+      position_embedding_(config.max_len, config.hidden_dim, rng,
+                          /*zero_pad_row=*/false, config.init_stddev) {
+  CL4SREC_CHECK_GT(config.num_items, 0);
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(config, rng));
+  }
+}
+
+Variable TransformerSeqEncoder::EncodeAll(const PaddedBatch& batch,
+                                          const ForwardContext& ctx) const {
+  CL4SREC_CHECK_LE(batch.seq_len, config_.max_len);
+  const int64_t total = batch.batch * batch.seq_len;
+  CL4SREC_CHECK_EQ(static_cast<int64_t>(batch.ids.size()), total);
+
+  // h^0 = item embedding + position embedding (Eq. 8).
+  Variable items = item_embedding_.Forward(batch.ids);
+  std::vector<int64_t> positions(static_cast<size_t>(total));
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    for (int64_t t = 0; t < batch.seq_len; ++t) {
+      positions[static_cast<size_t>(b * batch.seq_len + t)] = t;
+    }
+  }
+  Variable h = AddV(items, position_embedding_.Forward(positions));
+  h = DropoutV(h, config_.dropout, ctx.rng, ctx.training);
+
+  for (const auto& layer : layers_) {
+    h = layer->Forward(h, batch.batch, batch.seq_len, batch.valid, ctx);
+  }
+  return h;
+}
+
+Variable TransformerSeqEncoder::EncodeLast(const PaddedBatch& batch,
+                                           const ForwardContext& ctx) const {
+  Variable hidden = EncodeAll(batch, ctx);
+  std::vector<int64_t> last(static_cast<size_t>(batch.batch));
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    last[static_cast<size_t>(b)] = b * batch.seq_len + batch.seq_len - 1;
+  }
+  return GatherRowsV(hidden, last);
+}
+
+std::vector<Variable*> TransformerSeqEncoder::Parameters() {
+  std::vector<Variable*> params = item_embedding_.Parameters();
+  for (Variable* p : position_embedding_.Parameters()) params.push_back(p);
+  for (auto& layer : layers_) {
+    for (Variable* p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace cl4srec

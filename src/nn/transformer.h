@@ -1,0 +1,90 @@
+// SASRec-style transformer sequence encoder (paper §3.4).
+//
+// TransformerEncoderLayer wires one block exactly as Eq. 12/14 (post-LN):
+//   F = LayerNorm(H + Dropout(MH(H)))
+//   out = LayerNorm(F + Dropout(PFFN(F)))
+// TransformerSeqEncoder adds the embedding layer (item + learnable position,
+// Eq. 8), stacks L blocks, and exposes the per-position hidden states and
+// the user representation s_u = hidden state at the final position (Eq. 13).
+
+#ifndef CL4SREC_NN_TRANSFORMER_H_
+#define CL4SREC_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/padded_batch.h"
+
+namespace cl4srec {
+
+struct TransformerConfig {
+  int64_t num_items = 0;   // real item ids are 1..num_items
+  int64_t max_len = 50;    // T: maximum sequence length (position count)
+  int64_t hidden_dim = 64; // d
+  int64_t num_layers = 2;  // L
+  int64_t num_heads = 2;   // h
+  int64_t ffn_dim = 0;     // inner FFN width; 0 means hidden_dim (SASRec)
+  float dropout = 0.2f;
+  float init_stddev = 0.02f;
+  // SASRec uses causal (left-to-right) attention; BERT4Rec sets this false
+  // for bidirectional attention.
+  bool causal = true;
+  // SASRec's PFFN uses RELU (Eq. 11); BERT4Rec uses GELU.
+  bool gelu_ffn = false;
+
+  // Total embedding rows: padding(0) + items(1..num_items) + [mask].
+  int64_t vocab_size() const { return num_items + 2; }
+  // Id of the [mask] token used by the mask augmentation.
+  int64_t mask_id() const { return num_items + 1; }
+};
+
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerConfig& config, Rng* rng);
+
+  // x: [B*T, d]. `key_valid` marks non-padding tokens.
+  Variable Forward(const Variable& x, int64_t batch, int64_t seq_len,
+                   const std::vector<float>& key_valid,
+                   const ForwardContext& ctx) const;
+
+  std::vector<Variable*> Parameters() override;
+
+ private:
+  Variable wq_, wk_, wv_, wo_;  // [d, d]
+  LayerNorm attn_norm_;
+  FeedForward ffn_;
+  LayerNorm ffn_norm_;
+  int64_t num_heads_;
+  float dropout_;
+  bool causal_;
+};
+
+class TransformerSeqEncoder : public Module {
+ public:
+  TransformerSeqEncoder(const TransformerConfig& config, Rng* rng);
+
+  // Per-position hidden states [B*T, d]. Padded positions carry garbage and
+  // must be excluded downstream (losses gather valid rows only).
+  Variable EncodeAll(const PaddedBatch& batch, const ForwardContext& ctx) const;
+
+  // User representations: the hidden state at the final (most recent)
+  // position of each sequence -> [B, d] (Eq. 13; input is right-aligned).
+  Variable EncodeLast(const PaddedBatch& batch, const ForwardContext& ctx) const;
+
+  std::vector<Variable*> Parameters() override;
+
+  const TransformerConfig& config() const { return config_; }
+  Embedding& item_embedding() { return item_embedding_; }
+  const Embedding& item_embedding() const { return item_embedding_; }
+
+ private:
+  TransformerConfig config_;
+  Embedding item_embedding_;      // [vocab, d], row 0 zero (padding)
+  Embedding position_embedding_;  // [T, d]
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_NN_TRANSFORMER_H_

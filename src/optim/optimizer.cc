@@ -1,0 +1,86 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+void Sgd::Step() {
+  for (Variable* p : params_) {
+    if (!p->has_grad()) continue;
+    Tensor& value = p->mutable_value();
+    const Tensor& grad = p->grad();
+    float* w = value.data();
+    const float* g = grad.data();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable*> params, const AdamOptions& options)
+    : Optimizer(std::move(params), options.lr), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Variable* p : params_) {
+    m_.emplace_back(p->value().shape());
+    v_.emplace_back(p->value().shape());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable* p = params_[i];
+    if (!p->has_grad()) continue;
+    Tensor& value = p->mutable_value();
+    const Tensor& grad = p->grad();
+    float* w = value.data();
+    const float* g = grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const float b1 = options_.beta1;
+    const float b2 = options_.beta2;
+    for (int64_t j = 0; j < value.numel(); ++j) {
+      const float gj = g[j] + options_.weight_decay * w[j];
+      m[j] = b1 * m[j] + (1.f - b1) * gj;
+      v[j] = b2 * v[j] + (1.f - b2) * gj * gj;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Variable*>& params, float max_norm) {
+  double total_sq = 0.0;
+  for (Variable* p : params) {
+    if (!p->has_grad()) continue;
+    total_sq += SquaredNorm(p->grad());
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.f) {
+    const float scale = max_norm / norm;
+    for (Variable* p : params) {
+      if (!p->has_grad()) continue;
+      // Scaling the accumulated gradient in place is safe: Step reads it next.
+      const_cast<Tensor&>(p->grad()).ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+void LinearDecaySchedule::Apply(Optimizer* optimizer, int64_t step) const {
+  if (total_steps_ <= 0) return;
+  const float progress =
+      std::min(1.f, static_cast<float>(step) / static_cast<float>(total_steps_));
+  const float factor = 1.f - (1.f - final_fraction_) * progress;
+  optimizer->set_lr(optimizer->base_lr() * factor);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,91 @@
+// First-order optimizers (SGD, Adam), global-norm gradient clipping, and the
+// linear learning-rate decay schedule used in the paper's implementation
+// details (§4.1.4: Adam, lr=0.001, beta1=0.9, beta2=0.999, linear decay).
+
+#ifndef CL4SREC_OPTIM_OPTIMIZER_H_
+#define CL4SREC_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace cl4srec {
+
+// Base optimizer interface over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable*> params, float lr)
+      : params_(std::move(params)), base_lr_(lr), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the accumulated gradients. Parameters without an
+  // accumulated gradient are skipped.
+  virtual void Step() = 0;
+
+  void ZeroGrad() { ZeroGradAll(params_); }
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  float base_lr() const { return base_lr_; }
+  const std::vector<Variable*>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable*> params_;
+  float base_lr_;
+  float lr_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable*> params, float lr, float weight_decay = 0.f)
+      : Optimizer(std::move(params), lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+ private:
+  float weight_decay_;
+};
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.f;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable*> params, const AdamOptions& options = {});
+
+  void Step() override;
+
+ private:
+  AdamOptions options_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;  // first-moment estimates, per parameter
+  std::vector<Tensor> v_;  // second-moment estimates, per parameter
+};
+
+// Scales all gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clipping norm.
+float ClipGradNorm(const std::vector<Variable*>& params, float max_norm);
+
+// Linear decay from the base LR to `final_fraction * base` over
+// `total_steps`; constant afterwards.
+class LinearDecaySchedule {
+ public:
+  LinearDecaySchedule(int64_t total_steps, float final_fraction = 0.1f)
+      : total_steps_(total_steps), final_fraction_(final_fraction) {}
+
+  // Sets the optimizer LR for step `step` (0-based).
+  void Apply(Optimizer* optimizer, int64_t step) const;
+
+ private:
+  int64_t total_steps_;
+  float final_fraction_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,196 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace cl4srec {
+namespace {
+
+int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+  int64_t numel = 1;
+  for (int64_t extent : shape) {
+    CL4SREC_CHECK_GE(extent, 0);
+    numel *= extent;
+  }
+  return shape.empty() ? 0 : numel;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  numel_ = ComputeNumel(shape_);
+  data_ = std::make_shared<Storage>(static_cast<size_t>(numel_), 0.f);
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = ComputeNumel(t.shape_);
+  CL4SREC_CHECK_EQ(t.numel_, static_cast<int64_t>(values.size()));
+  t.data_ = std::make_shared<Storage>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::TruncatedNormal(std::vector<int64_t> shape, Rng* rng,
+                               float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->TruncatedNormal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                       float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::dim(int64_t axis) const {
+  if (axis < 0) axis += ndim();
+  CL4SREC_CHECK_GE(axis, 0);
+  CL4SREC_CHECK_LT(axis, ndim());
+  return shape_[static_cast<size_t>(axis)];
+}
+
+float& Tensor::at(int64_t i) {
+  CL4SREC_CHECK_GE(i, 0);
+  CL4SREC_CHECK_LT(i, numel_);
+  return (*data_)[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i) const {
+  CL4SREC_CHECK_GE(i, 0);
+  CL4SREC_CHECK_LT(i, numel_);
+  return (*data_)[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t i, int64_t j) {
+  CL4SREC_CHECK_EQ(ndim(), 2);
+  CL4SREC_CHECK_GE(i, 0);
+  CL4SREC_CHECK_LT(i, shape_[0]);
+  CL4SREC_CHECK_GE(j, 0);
+  CL4SREC_CHECK_LT(j, shape_[1]);
+  return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  CL4SREC_CHECK_EQ(ndim(), 3);
+  CL4SREC_CHECK_GE(i, 0);
+  CL4SREC_CHECK_LT(i, shape_[0]);
+  CL4SREC_CHECK_GE(j, 0);
+  CL4SREC_CHECK_LT(j, shape_[1]);
+  CL4SREC_CHECK_GE(k, 0);
+  CL4SREC_CHECK_LT(k, shape_[2]);
+  return (*data_)[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.data_ = data_ ? std::make_shared<Storage>(*data_) : nullptr;
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  int64_t known = 1;
+  int64_t infer_axis = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      CL4SREC_CHECK_EQ(infer_axis, -1) << "at most one -1 extent";
+      infer_axis = static_cast<int64_t>(i);
+    } else {
+      CL4SREC_CHECK_GE(new_shape[i], 0);
+      known *= new_shape[i];
+    }
+  }
+  if (infer_axis >= 0) {
+    CL4SREC_CHECK_GT(known, 0);
+    CL4SREC_CHECK_EQ(numel_ % known, 0);
+    new_shape[static_cast<size_t>(infer_axis)] = numel_ / known;
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = ComputeNumel(t.shape_);
+  CL4SREC_CHECK_EQ(t.numel_, numel_) << "reshape must preserve element count";
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  if (!data_) return;
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  CL4SREC_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
+  float* dst = data();
+  const float* src = other.data();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] += src[i];
+}
+
+void Tensor::AxpyInPlace(float alpha, const Tensor& other) {
+  CL4SREC_CHECK(SameShape(other)) << "AxpyInPlace shape mismatch";
+  float* dst = data();
+  const float* src = other.data();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::ScaleInPlace(float alpha) {
+  float* dst = data();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] *= alpha;
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor<";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << "x";
+    os << shape_[i];
+  }
+  os << ">[";
+  const int64_t shown = std::min(max_elements, numel_);
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) os << ", ";
+    os << (*data_)[static_cast<size_t>(i)];
+  }
+  if (shown < numel_) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace cl4srec

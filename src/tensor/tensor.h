@@ -1,0 +1,98 @@
+// Dense row-major float32 tensor.
+//
+// Tensor is a value type over shared storage: copying a Tensor is cheap and
+// aliases the same buffer (like arrow::Buffer or torch::Tensor); use Clone()
+// for a deep copy. All tensors are contiguous; Reshape shares storage.
+// Shape errors are programmer errors and CHECK-fail rather than returning
+// Status, consistent with the rest of the math stack.
+
+#ifndef CL4SREC_TENSOR_TENSOR_H_
+#define CL4SREC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+
+class Tensor {
+ public:
+  // An empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape. Each extent must be >= 0.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  // ---- Factories ----
+  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  // Takes ownership of `values`; its size must equal the shape's element count.
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> values);
+  // Scalar (shape {1}) tensor.
+  static Tensor Scalar(float value) { return Full({1}, value); }
+  // I.i.d. N(mean, stddev) entries.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng, float mean = 0.f,
+                      float stddev = 1.f);
+  // Truncated normal in [mean-2*stddev, mean+2*stddev] (paper's initializer).
+  static Tensor TruncatedNormal(std::vector<int64_t> shape, Rng* rng,
+                                float mean, float stddev);
+  // Uniform in [lo, hi).
+  static Tensor Uniform(std::vector<int64_t> shape, Rng* rng, float lo, float hi);
+
+  // ---- Introspection ----
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t axis) const;
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data() { return data_ ? data_->data() : nullptr; }
+  const float* data() const { return data_ ? data_->data() : nullptr; }
+
+  // ---- Element access (bounds CHECKed) ----
+  float& at(int64_t i);
+  float at(int64_t i) const;
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+
+  // ---- Structural ops ----
+  // Deep copy.
+  Tensor Clone() const;
+  // New view with the same storage and a different shape (element counts must
+  // match). A -1 extent is inferred from the remaining dimensions.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+  // Sets every element to `value`.
+  void Fill(float value);
+  // Sets every element to 0.
+  void Zero() { Fill(0.f); }
+
+  // ---- In-place arithmetic (used heavily by grad accumulation) ----
+  // this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  // this += alpha * other (same shape).
+  void AxpyInPlace(float alpha, const Tensor& other);
+  // this *= alpha.
+  void ScaleInPlace(float alpha);
+
+  // Debug string, e.g. "Tensor<2x3>[0.1, 0.2, ...]".
+  std::string ToString(int64_t max_elements = 8) const;
+
+ private:
+  using Storage = std::vector<float>;
+
+  std::vector<int64_t> shape_;
+  int64_t numel_ = 0;
+  std::shared_ptr<Storage> data_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TENSOR_TENSOR_H_

@@ -1,0 +1,298 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cl4srec {
+namespace {
+
+// C[m,n] += A[m,k] * B[k,n], row-major, i-k-j loop order so the inner loop
+// streams through contiguous rows of B and C.
+void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.f) continue;
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+template <typename F>
+Tensor ElementwiseUnary(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) dst[i] = f(src[i]);
+  return out;
+}
+
+template <typename F>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F&& f) {
+  CL4SREC_CHECK(a.SameShape(b)) << "elementwise shape mismatch: "
+                                << a.ToString(0) << " vs " << b.ToString(0);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) dst[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  CL4SREC_CHECK_EQ(a.ndim(), 2);
+  CL4SREC_CHECK_EQ(b.ndim(), 2);
+  // Materialize transposed operands; operand sizes in this library are small
+  // enough that the copy is cheaper than a strided inner loop.
+  const Tensor a_eff = trans_a ? Transpose2D(a) : a;
+  const Tensor b_eff = trans_b ? Transpose2D(b) : b;
+  const int64_t m = a_eff.dim(0);
+  const int64_t k = a_eff.dim(1);
+  CL4SREC_CHECK_EQ(k, b_eff.dim(0)) << "matmul inner dimension mismatch";
+  const int64_t n = b_eff.dim(1);
+  Tensor c({m, n});
+  MatMulKernel(a_eff.data(), b_eff.data(), c.data(), m, k, n);
+  return c;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  CL4SREC_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out({n, m});
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      dst[j * m + i] = src[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Scale(const Tensor& a, float alpha) {
+  return ElementwiseUnary(a, [alpha](float x) { return alpha * x; });
+}
+
+Tensor AddScalar(const Tensor& a, float alpha) {
+  return ElementwiseUnary(a, [alpha](float x) { return x + alpha; });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  CL4SREC_CHECK_EQ(a.ndim(), 2);
+  CL4SREC_CHECK_EQ(bias.ndim(), 1);
+  CL4SREC_CHECK_EQ(a.dim(1), bias.dim(0));
+  Tensor out(a.shape());
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  const float* src = a.data();
+  const float* pb = bias.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      dst[i * n + j] = src[i * n + j] + pb[j];
+    }
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x > 0.f ? x : 0.f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  return ElementwiseUnary(a, [](float x) {
+    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.f + std::tanh(inner));
+  });
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::log(x); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::sqrt(x); });
+}
+
+float SumAll(const Tensor& a) {
+  const float* p = a.data();
+  double total = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) total += p[i];
+  return static_cast<float>(total);
+}
+
+float MeanAll(const Tensor& a) {
+  CL4SREC_CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<float>(a.numel());
+}
+
+float MaxAll(const Tensor& a) {
+  CL4SREC_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float best = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) best = std::max(best, p[i]);
+  return best;
+}
+
+Tensor SumRows(const Tensor& a) {
+  CL4SREC_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out({n});
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) dst[j] += src[i * n + j];
+  }
+  return out;
+}
+
+Tensor SumCols(const Tensor& a) {
+  CL4SREC_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out({m});
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < n; ++j) row += src[i * n + j];
+    dst[i] = static_cast<float>(row);
+  }
+  return out;
+}
+
+float SquaredNorm(const Tensor& a) {
+  const float* p = a.data();
+  double total = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) total += double(p[i]) * p[i];
+  return static_cast<float>(total);
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  CL4SREC_CHECK_EQ(logits.ndim(), 2);
+  const int64_t m = logits.dim(0);
+  const int64_t n = logits.dim(1);
+  Tensor out(logits.shape());
+  const float* src = logits.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = src + i * n;
+    float* out_row = dst + i * n;
+    float max_val = row[0];
+    for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      out_row[j] = std::exp(row[j] - max_val);
+      denom += out_row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < n; ++j) out_row[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmaxRows(const Tensor& logits) {
+  CL4SREC_CHECK_EQ(logits.ndim(), 2);
+  const int64_t m = logits.dim(0);
+  const int64_t n = logits.dim(1);
+  Tensor out(logits.shape());
+  const float* src = logits.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = src + i * n;
+    float* out_row = dst + i * n;
+    float max_val = row[0];
+    for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - max_val);
+    const float log_denom = max_val + static_cast<float>(std::log(denom));
+    for (int64_t j = 0; j < n; ++j) out_row[j] = row[j] - log_denom;
+  }
+  return out;
+}
+
+Tensor L2NormalizeRows(const Tensor& a, float eps, Tensor* norms) {
+  CL4SREC_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out(a.shape());
+  Tensor norm_out({m});
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = src + i * n;
+    double sq = 0.0;
+    for (int64_t j = 0; j < n; ++j) sq += double(row[j]) * row[j];
+    const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
+    norm_out.at(i) = norm;
+    const float inv = 1.f / norm;
+    for (int64_t j = 0; j < n; ++j) dst[i * n + j] = row[j] * inv;
+  }
+  if (norms != nullptr) *norms = std::move(norm_out);
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.SameShape(b)) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::vector<int64_t> TopKIndices(const Tensor& scores, int64_t k) {
+  CL4SREC_CHECK_EQ(scores.ndim(), 1);
+  const int64_t n = scores.dim(0);
+  k = std::min(k, n);
+  std::vector<int64_t> indices(static_cast<size_t>(n));
+  std::iota(indices.begin(), indices.end(), 0);
+  const float* p = scores.data();
+  std::partial_sort(indices.begin(), indices.begin() + k, indices.end(),
+                    [p](int64_t lhs, int64_t rhs) {
+                      if (p[lhs] != p[rhs]) return p[lhs] > p[rhs];
+                      return lhs < rhs;  // Deterministic tie-break.
+                    });
+  indices.resize(static_cast<size_t>(k));
+  return indices;
+}
+
+}  // namespace cl4srec

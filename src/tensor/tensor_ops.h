@@ -1,0 +1,78 @@
+// Out-of-place numeric kernels over Tensor. These are the non-differentiable
+// building blocks; reverse-mode derivatives live in src/autograd.
+
+#ifndef CL4SREC_TENSOR_TENSOR_OPS_H_
+#define CL4SREC_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+
+// ---- Linear algebra ----
+
+// C = op(A) * op(B) for 2-D tensors, where op transposes when the
+// corresponding flag is set. Shapes must conform after transposition.
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+// Transpose of a 2-D tensor.
+Tensor Transpose2D(const Tensor& a);
+
+// ---- Elementwise ----
+
+Tensor Add(const Tensor& a, const Tensor& b);          // same shape
+Tensor Sub(const Tensor& a, const Tensor& b);          // same shape
+Tensor Mul(const Tensor& a, const Tensor& b);          // same shape
+Tensor Scale(const Tensor& a, float alpha);
+Tensor AddScalar(const Tensor& a, float alpha);
+// out[i,j] = a[i,j] + bias[j] for a [m,n], bias [n].
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+// tanh-approximation GELU, matching the transformer literature.
+Tensor Gelu(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  // CHECKs positivity is NOT enforced; caller's job
+Tensor Sqrt(const Tensor& a);
+
+// ---- Reductions ----
+
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+// Column sums: [m,n] -> [n].
+Tensor SumRows(const Tensor& a);
+// Row sums: [m,n] -> [m].
+Tensor SumCols(const Tensor& a);
+// Squared L2 norm of all elements.
+float SquaredNorm(const Tensor& a);
+
+// ---- Softmax family (operate on the last dimension of a 2-D tensor) ----
+
+// Numerically stable row softmax of logits [m,n].
+Tensor SoftmaxRows(const Tensor& logits);
+// Row log-softmax of logits [m,n].
+Tensor LogSoftmaxRows(const Tensor& logits);
+
+// ---- Normalization ----
+
+// Divides each row of [m,n] by max(||row||, eps); also returns the norms
+// through `norms` ([m]) when non-null (needed by the cosine-sim gradient).
+Tensor L2NormalizeRows(const Tensor& a, float eps = 1e-8f,
+                       Tensor* norms = nullptr);
+
+// ---- Comparisons / misc ----
+
+// Returns true if all elements differ by at most atol + rtol*|b|.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-4f,
+              float atol = 1e-6f);
+
+// Indices of the top-k largest values of a 1-D tensor, descending.
+std::vector<int64_t> TopKIndices(const Tensor& scores, int64_t k);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TENSOR_TENSOR_OPS_H_

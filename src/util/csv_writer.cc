@@ -1,0 +1,43 @@
+#include "util/csv_writer.h"
+
+#include <memory>
+
+namespace cl4srec {
+namespace {
+
+std::string EscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+StatusOr<CsvWriter> CsvWriter::Open(const std::string& path,
+                                    const std::vector<std::string>& header) {
+  CsvWriter writer;
+  if (path.empty()) return writer;
+  writer.out_ = std::make_unique<std::ofstream>(path);
+  if (!*writer.out_) {
+    return Status::IoError("cannot open CSV output: " + path);
+  }
+  writer.WriteRow(header);
+  return writer;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << EscapeField(fields[i]);
+  }
+  *out_ << '\n';
+  out_->flush();
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,37 @@
+// Tiny CSV emitter used by bench binaries to dump machine-readable results.
+
+#ifndef CL4SREC_UTIL_CSV_WRITER_H_
+#define CL4SREC_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cl4srec {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. An empty path
+  // produces a disabled writer whose WriteRow is a no-op.
+  static StatusOr<CsvWriter> Open(const std::string& path,
+                                  const std::vector<std::string>& header);
+
+  CsvWriter() = default;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  bool enabled() const { return out_ != nullptr; }
+
+  // Writes one row; fields containing commas/quotes are quoted.
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::unique_ptr<std::ofstream> out_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_CSV_WRITER_H_

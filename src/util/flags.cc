@@ -1,0 +1,181 @@
+#include "util/flags.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = help;
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::SetFromText(Flag* flag, const std::string& name,
+                               const std::string& text) {
+  switch (flag->type) {
+    case Type::kInt: {
+      auto parsed = ParseInt64(text);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("--" + name + ": " +
+                                       parsed.status().message());
+      }
+      flag->int_value = *parsed;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(text);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("--" + name + ": " +
+                                       parsed.status().message());
+      }
+      flag->double_value = *parsed;
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      if (text == "true" || text == "1") {
+        flag->bool_value = true;
+      } else if (text == "false" || text == "0") {
+        flag->bool_value = false;
+      } else {
+        return Status::InvalidArgument("--" + name +
+                                       ": expected true/false, got '" + text +
+                                       "'");
+      }
+      return Status::Ok();
+    }
+    case Type::kString:
+      flag->string_value = text;
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::printf("%s", Usage(argv[0]).c_str());
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    if (!has_value) {
+      // Bool flags may be given bare (--verbose); everything else consumes
+      // the next argument.
+      if (it->second.type == Type::kBool) {
+        it->second.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    CL4SREC_RETURN_NOT_OK(SetFromText(&it->second, name, value));
+  }
+  return Status::Ok();
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  auto it = flags_.find(name);
+  CL4SREC_CHECK(it != flags_.end()) << "unknown flag " << name;
+  CL4SREC_CHECK(it->second.type == Type::kInt);
+  return it->second.int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  CL4SREC_CHECK(it != flags_.end()) << "unknown flag " << name;
+  CL4SREC_CHECK(it->second.type == Type::kDouble);
+  return it->second.double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  CL4SREC_CHECK(it != flags_.end()) << "unknown flag " << name;
+  CL4SREC_CHECK(it->second.type == Type::kBool);
+  return it->second.bool_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  CL4SREC_CHECK(it != flags_.end()) << "unknown flag " << name;
+  CL4SREC_CHECK(it->second.type == Type::kString);
+  return it->second.string_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string usage = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    usage += "  --" + name;
+    switch (flag.type) {
+      case Type::kInt:
+        usage += StrFormat(" (int, default %lld)",
+                           static_cast<long long>(flag.int_value));
+        break;
+      case Type::kDouble:
+        usage += StrFormat(" (double, default %g)", flag.double_value);
+        break;
+      case Type::kBool:
+        usage += StrFormat(" (bool, default %s)",
+                           flag.bool_value ? "true" : "false");
+        break;
+      case Type::kString:
+        usage += " (string, default '" + flag.string_value + "')";
+        break;
+    }
+    usage += "\n      " + flag.help + "\n";
+  }
+  return usage;
+}
+
+}  // namespace cl4srec

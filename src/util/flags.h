@@ -1,0 +1,68 @@
+// Minimal command-line flag parser used by bench and example binaries.
+//
+// Usage:
+//   FlagParser flags;
+//   flags.AddInt("epochs", 10, "training epochs");
+//   flags.AddString("csv", "", "optional CSV output path");
+//   CL4SREC_CHECK(flags.Parse(argc, argv).ok());
+//   int epochs = flags.GetInt("epochs");
+//
+// Accepted syntaxes: --name value and --name=value; --help prints usage.
+
+#ifndef CL4SREC_UTIL_FLAGS_H_
+#define CL4SREC_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cl4srec {
+
+class FlagParser {
+ public:
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  // Parses argv; unknown flags are errors. If --help is present, prints
+  // usage to stdout and sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  // Usage text listing all registered flags.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  Status SetFromText(Flag* flag, const std::string& name,
+                     const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_FLAGS_H_

@@ -1,0 +1,74 @@
+// Lightweight logging and CHECK macros. CHECK failures indicate programmer
+// errors (shape mismatches, invariant violations) and abort; fallible
+// runtime conditions use Status instead (see util/status.h).
+
+#ifndef CL4SREC_UTIL_LOGGING_H_
+#define CL4SREC_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cl4srec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level for emitted log lines; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it (with level prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process in the destructor.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CL4SREC_LOG(level)                                              \
+  ::cl4srec::internal::LogMessage(::cl4srec::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)                   \
+      .stream()
+
+#define CL4SREC_CHECK(cond)                                             \
+  if (!(cond))                                                          \
+  ::cl4srec::internal::FatalLogMessage(__FILE__, __LINE__).stream()     \
+      << "Check failed: " #cond " "
+
+#define CL4SREC_CHECK_EQ(a, b) CL4SREC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CL4SREC_CHECK_NE(a, b) CL4SREC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CL4SREC_CHECK_LT(a, b) CL4SREC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CL4SREC_CHECK_LE(a, b) CL4SREC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CL4SREC_CHECK_GT(a, b) CL4SREC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CL4SREC_CHECK_GE(a, b) CL4SREC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_LOGGING_H_

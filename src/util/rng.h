@@ -1,0 +1,82 @@
+// Deterministic random number generation used throughout the library.
+//
+// Every stochastic component (initializers, augmentation operators, negative
+// samplers, synthetic data generators) takes an explicit Rng so experiments
+// are reproducible from a single seed. The engine is xoshiro256++, which is
+// fast, small, and has well-understood statistical quality.
+
+#ifndef CL4SREC_UTIL_RNG_H_
+#define CL4SREC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cl4srec {
+
+class Rng {
+ public:
+  // Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Next raw 64 random bits.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform float in [0, 1).
+  float UniformFloat() { return static_cast<float>(Uniform()); }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + UniformInt(hi - lo + 1);
+  }
+
+  // Standard normal via Box-Muller.
+  double Normal();
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  // Normal truncated to [mean - 2*stddev, mean + 2*stddev] by resampling,
+  // matching the paper's truncated-normal parameter initialization.
+  double TruncatedNormal(double mean, double stddev);
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Samples an index from unnormalized non-negative weights. Requires at
+  // least one strictly positive weight.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  // In-place Fisher-Yates shuffle of [first, last).
+  template <typename It>
+  void Shuffle(It first, It last) {
+    auto n = last - first;
+    for (decltype(n) i = n - 1; i > 0; --i) {
+      auto j = UniformInt(i + 1);
+      using std::swap;
+      swap(first[i], first[j]);
+    }
+  }
+
+  // Derives an independent child generator; useful for giving each component
+  // its own stream from one experiment seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  // Cached second Box-Muller variate.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_RNG_H_

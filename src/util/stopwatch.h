@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for training loops and bench harnesses.
+
+#ifndef CL4SREC_UTIL_STOPWATCH_H_
+#define CL4SREC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cl4srec {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_STOPWATCH_H_

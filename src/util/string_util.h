@@ -1,0 +1,32 @@
+// Small string helpers shared by data loaders and bench harnesses.
+
+#ifndef CL4SREC_UTIL_STRING_UTIL_H_
+#define CL4SREC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cl4srec {
+
+// Splits `input` on `delim`; keeps empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+// Parses text as the given numeric type; whole string must be consumed.
+StatusOr<int64_t> ParseInt64(std::string_view text);
+StatusOr<double> ParseDouble(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins items with a separator, e.g. Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,226 @@
+// Tests for src/augment: the crop/mask/reorder operators (paper §3.3) and
+// the two-view augmentation module (§3.2.1). Includes parameterized
+// property sweeps over proportion rates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "augment/augmentations.h"
+
+namespace cl4srec {
+namespace {
+
+constexpr int64_t kMaskId = 999;
+
+ItemSequence Iota(int64_t n) {
+  ItemSequence seq(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) seq[static_cast<size_t>(i)] = i + 1;
+  return seq;
+}
+
+TEST(CropTest, LengthIsFloorEtaN) {
+  Rng rng(1);
+  ItemSequence seq = Iota(10);
+  EXPECT_EQ(CropSequence(seq, 0.5, &rng).size(), 5u);
+  EXPECT_EQ(CropSequence(seq, 0.39, &rng).size(), 3u);
+  EXPECT_EQ(CropSequence(seq, 1.0, &rng).size(), 10u);
+}
+
+TEST(CropTest, ClampsToAtLeastOneItem) {
+  Rng rng(2);
+  ItemSequence seq = Iota(4);
+  EXPECT_EQ(CropSequence(seq, 0.1, &rng).size(), 1u);
+}
+
+TEST(CropTest, ResultIsContiguousSubsequence) {
+  Rng rng(3);
+  ItemSequence seq = Iota(20);
+  for (int trial = 0; trial < 50; ++trial) {
+    ItemSequence crop = CropSequence(seq, 0.4, &rng);
+    ASSERT_EQ(crop.size(), 8u);
+    for (size_t i = 1; i < crop.size(); ++i) {
+      EXPECT_EQ(crop[i], crop[i - 1] + 1);  // consecutive in the iota source
+    }
+    EXPECT_GE(crop.front(), 1);
+    EXPECT_LE(crop.back(), 20);
+  }
+}
+
+TEST(CropTest, StartPositionsCoverTheRange) {
+  Rng rng(4);
+  ItemSequence seq = Iota(10);
+  std::set<int64_t> starts;
+  for (int trial = 0; trial < 200; ++trial) {
+    starts.insert(CropSequence(seq, 0.5, &rng).front());
+  }
+  EXPECT_EQ(starts.size(), 6u);  // starts 1..6 all reachable
+}
+
+TEST(MaskTest, MasksExactlyFloorGammaN) {
+  Rng rng(5);
+  ItemSequence seq = Iota(10);
+  for (double gamma : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    ItemSequence masked = MaskSequence(seq, gamma, kMaskId, &rng);
+    ASSERT_EQ(masked.size(), seq.size());
+    const auto count = std::count(masked.begin(), masked.end(), kMaskId);
+    EXPECT_EQ(count, static_cast<int64_t>(gamma * 10)) << "gamma " << gamma;
+  }
+}
+
+TEST(MaskTest, UnmaskedPositionsUnchanged) {
+  Rng rng(6);
+  ItemSequence seq = Iota(12);
+  ItemSequence masked = MaskSequence(seq, 0.5, kMaskId, &rng);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (masked[i] != kMaskId) EXPECT_EQ(masked[i], seq[i]);
+  }
+}
+
+TEST(MaskTest, FullMaskReplacesEverything) {
+  Rng rng(7);
+  ItemSequence masked = MaskSequence(Iota(6), 1.0, kMaskId, &rng);
+  for (int64_t v : masked) EXPECT_EQ(v, kMaskId);
+}
+
+TEST(ReorderTest, PreservesMultiset) {
+  Rng rng(8);
+  ItemSequence seq = Iota(15);
+  ItemSequence reordered = ReorderSequence(seq, 0.6, &rng);
+  ASSERT_EQ(reordered.size(), seq.size());
+  ItemSequence sorted = reordered;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, seq);
+}
+
+TEST(ReorderTest, OnlyWindowIsTouched) {
+  Rng rng(9);
+  ItemSequence seq = Iota(20);
+  for (int trial = 0; trial < 30; ++trial) {
+    ItemSequence reordered = ReorderSequence(seq, 0.3, &rng);
+    // Find changed span; it must fit in a window of 6.
+    int64_t first = -1, last = -1;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (reordered[i] != seq[i]) {
+        if (first < 0) first = static_cast<int64_t>(i);
+        last = static_cast<int64_t>(i);
+      }
+    }
+    if (first >= 0) EXPECT_LE(last - first + 1, 6);
+  }
+}
+
+TEST(ReorderTest, ZeroAndTinyBetaAreIdentity) {
+  Rng rng(10);
+  ItemSequence seq = Iota(10);
+  EXPECT_EQ(ReorderSequence(seq, 0.0, &rng), seq);
+  EXPECT_EQ(ReorderSequence(seq, 0.1, &rng), seq);  // window 1: no-op
+}
+
+TEST(ApplyAugmentationTest, DispatchesByKind) {
+  Rng rng(11);
+  ItemSequence seq = Iota(10);
+  EXPECT_EQ(
+      ApplyAugmentation({AugmentationKind::kCrop, 0.5}, seq, kMaskId, &rng)
+          .size(),
+      5u);
+  ItemSequence masked =
+      ApplyAugmentation({AugmentationKind::kMask, 0.5}, seq, kMaskId, &rng);
+  EXPECT_EQ(std::count(masked.begin(), masked.end(), kMaskId), 5);
+  ItemSequence reordered = ApplyAugmentation({AugmentationKind::kReorder, 0.5},
+                                             seq, kMaskId, &rng);
+  EXPECT_EQ(reordered.size(), 10u);
+}
+
+TEST(AugmentationKindTest, NamesRoundTrip) {
+  for (auto kind : {AugmentationKind::kCrop, AugmentationKind::kMask,
+                    AugmentationKind::kReorder}) {
+    EXPECT_EQ(*ParseAugmentationKind(AugmentationKindName(kind)), kind);
+  }
+  EXPECT_FALSE(ParseAugmentationKind("rotate").ok());
+}
+
+TEST(AugmenterTest, TwoViewsDifferFromSourceUsually) {
+  Rng rng(12);
+  Augmenter augmenter({{AugmentationKind::kMask, 0.5}}, kMaskId);
+  ItemSequence seq = Iota(10);
+  int changed = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto [a, b] = augmenter.TwoViews(seq, &rng);
+    if (a != seq) ++changed;
+    if (b != seq) ++changed;
+    EXPECT_EQ(a.size(), seq.size());
+  }
+  EXPECT_EQ(changed, 100);  // gamma=0.5 always masks 5 items
+}
+
+TEST(AugmenterTest, CompositionUsesBothOperators) {
+  Rng rng(13);
+  Augmenter augmenter(
+      {{AugmentationKind::kCrop, 0.5}, {AugmentationKind::kMask, 0.5}},
+      kMaskId);
+  ItemSequence seq = Iota(10);
+  bool saw_crop = false, saw_mask = false;
+  for (int trial = 0; trial < 100 && !(saw_crop && saw_mask); ++trial) {
+    auto [a, b] = augmenter.TwoViews(seq, &rng);
+    for (const auto& view : {a, b}) {
+      if (view.size() == 5u) saw_crop = true;
+      if (view.size() == 10u &&
+          std::count(view.begin(), view.end(), kMaskId) == 5) {
+        saw_mask = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_crop);
+  EXPECT_TRUE(saw_mask);
+}
+
+// ---- Parameterized property sweeps over rates ----
+
+class RateSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateSweepTest, CropLengthFormulaHoldsForAllRates) {
+  const double eta = GetParam();
+  Rng rng(20);
+  for (int64_t n : {1, 2, 5, 17, 50}) {
+    ItemSequence crop = CropSequence(Iota(n), eta, &rng);
+    const auto expected =
+        std::max<int64_t>(1, static_cast<int64_t>(eta * static_cast<double>(n)));
+    EXPECT_EQ(static_cast<int64_t>(crop.size()), std::min(expected, n))
+        << "eta=" << eta << " n=" << n;
+  }
+}
+
+TEST_P(RateSweepTest, MaskCountFormulaHoldsForAllRates) {
+  const double gamma = GetParam();
+  Rng rng(21);
+  for (int64_t n : {1, 3, 10, 33}) {
+    ItemSequence masked = MaskSequence(Iota(n), gamma, kMaskId, &rng);
+    EXPECT_EQ(std::count(masked.begin(), masked.end(), kMaskId),
+              static_cast<int64_t>(gamma * static_cast<double>(n)))
+        << "gamma=" << gamma << " n=" << n;
+  }
+}
+
+TEST_P(RateSweepTest, ReorderKeepsPrefixAndSuffixOrdered) {
+  const double beta = GetParam();
+  Rng rng(22);
+  const int64_t n = 30;
+  ItemSequence seq = Iota(n);
+  ItemSequence reordered = ReorderSequence(seq, beta, &rng);
+  // Outside some window of size floor(beta*n), elements are untouched; the
+  // multiset is always preserved.
+  ItemSequence sorted = reordered;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, seq);
+  int64_t changed = 0;
+  for (size_t i = 0; i < seq.size(); ++i) changed += reordered[i] != seq[i];
+  EXPECT_LE(changed, static_cast<int64_t>(beta * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRates, RateSweepTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,189 @@
+// Autograd stress tests: deep/wide graphs, op-combination gradients, and
+// structural edge cases not covered by the single-op checks in
+// autograd_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+Variable Param(std::vector<int64_t> shape, Rng* rng, float stddev = 0.5f) {
+  return Variable(Tensor::Randn(std::move(shape), rng, 0.f, stddev), true);
+}
+
+TEST(AutogradStressTest, DeepChainOfFiftyOps) {
+  // y = tanh(tanh(...tanh(x)...)) 50 deep; gradient must flow end to end
+  // without stack overflow (backward is iterative) and match the analytic
+  // product of derivatives.
+  Variable x(Tensor::Full({1}, 0.3f), true);
+  Variable y = x;
+  for (int i = 0; i < 50; ++i) y = TanhV(y);
+  SumV(y).Backward();
+  // Analytic: prod over the chain of (1 - t_i^2).
+  float value = 0.3f;
+  float expected = 1.f;
+  for (int i = 0; i < 50; ++i) {
+    value = std::tanh(value);
+    expected *= 1.f - value * value;
+  }
+  EXPECT_NEAR(x.grad().at(0), expected, 1e-5f);
+}
+
+TEST(AutogradStressTest, WideFanOutAccumulation) {
+  // x used by 100 independent branches: gradient = sum of branch gradients.
+  Variable x(Tensor::Full({4}, 1.f), true);
+  Variable total;
+  for (int i = 0; i < 100; ++i) {
+    Variable branch = ScaleV(x, static_cast<float>(i % 5));
+    total = total.defined() ? AddV(total, branch) : branch;
+  }
+  SumV(total).Backward();
+  // Sum of (i % 5) over 0..99 = 20 * (0+1+2+3+4) = 200.
+  EXPECT_FLOAT_EQ(x.grad().at(0), 200.f);
+}
+
+TEST(AutogradStressTest, GatherSliceConcatChainGradCheck) {
+  Rng rng(1);
+  Variable table = Param({6, 4}, &rng);
+  auto forward = [&] {
+    Variable rows = GatherRowsV(table, {5, 0, 5, 2});  // duplicates
+    Variable top = SliceRowsV(rows, 0, 2);
+    Variable bottom = SliceRowsV(rows, 2, 2);
+    Variable mixed = ConcatRowsV({bottom, top, bottom});  // reuse a slice
+    return MeanV(MulV(mixed, mixed));
+  };
+  auto result = CheckGradients(forward, {&table});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(AutogradStressTest, MatMulChainGradCheck) {
+  Rng rng(2);
+  Variable a = Param({3, 4}, &rng, 0.4f);
+  Variable b = Param({4, 3}, &rng, 0.4f);
+  auto forward = [&] {
+    Variable p = MatMulV(a, b);                   // [3,3]
+    Variable q = MatMulV(p, p, false, true);      // p p^T
+    Variable r = MatMulV(q, p, true, false);      // q^T p
+    return MeanV(r);
+  };
+  auto result = CheckGradients(forward, {&a, &b}, 1e-2f, 8e-2f, 2e-3f);
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(AutogradStressTest, SharedSubgraphEvaluatedOnce) {
+  // The same node feeding two consumers must contribute its gradient to
+  // inputs exactly once per consumer (no double-count from topo order).
+  Variable x(Tensor::Full({2}, 2.f), true);
+  Variable shared = MulV(x, x);           // x^2, dx = 2x
+  Variable left = ScaleV(shared, 3.f);    // 3x^2
+  Variable right = ScaleV(shared, 5.f);   // 5x^2
+  SumV(AddV(left, right)).Backward();     // d/dx 8x^2 = 16x = 32
+  EXPECT_FLOAT_EQ(x.grad().at(0), 32.f);
+}
+
+TEST(AutogradStressTest, EmbeddingFullTableGather) {
+  Rng rng(3);
+  Variable table = Param({8, 3}, &rng);
+  std::vector<int64_t> all;
+  for (int64_t i = 0; i < 8; ++i) all.push_back(i);
+  auto forward = [&] {
+    Variable rows = EmbeddingGatherV(table, all);
+    return SumV(MulV(rows, rows));
+  };
+  ZeroGradAll({&table});
+  forward().Backward();
+  // d(sum t^2)/dt = 2t everywhere.
+  for (int64_t i = 0; i < table.value().numel(); ++i) {
+    EXPECT_NEAR(table.grad().at(i), 2.f * table.value().at(i), 1e-5f);
+  }
+}
+
+TEST(AutogradStressTest, DropoutInsideDeepGraphGradCheck) {
+  // With a FIXED dropout mask (same rng seed re-created per call), the
+  // gradient through the masked graph must match finite differences.
+  Rng init(4);
+  Variable a = Param({3, 3}, &init);
+  auto forward = [&] {
+    Rng rng(777);  // fresh identical stream per invocation
+    Variable dropped = DropoutV(a, 0.4f, &rng, /*training=*/true);
+    return SumV(MulV(dropped, dropped));
+  };
+  auto result = CheckGradients(forward, {&a});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(AutogradStressTest, BackwardTwiceRebuildGraph) {
+  // Typical training pattern: rebuild the graph each step; grads accumulate
+  // unless cleared. Verify both behaviours explicitly.
+  Variable w(Tensor::Full({1}, 2.f), true);
+  SumV(MulV(w, w)).Backward();  // grad = 4
+  SumV(MulV(w, w)).Backward();  // grad += 4
+  EXPECT_FLOAT_EQ(w.grad().at(0), 8.f);
+  w.ZeroGrad();
+  SumV(MulV(w, w)).Backward();
+  EXPECT_FLOAT_EQ(w.grad().at(0), 4.f);
+}
+
+TEST(AutogradStressTest, MixedPrecisionlessLargeValues) {
+  // Large-magnitude activations through LayerNorm stay numerically sane.
+  Rng rng(5);
+  Variable x(Scale(Tensor::Randn({4, 8}, &rng), 1e4f), true);
+  Variable gamma(Tensor::Ones({8}), true);
+  Variable beta(Tensor({8}), true);
+  Variable y = LayerNormV(x, gamma, beta);
+  SumV(MulV(y, y)).Backward();
+  for (int64_t i = 0; i < x.grad().numel(); ++i) {
+    EXPECT_FALSE(std::isnan(x.grad().at(i)));
+  }
+  // Normalized output magnitude is O(1) regardless of input scale.
+  EXPECT_LT(MaxAll(y.value()), 10.f);
+}
+
+TEST(AutogradStressTest, ConcatManyParts) {
+  Rng rng(6);
+  std::vector<Variable> parts;
+  for (int i = 0; i < 20; ++i) parts.push_back(Param({1, 3}, &rng));
+  Variable cat = ConcatRowsV(parts);
+  EXPECT_EQ(cat.value().dim(0), 20);
+  SumV(cat).Backward();
+  for (auto& p : parts) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(p.grad().at(0, j), 1.f);
+  }
+}
+
+TEST(AutogradStressTest, ReshapeRoundTripPreservesGradient) {
+  Rng rng(7);
+  Variable a = Param({2, 6}, &rng);
+  Variable reshaped = ReshapeV(ReshapeV(a, {3, 4}), {12});
+  Variable back = ReshapeV(reshaped, {2, 6});
+  SumV(MulV(back, back)).Backward();
+  for (int64_t i = 0; i < a.value().numel(); ++i) {
+    EXPECT_NEAR(a.grad().at(i), 2.f * a.value().at(i), 1e-5f);
+  }
+}
+
+TEST(AutogradStressTest, TrainingStepOnThousandNodeGraph) {
+  // Build a graph with ~1000 nodes and verify one full forward/backward
+  // completes quickly and leaves finite gradients (smoke for allocator and
+  // topo-sort behaviour at size).
+  Rng rng(8);
+  Variable w = Param({8, 8}, &rng, 0.2f);
+  Variable h(Tensor::Randn({4, 8}, &rng));
+  for (int i = 0; i < 330; ++i) {  // 3 nodes per iteration
+    h = TanhV(MatMulV(h, w));
+  }
+  SumV(h).Backward();
+  EXPECT_TRUE(w.has_grad());
+  for (int64_t i = 0; i < w.grad().numel(); ++i) {
+    EXPECT_FALSE(std::isnan(w.grad().at(i)));
+  }
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,370 @@
+// Tests for src/autograd: tape mechanics, per-op gradient checks against
+// central finite differences, and the fused attention backward.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+Variable Param(std::vector<int64_t> shape, Rng* rng, float stddev = 0.5f) {
+  return Variable(Tensor::Randn(std::move(shape), rng, 0.f, stddev), true);
+}
+
+TEST(VariableTest, UndefinedByDefault) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+}
+
+TEST(VariableTest, WrapsTensor) {
+  Variable v(Tensor::Full({2}, 3.f), true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.value().at(0), 3.f);
+}
+
+TEST(VariableTest, BackwardThroughChain) {
+  // loss = sum(2 * (a + a)) = 4 * sum(a) -> d/da = 4.
+  Variable a(Tensor::Full({3}, 1.f), true);
+  Variable loss = SumV(ScaleV(AddV(a, a), 2.f));
+  loss.Backward();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a.grad().at(i), 4.f);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossBackwards) {
+  Variable a(Tensor::Full({1}, 1.f), true);
+  Variable loss = ScaleV(a, 3.f);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0), 3.f);
+  Variable loss2 = ScaleV(a, 2.f);
+  loss2.Backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0), 5.f);  // 3 + 2
+  a.ZeroGrad();
+  EXPECT_FALSE(a.has_grad());
+}
+
+TEST(VariableTest, DiamondGraphAccumulatesOnce) {
+  // loss = sum(a*a + a*a) -> d/da = 4a.
+  Variable a(Tensor::Full({2}, 3.f), true);
+  Variable sq = MulV(a, a);
+  Variable loss = SumV(AddV(sq, sq));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0), 12.f);
+}
+
+TEST(VariableTest, NoGradForConstants) {
+  Variable a(Tensor::Full({2}, 1.f), true);
+  Variable c = Constant(Tensor::Full({2}, 5.f));
+  Variable loss = SumV(MulV(a, c));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0), 5.f);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+// ---- Gradient checks: each op vs finite differences ----
+
+TEST(GradCheckTest, Add) {
+  Rng rng(1);
+  Variable a = Param({3, 2}, &rng);
+  Variable b = Param({3, 2}, &rng);
+  auto result = CheckGradients([&] { return SumV(AddV(a, b)); }, {&a, &b});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, SubMul) {
+  Rng rng(2);
+  Variable a = Param({2, 3}, &rng);
+  Variable b = Param({2, 3}, &rng);
+  auto result = CheckGradients(
+      [&] { return SumV(MulV(SubV(a, b), a)); }, {&a, &b});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, ScaleAndMean) {
+  Rng rng(3);
+  Variable a = Param({4}, &rng);
+  auto result = CheckGradients([&] { return MeanV(ScaleV(a, 2.5f)); }, {&a});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  Rng rng(4);
+  Variable a = Param({3, 4}, &rng);
+  Variable bias = Param({4}, &rng);
+  auto result = CheckGradients(
+      [&] { return SumV(MulV(AddRowBroadcastV(a, bias), a)); }, {&a, &bias});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, MatMulAllTransposeVariants) {
+  Rng rng(5);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      Variable a = ta ? Param({3, 2}, &rng) : Param({2, 3}, &rng);
+      Variable b = tb ? Param({4, 3}, &rng) : Param({3, 4}, &rng);
+      auto result = CheckGradients(
+          [&] { return SumV(MulV(MatMulV(a, b, ta, tb),
+                                 MatMulV(a, b, ta, tb))); },
+          {&a, &b});
+      EXPECT_TRUE(result.ok)
+          << "ta=" << ta << " tb=" << tb << ": " << result.first_failure;
+    }
+  }
+}
+
+TEST(GradCheckTest, Transpose) {
+  Rng rng(6);
+  Variable a = Param({2, 3}, &rng);
+  auto result = CheckGradients(
+      [&] { return SumV(MulV(TransposeV(a), TransposeV(a))); }, {&a});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, ReshapeConcatSlice) {
+  Rng rng(7);
+  Variable a = Param({2, 3}, &rng);
+  Variable b = Param({1, 3}, &rng);
+  auto result = CheckGradients(
+      [&] {
+        Variable cat = ConcatRowsV({a, b});           // [3,3]
+        Variable sliced = SliceRowsV(cat, 1, 2);      // [2,3]
+        Variable flat = ReshapeV(sliced, {6});
+        return SumV(MulV(flat, flat));
+      },
+      {&a, &b});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, GatherRowsWithDuplicates) {
+  Rng rng(8);
+  Variable table = Param({4, 3}, &rng);
+  const std::vector<int64_t> indices = {0, 2, 2, 3, 0};
+  auto result = CheckGradients(
+      [&] {
+        Variable rows = GatherRowsV(table, indices);
+        return SumV(MulV(rows, rows));
+      },
+      {&table});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, Activations) {
+  Rng rng(9);
+  Variable a = Param({3, 3}, &rng, 1.0f);
+  for (auto op : {&ReluV, &GeluV, &SigmoidV, &TanhV}) {
+    auto result =
+        CheckGradients([&] { return SumV(MulV(op(a), op(a))); }, {&a});
+    EXPECT_TRUE(result.ok) << result.first_failure;
+  }
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  Rng rng(10);
+  Variable x = Param({3, 5}, &rng, 1.f);
+  Variable gamma(Tensor::Randn({5}, &rng, 1.f, 0.2f), true);
+  Variable beta = Param({5}, &rng, 0.2f);
+  auto result = CheckGradients(
+      [&] {
+        Variable y = LayerNormV(x, gamma, beta);
+        return SumV(MulV(y, y));
+      },
+      {&x, &gamma, &beta});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, SoftmaxRows) {
+  Rng rng(11);
+  Variable logits = Param({3, 4}, &rng, 1.f);
+  Variable weights = Param({3, 4}, &rng);
+  auto result = CheckGradients(
+      [&] { return SumV(MulV(SoftmaxRowsV(logits), weights)); },
+      {&logits});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, RowDot) {
+  Rng rng(12);
+  Variable a = Param({4, 3}, &rng);
+  Variable b = Param({4, 3}, &rng);
+  auto result = CheckGradients(
+      [&] {
+        Variable d = RowDotV(a, b);
+        return SumV(MulV(d, d));
+      },
+      {&a, &b});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, L2NormalizeRows) {
+  Rng rng(13);
+  Variable a = Param({3, 4}, &rng, 1.f);
+  Variable w = Param({3, 4}, &rng);
+  auto result = CheckGradients(
+      [&] { return SumV(MulV(L2NormalizeRowsV(a), w)); }, {&a});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropy) {
+  Rng rng(14);
+  Variable logits = Param({4, 5}, &rng, 1.f);
+  const std::vector<int64_t> targets = {0, 3, 2, 4};
+  auto result = CheckGradients(
+      [&] { return SoftmaxCrossEntropyV(logits, targets); }, {&logits});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, BceWithLogits) {
+  Rng rng(15);
+  Variable logits = Param({6}, &rng, 1.f);
+  Tensor labels = Tensor::FromVector({6}, {1, 0, 1, 1, 0, 0});
+  auto result = CheckGradients(
+      [&] { return BceWithLogitsV(logits, labels); }, {&logits});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GradCheckTest, BceWithLogitsWeighted) {
+  Rng rng(16);
+  Variable logits = Param({4}, &rng, 1.f);
+  Tensor labels = Tensor::FromVector({4}, {1, 0, 1, 0});
+  Tensor weights = Tensor::FromVector({4}, {1, 0, 2, 1});
+  auto result = CheckGradients(
+      [&] { return BceWithLogitsV(logits, labels, weights); }, {&logits});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(BceTest, ZeroWeightPositionsIgnored) {
+  // Changing a zero-weight logit must not change the loss.
+  Variable logits1(Tensor::FromVector({2}, {0.7f, 100.f}), false);
+  Variable logits2(Tensor::FromVector({2}, {0.7f, -100.f}), false);
+  Tensor labels = Tensor::FromVector({2}, {1.f, 1.f});
+  Tensor weights = Tensor::FromVector({2}, {1.f, 0.f});
+  EXPECT_FLOAT_EQ(BceWithLogitsV(logits1, labels, weights).value().at(0),
+                  BceWithLogitsV(logits2, labels, weights).value().at(0));
+}
+
+TEST(GradCheckTest, FusedAttention) {
+  Rng rng(17);
+  const int64_t batch = 2, seq = 4, d = 6, heads = 2;
+  Variable x = Param({batch * seq, d}, &rng, 0.6f);
+  Variable wq = Param({d, d}, &rng, 0.4f);
+  Variable wk = Param({d, d}, &rng, 0.4f);
+  Variable wv = Param({d, d}, &rng, 0.4f);
+  Variable wo = Param({d, d}, &rng, 0.4f);
+  // First sequence fully valid, second left-padded by one token.
+  std::vector<float> valid(batch * seq, 1.f);
+  valid[static_cast<size_t>(seq)] = 0.f;
+  auto result = CheckGradients(
+      [&] {
+        Variable y = MultiHeadSelfAttentionV(x, wq, wk, wv, wo, batch, seq,
+                                             heads, valid);
+        return SumV(MulV(y, y));
+      },
+      {&x, &wq, &wk, &wv, &wo});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  // Changing a FUTURE token must not change earlier outputs.
+  Rng rng(18);
+  const int64_t batch = 1, seq = 3, d = 4, heads = 1;
+  Variable wq = Param({d, d}, &rng);
+  Variable wk = Param({d, d}, &rng);
+  Variable wv = Param({d, d}, &rng);
+  Variable wo = Param({d, d}, &rng);
+  std::vector<float> valid(seq, 1.f);
+  Tensor x1 = Tensor::Randn({seq, d}, &rng);
+  Tensor x2 = x1.Clone();
+  for (int64_t j = 0; j < d; ++j) x2.at(2, j) += 1.f;  // change last token
+  Variable y1 = MultiHeadSelfAttentionV(Variable(x1), wq, wk, wv, wo, batch,
+                                        seq, heads, valid);
+  Variable y2 = MultiHeadSelfAttentionV(Variable(x2), wq, wk, wv, wo, batch,
+                                        seq, heads, valid);
+  for (int64_t t = 0; t < 2; ++t) {
+    for (int64_t j = 0; j < d; ++j) {
+      EXPECT_FLOAT_EQ(y1.value().at(t, j), y2.value().at(t, j))
+          << "future leakage at position " << t;
+    }
+  }
+}
+
+TEST(AttentionTest, PaddedKeysIgnored) {
+  // Changing the embedding at a PADDED position must not affect valid rows.
+  Rng rng(19);
+  const int64_t batch = 1, seq = 3, d = 4, heads = 2;
+  Variable wq = Param({d, d}, &rng);
+  Variable wk = Param({d, d}, &rng);
+  Variable wv = Param({d, d}, &rng);
+  Variable wo = Param({d, d}, &rng);
+  std::vector<float> valid = {0.f, 1.f, 1.f};  // left padding
+  Tensor x1 = Tensor::Randn({seq, d}, &rng);
+  Tensor x2 = x1.Clone();
+  for (int64_t j = 0; j < d; ++j) x2.at(0, j) = 99.f;  // poison the pad slot
+  Variable y1 = MultiHeadSelfAttentionV(Variable(x1), wq, wk, wv, wo, batch,
+                                        seq, heads, valid);
+  Variable y2 = MultiHeadSelfAttentionV(Variable(x2), wq, wk, wv, wo, batch,
+                                        seq, heads, valid);
+  for (int64_t t = 1; t < seq; ++t) {
+    for (int64_t j = 0; j < d; ++j) {
+      EXPECT_FLOAT_EQ(y1.value().at(t, j), y2.value().at(t, j));
+    }
+  }
+}
+
+TEST(AttentionTest, FullyMaskedQueryRowIsZero) {
+  Rng rng(20);
+  const int64_t batch = 1, seq = 2, d = 4, heads = 1;
+  Variable wq = Param({d, d}, &rng);
+  Variable wk = Param({d, d}, &rng);
+  Variable wv = Param({d, d}, &rng);
+  Variable wo = Param({d, d}, &rng);
+  std::vector<float> valid = {0.f, 1.f};
+  Variable x(Tensor::Randn({seq, d}, &rng));
+  Variable y = MultiHeadSelfAttentionV(x, wq, wk, wv, wo, batch, seq, heads,
+                                       valid);
+  // Row 0's only causal key (itself) is padding -> pre-projection output is
+  // zero, so the final row equals 0 * Wo = 0.
+  for (int64_t j = 0; j < d; ++j) EXPECT_FLOAT_EQ(y.value().at(0, j), 0.f);
+}
+
+TEST(DropoutTest, IdentityWhenEval) {
+  Rng rng(21);
+  Variable a = Param({100}, &rng);
+  Variable out = DropoutV(a, 0.5f, &rng, /*training=*/false);
+  EXPECT_TRUE(AllClose(out.value(), a.value()));
+}
+
+TEST(DropoutTest, InvertedScalingPreservesMean) {
+  Rng rng(22);
+  Variable a(Tensor::Ones({20000}), false);
+  Variable out = DropoutV(a, 0.3f, &rng, /*training=*/true);
+  EXPECT_NEAR(MeanAll(out.value()), 1.f, 0.05f);
+  // Every entry is either 0 or 1/(1-p).
+  for (int64_t i = 0; i < 100; ++i) {
+    const float v = out.value().at(i);
+    EXPECT_TRUE(v == 0.f || std::fabs(v - 1.f / 0.7f) < 1e-5f);
+  }
+}
+
+TEST(DropoutTest, MaskConsistentInBackward) {
+  Rng rng(23);
+  Variable a = Param({50}, &rng);
+  Variable out = DropoutV(a, 0.5f, &rng, /*training=*/true);
+  Variable loss = SumV(out);
+  loss.Backward();
+  // Gradient must be nonzero exactly where the output was kept.
+  for (int64_t i = 0; i < 50; ++i) {
+    if (out.value().at(i) == 0.f) {
+      EXPECT_FLOAT_EQ(a.grad().at(i), 0.f);
+    } else {
+      EXPECT_GT(a.grad().at(i), 0.f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cl4srec

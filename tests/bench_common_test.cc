@@ -1,0 +1,108 @@
+// Tests for the bench/CLI plumbing (bench/bench_common.*): the model
+// factory, flag wiring, and dataset construction that every reproduction
+// binary and the CLI depend on.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+
+namespace cl4srec {
+namespace bench {
+namespace {
+
+TEST(BenchCommonTest, Table2ModelOrderMatchesPaper) {
+  const auto& names = Table2ModelNames();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.front(), "Pop");
+  EXPECT_EQ(names[4], "SASRec");
+  EXPECT_EQ(names[5], "SASRec_BPR");
+  EXPECT_EQ(names.back(), "CL4SRec");
+}
+
+TEST(BenchCommonTest, FactoryBuildsEveryTable2Model) {
+  BenchConfig config;
+  config.dim = 8;
+  for (const auto& name : Table2ModelNames()) {
+    auto model = MakeModel(name, config);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+  }
+}
+
+TEST(BenchCommonTest, FactoryBuildsExtensionModels) {
+  BenchConfig config;
+  config.dim = 8;
+  EXPECT_EQ(MakeModel("FPMC", config)->name(), "FPMC");
+  EXPECT_EQ(MakeModel("BERT4Rec", config)->name(), "BERT4Rec");
+}
+
+TEST(BenchCommonTest, FactoryDiesOnUnknownName) {
+  BenchConfig config;
+  EXPECT_DEATH(MakeModel("Word2Vec", config), "unknown model");
+}
+
+TEST(BenchCommonTest, Cl4SRecFactoryAugmentationOverride) {
+  BenchConfig config;
+  config.dim = 8;
+  config.pretrain_epochs = 1;
+  auto model = MakeModel(
+      "CL4SRec", config, {{AugmentationKind::kReorder, 0.7}});
+  auto* cl = dynamic_cast<Cl4SRec*>(model.get());
+  ASSERT_NE(cl, nullptr);
+  ASSERT_EQ(cl->config().augmentations.size(), 1u);
+  EXPECT_EQ(cl->config().augmentations[0].kind, AugmentationKind::kReorder);
+  EXPECT_DOUBLE_EQ(cl->config().augmentations[0].rate, 0.7);
+  EXPECT_EQ(cl->config().pretrain_epochs, 1);
+}
+
+TEST(BenchCommonTest, FlagsRoundTripIntoConfig) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  const char* argv[] = {"prog",   "--scale", "2.5",  "--dim",  "64",
+                        "--epochs", "7",     "--batch", "32",
+                        "--seed", "99",      "--csv",  "/tmp/x.csv"};
+  ASSERT_TRUE(flags.Parse(13, const_cast<char**>(argv)).ok());
+  BenchConfig config = ConfigFromFlags(flags);
+  EXPECT_DOUBLE_EQ(config.scale, 2.5);
+  EXPECT_EQ(config.dim, 64);
+  EXPECT_EQ(config.epochs, 7);
+  EXPECT_EQ(config.batch_size, 32);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.csv_path, "/tmp/x.csv");
+
+  TrainOptions options = MakeTrainOptions(config);
+  EXPECT_EQ(options.epochs, 7);
+  EXPECT_EQ(options.batch_size, 32);
+  EXPECT_EQ(options.seed, 99u);
+}
+
+TEST(BenchCommonTest, ReAddingAFlagOverridesItsDefault) {
+  // The per-bench "override the common default" idiom.
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  flags.AddInt("epochs", 30, "override");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(ConfigFromFlags(flags).epochs, 30);
+}
+
+TEST(BenchCommonTest, DatasetScalesWithConfig) {
+  BenchConfig small;
+  small.scale = 0.2;
+  BenchConfig large;
+  large.scale = 0.5;
+  const auto users_small =
+      MakeBenchDataset(SyntheticPreset::kToys, small).num_users();
+  const auto users_large =
+      MakeBenchDataset(SyntheticPreset::kToys, large).num_users();
+  EXPECT_GT(users_large, users_small);
+}
+
+TEST(BenchCommonTest, FmtFourDecimals) {
+  EXPECT_EQ(Fmt(0.12345), "0.1235");
+  EXPECT_EQ(Fmt(0.0), "0.0000");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cl4srec

@@ -1,0 +1,241 @@
+// Configuration-matrix tests: exercise the configuration space of every
+// module (layer counts, head counts, FFN widths/activations, causal vs
+// bidirectional, mismatched embed/hidden dims, negative-sampling ratios)
+// that the default-config suites do not touch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "core/cl4srec.h"
+#include "data/synthetic.h"
+#include "models/bert4rec.h"
+#include "models/gru4rec.h"
+#include "models/ncf.h"
+#include "nn/transformer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+SequenceDataset TinyData(uint64_t seed = 51) {
+  SyntheticConfig config;
+  config.num_users = 90;
+  config.num_items = 60;
+  config.seed = seed;
+  return MakeSyntheticDataset(config);
+}
+
+// ---- Transformer configuration space ----
+
+struct EncoderCase {
+  int64_t layers;
+  int64_t heads;
+  int64_t ffn_dim;
+  bool gelu;
+  bool causal;
+};
+
+class EncoderMatrixTest : public ::testing::TestWithParam<EncoderCase> {};
+
+TEST_P(EncoderMatrixTest, ForwardFiniteAndDeterministic) {
+  const EncoderCase c = GetParam();
+  Rng rng(9);
+  TransformerConfig config;
+  config.num_items = 12;
+  config.max_len = 6;
+  config.hidden_dim = 8;
+  config.num_layers = c.layers;
+  config.num_heads = c.heads;
+  config.ffn_dim = c.ffn_dim;
+  config.gelu_ffn = c.gelu;
+  config.causal = c.causal;
+  config.dropout = 0.f;
+  TransformerSeqEncoder encoder(config, &rng);
+  PaddedBatch batch = PackSequences({{1, 5, 3}, {2}}, 6);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  Tensor h1 = encoder.EncodeLast(batch, ctx).value();
+  Tensor h2 = encoder.EncodeLast(batch, ctx).value();
+  EXPECT_TRUE(AllClose(h1, h2));
+  for (int64_t i = 0; i < h1.numel(); ++i) EXPECT_FALSE(std::isnan(h1.at(i)));
+  EXPECT_EQ(h1.dim(0), 2);
+  EXPECT_EQ(h1.dim(1), 8);
+}
+
+TEST_P(EncoderMatrixTest, GradientsFlowToAllParameters) {
+  const EncoderCase c = GetParam();
+  Rng rng(10);
+  TransformerConfig config;
+  config.num_items = 8;
+  config.max_len = 4;
+  config.hidden_dim = 8;
+  config.num_layers = c.layers;
+  config.num_heads = c.heads;
+  config.ffn_dim = c.ffn_dim;
+  config.gelu_ffn = c.gelu;
+  config.causal = c.causal;
+  config.dropout = 0.f;
+  TransformerSeqEncoder encoder(config, &rng);
+  PaddedBatch batch = PackSequences({{1, 2, 3, 4}, {5, 6, 7}}, 4);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  Variable h = encoder.EncodeLast(batch, ctx);
+  SumV(MulV(h, h)).Backward();
+  int without_grad = 0;
+  for (Variable* p : encoder.Parameters()) {
+    if (!p->has_grad()) ++without_grad;
+  }
+  // Every parameter except (possibly) never-gathered embedding rows gets a
+  // gradient tensor; the registry itself must be fully covered.
+  EXPECT_EQ(without_grad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EncoderMatrixTest,
+    ::testing::Values(EncoderCase{1, 1, 0, false, true},
+                      EncoderCase{3, 2, 0, false, true},
+                      EncoderCase{2, 4, 16, false, true},
+                      EncoderCase{2, 2, 0, true, false},   // BERT-style
+                      EncoderCase{1, 2, 32, true, true}));
+
+TEST(EncoderConfigTest, RejectsIndivisibleHeads) {
+  Rng rng(11);
+  TransformerConfig config;
+  config.num_items = 5;
+  config.hidden_dim = 8;
+  config.num_heads = 3;  // 8 % 3 != 0
+  EXPECT_DEATH(TransformerSeqEncoder(config, &rng), "divisible");
+}
+
+TEST(EncoderConfigTest, SequenceLongerThanMaxLenDies) {
+  Rng rng(12);
+  TransformerConfig config;
+  config.num_items = 5;
+  config.max_len = 3;
+  config.hidden_dim = 4;
+  config.dropout = 0.f;
+  TransformerSeqEncoder encoder(config, &rng);
+  PaddedBatch batch = PackSequences({{1, 2}}, 5);  // wider than max_len
+  ForwardContext ctx{.training = false, .rng = &rng};
+  EXPECT_DEATH(encoder.EncodeAll(batch, ctx), "");
+}
+
+TEST(EncoderConfigTest, DropoutChangesTrainingOutputs) {
+  Rng rng(13);
+  TransformerConfig config;
+  config.num_items = 10;
+  config.max_len = 5;
+  config.hidden_dim = 8;
+  config.dropout = 0.5f;
+  TransformerSeqEncoder encoder(config, &rng);
+  PaddedBatch batch = PackSequences({{1, 2, 3}}, 5);
+  Rng d1(1), d2(2);
+  ForwardContext t1{.training = true, .rng = &d1};
+  ForwardContext t2{.training = true, .rng = &d2};
+  Tensor a = encoder.EncodeLast(batch, t1).value();
+  Tensor b = encoder.EncodeLast(batch, t2).value();
+  EXPECT_FALSE(AllClose(a, b));  // different dropout masks
+}
+
+// ---- GRU4Rec with mismatched dims (projection path) ----
+
+TEST(Gru4RecConfigTest, HiddenWiderThanEmbedding) {
+  SequenceDataset data = TinyData();
+  Gru4RecConfig config;
+  config.embed_dim = 8;
+  config.hidden_dim = 16;  // forces the hidden->embed projection
+  Gru4Rec model(config);
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 32;
+  options.max_len = 12;
+  model.Fit(data, options);
+  Tensor scores = model.ScoreBatch({0}, {{1, 2, 3}});
+  EXPECT_EQ(scores.dim(1), data.num_items() + 1);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_FALSE(std::isnan(scores.at(i)));
+  }
+}
+
+// ---- NCF negative ratios ----
+
+class NcfNegativesTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(NcfNegativesTest, TrainsAcrossNegativeRatios) {
+  SequenceDataset data = TinyData();
+  NcfConfig config;
+  config.gmf_dim = 8;
+  config.mlp_dim = 8;
+  config.hidden1 = 8;
+  config.hidden2 = 4;
+  config.negatives_per_positive = GetParam();
+  Ncf model(config);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 64;
+  model.Fit(data, options);
+  MetricReport report = model.Evaluate(data);
+  EXPECT_EQ(report.num_users, data.num_users());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, NcfNegativesTest, ::testing::Values(1, 4));
+
+// ---- BERT4Rec mask-probability extremes ----
+
+class BertMaskProbTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(BertMaskProbTest, TrainsAtMaskProbExtremes) {
+  SequenceDataset data = TinyData();
+  Bert4RecConfig config;
+  config.hidden_dim = 8;
+  config.mask_prob = GetParam();
+  Bert4Rec model(config);
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 32;
+  options.max_len = 12;
+  model.Fit(data, options);
+  Tensor scores = model.ScoreBatch({0}, {{1, 2, 3}});
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_FALSE(std::isnan(scores.at(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Probs, BertMaskProbTest,
+                         ::testing::Values(0.05f, 0.5f, 0.9f));
+
+// ---- CL4SRec augmentation-set matrix ----
+
+class Cl4SRecAugSetTest
+    : public ::testing::TestWithParam<std::vector<AugmentationOp>> {};
+
+TEST_P(Cl4SRecAugSetTest, PretrainsWithEveryOperatorSet) {
+  SequenceDataset data = TinyData();
+  Cl4SRecConfig config;
+  config.encoder.hidden_dim = 8;
+  config.pretrain_epochs = 1;
+  config.pretrain_batch_size = 32;
+  config.augmentations = GetParam();
+  Cl4SRec model(config);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 32;
+  options.max_len = 12;
+  model.Fit(data, options);
+  MetricReport report = model.Evaluate(data);
+  EXPECT_EQ(report.num_users, data.num_users());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sets, Cl4SRecAugSetTest,
+    ::testing::Values(
+        std::vector<AugmentationOp>{{AugmentationKind::kCrop, 0.9}},
+        std::vector<AugmentationOp>{{AugmentationKind::kReorder, 0.5}},
+        std::vector<AugmentationOp>{{AugmentationKind::kCrop, 0.5},
+                                    {AugmentationKind::kReorder, 0.5}},
+        std::vector<AugmentationOp>{{AugmentationKind::kSubstitute, 0.3}},
+        std::vector<AugmentationOp>{{AugmentationKind::kInsert, 0.2},
+                                    {AugmentationKind::kMask, 0.3}}));
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,178 @@
+// Tests for src/core: NT-Xent loss properties (paper Eq. 3) and the CL4SRec
+// pre-training machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "core/cl4srec.h"
+#include "core/nt_xent.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+// Builds [2N, d] reps where pairs are near-duplicates (aligned case) or
+// random (unaligned case).
+Tensor AlignedReps(int64_t n, int64_t d, float noise, Rng* rng) {
+  Tensor reps({2 * n, d});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      const float base = static_cast<float>(rng->Normal());
+      reps.at(2 * i, j) = base + noise * static_cast<float>(rng->Normal());
+      reps.at(2 * i + 1, j) = base + noise * static_cast<float>(rng->Normal());
+    }
+  }
+  return reps;
+}
+
+TEST(NtXentTest, LowerLossForAlignedPairs) {
+  Rng rng(1);
+  Variable aligned(AlignedReps(8, 16, 0.01f, &rng));
+  Variable random(Tensor::Randn({16, 16}, &rng));
+  const float aligned_loss = NtXentLoss(aligned, 0.2f).value().at(0);
+  const float random_loss = NtXentLoss(random, 0.2f).value().at(0);
+  EXPECT_LT(aligned_loss, random_loss);
+  EXPECT_LT(aligned_loss, 0.5f);
+}
+
+TEST(NtXentTest, RandomRepsNearLogCandidates) {
+  // For random (uncorrelated) representations, the loss is close to
+  // log(2N - 1): uniform over the candidate set.
+  Rng rng(2);
+  const int64_t n = 32;
+  Variable reps(Tensor::Randn({2 * n, 24}, &rng));
+  const float loss = NtXentLoss(reps, 1.0f).value().at(0);
+  EXPECT_NEAR(loss, std::log(static_cast<float>(2 * n - 1)), 0.35f);
+}
+
+TEST(NtXentTest, ScaleInvarianceFromCosine) {
+  // Cosine similarity ignores per-row scale, so scaling all reps by a
+  // positive constant leaves the loss unchanged.
+  Rng rng(3);
+  Tensor reps = Tensor::Randn({8, 6}, &rng);
+  Variable a(reps);
+  Variable b(Scale(reps, 10.f));
+  EXPECT_NEAR(NtXentLoss(a, 0.5f).value().at(0),
+              NtXentLoss(b, 0.5f).value().at(0), 1e-4f);
+}
+
+TEST(NtXentTest, TemperatureSharpens) {
+  // For aligned pairs, lower temperature gives lower loss (sharper softmax
+  // around the positive).
+  Rng rng(4);
+  Variable reps(AlignedReps(8, 12, 0.05f, &rng));
+  const float hot = NtXentLoss(reps, 1.0f).value().at(0);
+  const float cold = NtXentLoss(reps, 0.1f).value().at(0);
+  EXPECT_LT(cold, hot);
+}
+
+TEST(NtXentTest, GradCheck) {
+  Rng rng(5);
+  Variable reps(Tensor::Randn({8, 5}, &rng), true);
+  auto result = CheckGradients([&] { return NtXentLoss(reps, 0.5f); }, {&reps},
+                               /*epsilon=*/1e-2f, /*rtol=*/6e-2f,
+                               /*atol=*/2e-3f);
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(NtXentTest, GradientPullsPositivesTogether) {
+  // One step of gradient descent on the NT-Xent loss must increase the
+  // cosine similarity of a positive pair.
+  Rng rng(6);
+  Variable reps(Tensor::Randn({8, 6}, &rng), true);
+  auto cosine01 = [&]() {
+    Tensor z = L2NormalizeRows(reps.value());
+    double dot = 0;
+    for (int64_t j = 0; j < 6; ++j) dot += z.at(0, j) * z.at(1, j);
+    return dot;
+  };
+  const double before = cosine01();
+  Variable loss = NtXentLoss(reps, 0.5f);
+  loss.Backward();
+  reps.mutable_value().AxpyInPlace(-0.5f, reps.grad());
+  EXPECT_GT(cosine01(), before);
+}
+
+TEST(ContrastiveAccuracyTest, PerfectForWellSeparatedPairs) {
+  Rng rng(7);
+  Tensor reps = AlignedReps(6, 16, 0.001f, &rng);
+  EXPECT_FLOAT_EQ(ContrastiveAccuracy(reps), 1.f);
+}
+
+TEST(ContrastiveAccuracyTest, LowForRandom) {
+  Rng rng(8);
+  Tensor reps = Tensor::Randn({64, 8}, &rng);
+  EXPECT_LT(ContrastiveAccuracy(reps), 0.5f);
+}
+
+class Cl4SRecSmokeTest : public ::testing::Test {
+ protected:
+  static SequenceDataset MakeData() {
+    SyntheticConfig config;
+    config.num_users = 120;
+    config.num_items = 80;
+    config.avg_length = 8.0;
+    config.seed = 99;
+    return MakeSyntheticDataset(config);
+  }
+
+  static TrainOptions FastOptions() {
+    TrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 64;
+    options.max_len = 20;
+    return options;
+  }
+};
+
+TEST_F(Cl4SRecSmokeTest, PretrainReducesContrastiveLoss) {
+  SequenceDataset data = MakeData();
+  Cl4SRecConfig config;
+  config.encoder.hidden_dim = 16;
+  config.pretrain_epochs = 6;
+  config.pretrain_batch_size = 64;
+  config.augmentations = {{AugmentationKind::kCrop, 0.5}};
+  Cl4SRec model(config);
+  TrainOptions options = FastOptions();
+  const double final_loss = model.Pretrain(data, options);
+  // Random-representation baseline is log(2N-1); training must beat it.
+  EXPECT_LT(final_loss, std::log(2.0 * 64 - 1.0));
+  EXPECT_GT(final_loss, 0.0);
+}
+
+TEST_F(Cl4SRecSmokeTest, FitThenScoreShapes) {
+  SequenceDataset data = MakeData();
+  Cl4SRecConfig config;
+  config.encoder.hidden_dim = 16;
+  config.pretrain_epochs = 1;
+  Cl4SRec model(config);
+  model.Fit(data, FastOptions());
+  Tensor scores = model.ScoreBatch({0, 1}, {{1, 2, 3}, {4, 5}});
+  EXPECT_EQ(scores.dim(0), 2);
+  EXPECT_EQ(scores.dim(1), data.num_items() + 1);
+}
+
+TEST_F(Cl4SRecSmokeTest, JointModeRuns) {
+  SequenceDataset data = MakeData();
+  Cl4SRecConfig config;
+  config.encoder.hidden_dim = 16;
+  config.joint_weight = 0.1f;
+  Cl4SRec model(config);
+  TrainOptions options = FastOptions();
+  options.epochs = 1;
+  model.Fit(data, options);
+  MetricReport report = model.Evaluate(data);
+  EXPECT_EQ(report.num_users, data.num_users());
+}
+
+TEST(NtXentChecksTest, RejectsTinyBatch) {
+  Rng rng(9);
+  Variable reps(Tensor::Randn({2, 4}, &rng));
+  EXPECT_DEATH(NtXentLoss(reps, 0.5f), "at least two users");
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,317 @@
+// Tests for src/data: preprocessing, dataset split, batching, synthetic
+// generator, CSV round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/batcher.h"
+#include "data/csv_loader.h"
+#include "data/synthetic.h"
+
+namespace cl4srec {
+namespace {
+
+Interaction Make(int64_t user, int64_t item, int64_t ts, float rating = 1.f) {
+  return Interaction{user, item, ts, rating};
+}
+
+TEST(BinarizeTest, DropsBelowThresholdAndSetsOne) {
+  InteractionLog log = {Make(1, 1, 0, 5.f), Make(1, 2, 1, 2.f)};
+  InteractionLog out = Binarize(log, 3.f);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].item, 1);
+  EXPECT_FLOAT_EQ(out[0].rating, 1.f);
+}
+
+TEST(KCoreFilterTest, IterativeRemoval) {
+  // Users 1,2 each interact with items 10,11 twice (4 events each item);
+  // user 3 touches item 12 once. With min_count=2, user 3 and item 12
+  // vanish; removing them must not break the others.
+  InteractionLog log = {
+      Make(1, 10, 0), Make(1, 11, 1), Make(2, 10, 0), Make(2, 11, 1),
+      Make(3, 12, 0),
+  };
+  InteractionLog out = KCoreFilter(log, 2);
+  EXPECT_EQ(out.size(), 4u);
+  for (const auto& e : out) EXPECT_NE(e.user, 3);
+}
+
+TEST(KCoreFilterTest, CascadingRemoval) {
+  // Item 20 is held only by user 1; once user 1 drops (too few events after
+  // its rare item is removed), item 21's count also drops below threshold.
+  InteractionLog log = {
+      Make(1, 20, 0), Make(1, 21, 1),
+      Make(2, 21, 0), Make(2, 22, 1), Make(2, 23, 2),
+      Make(3, 22, 0), Make(3, 23, 1), Make(3, 22, 2),
+  };
+  InteractionLog out = KCoreFilter(log, 2);
+  for (const auto& e : out) {
+    EXPECT_NE(e.user, 1);
+    EXPECT_NE(e.item, 20);
+    EXPECT_NE(e.item, 21);  // count fell to 1 after user 1 left
+  }
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(KCoreFilterTest, FiveCoreGuaranteesMinimums) {
+  SequenceCorpus corpus =
+      Preprocess(GenerateSyntheticLog(SyntheticConfig{}), 0.f, 5);
+  std::vector<int64_t> item_counts(static_cast<size_t>(corpus.num_items + 1), 0);
+  for (const auto& seq : corpus.sequences) {
+    EXPECT_GE(seq.size(), 5u);
+    for (int64_t item : seq) ++item_counts[static_cast<size_t>(item)];
+  }
+  for (size_t i = 1; i < item_counts.size(); ++i) {
+    EXPECT_GE(item_counts[i], 5);
+  }
+}
+
+TEST(BuildSequencesTest, ChronologicalOrderAndDenseIds) {
+  InteractionLog log = {
+      Make(7, 100, 3), Make(7, 200, 1), Make(7, 300, 2),
+      Make(9, 200, 0),
+  };
+  SequenceCorpus corpus = BuildSequences(log);
+  EXPECT_EQ(corpus.num_users(), 2);
+  EXPECT_EQ(corpus.num_items, 3);
+  // User 7 (reindexed 0): items sorted by timestamp 200,300,100.
+  const auto& seq = corpus.sequences[0];
+  ASSERT_EQ(seq.size(), 3u);
+  // Dense ids start at 1 and are assigned in first-appearance order:
+  // 100->1, 200->2, 300->3.
+  EXPECT_EQ(seq[0], 2);
+  EXPECT_EQ(seq[1], 3);
+  EXPECT_EQ(seq[2], 1);
+  EXPECT_EQ(corpus.num_actions(), 4);
+}
+
+TEST(BuildSequencesTest, StableSortOnEqualTimestamps) {
+  InteractionLog log = {Make(1, 10, 0), Make(1, 11, 0), Make(1, 12, 0)};
+  SequenceCorpus corpus = BuildSequences(log);
+  EXPECT_EQ(corpus.sequences[0], (std::vector<int64_t>{1, 2, 3}));
+}
+
+SequenceCorpus TinyCorpus() {
+  // Three users with 5 items each over a 6-item vocabulary.
+  SequenceCorpus corpus;
+  corpus.num_items = 6;
+  corpus.sequences = {
+      {1, 2, 3, 4, 5},
+      {2, 3, 4, 5, 6},
+      {1, 3, 5, 2, 4},
+  };
+  return corpus;
+}
+
+TEST(SequenceDatasetTest, LeaveOneOutSplit) {
+  SequenceDataset data(TinyCorpus());
+  EXPECT_EQ(data.num_users(), 3);
+  EXPECT_EQ(data.num_items(), 6);
+  EXPECT_EQ(data.TrainSequence(0), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(data.ValidTarget(0), 4);
+  EXPECT_EQ(data.TestTarget(0), 5);
+  EXPECT_EQ(data.TestInput(0), (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+TEST(SequenceDatasetTest, DropsTooShortUsers) {
+  SequenceCorpus corpus;
+  corpus.num_items = 3;
+  corpus.sequences = {{1, 2}, {1, 2, 3}};
+  SequenceDataset data(std::move(corpus));
+  EXPECT_EQ(data.num_users(), 1);
+}
+
+TEST(SequenceDatasetTest, SeenItemsCoverAllSplits) {
+  SequenceDataset data(TinyCorpus());
+  const auto& seen = data.SeenItems(0);
+  for (int64_t item : {1, 2, 3, 4, 5}) EXPECT_TRUE(seen.contains(item));
+  EXPECT_FALSE(seen.contains(6));
+}
+
+TEST(SequenceDatasetTest, NegativeSamplerAvoidsHistory) {
+  SequenceDataset data(TinyCorpus());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(data.SampleNegative(0, &rng), 6);  // only unseen item
+  }
+}
+
+TEST(SequenceDatasetTest, StatsMatchCorpus) {
+  SequenceDataset data(TinyCorpus());
+  DatasetStats stats = data.Stats();
+  EXPECT_EQ(stats.num_users, 3);
+  EXPECT_EQ(stats.num_items, 6);
+  EXPECT_EQ(stats.num_actions, 15);
+  EXPECT_DOUBLE_EQ(stats.avg_length, 5.0);
+  EXPECT_NEAR(stats.density, 15.0 / 18.0, 1e-9);
+}
+
+TEST(SequenceDatasetTest, SubsampleTrainingKeepsEvalTargets) {
+  SequenceDataset data(TinyCorpus());
+  Rng rng(2);
+  SequenceDataset subset = data.SubsampleTraining(0.34, &rng);
+  EXPECT_EQ(subset.num_users(), 3);
+  int64_t with_training = 0;
+  for (int64_t u = 0; u < 3; ++u) {
+    if (!subset.TrainSequence(u).empty()) ++with_training;
+    EXPECT_EQ(subset.TestTarget(u), data.TestTarget(u));
+    EXPECT_EQ(subset.ValidTarget(u), data.ValidTarget(u));
+  }
+  EXPECT_EQ(with_training, 1);  // 34% of 3 users rounds to 1
+}
+
+TEST(BatcherTest, EpochBatchesCoverEligibleUsersOnce) {
+  SequenceDataset data(TinyCorpus());
+  Rng rng(3);
+  auto batches = MakeEpochBatches(data, 2, &rng);
+  std::vector<int64_t> seen;
+  for (const auto& batch : batches) {
+    EXPECT_LE(batch.size(), 2u);
+    for (int64_t u : batch) seen.push_back(u);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(BatcherTest, NextItemBatchAlignment) {
+  SequenceDataset data(TinyCorpus());
+  Rng rng(4);
+  NextItemBatch batch = MakeNextItemBatch(data, {0}, 5, &rng);
+  // Train sequence {1,2,3}: input {1,2}, targets {2,3}, right-aligned at 5.
+  EXPECT_EQ(batch.inputs.id_at(0, 3), 1);
+  EXPECT_EQ(batch.inputs.id_at(0, 4), 2);
+  EXPECT_EQ(batch.targets[3], 2);
+  EXPECT_EQ(batch.targets[4], 3);
+  EXPECT_EQ(batch.targets[2], 0);  // padding has no target
+  // Negatives exist exactly where targets exist and avoid the user history.
+  EXPECT_EQ(batch.negatives[2], 0);
+  for (size_t i = 3; i <= 4; ++i) {
+    EXPECT_EQ(batch.negatives[i], 6);
+  }
+}
+
+TEST(BatcherTest, TruncatesLongSequences) {
+  SequenceCorpus corpus;
+  corpus.num_items = 12;
+  corpus.sequences = {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+  SequenceDataset data(std::move(corpus));
+  Rng rng(5);
+  NextItemBatch batch = MakeNextItemBatch(data, {0}, 4, &rng);
+  // Train sequence is {1..8}; inputs are the LAST 4 of {1..7}: {4,5,6,7};
+  // targets the last 4 of {2..8}: {5,6,7,8}.
+  EXPECT_EQ(batch.inputs.id_at(0, 0), 4);
+  EXPECT_EQ(batch.inputs.id_at(0, 3), 7);
+  EXPECT_EQ(batch.targets[0], 5);
+  EXPECT_EQ(batch.targets[3], 8);
+}
+
+TEST(SyntheticTest, PresetsRoughlyMatchTable1Shape) {
+  for (auto preset : {SyntheticPreset::kBeauty, SyntheticPreset::kSports,
+                      SyntheticPreset::kToys, SyntheticPreset::kYelp}) {
+    SequenceDataset data = MakeSyntheticDataset(preset, /*scale=*/0.5);
+    DatasetStats stats = data.Stats();
+    EXPECT_GT(stats.num_users, 100) << PresetName(preset);
+    EXPECT_GT(stats.num_items, 50) << PresetName(preset);
+    EXPECT_GT(stats.avg_length, 6.0) << PresetName(preset);
+    EXPECT_LT(stats.avg_length, 14.0) << PresetName(preset);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.num_items = 40;
+  InteractionLog a = GenerateSyntheticLog(config);
+  InteractionLog b = GenerateSyntheticLog(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].item, b[i].item);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig a_config;
+  a_config.num_users = 50;
+  SyntheticConfig b_config = a_config;
+  b_config.seed = a_config.seed + 1;
+  InteractionLog a = GenerateSyntheticLog(a_config);
+  InteractionLog b = GenerateSyntheticLog(b_config);
+  int same = 0, total = 0;
+  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    same += a[i].item == b[i].item;
+    ++total;
+  }
+  EXPECT_LT(same, total / 2);
+}
+
+TEST(SyntheticTest, SequentialStructureExists) {
+  // With strong chaining, the empirical P(next in same-or-adjacent cluster)
+  // should well exceed the uniform baseline.
+  SyntheticConfig config;
+  config.num_users = 300;
+  config.num_items = 160;
+  config.num_clusters = 16;
+  config.sequential_strength = 0.9;
+  config.order_noise = 0.0;
+  InteractionLog log = GenerateSyntheticLog(config);
+  // items were assigned cluster = item % num_clusters at generation time.
+  int64_t chained = 0, total = 0;
+  int64_t prev_user = -1, prev_cluster = -1;
+  for (const auto& e : log) {
+    const int64_t cluster = e.item % config.num_clusters;
+    if (e.user == prev_user) {
+      ++total;
+      if (cluster == prev_cluster ||
+          cluster == (prev_cluster + 1) % config.num_clusters) {
+        ++chained;
+      }
+    }
+    prev_user = e.user;
+    prev_cluster = cluster;
+  }
+  // Uniform baseline would be 2/16 = 0.125.
+  EXPECT_GT(static_cast<double>(chained) / static_cast<double>(total), 0.4);
+}
+
+TEST(SyntheticTest, ParsePresetNames) {
+  EXPECT_EQ(*ParsePreset("beauty"), SyntheticPreset::kBeauty);
+  EXPECT_EQ(*ParsePreset("Yelp"), SyntheticPreset::kYelp);
+  EXPECT_FALSE(ParsePreset("books").ok());
+}
+
+TEST(CsvLoaderTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/interactions_test.csv";
+  InteractionLog log = {Make(1, 2, 3, 4.5f), Make(5, 6, 7)};
+  ASSERT_TRUE(SaveInteractionsCsv(path, log).ok());
+  auto loaded = LoadInteractionsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].user, 1);
+  EXPECT_EQ((*loaded)[0].item, 2);
+  EXPECT_EQ((*loaded)[0].timestamp, 3);
+  EXPECT_FLOAT_EQ((*loaded)[0].rating, 4.5f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, MissingFileIsIoError) {
+  auto result = LoadInteractionsCsv("/nonexistent/path.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvLoaderTest, MalformedRowIsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "/bad_test.csv";
+  {
+    std::ofstream out(path);
+    out << "user,item,timestamp\n1,2,3\n1,x,3\n";
+  }
+  auto result = LoadInteractionsCsv(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,239 @@
+// Tests for src/eval: rank computation and full-ranking HR/NDCG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace cl4srec {
+namespace {
+
+SequenceCorpus TinyCorpus() {
+  SequenceCorpus corpus;
+  corpus.num_items = 5;
+  corpus.sequences = {
+      {1, 2, 3},  // train {1}, valid 2, test 3
+      {4, 5, 1},  // train {4}, valid 5, test 1
+  };
+  return corpus;
+}
+
+TEST(RankOfTargetTest, BasicRanking) {
+  // scores for items 1..4 (index 0 unused).
+  const float scores[] = {0.f, 0.9f, 0.5f, 0.7f, 0.1f};
+  std::unordered_set<int64_t> excluded;
+  EXPECT_EQ(RankOfTarget(scores, 4, 1, excluded), 1);
+  EXPECT_EQ(RankOfTarget(scores, 4, 3, excluded), 2);
+  EXPECT_EQ(RankOfTarget(scores, 4, 4, excluded), 4);
+}
+
+TEST(RankOfTargetTest, ExclusionShrinksCandidateSet) {
+  const float scores[] = {0.f, 0.9f, 0.5f, 0.7f, 0.1f};
+  std::unordered_set<int64_t> excluded = {1, 3};
+  EXPECT_EQ(RankOfTarget(scores, 4, 2, excluded), 1);
+}
+
+TEST(RankOfTargetTest, TiesArePessimistic) {
+  const float scores[] = {0.f, 0.5f, 0.5f, 0.5f};
+  std::unordered_set<int64_t> excluded;
+  EXPECT_EQ(RankOfTarget(scores, 3, 2, excluded), 3);  // ties rank above
+}
+
+TEST(EvaluateRankingTest, PerfectScorerGetsOnes) {
+  SequenceDataset data(TinyCorpus());
+  auto perfect = [&](const std::vector<int64_t>& users,
+                     const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    Tensor scores({static_cast<int64_t>(users.size()), 6});
+    for (size_t i = 0; i < users.size(); ++i) {
+      scores.at(static_cast<int64_t>(i), data.TestTarget(users[i])) = 1.f;
+    }
+    return scores;
+  };
+  MetricReport report = EvaluateRanking(data, perfect);
+  EXPECT_EQ(report.num_users, 2);
+  EXPECT_DOUBLE_EQ(report.hr.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(report.ndcg.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(report.ndcg.at(20), 1.0);
+}
+
+TEST(EvaluateRankingTest, KnownRankGivesKnownNdcg) {
+  SequenceDataset data(TinyCorpus());
+  // Score the test target just below exactly 2 unseen items -> rank 3.
+  auto scorer = [&](const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    Tensor scores({static_cast<int64_t>(users.size()), 6});
+    for (size_t i = 0; i < users.size(); ++i) {
+      const int64_t row = static_cast<int64_t>(i);
+      const int64_t target = data.TestTarget(users[i]);
+      for (int64_t item = 1; item <= 5; ++item) scores.at(row, item) = 0.f;
+      // Two non-excluded competitors above the target.
+      int placed = 0;
+      for (int64_t item = 1; item <= 5 && placed < 2; ++item) {
+        if (item == target) continue;
+        if (data.SeenItems(users[i]).contains(item)) continue;
+        scores.at(row, item) = 1.0f;
+        ++placed;
+      }
+      scores.at(row, target) = 0.5f;
+    }
+    return scores;
+  };
+  MetricReport report = EvaluateRanking(data, scorer);
+  EXPECT_DOUBLE_EQ(report.hr.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(report.hr.at(10), 1.0);
+  EXPECT_NEAR(report.ndcg.at(5), 1.0 / std::log2(4.0), 1e-9);
+}
+
+TEST(EvaluateRankingTest, ValidationSplitUsesTrainPrefix) {
+  SequenceDataset data(TinyCorpus());
+  std::vector<std::vector<int64_t>> captured;
+  auto scorer = [&](const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) {
+    captured = inputs;
+    return Tensor({static_cast<int64_t>(users.size()), 6});
+  };
+  EvalOptions options;
+  options.split = EvalSplit::kValidation;
+  EvaluateRanking(data, scorer, options);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], (std::vector<int64_t>{1}));  // train prefix only
+}
+
+TEST(EvaluateRankingTest, TestSplitIncludesValidItem) {
+  SequenceDataset data(TinyCorpus());
+  std::vector<std::vector<int64_t>> captured;
+  auto scorer = [&](const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) {
+    captured = inputs;
+    return Tensor({static_cast<int64_t>(users.size()), 6});
+  };
+  EvaluateRanking(data, scorer);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], (std::vector<int64_t>{1, 2}));
+}
+
+TEST(EvaluateRankingTest, BatchesRespectBatchSize) {
+  SequenceDataset data(TinyCorpus());
+  int calls = 0;
+  auto scorer = [&](const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    ++calls;
+    EXPECT_EQ(users.size(), 1u);
+    return Tensor({1, 6});
+  };
+  EvalOptions options;
+  options.batch_size = 1;
+  EvaluateRanking(data, scorer, options);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(MetricReportTest, ToStringFormat) {
+  MetricReport report;
+  report.hr[10] = 0.1234;
+  report.ndcg[10] = 0.0567;
+  report.mrr = 0.0311;
+  EXPECT_EQ(report.ToString(), "HR@10 0.1234 NDCG@10 0.0567 MRR 0.0311");
+}
+
+TEST(EvaluateRankingTest, MrrIsOneForPerfectScorer) {
+  SequenceDataset data(TinyCorpus());
+  auto perfect = [&](const std::vector<int64_t>& users,
+                     const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    Tensor scores({static_cast<int64_t>(users.size()), 6});
+    for (size_t i = 0; i < users.size(); ++i) {
+      scores.at(static_cast<int64_t>(i), data.TestTarget(users[i])) = 1.f;
+    }
+    return scores;
+  };
+  EXPECT_DOUBLE_EQ(EvaluateRanking(data, perfect).mrr, 1.0);
+}
+
+TEST(EvaluateRankingTest, MrrBoundedByHr) {
+  // MRR <= HR@K for K = num_items (every reciprocal rank <= 1(hit)).
+  SequenceDataset data(TinyCorpus());
+  Rng rng(4);
+  auto random_scorer = [&](const std::vector<int64_t>& users,
+                           const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    return Tensor::Randn({static_cast<int64_t>(users.size()), 6}, &rng);
+  };
+  MetricReport report = EvaluateRanking(data, random_scorer);
+  EXPECT_GT(report.mrr, 0.0);
+  EXPECT_LE(report.mrr, 1.0);
+}
+
+TEST(SampledRankingTest, PerfectScorerStillPerfect) {
+  SequenceDataset data(TinyCorpus());
+  auto perfect = [&](const std::vector<int64_t>& users,
+                     const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    Tensor scores({static_cast<int64_t>(users.size()), 6});
+    for (size_t i = 0; i < users.size(); ++i) {
+      scores.at(static_cast<int64_t>(i), data.TestTarget(users[i])) = 1.f;
+    }
+    return scores;
+  };
+  MetricReport report = EvaluateSampledRanking(data, perfect, 3, /*seed=*/1);
+  EXPECT_DOUBLE_EQ(report.hr.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(report.mrr, 1.0);
+}
+
+TEST(SampledRankingTest, DeterministicForSeed) {
+  SequenceDataset data(TinyCorpus());
+  Rng rng(5);
+  Tensor fixed = Tensor::Randn({6}, &rng);
+  auto scorer = [&](const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    Tensor scores({static_cast<int64_t>(users.size()), 6});
+    for (size_t i = 0; i < users.size(); ++i) {
+      for (int64_t item = 0; item < 6; ++item) {
+        scores.at(static_cast<int64_t>(i), item) = fixed.at(item);
+      }
+    }
+    return scores;
+  };
+  MetricReport a = EvaluateSampledRanking(data, scorer, 2, 7);
+  MetricReport b = EvaluateSampledRanking(data, scorer, 2, 7);
+  EXPECT_DOUBLE_EQ(a.hr.at(10), b.hr.at(10));
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+}
+
+TEST(SampledRankingTest, InflatesRelativeToFullRanking) {
+  // The Krichene & Rendle effect the paper cites (section 4.1.2): with few
+  // sampled negatives, a mediocre scorer looks much better than under full
+  // ranking. Build a larger catalog so the effect is visible.
+  SequenceCorpus corpus;
+  corpus.num_items = 200;
+  Rng gen(11);
+  for (int u = 0; u < 40; ++u) {
+    std::vector<int64_t> seq;
+    for (int t = 0; t < 6; ++t) seq.push_back(gen.UniformInt(1, 200));
+    corpus.sequences.push_back(std::move(seq));
+  }
+  SequenceDataset data(std::move(corpus));
+  Rng rng(13);
+  auto mediocre = [&](const std::vector<int64_t>& users,
+                      const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    Tensor scores =
+        Tensor::Randn({static_cast<int64_t>(users.size()), 201}, &rng);
+    // Give every target a small boost: better than random, far from exact.
+    for (size_t i = 0; i < users.size(); ++i) {
+      scores.at(static_cast<int64_t>(i), data.TestTarget(users[i])) += 0.5f;
+    }
+    return scores;
+  };
+  MetricReport full = EvaluateRanking(data, mediocre);
+  MetricReport sampled = EvaluateSampledRanking(data, mediocre, 10, 17);
+  EXPECT_GT(sampled.hr.at(10), full.hr.at(10));
+  EXPECT_GT(sampled.mrr, full.mrr * 1.5);
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,356 @@
+// Tests for the extension features beyond the paper's core: parameter
+// checkpointing, co-occurrence item similarity, substitute/insert
+// augmentations, bidirectional (non-causal) attention, and BERT4Rec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "augment/augmentations.h"
+#include "augment/item_similarity.h"
+#include "core/cl4srec.h"
+#include "data/synthetic.h"
+#include "models/bert4rec.h"
+#include "nn/serialization.h"
+#include "nn/transformer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+// ---- Serialization ----
+
+TEST(SerializationTest, RoundTripRestoresValues) {
+  const std::string path = ::testing::TempDir() + "/ckpt_roundtrip.bin";
+  Rng rng(1);
+  Linear original(4, 3, &rng);
+  ASSERT_TRUE(SaveModule(path, original).ok());
+
+  Rng rng2(99);
+  Linear restored(4, 3, &rng2);
+  ASSERT_FALSE(AllClose(original.weight().value(), restored.weight().value()));
+  ASSERT_TRUE(LoadModule(path, restored).ok());
+  EXPECT_TRUE(AllClose(original.weight().value(), restored.weight().value()));
+  EXPECT_TRUE(AllClose(original.bias().value(), restored.bias().value()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, WholeEncoderRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ckpt_encoder.bin";
+  Rng rng(2);
+  TransformerConfig config;
+  config.num_items = 20;
+  config.hidden_dim = 8;
+  config.max_len = 10;
+  TransformerSeqEncoder a(config, &rng);
+  TransformerSeqEncoder b(config, &rng);  // different init (rng advanced)
+  ASSERT_TRUE(SaveModule(path, a).ok());
+  ASSERT_TRUE(LoadModule(path, b).ok());
+  // Same parameters -> same encodings.
+  PaddedBatch batch = PackSequences({{1, 2, 3}}, 10);
+  Rng dummy(0);
+  ForwardContext ctx{.training = false, .rng = &dummy};
+  EXPECT_TRUE(AllClose(a.EncodeLast(batch, ctx).value(),
+                       b.EncodeLast(batch, ctx).value()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ShapeMismatchRejectedWithoutMutation) {
+  const std::string path = ::testing::TempDir() + "/ckpt_mismatch.bin";
+  Rng rng(3);
+  Linear small(2, 2, &rng);
+  ASSERT_TRUE(SaveModule(path, small).ok());
+  Linear big(3, 3, &rng);
+  Tensor before = big.weight().value().Clone();
+  Status status = LoadModule(path, big);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(AllClose(before, big.weight().value()));  // untouched
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, GarbageFileRejected) {
+  const std::string path = ::testing::TempDir() + "/ckpt_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a checkpoint";
+  }
+  Rng rng(4);
+  Linear model(2, 2, &rng);
+  EXPECT_FALSE(LoadModule(path, model).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  Rng rng(5);
+  Linear model(2, 2, &rng);
+  Status status = LoadModule("/nonexistent/ckpt.bin", model);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+// ---- Item similarity ----
+
+TEST(ItemCoCountsTest, CountsWithinWindow) {
+  // Sequence 1-2-3 with window 1: (1,2) and (2,3) co-occur, (1,3) do not.
+  ItemCoCounts model = ItemCoCounts::Build({{1, 2, 3}}, 3, /*window=*/1);
+  EXPECT_EQ(model.MostSimilar(1), 2);
+  EXPECT_EQ(model.MostSimilar(3), 2);
+  const auto& neighbors_of_1 = model.Neighbors(1);
+  ASSERT_EQ(neighbors_of_1.size(), 1u);
+  EXPECT_EQ(neighbors_of_1[0].first, 2);
+}
+
+TEST(ItemCoCountsTest, StrongerCoCountsRankFirst) {
+  ItemCoCounts model = ItemCoCounts::Build(
+      {{1, 2}, {1, 2}, {1, 3}}, 3, /*window=*/1);
+  EXPECT_EQ(model.MostSimilar(1), 2);  // co-count 2 beats 1
+}
+
+TEST(ItemCoCountsTest, IsolatedItemHasNoNeighbors) {
+  ItemCoCounts model = ItemCoCounts::Build({{1, 2}}, 5, 1);
+  EXPECT_EQ(model.MostSimilar(5), -1);
+  // Sampling falls back to a uniform random valid item.
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const int64_t sample = model.SampleSimilar(5, &rng);
+    EXPECT_GE(sample, 1);
+    EXPECT_LE(sample, 5);
+  }
+}
+
+TEST(ItemCoCountsTest, SampleSimilarFollowsCounts) {
+  ItemCoCounts model = ItemCoCounts::Build(
+      {{1, 2}, {1, 2}, {1, 2}, {1, 3}}, 3, 1);
+  Rng rng(7);
+  int to_2 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (model.SampleSimilar(1, &rng) == 2) ++to_2;
+  }
+  EXPECT_NEAR(to_2 / 1000.0, 0.75, 0.06);
+}
+
+TEST(ItemCoCountsTest, MaxNeighborsCap) {
+  std::vector<std::vector<int64_t>> sequences;
+  for (int64_t other = 2; other <= 20; ++other) sequences.push_back({1, other});
+  ItemCoCounts model = ItemCoCounts::Build(sequences, 20, 1, /*max_neighbors=*/5);
+  EXPECT_EQ(model.Neighbors(1).size(), 5u);
+}
+
+// ---- Substitute / insert augmentations ----
+
+ItemCoCounts ChainSimilarity() {
+  // Ring co-occurrence: item i is most similar to i+1.
+  std::vector<std::vector<int64_t>> sequences;
+  for (int64_t i = 1; i < 10; ++i) {
+    sequences.push_back({i, i + 1});
+    sequences.push_back({i, i + 1});
+  }
+  return ItemCoCounts::Build(sequences, 10, 1);
+}
+
+TEST(SubstituteTest, ReplacesExactlyFloorRateN) {
+  ItemCoCounts sim = ChainSimilarity();
+  Rng rng(8);
+  ItemSequence seq = {1, 2, 3, 4, 5, 6, 7, 8};
+  ItemSequence out = SubstituteSequence(seq, 0.5, sim, &rng);
+  ASSERT_EQ(out.size(), seq.size());
+  int changed = 0;
+  for (size_t i = 0; i < seq.size(); ++i) changed += out[i] != seq[i];
+  // Exactly 4 positions were substituted; a replacement may coincide with
+  // the original only if sampled similar == original, which the similarity
+  // lists preclude (no self co-counts).
+  EXPECT_EQ(changed, 4);
+}
+
+TEST(SubstituteTest, UsesSimilarItems) {
+  ItemCoCounts sim = ChainSimilarity();
+  Rng rng(9);
+  ItemSequence seq = {5, 5, 5, 5};
+  ItemSequence out = SubstituteSequence(seq, 1.0, sim, &rng);
+  for (int64_t item : out) {
+    EXPECT_TRUE(item == 4 || item == 6);  // 5's neighbours
+  }
+}
+
+TEST(InsertTest, GrowsByFloorRateN) {
+  ItemCoCounts sim = ChainSimilarity();
+  Rng rng(10);
+  ItemSequence seq = {1, 2, 3, 4, 5, 6};
+  ItemSequence out = InsertSequence(seq, 0.5, sim, &rng);
+  EXPECT_EQ(out.size(), 9u);
+  // Original items appear in order as a subsequence.
+  size_t pos = 0;
+  for (int64_t item : seq) {
+    while (pos < out.size() && out[pos] != item) ++pos;
+    ASSERT_LT(pos, out.size()) << "original order broken";
+    ++pos;
+  }
+}
+
+TEST(InsertTest, ZeroRateIsIdentity) {
+  ItemCoCounts sim = ChainSimilarity();
+  Rng rng(11);
+  ItemSequence seq = {1, 2, 3};
+  EXPECT_EQ(InsertSequence(seq, 0.0, sim, &rng), seq);
+}
+
+TEST(AugmenterTest, InformedOperatorsViaContext) {
+  ItemCoCounts sim = ChainSimilarity();
+  Augmenter augmenter({{AugmentationKind::kSubstitute, 0.5}},
+                      AugmentationContext{99, &sim});
+  Rng rng(12);
+  ItemSequence seq = {1, 2, 3, 4};
+  auto [a, b] = augmenter.TwoViews(seq, &rng);
+  EXPECT_EQ(a.size(), seq.size());
+  EXPECT_EQ(b.size(), seq.size());
+}
+
+TEST(AugmenterTest, InformedOperatorWithoutModelDies) {
+  Augmenter augmenter({{AugmentationKind::kInsert, 0.5}},
+                      AugmentationContext{99, nullptr});
+  Rng rng(13);
+  ItemSequence seq = {1, 2, 3};
+  EXPECT_DEATH(augmenter.TwoViews(seq, &rng), "similarity");
+}
+
+TEST(AugmentationKindTest, NewKindsParse) {
+  EXPECT_EQ(*ParseAugmentationKind("substitute"), AugmentationKind::kSubstitute);
+  EXPECT_EQ(*ParseAugmentationKind("insert"), AugmentationKind::kInsert);
+}
+
+// ---- Bidirectional attention ----
+
+TEST(BidirectionalAttentionTest, FutureTokensVisible) {
+  Rng rng(14);
+  const int64_t d = 4;
+  auto param = [&](std::vector<int64_t> shape) {
+    return Variable(Tensor::Randn(std::move(shape), &rng, 0.f, 0.5f), false);
+  };
+  Variable wq = param({d, d}), wk = param({d, d}), wv = param({d, d}),
+           wo = param({d, d});
+  std::vector<float> valid(3, 1.f);
+  Tensor x1 = Tensor::Randn({3, d}, &rng);
+  Tensor x2 = x1.Clone();
+  for (int64_t j = 0; j < d; ++j) x2.at(2, j) += 1.f;  // change the LAST token
+  Variable y1 = MultiHeadSelfAttentionV(Variable(x1), wq, wk, wv, wo, 1, 3, 2,
+                                        valid, /*causal=*/false);
+  Variable y2 = MultiHeadSelfAttentionV(Variable(x2), wq, wk, wv, wo, 1, 3, 2,
+                                        valid, /*causal=*/false);
+  // With bidirectional attention, position 0's output MUST change.
+  bool changed = false;
+  for (int64_t j = 0; j < d; ++j) {
+    changed = changed || y1.value().at(0, j) != y2.value().at(0, j);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(BidirectionalAttentionTest, GradCheck) {
+  Rng rng(15);
+  const int64_t batch = 2, seq = 3, d = 4, heads = 2;
+  auto param = [&](std::vector<int64_t> shape) {
+    return Variable(Tensor::Randn(std::move(shape), &rng, 0.f, 0.5f), true);
+  };
+  Variable x = param({batch * seq, d});
+  Variable wq = param({d, d}), wk = param({d, d}), wv = param({d, d}),
+           wo = param({d, d});
+  std::vector<float> valid(batch * seq, 1.f);
+  valid[0] = 0.f;  // one padded key
+  auto forward = [&] {
+    Variable y = MultiHeadSelfAttentionV(x, wq, wk, wv, wo, batch, seq, heads,
+                                         valid, /*causal=*/false);
+    return SumV(MulV(y, y));
+  };
+  // Finite-difference check inline (same recipe as autograd_test).
+  ZeroGradAll({&x, &wq, &wk, &wv, &wo});
+  Variable loss = forward();
+  loss.Backward();
+  Tensor analytic = x.grad().Clone();
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < 6; ++i) {  // spot-check a few x entries
+    const float orig = x.mutable_value().at(i);
+    x.mutable_value().at(i) = orig + eps;
+    const float plus = forward().value().at(0);
+    x.mutable_value().at(i) = orig - eps;
+    const float minus = forward().value().at(0);
+    x.mutable_value().at(i) = orig;
+    const float numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(analytic.at(i), numeric, 5e-2f * std::fabs(numeric) + 2e-3f);
+  }
+}
+
+// ---- BERT4Rec ----
+
+TEST(Bert4RecTest, TrainsAndScores) {
+  SyntheticConfig data_config;
+  data_config.num_users = 150;
+  data_config.num_items = 90;
+  data_config.seed = 21;
+  SequenceDataset data = MakeSyntheticDataset(data_config);
+  Bert4RecConfig config;
+  config.hidden_dim = 16;
+  Bert4Rec model(config);
+  TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 64;
+  options.max_len = 20;
+  model.Fit(data, options);
+  Tensor scores = model.ScoreBatch({0, 1}, {{1, 2, 3}, {4}});
+  EXPECT_EQ(scores.dim(0), 2);
+  EXPECT_EQ(scores.dim(1), data.num_items() + 1);
+  MetricReport report = model.Evaluate(data);
+  EXPECT_EQ(report.num_users, data.num_users());
+  EXPECT_LE(report.ndcg.at(10), report.hr.at(10) + 1e-12);
+}
+
+TEST(Bert4RecTest, LearningBeatsUntrained) {
+  SyntheticConfig data_config;
+  data_config.num_users = 150;
+  data_config.num_items = 90;
+  data_config.sequential_strength = 0.8;
+  data_config.seed = 22;
+  SequenceDataset data = MakeSyntheticDataset(data_config);
+  Bert4RecConfig config;
+  config.hidden_dim = 16;
+  TrainOptions options;
+  options.batch_size = 64;
+  options.max_len = 20;
+
+  Bert4Rec untrained(config);
+  options.epochs = 0;
+  untrained.Fit(data, options);
+  const double before = untrained.Evaluate(data).hr.at(20);
+
+  Bert4Rec trained(config);
+  options.epochs = 10;
+  trained.Fit(data, options);
+  EXPECT_GT(trained.Evaluate(data).hr.at(20), before);
+}
+
+// ---- CL4SRec with informed augmentations end-to-end ----
+
+TEST(Cl4SRecInformedTest, SubstituteInsertPipelineRuns) {
+  SyntheticConfig data_config;
+  data_config.num_users = 120;
+  data_config.num_items = 80;
+  data_config.seed = 23;
+  SequenceDataset data = MakeSyntheticDataset(data_config);
+  Cl4SRecConfig config;
+  config.encoder.hidden_dim = 16;
+  config.pretrain_epochs = 2;
+  config.pretrain_batch_size = 64;
+  config.augmentations = {{AugmentationKind::kSubstitute, 0.3},
+                          {AugmentationKind::kInsert, 0.3}};
+  Cl4SRec model(config);
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 64;
+  options.max_len = 20;
+  model.Fit(data, options);
+  MetricReport report = model.Evaluate(data);
+  EXPECT_EQ(report.num_users, data.num_users());
+}
+
+}  // namespace
+}  // namespace cl4srec

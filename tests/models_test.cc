@@ -1,0 +1,280 @@
+// Tests for src/models: each baseline's mechanics plus small integration
+// checks that training moves metrics in the right direction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cl4srec.h"
+#include "models/training_utils.h"
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+#include "models/fpmc.h"
+#include "models/gru4rec.h"
+#include "models/ncf.h"
+#include "models/pop.h"
+#include "models/sasrec.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+SequenceCorpus TinyCorpus() {
+  SequenceCorpus corpus;
+  corpus.num_items = 6;
+  corpus.sequences = {
+      {1, 2, 3, 1, 2},
+      {2, 3, 1, 2, 4},
+      {3, 1, 2, 5, 6},
+  };
+  return corpus;
+}
+
+SequenceDataset SmallStructuredData(uint64_t seed = 77) {
+  SyntheticConfig config;
+  config.num_users = 150;
+  config.num_items = 90;
+  config.avg_length = 8.0;
+  config.sequential_strength = 0.8;
+  config.seed = seed;
+  return MakeSyntheticDataset(config);
+}
+
+TrainOptions FastOptions(int64_t epochs = 3) {
+  TrainOptions options;
+  options.epochs = epochs;
+  options.batch_size = 64;
+  options.max_len = 20;
+  return options;
+}
+
+TEST(PopTest, CountsTrainingInteractionsOnly) {
+  SequenceDataset data(TinyCorpus());
+  Pop pop;
+  pop.Fit(data, {});
+  Tensor scores = pop.ScoreBatch({0}, {{}});
+  // Training prefixes: {1,2,3} {2,3,1} {3,1,2} -> each of items 1..3 x3.
+  EXPECT_FLOAT_EQ(scores.at(0, 1), 3.f);
+  EXPECT_FLOAT_EQ(scores.at(0, 2), 3.f);
+  EXPECT_FLOAT_EQ(scores.at(0, 3), 3.f);
+  EXPECT_FLOAT_EQ(scores.at(0, 4), 0.f);  // item 4 only in valid/test
+  EXPECT_FLOAT_EQ(scores.at(0, 5), 0.f);
+}
+
+TEST(PopTest, SameScoresForAllUsers) {
+  SequenceDataset data(TinyCorpus());
+  Pop pop;
+  pop.Fit(data, {});
+  Tensor scores = pop.ScoreBatch({0, 1, 2}, {{}, {}, {}});
+  for (int64_t item = 0; item <= 6; ++item) {
+    EXPECT_EQ(scores.at(0, item), scores.at(1, item));
+    EXPECT_EQ(scores.at(1, item), scores.at(2, item));
+  }
+}
+
+TEST(BprMfTest, LearnsToRankPositivesAboveUnseen) {
+  SequenceDataset data = SmallStructuredData();
+  BprMf model(BprMfConfig{.dim = 16});
+  model.Fit(data, FastOptions(10));
+  // Average score of a user's training items should exceed the average
+  // score of unseen items for most users.
+  Tensor scores = model.ScoreBatch({0, 1, 2, 3, 4},
+                                   {{}, {}, {}, {}, {}});
+  int wins = 0;
+  for (int64_t u = 0; u < 5; ++u) {
+    double pos = 0, neg = 0;
+    int64_t pos_n = 0, neg_n = 0;
+    for (int64_t item = 1; item <= data.num_items(); ++item) {
+      if (data.SeenItems(u).contains(item)) {
+        pos += scores.at(u, item);
+        ++pos_n;
+      } else {
+        neg += scores.at(u, item);
+        ++neg_n;
+      }
+    }
+    if (pos / pos_n > neg / neg_n) ++wins;
+  }
+  EXPECT_GE(wins, 4);
+}
+
+TEST(BprMfTest, ItemFactorsExposedForWarmStart) {
+  SequenceDataset data(TinyCorpus());
+  BprMf model(BprMfConfig{.dim = 8});
+  model.Fit(data, FastOptions(1));
+  EXPECT_EQ(model.item_factors().dim(0), data.num_items() + 1);
+  EXPECT_EQ(model.item_factors().dim(1), 8);
+  // Padding row stays zero.
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(model.item_factors().at(0, j), 0.f);
+  }
+}
+
+TEST(NcfTest, TrainsAndScores) {
+  SequenceDataset data = SmallStructuredData();
+  NcfConfig config;
+  config.gmf_dim = 8;
+  config.mlp_dim = 8;
+  config.hidden1 = 8;
+  config.hidden2 = 4;
+  Ncf model(config);
+  model.Fit(data, FastOptions(2));
+  Tensor scores = model.ScoreBatch({0, 1}, {{}, {}});
+  EXPECT_EQ(scores.dim(0), 2);
+  EXPECT_EQ(scores.dim(1), data.num_items() + 1);
+  // Different users get different (personalized) scores.
+  bool differs = false;
+  for (int64_t item = 1; item <= data.num_items() && !differs; ++item) {
+    differs = scores.at(0, item) != scores.at(1, item);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Gru4RecTest, TrainsAndBeatsUntrainedSelf) {
+  SequenceDataset data = SmallStructuredData();
+  Gru4RecConfig config;
+  config.embed_dim = 16;
+  config.hidden_dim = 16;
+  Gru4Rec untrained(config);
+  untrained.Fit(data, FastOptions(0));  // builds encoder, no epochs
+  const double before = untrained.Evaluate(data).hr.at(20);
+  Gru4Rec trained(config);
+  trained.Fit(data, FastOptions(8));
+  const double after = trained.Evaluate(data).hr.at(20);
+  EXPECT_GT(after, before);
+}
+
+TEST(SasRecTest, LossDecreasesAndBeatsUntrained) {
+  SequenceDataset data = SmallStructuredData();
+  SasRecConfig config;
+  config.hidden_dim = 16;
+  config.dropout = 0.1f;
+  SasRec untrained(config);
+  untrained.Fit(data, FastOptions(0));
+  const double before = untrained.Evaluate(data).hr.at(20);
+  SasRec trained(config);
+  trained.Fit(data, FastOptions(10));
+  const double after = trained.Evaluate(data).hr.at(20);
+  EXPECT_GT(after, before);
+}
+
+TEST(SasRecTest, ScoreShapesAndDeterminism) {
+  SequenceDataset data(TinyCorpus());
+  SasRec model(SasRecConfig{.hidden_dim = 8});
+  model.Fit(data, FastOptions(1));
+  Tensor a = model.ScoreBatch({0}, {{1, 2, 3}});
+  Tensor b = model.ScoreBatch({0}, {{1, 2, 3}});
+  EXPECT_TRUE(AllClose(a, b));  // eval path has no dropout
+  EXPECT_EQ(a.dim(1), data.num_items() + 1);
+}
+
+TEST(SasRecTest, EnsureEncoderIdempotent) {
+  SequenceDataset data(TinyCorpus());
+  SasRec model(SasRecConfig{.hidden_dim = 8});
+  TrainOptions options = FastOptions(0);
+  model.EnsureEncoder(data, options);
+  TransformerSeqEncoder* first = model.encoder();
+  model.EnsureEncoder(data, options);
+  EXPECT_EQ(model.encoder(), first);  // not rebuilt
+}
+
+TEST(SasRecBprTest, WarmStartCopiesBprFactors) {
+  SequenceDataset data = SmallStructuredData();
+  SasRecConfig config;
+  config.hidden_dim = 16;
+  TrainOptions bpr_options = FastOptions(2);
+  SasRecBpr model(config, bpr_options);
+  model.Fit(data, FastOptions(1));
+  Tensor scores = model.ScoreBatch({0}, {{1, 2}});
+  EXPECT_EQ(scores.dim(1), data.num_items() + 1);
+}
+
+TEST(EarlyStoppingTest, RestoresBestParameters) {
+  // With eval_every=1 and patience=1, training stops early and restores the
+  // snapshot; the model must still be usable.
+  SequenceDataset data = SmallStructuredData();
+  SasRecConfig config;
+  config.hidden_dim = 16;
+  SasRec model(config);
+  TrainOptions options = FastOptions(6);
+  options.eval_every = 1;
+  options.patience = 1;
+  model.Fit(data, options);
+  MetricReport report = model.Evaluate(data);
+  EXPECT_EQ(report.num_users, data.num_users());
+}
+
+TEST(FpmcTest, TrainsAndBeatsUntrainedSelf) {
+  SequenceDataset data = SmallStructuredData();
+  FpmcConfig config;
+  config.dim = 16;
+  Fpmc untrained(config);
+  TrainOptions options = FastOptions(0);
+  untrained.Fit(data, options);
+  const double before = untrained.Evaluate(data).hr.at(20);
+  Fpmc trained(config);
+  trained.Fit(data, FastOptions(10));
+  EXPECT_GT(trained.Evaluate(data).hr.at(20), before);
+}
+
+TEST(FpmcTest, MarkovTermUsesLastHistoryItem) {
+  // With a strongly sequential corpus, conditioning on different previous
+  // items must change the score vector.
+  SequenceDataset data = SmallStructuredData();
+  Fpmc model(FpmcConfig{.dim = 16});
+  model.Fit(data, FastOptions(5));
+  Tensor a = model.ScoreBatch({0}, {{1}});
+  Tensor b = model.ScoreBatch({0}, {{2}});
+  EXPECT_FALSE(AllClose(a, b));
+  // Empty history must still produce finite scores (MF term only).
+  Tensor c = model.ScoreBatch({0}, {{}});
+  for (int64_t i = 0; i < c.numel(); ++i) EXPECT_FALSE(std::isnan(c.at(i)));
+}
+
+TEST(RecommendTopKTest, ExcludesSeenAndPadding) {
+  SequenceDataset data(TinyCorpus());
+  Pop pop;
+  pop.Fit(data, {});
+  // User 0 has seen {1,2,3}; the recommendable set is {4,5,6} (all count 0,
+  // ties break toward lower ids) and padding id 0 never appears.
+  auto top = pop.RecommendTopK(0, data.TestInput(0), 3, data.SeenItems(0));
+  EXPECT_EQ(top, (std::vector<int64_t>{4, 5, 6}));
+}
+
+TEST(RecommendTopKTest, RespectsKAndOrdering) {
+  SequenceDataset data(TinyCorpus());
+  Pop pop;
+  pop.Fit(data, {});
+  auto top = pop.RecommendTopK(1, data.TestInput(1), 2);
+  ASSERT_EQ(top.size(), 2u);
+  // Pop counts: items 1..3 have count 3, others 0; ties break to lower id.
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 2);
+}
+
+TEST(TrainingUtilsTest, SnapshotRoundTrip) {
+  Variable a(Tensor::Full({2}, 1.f), true);
+  Variable b(Tensor::Full({3}, 2.f), true);
+  std::vector<Variable*> params = {&a, &b};
+  ParameterSnapshot snap = ParameterSnapshot::Capture(params);
+  a.mutable_value().Fill(9.f);
+  snap.Restore(params);
+  EXPECT_FLOAT_EQ(a.value().at(0), 1.f);
+  EXPECT_FLOAT_EQ(b.value().at(2), 2.f);
+}
+
+TEST(TrainingUtilsTest, EarlyStopperLogic) {
+  EarlyStopper stopper(2);
+  EXPECT_TRUE(stopper.Update(0.5));
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_FALSE(stopper.Update(0.4));
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_FALSE(stopper.Update(0.3));
+  EXPECT_TRUE(stopper.ShouldStop());
+  EXPECT_TRUE(stopper.Update(0.9));  // improvement resets
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_DOUBLE_EQ(stopper.best(), 0.9);
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,304 @@
+// Tests for src/nn: layers, padded batches, transformer encoder, GRU.
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "nn/transformer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+TEST(PackSequencesTest, RightAlignsAndPads) {
+  PaddedBatch batch = PackSequences({{1, 2, 3}, {7}}, 5);
+  batch.Validate();
+  EXPECT_EQ(batch.batch, 2);
+  EXPECT_EQ(batch.seq_len, 5);
+  // Sequence 0: [0 0 1 2 3]
+  EXPECT_EQ(batch.id_at(0, 0), 0);
+  EXPECT_EQ(batch.id_at(0, 2), 1);
+  EXPECT_EQ(batch.id_at(0, 4), 3);
+  // Sequence 1: [0 0 0 0 7]
+  EXPECT_EQ(batch.id_at(1, 4), 7);
+  EXPECT_FALSE(batch.valid_at(1, 3));
+  EXPECT_TRUE(batch.valid_at(1, 4));
+}
+
+TEST(PackSequencesTest, TruncatesToMostRecent) {
+  PaddedBatch batch = PackSequences({{1, 2, 3, 4, 5}}, 3);
+  EXPECT_EQ(batch.id_at(0, 0), 3);
+  EXPECT_EQ(batch.id_at(0, 2), 5);
+}
+
+TEST(PackSequencesTest, EmptySequenceAllPadding) {
+  PaddedBatch batch = PackSequences({{}}, 4);
+  for (int64_t t = 0; t < 4; ++t) EXPECT_FALSE(batch.valid_at(0, t));
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(3, 2, &rng);
+  lin.bias().mutable_value().at(1) = 5.f;
+  Variable x(Tensor::Ones({4, 3}));
+  Variable y = lin.Forward(x);
+  EXPECT_EQ(y.value().dim(0), 4);
+  EXPECT_EQ(y.value().dim(1), 2);
+  // Column 1 includes the bias.
+  float expected = 5.f;
+  for (int64_t i = 0; i < 3; ++i) expected += lin.weight().value().at(i, 1);
+  EXPECT_NEAR(y.value().at(0, 1), expected, 1e-5f);
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(2);
+  Linear with_bias(3, 4, &rng);
+  EXPECT_EQ(with_bias.NumParameters(), 3 * 4 + 4);
+  Linear no_bias(3, 4, &rng, /*use_bias=*/false);
+  EXPECT_EQ(no_bias.NumParameters(), 12);
+}
+
+TEST(EmbeddingTest, LookupAndZeroPadRow) {
+  Rng rng(3);
+  Embedding emb(5, 4, &rng, /*zero_pad_row=*/true);
+  Variable rows = emb.Forward({0, 3, 3});
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(rows.value().at(0, j), 0.f);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(rows.value().at(1, j), rows.value().at(2, j));
+  }
+}
+
+TEST(EmbeddingTest, GradientScattersToUsedRows) {
+  Rng rng(4);
+  Embedding emb(5, 3, &rng);
+  Variable rows = emb.Forward({1, 1, 4});
+  SumV(rows).Backward();
+  const Tensor& grad = emb.table().grad();
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(grad.at(0, j), 0.f);
+    EXPECT_FLOAT_EQ(grad.at(1, j), 2.f);  // used twice
+    EXPECT_FLOAT_EQ(grad.at(4, j), 1.f);
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm norm(6);
+  Rng rng(5);
+  Variable x(Tensor::Randn({3, 6}, &rng, 5.f, 2.f));
+  Variable y = norm.Forward(x);
+  for (int64_t i = 0; i < 3; ++i) {
+    double mean = 0, var = 0;
+    for (int64_t j = 0; j < 6; ++j) mean += y.value().at(i, j);
+    mean /= 6;
+    for (int64_t j = 0; j < 6; ++j) {
+      const double d = y.value().at(i, j) - mean;
+      var += d * d;
+    }
+    var /= 6;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(FeedForwardTest, GradientsFlow) {
+  Rng rng(6);
+  FeedForward ffn(4, 8, &rng);
+  Variable x(Tensor::Randn({3, 4}, &rng), true);
+  Variable loss = SumV(MulV(ffn.Forward(x), ffn.Forward(x)));
+  loss.Backward();
+  EXPECT_TRUE(x.has_grad());
+  for (Variable* p : ffn.Parameters()) {
+    EXPECT_TRUE(p->requires_grad());
+  }
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  Rng rng1(7), rng2(8);
+  Linear a(3, 3, &rng1), b(3, 3, &rng2);
+  EXPECT_FALSE(AllClose(a.weight().value(), b.weight().value()));
+  a.CopyParametersFrom(b);
+  EXPECT_TRUE(AllClose(a.weight().value(), b.weight().value()));
+  // Deep copy: mutating b afterwards must not affect a.
+  b.weight().mutable_value().at(0, 0) += 1.f;
+  EXPECT_FALSE(AllClose(a.weight().value(), b.weight().value()));
+}
+
+TransformerConfig SmallTransformerConfig() {
+  TransformerConfig config;
+  config.num_items = 10;
+  config.max_len = 6;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.dropout = 0.f;  // deterministic for tests
+  return config;
+}
+
+TEST(TransformerTest, VocabularyLayout) {
+  TransformerConfig config = SmallTransformerConfig();
+  EXPECT_EQ(config.vocab_size(), 12);  // pad + 10 items + [mask]
+  EXPECT_EQ(config.mask_id(), 11);
+}
+
+TEST(TransformerTest, EncodeShapes) {
+  Rng rng(9);
+  TransformerSeqEncoder encoder(SmallTransformerConfig(), &rng);
+  PaddedBatch batch = PackSequences({{1, 2, 3}, {4, 5, 6, 7}}, 6);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  Variable all = encoder.EncodeAll(batch, ctx);
+  EXPECT_EQ(all.value().dim(0), 2 * 6);
+  EXPECT_EQ(all.value().dim(1), 8);
+  Variable last = encoder.EncodeLast(batch, ctx);
+  EXPECT_EQ(last.value().dim(0), 2);
+  // EncodeLast row b equals EncodeAll row b*T + T-1.
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(last.value().at(0, j), all.value().at(5, j));
+    EXPECT_FLOAT_EQ(last.value().at(1, j), all.value().at(11, j));
+  }
+}
+
+TEST(TransformerTest, CausalityEndToEnd) {
+  // Changing the last item must not change hidden states at earlier
+  // positions (with dropout off).
+  Rng rng(10);
+  TransformerSeqEncoder encoder(SmallTransformerConfig(), &rng);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  PaddedBatch batch1 = PackSequences({{1, 2, 3, 4}}, 6);
+  PaddedBatch batch2 = PackSequences({{1, 2, 3, 9}}, 6);
+  Tensor h1 = encoder.EncodeAll(batch1, ctx).value();
+  Tensor h2 = encoder.EncodeAll(batch2, ctx).value();
+  for (int64_t t = 0; t < 5; ++t) {  // positions before the change
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(h1.at(t, j), h2.at(t, j)) << "t=" << t;
+    }
+  }
+}
+
+TEST(TransformerTest, PaddingInvariance) {
+  // A sequence packed at width 6 vs width 5 must produce the same final
+  // representation (padding is fully masked out).
+  Rng rng(11);
+  TransformerConfig config = SmallTransformerConfig();
+  TransformerSeqEncoder encoder(config, &rng);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  PaddedBatch wide = PackSequences({{3, 1, 4}}, 6);
+  PaddedBatch narrow = PackSequences({{3, 1, 4}}, 5);
+  Tensor h_wide = encoder.EncodeLast(wide, ctx).value();
+  Tensor h_narrow = encoder.EncodeLast(narrow, ctx).value();
+  // Positions differ (position embeddings are absolute), so compare with a
+  // second encoding of the SAME width to establish determinism first.
+  Tensor h_wide2 = encoder.EncodeLast(wide, ctx).value();
+  EXPECT_TRUE(AllClose(h_wide, h_wide2));
+  // With right alignment the last position index matches (T-1 in both), but
+  // earlier positions shift; the property that must hold exactly is that
+  // extra LEADING padding does not change the output when the absolute
+  // positions of real tokens are identical. Build that case explicitly:
+  PaddedBatch manual;
+  manual.batch = 1;
+  manual.seq_len = 6;
+  manual.ids = {0, 0, 0, 3, 1, 4};
+  manual.valid = {0, 0, 0, 1, 1, 1};
+  Tensor h_manual = encoder.EncodeLast(manual, ctx).value();
+  EXPECT_TRUE(AllClose(h_manual, h_wide));
+}
+
+TEST(TransformerTest, GradCheckTinyEncoder) {
+  Rng rng(12);
+  TransformerConfig config;
+  config.num_items = 4;
+  config.max_len = 3;
+  config.hidden_dim = 4;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.dropout = 0.f;
+  TransformerSeqEncoder encoder(config, &rng);
+  PaddedBatch batch = PackSequences({{1, 2, 3}, {2, 4}}, 3);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  auto params = encoder.Parameters();
+  auto result = CheckGradients(
+      [&] {
+        Variable h = encoder.EncodeLast(batch, ctx);
+        return SumV(MulV(h, h));
+      },
+      params, /*epsilon=*/2e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+  EXPECT_TRUE(result.ok) << result.first_failure
+                         << " max_err=" << result.max_abs_error;
+}
+
+GruConfig SmallGruConfig() {
+  GruConfig config;
+  config.num_items = 10;
+  config.embed_dim = 6;
+  config.hidden_dim = 6;
+  config.dropout = 0.f;
+  return config;
+}
+
+TEST(GruTest, EncodeShapes) {
+  Rng rng(13);
+  GruSeqEncoder encoder(SmallGruConfig(), &rng);
+  PaddedBatch batch = PackSequences({{1, 2}, {3, 4, 5}}, 4);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  Variable last = encoder.EncodeLast(batch, ctx);
+  EXPECT_EQ(last.value().dim(0), 2);
+  EXPECT_EQ(last.value().dim(1), 6);
+  Variable all = encoder.EncodeAllSteps(batch, ctx);
+  EXPECT_EQ(all.value().dim(0), 4 * 2);
+  // Final step rows (t=T-1) match EncodeLast.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_FLOAT_EQ(all.value().at(3 * 2 + b, j), last.value().at(b, j));
+    }
+  }
+}
+
+TEST(GruTest, PaddingLeavesStateUnchanged) {
+  // Leading padding steps keep h = 0, so a padded and an unpadded packing of
+  // the same sequence produce identical final states.
+  Rng rng(14);
+  GruSeqEncoder encoder(SmallGruConfig(), &rng);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  PaddedBatch padded = PackSequences({{2, 7, 1}}, 6);
+  PaddedBatch exact = PackSequences({{2, 7, 1}}, 3);
+  Tensor h_padded = encoder.EncodeLast(padded, ctx).value();
+  Tensor h_exact = encoder.EncodeLast(exact, ctx).value();
+  EXPECT_TRUE(AllClose(h_padded, h_exact));
+}
+
+TEST(GruTest, GradCheckTinyGru) {
+  Rng rng(15);
+  GruConfig config;
+  config.num_items = 4;
+  config.embed_dim = 3;
+  config.hidden_dim = 3;
+  config.dropout = 0.f;
+  GruSeqEncoder encoder(config, &rng);
+  PaddedBatch batch = PackSequences({{1, 2, 3}, {4, 2}}, 3);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  auto params = encoder.Parameters();
+  auto result = CheckGradients(
+      [&] {
+        Variable h = encoder.EncodeLast(batch, ctx);
+        return SumV(MulV(h, h));
+      },
+      params, /*epsilon=*/2e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GruTest, CellGateBounds) {
+  // Hidden state stays in (-1, 1): h is a convex combination of tanh
+  // candidates.
+  Rng rng(16);
+  GruSeqEncoder encoder(SmallGruConfig(), &rng);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  PaddedBatch batch = PackSequences({{1, 2, 3, 4, 5, 6, 7, 8}}, 8);
+  Tensor h = encoder.EncodeLast(batch, ctx).value();
+  for (int64_t i = 0; i < h.numel(); ++i) {
+    EXPECT_GT(h.at(i), -1.f);
+    EXPECT_LT(h.at(i), 1.f);
+  }
+}
+
+}  // namespace
+}  // namespace cl4srec

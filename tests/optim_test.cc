@@ -1,0 +1,130 @@
+// Tests for src/optim: SGD, Adam, gradient clipping, LR schedule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+// Minimizes f(w) = sum((w - target)^2) and returns the final w.
+template <typename MakeOpt>
+Tensor MinimizeQuadratic(MakeOpt make_optimizer, int steps) {
+  Variable w(Tensor::Full({3}, 4.f), true);
+  Variable target = Constant(Tensor::FromVector({3}, {1.f, -2.f, 0.5f}));
+  auto optimizer = make_optimizer(std::vector<Variable*>{&w});
+  for (int i = 0; i < steps; ++i) {
+    Variable diff = SubV(w, target);
+    Variable loss = SumV(MulV(diff, diff));
+    optimizer->ZeroGrad();
+    loss.Backward();
+    optimizer->Step();
+  }
+  return w.value().Clone();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = MinimizeQuadratic(
+      [](std::vector<Variable*> params) {
+        return std::make_unique<Sgd>(std::move(params), 0.1f);
+      },
+      100);
+  EXPECT_NEAR(w.at(0), 1.f, 1e-3f);
+  EXPECT_NEAR(w.at(1), -2.f, 1e-3f);
+  EXPECT_NEAR(w.at(2), 0.5f, 1e-3f);
+}
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  Variable w(Tensor::Full({1}, 2.f), true);
+  Sgd sgd({&w}, 0.5f);
+  Variable loss = SumV(MulV(w, w));  // dL/dw = 2w = 4
+  loss.Backward();
+  sgd.Step();
+  EXPECT_FLOAT_EQ(w.value().at(0), 2.f - 0.5f * 4.f);
+}
+
+TEST(SgdTest, WeightDecayShrinksParams) {
+  Variable w(Tensor::Full({1}, 1.f), true);
+  Sgd sgd({&w}, 0.1f, /*weight_decay=*/1.f);
+  // Zero gradient, only decay.
+  w.AccumulateGrad(Tensor({1}));
+  sgd.Step();
+  EXPECT_NEAR(w.value().at(0), 0.9f, 1e-6f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor w = MinimizeQuadratic(
+      [](std::vector<Variable*> params) {
+        return std::make_unique<Adam>(std::move(params),
+                                      AdamOptions{.lr = 0.1f});
+      },
+      300);
+  EXPECT_NEAR(w.at(0), 1.f, 1e-2f);
+  EXPECT_NEAR(w.at(1), -2.f, 1e-2f);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  // With bias correction, the first Adam update magnitude is ~lr regardless
+  // of gradient scale.
+  for (float scale : {1e-3f, 1.f, 1e3f}) {
+    Variable w(Tensor::Full({1}, 0.f), true);
+    Adam adam({&w}, AdamOptions{.lr = 0.01f});
+    w.AccumulateGrad(Tensor::Full({1}, scale));
+    adam.Step();
+    EXPECT_NEAR(std::fabs(w.value().at(0)), 0.01f, 1e-4f) << "scale " << scale;
+  }
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Variable w(Tensor::Full({1}, 3.f), true);
+  Adam adam({&w}, AdamOptions{.lr = 0.1f});
+  adam.Step();  // no gradient accumulated
+  EXPECT_FLOAT_EQ(w.value().at(0), 3.f);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Variable a(Tensor({2}), true);
+  a.AccumulateGrad(Tensor::FromVector({2}, {3.f, 4.f}));  // norm 5
+  const float norm = ClipGradNorm({&a}, 1.f);
+  EXPECT_FLOAT_EQ(norm, 5.f);
+  EXPECT_NEAR(a.grad().at(0), 0.6f, 1e-6f);
+  EXPECT_NEAR(a.grad().at(1), 0.8f, 1e-6f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Variable a(Tensor({2}), true);
+  a.AccumulateGrad(Tensor::FromVector({2}, {0.3f, 0.4f}));
+  ClipGradNorm({&a}, 1.f);
+  EXPECT_FLOAT_EQ(a.grad().at(0), 0.3f);
+}
+
+TEST(ClipGradNormTest, GlobalAcrossParams) {
+  Variable a(Tensor({1}), true);
+  Variable b(Tensor({1}), true);
+  a.AccumulateGrad(Tensor::Full({1}, 3.f));
+  b.AccumulateGrad(Tensor::Full({1}, 4.f));
+  const float norm = ClipGradNorm({&a, &b}, 5.f);
+  EXPECT_FLOAT_EQ(norm, 5.f);  // exactly at the limit: unchanged
+  EXPECT_FLOAT_EQ(a.grad().at(0), 3.f);
+}
+
+TEST(LinearDecayTest, InterpolatesToFloor) {
+  Variable w(Tensor({1}), true);
+  Sgd sgd({&w}, 1.f);
+  LinearDecaySchedule schedule(100, 0.1f);
+  schedule.Apply(&sgd, 0);
+  EXPECT_FLOAT_EQ(sgd.lr(), 1.f);
+  schedule.Apply(&sgd, 50);
+  EXPECT_NEAR(sgd.lr(), 0.55f, 1e-6f);
+  schedule.Apply(&sgd, 100);
+  EXPECT_NEAR(sgd.lr(), 0.1f, 1e-6f);
+  schedule.Apply(&sgd, 500);  // clamped past the end
+  EXPECT_NEAR(sgd.lr(), 0.1f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace cl4srec

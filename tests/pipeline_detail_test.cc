@@ -1,0 +1,182 @@
+// Detailed data-pipeline tests: timestamp semantics, duplicate events,
+// rating thresholds, reindexing stability, negative-sampler coverage, and
+// interactions between preprocessing stages that the per-function tests do
+// not combine.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/batcher.h"
+#include "data/synthetic.h"
+
+namespace cl4srec {
+namespace {
+
+Interaction Make(int64_t user, int64_t item, int64_t ts, float rating = 1.f) {
+  return Interaction{user, item, ts, rating};
+}
+
+TEST(PipelineDetailTest, OutOfOrderTimestampsAreSorted) {
+  InteractionLog log = {
+      Make(1, 10, 100), Make(1, 11, 50), Make(1, 12, 75),
+  };
+  SequenceCorpus corpus = BuildSequences(log);
+  // Dense ids by first appearance: 10->1, 11->2, 12->3; chronological order
+  // by timestamp: 11(50), 12(75), 10(100).
+  EXPECT_EQ(corpus.sequences[0], (std::vector<int64_t>{2, 3, 1}));
+}
+
+TEST(PipelineDetailTest, NegativeTimestampsSupported) {
+  InteractionLog log = {Make(1, 10, -5), Make(1, 11, -10), Make(1, 12, 0)};
+  SequenceCorpus corpus = BuildSequences(log);
+  EXPECT_EQ(corpus.sequences[0], (std::vector<int64_t>{2, 1, 3}));
+}
+
+TEST(PipelineDetailTest, DuplicateEventsKept) {
+  // Repeat purchases are real events in the paper's pipeline.
+  InteractionLog log = {Make(1, 10, 0), Make(1, 10, 1), Make(1, 10, 2)};
+  SequenceCorpus corpus = BuildSequences(log);
+  EXPECT_EQ(corpus.sequences[0], (std::vector<int64_t>{1, 1, 1}));
+  EXPECT_EQ(corpus.num_items, 1);
+}
+
+TEST(PipelineDetailTest, RatingThresholdGrid) {
+  InteractionLog log;
+  for (int rating = 1; rating <= 5; ++rating) {
+    log.push_back(Make(1, rating, rating, static_cast<float>(rating)));
+  }
+  EXPECT_EQ(Binarize(log, 0.f).size(), 5u);
+  EXPECT_EQ(Binarize(log, 3.f).size(), 3u);
+  EXPECT_EQ(Binarize(log, 5.f).size(), 1u);
+  EXPECT_EQ(Binarize(log, 6.f).size(), 0u);
+}
+
+TEST(PipelineDetailTest, ReindexingIsStableAcrossRuns) {
+  InteractionLog log = {
+      Make(42, 900, 0), Make(42, 800, 1), Make(7, 900, 0), Make(7, 700, 1),
+  };
+  SequenceCorpus a = BuildSequences(log);
+  SequenceCorpus b = BuildSequences(log);
+  EXPECT_EQ(a.sequences, b.sequences);
+  EXPECT_EQ(a.num_items, b.num_items);
+}
+
+TEST(PipelineDetailTest, PreprocessEndToEndCounts) {
+  // Hand-craftable: 6 users each touching the same 5 items >= 5 times each
+  // survives the 5-core; one extra rare user/item pair is filtered.
+  InteractionLog log;
+  for (int64_t u = 0; u < 6; ++u) {
+    for (int64_t i = 0; i < 5; ++i) {
+      log.push_back(Make(u, 100 + i, i));
+    }
+  }
+  log.push_back(Make(99, 999, 0));  // rare user + rare item
+  SequenceCorpus corpus = Preprocess(log);
+  EXPECT_EQ(corpus.num_users(), 6);
+  EXPECT_EQ(corpus.num_items, 5);
+  EXPECT_EQ(corpus.num_actions(), 30);
+}
+
+TEST(PipelineDetailTest, NegativeSamplerCoversAllUnseenItems) {
+  SequenceCorpus corpus;
+  corpus.num_items = 12;
+  corpus.sequences = {{1, 2, 3, 4, 5}};  // seen {1..5}; unseen {6..12}
+  SequenceDataset data(std::move(corpus));
+  Rng rng(3);
+  std::set<int64_t> sampled;
+  for (int i = 0; i < 2000; ++i) sampled.insert(data.SampleNegative(0, &rng));
+  EXPECT_EQ(sampled.size(), 7u);  // every unseen item eventually drawn
+  EXPECT_EQ(*sampled.begin(), 6);
+  EXPECT_EQ(*sampled.rbegin(), 12);
+}
+
+TEST(PipelineDetailTest, SubsampleFractionGranularity) {
+  SequenceCorpus corpus;
+  corpus.num_items = 30;
+  for (int64_t u = 0; u < 10; ++u) {
+    corpus.sequences.push_back({1 + u, 2 + u, 3 + u, 4 + u, 5 + u});
+  }
+  SequenceDataset data(std::move(corpus));
+  for (double fraction : {0.2, 0.5, 0.8}) {
+    Rng rng(7);
+    SequenceDataset subset = data.SubsampleTraining(fraction, &rng);
+    int64_t kept = 0;
+    for (int64_t u = 0; u < subset.num_users(); ++u) {
+      kept += !subset.TrainSequence(u).empty();
+    }
+    EXPECT_EQ(kept, static_cast<int64_t>(fraction * 10 + 0.5))
+        << "fraction " << fraction;
+  }
+}
+
+TEST(PipelineDetailTest, BatchTargetsNeverContainMaskOrPadding) {
+  SequenceDataset data = MakeSyntheticDataset(SyntheticPreset::kToys, 0.2);
+  Rng rng(11);
+  for (const auto& users : MakeEpochBatches(data, 32, &rng)) {
+    NextItemBatch batch = MakeNextItemBatch(data, users, 10, &rng);
+    for (size_t i = 0; i < batch.targets.size(); ++i) {
+      const int64_t target = batch.targets[i];
+      const int64_t neg = batch.negatives[i];
+      EXPECT_GE(target, 0);
+      EXPECT_LE(target, data.num_items());  // never the [mask] id
+      EXPECT_GE(neg, 0);
+      EXPECT_LE(neg, data.num_items());
+      // Negatives exist exactly where targets exist.
+      EXPECT_EQ(target == 0, neg == 0);
+    }
+  }
+}
+
+TEST(PipelineDetailTest, EpochBatchesReshuffleBetweenEpochs) {
+  SequenceDataset data = MakeSyntheticDataset(SyntheticPreset::kToys, 0.2);
+  Rng rng(13);
+  auto epoch1 = MakeEpochBatches(data, 16, &rng);
+  auto epoch2 = MakeEpochBatches(data, 16, &rng);
+  ASSERT_EQ(epoch1.size(), epoch2.size());
+  bool any_difference = false;
+  for (size_t b = 0; b < epoch1.size() && !any_difference; ++b) {
+    any_difference = epoch1[b] != epoch2[b];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PipelineDetailTest, SyntheticScaleGrowsDataset) {
+  DatasetStats small = MakeSyntheticDataset(SyntheticPreset::kBeauty, 0.3).Stats();
+  DatasetStats large = MakeSyntheticDataset(SyntheticPreset::kBeauty, 0.9).Stats();
+  EXPECT_GT(large.num_users, 2 * small.num_users);
+  EXPECT_GT(large.num_items, small.num_items);
+  EXPECT_LT(large.density, small.density);  // bigger catalogs are sparser
+}
+
+TEST(PipelineDetailTest, SyntheticOrderNoiseKnob) {
+  // Higher order noise must reduce the fraction of same-or-next-cluster
+  // adjacent transitions (the signal reorder augmentation exploits).
+  auto chained_fraction = [](double noise) {
+    SyntheticConfig config;
+    config.num_users = 400;
+    config.num_items = 200;
+    config.num_clusters = 16;
+    config.sequential_strength = 0.9;
+    config.order_noise = noise;
+    config.preference_drift = 0.0;
+    InteractionLog log = GenerateSyntheticLog(config);
+    int64_t chained = 0, total = 0;
+    int64_t prev_user = -1, prev_cluster = -1;
+    for (const auto& event : log) {
+      const int64_t cluster = event.item % config.num_clusters;
+      if (event.user == prev_user) {
+        ++total;
+        chained += cluster == prev_cluster ||
+                   cluster == (prev_cluster + 1) % config.num_clusters;
+      }
+      prev_user = event.user;
+      prev_cluster = cluster;
+    }
+    return static_cast<double>(chained) / static_cast<double>(total);
+  };
+  EXPECT_GT(chained_fraction(0.0), chained_fraction(0.4) + 0.02);
+}
+
+}  // namespace
+}  // namespace cl4srec

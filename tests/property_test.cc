@@ -1,0 +1,217 @@
+// Property-based tests: randomized sweeps (TEST_P over seeds) that
+// cross-check fast implementations against naive references and verify
+// algebraic invariants that must hold for ANY input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "data/batcher.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "nn/transformer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Naive O(n^3) matmul reference with double accumulation.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p) acc += double(a.at(i, p)) * b.at(p, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST_P(SeededTest, MatMulMatchesNaiveReference) {
+  Rng rng(GetParam());
+  const int64_t m = 1 + rng.UniformInt(12);
+  const int64_t k = 1 + rng.UniformInt(12);
+  const int64_t n = 1 + rng.UniformInt(12);
+  Tensor a = Tensor::Randn({m, k}, &rng);
+  Tensor b = Tensor::Randn({k, n}, &rng);
+  EXPECT_TRUE(AllClose(MatMul(a, b), NaiveMatMul(a, b), 1e-4f, 1e-5f));
+}
+
+TEST_P(SeededTest, TransposeIsInvolution) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({1 + rng.UniformInt(8), 1 + rng.UniformInt(8)}, &rng);
+  EXPECT_TRUE(AllClose(Transpose2D(Transpose2D(a)), a));
+}
+
+TEST_P(SeededTest, SoftmaxInvariantToRowShift) {
+  // softmax(x + c) == softmax(x) for any per-row constant c.
+  Rng rng(GetParam());
+  Tensor logits = Tensor::Randn({4, 7}, &rng, 0.f, 2.f);
+  Tensor shifted = logits.Clone();
+  for (int64_t i = 0; i < 4; ++i) {
+    const float c = static_cast<float>(rng.Normal(0, 10));
+    for (int64_t j = 0; j < 7; ++j) shifted.at(i, j) += c;
+  }
+  EXPECT_TRUE(AllClose(SoftmaxRows(logits), SoftmaxRows(shifted), 1e-3f, 1e-5f));
+}
+
+TEST_P(SeededTest, L2NormalizedRowsHaveUnitNorm) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({5, 6}, &rng, 0.f, 3.f);
+  Tensor normalized = L2NormalizeRows(a);
+  for (int64_t i = 0; i < 5; ++i) {
+    double sq = 0;
+    for (int64_t j = 0; j < 6; ++j) sq += double(normalized.at(i, j)) * normalized.at(i, j);
+    EXPECT_NEAR(sq, 1.0, 1e-4);
+  }
+}
+
+TEST_P(SeededTest, RandomCompositeGraphGradCheck) {
+  // Random small expression combining many ops; gradients must match
+  // central differences regardless of the sampled structure.
+  Rng rng(GetParam());
+  Variable a(Tensor::Randn({3, 4}, &rng, 0.f, 0.8f), true);
+  Variable b(Tensor::Randn({4, 3}, &rng, 0.f, 0.8f), true);
+  Variable c(Tensor::Randn({3, 3}, &rng, 0.f, 0.8f), true);
+  auto forward = [&] {
+    Variable prod = MatMulV(a, b);           // [3,3]
+    Variable mixed = AddV(TanhV(prod), MulV(c, SigmoidV(prod)));
+    Variable normed = L2NormalizeRowsV(mixed);
+    return MeanV(MulV(normed, mixed));
+  };
+  auto result = CheckGradients(forward, {&a, &b, &c}, 1e-2f, 6e-2f, 2e-3f);
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST_P(SeededTest, AttentionRowsAreConvexCombinations) {
+  // With Wo = I and Wv = I, each output row must lie inside the convex hull
+  // of the value (=input) rows attended to; we check the weaker bound
+  // min <= out <= max per coordinate.
+  Rng rng(GetParam());
+  const int64_t seq = 4, d = 4;
+  Tensor eye({d, d});
+  for (int64_t i = 0; i < d; ++i) eye.at(i, i) = 1.f;
+  Variable wq(Tensor::Randn({d, d}, &rng, 0.f, 0.4f));
+  Variable wk(Tensor::Randn({d, d}, &rng, 0.f, 0.4f));
+  Variable wv(eye.Clone());
+  Variable wo(eye.Clone());
+  Tensor x = Tensor::Randn({seq, d}, &rng);
+  std::vector<float> valid(seq, 1.f);
+  Tensor y = MultiHeadSelfAttentionV(Variable(x), wq, wk, wv, wo, 1, seq, 1,
+                                     valid)
+                 .value();
+  for (int64_t i = 0; i < seq; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      float lo = 1e30f, hi = -1e30f;
+      for (int64_t p = 0; p <= i; ++p) {
+        lo = std::min(lo, x.at(p, j));
+        hi = std::max(hi, x.at(p, j));
+      }
+      EXPECT_GE(y.at(i, j), lo - 1e-4f);
+      EXPECT_LE(y.at(i, j), hi + 1e-4f);
+    }
+  }
+}
+
+TEST_P(SeededTest, RankOfTargetMatchesSortReference) {
+  Rng rng(GetParam());
+  const int64_t num_items = 30;
+  Tensor scores = Tensor::Randn({num_items + 1}, &rng);
+  std::unordered_set<int64_t> excluded;
+  for (int i = 0; i < 8; ++i) excluded.insert(rng.UniformInt(1, num_items));
+  int64_t target = rng.UniformInt(1, num_items);
+  excluded.erase(target);
+  // Reference: sort candidate scores descending, find the target.
+  std::vector<std::pair<float, int64_t>> candidates;
+  for (int64_t item = 1; item <= num_items; ++item) {
+    if (item != target && excluded.contains(item)) continue;
+    candidates.emplace_back(scores.at(item), item);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](auto& x, auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    // Pessimistic ties: the target sorts last among equals.
+    return (x.second == target) < (y.second == target);
+  });
+  int64_t reference = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].second == target) reference = static_cast<int64_t>(i) + 1;
+  }
+  EXPECT_EQ(RankOfTarget(scores.data(), num_items, target, excluded),
+            reference);
+}
+
+TEST_P(SeededTest, NextItemBatchTargetsShiftInputsByOne) {
+  Rng rng(GetParam());
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 50;
+  config.seed = GetParam();
+  SequenceDataset data = MakeSyntheticDataset(config);
+  if (data.num_users() == 0) GTEST_SKIP();
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < std::min<int64_t>(8, data.num_users()); ++u) {
+    if (data.TrainSequence(u).size() >= 2) users.push_back(u);
+  }
+  if (users.empty()) GTEST_SKIP();
+  NextItemBatch batch = MakeNextItemBatch(data, users, 12, &rng);
+  const int64_t t_count = batch.inputs.seq_len;
+  for (int64_t b = 0; b < batch.inputs.batch; ++b) {
+    for (int64_t t = 0; t + 1 < t_count; ++t) {
+      // Wherever two adjacent inputs are valid, target[t] == input[t+1].
+      if (batch.inputs.valid_at(b, t) && batch.inputs.valid_at(b, t + 1)) {
+        EXPECT_EQ(batch.targets[static_cast<size_t>(b * t_count + t)],
+                  batch.inputs.id_at(b, t + 1));
+      }
+    }
+    // The final valid target never appears in the input row (it is the
+    // held-out next item) and negatives avoid the user's history.
+    for (int64_t t = 0; t < t_count; ++t) {
+      const int64_t neg = batch.negatives[static_cast<size_t>(b * t_count + t)];
+      if (neg != 0) {
+        EXPECT_FALSE(data.SeenItems(users[static_cast<size_t>(b)]).contains(neg));
+      }
+    }
+  }
+}
+
+TEST_P(SeededTest, EncoderDeterministicGivenParamsAndInput) {
+  Rng rng(GetParam());
+  TransformerConfig config;
+  config.num_items = 12;
+  config.max_len = 6;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.dropout = 0.5f;  // high dropout, but eval mode must ignore it
+  TransformerSeqEncoder encoder(config, &rng);
+  PaddedBatch batch = PackSequences({{1, 5, 3}, {2, 2}}, 6);
+  Rng r1(1), r2(2);  // different rngs: eval must not consume randomness
+  ForwardContext ctx1{.training = false, .rng = &r1};
+  ForwardContext ctx2{.training = false, .rng = &r2};
+  EXPECT_TRUE(AllClose(encoder.EncodeLast(batch, ctx1).value(),
+                       encoder.EncodeLast(batch, ctx2).value()));
+}
+
+TEST_P(SeededTest, FiveCoreFixedPointIsStable) {
+  Rng rng(GetParam());
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_items = 60;
+  config.seed = GetParam();
+  InteractionLog log = GenerateSyntheticLog(config);
+  InteractionLog once = KCoreFilter(log, 5);
+  InteractionLog twice = KCoreFilter(once, 5);
+  EXPECT_EQ(once.size(), twice.size());  // idempotent at the fixed point
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace cl4srec

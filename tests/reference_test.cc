@@ -1,0 +1,183 @@
+// Reference-value tests: compare implementations against hand-computed
+// closed-form expectations on tiny fixed inputs. These catch sign/ordering
+// mistakes that property tests (which only check invariants) can miss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "core/nt_xent.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+float Sigmoidf(float x) { return 1.f / (1.f + std::exp(-x)); }
+
+// ---- LayerNorm exact values ----
+
+TEST(ReferenceTest, LayerNormKnownInput) {
+  // Row [1, 3]: mean 2, var 1 -> normalized [-1, 1] (eps tiny).
+  Variable x(Tensor::FromVector({1, 2}, {1.f, 3.f}));
+  Variable gamma(Tensor::FromVector({2}, {2.f, 2.f}));
+  Variable beta(Tensor::FromVector({2}, {0.5f, -0.5f}));
+  Tensor y = LayerNormV(x, gamma, beta, 1e-12f).value();
+  EXPECT_NEAR(y.at(0, 0), 2.f * -1.f + 0.5f, 1e-4f);
+  EXPECT_NEAR(y.at(0, 1), 2.f * 1.f - 0.5f, 1e-4f);
+}
+
+// ---- Softmax cross entropy exact value and gradient ----
+
+TEST(ReferenceTest, SoftmaxCrossEntropyTwoClasses) {
+  // logits [a, b] with target 0: loss = log(1 + e^{b-a}).
+  const float a = 0.3f, b = -0.7f;
+  Variable logits(Tensor::FromVector({1, 2}, {a, b}), true);
+  Variable loss = SoftmaxCrossEntropyV(logits, {0});
+  EXPECT_NEAR(loss.value().at(0), std::log1p(std::exp(b - a)), 1e-5f);
+  loss.Backward();
+  // dL/da = softmax_a - 1, dL/db = softmax_b.
+  const float pa = std::exp(a) / (std::exp(a) + std::exp(b));
+  EXPECT_NEAR(logits.grad().at(0), pa - 1.f, 1e-5f);
+  EXPECT_NEAR(logits.grad().at(1), 1.f - pa, 1e-5f);
+}
+
+// ---- BCE with logits exact value ----
+
+TEST(ReferenceTest, BceKnownValues) {
+  // x=0, y=1: loss = log 2. x=2, y=0: loss = 2 + log(1+e^-2) = log(1+e^2).
+  Variable logits(Tensor::FromVector({2}, {0.f, 2.f}));
+  Tensor labels = Tensor::FromVector({2}, {1.f, 0.f});
+  const float expected =
+      0.5f * (std::log(2.f) + std::log1p(std::exp(2.f)));
+  EXPECT_NEAR(BceWithLogitsV(logits, labels).value().at(0), expected, 1e-5f);
+}
+
+// ---- Single-head attention on a 2-token sequence, hand computed ----
+
+TEST(ReferenceTest, TinyAttentionByHand) {
+  // d = 1, heads = 1, all projections identity (1x1 weight = 1), seq [x0, x1].
+  // Token 0 attends only to itself -> out0 = x0.
+  // Token 1: scores s0 = x1*x0, s1 = x1*x1 (scale = 1/sqrt(1) = 1),
+  //   p = softmax([s0, s1]), out1 = p0*x0 + p1*x1.
+  const float x0 = 0.5f, x1 = -1.2f;
+  Variable x(Tensor::FromVector({2, 1}, {x0, x1}));
+  Variable one(Tensor::FromVector({1, 1}, {1.f}));
+  std::vector<float> valid = {1.f, 1.f};
+  Tensor y =
+      MultiHeadSelfAttentionV(x, one, one, one, one, 1, 2, 1, valid).value();
+  EXPECT_NEAR(y.at(0, 0), x0, 1e-5f);
+  const float s0 = x1 * x0, s1 = x1 * x1;
+  const float p0 = std::exp(s0) / (std::exp(s0) + std::exp(s1));
+  EXPECT_NEAR(y.at(1, 0), p0 * x0 + (1.f - p0) * x1, 1e-5f);
+}
+
+// ---- GRU cell against the gate equations ----
+
+TEST(ReferenceTest, GruCellMatchesGateFormulas) {
+  Rng rng(1);
+  GruCell cell(1, 1, &rng);
+  // Extract the six weights + three biases by probing the cell's params:
+  // order is xz(W,b), hz(W), xr(W,b), hr(W), xn(W,b), hn(W).
+  auto params = cell.Parameters();
+  ASSERT_EQ(params.size(), 9u);
+  const float wxz = params[0]->value().at(0), bz = params[1]->value().at(0);
+  const float whz = params[2]->value().at(0);
+  const float wxr = params[3]->value().at(0), br = params[4]->value().at(0);
+  const float whr = params[5]->value().at(0);
+  const float wxn = params[6]->value().at(0), bn = params[7]->value().at(0);
+  const float whn = params[8]->value().at(0);
+
+  const float x = 0.7f, h = -0.4f;
+  const float z = Sigmoidf(x * wxz + bz + h * whz);
+  const float r = Sigmoidf(x * wxr + br + h * whr);
+  const float n = std::tanh(x * wxn + bn + (r * h) * whn);
+  const float expected = (1.f - z) * n + z * h;
+
+  Variable xv(Tensor::FromVector({1, 1}, {x}));
+  Variable hv(Tensor::FromVector({1, 1}, {h}));
+  EXPECT_NEAR(cell.Forward(xv, hv).value().at(0), expected, 1e-5f);
+}
+
+// ---- Adam against two hand-computed steps ----
+
+TEST(ReferenceTest, AdamTwoStepTrajectory) {
+  const float lr = 0.1f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  Variable w(Tensor::Full({1}, 1.f), true);
+  Adam adam({&w}, AdamOptions{.lr = lr, .beta1 = b1, .beta2 = b2, .eps = eps});
+
+  float m = 0.f, v = 0.f, w_ref = 1.f;
+  for (int step = 1; step <= 2; ++step) {
+    const float g = 2.f * w_ref;  // gradient of w^2
+    w.ZeroGrad();
+    w.AccumulateGrad(Tensor::Full({1}, 2.f * w.value().at(0)));
+    adam.Step();
+    m = b1 * m + (1 - b1) * g;
+    v = b2 * v + (1 - b2) * g * g;
+    const float m_hat = m / (1 - std::pow(b1, step));
+    const float v_hat = v / (1 - std::pow(b2, step));
+    w_ref -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    EXPECT_NEAR(w.value().at(0), w_ref, 1e-5f) << "step " << step;
+  }
+}
+
+// ---- NT-Xent exact value for two users with orthogonal pairs ----
+
+TEST(ReferenceTest, NtXentOrthogonalPairs) {
+  // Users A (rows 0,1) along e1, users B (rows 2,3) along e2. Cosine sims:
+  // positives 1, all cross pairs 0. Per anchor, candidates are the positive
+  // (sim 1) and two negatives (sim 0):
+  //   loss = -log( e^{1/tau} / (e^{1/tau} + 2 e^{0}) )  for every anchor.
+  const float tau = 0.5f;
+  Tensor reps({4, 2});
+  reps.at(0, 0) = 1.f;
+  reps.at(1, 0) = 2.f;   // same direction, different magnitude
+  reps.at(2, 1) = 3.f;
+  reps.at(3, 1) = 0.5f;
+  const float expected =
+      -std::log(std::exp(1.f / tau) / (std::exp(1.f / tau) + 2.f));
+  EXPECT_NEAR(NtXentLoss(Variable(reps), tau).value().at(0), expected, 1e-4f);
+}
+
+// ---- BPR-MF style single update (documented gradient direction) ----
+
+TEST(ReferenceTest, BprGradientDirection) {
+  // For x = pos - neg and loss -log sigmoid(x), one SGD step must RAISE x.
+  Variable pos(Tensor::FromVector({1}, {0.1f}), true);
+  Variable neg(Tensor::FromVector({1}, {0.3f}), true);
+  Variable diff = SubV(pos, neg);
+  Variable loss = BceWithLogitsV(diff, Tensor::Ones({1}));
+  loss.Backward();
+  EXPECT_LT(pos.grad().at(0), 0.f);  // descent direction increases pos
+  EXPECT_GT(neg.grad().at(0), 0.f);  // and decreases neg
+}
+
+// ---- Linear decay closed form ----
+
+TEST(ReferenceTest, LinearDecayClosedForm) {
+  Variable w(Tensor({1}), true);
+  Sgd sgd({&w}, 2.f);
+  LinearDecaySchedule schedule(200, 0.25f);
+  for (int64_t step : {0, 40, 120, 200}) {
+    schedule.Apply(&sgd, step);
+    const float progress = std::min(1.f, static_cast<float>(step) / 200.f);
+    EXPECT_NEAR(sgd.lr(), 2.f * (1.f - 0.75f * progress), 1e-6f);
+  }
+}
+
+// ---- Gelu tanh approximation reference points ----
+
+TEST(ReferenceTest, GeluReferencePoints) {
+  // Published values of the tanh-approx GELU.
+  Variable x(Tensor::FromVector({3}, {-1.f, 0.f, 1.f}));
+  Tensor y = GeluV(x).value();
+  EXPECT_NEAR(y.at(0), -0.15880801f, 1e-5f);
+  EXPECT_NEAR(y.at(1), 0.f, 1e-7f);
+  EXPECT_NEAR(y.at(2), 0.84119199f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace cl4srec

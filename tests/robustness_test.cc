@@ -1,0 +1,307 @@
+// Robustness and failure-injection tests: degenerate inputs, boundary
+// sizes, numerical extremes, and corrupted external data. These complement
+// the per-module happy-path suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "augment/augmentations.h"
+#include "core/cl4srec.h"
+#include "core/nt_xent.h"
+#include "data/batcher.h"
+#include "data/csv_loader.h"
+#include "data/synthetic.h"
+#include "models/pop.h"
+#include "models/sasrec.h"
+#include "nn/serialization.h"
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+// ---- Degenerate datasets ----
+
+TEST(RobustnessTest, EmptyCorpusProducesEmptyDataset) {
+  SequenceCorpus corpus;
+  corpus.num_items = 5;
+  SequenceDataset data(std::move(corpus));
+  EXPECT_EQ(data.num_users(), 0);
+  DatasetStats stats = data.Stats();
+  EXPECT_EQ(stats.num_actions, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_length, 0.0);
+}
+
+TEST(RobustnessTest, EvaluateOnEmptyDatasetIsZero) {
+  SequenceCorpus corpus;
+  corpus.num_items = 5;
+  SequenceDataset data(std::move(corpus));
+  auto scorer = [](const std::vector<int64_t>& users,
+                   const std::vector<std::vector<int64_t>>&) {
+    return Tensor({static_cast<int64_t>(users.size()), 6});
+  };
+  MetricReport report = EvaluateRanking(data, scorer);
+  EXPECT_EQ(report.num_users, 0);
+  EXPECT_DOUBLE_EQ(report.hr.at(10), 0.0);
+}
+
+TEST(RobustnessTest, SingleUserDatasetTrains) {
+  SequenceCorpus corpus;
+  corpus.num_items = 8;
+  corpus.sequences = {{1, 2, 3, 4, 5, 6}};
+  SequenceDataset data(std::move(corpus));
+  Pop pop;
+  pop.Fit(data, {});
+  MetricReport report = pop.Evaluate(data);
+  EXPECT_EQ(report.num_users, 1);
+}
+
+TEST(RobustnessTest, KCoreCanEmptyEverything) {
+  // Every user/item below threshold -> empty log, and downstream code
+  // handles the empty corpus.
+  InteractionLog log = {{1, 10, 0, 1.f}, {2, 11, 0, 1.f}};
+  InteractionLog filtered = KCoreFilter(log, 5);
+  EXPECT_TRUE(filtered.empty());
+  SequenceCorpus corpus = BuildSequences(filtered);
+  EXPECT_EQ(corpus.num_users(), 0);
+  EXPECT_EQ(corpus.num_items, 0);
+}
+
+TEST(RobustnessTest, MakeEpochBatchesSkipsShortUsers) {
+  SequenceCorpus corpus;
+  corpus.num_items = 6;
+  corpus.sequences = {{1, 2, 3}, {4, 5, 6, 1}};  // train lens: 1 and 2
+  SequenceDataset data(std::move(corpus));
+  Rng rng(1);
+  auto batches = MakeEpochBatches(data, 8, &rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 1u);  // only the user with train len >= 2
+  EXPECT_EQ(batches[0][0], 1);
+}
+
+// ---- Augmentation edge cases ----
+
+TEST(RobustnessTest, AugmentationsOnSingletonSequence) {
+  Rng rng(2);
+  ItemSequence one = {7};
+  EXPECT_EQ(CropSequence(one, 0.5, &rng), one);  // clamped to length 1
+  EXPECT_EQ(ReorderSequence(one, 0.9, &rng), one);
+  ItemSequence masked = MaskSequence(one, 1.0, 99, &rng);
+  EXPECT_EQ(masked, (ItemSequence{99}));
+}
+
+TEST(RobustnessTest, AugmentationsOnEmptySequence) {
+  Rng rng(3);
+  ItemSequence empty;
+  EXPECT_TRUE(CropSequence(empty, 0.5, &rng).empty());
+  EXPECT_TRUE(MaskSequence(empty, 0.5, 99, &rng).empty());
+  EXPECT_TRUE(ReorderSequence(empty, 0.5, &rng).empty());
+}
+
+TEST(RobustnessTest, AugmenterViewsAlwaysNonEmptyForNonEmptyInput) {
+  Rng rng(4);
+  Augmenter augmenter({{AugmentationKind::kCrop, 0.1},
+                       {AugmentationKind::kMask, 0.9},
+                       {AugmentationKind::kReorder, 0.9}},
+                      999);
+  for (int len : {1, 2, 3, 5, 50}) {
+    ItemSequence seq;
+    for (int i = 1; i <= len; ++i) seq.push_back(i);
+    for (int trial = 0; trial < 20; ++trial) {
+      auto [a, b] = augmenter.TwoViews(seq, &rng);
+      EXPECT_FALSE(a.empty());
+      EXPECT_FALSE(b.empty());
+    }
+  }
+}
+
+// ---- Numerical extremes ----
+
+TEST(RobustnessTest, SoftmaxWithInfinitelyNegativeMask) {
+  Tensor logits = Tensor::FromVector({1, 3}, {-1e9f, 0.f, -1e9f});
+  Tensor probs = SoftmaxRows(logits);
+  EXPECT_NEAR(probs.at(0, 1), 1.f, 1e-5f);
+  EXPECT_FALSE(std::isnan(probs.at(0, 0)));
+}
+
+TEST(RobustnessTest, NtXentWithIdenticalRows) {
+  // All representations identical: positives and negatives tie, loss equals
+  // log(2N-1) and must be finite with finite gradients.
+  const int64_t n = 4;
+  Variable reps(Tensor::Ones({2 * n, 8}), true);
+  Variable loss = NtXentLoss(reps, 0.5f);
+  EXPECT_FALSE(std::isnan(loss.value().at(0)));
+  EXPECT_NEAR(loss.value().at(0), std::log(2.f * n - 1.f), 1e-4f);
+  loss.Backward();
+  for (int64_t i = 0; i < reps.grad().numel(); ++i) {
+    EXPECT_FALSE(std::isnan(reps.grad().at(i)));
+  }
+}
+
+TEST(RobustnessTest, L2NormalizeZeroMatrixIsFinite) {
+  Variable zeros(Tensor({3, 4}), true);
+  Variable out = L2NormalizeRowsV(zeros);
+  SumV(out).Backward();
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(out.value().at(i), 0.f);
+    EXPECT_FALSE(std::isnan(zeros.grad().at(i)));
+  }
+}
+
+TEST(RobustnessTest, BceWithExtremeLogitsIsFinite) {
+  Variable logits(Tensor::FromVector({4}, {80.f, -80.f, 700.f, -700.f}), true);
+  Tensor labels = Tensor::FromVector({4}, {1.f, 0.f, 0.f, 1.f});
+  Variable loss = BceWithLogitsV(logits, labels);
+  EXPECT_FALSE(std::isnan(loss.value().at(0)));
+  EXPECT_FALSE(std::isinf(loss.value().at(0)));
+  loss.Backward();
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(std::isnan(logits.grad().at(i)));
+  }
+}
+
+TEST(RobustnessTest, AttentionAllPaddedBatchYieldsZeros) {
+  Rng rng(5);
+  const int64_t d = 4;
+  auto param = [&](std::vector<int64_t> shape) {
+    return Variable(Tensor::Randn(std::move(shape), &rng), false);
+  };
+  Variable x(Tensor::Randn({4, d}, &rng));
+  std::vector<float> valid(4, 0.f);  // everything padded
+  Variable y = MultiHeadSelfAttentionV(x, param({d, d}), param({d, d}),
+                                       param({d, d}), param({d, d}), 1, 4, 2,
+                                       valid);
+  for (int64_t i = 0; i < y.value().numel(); ++i) {
+    EXPECT_EQ(y.value().at(i), 0.f);
+  }
+}
+
+TEST(RobustnessTest, EncoderHandlesAllPaddingRow) {
+  // A batch containing an empty sequence must encode without NaNs.
+  Rng rng(6);
+  TransformerConfig config;
+  config.num_items = 10;
+  config.max_len = 4;
+  config.hidden_dim = 8;
+  config.dropout = 0.f;
+  TransformerSeqEncoder encoder(config, &rng);
+  PaddedBatch batch = PackSequences({{}, {1, 2}}, 4);
+  ForwardContext ctx{.training = false, .rng = &rng};
+  Tensor h = encoder.EncodeLast(batch, ctx).value();
+  for (int64_t i = 0; i < h.numel(); ++i) EXPECT_FALSE(std::isnan(h.at(i)));
+}
+
+// ---- Optimizers under unusual conditions ----
+
+TEST(RobustnessTest, AdamStableWithZeroGradient) {
+  Variable w(Tensor::Full({2}, 1.f), true);
+  Adam adam({&w}, AdamOptions{.lr = 0.1f});
+  w.AccumulateGrad(Tensor({2}));  // exactly zero gradient
+  adam.Step();
+  EXPECT_FALSE(std::isnan(w.value().at(0)));
+  EXPECT_NEAR(w.value().at(0), 1.f, 1e-6f);
+}
+
+TEST(RobustnessTest, ClipGradNormZeroGradientNoNan) {
+  Variable w(Tensor({3}), true);
+  w.AccumulateGrad(Tensor({3}));
+  const float norm = ClipGradNorm({&w}, 1.f);
+  EXPECT_EQ(norm, 0.f);
+  EXPECT_FALSE(std::isnan(w.grad().at(0)));
+}
+
+// ---- Corrupted external data ----
+
+TEST(RobustnessTest, TruncatedCheckpointRejected) {
+  const std::string path = ::testing::TempDir() + "/trunc.bin";
+  Rng rng(7);
+  Linear model(4, 4, &rng);
+  ASSERT_TRUE(SaveModule(path, model).ok());
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  Tensor before = model.weight().value().Clone();
+  EXPECT_FALSE(LoadModule(path, model).ok());
+  EXPECT_TRUE(AllClose(before, model.weight().value()));  // unchanged
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, CsvWithWindowsLineEndingsAndBlanks) {
+  const std::string path = ::testing::TempDir() + "/crlf.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "user,item,timestamp\r\n"
+        << "1,2,3\r\n"
+        << "\r\n"
+        << "4,5,6\r\n";
+  }
+  auto log = LoadInteractionsCsv(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log->size(), 2u);
+  EXPECT_EQ((*log)[1].user, 4);
+  std::remove(path.c_str());
+}
+
+// ---- Training resilience ----
+
+TEST(RobustnessTest, SasRecOnMinimalDataset) {
+  // Three users, barely enough signal; training must complete and produce
+  // finite scores.
+  SequenceCorpus corpus;
+  corpus.num_items = 6;
+  corpus.sequences = {{1, 2, 3, 4}, {2, 3, 4, 5}, {3, 4, 5, 6}};
+  SequenceDataset data(std::move(corpus));
+  SasRec model(SasRecConfig{.hidden_dim = 8});
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 2;
+  options.max_len = 8;
+  model.Fit(data, options);
+  Tensor scores = model.ScoreBatch({0}, {{1, 2}});
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_FALSE(std::isnan(scores.at(i)));
+  }
+}
+
+TEST(RobustnessTest, Cl4SRecPretrainWithTinyBatches) {
+  // Batches of size 2 give a single negative pair: the minimum NT-Xent can
+  // handle. Must not crash or NaN.
+  SequenceCorpus corpus;
+  corpus.num_items = 10;
+  for (int u = 0; u < 6; ++u) {
+    corpus.sequences.push_back({1 + u % 5, 2 + u % 5, 3 + u % 5, 4, 5});
+  }
+  SequenceDataset data(std::move(corpus));
+  Cl4SRecConfig config;
+  config.encoder.hidden_dim = 8;
+  config.pretrain_epochs = 2;
+  config.pretrain_batch_size = 2;
+  Cl4SRec model(config);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 2;
+  options.max_len = 8;
+  const double loss = model.Pretrain(data, options);
+  EXPECT_FALSE(std::isnan(loss));
+}
+
+TEST(RobustnessTest, SubsampleFullFractionIsIdentity) {
+  SequenceDataset data = MakeSyntheticDataset(SyntheticPreset::kToys, 0.2);
+  Rng rng(8);
+  SequenceDataset same = data.SubsampleTraining(1.0, &rng);
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    EXPECT_EQ(same.TrainSequence(u), data.TrainSequence(u));
+  }
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,249 @@
+// Tests for src/tensor: Tensor structure and numeric kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndContents) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.f);
+}
+
+TEST(TensorTest, NegativeAxisDim) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(TensorTest, FromVectorAndAccessors) {
+  Tensor t = Tensor::FromVector({2, 2}, {1.f, 2.f, 3.f, 4.f});
+  EXPECT_EQ(t.at(0, 0), 1.f);
+  EXPECT_EQ(t.at(0, 1), 2.f);
+  EXPECT_EQ(t.at(1, 0), 3.f);
+  EXPECT_EQ(t.at(1, 1), 4.f);
+}
+
+TEST(TensorTest, ThreeDimAccessor) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 9.f;
+  EXPECT_EQ(t.at(1 * 12 + 2 * 4 + 3), 9.f);
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::FromVector({2}, {1.f, 2.f});
+  Tensor b = a;  // shallow
+  b.at(0) = 5.f;
+  EXPECT_EQ(a.at(0), 5.f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::FromVector({2}, {1.f, 2.f});
+  Tensor b = a.Clone();
+  b.at(0) = 5.f;
+  EXPECT_EQ(a.at(0), 1.f);
+}
+
+TEST(TensorTest, ReshapeSharesStorageAndInfers) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, -1});
+  EXPECT_EQ(b.dim(0), 3);
+  EXPECT_EQ(b.dim(1), 2);
+  b.at(0, 0) = 7.f;
+  EXPECT_EQ(a.at(0, 0), 7.f);
+}
+
+TEST(TensorTest, FillAndScale) {
+  Tensor t({4});
+  t.Fill(2.f);
+  t.ScaleInPlace(3.f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 6.f);
+}
+
+TEST(TensorTest, AddAndAxpyInPlace) {
+  Tensor a = Tensor::Full({3}, 1.f);
+  Tensor b = Tensor::Full({3}, 2.f);
+  a.AddInPlace(b);
+  EXPECT_EQ(a.at(0), 3.f);
+  a.AxpyInPlace(0.5f, b);
+  EXPECT_EQ(a.at(0), 4.f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({10000}, &rng, 1.f, 2.f);
+  EXPECT_NEAR(MeanAll(t), 1.f, 0.1f);
+}
+
+TEST(TensorTest, TruncatedNormalBounded) {
+  Rng rng(5);
+  Tensor t = Tensor::TruncatedNormal({1000}, &rng, 0.f, 0.01f);
+  EXPECT_LE(MaxAll(t), 0.02f);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::FromVector({3}, {1, 2, 3});
+  EXPECT_EQ(t.ToString(2), "Tensor<3>[1, 2, ...]");
+}
+
+TEST(TensorOpsTest, MatMulBasic) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.f);
+}
+
+TEST(TensorOpsTest, MatMulRectangular) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.dim(0), 1);
+  EXPECT_EQ(c.dim(1), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 4.f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 5.f);
+}
+
+TEST(TensorOpsTest, MatMulTransposeVariantsAgree) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({4, 3}, &rng);
+  Tensor b = Tensor::Randn({3, 5}, &rng);
+  Tensor reference = MatMul(a, b);
+  EXPECT_TRUE(AllClose(MatMul(Transpose2D(a), b, /*trans_a=*/true), reference));
+  EXPECT_TRUE(AllClose(MatMul(a, Transpose2D(b), false, /*trans_b=*/true),
+                       reference));
+  EXPECT_TRUE(AllClose(
+      MatMul(Transpose2D(a), Transpose2D(b), true, true), reference));
+}
+
+TEST(TensorOpsTest, Transpose2D) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 2);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.f);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4.f);
+}
+
+TEST(TensorOpsTest, ElementwiseOps) {
+  Tensor a = Tensor::FromVector({3}, {1, -2, 3});
+  Tensor b = Tensor::FromVector({3}, {2, 2, 2});
+  EXPECT_FLOAT_EQ(Add(a, b).at(1), 0.f);
+  EXPECT_FLOAT_EQ(Sub(a, b).at(0), -1.f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(2), 6.f);
+  EXPECT_FLOAT_EQ(Scale(a, -1.f).at(0), -1.f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1.f).at(1), -1.f);
+}
+
+TEST(TensorOpsTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromVector({2}, {10, 20});
+  Tensor out = AddRowBroadcast(a, bias);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 11.f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 24.f);
+}
+
+TEST(TensorOpsTest, Activations) {
+  Tensor x = Tensor::FromVector({3}, {-1.f, 0.f, 2.f});
+  EXPECT_FLOAT_EQ(Relu(x).at(0), 0.f);
+  EXPECT_FLOAT_EQ(Relu(x).at(2), 2.f);
+  EXPECT_NEAR(Sigmoid(x).at(1), 0.5f, 1e-6f);
+  EXPECT_NEAR(Tanh(x).at(2), std::tanh(2.f), 1e-6f);
+  // GELU: ~0 at 0, ~x for large x, negative small for x=-1.
+  EXPECT_NEAR(Gelu(x).at(1), 0.f, 1e-6f);
+  EXPECT_NEAR(Gelu(x).at(2), 1.9546f, 1e-3f);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(SumAll(a), 10.f);
+  EXPECT_FLOAT_EQ(MeanAll(a), 2.5f);
+  EXPECT_FLOAT_EQ(MaxAll(a), 4.f);
+  Tensor col_sums = SumRows(a);
+  EXPECT_FLOAT_EQ(col_sums.at(0), 4.f);
+  EXPECT_FLOAT_EQ(col_sums.at(1), 6.f);
+  Tensor row_sums = SumCols(a);
+  EXPECT_FLOAT_EQ(row_sums.at(0), 3.f);
+  EXPECT_FLOAT_EQ(row_sums.at(1), 7.f);
+  EXPECT_FLOAT_EQ(SquaredNorm(a), 30.f);
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(9);
+  Tensor logits = Tensor::Randn({5, 7}, &rng, 0.f, 3.f);
+  Tensor probs = SoftmaxRows(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_GT(probs.at(i, j), 0.f);
+      row += probs.at(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorOpsTest, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1, 3}, {1000.f, 1001.f, 999.f});
+  Tensor probs = SoftmaxRows(logits);
+  EXPECT_FALSE(std::isnan(probs.at(0, 0)));
+  EXPECT_GT(probs.at(0, 1), probs.at(0, 0));
+}
+
+TEST(TensorOpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(11);
+  Tensor logits = Tensor::Randn({4, 6}, &rng);
+  Tensor log_probs = LogSoftmaxRows(logits);
+  Tensor probs = SoftmaxRows(logits);
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(log_probs.at(i), std::log(probs.at(i)), 1e-5f);
+  }
+}
+
+TEST(TensorOpsTest, L2NormalizeRows) {
+  Tensor a = Tensor::FromVector({2, 2}, {3, 4, 0, 0});
+  Tensor norms;
+  Tensor out = L2NormalizeRows(a, 1e-8f, &norms);
+  EXPECT_NEAR(out.at(0, 0), 0.6f, 1e-6f);
+  EXPECT_NEAR(out.at(0, 1), 0.8f, 1e-6f);
+  EXPECT_NEAR(norms.at(0), 5.f, 1e-6f);
+  // Zero row stays finite.
+  EXPECT_EQ(out.at(1, 0), 0.f);
+}
+
+TEST(TensorOpsTest, AllClose) {
+  Tensor a = Tensor::FromVector({2}, {1.f, 2.f});
+  Tensor b = Tensor::FromVector({2}, {1.f + 1e-7f, 2.f});
+  EXPECT_TRUE(AllClose(a, b));
+  Tensor c = Tensor::FromVector({2}, {1.5f, 2.f});
+  EXPECT_FALSE(AllClose(a, c));
+  EXPECT_FALSE(AllClose(a, Tensor({3})));
+}
+
+TEST(TensorOpsTest, TopKIndicesDescendingDeterministic) {
+  Tensor scores = Tensor::FromVector({5}, {0.1f, 0.9f, 0.5f, 0.9f, 0.2f});
+  auto top = TopKIndices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);  // tie with 3 broken by lower index
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+}
+
+TEST(TensorOpsTest, TopKClampsToSize) {
+  Tensor scores = Tensor::FromVector({2}, {1.f, 2.f});
+  EXPECT_EQ(TopKIndices(scores, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cl4srec

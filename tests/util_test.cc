@@ -1,0 +1,245 @@
+// Tests for src/util: Status/StatusOr, Rng, string helpers, flags, CSV.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int64_t> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int64_t> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += a.NextU64() != b.NextU64();
+  EXPECT_GT(differing, 12);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double total = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    total += u;
+  }
+  EXPECT_NEAR(total / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++histogram[static_cast<size_t>(v)];
+  }
+  for (int count : histogram) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(5, 8);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 8);
+  }
+}
+
+TEST(RngTest, NormalMomentsLookRight) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.Normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, TruncatedNormalWithinTwoSigma) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.TruncatedNormal(0.0, 0.01);
+    EXPECT_GE(v, -0.02);
+    EXPECT_LE(v, 0.02);
+  }
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[static_cast<size_t>(rng.Categorical(weights))];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 10000.0, 0.3, 0.03);
+  EXPECT_NEAR(counts[3] / 10000.0, 0.6, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.Shuffle(shuffled.begin(), shuffled.end());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto fields = Split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("4x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(FlagsTest, ParsesAllTypes) {
+  FlagParser flags;
+  flags.AddInt("n", 1, "");
+  flags.AddDouble("rate", 0.5, "");
+  flags.AddBool("verbose", false, "");
+  flags.AddString("name", "x", "");
+  const char* argv[] = {"prog", "--n", "5", "--rate=0.25", "--verbose",
+                        "--name", "hello"};
+  ASSERT_TRUE(flags.Parse(7, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("n"), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetString("name"), "hello");
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyArgv) {
+  FlagParser flags;
+  flags.AddInt("n", 7, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("n"), 7);
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser flags;
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(flags.Parse(3, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, RejectsBadValue) {
+  FlagParser flags;
+  flags.AddInt("n", 1, "");
+  const char* argv[] = {"prog", "--n", "abc"};
+  EXPECT_FALSE(flags.Parse(3, const_cast<char**>(argv)).ok());
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/csv_writer_test.csv";
+  {
+    auto writer = CsvWriter::Open(path, {"a", "b"});
+    ASSERT_TRUE(writer.ok());
+    writer->WriteRow({"1", "x,y"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"x,y\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, EmptyPathDisables) {
+  auto writer = CsvWriter::Open("", {"a"});
+  ASSERT_TRUE(writer.ok());
+  EXPECT_FALSE(writer->enabled());
+  writer->WriteRow({"1"});  // no-op, must not crash
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,160 @@
+// cl4srec_cli — command-line front end for the library.
+//
+//   cl4srec_cli train     --preset beauty | --data events.csv
+//                         [--model CL4SRec] [--epochs 30] [--save ckpt.bin]
+//   cl4srec_cli eval      --preset beauty --model SASRec --load ckpt.bin
+//   cl4srec_cli recommend --preset beauty --model CL4SRec --load ckpt.bin
+//                         --user 0 [--topk 10]
+//   cl4srec_cli stats     --preset beauty | --data events.csv
+//
+// `--load/--save` only apply to the transformer-encoder models (SASRec,
+// SASRec_BPR, CL4SRec, BERT4Rec expose their encoder); other models retrain
+// from scratch each run.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "data/csv_loader.h"
+#include "nn/serialization.h"
+
+using namespace cl4srec;
+using namespace cl4srec::bench;
+
+namespace {
+
+// Returns the checkpointable encoder inside a model, or nullptr.
+Module* CheckpointTarget(Recommender* model) {
+  if (auto* sasrec = dynamic_cast<SasRec*>(model)) return sasrec->encoder();
+  if (auto* cl = dynamic_cast<Cl4SRec*>(model)) return cl->sasrec().encoder();
+  if (auto* bert = dynamic_cast<Bert4Rec*>(model)) return bert->encoder();
+  return nullptr;
+}
+
+StatusOr<SequenceDataset> LoadData(const FlagParser& flags,
+                                   const BenchConfig& config) {
+  const std::string data_path = flags.GetString("data");
+  if (!data_path.empty()) {
+    auto log = LoadInteractionsCsv(data_path);
+    if (!log.ok()) return log.status();
+    return SequenceDataset(Preprocess(*log));
+  }
+  auto preset = ParsePreset(flags.GetString("preset"));
+  if (!preset.ok()) return preset.status();
+  return MakeBenchDataset(*preset, config);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <train|eval|recommend|stats> [flags]\n", argv[0]);
+    return 1;
+  }
+  const std::string command = argv[1];
+
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  flags.AddString("preset", "beauty", "synthetic preset (beauty/sports/toys/yelp)");
+  flags.AddString("data", "", "CSV of user,item,timestamp[,rating] (overrides --preset)");
+  flags.AddString("model", "CL4SRec", "model name (see bench_common)");
+  flags.AddString("save", "", "checkpoint path to write after training");
+  flags.AddString("load", "", "checkpoint path to restore before eval/recommend");
+  flags.AddInt("user", 0, "user id for `recommend`");
+  flags.AddInt("topk", 10, "recommendation count for `recommend`");
+  Status parse = flags.Parse(argc - 1, argv + 1);
+  if (!parse.ok()) return Fail(parse);
+  if (flags.help_requested()) return 0;
+  BenchConfig config = ConfigFromFlags(flags);
+
+  auto data_or = LoadData(flags, config);
+  if (!data_or.ok()) return Fail(data_or.status());
+  SequenceDataset& data = *data_or;
+  std::printf("dataset: %s\n", data.Stats().ToString().c_str());
+
+  if (command == "stats") return 0;
+
+  auto model = MakeModel(flags.GetString("model"), config);
+  TrainOptions options = MakeTrainOptions(config);
+
+  if (command == "train") {
+    model->Fit(data, options);
+    std::printf("test:  %s\n", model->Evaluate(data).ToString().c_str());
+    const std::string save = flags.GetString("save");
+    if (!save.empty()) {
+      Module* target = CheckpointTarget(model.get());
+      if (target == nullptr) {
+        return Fail(Status::InvalidArgument(
+            "--save requires an encoder-based model"));
+      }
+      Status status = SaveModule(save, *target);
+      if (!status.ok()) return Fail(status);
+      std::printf("saved encoder checkpoint to %s\n", save.c_str());
+    }
+    return 0;
+  }
+
+  // eval / recommend share the restore path. The encoder must be built
+  // (without training) before parameters can be restored into it.
+  auto restore = [&]() -> Status {
+    const std::string load = flags.GetString("load");
+    if (load.empty()) {
+      // No checkpoint: train from scratch so the command still works.
+      model->Fit(data, options);
+      return Status::Ok();
+    }
+    TrainOptions build_only = options;
+    build_only.epochs = 0;
+    if (auto* cl = dynamic_cast<Cl4SRec*>(model.get())) {
+      cl->sasrec().EnsureEncoder(data, build_only);
+      return LoadModule(load, *cl->sasrec().encoder());
+    }
+    if (auto* sasrec = dynamic_cast<SasRec*>(model.get())) {
+      sasrec->EnsureEncoder(data, build_only);
+      return LoadModule(load, *sasrec->encoder());
+    }
+    model->Fit(data, build_only);
+    Module* target = CheckpointTarget(model.get());
+    if (target == nullptr) {
+      return Status::InvalidArgument("--load requires an encoder-based model");
+    }
+    return LoadModule(load, *target);
+  };
+
+  if (command == "eval") {
+    Status status = restore();
+    if (!status.ok()) return Fail(status);
+    std::printf("valid: %s\n",
+                model->Evaluate(data, EvalSplit::kValidation).ToString().c_str());
+    std::printf("test:  %s\n", model->Evaluate(data).ToString().c_str());
+    return 0;
+  }
+
+  if (command == "recommend") {
+    Status status = restore();
+    if (!status.ok()) return Fail(status);
+    const int64_t user = flags.GetInt("user");
+    if (user < 0 || user >= data.num_users()) {
+      return Fail(Status::OutOfRange("no such user"));
+    }
+    std::printf("top-%lld for user %lld:",
+                static_cast<long long>(flags.GetInt("topk")),
+                static_cast<long long>(user));
+    for (int64_t item : model->RecommendTopK(user, data.TestInput(user),
+                                             flags.GetInt("topk"),
+                                             data.SeenItems(user))) {
+      std::printf(" %lld", static_cast<long long>(item));
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}
