@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the whole tree with AddressSanitizer + UBSanitizer
+# (-DCL4SREC_SANITIZE=ON) and runs the tier-1 test suite under it. The
+# robustness layer (checkpoint corruption handling, fault-injected recovery,
+# rollback paths) is exactly the kind of code where a latent out-of-bounds
+# read or use-after-move hides behind passing assertions, so CI should run
+# this on top of the plain build.
+#
+# Usage: scripts/check_sanitizers.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-sanitize}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCL4SREC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes ASan failures fail the ctest run instead of just
+# printing; detect_leaks stays on by default where supported.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+echo "sanitizer suite passed"

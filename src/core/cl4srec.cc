@@ -1,13 +1,26 @@
 #include "core/cl4srec.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/nt_xent.h"
 #include "data/batcher.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+#include "util/fs_util.h"
 
 namespace cl4srec {
+namespace {
+
+// Marker written next to the checkpoints when the contrastive stage
+// finishes, so a resumed two-stage run skips straight to fine-tuning.
+std::string PretrainDoneMarker(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/pretrain.done";
+}
+
+}  // namespace
 
 Cl4SRec::Cl4SRec(const Cl4SRecConfig& config)
     : config_(config), sasrec_(config.encoder) {
@@ -36,6 +49,22 @@ void Cl4SRec::BuildAugmenter(const SequenceDataset& data) {
   augmenter_ = std::make_unique<Augmenter>(config_.augmentations, context);
 }
 
+void Cl4SRec::EnsurePretrainModules(const SequenceDataset& data,
+                                    const TrainOptions& options, Rng* rng) {
+  sasrec_.EnsureEncoder(data, options);
+  BuildAugmenter(data);
+  if (projection_ == nullptr) {
+    const int64_t d = sasrec_.encoder()->config().hidden_dim;
+    projection_ = std::make_unique<Linear>(d, d, rng);
+  }
+}
+
+std::vector<Variable*> Cl4SRec::PretrainParameters() {
+  std::vector<Variable*> params = sasrec_.encoder()->Parameters();
+  for (Variable* p : projection_->Parameters()) params.push_back(p);
+  return params;
+}
+
 Variable Cl4SRec::ContrastiveLoss(const std::vector<ItemSequence>& sequences,
                                   int64_t max_len, Rng* rng) {
   // Two correlated views per sequence, interleaved so rows (2i, 2i+1) are
@@ -60,16 +89,11 @@ double Cl4SRec::Pretrain(const SequenceDataset& data,
   if (config_.pretrain_batch_size > 0) {
     options.batch_size = config_.pretrain_batch_size;
   }
-  sasrec_.EnsureEncoder(data, options);
+  options.robust.checkpoints.prefix = "pretrain";
   Rng rng(options.seed + 17);
-  BuildAugmenter(data);
-  if (projection_ == nullptr) {
-    const int64_t d = sasrec_.encoder()->config().hidden_dim;
-    projection_ = std::make_unique<Linear>(d, d, &rng);
-  }
+  EnsurePretrainModules(data, options, &rng);
 
-  std::vector<Variable*> params = sasrec_.encoder()->Parameters();
-  for (Variable* p : projection_->Parameters()) params.push_back(p);
+  std::vector<Variable*> params = PretrainParameters();
   Adam optimizer(params, AdamOptions{.lr = options.lr});
   int64_t trainable_users = 0;
   for (int64_t u = 0; u < data.num_users(); ++u) {
@@ -79,23 +103,22 @@ double Cl4SRec::Pretrain(const SequenceDataset& data,
       1, (trainable_users + options.batch_size - 1) / options.batch_size);
   LinearDecaySchedule schedule(steps_per_epoch * config_.pretrain_epochs,
                                options.lr_decay_final);
+  TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
 
   double last_epoch_loss = 0.0;
-  int64_t step = 0;
   for (int64_t epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
     for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
       if (users.size() < 2) continue;  // NT-Xent needs in-batch negatives.
+      if (runner.SkipBatchForResume()) continue;
       Variable loss = ContrastiveLoss(TrainSequencesOf(data, users),
                                       options.max_len, &rng);
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ClipGradNorm(optimizer.params(), options.grad_clip);
-      schedule.Apply(&optimizer, step++);
-      optimizer.Step();
-      epoch_loss += loss.value().at(0);
-      ++batches;
+      const StepOutcome outcome = runner.Step(loss);
+      if (std::isfinite(outcome.loss)) {
+        epoch_loss += outcome.loss;
+        ++batches;
+      }
     }
     last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
     if (options.verbose) {
@@ -104,22 +127,36 @@ double Cl4SRec::Pretrain(const SequenceDataset& data,
                         << last_epoch_loss;
     }
   }
+  Status saved = runner.SaveFinal();
+  if (!saved.ok()) {
+    CL4SREC_LOG(Warning) << "final pretrain checkpoint: " << saved.ToString();
+  } else if (!options.robust.checkpoints.directory.empty()) {
+    Status marker = AtomicWriteFile(
+        PretrainDoneMarker(options.robust.checkpoints.directory), "done\n");
+    if (!marker.ok()) {
+      CL4SREC_LOG(Warning) << "pretrain.done marker: " << marker.ToString();
+    }
+  }
   return last_epoch_loss;
 }
 
+void Cl4SRec::Finetune(const SequenceDataset& data,
+                       const TrainOptions& raw_options) {
+  TrainOptions options = raw_options;
+  options.robust.checkpoints.prefix = "finetune";
+  sasrec_.EnsureEncoder(data, options);
+  sasrec_.TrainSupervised(data, options);
+}
+
 void Cl4SRec::JointFit(const SequenceDataset& data,
-                       const TrainOptions& options) {
+                       const TrainOptions& raw_options) {
   // Multi-task variant (ICDE'22): every step optimizes
   // L = L_next-item + joint_weight * L_cl on the same batch of users.
-  sasrec_.EnsureEncoder(data, options);
+  TrainOptions options = raw_options;
+  options.robust.checkpoints.prefix = "joint";
   Rng rng(options.seed + 17);
-  BuildAugmenter(data);
-  if (projection_ == nullptr) {
-    const int64_t d = sasrec_.encoder()->config().hidden_dim;
-    projection_ = std::make_unique<Linear>(d, d, &rng);
-  }
-  std::vector<Variable*> params = sasrec_.encoder()->Parameters();
-  for (Variable* p : projection_->Parameters()) params.push_back(p);
+  EnsurePretrainModules(data, options, &rng);
+  std::vector<Variable*> params = PretrainParameters();
   Adam optimizer(params, AdamOptions{.lr = options.lr});
   int64_t trainable_users = 0;
   for (int64_t u = 0; u < data.num_users(); ++u) {
@@ -131,13 +168,14 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
                                options.lr_decay_final);
   EarlyStopper stopper(options.patience);
   ParameterSnapshot best;
+  TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
 
   TransformerSeqEncoder* encoder = sasrec_.encoder();
-  int64_t step = 0;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
     for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      if (runner.SkipBatchForResume()) continue;
       NextItemBatch batch = MakeNextItemBatch(data, users, options.max_len, &rng);
       const int64_t t_count = batch.inputs.seq_len;
       ForwardContext ctx{.training = true, .rng = &rng};
@@ -173,13 +211,11 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
                                       options.max_len, &rng);
         loss = AddV(loss, ScaleV(cl, config_.joint_weight));
       }
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ClipGradNorm(optimizer.params(), options.grad_clip);
-      schedule.Apply(&optimizer, step++);
-      optimizer.Step();
-      epoch_loss += loss.value().at(0);
-      ++batches;
+      const StepOutcome outcome = runner.Step(loss);
+      if (std::isfinite(outcome.loss)) {
+        epoch_loss += outcome.loss;
+        ++batches;
+      }
     }
     if (options.verbose && batches > 0) {
       CL4SREC_LOG(Info) << name() << " joint epoch " << epoch + 1 << "/"
@@ -197,6 +233,10 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
     }
   }
   if (!best.empty()) best.Restore(params);
+  Status saved = runner.SaveFinal();
+  if (!saved.ok()) {
+    CL4SREC_LOG(Warning) << "final checkpoint: " << saved.ToString();
+  }
 }
 
 void Cl4SRec::Fit(const SequenceDataset& data, const TrainOptions& options) {
@@ -204,7 +244,33 @@ void Cl4SRec::Fit(const SequenceDataset& data, const TrainOptions& options) {
     JointFit(data, options);
     return;
   }
-  Pretrain(data, options);
+  const std::string& checkpoint_dir = options.robust.checkpoints.directory;
+  bool pretrained = false;
+  if (options.robust.resume && !checkpoint_dir.empty() &&
+      FileExists(PretrainDoneMarker(checkpoint_dir))) {
+    // The interrupted run finished pre-training: rebuild the stage modules
+    // and restore its final encoder state instead of re-running the stage.
+    TrainOptions stage = options;
+    if (config_.pretrain_batch_size > 0) {
+      stage.batch_size = config_.pretrain_batch_size;
+    }
+    stage.robust.checkpoints.prefix = "pretrain";
+    Rng rng(options.seed + 17);
+    EnsurePretrainModules(data, stage, &rng);
+    CheckpointManager manager(stage.robust.checkpoints, PretrainParameters());
+    StatusOr<int64_t> restored = manager.RestoreLatest();
+    if (restored.ok()) {
+      pretrained = true;
+      CL4SREC_LOG(Info) << name()
+                        << ": pre-training already complete; restored "
+                        << *restored << " steps and skipping to fine-tuning";
+    } else {
+      CL4SREC_LOG(Warning) << name() << ": pretrain.done present but "
+                           << restored.status().ToString()
+                           << "; re-running pre-training";
+    }
+  }
+  if (!pretrained) Pretrain(data, options);
   Finetune(data, options);
 }
 

@@ -64,11 +64,10 @@ class Cl4SRec : public Recommender {
   // examples and for diagnostics). Returns the final epoch's mean loss.
   double Pretrain(const SequenceDataset& data, const TrainOptions& options);
 
-  // Stage 2 only: supervised fine-tuning with Eq. 15.
-  void Finetune(const SequenceDataset& data, const TrainOptions& options) {
-    sasrec_.EnsureEncoder(data, options);
-    sasrec_.TrainSupervised(data, options);
-  }
+  // Stage 2 only: supervised fine-tuning with Eq. 15. When checkpointing is
+  // configured the stage writes "finetune"-prefixed checkpoints so resume
+  // can tell the two stages apart.
+  void Finetune(const SequenceDataset& data, const TrainOptions& options);
 
   SasRec& sasrec() { return sasrec_; }
   const Cl4SRecConfig& config() const { return config_; }
@@ -82,6 +81,15 @@ class Cl4SRec : public Recommender {
   // Creates augmenter_ (and, when substitute/insert operators are
   // configured, the co-occurrence similarity model they need).
   void BuildAugmenter(const SequenceDataset& data);
+
+  // Builds everything the contrastive stage needs: encoder, augmenter, and
+  // the projection head g(.). Shared by Pretrain, JointFit, and the resume
+  // path that restores a finished pre-training stage from disk.
+  void EnsurePretrainModules(const SequenceDataset& data,
+                             const TrainOptions& options, Rng* rng);
+
+  // Encoder + projection-head parameters (the contrastive stage's set).
+  std::vector<Variable*> PretrainParameters();
 
   void JointFit(const SequenceDataset& data, const TrainOptions& options);
 

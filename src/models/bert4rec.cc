@@ -1,9 +1,12 @@
 #include "models/bert4rec.h"
 
+#include <cmath>
+
 #include "data/batcher.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
+#include "train/trainer.h"
 
 namespace cl4srec {
 
@@ -34,12 +37,13 @@ void Bert4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
                                options.lr_decay_final);
   EarlyStopper stopper(options.patience);
   ParameterSnapshot best;
+  TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
 
-  int64_t step = 0;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
     for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      if (runner.SkipBatchForResume()) continue;
       // Cloze corruption: replace random positions by [mask]; always include
       // the final position half the time so training matches the
       // append-[mask] inference setup.
@@ -100,13 +104,11 @@ void Bert4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
       Variable logits = MatMulV(states, item_rows, false, /*trans_b=*/true);
       Variable loss = SoftmaxCrossEntropyV(logits, targets);
 
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ClipGradNorm(optimizer.params(), options.grad_clip);
-      schedule.Apply(&optimizer, step++);
-      optimizer.Step();
-      epoch_loss += loss.value().at(0);
-      ++batches;
+      const StepOutcome outcome = runner.Step(loss);
+      if (std::isfinite(outcome.loss)) {
+        epoch_loss += outcome.loss;
+        ++batches;
+      }
     }
     if (options.verbose && batches > 0) {
       CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
@@ -124,6 +126,10 @@ void Bert4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
     }
   }
   if (!best.empty()) best.Restore(params);
+  Status saved = runner.SaveFinal();
+  if (!saved.ok()) {
+    CL4SREC_LOG(Warning) << "final checkpoint: " << saved.ToString();
+  }
 }
 
 Tensor Bert4Rec::ScoreBatch(const std::vector<int64_t>& users,

@@ -1,9 +1,12 @@
 #include "models/gru4rec.h"
 
+#include <cmath>
+
 #include "data/batcher.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
+#include "train/trainer.h"
 
 namespace cl4srec {
 
@@ -42,12 +45,13 @@ void Gru4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
                                options.lr_decay_final);
   EarlyStopper stopper(options.patience);
   ParameterSnapshot best;
+  TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
 
-  int64_t step = 0;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
     for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      if (runner.SkipBatchForResume()) continue;
       NextItemBatch batch = MakeNextItemBatch(data, users, max_len_, &rng);
       const int64_t b_count = batch.inputs.batch;
       const int64_t t_count = batch.inputs.seq_len;
@@ -79,13 +83,11 @@ void Gru4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
       Variable diff = SubV(pos_scores, neg_scores);
       Variable loss = BceWithLogitsV(
           diff, Tensor::Ones({static_cast<int64_t>(rows.size())}));
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ClipGradNorm(optimizer.params(), options.grad_clip);
-      schedule.Apply(&optimizer, step++);
-      optimizer.Step();
-      epoch_loss += loss.value().at(0);
-      ++batches;
+      const StepOutcome outcome = runner.Step(loss);
+      if (std::isfinite(outcome.loss)) {
+        epoch_loss += outcome.loss;
+        ++batches;
+      }
     }
     if (options.verbose && batches > 0) {
       CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
@@ -103,6 +105,10 @@ void Gru4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
     }
   }
   if (!best.empty()) best.Restore(params);
+  Status saved = runner.SaveFinal();
+  if (!saved.ok()) {
+    CL4SREC_LOG(Warning) << "final checkpoint: " << saved.ToString();
+  }
 }
 
 Tensor Gru4Rec::ScoreBatch(const std::vector<int64_t>& users,

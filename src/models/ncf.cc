@@ -1,8 +1,11 @@
 #include "models/ncf.h"
 
+#include <cmath>
+
 #include "autograd/ops.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
+#include "train/trainer.h"
 
 namespace cl4srec {
 
@@ -70,12 +73,13 @@ void Ncf::Fit(const SequenceDataset& data, const TrainOptions& options) {
       options.batch_size;
   LinearDecaySchedule schedule(steps_per_epoch * options.epochs,
                                options.lr_decay_final);
-  int64_t step = 0;
+  TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     rng.Shuffle(positives.begin(), positives.end());
     double epoch_loss = 0.0;
     for (size_t start = 0; start < positives.size();
          start += static_cast<size_t>(options.batch_size)) {
+      if (runner.SkipBatchForResume()) continue;
       const size_t end = std::min(positives.size(),
                                   start + static_cast<size_t>(options.batch_size));
       std::vector<int64_t> users, items;
@@ -95,18 +99,18 @@ void Ncf::Fit(const SequenceDataset& data, const TrainOptions& options) {
       const auto label_count = static_cast<int64_t>(labels.size());
       Variable loss = BceWithLogitsV(
           logits, Tensor::FromVector({label_count}, std::move(labels)));
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ClipGradNorm(optimizer.params(), options.grad_clip);
-      schedule.Apply(&optimizer, step++);
-      optimizer.Step();
-      epoch_loss += loss.value().at(0);
+      const StepOutcome outcome = runner.Step(loss);
+      if (std::isfinite(outcome.loss)) epoch_loss += outcome.loss;
     }
     if (options.verbose) {
       CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
                         << options.epochs << " loss "
                         << epoch_loss / static_cast<double>(steps_per_epoch);
     }
+  }
+  Status saved = runner.SaveFinal();
+  if (!saved.ok()) {
+    CL4SREC_LOG(Warning) << "final checkpoint: " << saved.ToString();
   }
 }
 

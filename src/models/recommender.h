@@ -11,6 +11,7 @@
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "tensor/tensor.h"
+#include "train/trainer.h"
 
 namespace cl4srec {
 
@@ -31,6 +32,10 @@ struct TrainOptions {
   int64_t eval_every = 0;
   int64_t patience = 3;
   bool verbose = false;
+  // Training-robustness layer (src/train/): the divergence sentinel is on
+  // by default; crash-safe checkpointing and resume activate when
+  // robust.checkpoints.directory is set.
+  TrainRunnerOptions robust;
 };
 
 class Recommender {

@@ -1,9 +1,12 @@
 #include "models/sasrec.h"
 
+#include <cmath>
+
 #include "data/batcher.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
+#include "train/trainer.h"
 
 namespace cl4srec {
 
@@ -42,12 +45,13 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
                                options.lr_decay_final);
   EarlyStopper stopper(options.patience);
   ParameterSnapshot best;
+  TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
 
-  int64_t step = 0;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
     for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      if (runner.SkipBatchForResume()) continue;
       NextItemBatch batch = MakeNextItemBatch(data, users, max_len_, &rng);
       const int64_t t_count = batch.inputs.seq_len;
       ForwardContext ctx{.training = true, .rng = &rng};
@@ -82,13 +86,11 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
       for (int64_t i = 0; i < m; ++i) labels.at(i) = 1.f;
       Variable loss = BceWithLogitsV(all_scores, labels);
 
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ClipGradNorm(optimizer.params(), options.grad_clip);
-      schedule.Apply(&optimizer, step++);
-      optimizer.Step();
-      epoch_loss += loss.value().at(0);
-      ++batches;
+      const StepOutcome outcome = runner.Step(loss);
+      if (std::isfinite(outcome.loss)) {
+        epoch_loss += outcome.loss;
+        ++batches;
+      }
     }
     if (options.verbose && batches > 0) {
       CL4SREC_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
@@ -106,6 +108,10 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
     }
   }
   if (!best.empty()) best.Restore(params);
+  Status saved = runner.SaveFinal();
+  if (!saved.ok()) {
+    CL4SREC_LOG(Warning) << "final checkpoint: " << saved.ToString();
+  }
 }
 
 void SasRec::Fit(const SequenceDataset& data, const TrainOptions& options) {

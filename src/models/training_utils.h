@@ -1,37 +1,15 @@
 // Small helpers shared by model training loops: parameter snapshots for
-// early stopping and the early-stopping tracker itself.
+// early stopping (re-exported from train/snapshot.h, where the rollback
+// machinery also uses them) and the early-stopping tracker itself.
 
 #ifndef CL4SREC_MODELS_TRAINING_UTILS_H_
 #define CL4SREC_MODELS_TRAINING_UTILS_H_
 
-#include <vector>
+#include <limits>
 
-#include "autograd/variable.h"
+#include "train/snapshot.h"
 
 namespace cl4srec {
-
-// Deep copy of a parameter set's values, restorable later.
-class ParameterSnapshot {
- public:
-  static ParameterSnapshot Capture(const std::vector<Variable*>& params) {
-    ParameterSnapshot snap;
-    snap.values_.reserve(params.size());
-    for (Variable* p : params) snap.values_.push_back(p->value().Clone());
-    return snap;
-  }
-
-  void Restore(const std::vector<Variable*>& params) const {
-    CL4SREC_CHECK_EQ(params.size(), values_.size());
-    for (size_t i = 0; i < params.size(); ++i) {
-      params[i]->mutable_value() = values_[i].Clone();
-    }
-  }
-
-  bool empty() const { return values_.empty(); }
-
- private:
-  std::vector<Tensor> values_;
-};
 
 // Tracks a higher-is-better validation metric with patience.
 class EarlyStopper {
@@ -55,7 +33,10 @@ class EarlyStopper {
  private:
   int64_t patience_;
   int64_t stale_ = 0;
-  double best_ = -1.0;
+  // -inf, not an arbitrary sentinel: metrics that can be <= -1 (e.g. a
+  // negated validation loss used as higher-is-better) must still register
+  // their first observation as an improvement.
+  double best_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace cl4srec

@@ -4,17 +4,18 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/crc32.h"
+#include "util/fs_util.h"
 #include "util/string_util.h"
 
 namespace cl4srec {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'L', '4', 'S'};
-constexpr uint32_t kVersion = 1;
 
 template <typename T>
-void WritePod(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
@@ -25,22 +26,25 @@ bool ReadPod(std::ifstream& in, T* value) {
 
 }  // namespace
 
-Status SaveParameters(const std::string& path,
-                      const std::vector<Variable*>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint64_t>(params.size()));
+std::string SerializeParameters(const std::vector<Variable*>& params) {
+  std::string buffer;
+  buffer.append(kMagic, sizeof(kMagic));
+  AppendPod(&buffer, kCheckpointVersion);
+  AppendPod(&buffer, static_cast<uint64_t>(params.size()));
   for (const Variable* p : params) {
     const Tensor& value = p->value();
-    WritePod(out, static_cast<uint32_t>(value.ndim()));
-    for (int64_t extent : value.shape()) WritePod(out, extent);
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(value.numel() * sizeof(float)));
+    AppendPod(&buffer, static_cast<uint32_t>(value.ndim()));
+    for (int64_t extent : value.shape()) AppendPod(&buffer, extent);
+    const size_t bytes = static_cast<size_t>(value.numel()) * sizeof(float);
+    buffer.append(reinterpret_cast<const char*>(value.data()), bytes);
+    AppendPod(&buffer, Crc32(value.data(), bytes));
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return buffer;
+}
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Variable*>& params) {
+  return AtomicWriteFile(path, SerializeParameters(params));
 }
 
 Status LoadParameters(const std::string& path,
@@ -53,9 +57,11 @@ Status LoadParameters(const std::string& path,
     return Status::InvalidArgument("not a CL4SRec checkpoint: " + path);
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument(
-        StrFormat("unsupported checkpoint version %u", version));
+  if (!ReadPod(in, &version) || version != kCheckpointVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported checkpoint version %u (this build reads v%u; "
+        "pre-checksum v1 files must be re-saved)",
+        version, kCheckpointVersion));
   }
   uint64_t count = 0;
   if (!ReadPod(in, &count)) return Status::IoError("truncated header");
@@ -68,20 +74,39 @@ Status LoadParameters(const std::string& path,
   std::vector<Tensor> staged;
   staged.reserve(params.size());
   for (size_t i = 0; i < params.size(); ++i) {
+    // Validate the stored shape against the destination BEFORE allocating:
+    // a corrupted ndim or extent must be rejected, not turned into a
+    // multi-gigabyte allocation.
+    const Tensor& dest = params[i]->value();
     uint32_t ndim = 0;
     if (!ReadPod(in, &ndim)) return Status::IoError("truncated parameter");
+    if (static_cast<int64_t>(ndim) != dest.ndim()) {
+      return Status::InvalidArgument(
+          StrFormat("parameter %zu shape mismatch", i));
+    }
     std::vector<int64_t> shape(ndim);
     for (uint32_t d = 0; d < ndim; ++d) {
       if (!ReadPod(in, &shape[d])) return Status::IoError("truncated shape");
     }
-    Tensor staged_tensor(shape);
-    if (!params[i]->value().SameShape(staged_tensor)) {
+    if (shape != dest.shape()) {
       return Status::InvalidArgument(
           StrFormat("parameter %zu shape mismatch", i));
     }
+    Tensor staged_tensor(shape);
+    const size_t bytes =
+        static_cast<size_t>(staged_tensor.numel()) * sizeof(float);
     in.read(reinterpret_cast<char*>(staged_tensor.data()),
-            static_cast<std::streamsize>(staged_tensor.numel() * sizeof(float)));
+            static_cast<std::streamsize>(bytes));
     if (!in) return Status::IoError("truncated parameter data");
+    uint32_t stored_crc = 0;
+    if (!ReadPod(in, &stored_crc)) return Status::IoError("truncated checksum");
+    const uint32_t actual_crc = Crc32(staged_tensor.data(), bytes);
+    if (stored_crc != actual_crc) {
+      return Status::IoError(
+          StrFormat("parameter %zu checksum mismatch (stored %08x, "
+                    "computed %08x): %s is corrupt",
+                    i, stored_crc, actual_crc, path.c_str()));
+    }
     staged.push_back(std::move(staged_tensor));
   }
   for (size_t i = 0; i < params.size(); ++i) {

@@ -1,10 +1,16 @@
 // Binary checkpointing of module parameters.
 //
-// Format (little-endian):
-//   magic "CL4S" | uint32 version | uint64 param_count |
-//   per parameter: uint32 ndim | int64 extents[ndim] | float data[numel]
+// Format v2 (little-endian):
+//   magic "CL4S" | uint32 version = 2 | uint64 param_count |
+//   per parameter: uint32 ndim | int64 extents[ndim] | float data[numel] |
+//                  uint32 crc32(data bytes)
+// Each tensor payload carries a CRC-32 so bit rot and torn writes are
+// detected at load time, and files are written atomically
+// (write-temp -> fsync -> rename, see util/fs_util.h) so a crash mid-save
+// can never leave a half-written checkpoint under the final name.
 // Loading validates the shapes against the destination module, so a
 // checkpoint can only be restored into an identically configured model.
+// Version 1 files (no checksums) are rejected; re-save with this build.
 
 #ifndef CL4SREC_NN_SERIALIZATION_H_
 #define CL4SREC_NN_SERIALIZATION_H_
@@ -18,12 +24,19 @@
 
 namespace cl4srec {
 
-// Writes every parameter's current value to `path`.
+// The checkpoint format version written by SaveParameters.
+inline constexpr uint32_t kCheckpointVersion = 2;
+
+// Writes every parameter's current value to `path`, atomically.
 Status SaveParameters(const std::string& path,
                       const std::vector<Variable*>& params);
 
+// Serializes the parameters to an in-memory byte buffer (same format).
+std::string SerializeParameters(const std::vector<Variable*>& params);
+
 // Restores parameter values from `path`. Fails without modifying anything
-// if the file's parameter count or any shape disagrees.
+// if the file is truncated or corrupt (checksum mismatch), or if the
+// parameter count or any shape disagrees.
 Status LoadParameters(const std::string& path,
                       const std::vector<Variable*>& params);
 

@@ -1,0 +1,96 @@
+#include "train/checkpoint.h"
+
+#include <algorithm>
+
+#include "nn/serialization.h"
+#include "train/fault_injector.h"
+#include "util/fs_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace {
+
+constexpr const char* kExtension = ".ckpt";
+
+// Parses "<prefix>-<digits>.ckpt" into the step count; -1 when `name` does
+// not belong to this prefix.
+int64_t ParseStep(const std::string& name, const std::string& prefix) {
+  const std::string stem = prefix + "-";
+  if (name.size() <= stem.size() + std::string(kExtension).size()) return -1;
+  if (name.compare(0, stem.size(), stem) != 0) return -1;
+  if (name.compare(name.size() - 5, 5, kExtension) != 0) return -1;
+  const std::string digits =
+      name.substr(stem.size(), name.size() - stem.size() - 5);
+  if (digits.empty()) return -1;
+  int64_t step = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    step = step * 10 + (c - '0');
+  }
+  return step;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointOptions options,
+                                     std::vector<Variable*> params)
+    : options_(std::move(options)), params_(std::move(params)) {}
+
+std::string CheckpointManager::PathFor(int64_t steps_completed) const {
+  return options_.directory + "/" +
+         StrFormat("%s-%08lld%s", options_.prefix.c_str(),
+                   static_cast<long long>(steps_completed), kExtension);
+}
+
+std::vector<int64_t> CheckpointManager::ListSteps() const {
+  std::vector<int64_t> steps;
+  auto names = ListDirectoryFiles(options_.directory);
+  if (!names.ok()) return steps;
+  for (const std::string& name : *names) {
+    const int64_t step = ParseStep(name, options_.prefix);
+    if (step >= 0) steps.push_back(step);
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+Status CheckpointManager::Save(int64_t steps_completed) {
+  if (!enabled()) return Status::FailedPrecondition("checkpointing disabled");
+  if (fault::ConsumeSaveFailure()) {
+    return Status::IoError("injected checkpoint save failure");
+  }
+  CL4SREC_RETURN_NOT_OK(EnsureDirectory(options_.directory));
+  CL4SREC_RETURN_NOT_OK(SaveParameters(PathFor(steps_completed), params_));
+  // Rotate: drop the oldest generations beyond keep_last. Rotation failures
+  // only leak disk, so they are logged rather than failing the save.
+  if (options_.keep_last > 0) {
+    std::vector<int64_t> steps = ListSteps();
+    const int64_t excess =
+        static_cast<int64_t>(steps.size()) - options_.keep_last;
+    for (int64_t i = 0; i < excess; ++i) {
+      Status removed = RemoveFile(PathFor(steps[static_cast<size_t>(i)]));
+      if (!removed.ok()) {
+        CL4SREC_LOG(Warning) << "checkpoint rotation: " << removed.ToString();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<int64_t> CheckpointManager::RestoreLatest() {
+  if (!enabled()) return Status::FailedPrecondition("checkpointing disabled");
+  std::vector<int64_t> steps = ListSteps();
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    const std::string path = PathFor(*it);
+    Status loaded = LoadParameters(path, params_);
+    if (loaded.ok()) return *it;
+    CL4SREC_LOG(Warning) << "checkpoint " << path
+                         << " invalid, trying previous generation: "
+                         << loaded.ToString();
+  }
+  return Status::NotFound("no valid checkpoint under " + options_.directory +
+                          " with prefix " + options_.prefix);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,63 @@
+// Crash-safe in-training checkpoints with keep-last-N rotation and
+// resume-from-latest-valid.
+//
+// Checkpoints are v2 parameter files (see nn/serialization.h: per-tensor
+// CRC32, atomic replace) named "<prefix>-<steps>.ckpt" where <steps> is the
+// zero-padded number of completed optimizer steps. RestoreLatest walks the
+// available checkpoints newest-first and restores the first one that
+// validates, so a corrupt or truncated newest file falls back to the
+// previous generation instead of failing the run.
+
+#ifndef CL4SREC_TRAIN_CHECKPOINT_H_
+#define CL4SREC_TRAIN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/status.h"
+
+namespace cl4srec {
+
+struct CheckpointOptions {
+  // Empty disables checkpointing entirely.
+  std::string directory;
+  // Filename stem; multi-stage trainers use one prefix per stage so resume
+  // can tell a pre-training checkpoint from a fine-tuning one.
+  std::string prefix = "ckpt";
+  // Save cadence in completed optimizer steps (<= 0: only final saves).
+  int64_t every_steps = 200;
+  // Checkpoint generations retained after rotation.
+  int64_t keep_last = 3;
+};
+
+class CheckpointManager {
+ public:
+  CheckpointManager(CheckpointOptions options, std::vector<Variable*> params);
+
+  bool enabled() const { return !options_.directory.empty(); }
+  const CheckpointOptions& options() const { return options_; }
+
+  // Writes the checkpoint for `steps_completed` and rotates old generations
+  // down to keep_last. A configured fault injection can force an IO error.
+  Status Save(int64_t steps_completed);
+
+  // Restores the newest checkpoint that validates; invalid generations are
+  // skipped with a warning. Returns the restored step count, or NotFound
+  // when no valid checkpoint exists (parameters are left untouched).
+  StatusOr<int64_t> RestoreLatest();
+
+  // Step counts of the on-disk checkpoints for this prefix, ascending.
+  std::vector<int64_t> ListSteps() const;
+
+  std::string PathFor(int64_t steps_completed) const;
+
+ private:
+  CheckpointOptions options_;
+  std::vector<Variable*> params_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TRAIN_CHECKPOINT_H_

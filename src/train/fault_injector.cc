@@ -1,0 +1,60 @@
+#include "train/fault_injector.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace {
+
+struct InjectionState {
+  FaultPlan plan;
+  int64_t save_attempts = 0;
+};
+
+// Owned by the active ScopedFaultInjection; null when none is installed.
+InjectionState* g_state = nullptr;
+
+bool InWindow(int64_t value, int64_t start, int64_t count) {
+  return start >= 0 && value >= start && value < start + count;
+}
+
+}  // namespace
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultPlan& plan) {
+  CL4SREC_CHECK(g_state == nullptr) << "fault injection already active";
+  g_state = new InjectionState{plan};
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  delete g_state;
+  g_state = nullptr;
+}
+
+namespace fault {
+
+bool Active() { return g_state != nullptr; }
+
+bool ConsumeSaveFailure() {
+  if (g_state == nullptr) return false;
+  const int64_t attempt = g_state->save_attempts++;
+  return InWindow(attempt, g_state->plan.fail_save_at,
+                  g_state->plan.fail_save_count);
+}
+
+void PoisonStep(int64_t step, double* loss, float* grad_norm) {
+  if (g_state == nullptr) return;
+  const FaultPlan& plan = g_state->plan;
+  if (InWindow(step, plan.nan_loss_at, plan.nan_loss_count)) {
+    *loss = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (InWindow(step, plan.inf_grad_at, plan.inf_grad_count)) {
+    *grad_norm = std::numeric_limits<float>::infinity();
+  }
+  if (InWindow(step, plan.spike_loss_at, plan.spike_loss_count)) {
+    *loss *= plan.spike_factor;
+  }
+}
+
+}  // namespace fault
+}  // namespace cl4srec

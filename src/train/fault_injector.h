@@ -1,0 +1,66 @@
+// Deterministic fault injection for exercising the training-robustness
+// layer. Tests install a FaultPlan through ScopedFaultInjection; the
+// checkpoint manager and divergence sentinel then consult the active plan
+// at well-defined points (checkpoint save attempts, observed per-step loss
+// and gradient norm). With no plan installed every query is an inlined
+// no-op, so production training pays nothing.
+//
+// Injection is intentionally placed at the observation points rather than
+// deep inside the math: a poisoned loss/gradient-norm reading drives the
+// exact same detection, skip, and rollback paths a real numerical blow-up
+// would, without corrupting unrelated state the recovery code is not
+// responsible for.
+
+#ifndef CL4SREC_TRAIN_FAULT_INJECTOR_H_
+#define CL4SREC_TRAIN_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+namespace cl4srec {
+
+// What to break and when. Step indices refer to the TrainRunner's global
+// step counter; `*_count` faults fire on that many consecutive events.
+struct FaultPlan {
+  // Fail checkpoint save attempts [fail_save_at, fail_save_at + count) with
+  // a simulated IO error (0-based counter of save attempts).
+  int64_t fail_save_at = -1;
+  int64_t fail_save_count = 1;
+  // Replace the observed loss with NaN at steps [nan_loss_at, at + count).
+  int64_t nan_loss_at = -1;
+  int64_t nan_loss_count = 1;
+  // Replace the observed pre-clip gradient norm with +Inf.
+  int64_t inf_grad_at = -1;
+  int64_t inf_grad_count = 1;
+  // Multiply the observed loss by spike_factor (finite divergence).
+  int64_t spike_loss_at = -1;
+  int64_t spike_loss_count = 1;
+  double spike_factor = 100.0;
+};
+
+// Installs `plan` process-wide for its lifetime; nesting is disallowed.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultPlan& plan);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+namespace fault {
+
+// True while a ScopedFaultInjection is alive.
+bool Active();
+
+// Called by CheckpointManager on each save attempt; true means the save
+// must fail with a simulated IO error. Advances the attempt counter.
+bool ConsumeSaveFailure();
+
+// Called by StepGuard before inspecting a step: applies any loss/grad-norm
+// poisoning configured for `step`.
+void PoisonStep(int64_t step, double* loss, float* grad_norm);
+
+}  // namespace fault
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TRAIN_FAULT_INJECTOR_H_

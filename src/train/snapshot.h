@@ -1,0 +1,38 @@
+// Deep copy of a parameter set's values, restorable later. Used by the
+// early-stopping trackers (best-so-far weights) and by StepGuard as the
+// rollback target after divergence.
+
+#ifndef CL4SREC_TRAIN_SNAPSHOT_H_
+#define CL4SREC_TRAIN_SNAPSHOT_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace cl4srec {
+
+class ParameterSnapshot {
+ public:
+  static ParameterSnapshot Capture(const std::vector<Variable*>& params) {
+    ParameterSnapshot snap;
+    snap.values_.reserve(params.size());
+    for (Variable* p : params) snap.values_.push_back(p->value().Clone());
+    return snap;
+  }
+
+  void Restore(const std::vector<Variable*>& params) const {
+    CL4SREC_CHECK_EQ(params.size(), values_.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->mutable_value() = values_[i].Clone();
+    }
+  }
+
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::vector<Tensor> values_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TRAIN_SNAPSHOT_H_

@@ -1,0 +1,72 @@
+#include "train/step_guard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "train/fault_injector.h"
+#include "util/logging.h"
+
+namespace cl4srec {
+
+StepGuard::StepGuard(std::vector<Variable*> params,
+                     const StepGuardOptions& options)
+    : params_(std::move(params)), options_(options) {
+  if (options_.enabled) snapshot_ = ParameterSnapshot::Capture(params_);
+}
+
+bool StepGuard::IsAnomalous(double loss, float grad_norm) const {
+  if (!std::isfinite(loss) || !std::isfinite(grad_norm)) return true;
+  if (good_steps_ >= options_.warmup_steps && loss_ema_ > 0.0 &&
+      loss > options_.spike_threshold * loss_ema_) {
+    return true;
+  }
+  return false;
+}
+
+StepVerdict StepGuard::Inspect(int64_t step, double* loss, float* grad_norm,
+                               Optimizer* optimizer) {
+  if (!options_.enabled) return StepVerdict::kApplied;
+  fault::PoisonStep(step, loss, grad_norm);
+  // Re-apply the backoff on top of whatever the schedule just set.
+  if (lr_scale_ < 1.0f) optimizer->set_lr(optimizer->lr() * lr_scale_);
+
+  if (IsAnomalous(*loss, *grad_norm)) {
+    ++skipped_steps_;
+    ++consecutive_anomalies_;
+    if (consecutive_anomalies_ < options_.patience) {
+      CL4SREC_LOG(Warning) << "StepGuard: anomalous step " << step
+                           << " (loss " << *loss << ", grad norm "
+                           << *grad_norm << "); update skipped ("
+                           << consecutive_anomalies_ << "/"
+                           << options_.patience << ")";
+      return StepVerdict::kSkipped;
+    }
+    // Patience exhausted: the parameters themselves are suspect. Restore
+    // the last good snapshot and shrink the learning rate.
+    consecutive_anomalies_ = 0;
+    ++rollbacks_;
+    snapshot_.Restore(params_);
+    lr_scale_ = std::max(options_.min_lr_scale,
+                         lr_scale_ * options_.lr_backoff);
+    optimizer->set_lr(optimizer->lr() * options_.lr_backoff);
+    CL4SREC_LOG(Warning) << "StepGuard: " << options_.patience
+                         << " consecutive anomalies at step " << step
+                         << "; rolled back to last good snapshot, LR scale "
+                         << lr_scale_;
+    return StepVerdict::kRolledBack;
+  }
+
+  consecutive_anomalies_ = 0;
+  loss_ema_ = good_steps_ == 0
+                  ? *loss
+                  : options_.ema_decay * loss_ema_ +
+                        (1.0 - options_.ema_decay) * *loss;
+  ++good_steps_;
+  if (options_.snapshot_every > 0 &&
+      good_steps_ % options_.snapshot_every == 0) {
+    snapshot_ = ParameterSnapshot::Capture(params_);
+  }
+  return StepVerdict::kApplied;
+}
+
+}  // namespace cl4srec

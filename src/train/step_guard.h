@@ -1,0 +1,84 @@
+// StepGuard — divergence sentinel for training loops.
+//
+// Each optimizer step's observed loss and pre-clip gradient norm (as
+// returned by ClipGradNorm) are inspected before the update is applied.
+// Non-finite readings and loss spikes (loss > spike_threshold x a running
+// EMA of recent losses) mark the step poisoned: the caller must skip the
+// optimizer update, which also keeps Adam's moment estimates clean. After
+// `patience` consecutive poisoned steps the guard rolls parameters back to
+// the last good ParameterSnapshot and backs the learning rate off by
+// `lr_backoff`, so a diverging run recovers instead of burning the rest of
+// its budget on NaNs.
+
+#ifndef CL4SREC_TRAIN_STEP_GUARD_H_
+#define CL4SREC_TRAIN_STEP_GUARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "optim/optimizer.h"
+#include "train/snapshot.h"
+
+namespace cl4srec {
+
+struct StepGuardOptions {
+  bool enabled = true;
+  // Anomaly when loss exceeds this multiple of the loss EMA (once armed).
+  double spike_threshold = 10.0;
+  // Consecutive anomalous steps tolerated before rolling back.
+  int64_t patience = 3;
+  // Multiplier applied to the LR scale on every rollback.
+  float lr_backoff = 0.5f;
+  // Rollbacks stop shrinking the LR below this scale of the schedule's LR.
+  float min_lr_scale = 1.0f / 1024.0f;
+  // Good steps between refreshes of the rollback snapshot.
+  int64_t snapshot_every = 50;
+  // EMA decay for the loss baseline used in spike detection.
+  double ema_decay = 0.98;
+  // Good steps observed before spike detection arms (non-finite detection
+  // is always active).
+  int64_t warmup_steps = 10;
+};
+
+enum class StepVerdict {
+  kApplied,     // step is healthy; caller applies the optimizer update
+  kSkipped,     // poisoned step; caller must NOT apply the update
+  kRolledBack,  // poisoned and patience exhausted; parameters were restored
+};
+
+class StepGuard {
+ public:
+  // Captures an initial rollback snapshot of `params`.
+  StepGuard(std::vector<Variable*> params, const StepGuardOptions& options);
+
+  // Inspects one step. `loss` and `grad_norm` are in/out so configured
+  // fault injection (see fault_injector.h) can poison the observations the
+  // caller then records. Call after any LR schedule has set the step's
+  // learning rate — the guard re-applies its backoff scale to `optimizer`.
+  // Returns kApplied when the caller should run optimizer->Step().
+  StepVerdict Inspect(int64_t step, double* loss, float* grad_norm,
+                      Optimizer* optimizer);
+
+  int64_t skipped_steps() const { return skipped_steps_; }
+  int64_t rollbacks() const { return rollbacks_; }
+  float lr_scale() const { return lr_scale_; }
+  double loss_ema() const { return loss_ema_; }
+
+ private:
+  bool IsAnomalous(double loss, float grad_norm) const;
+
+  std::vector<Variable*> params_;
+  StepGuardOptions options_;
+  ParameterSnapshot snapshot_;
+  double loss_ema_ = 0.0;
+  int64_t good_steps_ = 0;
+  int64_t consecutive_anomalies_ = 0;
+  int64_t skipped_steps_ = 0;
+  int64_t rollbacks_ = 0;
+  float lr_scale_ = 1.0f;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TRAIN_STEP_GUARD_H_

@@ -1,0 +1,67 @@
+#include "train/trainer.h"
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+TrainRunner::TrainRunner(const TrainRunnerOptions& options,
+                         Optimizer* optimizer,
+                         const LinearDecaySchedule* schedule, float grad_clip)
+    : optimizer_(optimizer),
+      schedule_(schedule),
+      grad_clip_(grad_clip),
+      guard_(optimizer->params(), options.guard) {
+  if (!options.checkpoints.directory.empty()) {
+    checkpoints_ = std::make_unique<CheckpointManager>(options.checkpoints,
+                                                       optimizer->params());
+  }
+  if (options.resume && checkpoints_ != nullptr) {
+    StatusOr<int64_t> restored = checkpoints_->RestoreLatest();
+    if (restored.ok()) {
+      resume_step_ = *restored;
+      CL4SREC_LOG(Info) << "resumed from checkpoint "
+                        << checkpoints_->PathFor(resume_step_) << " ("
+                        << resume_step_ << " steps completed)";
+    } else {
+      CL4SREC_LOG(Warning) << "resume requested but "
+                           << restored.status().ToString()
+                           << "; starting fresh";
+    }
+  }
+}
+
+bool TrainRunner::SkipBatchForResume() {
+  if (step_ >= resume_step_) return false;
+  ++step_;
+  return true;
+}
+
+StepOutcome TrainRunner::Step(const Variable& loss) {
+  StepOutcome outcome;
+  optimizer_->ZeroGrad();
+  loss.Backward();
+  outcome.grad_norm = ClipGradNorm(optimizer_->params(), grad_clip_);
+  if (schedule_ != nullptr) schedule_->Apply(optimizer_, step_);
+  outcome.loss = static_cast<double>(loss.value().at(0));
+  outcome.verdict =
+      guard_.Inspect(step_, &outcome.loss, &outcome.grad_norm, optimizer_);
+  if (outcome.applied()) optimizer_->Step();
+  ++step_;
+  if (checkpoints_ != nullptr && outcome.applied() &&
+      checkpoints_->options().every_steps > 0 &&
+      step_ % checkpoints_->options().every_steps == 0) {
+    Status saved = checkpoints_->Save(step_);
+    if (!saved.ok()) {
+      CL4SREC_LOG(Warning) << "checkpoint save failed (training continues): "
+                           << saved.ToString();
+    }
+  }
+  return outcome;
+}
+
+Status TrainRunner::SaveFinal() {
+  if (checkpoints_ == nullptr) return Status::Ok();
+  return checkpoints_->Save(step_);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,82 @@
+// TrainRunner — the training-robustness layer every model's loop routes
+// its optimizer steps through. One Step(loss) call performs
+//   ZeroGrad -> Backward -> ClipGradNorm -> LR schedule -> StepGuard
+//   -> (optimizer update when healthy) -> periodic checkpoint
+// so the divergence sentinel and crash-safe checkpointing apply uniformly
+// to SASRec, BERT4Rec, GRU4Rec, NCF, and both CL4SRec stages.
+//
+// Resume protocol: checkpoints are tagged with the number of completed
+// steps. When resume is requested the constructor restores the latest
+// valid checkpoint; loops then call SkipBatchForResume() at the top of the
+// batch loop, which burns through already-completed steps without compute
+// until the counter catches up.
+
+#ifndef CL4SREC_TRAIN_TRAINER_H_
+#define CL4SREC_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "optim/optimizer.h"
+#include "train/checkpoint.h"
+#include "train/step_guard.h"
+
+namespace cl4srec {
+
+struct TrainRunnerOptions {
+  StepGuardOptions guard;
+  CheckpointOptions checkpoints;
+  // Restore the latest valid checkpoint (if any) before training and skip
+  // the already-completed steps. No-op when checkpointing is disabled.
+  bool resume = false;
+};
+
+struct StepOutcome {
+  // Observed loss (after any fault injection); non-finite when the step
+  // was poisoned, so callers should only accumulate finite values.
+  double loss = 0.0;
+  // Pre-clip global gradient norm.
+  float grad_norm = 0.0f;
+  StepVerdict verdict = StepVerdict::kApplied;
+  bool applied() const { return verdict == StepVerdict::kApplied; }
+};
+
+class TrainRunner {
+ public:
+  // `schedule` may be null (constant LR). Performs the resume restore when
+  // configured; a missing or fully corrupt checkpoint set logs a warning
+  // and starts fresh.
+  TrainRunner(const TrainRunnerOptions& options, Optimizer* optimizer,
+              const LinearDecaySchedule* schedule, float grad_clip);
+
+  // Steps already completed by a restored checkpoint (0 when fresh).
+  int64_t resume_step() const { return resume_step_; }
+
+  // True while catching up to a restored checkpoint; advances the step
+  // counter. Call before building the batch to skip redundant work.
+  bool SkipBatchForResume();
+
+  // Runs one guarded optimizer step for `loss`.
+  StepOutcome Step(const Variable& loss);
+
+  // Writes a checkpoint for the current step regardless of cadence (end of
+  // a stage). No-op returning OK when checkpointing is disabled.
+  Status SaveFinal();
+
+  int64_t step() const { return step_; }
+  const StepGuard& guard() const { return guard_; }
+  CheckpointManager* checkpoints() { return checkpoints_.get(); }
+
+ private:
+  Optimizer* optimizer_;
+  const LinearDecaySchedule* schedule_;
+  float grad_clip_;
+  StepGuard guard_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
+  int64_t step_ = 0;
+  int64_t resume_step_ = 0;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TRAIN_TRAINER_H_

@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to checksum checkpoint
+// tensor payloads. Incremental: feed chunks through Update and read the
+// final value, or use the one-shot Crc32 helper.
+
+#ifndef CL4SREC_UTIL_CRC32_H_
+#define CL4SREC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cl4srec {
+
+class Crc32Accumulator {
+ public:
+  void Update(const void* data, size_t size);
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+// One-shot checksum of a byte range.
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_CRC32_H_

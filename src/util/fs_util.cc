@@ -1,0 +1,114 @@
+#include "util/fs_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace cl4srec {
+namespace fs = std::filesystem;
+namespace {
+
+// Flushes a just-written file to stable storage. Best-effort on platforms
+// without fsync; on POSIX a failure is reported so the caller can abandon
+// the temporary instead of renaming a possibly-volatile file into place.
+Status SyncFile(const std::string& path) {
+#if !defined(_WIN32)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot reopen for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+#else
+  (void)path;
+#endif
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + temp);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(temp.c_str());
+      return Status::IoError("write failed: " + temp);
+    }
+  }
+  Status synced = SyncFile(temp);
+  if (!synced.ok()) {
+    std::remove(temp.c_str());
+    return synced;
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    std::remove(temp.c_str());
+    return Status::IoError("rename failed: " + temp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  contents->assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec) && !ec;
+}
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory: " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::IoError("cannot remove: " + path +
+                           (ec ? ": " + ec.message() : ""));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> ListDirectoryFiles(const std::string& path) {
+  std::error_code ec;
+  fs::directory_iterator it(path, ec);
+  if (ec) {
+    return Status::IoError("cannot list directory: " + path + ": " +
+                           ec.message());
+  }
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : it) {
+    std::error_code entry_ec;
+    if (entry.is_regular_file(entry_ec) && !entry_ec) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,38 @@
+// Small filesystem helpers for crash-safe persistence: atomic file
+// replacement (write-temp -> fsync -> rename) plus the directory plumbing
+// the checkpoint manager needs. All functions report failures through
+// Status instead of throwing.
+
+#ifndef CL4SREC_UTIL_FS_UTIL_H_
+#define CL4SREC_UTIL_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cl4srec {
+
+// Atomically replaces `path` with `contents`. The bytes are written to a
+// sibling temporary file, flushed to stable storage, and renamed over the
+// destination, so readers observe either the old file or the complete new
+// one — never a torn write. The temporary is removed on failure.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+// Reads the whole file into `contents`.
+Status ReadFileToString(const std::string& path, std::string* contents);
+
+bool FileExists(const std::string& path);
+
+// Creates `path` and any missing ancestors (like `mkdir -p`).
+Status EnsureDirectory(const std::string& path);
+
+Status RemoveFile(const std::string& path);
+
+// Regular-file names directly inside `path`, lexicographically sorted.
+StatusOr<std::vector<std::string>> ListDirectoryFiles(const std::string& path);
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_FS_UTIL_H_

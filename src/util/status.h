@@ -132,6 +132,20 @@ void StatusOr<T>::AbortIfError() const {
     if (!_st.ok()) return _st;                 \
   } while (false)
 
+// Evaluates a StatusOr-returning expression; on success moves the value into
+// `lhs` (which may declare a new variable), on error returns the Status:
+//   CL4SREC_ASSIGN_OR_RETURN(auto log, LoadInteractionsCsv(path));
+#define CL4SREC_STATUS_MACRO_CONCAT_INNER(x, y) x##y
+#define CL4SREC_STATUS_MACRO_CONCAT(x, y) \
+  CL4SREC_STATUS_MACRO_CONCAT_INNER(x, y)
+#define CL4SREC_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  CL4SREC_ASSIGN_OR_RETURN_IMPL(                                             \
+      CL4SREC_STATUS_MACRO_CONCAT(_status_or_value_, __LINE__), lhs, expr)
+#define CL4SREC_ASSIGN_OR_RETURN_IMPL(statusor, lhs, expr) \
+  auto statusor = (expr);                                  \
+  if (!statusor.ok()) return statusor.status();            \
+  lhs = std::move(statusor).value();
+
 }  // namespace cl4srec
 
 #endif  // CL4SREC_UTIL_STATUS_H_

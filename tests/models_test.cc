@@ -276,5 +276,21 @@ TEST(TrainingUtilsTest, EarlyStopperLogic) {
   EXPECT_DOUBLE_EQ(stopper.best(), 0.9);
 }
 
+TEST(TrainingUtilsTest, EarlyStopperTracksMetricsBelowMinusOne) {
+  // Regression: best_ used to start at -1.0, so higher-is-better metrics
+  // that live at or below -1 (e.g. a negated validation loss) never
+  // registered their first observations as improvements.
+  EarlyStopper stopper(2);
+  EXPECT_TRUE(stopper.Update(-5.0));
+  EXPECT_DOUBLE_EQ(stopper.best(), -5.0);
+  EXPECT_TRUE(stopper.Update(-3.5));
+  EXPECT_DOUBLE_EQ(stopper.best(), -3.5);
+  EXPECT_FALSE(stopper.Update(-4.0));
+  EXPECT_FALSE(stopper.Update(-3.9));
+  EXPECT_TRUE(stopper.ShouldStop());
+  EXPECT_TRUE(stopper.Update(-1.0));  // still below zero, still an improvement
+  EXPECT_DOUBLE_EQ(stopper.best(), -1.0);
+}
+
 }  // namespace
 }  // namespace cl4srec

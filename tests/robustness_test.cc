@@ -235,6 +235,105 @@ TEST(RobustnessTest, TruncatedCheckpointRejected) {
   std::remove(path.c_str());
 }
 
+// ---- Checkpoint corruption fuzzing ----
+//
+// The v2 format is: magic | u32 version | u64 count | per param
+// (u32 ndim | i64 extents | f32 data | u32 crc). The loader must reject
+// every truncation and every single-byte corruption without crashing or
+// modifying the destination parameters.
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(RobustnessTest, CheckpointTruncatedAtEveryPrefixRejected) {
+  const std::string path = ::testing::TempDir() + "/fuzz_trunc.bin";
+  Rng rng(9);
+  Linear model(3, 2, &rng);
+  const std::string bytes = SerializeParameters(model.Parameters());
+  const Tensor before_w = model.weight().value().Clone();
+  const Tensor before_b = model.bias().value().Clone();
+  // Every proper prefix covers every field boundary (and every mid-field
+  // cut) of the format.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteBytes(path, bytes.substr(0, len));
+    ASSERT_FALSE(LoadParameters(path, model.Parameters()).ok())
+        << "prefix of " << len << " bytes was accepted";
+    ASSERT_TRUE(AllClose(before_w, model.weight().value()));
+    ASSERT_TRUE(AllClose(before_b, model.bias().value()));
+  }
+  // Sanity: the untruncated file still round-trips.
+  WriteBytes(path, bytes);
+  EXPECT_TRUE(LoadParameters(path, model.Parameters()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, CheckpointEveryByteFlipRejected) {
+  const std::string path = ::testing::TempDir() + "/fuzz_flip.bin";
+  Rng rng(10);
+  Linear model(3, 2, &rng);
+  const std::string bytes = SerializeParameters(model.Parameters());
+  const Tensor before_w = model.weight().value().Clone();
+  const Tensor before_b = model.bias().value().Clone();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    WriteBytes(path, corrupt);
+    // Whatever the flipped byte hit — magic, version, count, a shape
+    // extent, tensor data, or a stored checksum — the load must fail
+    // cleanly and leave the model untouched.
+    ASSERT_FALSE(LoadParameters(path, model.Parameters()).ok())
+        << "byte flip at offset " << i << " was accepted";
+    ASSERT_TRUE(AllClose(before_w, model.weight().value()));
+    ASSERT_TRUE(AllClose(before_b, model.bias().value()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, V1CheckpointRejectedByV2Loader) {
+  // Hand-crafted pre-checksum v1 file: magic | version=1 | count |
+  // ndim | extents | raw floats, no CRC trailer.
+  const std::string path = ::testing::TempDir() + "/fuzz_v1.bin";
+  std::string bytes = "CL4S";
+  AppendPod(&bytes, static_cast<uint32_t>(1));   // version 1
+  AppendPod(&bytes, static_cast<uint64_t>(1));   // one parameter
+  AppendPod(&bytes, static_cast<uint32_t>(1));   // ndim
+  AppendPod(&bytes, static_cast<int64_t>(2));    // extent
+  AppendPod(&bytes, 1.5f);
+  AppendPod(&bytes, -2.5f);
+  WriteBytes(path, bytes);
+
+  Variable param(Tensor::Full({2}, 7.f), true);
+  const Status status = LoadParameters(path, {&param});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("version"), std::string::npos)
+      << status.ToString();
+  EXPECT_FLOAT_EQ(param.value().at(0), 7.f);  // untouched
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, CheckpointWithOversizedShapeRejectedWithoutAllocating) {
+  // A corrupted extent must be rejected by shape validation before any
+  // buffer is sized from it.
+  const std::string path = ::testing::TempDir() + "/fuzz_shape.bin";
+  std::string bytes = "CL4S";
+  AppendPod(&bytes, static_cast<uint32_t>(2));               // version 2
+  AppendPod(&bytes, static_cast<uint64_t>(1));               // one parameter
+  AppendPod(&bytes, static_cast<uint32_t>(1));               // ndim
+  AppendPod(&bytes, static_cast<int64_t>(1) << 56);          // absurd extent
+  WriteBytes(path, bytes);
+  Variable param(Tensor::Full({2}, 3.f), true);
+  ASSERT_FALSE(LoadParameters(path, {&param}).ok());
+  EXPECT_FLOAT_EQ(param.value().at(0), 3.f);
+  std::remove(path.c_str());
+}
+
 TEST(RobustnessTest, CsvWithWindowsLineEndingsAndBlanks) {
   const std::string path = ::testing::TempDir() + "/crlf.csv";
   {

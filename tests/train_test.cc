@@ -1,0 +1,436 @@
+// Tests for the training-robustness layer (src/train/): divergence
+// sentinel, crash-safe checkpoints with rotation and fallback, fault
+// injection, and end-to-end recovery of interrupted or poisoned runs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "core/cl4srec.h"
+#include "models/sasrec.h"
+#include "optim/optimizer.h"
+#include "train/checkpoint.h"
+#include "train/fault_injector.h"
+#include "train/step_guard.h"
+#include "train/trainer.h"
+#include "util/fs_util.h"
+
+namespace cl4srec {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr float kInfF = std::numeric_limits<float>::infinity();
+
+// A clean scratch directory under the test temp dir.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Flips one byte near the end of the file (inside the last tensor payload
+// or its checksum), which a CRC-checked loader must reject.
+void CorruptFile(const std::string& path) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file) << path;
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<int64_t>(file.tellg());
+  ASSERT_GT(size, 8);
+  file.seekp(size - 6);
+  char byte = 0;
+  file.seekg(size - 6);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0xFF);
+  file.seekp(size - 6);
+  file.write(&byte, 1);
+}
+
+SequenceDataset TinyDataset(int64_t users = 24, int64_t items = 12) {
+  SequenceCorpus corpus;
+  corpus.num_items = items;
+  for (int64_t u = 0; u < users; ++u) {
+    std::vector<int64_t> seq;
+    for (int64_t t = 0; t < 6; ++t) {
+      seq.push_back(1 + (u + t) % items);
+    }
+    corpus.sequences.push_back(std::move(seq));
+  }
+  return SequenceDataset(std::move(corpus));
+}
+
+// ---- StepGuard ----
+
+TEST(StepGuardTest, NonFiniteLossSkipsStep) {
+  Variable w(Tensor::Full({2}, 1.f), true);
+  Sgd sgd({&w}, 0.1f);
+  StepGuard guard({&w}, StepGuardOptions{});
+  EXPECT_EQ(guard.skipped_steps(), 0);
+  double loss = kNan;
+  float norm = 1.f;
+  EXPECT_EQ(guard.Inspect(0, &loss, &norm, &sgd), StepVerdict::kSkipped);
+  EXPECT_EQ(guard.skipped_steps(), 1);
+  loss = 1.0;
+  norm = kInfF;
+  EXPECT_EQ(guard.Inspect(1, &loss, &norm, &sgd), StepVerdict::kSkipped);
+  loss = 1.0;
+  norm = 1.f;
+  EXPECT_EQ(guard.Inspect(2, &loss, &norm, &sgd), StepVerdict::kApplied);
+}
+
+TEST(StepGuardTest, RollbackRestoresParamsAndBacksOffLr) {
+  Variable w(Tensor::Full({2}, 1.f), true);
+  Sgd sgd({&w}, 0.1f);
+  StepGuardOptions options;
+  options.patience = 2;
+  options.lr_backoff = 0.5f;
+  StepGuard guard({&w}, options);  // snapshot captures w == 1
+  w.mutable_value().Fill(7.f);     // parameters drift (diverging run)
+  double loss = kNan;
+  float norm = 1.f;
+  EXPECT_EQ(guard.Inspect(0, &loss, &norm, &sgd), StepVerdict::kSkipped);
+  EXPECT_FLOAT_EQ(w.value().at(0), 7.f);  // skip alone keeps params
+  loss = kNan;
+  EXPECT_EQ(guard.Inspect(1, &loss, &norm, &sgd), StepVerdict::kRolledBack);
+  EXPECT_FLOAT_EQ(w.value().at(0), 1.f);  // restored to the snapshot
+  EXPECT_EQ(guard.rollbacks(), 1);
+  EXPECT_FLOAT_EQ(guard.lr_scale(), 0.5f);
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.05f);
+  // The backoff persists across later (schedule-reset) steps.
+  sgd.set_lr(0.1f);
+  loss = 1.0;
+  EXPECT_EQ(guard.Inspect(2, &loss, &norm, &sgd), StepVerdict::kApplied);
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.05f);
+}
+
+TEST(StepGuardTest, SpikeDetectionArmsAfterWarmup) {
+  Variable w(Tensor::Full({1}, 1.f), true);
+  Sgd sgd({&w}, 0.1f);
+  StepGuardOptions options;
+  options.warmup_steps = 3;
+  options.spike_threshold = 10.0;
+  StepGuard guard({&w}, options);
+  float norm = 1.f;
+  // A huge early loss is tolerated: the EMA is not armed yet.
+  double loss = 500.0;
+  EXPECT_EQ(guard.Inspect(0, &loss, &norm, &sgd), StepVerdict::kApplied);
+  for (int64_t step = 1; step <= 6; ++step) {
+    loss = 1.0;
+    EXPECT_EQ(guard.Inspect(step, &loss, &norm, &sgd), StepVerdict::kApplied);
+  }
+  // Now a 100x spike trips the sentinel.
+  loss = guard.loss_ema() * 100.0;
+  EXPECT_EQ(guard.Inspect(7, &loss, &norm, &sgd), StepVerdict::kSkipped);
+  // Back to normal immediately: the anomaly streak resets.
+  loss = 1.0;
+  EXPECT_EQ(guard.Inspect(8, &loss, &norm, &sgd), StepVerdict::kApplied);
+}
+
+TEST(StepGuardTest, DisabledGuardAppliesEverything) {
+  Variable w(Tensor::Full({1}, 1.f), true);
+  Sgd sgd({&w}, 0.1f);
+  StepGuardOptions options;
+  options.enabled = false;
+  StepGuard guard({&w}, options);
+  double loss = kNan;
+  float norm = kInfF;
+  EXPECT_EQ(guard.Inspect(0, &loss, &norm, &sgd), StepVerdict::kApplied);
+}
+
+// ---- CheckpointManager ----
+
+TEST(CheckpointTest, SaveRotateRestoreLatest) {
+  const std::string dir = FreshDir("ckpt_rotate");
+  Variable a(Tensor::Full({3}, 1.f), true);
+  Variable b(Tensor::Full({2, 2}, 2.f), true);
+  CheckpointOptions options;
+  options.directory = dir;
+  options.keep_last = 2;
+  CheckpointManager manager(options, {&a, &b});
+
+  a.mutable_value().Fill(10.f);
+  ASSERT_TRUE(manager.Save(10).ok());
+  a.mutable_value().Fill(20.f);
+  ASSERT_TRUE(manager.Save(20).ok());
+  a.mutable_value().Fill(30.f);
+  ASSERT_TRUE(manager.Save(30).ok());
+
+  const std::vector<int64_t> steps = manager.ListSteps();
+  ASSERT_EQ(steps.size(), 2u);  // keep_last rotated step 10 away
+  EXPECT_EQ(steps[0], 20);
+  EXPECT_EQ(steps[1], 30);
+
+  a.mutable_value().Fill(-1.f);
+  auto restored = manager.RestoreLatest();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, 30);
+  EXPECT_FLOAT_EQ(a.value().at(0), 30.f);
+  EXPECT_FLOAT_EQ(b.value().at(0), 2.f);
+}
+
+TEST(CheckpointTest, CorruptNewestFallsBackToPrevious) {
+  const std::string dir = FreshDir("ckpt_fallback");
+  Variable a(Tensor::Full({4}, 0.f), true);
+  CheckpointOptions options;
+  options.directory = dir;
+  CheckpointManager manager(options, {&a});
+  a.mutable_value().Fill(1.f);
+  ASSERT_TRUE(manager.Save(1).ok());
+  a.mutable_value().Fill(2.f);
+  ASSERT_TRUE(manager.Save(2).ok());
+  CorruptFile(manager.PathFor(2));
+
+  a.mutable_value().Fill(-9.f);
+  auto restored = manager.RestoreLatest();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, 1);  // newest was corrupt, previous generation used
+  EXPECT_FLOAT_EQ(a.value().at(0), 1.f);
+}
+
+TEST(CheckpointTest, AllCorruptReportsNotFoundAndLeavesParams) {
+  const std::string dir = FreshDir("ckpt_all_corrupt");
+  Variable a(Tensor::Full({4}, 5.f), true);
+  CheckpointOptions options;
+  options.directory = dir;
+  CheckpointManager manager(options, {&a});
+  ASSERT_TRUE(manager.Save(1).ok());
+  CorruptFile(manager.PathFor(1));
+  a.mutable_value().Fill(7.f);
+  auto restored = manager.RestoreLatest();
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kNotFound);
+  EXPECT_FLOAT_EQ(a.value().at(0), 7.f);  // untouched
+}
+
+TEST(CheckpointTest, InjectedSaveFailureIsReported) {
+  const std::string dir = FreshDir("ckpt_inject_io");
+  Variable a(Tensor::Full({2}, 1.f), true);
+  CheckpointOptions options;
+  options.directory = dir;
+  CheckpointManager manager(options, {&a});
+  FaultPlan plan;
+  plan.fail_save_at = 0;
+  ScopedFaultInjection injection(plan);
+  Status first = manager.Save(1);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kIoError);
+  EXPECT_TRUE(manager.ListSteps().empty());  // nothing was written
+  EXPECT_TRUE(manager.Save(2).ok());  // next attempt succeeds
+}
+
+// ---- TrainRunner ----
+
+TEST(TrainRunnerTest, GuardedStepsOptimizeAndCheckpoint) {
+  const std::string dir = FreshDir("runner_quadratic");
+  Variable w(Tensor::Full({1}, 4.f), true);
+  Sgd sgd({&w}, 0.1f);
+  TrainRunnerOptions options;
+  options.checkpoints.directory = dir;
+  options.checkpoints.every_steps = 2;
+  options.checkpoints.keep_last = 2;
+  TrainRunner runner(options, &sgd, nullptr, /*grad_clip=*/100.f);
+  for (int i = 0; i < 10; ++i) {
+    Variable loss = SumV(MulV(w, w));
+    const StepOutcome outcome = runner.Step(loss);
+    EXPECT_TRUE(outcome.applied());
+    EXPECT_TRUE(std::isfinite(outcome.loss));
+  }
+  EXPECT_EQ(runner.step(), 10);
+  EXPECT_LT(std::abs(w.value().at(0)), 1.f);  // w^2 descended toward 0
+  const std::vector<int64_t> steps = runner.checkpoints()->ListSteps();
+  ASSERT_EQ(steps.size(), 2u);  // rotated down to keep_last
+  EXPECT_EQ(steps[1], 10);
+}
+
+TEST(TrainRunnerTest, ResumeRestoresStepAndParams) {
+  const std::string dir = FreshDir("runner_resume");
+  Variable w(Tensor::Full({1}, 4.f), true);
+  {
+    Sgd sgd({&w}, 0.1f);
+    TrainRunnerOptions options;
+    options.checkpoints.directory = dir;
+    options.checkpoints.every_steps = 2;
+    TrainRunner runner(options, &sgd, nullptr, 100.f);
+    for (int i = 0; i < 6; ++i) {
+      Variable loss = SumV(MulV(w, w));
+      runner.Step(loss);
+    }
+  }
+  const float trained = w.value().at(0);
+
+  // A fresh process: parameters re-initialized, then resumed from disk.
+  w.mutable_value().Fill(4.f);
+  Sgd sgd({&w}, 0.1f);
+  TrainRunnerOptions options;
+  options.checkpoints.directory = dir;
+  options.checkpoints.every_steps = 2;
+  options.resume = true;
+  TrainRunner runner(options, &sgd, nullptr, 100.f);
+  EXPECT_EQ(runner.resume_step(), 6);
+  EXPECT_FLOAT_EQ(w.value().at(0), trained);
+  // The first 6 batches are burned through without compute.
+  int skipped = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (runner.SkipBatchForResume()) ++skipped;
+  }
+  EXPECT_EQ(skipped, 6);
+  EXPECT_EQ(runner.step(), 6);
+}
+
+TEST(TrainRunnerTest, InjectedNanStepIsSkippedNotApplied) {
+  Variable w(Tensor::Full({1}, 4.f), true);
+  Sgd sgd({&w}, 0.1f);
+  TrainRunnerOptions options;
+  TrainRunner runner(options, &sgd, nullptr, 100.f);
+  FaultPlan plan;
+  plan.nan_loss_at = 1;
+  ScopedFaultInjection injection(plan);
+
+  Variable loss0 = SumV(MulV(w, w));
+  EXPECT_TRUE(runner.Step(loss0).applied());
+  const float before = w.value().at(0);
+  Variable loss1 = SumV(MulV(w, w));
+  const StepOutcome poisoned = runner.Step(loss1);
+  EXPECT_EQ(poisoned.verdict, StepVerdict::kSkipped);
+  EXPECT_TRUE(std::isnan(poisoned.loss));
+  EXPECT_FLOAT_EQ(w.value().at(0), before);  // update really was skipped
+  Variable loss2 = SumV(MulV(w, w));
+  EXPECT_TRUE(runner.Step(loss2).applied());
+}
+
+// ---- End-to-end recovery ----
+
+TEST(TrainEndToEndTest, SasRecSurvivesInjectedNanAndInfSteps) {
+  SequenceDataset data = TinyDataset();
+  SasRec model(SasRecConfig{.hidden_dim = 8});
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 4;
+  options.max_len = 8;
+  FaultPlan plan;
+  plan.nan_loss_at = 4;
+  plan.nan_loss_count = 2;
+  plan.inf_grad_at = 9;
+  ScopedFaultInjection injection(plan);
+  model.Fit(data, options);
+
+  for (Variable* p : model.encoder()->Parameters()) {
+    for (int64_t i = 0; i < p->value().numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(p->value().at(i)));
+    }
+  }
+  Tensor scores = model.ScoreBatch({0}, {{1, 2, 3}});
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(scores.at(i)));
+  }
+}
+
+TEST(TrainEndToEndTest, SasRecRollsBackAfterSustainedDivergence) {
+  SequenceDataset data = TinyDataset();
+  SasRec model(SasRecConfig{.hidden_dim = 8});
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 4;
+  options.max_len = 8;
+  options.robust.guard.patience = 2;
+  options.robust.guard.warmup_steps = 2;
+  FaultPlan plan;
+  plan.spike_loss_at = 6;  // four consecutive 1000x spikes -> 2 rollbacks
+  plan.spike_loss_count = 4;
+  plan.spike_factor = 1000.0;
+  ScopedFaultInjection injection(plan);
+  model.Fit(data, options);
+  for (Variable* p : model.encoder()->Parameters()) {
+    for (int64_t i = 0; i < p->value().numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(p->value().at(i)));
+    }
+  }
+}
+
+TEST(TrainEndToEndTest, KilledRunResumesPastCorruptNewestCheckpoint) {
+  SequenceDataset data = TinyDataset();
+  const int64_t kFullEpochs = 4;
+
+  // Reference: one uninterrupted run.
+  SasRec reference(SasRecConfig{.hidden_dim = 8});
+  TrainOptions options;
+  options.epochs = kFullEpochs;
+  options.batch_size = 4;
+  options.max_len = 8;
+  reference.Fit(data, options);
+  const double reference_hr = reference.Evaluate(data).hr.at(10);
+
+  // "Killed" run: same config but only half the epochs get to execute
+  // before the process dies; checkpoints land on disk as it goes.
+  const std::string dir = FreshDir("e2e_resume");
+  TrainOptions killed = options;
+  killed.epochs = 2;
+  killed.robust.checkpoints.directory = dir;
+  killed.robust.checkpoints.every_steps = 5;
+  killed.robust.checkpoints.keep_last = 3;
+  SasRec interrupted(SasRecConfig{.hidden_dim = 8});
+  interrupted.Fit(data, killed);
+
+  // The crash also corrupted the newest checkpoint.
+  CheckpointOptions copts = killed.robust.checkpoints;
+  Variable probe(Tensor::Full({1}, 0.f), true);
+  CheckpointManager lister(copts, {&probe});
+  std::vector<int64_t> steps = lister.ListSteps();
+  ASSERT_GE(steps.size(), 2u);
+  CorruptFile(lister.PathFor(steps.back()));
+
+  // Resumed run: restores the previous valid generation and finishes the
+  // full epoch budget.
+  TrainOptions resumed_options = options;
+  resumed_options.robust.checkpoints = killed.robust.checkpoints;
+  resumed_options.robust.resume = true;
+  SasRec resumed(SasRecConfig{.hidden_dim = 8});
+  resumed.Fit(data, resumed_options);
+
+  for (Variable* p : resumed.encoder()->Parameters()) {
+    for (int64_t i = 0; i < p->value().numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(p->value().at(i)));
+    }
+  }
+  const double resumed_hr = resumed.Evaluate(data).hr.at(10);
+  // Tiny data makes metrics noisy; the resumed run must land in the same
+  // ballpark as the uninterrupted one, not at the untrained floor.
+  EXPECT_NEAR(resumed_hr, reference_hr, 0.35);
+}
+
+TEST(TrainEndToEndTest, Cl4SRecResumeSkipsCompletedPretrainStage) {
+  SequenceDataset data = TinyDataset();
+  const std::string dir = FreshDir("e2e_two_stage");
+  Cl4SRecConfig config;
+  config.encoder.hidden_dim = 8;
+  config.pretrain_epochs = 2;
+  config.pretrain_batch_size = 4;
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.max_len = 8;
+  options.robust.checkpoints.directory = dir;
+  options.robust.checkpoints.every_steps = 3;
+
+  Cl4SRec first(config);
+  first.Fit(data, options);
+  ASSERT_TRUE(FileExists(dir + "/pretrain.done"));
+  const double first_hr = first.Evaluate(data).hr.at(10);
+
+  // A rerun with --resume skips the contrastive stage (marker + restored
+  // pretrain checkpoint) and fast-forwards fine-tuning to its final
+  // checkpoint, reproducing the first run's parameters.
+  TrainOptions resume_options = options;
+  resume_options.robust.resume = true;
+  Cl4SRec second(config);
+  second.Fit(data, resume_options);
+  const double second_hr = second.Evaluate(data).hr.at(10);
+  EXPECT_NEAR(second_hr, first_hr, 1e-9);
+}
+
+}  // namespace
+}  // namespace cl4srec

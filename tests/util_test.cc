@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/crc32.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
+#include "util/fs_util.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -48,6 +50,45 @@ TEST(StatusOrTest, HoldsError) {
   StatusOr<int64_t> result(Status::NotFound("missing"));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+namespace {
+Status FailWhen(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return Status::Ok();
+}
+StatusOr<int64_t> ValueOrError(bool fail) {
+  if (fail) return Status::NotFound("no value");
+  return int64_t{41};
+}
+Status UsesReturnNotOk(bool fail, int* after) {
+  CL4SREC_RETURN_NOT_OK(FailWhen(fail));
+  ++*after;
+  return Status::Ok();
+}
+StatusOr<int64_t> UsesAssignOrReturn(bool fail) {
+  CL4SREC_ASSIGN_OR_RETURN(auto value, ValueOrError(fail));
+  CL4SREC_ASSIGN_OR_RETURN(const int64_t doubled, ValueOrError(fail));
+  return value + doubled / 41;
+}
+}  // namespace
+
+TEST(StatusMacroTest, ReturnNotOkPropagatesAndFallsThrough) {
+  int after = 0;
+  EXPECT_TRUE(UsesReturnNotOk(false, &after).ok());
+  EXPECT_EQ(after, 1);
+  Status failed = UsesReturnNotOk(true, &after);
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_EQ(after, 1);  // statement after the macro never ran
+}
+
+TEST(StatusMacroTest, AssignOrReturnMovesValueOrPropagates) {
+  StatusOr<int64_t> ok = UsesAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  StatusOr<int64_t> failed = UsesAssignOrReturn(true);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kNotFound);
 }
 
 TEST(RngTest, DeterministicForSeed) {
@@ -216,6 +257,58 @@ TEST(FlagsTest, RejectsBadValue) {
   flags.AddInt("n", 1, "");
   const char* argv[] = {"prog", "--n", "abc"};
   EXPECT_FALSE(flags.Parse(3, const_cast<char**>(argv)).ok());
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32Accumulator acc;
+  acc.Update(data.data(), 10);
+  acc.Update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(acc.value(), Crc32(data.data(), data.size()));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(64, '\x5a');
+  const uint32_t clean = Crc32(data.data(), data.size());
+  data[17] = static_cast<char>(data[17] ^ 0x01);
+  EXPECT_NE(Crc32(data.data(), data.size()), clean);
+}
+
+TEST(FsUtilTest, AtomicWriteCreatesAndReplaces) {
+  const std::string path = ::testing::TempDir() + "/fs_util_atomic.txt";
+  ASSERT_TRUE(AtomicWriteFile(path, "first").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "first");
+  ASSERT_TRUE(AtomicWriteFile(path, "second, longer contents").ok());
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "second, longer contents");
+  EXPECT_FALSE(FileExists(path + ".tmp"));  // no temporary left behind
+  ASSERT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(FsUtilTest, EnsureDirectoryAndList) {
+  const std::string dir = ::testing::TempDir() + "/fs_util_dir/nested";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  ASSERT_TRUE(EnsureDirectory(dir).ok());  // idempotent
+  ASSERT_TRUE(AtomicWriteFile(dir + "/b.txt", "b").ok());
+  ASSERT_TRUE(AtomicWriteFile(dir + "/a.txt", "a").ok());
+  auto names = ListDirectoryFiles(dir);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 2u);
+  EXPECT_EQ((*names)[0], "a.txt");  // sorted
+  EXPECT_EQ((*names)[1], "b.txt");
+  EXPECT_FALSE(ListDirectoryFiles(dir + "/missing").ok());
+  ASSERT_TRUE(RemoveFile(dir + "/a.txt").ok());
+  ASSERT_TRUE(RemoveFile(dir + "/b.txt").ok());
 }
 
 TEST(CsvWriterTest, WritesHeaderAndRows) {

@@ -2,6 +2,8 @@
 //
 //   cl4srec_cli train     --preset beauty | --data events.csv
 //                         [--model CL4SRec] [--epochs 30] [--save ckpt.bin]
+//                         [--ckpt_dir dir [--ckpt_every N] [--ckpt_keep N]
+//                          [--resume]]
 //   cl4srec_cli eval      --preset beauty --model SASRec --load ckpt.bin
 //   cl4srec_cli recommend --preset beauty --model CL4SRec --load ckpt.bin
 //                         --user 0 [--topk 10]
@@ -10,6 +12,11 @@
 // `--load/--save` only apply to the transformer-encoder models (SASRec,
 // SASRec_BPR, CL4SRec, BERT4Rec expose their encoder); other models retrain
 // from scratch each run.
+//
+// `--ckpt_dir` enables crash-safe in-training checkpoints (atomic v2 files
+// with per-tensor checksums, keep-last-N rotation). `--resume` restores the
+// latest valid checkpoint from that directory and continues an interrupted
+// run; a corrupt newest checkpoint falls back to the previous generation.
 
 #include <cstdio>
 #include <string>
@@ -35,13 +42,11 @@ StatusOr<SequenceDataset> LoadData(const FlagParser& flags,
                                    const BenchConfig& config) {
   const std::string data_path = flags.GetString("data");
   if (!data_path.empty()) {
-    auto log = LoadInteractionsCsv(data_path);
-    if (!log.ok()) return log.status();
-    return SequenceDataset(Preprocess(*log));
+    CL4SREC_ASSIGN_OR_RETURN(auto log, LoadInteractionsCsv(data_path));
+    return SequenceDataset(Preprocess(log));
   }
-  auto preset = ParsePreset(flags.GetString("preset"));
-  if (!preset.ok()) return preset.status();
-  return MakeBenchDataset(*preset, config);
+  CL4SREC_ASSIGN_OR_RETURN(auto preset, ParsePreset(flags.GetString("preset")));
+  return MakeBenchDataset(preset, config);
 }
 
 int Fail(const Status& status) {
@@ -68,6 +73,10 @@ int main(int argc, char** argv) {
   flags.AddString("load", "", "checkpoint path to restore before eval/recommend");
   flags.AddInt("user", 0, "user id for `recommend`");
   flags.AddInt("topk", 10, "recommendation count for `recommend`");
+  flags.AddString("ckpt_dir", "", "directory for crash-safe in-training checkpoints");
+  flags.AddInt("ckpt_every", 200, "steps between in-training checkpoints");
+  flags.AddInt("ckpt_keep", 3, "checkpoint generations kept after rotation");
+  flags.AddBool("resume", false, "resume from the latest valid checkpoint in --ckpt_dir");
   Status parse = flags.Parse(argc - 1, argv + 1);
   if (!parse.ok()) return Fail(parse);
   if (flags.help_requested()) return 0;
@@ -82,6 +91,13 @@ int main(int argc, char** argv) {
 
   auto model = MakeModel(flags.GetString("model"), config);
   TrainOptions options = MakeTrainOptions(config);
+  options.robust.checkpoints.directory = flags.GetString("ckpt_dir");
+  options.robust.checkpoints.every_steps = flags.GetInt("ckpt_every");
+  options.robust.checkpoints.keep_last = flags.GetInt("ckpt_keep");
+  options.robust.resume = flags.GetBool("resume");
+  if (options.robust.resume && options.robust.checkpoints.directory.empty()) {
+    return Fail(Status::InvalidArgument("--resume requires --ckpt_dir"));
+  }
 
   if (command == "train") {
     model->Fit(data, options);
