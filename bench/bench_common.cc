@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "parallel/parallel.h"
 #include "util/string_util.h"
 
 namespace cl4srec {
@@ -16,6 +17,9 @@ void AddCommonFlags(FlagParser* flags) {
   flags->AddInt("max_len", 50, "maximum sequence length T (paper: 50)");
   flags->AddInt("seed", 7, "experiment seed");
   flags->AddBool("verbose", false, "per-epoch training logs");
+  flags->AddInt("threads", 0,
+                "compute threads (0 = CL4SREC_NUM_THREADS env var or "
+                "hardware concurrency; 1 = serial)");
   flags->AddString("csv", "", "optional CSV output path");
 }
 
@@ -29,7 +33,13 @@ BenchConfig ConfigFromFlags(const FlagParser& flags) {
   config.max_len = flags.GetInt("max_len");
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.verbose = flags.GetBool("verbose");
+  config.threads = flags.GetInt("threads");
   config.csv_path = flags.GetString("csv");
+  // Applied here so every bench/CLI binary honors --threads without each
+  // main() having to remember to; training loops re-apply via TrainOptions.
+  if (config.threads > 0) {
+    parallel::SetNumThreads(static_cast<int>(config.threads));
+  }
   return config;
 }
 
@@ -40,6 +50,7 @@ TrainOptions MakeTrainOptions(const BenchConfig& config) {
   options.max_len = config.max_len;
   options.seed = config.seed;
   options.verbose = config.verbose;
+  options.num_threads = config.threads;
   return options;
 }
 

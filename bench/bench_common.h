@@ -34,6 +34,9 @@ struct BenchConfig {
   int64_t max_len = 50;
   uint64_t seed = 7;
   bool verbose = false;
+  // Compute threads (0 = CL4SREC_NUM_THREADS env var, else hardware
+  // concurrency; 1 = serial). ConfigFromFlags applies this process-wide.
+  int64_t threads = 0;
   std::string csv_path;
 };
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds bench_micro_ops in Release and emits BENCH_micro_ops.json — the
+# per-PR kernel perf artifact: GFLOP/s and parallel speedup vs. threads=1
+# for the transformer-shaped matmuls, and full-ranking eval users/sec.
+#
+# Usage: scripts/bench_micro.sh [output.json] [--threads N]
+#   output defaults to BENCH_micro_ops.json in the repo root; --threads
+#   defaults to hardware concurrency. Speedups only materialize on
+#   multi-core machines; the JSON records hardware_concurrency so a ~1.0x
+#   result on a 1-core box is interpretable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+OUT=${1:-BENCH_micro_ops.json}
+shift || true
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_ops
+
+"$BUILD_DIR"/bench/bench_micro_ops --json "$OUT" "$@"

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
-# Builds the whole tree with AddressSanitizer + UBSanitizer
-# (-DCL4SREC_SANITIZE=ON) and runs the tier-1 test suite under it. The
-# robustness layer (checkpoint corruption handling, fault-injected recovery,
-# rollback paths) is exactly the kind of code where a latent out-of-bounds
-# read or use-after-move hides behind passing assertions, so CI should run
-# this on top of the plain build.
+# Sanitizer CI sweep, two stages:
+#   1. ASan+UBSan (-DCL4SREC_SANITIZE=address) over the full tier-1 suite.
+#      The robustness layer (checkpoint corruption handling, fault-injected
+#      recovery, rollback paths) is exactly the kind of code where a latent
+#      out-of-bounds read or use-after-move hides behind passing assertions.
+#   2. TSan (-DCL4SREC_SANITIZE=thread) over the parallel-runtime tests
+#      (parallel_test, determinism_test, plus the eval and integration
+#      suites that drive the pool end-to-end), catching data races in the
+#      thread pool, the blocked kernels, and the parallel evaluator.
 #
 # Usage: scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-sanitize}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCL4SREC_SANITIZE=ON
+  -DCL4SREC_SANITIZE=address
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # halt_on_error makes ASan failures fail the ctest run instead of just
@@ -23,4 +27,16 @@ export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1}
 export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+echo "address sanitizer suite passed"
+
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCL4SREC_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
+  --target parallel_test determinism_test eval_test integration_test
+
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
+ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'parallel_test|determinism_test|eval_test|integration_test' "$@"
+echo "thread sanitizer suite passed"
 echo "sanitizer suite passed"

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper at the default reduced
 # scale (minutes on a laptop), writing CSVs next to this script. Pass
-# FULL=1 for the paper-style full grids (hours).
+# FULL=1 for the paper-style full grids (hours). THREADS=N caps the compute
+# thread pool (default: all cores, which is the right choice for FULL runs;
+# see EXPERIMENTS.md "Thread counts").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BENCH=build/bench
 OUT=${OUT:-results}
+THREADS=${THREADS:-0}
 mkdir -p "$OUT"
 
 if [[ "${FULL:-0}" == "1" ]]; then
@@ -18,10 +21,10 @@ else
   SETS=""
 fi
 
-$BENCH/bench_table1_datasets            --csv "$OUT/table1.csv" $SCALE
-$BENCH/bench_table2_overall             --csv "$OUT/table2.csv" $SCALE
-$BENCH/bench_fig4_augmentation_sweep    --csv "$OUT/fig4.csv"   $SCALE $RATES $SETS
-$BENCH/bench_fig5_composition           --csv "$OUT/fig5.csv"   $SCALE $SETS
-$BENCH/bench_fig6_sparsity              --csv "$OUT/fig6.csv"   $SCALE $SETS
-$BENCH/bench_ablation_core              --csv "$OUT/ablations.csv" $SCALE
+$BENCH/bench_table1_datasets --threads "$THREADS" --csv "$OUT/table1.csv" $SCALE
+$BENCH/bench_table2_overall --threads "$THREADS" --csv "$OUT/table2.csv" $SCALE
+$BENCH/bench_fig4_augmentation_sweep --threads "$THREADS" --csv "$OUT/fig4.csv"   $SCALE $RATES $SETS
+$BENCH/bench_fig5_composition --threads "$THREADS" --csv "$OUT/fig5.csv"   $SCALE $SETS
+$BENCH/bench_fig6_sparsity --threads "$THREADS" --csv "$OUT/fig6.csv"   $SCALE $SETS
+$BENCH/bench_ablation_core --threads "$THREADS" --csv "$OUT/ablations.csv" $SCALE
 echo "CSVs written to $OUT/"

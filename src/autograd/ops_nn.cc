@@ -1,9 +1,11 @@
 // Neural-net specific ops: embeddings, layer norm, softmax, losses.
 
+#include <algorithm>
 #include <cmath>
 
 #include "autograd/op_helpers.h"
 #include "autograd/ops.h"
+#include "parallel/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace cl4srec {
@@ -33,25 +35,32 @@ Variable LayerNormV(const Variable& x, const Variable& gamma,
   const float* px = xv.data();
   const float* pg = gamma.value().data();
   const float* pb = beta.value().data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = px + i * n;
-    double mean = 0.0;
-    for (int64_t j = 0; j < n; ++j) mean += row[j];
-    mean /= n;
-    double var = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      const double d = row[j] - mean;
-      var += d * d;
+  float* pxhat = xhat.data();
+  float* pinv_std = inv_std.data();
+  float* pout = out.data();
+  const int64_t row_grain =
+      std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(1, n));
+  parallel::ParallelFor(0, m, row_grain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = px + i * n;
+      double mean = 0.0;
+      for (int64_t j = 0; j < n; ++j) mean += row[j];
+      mean /= n;
+      double var = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        const double d = row[j] - mean;
+        var += d * d;
+      }
+      var /= n;
+      const float istd = 1.f / std::sqrt(static_cast<float>(var) + eps);
+      pinv_std[i] = istd;
+      for (int64_t j = 0; j < n; ++j) {
+        const float xh = (row[j] - static_cast<float>(mean)) * istd;
+        pxhat[i * n + j] = xh;
+        pout[i * n + j] = pg[j] * xh + pb[j];
+      }
     }
-    var /= n;
-    const float istd = 1.f / std::sqrt(static_cast<float>(var) + eps);
-    inv_std.at(i) = istd;
-    for (int64_t j = 0; j < n; ++j) {
-      const float xh = (row[j] - static_cast<float>(mean)) * istd;
-      xhat.at(i, j) = xh;
-      out.at(i, j) = pg[j] * xh + pb[j];
-    }
-  }
+  });
 
   auto node = MakeNode(std::move(out), {x, gamma, beta});
   if (node->requires_grad) {

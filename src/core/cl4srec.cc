@@ -240,6 +240,7 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
 }
 
 void Cl4SRec::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  ApplyTrainParallelism(options);
   if (config_.joint_weight > 0.f) {
     JointFit(data, options);
     return;

@@ -1,7 +1,9 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "parallel/parallel.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -54,24 +56,62 @@ MetricReport EvaluateImpl(const SequenceDataset& data,
   std::vector<std::vector<int64_t>> inputs;
   std::vector<int64_t> targets;
 
+  // Per-chunk metric accumulator for the parallel ranking loop; hr/ndcg are
+  // indexed parallel to options.cutoffs.
+  struct Partial {
+    double mrr = 0.0;
+    std::vector<double> hr;
+    std::vector<double> ndcg;
+  };
+  const size_t num_cutoffs = options.cutoffs.size();
+  // Each user costs O(num_items) score comparisons; chunks of a few users
+  // keep dispatch overhead negligible while leaving enough chunks to spread.
+  const int64_t user_grain =
+      std::max<int64_t>(1, 16384 / std::max<int64_t>(1, num_items));
+
   auto flush = [&]() {
     if (users.empty()) return;
     Tensor scores = score_batch(users, inputs);
     CL4SREC_CHECK_EQ(scores.dim(0), static_cast<int64_t>(users.size()));
     CL4SREC_CHECK_EQ(scores.dim(1), num_items + 1);
-    for (size_t i = 0; i < users.size(); ++i) {
-      const int64_t u = users[i];
-      const int64_t target = targets[i];
-      const int64_t rank = rank_fn(
-          u, scores.data() + static_cast<int64_t>(i) * (num_items + 1),
-          target);
-      report.mrr += 1.0 / static_cast<double>(rank);
-      for (int64_t k : options.cutoffs) {
-        if (rank <= k) {
-          report.hr[k] += 1.0;
-          report.ndcg[k] += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
-        }
-      }
+    // Every user's rank is independent; chunk partials are merged in chunk
+    // order, so the totals are identical for every thread count.
+    Partial init;
+    init.hr.assign(num_cutoffs, 0.0);
+    init.ndcg.assign(num_cutoffs, 0.0);
+    const Partial total = parallel::ParallelReduce<Partial>(
+        0, static_cast<int64_t>(users.size()), user_grain, init,
+        [&](int64_t lo, int64_t hi) {
+          Partial part;
+          part.hr.assign(num_cutoffs, 0.0);
+          part.ndcg.assign(num_cutoffs, 0.0);
+          for (int64_t i = lo; i < hi; ++i) {
+            const int64_t rank = rank_fn(
+                users[static_cast<size_t>(i)],
+                scores.data() + i * (num_items + 1),
+                targets[static_cast<size_t>(i)]);
+            part.mrr += 1.0 / static_cast<double>(rank);
+            for (size_t c = 0; c < num_cutoffs; ++c) {
+              if (rank <= options.cutoffs[c]) {
+                part.hr[c] += 1.0;
+                part.ndcg[c] +=
+                    1.0 / std::log2(static_cast<double>(rank) + 1.0);
+              }
+            }
+          }
+          return part;
+        },
+        [](Partial& acc, const Partial& part) {
+          acc.mrr += part.mrr;
+          for (size_t c = 0; c < acc.hr.size(); ++c) {
+            acc.hr[c] += part.hr[c];
+            acc.ndcg[c] += part.ndcg[c];
+          }
+        });
+    report.mrr += total.mrr;
+    for (size_t c = 0; c < num_cutoffs; ++c) {
+      report.hr[options.cutoffs[c]] += total.hr[c];
+      report.ndcg[options.cutoffs[c]] += total.ndcg[c];
     }
     report.num_users += static_cast<int64_t>(users.size());
     users.clear();

@@ -11,6 +11,7 @@
 namespace cl4srec {
 
 void Bert4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  ApplyTrainParallelism(options);
   Rng rng(options.seed + 3);
   max_len_ = options.max_len;
   TransformerConfig config;

@@ -7,6 +7,7 @@
 namespace cl4srec {
 
 void Fpmc::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  ApplyTrainParallelism(options);
   Rng rng(options.seed);
   const int64_t num_users = data.num_users();
   const int64_t num_items = data.num_items();

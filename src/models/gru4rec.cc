@@ -11,6 +11,7 @@
 namespace cl4srec {
 
 void Gru4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  ApplyTrainParallelism(options);
   Rng rng(options.seed);
   max_len_ = options.max_len;
   GruConfig config;

@@ -58,6 +58,7 @@ Variable Ncf::Predict(const std::vector<int64_t>& user_ids,
 }
 
 void Ncf::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  ApplyTrainParallelism(options);
   Rng rng(options.seed);
   Initialize(data.num_users(), data.num_items(), &rng);
 

@@ -1,8 +1,15 @@
 #include "models/recommender.h"
 
+#include "parallel/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace cl4srec {
+
+void ApplyTrainParallelism(const TrainOptions& options) {
+  if (options.num_threads > 0) {
+    parallel::SetNumThreads(static_cast<int>(options.num_threads));
+  }
+}
 
 std::vector<int64_t> Recommender::RecommendTopK(
     int64_t user, const std::vector<int64_t>& history, int64_t k,

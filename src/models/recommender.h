@@ -32,11 +32,20 @@ struct TrainOptions {
   int64_t eval_every = 0;
   int64_t patience = 3;
   bool verbose = false;
+  // Compute threads for the shared parallel runtime (kernels, eval,
+  // snapshots). 0 keeps the current process-wide setting (--threads /
+  // CL4SREC_NUM_THREADS / hardware concurrency); 1 forces serial execution.
+  int64_t num_threads = 0;
   // Training-robustness layer (src/train/): the divergence sentinel is on
   // by default; crash-safe checkpointing and resume activate when
   // robust.checkpoints.directory is set.
   TrainRunnerOptions robust;
 };
+
+// Applies options.num_threads (> 0) to the process-wide parallel runtime;
+// every trainable model calls this at the top of Fit. 0 is a no-op, keeping
+// whatever --threads / CL4SREC_NUM_THREADS / hardware default is in effect.
+void ApplyTrainParallelism(const TrainOptions& options);
 
 class Recommender {
  public:

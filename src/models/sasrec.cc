@@ -115,6 +115,7 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
 }
 
 void SasRec::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  ApplyTrainParallelism(options);
   EnsureEncoder(data, options);
   TrainSupervised(data, options);
 }
@@ -141,6 +142,7 @@ Tensor SasRec::ScoreBatch(const std::vector<int64_t>& users,
 }
 
 void SasRecBpr::Fit(const SequenceDataset& data, const TrainOptions& options) {
+  ApplyTrainParallelism(options);
   // Stage 1: train BPR-MF factors of the same width as the transformer's
   // item embedding.
   BprMfConfig bpr_config;

@@ -1,0 +1,216 @@
+#include "parallel/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace {
+
+// True while the current thread is executing chunks of some ParallelFor;
+// nested calls run inline instead of re-entering the pool (which would
+// deadlock a 1-worker pool and oversubscribe larger ones).
+thread_local bool t_in_parallel = false;
+
+struct InParallelScope {
+  bool prev;
+  InParallelScope() : prev(t_in_parallel) { t_in_parallel = true; }
+  ~InParallelScope() { t_in_parallel = prev; }
+};
+
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  return (end - begin + grain - 1) / grain;
+}
+
+}  // namespace
+
+struct ThreadPool::Batch {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> chunks_done{0};
+  int workers_inside = 0;  // Guarded by the pool's mu_.
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  int64_t first_error_chunk = -1;
+};
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  CL4SREC_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunChunks(Batch* batch) {
+  InParallelScope scope;
+  for (;;) {
+    const int64_t chunk =
+        batch->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= batch->num_chunks) break;
+    const int64_t lo = batch->begin + chunk * batch->grain;
+    const int64_t hi = std::min(batch->end, lo + batch->grain);
+    try {
+      (*batch->fn)(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch->error_mu);
+      if (batch->first_error_chunk < 0 || chunk < batch->first_error_chunk) {
+        batch->first_error = std::current_exception();
+        batch->first_error_chunk = chunk;
+      }
+    }
+    batch->chunks_done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t last_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (batch_ != nullptr && batch_epoch_ != last_epoch);
+    });
+    if (shutdown_) return;
+    last_epoch = batch_epoch_;
+    Batch* batch = batch_;
+    ++batch->workers_inside;
+    lock.unlock();
+    RunChunks(batch);
+    lock.lock();
+    --batch->workers_inside;
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = NumChunks(begin, end, grain);
+
+  // Serial path: same chunk decomposition, executed in order on this thread.
+  // Exceptions propagate from the throwing chunk directly (it is necessarily
+  // the first in chunk order, since later chunks never run).
+  if (num_chunks == 1 || num_threads_ == 1 || t_in_parallel) {
+    InParallelScope scope;
+    for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const int64_t lo = begin + chunk * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> caller_lock(caller_mu_);
+  Batch batch;
+  batch.begin = begin;
+  batch.end = end;
+  batch.grain = grain;
+  batch.num_chunks = num_chunks;
+  batch.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++batch_epoch_;
+  }
+  work_cv_.notify_all();
+
+  RunChunks(&batch);  // The calling thread is one of the num_threads_.
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.chunks_done.load(std::memory_order_acquire) ==
+                 batch.num_chunks &&
+             batch.workers_inside == 0;
+    });
+    batch_ = nullptr;
+  }
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+namespace parallel {
+namespace {
+
+std::mutex g_pool_mu;
+ThreadPool* g_pool = nullptr;  // Leaked intentionally; lives for the process.
+int g_requested_threads = 0;   // 0 = resolve env/hardware default.
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("CL4SREC_NUM_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1) {
+      return static_cast<int>(value);
+    }
+    CL4SREC_LOG(Warning) << "ignoring invalid CL4SREC_NUM_THREADS='" << env
+                         << "'";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Returns the global pool, (re)building it if the configured size changed.
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const int want =
+      g_requested_threads > 0 ? g_requested_threads : DefaultNumThreads();
+  if (g_pool == nullptr || g_pool->num_threads() != want) {
+    delete g_pool;
+    g_pool = new ThreadPool(want);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+void SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested_threads = n > 0 ? n : 0;
+}
+
+int GetNumThreads() { return GlobalPool().num_threads(); }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  // Single-chunk and nested calls never need the pool (or its lock).
+  if (end - begin <= grain || t_in_parallel) {
+    InParallelScope scope;
+    for (int64_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  GlobalPool().ParallelFor(begin, end, grain, fn);
+}
+
+void CopyFloats(float* dst, const float* src, int64_t n) {
+  constexpr int64_t kGrain = 1 << 16;  // 256 KiB per chunk.
+  ParallelFor(0, n, kGrain, [dst, src](int64_t lo, int64_t hi) {
+    std::memcpy(dst + lo, src + lo,
+                static_cast<size_t>(hi - lo) * sizeof(float));
+  });
+}
+
+}  // namespace parallel
+}  // namespace cl4srec

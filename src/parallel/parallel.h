@@ -1,0 +1,117 @@
+// Shared parallel compute runtime: a fixed-size thread pool plus a
+// ParallelFor(begin, end, grain, fn) primitive used by the tensor kernels,
+// the full-ranking evaluator, and the parameter-snapshot copies.
+//
+// Determinism contract: ParallelFor splits [begin, end) into chunks whose
+// boundaries depend ONLY on the range and the grain — never on the thread
+// count. Callers that write disjoint outputs per index, or that reduce
+// per-chunk partials and merge them in chunk order (see ParallelReduce),
+// therefore produce bit-identical results for every thread count, including
+// 1. `threads=1` runs every chunk inline on the calling thread with no pool
+// involvement at all.
+//
+// Thread count resolution (first use wins, cheapest to override first):
+//   1. SetNumThreads(n) — e.g. from the --threads CLI flag,
+//   2. the CL4SREC_NUM_THREADS environment variable,
+//   3. std::thread::hardware_concurrency().
+
+#ifndef CL4SREC_PARALLEL_PARALLEL_H_
+#define CL4SREC_PARALLEL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cl4srec {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers (the caller participates in every
+  // ParallelFor, so n threads of compute need n-1 workers). num_threads >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Splits [begin, end) into chunks of at most `grain` indices (grain >= 1;
+  // chunk layout is a pure function of the range and grain) and calls
+  // fn(chunk_begin, chunk_end) for each, distributing chunks across the
+  // workers and the calling thread. Blocks until every chunk finished.
+  // Empty ranges return immediately. A single-chunk range, a 1-thread pool,
+  // and calls nested inside another ParallelFor all run inline on the
+  // calling thread. If any fn invocation throws, the first exception (in
+  // chunk order) is rethrown here after all chunks complete.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  struct Batch;  // One ParallelFor's shared state.
+
+  void WorkerLoop();
+  static void RunChunks(Batch* batch);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  // Serializes concurrent top-level ParallelFor callers: the pool runs one
+  // batch at a time (nested calls bypass the pool entirely).
+  std::mutex caller_mu_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers wait here for a batch.
+  std::condition_variable done_cv_;   // ParallelFor waits here for completion.
+  Batch* batch_ = nullptr;            // Non-null while a batch is in flight.
+  uint64_t batch_epoch_ = 0;          // Bumped per batch; lets workers tell a
+                                      // new batch from one they just drained.
+  bool shutdown_ = false;
+};
+
+namespace parallel {
+
+// Overrides the global pool size; n <= 0 restores the default resolution
+// (CL4SREC_NUM_THREADS, then hardware concurrency). Rebuilds the pool on the
+// next use if the size changed. Not safe to call concurrently with in-flight
+// ParallelFor calls — configure threads at startup.
+void SetNumThreads(int n);
+
+// The thread count the global pool uses (resolving env/hardware defaults).
+int GetNumThreads();
+
+// ParallelFor on the process-wide shared pool. See ThreadPool::ParallelFor.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+// Deterministic parallel reduction: evaluates partial = fn(chunk_begin,
+// chunk_end) for every chunk, then folds the partials IN CHUNK ORDER with
+// `merge(acc, partial)` starting from `init`. Because chunk boundaries are
+// thread-count-independent, the result is bit-identical for every thread
+// count (though not, in general, to a single unchunked serial fold).
+template <typename Acc>
+Acc ParallelReduce(int64_t begin, int64_t end, int64_t grain, Acc init,
+                   const std::function<Acc(int64_t, int64_t)>& fn,
+                   const std::function<void(Acc&, const Acc&)>& merge) {
+  if (end <= begin) return init;
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  std::vector<Acc> partials(static_cast<size_t>(num_chunks), init);
+  ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    partials[static_cast<size_t>((lo - begin) / grain)] = fn(lo, hi);
+  });
+  Acc acc = std::move(init);
+  for (const Acc& partial : partials) merge(acc, partial);
+  return acc;
+}
+
+// Parallel memcpy for large buffers (parameter snapshots, tensor clones).
+// Falls back to one memcpy below the parallel threshold.
+void CopyFloats(float* dst, const float* src, int64_t n);
+
+}  // namespace parallel
+}  // namespace cl4srec
+
+#endif  // CL4SREC_PARALLEL_PARALLEL_H_

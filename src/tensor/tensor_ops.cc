@@ -2,27 +2,114 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
+#include <vector>
+
+#include "parallel/parallel.h"
 
 namespace cl4srec {
 namespace {
 
-// C[m,n] += A[m,k] * B[k,n], row-major, i-k-j loop order so the inner loop
-// streams through contiguous rows of B and C.
-void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
-                  int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.f) continue;
-      const float* b_row = b + p * n;
-      for (int64_t j = 0; j < n; ++j) {
-        c_row[j] += a_ip * b_row[j];
+// Elementwise work per ParallelFor chunk; ranges at or below this run inline
+// on the calling thread with no pool involvement.
+constexpr int64_t kElemGrain = 1 << 14;
+
+// Grain (in rows) for row-wise kernels over [m, n] tensors, sized so each
+// chunk carries roughly kElemGrain elements of work.
+int64_t RowGrain(int64_t n) { return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, n)); }
+
+// ---- Blocked matmul ----
+//
+// C = op(A) * op(B) without materializing transposed copies: the depth/column
+// panel of op(B) (and, for trans_a, the row/depth panel of op(A)) is packed
+// into a contiguous per-thread buffer, then a register-friendly i-p-j micro
+// kernel accumulates into C. The p-blocks are walked in ascending order, and
+// each C row belongs to exactly one parallel task, so every C element
+// accumulates its k products in the same order as the naive serial i-k-j
+// kernel — results are bit-identical for every thread count and block size.
+constexpr int64_t kRowBlock = 64;     // MC: C rows per task / A panel rows
+constexpr int64_t kColBlock = 256;    // NC: C columns per packed B panel
+constexpr int64_t kDepthBlock = 256;  // KC: depth per packed panel
+// A parallel task should amortize pack + dispatch costs: ~1 MFLOP minimum.
+constexpr int64_t kMinFlopsPerTask = 1 << 20;
+
+// Packs op(B)[p0:p1, j0:j1] into `panel`, row-major (p-major). `b` is the
+// physical [k, n] (trans_b=false) or [n, k] (trans_b=true) buffer.
+void PackBPanel(const float* b, int64_t n, int64_t k, bool trans_b,
+                int64_t p0, int64_t p1, int64_t j0, int64_t j1, float* panel) {
+  const int64_t width = j1 - j0;
+  if (!trans_b) {
+    for (int64_t p = p0; p < p1; ++p) {
+      std::memcpy(panel + (p - p0) * width, b + p * n + j0,
+                  static_cast<size_t>(width) * sizeof(float));
+    }
+  } else {
+    // op(B)[p, j] = B[j, p]: stream contiguous reads along p, scatter into
+    // the panel (which stays cache-resident at these block sizes).
+    for (int64_t j = j0; j < j1; ++j) {
+      const float* src = b + j * k;
+      float* dst = panel + (j - j0);
+      for (int64_t p = p0; p < p1; ++p) {
+        dst[(p - p0) * width] = src[p];
       }
     }
   }
+}
+
+// Packs op(A)[i0:i1, p0:p1] from the physical [k, m] buffer (trans_a only).
+void PackAPanel(const float* a, int64_t m, int64_t i0, int64_t i1, int64_t p0,
+                int64_t p1, float* panel) {
+  const int64_t depth = p1 - p0;
+  for (int64_t p = p0; p < p1; ++p) {
+    const float* src = a + p * m;
+    float* dst = panel + (p - p0);
+    for (int64_t i = i0; i < i1; ++i) {
+      dst[(i - i0) * depth] = src[i];
+    }
+  }
+}
+
+void MatMulBlocked(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n, bool trans_a, bool trans_b) {
+  const int64_t num_row_blocks = (m + kRowBlock - 1) / kRowBlock;
+  const int64_t flops_per_row_block = 2 * kRowBlock * k * n;
+  const int64_t grain = std::max<int64_t>(
+      1, kMinFlopsPerTask / std::max<int64_t>(1, flops_per_row_block));
+  parallel::ParallelFor(0, num_row_blocks, grain, [=](int64_t rb_lo,
+                                                      int64_t rb_hi) {
+    std::vector<float> b_panel(
+        static_cast<size_t>(kDepthBlock * std::min(n, kColBlock)));
+    std::vector<float> a_panel(
+        trans_a ? static_cast<size_t>(kRowBlock * std::min(k, kDepthBlock))
+                : 0);
+    for (int64_t rb = rb_lo; rb < rb_hi; ++rb) {
+      const int64_t i0 = rb * kRowBlock;
+      const int64_t i1 = std::min(m, i0 + kRowBlock);
+      for (int64_t j0 = 0; j0 < n; j0 += kColBlock) {
+        const int64_t j1 = std::min(n, j0 + kColBlock);
+        const int64_t width = j1 - j0;
+        for (int64_t p0 = 0; p0 < k; p0 += kDepthBlock) {  // Ascending p.
+          const int64_t p1 = std::min(k, p0 + kDepthBlock);
+          const int64_t depth = p1 - p0;
+          PackBPanel(b, n, k, trans_b, p0, p1, j0, j1, b_panel.data());
+          if (trans_a) PackAPanel(a, m, i0, i1, p0, p1, a_panel.data());
+          for (int64_t i = i0; i < i1; ++i) {
+            const float* a_row = trans_a ? a_panel.data() + (i - i0) * depth
+                                         : a + i * k + p0;
+            float* c_row = c + i * n + j0;
+            for (int64_t p = 0; p < depth; ++p) {
+              const float a_ip = a_row[p];
+              const float* b_row = b_panel.data() + p * width;
+              for (int64_t j = 0; j < width; ++j) {
+                c_row[j] += a_ip * b_row[j];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
 }
 
 template <typename F>
@@ -30,7 +117,10 @@ Tensor ElementwiseUnary(const Tensor& a, F&& f) {
   Tensor out(a.shape());
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) dst[i] = f(src[i]);
+  parallel::ParallelFor(0, a.numel(), kElemGrain,
+                        [&f, src, dst](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) dst[i] = f(src[i]);
+                        });
   return out;
 }
 
@@ -42,7 +132,10 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F&& f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) dst[i] = f(pa[i], pb[i]);
+  parallel::ParallelFor(
+      0, a.numel(), kElemGrain, [&f, pa, pb, dst](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dst[i] = f(pa[i], pb[i]);
+      });
   return out;
 }
 
@@ -51,16 +144,13 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F&& f) {
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   CL4SREC_CHECK_EQ(a.ndim(), 2);
   CL4SREC_CHECK_EQ(b.ndim(), 2);
-  // Materialize transposed operands; operand sizes in this library are small
-  // enough that the copy is cheaper than a strided inner loop.
-  const Tensor a_eff = trans_a ? Transpose2D(a) : a;
-  const Tensor b_eff = trans_b ? Transpose2D(b) : b;
-  const int64_t m = a_eff.dim(0);
-  const int64_t k = a_eff.dim(1);
-  CL4SREC_CHECK_EQ(k, b_eff.dim(0)) << "matmul inner dimension mismatch";
-  const int64_t n = b_eff.dim(1);
+  const int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const int64_t b_rows = trans_b ? b.dim(1) : b.dim(0);
+  CL4SREC_CHECK_EQ(k, b_rows) << "matmul inner dimension mismatch";
+  const int64_t n = trans_b ? b.dim(0) : b.dim(1);
   Tensor c({m, n});
-  MatMulKernel(a_eff.data(), b_eff.data(), c.data(), m, k, n);
+  MatMulBlocked(a.data(), b.data(), c.data(), m, k, n, trans_a, trans_b);
   return c;
 }
 
@@ -71,11 +161,27 @@ Tensor Transpose2D(const Tensor& a) {
   Tensor out({n, m});
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      dst[j * m + i] = src[i * n + j];
-    }
-  }
+  // 32x32 tiles keep both the row-major reads and the column-major writes
+  // within a cache line's worth of stride per tile.
+  constexpr int64_t kTile = 32;
+  const int64_t num_tile_rows = (m + kTile - 1) / kTile;
+  const int64_t tile_row_grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, kTile * n));
+  parallel::ParallelFor(
+      0, num_tile_rows, tile_row_grain, [=](int64_t tr_lo, int64_t tr_hi) {
+        for (int64_t tr = tr_lo; tr < tr_hi; ++tr) {
+          const int64_t i0 = tr * kTile;
+          const int64_t i1 = std::min(m, i0 + kTile);
+          for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+            const int64_t j1 = std::min(n, j0 + kTile);
+            for (int64_t i = i0; i < i1; ++i) {
+              for (int64_t j = j0; j < j1; ++j) {
+                dst[j * m + i] = src[i * n + j];
+              }
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -109,11 +215,13 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   const float* src = a.data();
   const float* pb = bias.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      dst[i * n + j] = src[i * n + j] + pb[j];
+  parallel::ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        dst[i * n + j] = src[i * n + j] + pb[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -211,19 +319,21 @@ Tensor SoftmaxRows(const Tensor& logits) {
   Tensor out(logits.shape());
   const float* src = logits.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = src + i * n;
-    float* out_row = dst + i * n;
-    float max_val = row[0];
-    for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      out_row[j] = std::exp(row[j] - max_val);
-      denom += out_row[j];
+  parallel::ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = src + i * n;
+      float* out_row = dst + i * n;
+      float max_val = row[0];
+      for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        out_row[j] = std::exp(row[j] - max_val);
+        denom += out_row[j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < n; ++j) out_row[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < n; ++j) out_row[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -234,16 +344,18 @@ Tensor LogSoftmaxRows(const Tensor& logits) {
   Tensor out(logits.shape());
   const float* src = logits.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = src + i * n;
-    float* out_row = dst + i * n;
-    float max_val = row[0];
-    for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - max_val);
-    const float log_denom = max_val + static_cast<float>(std::log(denom));
-    for (int64_t j = 0; j < n; ++j) out_row[j] = row[j] - log_denom;
-  }
+  parallel::ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = src + i * n;
+      float* out_row = dst + i * n;
+      float max_val = row[0];
+      for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - max_val);
+      const float log_denom = max_val + static_cast<float>(std::log(denom));
+      for (int64_t j = 0; j < n; ++j) out_row[j] = row[j] - log_denom;
+    }
+  });
   return out;
 }
 
@@ -255,15 +367,18 @@ Tensor L2NormalizeRows(const Tensor& a, float eps, Tensor* norms) {
   Tensor norm_out({m});
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = src + i * n;
-    double sq = 0.0;
-    for (int64_t j = 0; j < n; ++j) sq += double(row[j]) * row[j];
-    const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
-    norm_out.at(i) = norm;
-    const float inv = 1.f / norm;
-    for (int64_t j = 0; j < n; ++j) dst[i * n + j] = row[j] * inv;
-  }
+  float* dst_norm = norm_out.data();
+  parallel::ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = src + i * n;
+      double sq = 0.0;
+      for (int64_t j = 0; j < n; ++j) sq += double(row[j]) * row[j];
+      const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
+      dst_norm[i] = norm;
+      const float inv = 1.f / norm;
+      for (int64_t j = 0; j < n; ++j) dst[i * n + j] = row[j] * inv;
+    }
+  });
   if (norms != nullptr) *norms = std::move(norm_out);
   return out;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "parallel/parallel.h"
 
 namespace cl4srec {
 
@@ -16,20 +17,28 @@ class ParameterSnapshot {
   static ParameterSnapshot Capture(const std::vector<Variable*>& params) {
     ParameterSnapshot snap;
     snap.values_.reserve(params.size());
-    for (Variable* p : params) snap.values_.push_back(p->value().Clone());
+    // Item-embedding tables dominate the copy; CopyFloats fans large
+    // tensors out over the shared thread pool (small ones stay inline).
+    for (Variable* p : params) snap.values_.push_back(DeepCopy(p->value()));
     return snap;
   }
 
   void Restore(const std::vector<Variable*>& params) const {
     CL4SREC_CHECK_EQ(params.size(), values_.size());
     for (size_t i = 0; i < params.size(); ++i) {
-      params[i]->mutable_value() = values_[i].Clone();
+      params[i]->mutable_value() = DeepCopy(values_[i]);
     }
   }
 
   bool empty() const { return values_.empty(); }
 
  private:
+  static Tensor DeepCopy(const Tensor& src) {
+    Tensor dst(src.shape());
+    parallel::CopyFloats(dst.data(), src.data(), src.numel());
+    return dst;
+  }
+
   std::vector<Tensor> values_;
 };
 

@@ -1,0 +1,97 @@
+// Thread-count determinism: a small end-to-end CL4SRec run (contrastive
+// pre-training + fine-tuning + full-ranking evaluation) must produce
+// identical training losses, model scores, and eval metrics for every
+// thread count. This is the contract that lets --threads be a pure
+// performance knob: parallel chunk boundaries depend only on range and
+// grain, never on the pool size.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/cl4srec.h"
+#include "data/synthetic.h"
+#include "parallel/parallel.h"
+
+namespace cl4srec {
+namespace {
+
+struct RunResult {
+  double pretrain_loss = 0.0;
+  MetricReport valid;
+  MetricReport test;
+  Tensor scores;
+};
+
+SequenceDataset SmallData() {
+  SyntheticConfig config;
+  config.num_users = 90;
+  config.num_items = 60;
+  config.avg_length = 8.0;
+  config.seed = 53;
+  return MakeSyntheticDataset(config);
+}
+
+RunResult RunCl4SRec(int threads) {
+  parallel::SetNumThreads(threads);
+  SequenceDataset data = SmallData();
+
+  Cl4SRecConfig cl;
+  cl.encoder.hidden_dim = 16;
+  cl.encoder.num_layers = 1;
+  cl.pretrain_epochs = 1;
+  cl.pretrain_batch_size = 32;
+  Cl4SRec model(cl);
+
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 32;
+  options.max_len = 12;
+  options.seed = 11;
+
+  RunResult result;
+  result.pretrain_loss = model.Pretrain(data, options);
+  model.Finetune(data, options);
+  result.valid = model.Evaluate(data, EvalSplit::kValidation);
+  result.test = model.Evaluate(data, EvalSplit::kTest);
+  result.scores = model.ScoreBatch(
+      {0, 1, 2}, {data.TrainSequence(0), data.TrainSequence(1),
+                  data.TrainSequence(2)});
+  return result;
+}
+
+void ExpectIdenticalReports(const MetricReport& a, const MetricReport& b) {
+  EXPECT_EQ(a.num_users, b.num_users);
+  EXPECT_EQ(a.mrr, b.mrr);  // Exact: same doubles, not just close.
+  ASSERT_EQ(a.hr.size(), b.hr.size());
+  for (const auto& [k, value] : a.hr) {
+    ASSERT_TRUE(b.hr.contains(k));
+    EXPECT_EQ(value, b.hr.at(k)) << "HR@" << k;
+  }
+  for (const auto& [k, value] : a.ndcg) {
+    ASSERT_TRUE(b.ndcg.contains(k));
+    EXPECT_EQ(value, b.ndcg.at(k)) << "NDCG@" << k;
+  }
+}
+
+TEST(DeterminismTest, Cl4SRecEndToEndIdenticalAcrossThreadCounts) {
+  const RunResult serial = RunCl4SRec(1);
+  EXPECT_TRUE(std::isfinite(serial.pretrain_loss));
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const RunResult parallel_run = RunCl4SRec(threads);
+    EXPECT_EQ(parallel_run.pretrain_loss, serial.pretrain_loss);
+    ExpectIdenticalReports(parallel_run.valid, serial.valid);
+    ExpectIdenticalReports(parallel_run.test, serial.test);
+    ASSERT_TRUE(parallel_run.scores.SameShape(serial.scores));
+    EXPECT_EQ(std::memcmp(parallel_run.scores.data(), serial.scores.data(),
+                          static_cast<size_t>(serial.scores.numel()) *
+                              sizeof(float)),
+              0);
+  }
+  parallel::SetNumThreads(0);  // Restore the default for later tests.
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,293 @@
+// Unit tests for the parallel compute runtime (src/parallel/) and for the
+// blocked matmul / transpose kernels routed through it: chunk coverage,
+// exception propagation, thread-count determinism, and bit-exact agreement
+// with a naive reference kernel across odd shapes and transpose flags.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+namespace {
+
+// Restores the default thread resolution when a test finishes so the global
+// pool setting never leaks between tests.
+struct ThreadSettingGuard {
+  ~ThreadSettingGuard() { parallel::SetNumThreads(0); }
+};
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(ThreadPoolTest, EmptyAndInvertedRangesRunNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneInlineChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  int64_t seen_lo = -1, seen_hi = -1;
+  pool.ParallelFor(3, 10, 100, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_lo, 3);
+  EXPECT_EQ(seen_hi, 10);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (int64_t range : {1, 7, 64, 1000}) {
+    for (int64_t grain : {1, 3, 64, 999}) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(range));
+      for (auto& h : hits) h = 0;
+      pool.ParallelFor(0, range, grain, [&](int64_t lo, int64_t hi) {
+        ASSERT_LE(hi - lo, grain);
+        for (int64_t i = lo; i < hi; ++i) ++hits[static_cast<size_t>(i)];
+      });
+      for (int64_t i = 0; i < range; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "index " << i << " range " << range << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 1,
+                                [&](int64_t lo, int64_t) {
+                                  if (lo == 42) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a throwing batch.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, FirstExceptionInChunkOrderWins) {
+  ThreadPool pool(4);
+  // Chunks of one index each; indices 3 and 60 both throw. Regardless of
+  // which thread reaches which first, the rethrown error is chunk 3's.
+  std::string message;
+  try {
+    pool.ParallelFor(0, 100, 1, [&](int64_t lo, int64_t) {
+      if (lo == 3) throw std::runtime_error("chunk-3");
+      if (lo == 60) throw std::runtime_error("chunk-60");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message, "chunk-3");
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pool.ParallelFor(0, 10, 2, [&](int64_t ilo, int64_t ihi) {
+        for (int64_t j = ilo; j < ihi; ++j) total += 1;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ParallelGlobalTest, SetNumThreadsControlsPoolSize) {
+  ThreadSettingGuard guard;
+  parallel::SetNumThreads(3);
+  EXPECT_EQ(parallel::GetNumThreads(), 3);
+  parallel::SetNumThreads(0);
+  EXPECT_GE(parallel::GetNumThreads(), 1);
+}
+
+TEST(ParallelGlobalTest, ParallelReduceIsThreadCountInvariant) {
+  ThreadSettingGuard guard;
+  // An awkward float sum whose value depends on association order; chunked
+  // double partials merged in chunk order must agree bit-for-bit across
+  // thread counts.
+  std::vector<float> values(100003);
+  Rng rng(17);
+  for (auto& v : values) v = rng.Normal() * 1e-3f;
+  auto sum_at = [&](int threads) {
+    parallel::SetNumThreads(threads);
+    return parallel::ParallelReduce<double>(
+        0, static_cast<int64_t>(values.size()), 4096, 0.0,
+        [&](int64_t lo, int64_t hi) {
+          double acc = 0.0;
+          for (int64_t i = lo; i < hi; ++i)
+            acc += values[static_cast<size_t>(i)];
+          return acc;
+        },
+        [](double& acc, const double& partial) { acc += partial; });
+  };
+  const double s1 = sum_at(1);
+  const double s2 = sum_at(2);
+  const double s8 = sum_at(8);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s8);
+}
+
+TEST(ParallelGlobalTest, CopyFloatsCopiesLargeBuffers) {
+  ThreadSettingGuard guard;
+  parallel::SetNumThreads(4);
+  const int64_t n = (1 << 17) + 13;  // Crosses several chunk boundaries.
+  std::vector<float> src(static_cast<size_t>(n));
+  std::vector<float> dst(static_cast<size_t>(n), -1.f);
+  for (int64_t i = 0; i < n; ++i)
+    src[static_cast<size_t>(i)] = static_cast<float>(i % 977);
+  parallel::CopyFloats(dst.data(), src.data(), n);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(),
+                        static_cast<size_t>(n) * sizeof(float)),
+            0);
+}
+
+// ---- Blocked matmul vs. naive reference ----
+
+// The seed kernel's i-k-j loop (zero-skip removed): accumulates every C
+// element in ascending-p order, which the blocked kernel must reproduce
+// bit-for-bit.
+Tensor MatMulReference(const Tensor& a, const Tensor& b, bool trans_a,
+                       bool trans_b) {
+  const Tensor a_eff = trans_a ? Transpose2D(a) : a;
+  const Tensor b_eff = trans_b ? Transpose2D(b) : b;
+  const int64_t m = a_eff.dim(0);
+  const int64_t k = a_eff.dim(1);
+  const int64_t n = b_eff.dim(1);
+  Tensor c({m, n});
+  const float* pa = a_eff.data();
+  const float* pb = b_eff.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = pa[i * k + p];
+      for (int64_t j = 0; j < n; ++j) {
+        pc[i * n + j] += a_ip * pb[p * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+TEST(MatMulBlockedTest, MatchesReferenceAcrossShapesAndTransposeFlags) {
+  ThreadSettingGuard guard;
+  parallel::SetNumThreads(4);
+  struct Shape {
+    int64_t m, k, n;
+  };
+  // Odd sizes straddle every block boundary (kRowBlock=64, kCol/kDepth=256).
+  const Shape shapes[] = {{1, 1, 1},    {2, 3, 4},      {5, 7, 9},
+                          {33, 17, 65}, {64, 64, 64},   {65, 129, 257},
+                          {1, 300, 1},  {128, 256, 300}};
+  uint64_t seed = 100;
+  for (const Shape& s : shapes) {
+    for (bool trans_a : {false, true}) {
+      for (bool trans_b : {false, true}) {
+        Rng rng(seed++);
+        Tensor a = trans_a ? Tensor::Randn({s.k, s.m}, &rng)
+                           : Tensor::Randn({s.m, s.k}, &rng);
+        Tensor b = trans_b ? Tensor::Randn({s.n, s.k}, &rng)
+                           : Tensor::Randn({s.k, s.n}, &rng);
+        const Tensor got = MatMul(a, b, trans_a, trans_b);
+        const Tensor want = MatMulReference(a, b, trans_a, trans_b);
+        EXPECT_TRUE(BitEqual(got, want))
+            << "m=" << s.m << " k=" << s.k << " n=" << s.n
+            << " trans_a=" << trans_a << " trans_b=" << trans_b;
+      }
+    }
+  }
+}
+
+TEST(MatMulBlockedTest, PropagatesNaNAndInfFromSkippableTerms) {
+  // The seed kernel's `if (a_ip == 0.f) continue;` silently dropped NaN/Inf
+  // rows of B wherever A had a zero — 0 * NaN must stay NaN.
+  Tensor a = Tensor::FromVector({1, 2}, {0.f, 1.f});
+  Tensor b = Tensor::FromVector(
+      {2, 2}, {std::numeric_limits<float>::quiet_NaN(),
+               std::numeric_limits<float>::infinity(), 2.f, 3.f});
+  const Tensor c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));  // 0 * inf = NaN.
+}
+
+TEST(MatMulBlockedTest, BitIdenticalAcrossThreadCounts) {
+  ThreadSettingGuard guard;
+  Rng rng(7);
+  Tensor a = Tensor::Randn({100, 300}, &rng);
+  Tensor b = Tensor::Randn({300, 200}, &rng);
+  const Tensor bt = Transpose2D(b);  // [200, 300]; op(bt) with trans_b == b.
+  parallel::SetNumThreads(1);
+  const Tensor serial = MatMul(a, b);
+  for (int threads : {2, 8}) {
+    parallel::SetNumThreads(threads);
+    EXPECT_TRUE(BitEqual(MatMul(a, b), serial)) << "threads=" << threads;
+    EXPECT_TRUE(BitEqual(MatMul(a, bt, false, true), serial))
+        << "threads=" << threads;
+  }
+}
+
+TEST(TensorOpsTest, RowKernelsBitIdenticalAcrossThreadCounts) {
+  ThreadSettingGuard guard;
+  Rng rng(23);
+  Tensor x = Tensor::Randn({257, 129}, &rng);
+  Tensor bias = Tensor::Randn({129}, &rng);
+  parallel::SetNumThreads(1);
+  const Tensor softmax1 = SoftmaxRows(x);
+  const Tensor logsoftmax1 = LogSoftmaxRows(x);
+  const Tensor l2norm1 = L2NormalizeRows(x);
+  const Tensor bcast1 = AddRowBroadcast(x, bias);
+  const Tensor gelu1 = Gelu(x);
+  for (int threads : {2, 8}) {
+    parallel::SetNumThreads(threads);
+    EXPECT_TRUE(BitEqual(SoftmaxRows(x), softmax1));
+    EXPECT_TRUE(BitEqual(LogSoftmaxRows(x), logsoftmax1));
+    EXPECT_TRUE(BitEqual(L2NormalizeRows(x), l2norm1));
+    EXPECT_TRUE(BitEqual(AddRowBroadcast(x, bias), bcast1));
+    EXPECT_TRUE(BitEqual(Gelu(x), gelu1));
+  }
+}
+
+TEST(Transpose2DTest, BlockedTransposeHandlesOddShapes) {
+  for (int64_t m : {1, 2, 31, 33, 100}) {
+    for (int64_t n : {1, 3, 32, 65}) {
+      Rng rng(static_cast<uint64_t>(m * 1000 + n));
+      Tensor a = Tensor::Randn({m, n}, &rng);
+      const Tensor t = Transpose2D(a);
+      ASSERT_EQ(t.dim(0), n);
+      ASSERT_EQ(t.dim(1), m);
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          ASSERT_EQ(t.at(j, i), a.at(i, j));
+        }
+      }
+      // An involution: transposing twice restores the original bits.
+      EXPECT_TRUE(BitEqual(Transpose2D(t), a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cl4srec
