@@ -2,7 +2,11 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "parallel/parallel.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace cl4srec {
@@ -21,6 +25,15 @@ void AddCommonFlags(FlagParser* flags) {
                 "compute threads (0 = CL4SREC_NUM_THREADS env var or "
                 "hardware concurrency; 1 = serial)");
   flags->AddString("csv", "", "optional CSV output path");
+  flags->AddString("log_level", "info",
+                   "minimum log severity: debug, info, warning, error");
+  flags->AddString("telemetry_out", "",
+                   "per-step training telemetry JSONL path (empty = off)");
+  flags->AddString("trace_out", "",
+                   "Chrome trace_event JSON path, written at exit "
+                   "(empty = tracing off)");
+  flags->AddString("metrics_out", "",
+                   "metrics-registry JSON snapshot path, written at exit");
 }
 
 BenchConfig ConfigFromFlags(const FlagParser& flags) {
@@ -40,6 +53,27 @@ BenchConfig ConfigFromFlags(const FlagParser& flags) {
   if (config.threads > 0) {
     parallel::SetNumThreads(static_cast<int>(config.threads));
   }
+
+  // Observability flags, likewise applied process-wide for every binary.
+  const std::string log_level = flags.GetString("log_level");
+  LogLevel level;
+  if (ParseLogLevel(log_level, &level)) {
+    SetLogLevel(level);
+  } else {
+    CL4SREC_LOG(Warning) << "ignoring invalid --log_level='" << log_level
+                         << "' (want debug|info|warning|error)";
+  }
+  const std::string telemetry_out = flags.GetString("telemetry_out");
+  if (!telemetry_out.empty()) {
+    const Status status = obs::TrainTelemetry::Configure(telemetry_out);
+    if (!status.ok()) {
+      CL4SREC_LOG(Warning) << "telemetry disabled: " << status.ToString();
+    }
+  }
+  const std::string trace_out = flags.GetString("trace_out");
+  if (!trace_out.empty()) obs::Tracing::EnableWithOutput(trace_out);
+  const std::string metrics_out = flags.GetString("metrics_out");
+  if (!metrics_out.empty()) obs::WriteMetricsJsonAtExit(metrics_out);
   return config;
 }
 

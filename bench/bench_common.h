@@ -4,6 +4,10 @@
 //   --dim    hidden dimension (paper: 128; default reduced)
 //   --epochs / --pretrain_epochs / --batch / --max_len / --seed
 //   --csv    optional machine-readable output path
+//   --log_level      debug | info | warning | error (default info)
+//   --telemetry_out  per-step training telemetry JSONL path
+//   --trace_out      Chrome trace_event JSON path (written at exit)
+//   --metrics_out    metrics-registry snapshot JSON path (written at exit)
 
 #ifndef CL4SREC_BENCH_BENCH_COMMON_H_
 #define CL4SREC_BENCH_BENCH_COMMON_H_

@@ -5,7 +5,7 @@
 //
 // Two modes:
 //   bench_micro_ops [google-benchmark flags]   classic google-benchmark run
-//   bench_micro_ops --json [path] [--threads N]
+//   bench_micro_ops --json [path] [--threads N] [--log_level LEVEL]
 //     times the transformer-shaped matmuls and the full-ranking eval loop at
 //     threads=1 vs. threads=N (default: all cores) and writes a JSON report
 //     (default path BENCH_micro_ops.json) with GFLOP/s, users/sec, and
@@ -28,6 +28,7 @@
 #include "nn/transformer.h"
 #include "parallel/parallel.h"
 #include "tensor/tensor_ops.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace cl4srec {
@@ -292,6 +293,7 @@ int main(int argc, char** argv) {
   // --json [path] selects the JSON reporting mode; everything else is
   // passed through to google-benchmark.
   std::string json_path;
+  std::string log_level = "info";
   int threads = 0;
   bool json_mode = false;
   for (int i = 1; i < argc; ++i) {
@@ -306,7 +308,18 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--log_level" && i + 1 < argc) {
+      log_level = argv[++i];
+    } else if (arg.rfind("--log_level=", 0) == 0) {
+      log_level = arg.substr(12);
     }
+  }
+  cl4srec::LogLevel level;
+  if (cl4srec::ParseLogLevel(log_level, &level)) {
+    cl4srec::SetLogLevel(level);
+  } else {
+    std::fprintf(stderr, "ignoring invalid --log_level=%s\n",
+                 log_level.c_str());
   }
   if (json_mode) {
     if (json_path.empty()) json_path = "BENCH_micro_ops.json";

@@ -9,6 +9,7 @@
 #include "data/synthetic.h"
 #include "models/pop.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 using namespace cl4srec;
@@ -21,7 +22,16 @@ int main(int argc, char** argv) {
   flags.AddInt("pretrain_epochs", 8, "contrastive pre-train epochs");
   flags.AddInt("dim", 32, "hidden dimension");
   flags.AddBool("verbose", false, "log per-epoch losses");
+  flags.AddString("log_level", "info",
+                  "minimum log severity: debug, info, warning, error");
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
+  LogLevel level;
+  if (ParseLogLevel(flags.GetString("log_level"), &level)) {
+    SetLogLevel(level);
+  } else {
+    CL4SREC_LOG(Warning) << "ignoring invalid --log_level='"
+                         << flags.GetString("log_level") << "'";
+  }
 
   // 1. Data: simulate an implicit-feedback log and run the paper's
   //    preprocessing (binarize -> 5-core -> leave-one-out split).

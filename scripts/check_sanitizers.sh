@@ -5,9 +5,10 @@
 #      recovery, rollback paths) is exactly the kind of code where a latent
 #      out-of-bounds read or use-after-move hides behind passing assertions.
 #   2. TSan (-DCL4SREC_SANITIZE=thread) over the parallel-runtime tests
-#      (parallel_test, determinism_test, plus the eval and integration
-#      suites that drive the pool end-to-end), catching data races in the
-#      thread pool, the blocked kernels, and the parallel evaluator.
+#      (parallel_test, determinism_test, obs_test, plus the eval and
+#      integration suites that drive the pool end-to-end), catching data
+#      races in the thread pool, the blocked kernels, the parallel
+#      evaluator, and the metrics/trace instrumentation they update.
 #
 # Usage: scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
@@ -33,10 +34,10 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCL4SREC_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
-  --target parallel_test determinism_test eval_test integration_test
+  --target parallel_test determinism_test eval_test integration_test obs_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'parallel_test|determinism_test|eval_test|integration_test' "$@"
+  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test' "$@"
 echo "thread sanitizer suite passed"
 echo "sanitizer suite passed"

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Observability smoke check: builds with the fine-grained kernel spans
+# enabled, runs a 2-epoch micro training job with every observability flag
+# set, and validates the artifacts:
+#   - the telemetry JSONL parses line-by-line with finite loss/grad_norm/lr,
+#   - the Chrome trace is valid JSON and contains trainer, matmul, and eval
+#     spans,
+#   - the metrics snapshot is valid JSON with a positive train.steps count
+#     that matches the JSONL line count.
+#
+# Usage: scripts/validate_telemetry.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-obs}
+OUT_DIR=${OUT_DIR:-"$BUILD_DIR/telemetry_check"}
+PYTHON=${PYTHON:-python3}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCL4SREC_OBS_KERNELS=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target cl4srec_cli
+
+mkdir -p "$OUT_DIR"
+rm -f "$OUT_DIR"/steps.jsonl "$OUT_DIR"/trace.json "$OUT_DIR"/metrics.json
+
+# CL4SRec exercises both training stages (contrastive pre-train + fine-tune),
+# so the JSONL carries more than one stage label.
+"$BUILD_DIR/tools/cl4srec_cli" train \
+  --preset beauty --model CL4SRec \
+  --scale 0.12 --dim 16 --epochs 2 --pretrain_epochs 1 --batch 64 \
+  --log_level info \
+  --telemetry_out "$OUT_DIR/steps.jsonl" \
+  --trace_out "$OUT_DIR/trace.json" \
+  --metrics_out "$OUT_DIR/metrics.json"
+
+"$PYTHON" - "$OUT_DIR" <<'PYEOF'
+import json
+import math
+import sys
+
+out_dir = sys.argv[1]
+
+# 1. Telemetry JSONL: every line is a JSON object with finite numerics.
+steps = 0
+stages = set()
+with open(f"{out_dir}/steps.jsonl") as f:
+    for lineno, line in enumerate(f, 1):
+        record = json.loads(line)
+        for key in ("step", "stage", "loss", "grad_norm", "lr", "verdict",
+                    "step_ms", "ckpt_ms"):
+            assert key in record, f"line {lineno}: missing {key}"
+        if record["verdict"] == "applied":
+            for key in ("loss", "grad_norm", "lr"):
+                value = record[key]
+                assert value is not None and math.isfinite(value), \
+                    f"line {lineno}: non-finite {key}: {value!r}"
+        stages.add(record["stage"])
+        steps += 1
+assert steps > 0, "telemetry JSONL is empty"
+assert {"pretrain", "finetune"} <= stages, f"missing stages, got {stages}"
+
+# 2. Chrome trace: valid JSON with spans from the trainer, the matmul
+#    kernel, and the evaluator, and with real nesting.
+with open(f"{out_dir}/trace.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+names = {event["name"] for event in events}
+for needed in ("train/step", "tensor/matmul", "eval/evaluate"):
+    assert needed in names, f"trace missing span {needed!r}; has {sorted(names)[:20]}"
+assert any(event["args"]["depth"] > 0 for event in events), "no nested spans"
+
+# 3. Metrics snapshot: train.steps matches the JSONL line count.
+with open(f"{out_dir}/metrics.json") as f:
+    metrics = json.load(f)
+train_steps = metrics["counters"]["train.steps"]
+assert train_steps == steps, f"train.steps={train_steps} but JSONL has {steps}"
+assert metrics["counters"]["eval.users"] > 0
+assert metrics["histograms"]["train.step_ms"]["count"] == steps
+
+print(f"telemetry OK: {steps} steps across stages {sorted(stages)}, "
+      f"{len(events)} trace events, metrics consistent")
+PYEOF
+
+echo "telemetry validation passed"

@@ -5,6 +5,7 @@
 
 #include "autograd/op_helpers.h"
 #include "autograd/ops.h"
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 #include "tensor/tensor_ops.h"
 
@@ -22,6 +23,7 @@ Variable EmbeddingGatherV(const Variable& table,
 
 Variable LayerNormV(const Variable& x, const Variable& gamma,
                     const Variable& beta, float eps) {
+  CL4SREC_TRACE_KERNEL_SPAN("tensor/layer_norm");
   const Tensor& xv = x.value();
   CL4SREC_CHECK_EQ(xv.ndim(), 2);
   const int64_t m = xv.dim(0);

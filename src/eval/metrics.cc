@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace cl4srec {
@@ -44,6 +47,10 @@ template <typename RankFn>
 MetricReport EvaluateImpl(const SequenceDataset& data,
                           const ScoreBatchFn& score_batch,
                           const EvalOptions& options, RankFn&& rank_fn) {
+  CL4SREC_TRACE_SPAN_CAT("eval/evaluate", "eval");
+  Stopwatch eval_timer;
+  double score_ms = 0.0;  // Model-forward time across all batches.
+  double rank_ms = 0.0;   // Ranking/metric-accumulation time.
   MetricReport report;
   for (int64_t k : options.cutoffs) {
     report.hr[k] = 0.0;
@@ -71,9 +78,16 @@ MetricReport EvaluateImpl(const SequenceDataset& data,
 
   auto flush = [&]() {
     if (users.empty()) return;
-    Tensor scores = score_batch(users, inputs);
+    Stopwatch score_timer;
+    Tensor scores = [&] {
+      CL4SREC_TRACE_SPAN_CAT("eval/score_batch", "eval");
+      return score_batch(users, inputs);
+    }();
+    score_ms += score_timer.ElapsedMillis();
     CL4SREC_CHECK_EQ(scores.dim(0), static_cast<int64_t>(users.size()));
     CL4SREC_CHECK_EQ(scores.dim(1), num_items + 1);
+    CL4SREC_TRACE_SPAN_CAT("eval/rank_batch", "eval");
+    Stopwatch rank_timer;
     // Every user's rank is independent; chunk partials are merged in chunk
     // order, so the totals are identical for every thread count.
     Partial init;
@@ -114,6 +128,7 @@ MetricReport EvaluateImpl(const SequenceDataset& data,
       report.ndcg[options.cutoffs[c]] += total.ndcg[c];
     }
     report.num_users += static_cast<int64_t>(users.size());
+    rank_ms += rank_timer.ElapsedMillis();
     users.clear();
     inputs.clear();
     targets.clear();
@@ -144,6 +159,21 @@ MetricReport EvaluateImpl(const SequenceDataset& data,
       report.ndcg[k] /= static_cast<double>(report.num_users);
     }
   }
+
+  // Per-phase eval telemetry: one registry update per Evaluate* call.
+  const double total_ms = eval_timer.ElapsedMillis();
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const users_counter = registry.GetCounter("eval.users");
+  static obs::Counter* const evals_counter = registry.GetCounter("eval.runs");
+  users_counter->Add(report.num_users);
+  evals_counter->Increment();
+  registry.GetGauge("eval.last_ms")->Set(total_ms);
+  registry.GetGauge("eval.score_ms")->Set(score_ms);
+  registry.GetGauge("eval.rank_ms")->Set(rank_ms);
+  registry.GetGauge("eval.users_per_sec")
+      ->Set(total_ms > 0.0
+                ? static_cast<double>(report.num_users) / (total_ms / 1000.0)
+                : 0.0);
   return report;
 }
 

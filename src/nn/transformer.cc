@@ -1,5 +1,7 @@
 #include "nn/transformer.h"
 
+#include "obs/trace.h"
+
 namespace cl4srec {
 
 TransformerEncoderLayer::TransformerEncoderLayer(
@@ -67,6 +69,7 @@ TransformerSeqEncoder::TransformerSeqEncoder(const TransformerConfig& config,
 
 Variable TransformerSeqEncoder::EncodeAll(const PaddedBatch& batch,
                                           const ForwardContext& ctx) const {
+  CL4SREC_TRACE_SPAN_CAT("encoder/encode_all", "model");
   CL4SREC_CHECK_LE(batch.seq_len, config_.max_len);
   const int64_t total = batch.batch * batch.seq_len;
   CL4SREC_CHECK_EQ(static_cast<int64_t>(batch.ids.size()), total);
@@ -90,6 +93,7 @@ Variable TransformerSeqEncoder::EncodeAll(const PaddedBatch& batch,
 
 Variable TransformerSeqEncoder::EncodeLast(const PaddedBatch& batch,
                                            const ForwardContext& ctx) const {
+  CL4SREC_TRACE_SPAN_CAT("encoder/encode_last", "model");
   Variable hidden = EncodeAll(batch, ctx);
   std::vector<int64_t> last(static_cast<size_t>(batch.batch));
   for (int64_t b = 0; b < batch.batch; ++b) {

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/csv_writer.h"
+#include "util/fs_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace obs {
+namespace {
+
+// Formats a double for JSON: finite values as shortest-roundtrip-ish %.17g
+// is overkill for metrics; %.9g keeps files readable. Non-finite values are
+// not valid JSON numbers and serialize as null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.9g", v);
+}
+
+}  // namespace
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+const std::vector<double>& DefaultLatencyBoundsMs() {
+  static const std::vector<double>* const kBounds = new std::vector<double>{
+      0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+      1000, 2500, 5000, 10000};
+  return *kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = DefaultLatencyBoundsMs();
+    slot.reset(new Histogram(std::move(bounds)));
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": " << JsonNumber(gauge->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": {\"count\": " << hist->count()
+        << ", \"sum\": " << JsonNumber(hist->sum()) << ", \"buckets\": [";
+    const std::vector<int64_t> counts = hist->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < hist->bounds().size()) {
+        out << JsonNumber(hist->bounds()[i]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  return AtomicWriteFile(path, ToJson());
+}
+
+Status MetricsRegistry::WriteCsvFile(const std::string& path) const {
+  CL4SREC_ASSIGN_OR_RETURN(
+      CsvWriter csv, CsvWriter::Open(path, {"metric", "type", "key", "value"}));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "counter", "value", std::to_string(counter->value())}));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "gauge", "value", StrFormat("%.9g", gauge->value())}));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "histogram", "count", std::to_string(hist->count())}));
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "histogram", "sum", StrFormat("%.9g", hist->sum())}));
+    const std::vector<int64_t> counts = hist->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      const std::string key =
+          i < hist->bounds().size()
+              ? StrFormat("le_%.9g", hist->bounds()[i])
+              : std::string("le_inf");
+      CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+          {name, "histogram", key, std::to_string(counts[i])}));
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+std::mutex& ExitSnapshotMutex() {
+  static std::mutex* const kMutex = new std::mutex();
+  return *kMutex;
+}
+
+std::string& ExitSnapshotPath() {
+  static std::string* const kPath = new std::string();
+  return *kPath;
+}
+
+void WriteMetricsAtExit() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(ExitSnapshotMutex());
+    path = ExitSnapshotPath();
+  }
+  if (path.empty()) return;
+  const Status status = MetricsRegistry::Global().WriteJsonFile(path);
+  if (!status.ok()) {
+    CL4SREC_LOG(Warning) << "failed to write metrics snapshot to " << path
+                         << ": " << status.ToString();
+  }
+}
+
+}  // namespace
+
+void WriteMetricsJsonAtExit(const std::string& path) {
+  static bool hook_installed = false;  // Guarded by ExitSnapshotMutex().
+  std::lock_guard<std::mutex> lock(ExitSnapshotMutex());
+  ExitSnapshotPath() = path;
+  if (!path.empty() && !hook_installed) {
+    std::atexit(WriteMetricsAtExit);
+    hook_installed = true;
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->value_.store(0);
+  for (auto& [name, gauge] : gauges_) gauge->value_.store(0.0);
+  for (auto& [name, hist] : histograms_) {
+    for (size_t i = 0; i <= hist->bounds().size(); ++i) {
+      hist->buckets_[i].store(0);
+    }
+    hist->count_.store(0);
+    hist->sum_.store(0.0);
+  }
+}
+
+}  // namespace obs
+}  // namespace cl4srec

@@ -1,0 +1,127 @@
+// MetricsRegistry — process-wide, thread-safe metric store for the training
+// and serving runtime: monotonically increasing counters, last-value gauges,
+// and fixed-bucket histograms. Metric objects are created once (registry map
+// guarded by a mutex) and then updated lock-free with relaxed atomics, so
+// instrumenting a hot path costs one atomic add per update. Snapshots export
+// to JSON (`ToJson` / `WriteJsonFile`) and to the CSV writer (`WriteCsvFile`)
+// for offline analysis.
+//
+// Naming convention: dotted lowercase paths, subsystem first —
+// `train.steps`, `parallel.chunks_executed`, `eval.users_per_sec`.
+
+#ifndef CL4SREC_OBS_METRICS_H_
+#define CL4SREC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cl4srec {
+namespace obs {
+
+// Adds `delta` to an atomic double via a CAS loop (portable across
+// standard-library versions that lack atomic<double>::fetch_add).
+void AtomicAddDouble(std::atomic<double>* target, double delta);
+
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { AtomicAddDouble(&value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+// Histogram over fixed ascending bucket upper bounds; observations above the
+// last bound land in an implicit +inf overflow bucket. Bucket counts, the
+// total count, and the running sum are all atomics, so concurrent Observe
+// calls from pool workers are exact.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the +inf overflow bucket.
+  std::vector<int64_t> bucket_counts() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Exponential millisecond-latency bounds (0.05ms .. 10s), the default for
+// duration histograms.
+const std::vector<double>& DefaultLatencyBoundsMs();
+
+// Arranges for the global registry to be snapshotted to `path` as JSON at
+// process exit (atexit). Calling again replaces the path; empty disables.
+// Backs the --metrics_out flag on the CLI/bench binaries.
+void WriteMetricsJsonAtExit(const std::string& path);
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry used by all instrumentation.
+  static MetricsRegistry& Global();
+
+  // Returns the named metric, creating it on first use. Pointers stay valid
+  // for the registry's lifetime (metrics are never deleted, only Reset).
+  // A histogram's bounds are fixed by its first GetHistogram call.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  // Point-in-time snapshot of every metric as a JSON object with "counters",
+  // "gauges", and "histograms" sections, name-sorted.
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+  // Snapshot as CSV rows (metric,type,key,value); histograms expand to one
+  // row per bucket plus count and sum.
+  Status WriteCsvFile(const std::string& path) const;
+
+  // Zeroes every registered metric (counts, sums, gauge values). Metric
+  // pointers remain valid. Intended for tests and between bench repetitions.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace cl4srec
+
+#endif  // CL4SREC_OBS_METRICS_H_

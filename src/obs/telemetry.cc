@@ -1,0 +1,107 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace obs {
+namespace {
+
+struct SinkState {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  int64_t records = 0;
+};
+
+SinkState& Sink() {
+  static SinkState* const kSink = new SinkState();
+  return *kSink;
+}
+
+// JSON number or null for non-finite values (NaN loss on poisoned steps).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.9g", v);
+}
+
+}  // namespace
+
+Status TrainTelemetry::Configure(const std::string& path) {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  if (sink.file != nullptr) {
+    std::fclose(sink.file);
+    sink.file = nullptr;
+  }
+  sink.records = 0;
+  if (path.empty()) return Status::Ok();
+  sink.file = std::fopen(path.c_str(), "w");
+  if (sink.file == nullptr) {
+    return Status::IoError("cannot open telemetry output: " + path);
+  }
+  return Status::Ok();
+}
+
+bool TrainTelemetry::enabled() {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  return sink.file != nullptr;
+}
+
+int64_t TrainTelemetry::records_written() {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  return sink.records;
+}
+
+void TrainTelemetry::Close() {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  if (sink.file != nullptr) {
+    std::fclose(sink.file);
+    sink.file = nullptr;
+  }
+}
+
+void TrainTelemetry::EmitStep(const StepTelemetry& record) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* const steps = registry.GetCounter("train.steps");
+  static Counter* const skipped = registry.GetCounter("train.steps_skipped");
+  static Counter* const rollbacks = registry.GetCounter("train.rollbacks");
+  static Gauge* const loss = registry.GetGauge("train.loss");
+  static Gauge* const grad_norm = registry.GetGauge("train.grad_norm");
+  static Gauge* const lr = registry.GetGauge("train.lr");
+  static Histogram* const step_ms = registry.GetHistogram("train.step_ms");
+  steps->Increment();
+  if (std::string_view(record.verdict) == "skipped") skipped->Increment();
+  if (std::string_view(record.verdict) == "rolled_back") {
+    rollbacks->Increment();
+  }
+  if (std::isfinite(record.loss)) loss->Set(record.loss);
+  if (std::isfinite(record.grad_norm)) grad_norm->Set(record.grad_norm);
+  lr->Set(record.lr);
+  step_ms->Observe(record.step_ms);
+
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  if (sink.file == nullptr) return;
+  const std::string line = StrFormat(
+      "{\"step\": %lld, \"stage\": \"%s\", \"loss\": %s, "
+      "\"grad_norm\": %s, \"lr\": %s, \"verdict\": \"%s\", "
+      "\"step_ms\": %s, \"ckpt_ms\": %s}\n",
+      static_cast<long long>(record.step), record.stage.c_str(),
+      JsonNumber(record.loss).c_str(), JsonNumber(record.grad_norm).c_str(),
+      JsonNumber(record.lr).c_str(), record.verdict,
+      JsonNumber(record.step_ms).c_str(), JsonNumber(record.ckpt_ms).c_str());
+  std::fwrite(line.data(), 1, line.size(), sink.file);
+  std::fflush(sink.file);
+  ++sink.records;
+}
+
+}  // namespace obs
+}  // namespace cl4srec

@@ -1,0 +1,66 @@
+// Training telemetry — a process-wide JSONL sink for per-optimizer-step
+// records, wired to the `--telemetry_out` CLI flag and fed by
+// TrainRunner::Step so all six training loops (including both CL4SRec
+// stages) emit a uniform stream. One line per completed step:
+//
+//   {"step": 41, "stage": "pretrain", "loss": 4.8122, "grad_norm": 2.31,
+//    "lr": 0.000981, "verdict": "applied", "step_ms": 18.4, "ckpt_ms": 0}
+//
+// Non-finite loss/grad_norm (poisoned steps) serialize as null, keeping
+// every line valid JSON. Lines are written under a mutex and flushed
+// per-record so a crashed run keeps its telemetry up to the failing step.
+// Resume skip-steps (TrainRunner::SkipBatchForResume) emit no records, so
+// line count == steps actually computed in this process.
+//
+// EmitStep also publishes to the MetricsRegistry: counters
+// `train.steps` / `train.steps_skipped` / `train.rollbacks`, gauges
+// `train.loss` / `train.grad_norm` / `train.lr`, and the `train.step_ms`
+// latency histogram — these update even when no JSONL path is configured.
+
+#ifndef CL4SREC_OBS_TELEMETRY_H_
+#define CL4SREC_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cl4srec {
+namespace obs {
+
+struct StepTelemetry {
+  int64_t step = 0;           // Step counter AFTER this step completed.
+  std::string stage = "train";  // "train", "pretrain", "finetune", "joint".
+  double loss = 0.0;
+  double grad_norm = 0.0;     // Pre-clip global gradient norm.
+  double lr = 0.0;            // Effective LR (schedule x guard backoff).
+  const char* verdict = "applied";  // "applied" / "skipped" / "rolled_back".
+  double step_ms = 0.0;       // Wall time of the optimizer step.
+  double ckpt_ms = 0.0;       // Checkpoint write time (0 when none written).
+};
+
+class TrainTelemetry {
+ public:
+  // Opens `path` for appending JSONL records; an empty path disables the
+  // sink (metrics keep updating). Replaces any previously configured sink.
+  static Status Configure(const std::string& path);
+
+  // True when a JSONL path is configured.
+  static bool enabled();
+
+  // Appends one record (no-op JSONL-wise when disabled) and updates the
+  // train.* registry metrics. Thread-safe.
+  static void EmitStep(const StepTelemetry& record);
+
+  // JSONL records written since Configure. For tests and sanity checks.
+  static int64_t records_written();
+
+  // Flushes and closes the sink; subsequent EmitStep calls update metrics
+  // only. Safe to call when not configured.
+  static void Close();
+};
+
+}  // namespace obs
+}  // namespace cl4srec
+
+#endif  // CL4SREC_OBS_TELEMETRY_H_

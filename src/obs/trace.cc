@@ -1,0 +1,218 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "util/fs_util.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace obs {
+namespace {
+
+// Events kept per thread; at ~48 bytes/event this is ~1.5 MiB per recording
+// thread, holding the most recent window of a long run.
+constexpr size_t kRingCapacity = 1 << 15;
+
+// One thread's ring. Only the owning thread writes; the mutex makes the
+// exporter's concurrent snapshot race-free (uncontended on the hot path).
+struct ThreadBuffer {
+  std::mutex mu;
+  int thread_id = 0;
+  std::vector<TraceEvent> events;  // Ring storage, capacity kRingCapacity.
+  size_t next = 0;                 // Ring write cursor.
+  bool wrapped = false;
+
+  void Push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < kRingCapacity) {
+      events.push_back(event);
+    } else {
+      events[next] = event;
+      wrapped = true;
+    }
+    next = (next + 1) % kRingCapacity;
+  }
+};
+
+struct TraceState {
+  std::mutex mu;                        // Guards buffers + base_ns + path.
+  std::vector<ThreadBuffer*> buffers;   // Leaked: events outlive their thread.
+  int next_thread_id = 0;
+  int64_t base_ns = 0;                  // Timestamp origin for export.
+  std::string output_path;
+  bool atexit_installed = false;
+};
+
+TraceState& State() {
+  static TraceState* const kState = new TraceState();
+  return *kState;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();  // Owned by State().buffers, never freed.
+    std::lock_guard<std::mutex> lock(State().mu);
+    b->thread_id = State().next_thread_id++;
+    State().buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+thread_local int t_span_depth = 0;
+
+void WriteTraceAtExit() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(State().mu);
+    path = State().output_path;
+  }
+  if (path.empty()) return;
+  Status status = Tracing::WriteChromeTrace(path);
+  if (!status.ok()) {
+    CL4SREC_LOG(Warning) << "trace export failed: " << status.ToString();
+  }
+}
+
+std::string EscapeJsonString(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::atomic<bool> Tracing::enabled_{false};
+
+void Tracing::Enable() {
+  {
+    std::lock_guard<std::mutex> lock(State().mu);
+    if (State().base_ns == 0) State().base_ns = NowNanos();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracing::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracing::EnableWithOutput(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(State().mu);
+    State().output_path = path;
+    if (!State().atexit_installed) {
+      State().atexit_installed = true;
+      std::atexit(WriteTraceAtExit);
+    }
+  }
+  Enable();
+}
+
+std::vector<TraceEvent> Tracing::Snapshot() {
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(State().mu);
+    buffers = State().buffers;
+  }
+  std::vector<TraceEvent> events;
+  for (ThreadBuffer* buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return events;
+}
+
+void Tracing::Clear() {
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(State().mu);
+    buffers = State().buffers;
+  }
+  for (ThreadBuffer* buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->wrapped = false;
+  }
+}
+
+std::string Tracing::ToChromeJson() {
+  std::vector<TraceEvent> events = Snapshot();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+              return a.start_ns < b.start_ns;
+            });
+  int64_t base_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(State().mu);
+    base_ns = State().base_ns;
+  }
+  if (base_ns == 0 && !events.empty()) {
+    base_ns = std::min_element(events.begin(), events.end(),
+                               [](const TraceEvent& a, const TraceEvent& b) {
+                                 return a.start_ns < b.start_ns;
+                               })
+                  ->start_ns;
+  }
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"name\": \"" << EscapeJsonString(e.name)
+        << "\", \"cat\": \"" << EscapeJsonString(e.category)
+        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.thread_id
+        << ", \"ts\": "
+        << StrFormat("%.3f",
+                     static_cast<double>(e.start_ns - base_ns) / 1000.0)
+        << ", \"dur\": "
+        << StrFormat("%.3f", static_cast<double>(e.duration_ns) / 1000.0)
+        << ", \"args\": {\"depth\": " << e.depth << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Status Tracing::WriteChromeTrace(const std::string& path) {
+  return AtomicWriteFile(path, ToChromeJson());
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+  if (!Tracing::enabled()) return;
+  active_ = true;
+  ++t_span_depth;
+  start_ns_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const int64_t end_ns = NowNanos();
+  --t_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.duration_ns = end_ns - start_ns_;
+  event.depth = t_span_depth;
+  ThreadBuffer& buffer = LocalBuffer();
+  event.thread_id = buffer.thread_id;
+  buffer.Push(event);
+}
+
+}  // namespace obs
+}  // namespace cl4srec

@@ -1,0 +1,115 @@
+// Trace spans — RAII wall-clock scopes recorded into per-thread ring
+// buffers and exported as Chrome `trace_event` JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Recording is globally gated on an atomic flag (`Tracing::Enable`, wired to
+// the `--trace_out` CLI flag): a span on a disabled process is one relaxed
+// atomic load. When enabled, each completed span appends one event to its
+// thread's fixed-capacity ring buffer (oldest events are overwritten), so
+// long runs keep the most recent window of activity. Each buffer is written
+// only by its owning thread and briefly mutex-guarded so the exporter can
+// snapshot concurrently; the lock is per-thread and uncontended in steady
+// state.
+//
+// Span nesting is tracked with a per-thread depth counter, and events carry
+// a small sequential thread id, so the exported trace shows one nested
+// timeline lane per pool worker plus the main thread.
+//
+// Two instrumentation tiers:
+//   CL4SREC_TRACE_SPAN("name")          always compiled; coarse scopes
+//     (train step phases, whole-MatMul, eval passes).
+//   CL4SREC_TRACE_KERNEL_SPAN("name")   fine-grained kernel scopes
+//     (ParallelFor batches, softmax/layer-norm/transpose row kernels);
+//     compiles to nothing unless the build sets -DCL4SREC_OBS_KERNELS=ON,
+//     keeping the default hot path zero-overhead.
+
+#ifndef CL4SREC_OBS_TRACE_H_
+#define CL4SREC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cl4srec {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = "";      // Static string (macro literal).
+  const char* category = "";  // "train", "kernel", "eval", ...
+  int64_t start_ns = 0;       // NowNanos() at span entry.
+  int64_t duration_ns = 0;
+  int thread_id = 0;  // Small sequential id, assigned per recording thread.
+  int depth = 0;      // Span nesting depth on that thread (0 = outermost).
+};
+
+class Tracing {
+ public:
+  static void Enable();
+  static void Disable();
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Registers `path` to receive the Chrome trace JSON from a process-exit
+  // hook (std::atexit, installed once), then enables tracing. This is what
+  // the --trace_out flag calls.
+  static void EnableWithOutput(const std::string& path);
+
+  // Writes all recorded events as Chrome trace JSON ("X" complete events,
+  // timestamps microseconds relative to the earliest event).
+  static Status WriteChromeTrace(const std::string& path);
+  static std::string ToChromeJson();
+
+  // Copies out every recorded event (unordered across threads). For tests.
+  static std::vector<TraceEvent> Snapshot();
+
+  // Drops all recorded events; thread ids and buffers are retained.
+  static void Clear();
+
+ private:
+  friend class TraceSpan;
+  static std::atomic<bool> enabled_;
+};
+
+// RAII trace scope. Construction snapshots the clock when tracing is
+// enabled; destruction records the completed event. Spans that start while
+// tracing is disabled record nothing even if tracing is enabled mid-scope.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "cl4srec");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+#define CL4SREC_TRACE_CONCAT_INNER(a, b) a##b
+#define CL4SREC_TRACE_CONCAT(a, b) CL4SREC_TRACE_CONCAT_INNER(a, b)
+
+#define CL4SREC_TRACE_SPAN(name)                       \
+  ::cl4srec::obs::TraceSpan CL4SREC_TRACE_CONCAT(      \
+      trace_span_, __LINE__)(name)
+
+#define CL4SREC_TRACE_SPAN_CAT(name, category)         \
+  ::cl4srec::obs::TraceSpan CL4SREC_TRACE_CONCAT(      \
+      trace_span_, __LINE__)(name, category)
+
+#ifdef CL4SREC_OBS_KERNELS
+#define CL4SREC_TRACE_KERNEL_SPAN(name) CL4SREC_TRACE_SPAN_CAT(name, "kernel")
+#else
+#define CL4SREC_TRACE_KERNEL_SPAN(name) ((void)0)
+#endif
+
+}  // namespace obs
+}  // namespace cl4srec
+
+#endif  // CL4SREC_OBS_TRACE_H_

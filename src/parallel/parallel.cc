@@ -6,10 +6,47 @@
 #include <cstring>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace cl4srec {
 namespace {
+
+// Pool metrics, resolved once and then updated with one atomic add per
+// RunChunks invocation (per thread per batch — never per chunk), so the
+// serial/inline fast paths and the chunk loop itself stay unmetered.
+obs::Counter* ChunksExecutedCounter() {
+  static obs::Counter* const kCounter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.chunks_executed");
+  return kCounter;
+}
+
+obs::Counter* BatchesCounter() {
+  static obs::Counter* const kCounter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.batches");
+  return kCounter;
+}
+
+obs::Counter* QueueWaitCounter() {
+  static obs::Counter* const kCounter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.queue_wait_ns");
+  return kCounter;
+}
+
+obs::Counter* WorkerWakeupsCounter() {
+  static obs::Counter* const kCounter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.worker_wakeups");
+  return kCounter;
+}
+
+obs::Counter* CallerBusyCounter() {
+  static obs::Counter* const kCounter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.caller.busy_ns");
+  return kCounter;
+}
 
 // True while the current thread is executing chunks of some ParallelFor;
 // nested calls run inline instead of re-entering the pool (which would
@@ -33,6 +70,7 @@ struct ThreadPool::Batch {
   int64_t end = 0;
   int64_t grain = 1;
   int64_t num_chunks = 0;
+  int64_t submit_ns = 0;  // NowNanos() at submission, for queue-wait metrics.
   const std::function<void(int64_t, int64_t)>* fn = nullptr;
 
   std::atomic<int64_t> next_chunk{0};
@@ -46,9 +84,12 @@ struct ThreadPool::Batch {
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   CL4SREC_CHECK_GE(num_threads, 1);
+  obs::MetricsRegistry::Global()
+      .GetGauge("parallel.num_threads")
+      ->Set(static_cast<double>(num_threads));
   workers_.reserve(static_cast<size_t>(num_threads - 1));
   for (int i = 0; i < num_threads - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -61,8 +102,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::RunChunks(Batch* batch) {
+void ThreadPool::RunChunks(Batch* batch, obs::Counter* busy_ns_counter) {
+  CL4SREC_TRACE_KERNEL_SPAN("parallel/run_chunks");
   InParallelScope scope;
+  const int64_t enter_ns = NowNanos();
+  int64_t chunks_run = 0;
   for (;;) {
     const int64_t chunk =
         batch->next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -78,11 +122,18 @@ void ThreadPool::RunChunks(Batch* batch) {
         batch->first_error_chunk = chunk;
       }
     }
+    ++chunks_run;
     batch->chunks_done.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (chunks_run > 0) {
+    ChunksExecutedCounter()->Add(chunks_run);
+    busy_ns_counter->Add(NowNanos() - enter_ns);
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  obs::Counter* const busy_ns = obs::MetricsRegistry::Global().GetCounter(
+      StrFormat("parallel.worker%d.busy_ns", worker_index));
   uint64_t last_epoch = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -94,7 +145,11 @@ void ThreadPool::WorkerLoop() {
     Batch* batch = batch_;
     ++batch->workers_inside;
     lock.unlock();
-    RunChunks(batch);
+    // Wake-to-pickup latency: how long the batch sat before this worker
+    // started pulling chunks.
+    QueueWaitCounter()->Add(NowNanos() - batch->submit_ns);
+    WorkerWakeupsCounter()->Increment();
+    RunChunks(batch, busy_ns);
     lock.lock();
     --batch->workers_inside;
     done_cv_.notify_all();
@@ -120,11 +175,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   }
 
   std::lock_guard<std::mutex> caller_lock(caller_mu_);
+  CL4SREC_TRACE_KERNEL_SPAN("parallel/parallel_for");
+  BatchesCounter()->Increment();
   Batch batch;
   batch.begin = begin;
   batch.end = end;
   batch.grain = grain;
   batch.num_chunks = num_chunks;
+  batch.submit_ns = NowNanos();
   batch.fn = &fn;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -133,7 +191,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   }
   work_cv_.notify_all();
 
-  RunChunks(&batch);  // The calling thread is one of the num_threads_.
+  // The calling thread is one of the num_threads_.
+  RunChunks(&batch, CallerBusyCounter());
 
   {
     std::unique_lock<std::mutex> lock(mu_);

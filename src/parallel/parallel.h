@@ -27,6 +27,10 @@
 
 namespace cl4srec {
 
+namespace obs {
+class Counter;  // obs/metrics.h; pool utilization metrics.
+}  // namespace obs
+
 class ThreadPool {
  public:
   // Spawns `num_threads - 1` workers (the caller participates in every
@@ -53,8 +57,10 @@ class ThreadPool {
  private:
   struct Batch;  // One ParallelFor's shared state.
 
-  void WorkerLoop();
-  static void RunChunks(Batch* batch);
+  void WorkerLoop(int worker_index);
+  // Pulls chunks until the batch drains; per-thread busy time is credited to
+  // `busy_ns_counter` (one registry add per invocation, not per chunk).
+  static void RunChunks(Batch* batch, obs::Counter* busy_ns_counter);
 
   const int num_threads_;
   std::vector<std::thread> workers_;

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 
 namespace cl4srec {
@@ -142,6 +143,10 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F&& f) {
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  // Coarse span (one per MatMul call, not per block/chunk): a single relaxed
+  // atomic load when tracing is off, so it stays outside the
+  // CL4SREC_OBS_KERNELS guard and traces always show matmul scopes.
+  CL4SREC_TRACE_SPAN_CAT("tensor/matmul", "kernel");
   CL4SREC_CHECK_EQ(a.ndim(), 2);
   CL4SREC_CHECK_EQ(b.ndim(), 2);
   const int64_t m = trans_a ? a.dim(1) : a.dim(0);
@@ -155,6 +160,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
 }
 
 Tensor Transpose2D(const Tensor& a) {
+  CL4SREC_TRACE_KERNEL_SPAN("tensor/transpose2d");
   CL4SREC_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
@@ -313,6 +319,7 @@ float SquaredNorm(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {
+  CL4SREC_TRACE_KERNEL_SPAN("tensor/softmax_rows");
   CL4SREC_CHECK_EQ(logits.ndim(), 2);
   const int64_t m = logits.dim(0);
   const int64_t n = logits.dim(1);
@@ -338,6 +345,7 @@ Tensor SoftmaxRows(const Tensor& logits) {
 }
 
 Tensor LogSoftmaxRows(const Tensor& logits) {
+  CL4SREC_TRACE_KERNEL_SPAN("tensor/log_softmax_rows");
   CL4SREC_CHECK_EQ(logits.ndim(), 2);
   const int64_t m = logits.dim(0);
   const int64_t n = logits.dim(1);
@@ -360,6 +368,7 @@ Tensor LogSoftmaxRows(const Tensor& logits) {
 }
 
 Tensor L2NormalizeRows(const Tensor& a, float eps, Tensor* norms) {
+  CL4SREC_TRACE_KERNEL_SPAN("tensor/l2_normalize_rows");
   CL4SREC_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);

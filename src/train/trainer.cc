@@ -1,8 +1,26 @@
 #include "train/trainer.h"
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace cl4srec {
+namespace {
+
+const char* VerdictName(StepVerdict verdict) {
+  switch (verdict) {
+    case StepVerdict::kApplied:
+      return "applied";
+    case StepVerdict::kSkipped:
+      return "skipped";
+    case StepVerdict::kRolledBack:
+      return "rolled_back";
+  }
+  return "?";
+}
+
+}  // namespace
 
 TrainRunner::TrainRunner(const TrainRunnerOptions& options,
                          Optimizer* optimizer,
@@ -11,6 +29,11 @@ TrainRunner::TrainRunner(const TrainRunnerOptions& options,
       schedule_(schedule),
       grad_clip_(grad_clip),
       guard_(optimizer->params(), options.guard) {
+  // Stage label for telemetry: multi-stage trainers name their checkpoint
+  // prefix ("pretrain"/"finetune"/"joint"); the single-stage default is
+  // "ckpt", which records as plain "train".
+  stage_ = options.checkpoints.prefix == "ckpt" ? "train"
+                                                : options.checkpoints.prefix;
   if (!options.checkpoints.directory.empty()) {
     checkpoints_ = std::make_unique<CheckpointManager>(options.checkpoints,
                                                        optimizer->params());
@@ -37,30 +60,61 @@ bool TrainRunner::SkipBatchForResume() {
 }
 
 StepOutcome TrainRunner::Step(const Variable& loss) {
+  CL4SREC_TRACE_SPAN_CAT("train/step", "train");
+  Stopwatch step_timer;
   StepOutcome outcome;
   optimizer_->ZeroGrad();
-  loss.Backward();
-  outcome.grad_norm = ClipGradNorm(optimizer_->params(), grad_clip_);
+  {
+    CL4SREC_TRACE_SPAN_CAT("train/backward", "train");
+    loss.Backward();
+  }
+  {
+    CL4SREC_TRACE_SPAN_CAT("train/clip_grad", "train");
+    outcome.grad_norm = ClipGradNorm(optimizer_->params(), grad_clip_);
+  }
   if (schedule_ != nullptr) schedule_->Apply(optimizer_, step_);
   outcome.loss = static_cast<double>(loss.value().at(0));
   outcome.verdict =
       guard_.Inspect(step_, &outcome.loss, &outcome.grad_norm, optimizer_);
-  if (outcome.applied()) optimizer_->Step();
+  // Inspect re-applies the guard's backoff scale, so this is the LR the
+  // update (if any) actually used.
+  outcome.lr = optimizer_->lr();
+  if (outcome.applied()) {
+    CL4SREC_TRACE_SPAN_CAT("train/optimizer", "train");
+    optimizer_->Step();
+  }
   ++step_;
+  double ckpt_ms = 0.0;
   if (checkpoints_ != nullptr && outcome.applied() &&
       checkpoints_->options().every_steps > 0 &&
       step_ % checkpoints_->options().every_steps == 0) {
+    CL4SREC_TRACE_SPAN_CAT("train/checkpoint", "train");
+    Stopwatch ckpt_timer;
     Status saved = checkpoints_->Save(step_);
+    ckpt_ms = ckpt_timer.ElapsedMillis();
     if (!saved.ok()) {
       CL4SREC_LOG(Warning) << "checkpoint save failed (training continues): "
                            << saved.ToString();
     }
   }
+  outcome.step_ms = step_timer.ElapsedMillis();
+
+  obs::StepTelemetry record;
+  record.step = step_;
+  record.stage = stage_;
+  record.loss = outcome.loss;
+  record.grad_norm = static_cast<double>(outcome.grad_norm);
+  record.lr = static_cast<double>(outcome.lr);
+  record.verdict = VerdictName(outcome.verdict);
+  record.step_ms = outcome.step_ms;
+  record.ckpt_ms = ckpt_ms;
+  obs::TrainTelemetry::EmitStep(record);
   return outcome;
 }
 
 Status TrainRunner::SaveFinal() {
   if (checkpoints_ == nullptr) return Status::Ok();
+  CL4SREC_TRACE_SPAN_CAT("train/checkpoint_final", "train");
   return checkpoints_->Save(step_);
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "optim/optimizer.h"
 #include "train/checkpoint.h"
@@ -37,6 +38,10 @@ struct StepOutcome {
   double loss = 0.0;
   // Pre-clip global gradient norm.
   float grad_norm = 0.0f;
+  // Effective learning rate applied this step (schedule x guard backoff).
+  float lr = 0.0f;
+  // Wall time of the step (backward through checkpoint write).
+  double step_ms = 0.0;
   StepVerdict verdict = StepVerdict::kApplied;
   bool applied() const { return verdict == StepVerdict::kApplied; }
 };
@@ -67,12 +72,17 @@ class TrainRunner {
   const StepGuard& guard() const { return guard_; }
   CheckpointManager* checkpoints() { return checkpoints_.get(); }
 
+  // Stage label attached to telemetry records: the checkpoint prefix
+  // ("pretrain", "finetune", "joint") or "train" when unset.
+  const std::string& stage() const { return stage_; }
+
  private:
   Optimizer* optimizer_;
   const LinearDecaySchedule* schedule_;
   float grad_clip_;
   StepGuard guard_;
   std::unique_ptr<CheckpointManager> checkpoints_;
+  std::string stage_;
   int64_t step_ = 0;
   int64_t resume_step_ = 0;
 };

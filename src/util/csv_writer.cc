@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "util/logging.h"
+
 namespace cl4srec {
 namespace {
 
@@ -26,18 +28,32 @@ StatusOr<CsvWriter> CsvWriter::Open(const std::string& path,
   if (!*writer.out_) {
     return Status::IoError("cannot open CSV output: " + path);
   }
-  writer.WriteRow(header);
+  Status wrote = writer.WriteRow(header);
+  if (!wrote.ok()) return wrote;
   return writer;
 }
 
-void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
-  if (!out_) return;
+CsvWriter::~CsvWriter() {
+  if (out_ == nullptr) return;
+  out_->flush();
+  if (!*out_) {
+    CL4SREC_LOG(Warning) << "CSV writer: flush on close failed; output may "
+                            "be incomplete";
+  }
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_) return Status::Ok();
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) *out_ << ',';
     *out_ << EscapeField(fields[i]);
   }
   *out_ << '\n';
   out_->flush();
+  if (!*out_) {
+    return Status::IoError("CSV row write failed (disk full or path gone)");
+  }
+  return Status::Ok();
 }
 
 }  // namespace cl4srec

@@ -1,4 +1,5 @@
-// Tiny CSV emitter used by bench binaries to dump machine-readable results.
+// Tiny CSV emitter used by bench binaries and the metrics registry to dump
+// machine-readable results.
 
 #ifndef CL4SREC_UTIL_CSV_WRITER_H_
 #define CL4SREC_UTIL_CSV_WRITER_H_
@@ -23,10 +24,16 @@ class CsvWriter {
   CsvWriter(CsvWriter&&) = default;
   CsvWriter& operator=(CsvWriter&&) = default;
 
+  // Flushes buffered rows; a failed flush at this point can only be logged.
+  ~CsvWriter();
+
   bool enabled() const { return out_ != nullptr; }
 
-  // Writes one row; fields containing commas/quotes are quoted.
-  void WriteRow(const std::vector<std::string>& fields);
+  // Writes one row; fields containing commas/quotes are quoted. Returns an
+  // IoError when the underlying stream rejects the write (disk full,
+  // revoked path) instead of silently dropping the row; the writer stays
+  // usable so callers may retry or abandon it.
+  Status WriteRow(const std::vector<std::string>& fields);
 
  private:
   std::unique_ptr<std::ofstream> out_;

@@ -1,12 +1,23 @@
 #include "util/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
+#include <mutex>
 
 namespace cl4srec {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes emission so lines from pool workers and the main thread never
+// interleave mid-line. Each message is built in full (newline included) and
+// written with a single stream insertion under this lock.
+std::mutex& LogMutex() {
+  static std::mutex* const kMutex = new std::mutex();
+  return *kMutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +43,24 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -42,7 +71,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       g_min_level.load(std::memory_order_relaxed)) {
-    std::cerr << stream_.str() << std::endl;
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << line;  // cerr is unit-buffered: one insertion, one write.
   }
 }
 
@@ -51,7 +83,12 @@ FatalLogMessage::FatalLogMessage(const char* file, int line) {
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::cerr << stream_.str() << std::endl;
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << line;
+  }
   std::abort();
 }
 

@@ -17,6 +17,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Parses a case-insensitive level name ("debug", "info", "warning"/"warn",
+// "error") as accepted by the --log_level flag. Returns false (leaving *out
+// untouched) on an unknown name.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
 namespace internal {
 
 // Accumulates one log line and emits it (with level prefix) on destruction.

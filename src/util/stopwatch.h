@@ -1,11 +1,26 @@
-// Wall-clock stopwatch for training loops and bench harnesses.
+// Wall-clock stopwatch for training loops and bench harnesses, plus the
+// monotonic nanosecond clock used by the trace layer.
+//
+// All readings are monotonic (std::chrono::steady_clock) and returned as
+// double (Elapsed*) or int64_t nanoseconds (NowNanos) — callers must not
+// narrow them to int, which truncates after ~2.1s of millis.
 
 #ifndef CL4SREC_UTIL_STOPWATCH_H_
 #define CL4SREC_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace cl4srec {
+
+// Monotonic timestamp in nanoseconds since an arbitrary epoch. Cheap enough
+// for per-span instrumentation; differences are meaningful, absolutes are
+// not.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 class Stopwatch {
  public:
@@ -18,6 +33,8 @@ class Stopwatch {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
  private:
   using Clock = std::chrono::steady_clock;

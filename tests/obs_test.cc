@@ -1,0 +1,368 @@
+// Tests for the observability subsystem (src/obs/): metrics registry
+// semantics and concurrency, trace span nesting/thread attribution and
+// Chrome JSON export, and the per-step training telemetry sink.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "core/cl4srec.h"
+#include "models/sasrec.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "optim/optimizer.h"
+#include "parallel/parallel.h"
+#include "train/trainer.h"
+
+namespace cl4srec {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int64_t CountLines(const std::string& text) {
+  int64_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+// Minimal structural JSON check: braces/brackets balance outside strings
+// and the text starts/ends with the expected delimiters. Full parsing is
+// covered by scripts/validate_telemetry.sh (python3 json module).
+bool BalancedJson(const std::string& text) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+SequenceDataset TinyDataset(int64_t users = 24, int64_t items = 12) {
+  SequenceCorpus corpus;
+  corpus.num_items = items;
+  for (int64_t u = 0; u < users; ++u) {
+    std::vector<int64_t> seq;
+    for (int64_t t = 0; t < 6; ++t) {
+      seq.push_back(1 + (u + t) % items);
+    }
+    corpus.sequences.push_back(std::move(seq));
+  }
+  return SequenceDataset(std::move(corpus));
+}
+
+// ---- MetricsRegistry ----
+
+TEST(MetricsTest, CounterGaugeSemantics) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* counter = registry.GetCounter("test.obs.counter");
+  const int64_t base = counter->value();
+  counter->Increment();
+  counter->Add(4);
+  EXPECT_EQ(counter->value(), base + 5);
+  // Same name -> same object.
+  EXPECT_EQ(registry.GetCounter("test.obs.counter"), counter);
+
+  obs::Gauge* gauge = registry.GetGauge("test.obs.gauge");
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.5);
+  gauge->Add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.0);
+}
+
+TEST(MetricsTest, HistogramBucketPlacement) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Histogram* hist =
+      registry.GetHistogram("test.obs.hist", {1.0, 10.0, 100.0});
+  // Bounds are upper bounds: value <= bound lands in that bucket... more
+  // precisely upper_bound semantics: first bound strictly greater.
+  hist->Observe(0.5);    // bucket 0 (<= 1)
+  hist->Observe(1.0);    // bucket 1 (upper_bound: first bound > 1.0 is 10)
+  hist->Observe(50.0);   // bucket 2
+  hist->Observe(1e6);    // overflow bucket
+  EXPECT_EQ(hist->count(), 4);
+  EXPECT_DOUBLE_EQ(hist->sum(), 0.5 + 1.0 + 50.0 + 1e6);
+  const std::vector<int64_t> counts = hist->bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  // First-call bounds stick; later calls with different bounds return the
+  // same histogram.
+  EXPECT_EQ(registry.GetHistogram("test.obs.hist", {7.0}), hist);
+  EXPECT_EQ(hist->bounds().size(), 3u);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreExact) {
+  parallel::SetNumThreads(4);
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* counter = registry.GetCounter("test.obs.concurrent");
+  obs::Histogram* hist =
+      registry.GetHistogram("test.obs.concurrent_hist", {0.5});
+  const int64_t base_count = counter->value();
+  const int64_t base_hist = hist->count();
+  constexpr int64_t kN = 100000;
+  parallel::ParallelFor(0, kN, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      counter->Increment();
+      hist->Observe(static_cast<double>(i % 2));
+    }
+  });
+  EXPECT_EQ(counter->value(), base_count + kN);
+  EXPECT_EQ(hist->count(), base_hist + kN);
+  parallel::SetNumThreads(0);
+}
+
+TEST(MetricsTest, JsonAndCsvExport) {
+  const std::string dir = FreshDir("obs_metrics_export");
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("test.obs.export_counter")->Add(3);
+  registry.GetGauge("test.obs.export_gauge")->Set(1.25);
+  registry.GetHistogram("test.obs.export_hist", {5.0})->Observe(2.0);
+
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"test.obs.export_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.export_gauge\": 1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.export_hist\""), std::string::npos);
+
+  ASSERT_TRUE(registry.WriteJsonFile(dir + "/metrics.json").ok());
+  EXPECT_TRUE(BalancedJson(ReadFile(dir + "/metrics.json")));
+
+  ASSERT_TRUE(registry.WriteCsvFile(dir + "/metrics.csv").ok());
+  const std::string csv = ReadFile(dir + "/metrics.csv");
+  EXPECT_NE(csv.find("metric,type,key,value"), std::string::npos);
+  EXPECT_NE(csv.find("test.obs.export_counter,counter,value,3"),
+            std::string::npos);
+  EXPECT_NE(csv.find("test.obs.export_hist,histogram,count,1"),
+            std::string::npos);
+}
+
+// ---- Tracing ----
+
+TEST(TraceTest, SpanNestingDepthAndThreadAttribution) {
+  obs::Tracing::Clear();
+  obs::Tracing::Enable();
+  {
+    CL4SREC_TRACE_SPAN("outer");
+    { CL4SREC_TRACE_SPAN("inner"); }
+  }
+  std::thread other([] { CL4SREC_TRACE_SPAN_CAT("worker_span", "test"); });
+  other.join();
+  obs::Tracing::Disable();
+
+  const std::vector<obs::TraceEvent> events = obs::Tracing::Snapshot();
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  const obs::TraceEvent* worker = nullptr;
+  for (const auto& event : events) {
+    if (std::string(event.name) == "outer") outer = &event;
+    if (std::string(event.name) == "inner") inner = &event;
+    if (std::string(event.name) == "worker_span") worker = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(outer->thread_id, inner->thread_id);
+  EXPECT_NE(worker->thread_id, outer->thread_id);
+  EXPECT_EQ(worker->depth, 0);
+  // The inner span is contained in the outer one.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->duration_ns,
+            outer->start_ns + outer->duration_ns);
+  obs::Tracing::Clear();
+}
+
+TEST(TraceTest, SpansStartedWhileDisabledRecordNothing) {
+  obs::Tracing::Clear();
+  obs::Tracing::Disable();
+  { CL4SREC_TRACE_SPAN("invisible"); }
+  for (const auto& event : obs::Tracing::Snapshot()) {
+    EXPECT_NE(std::string(event.name), "invisible");
+  }
+}
+
+TEST(TraceTest, ChromeJsonWellFormedAfterTinyTrainingRun) {
+  obs::Tracing::Clear();
+  obs::Tracing::Enable();
+  SequenceDataset data = TinyDataset();
+  SasRecConfig config;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.num_heads = 1;
+  SasRec model(config);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 8;
+  options.max_len = 8;
+  options.num_threads = 1;
+  model.Fit(data, options);
+  obs::Tracing::Disable();
+
+  const std::string json = obs::Tracing::ToChromeJson();
+  EXPECT_TRUE(BalancedJson(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The always-on coarse spans must show up: trainer phases and matmul.
+  EXPECT_NE(json.find("train/step"), std::string::npos);
+  EXPECT_NE(json.find("train/backward"), std::string::npos);
+  EXPECT_NE(json.find("tensor/matmul"), std::string::npos);
+  EXPECT_NE(json.find("encoder/encode_all"), std::string::npos);
+
+  const std::string dir = FreshDir("obs_trace_export");
+  ASSERT_TRUE(obs::Tracing::WriteChromeTrace(dir + "/trace.json").ok());
+  const std::string from_disk = ReadFile(dir + "/trace.json");
+  EXPECT_FALSE(from_disk.empty());
+  EXPECT_TRUE(BalancedJson(from_disk));
+  obs::Tracing::Clear();
+}
+
+// ---- Training telemetry ----
+
+TEST(TelemetryTest, JsonlLineCountMatchesSteps) {
+  const std::string dir = FreshDir("obs_telemetry");
+  const std::string path = dir + "/steps.jsonl";
+  ASSERT_TRUE(obs::TrainTelemetry::Configure(path).ok());
+  ASSERT_TRUE(obs::TrainTelemetry::enabled());
+
+  Variable w(Tensor::Full({1}, 4.f), true);
+  Sgd sgd({&w}, 0.1f);
+  TrainRunnerOptions options;
+  TrainRunner runner(options, &sgd, nullptr, /*grad_clip=*/100.f);
+  EXPECT_EQ(runner.stage(), "train");
+  constexpr int kSteps = 10;
+  for (int i = 0; i < kSteps; ++i) {
+    Variable loss = SumV(MulV(w, w));
+    const StepOutcome outcome = runner.Step(loss);
+    EXPECT_TRUE(outcome.applied());
+    EXPECT_GT(outcome.lr, 0.f);
+    EXPECT_GE(outcome.step_ms, 0.0);
+  }
+  obs::TrainTelemetry::Close();
+  EXPECT_EQ(obs::TrainTelemetry::records_written(), kSteps);
+
+  const std::string text = ReadFile(path);
+  EXPECT_EQ(CountLines(text), kSteps);
+  std::istringstream lines(text);
+  std::string line;
+  int64_t expected_step = 1;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(BalancedJson(line)) << line;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"stage\": \"train\""), std::string::npos);
+    EXPECT_NE(line.find("\"verdict\": \"applied\""), std::string::npos);
+    EXPECT_NE(line.find("\"step\": " + std::to_string(expected_step)),
+              std::string::npos);
+    ++expected_step;
+  }
+}
+
+TEST(TelemetryTest, ResumeSkipStepsEmitNoRecords) {
+  const std::string ckpt_dir = FreshDir("obs_telemetry_resume_ckpt");
+  const std::string out_dir = FreshDir("obs_telemetry_resume_out");
+
+  Variable w(Tensor::Full({1}, 4.f), true);
+  {
+    ASSERT_TRUE(
+        obs::TrainTelemetry::Configure(out_dir + "/first.jsonl").ok());
+    Sgd sgd({&w}, 0.1f);
+    TrainRunnerOptions options;
+    options.checkpoints.directory = ckpt_dir;
+    options.checkpoints.every_steps = 2;
+    TrainRunner runner(options, &sgd, nullptr, 100.f);
+    for (int i = 0; i < 6; ++i) {
+      Variable loss = SumV(MulV(w, w));
+      runner.Step(loss);
+    }
+    obs::TrainTelemetry::Close();
+    EXPECT_EQ(obs::TrainTelemetry::records_written(), 6);
+  }
+
+  // Resumed run: the 6 caught-up batches must not emit telemetry.
+  const std::string path = out_dir + "/resumed.jsonl";
+  ASSERT_TRUE(obs::TrainTelemetry::Configure(path).ok());
+  Sgd sgd({&w}, 0.1f);
+  TrainRunnerOptions options;
+  options.checkpoints.directory = ckpt_dir;
+  options.checkpoints.every_steps = 2;
+  options.resume = true;
+  TrainRunner runner(options, &sgd, nullptr, 100.f);
+  EXPECT_EQ(runner.resume_step(), 6);
+  int skipped = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (runner.SkipBatchForResume()) {
+      ++skipped;
+      continue;
+    }
+    Variable loss = SumV(MulV(w, w));
+    runner.Step(loss);
+  }
+  obs::TrainTelemetry::Close();
+  EXPECT_EQ(skipped, 6);
+  EXPECT_EQ(runner.step(), 8);
+  // Only the 2 freshly computed steps produced records.
+  EXPECT_EQ(obs::TrainTelemetry::records_written(), 2);
+  EXPECT_EQ(CountLines(ReadFile(path)), 2);
+  // Stage label follows the checkpoint prefix mapping.
+  const std::string text = ReadFile(path);
+  EXPECT_NE(text.find("\"step\": 7"), std::string::npos);
+  EXPECT_NE(text.find("\"step\": 8"), std::string::npos);
+}
+
+TEST(TelemetryTest, StageLabelFollowsCheckpointPrefix) {
+  const std::string dir = FreshDir("obs_telemetry_stage");
+  Variable w(Tensor::Full({1}, 1.f), true);
+  Sgd sgd({&w}, 0.1f);
+  TrainRunnerOptions options;
+  options.checkpoints.directory = dir;
+  options.checkpoints.prefix = "pretrain";
+  TrainRunner runner(options, &sgd, nullptr, 100.f);
+  EXPECT_EQ(runner.stage(), "pretrain");
+}
+
+}  // namespace
+}  // namespace cl4srec

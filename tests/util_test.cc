@@ -331,7 +331,40 @@ TEST(CsvWriterTest, EmptyPathDisables) {
   auto writer = CsvWriter::Open("", {"a"});
   ASSERT_TRUE(writer.ok());
   EXPECT_FALSE(writer->enabled());
-  writer->WriteRow({"1"});  // no-op, must not crash
+  EXPECT_TRUE(writer->WriteRow({"1"}).ok());  // no-op, must not crash
+}
+
+TEST(CsvWriterTest, OpenOnUnwritablePathFails) {
+  // A directory path cannot be opened as a file, even by root (unlike a
+  // chmod-protected file, which root writes through).
+  auto writer = CsvWriter::Open(::testing::TempDir(), {"a"});
+  EXPECT_FALSE(writer.ok());
+}
+
+TEST(CsvWriterTest, WriteRowReportsIoError) {
+  // /dev/full accepts the open but fails every flush with ENOSPC, which is
+  // the closest portable stand-in for a disk filling up mid-run. Open
+  // surfaces it immediately because the header row is the first write.
+  if (!FileExists("/dev/full")) GTEST_SKIP() << "/dev/full not available";
+  auto writer = CsvWriter::Open("/dev/full", {"a"});
+  ASSERT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvWriterTest, DestructorFlushesBufferedRows) {
+  const std::string path = ::testing::TempDir() + "/csv_flush_test.csv";
+  {
+    auto writer = CsvWriter::Open(path, {"col"});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRow({"value"}).ok());
+  }  // destruction must leave everything on disk
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "col");
+  std::getline(in, line);
+  EXPECT_EQ(line, "value");
+  std::remove(path.c_str());
 }
 
 }  // namespace

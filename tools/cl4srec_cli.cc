@@ -17,6 +17,12 @@
 // with per-tensor checksums, keep-last-N rotation). `--resume` restores the
 // latest valid checkpoint from that directory and continues an interrupted
 // run; a corrupt newest checkpoint falls back to the previous generation.
+//
+// Observability (see README "Observability"): `--telemetry_out=steps.jsonl`
+// streams one JSON record per optimizer step, `--trace_out=trace.json`
+// writes a Chrome/Perfetto trace at exit, `--metrics_out=metrics.json`
+// snapshots the metrics registry at exit, and `--log_level` sets the
+// minimum log severity.
 
 #include <cstdio>
 #include <string>
