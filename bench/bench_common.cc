@@ -6,6 +6,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "parallel/parallel.h"
+#include "tensor/simd/simd.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -24,6 +25,9 @@ void AddCommonFlags(FlagParser* flags) {
   flags->AddInt("threads", 0,
                 "compute threads (0 = CL4SREC_NUM_THREADS env var or "
                 "hardware concurrency; 1 = serial)");
+  flags->AddString("simd", "",
+                   "kernel dispatch: auto, off, avx2, avx512, neon "
+                   "(empty = CL4SREC_SIMD env var, else auto-detect)");
   flags->AddString("csv", "", "optional CSV output path");
   flags->AddString("log_level", "info",
                    "minimum log severity: debug, info, warning, error");
@@ -53,6 +57,10 @@ BenchConfig ConfigFromFlags(const FlagParser& flags) {
   if (config.threads > 0) {
     parallel::SetNumThreads(static_cast<int>(config.threads));
   }
+  // --simd overrides the CL4SREC_SIMD env var; an unusable lane CHECK-fails
+  // with the list of lanes this binary + host can run.
+  const std::string simd_mode = flags.GetString("simd");
+  if (!simd_mode.empty()) simd::SetMode(simd_mode);
 
   // Observability flags, likewise applied process-wide for every binary.
   const std::string log_level = flags.GetString("log_level");

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Builds bench_micro_ops in Release and emits BENCH_micro_ops.json — the
 # per-PR kernel perf artifact: GFLOP/s and parallel speedup vs. threads=1
-# for the transformer-shaped matmuls, and full-ranking eval users/sec.
+# for the transformer-shaped matmuls, full-ranking eval users/sec, and a
+# "simd" section (detected/active ISA, compiled lanes, per-kernel
+# scalar-vs-vector speedups).
 #
-# Usage: scripts/bench_micro.sh [output.json] [--threads N]
+# Usage: scripts/bench_micro.sh [output.json] [--threads N] [--simd MODE]
 #   output defaults to BENCH_micro_ops.json in the repo root; --threads
-#   defaults to hardware concurrency. Speedups only materialize on
+#   defaults to hardware concurrency; --simd (auto|off|avx2|avx512|neon)
+#   pins the kernel dispatch. Parallel speedups only materialize on
 #   multi-core machines; the JSON records hardware_concurrency so a ~1.0x
 #   result on a 1-core box is interpretable.
 set -euo pipefail

@@ -9,6 +9,11 @@
 #      integration suites that drive the pool end-to-end), catching data
 #      races in the thread pool, the blocked kernels, the parallel
 #      evaluator, and the metrics/trace instrumentation they update.
+#   3. Scalar-lane sweep: the ASan binaries rerun with CL4SREC_SIMD=off
+#      (runtime scalar dispatch over the kernel-heavy suites), then a
+#      -DCL4SREC_SIMD=off build compiles and runs simd_test — proving the
+#      scalar-only configuration builds and the dispatch layer degrades
+#      cleanly when no vector lane exists.
 #
 # Usage: scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
@@ -40,4 +45,22 @@ export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test' "$@"
 echo "thread sanitizer suite passed"
+
+# Scalar dispatch under ASan: same binaries, vector lanes disabled at
+# runtime, over the suites that exercise the kernel layer hardest.
+CL4SREC_SIMD=off ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j "$(nproc)" \
+  -R 'simd_test|tensor_test|parallel_test|determinism_test|optim_test' "$@"
+echo "scalar-dispatch (CL4SREC_SIMD=off) asan suite passed"
+
+# Scalar-only BUILD: no vector TU is compiled at all; simd_test must still
+# pass (it then only sees the scalar lane).
+SCALAR_BUILD_DIR=${SCALAR_BUILD_DIR:-build-scalar}
+cmake -B "$SCALAR_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCL4SREC_SIMD=off
+cmake --build "$SCALAR_BUILD_DIR" -j "$(nproc)" --target simd_test tensor_test
+ctest --test-dir "$SCALAR_BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'simd_test|tensor_test' "$@"
+echo "scalar-only build suite passed"
 echo "sanitizer suite passed"

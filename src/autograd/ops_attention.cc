@@ -10,6 +10,8 @@
 
 #include "autograd/op_helpers.h"
 #include "autograd/ops.h"
+#include "tensor/scratch.h"
+#include "tensor/simd/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace cl4srec {
@@ -59,7 +61,9 @@ Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
   float* probs = ctx->probs.data();
   float* concat = ctx->head_concat.data();
 
-  std::vector<float> scores(static_cast<size_t>(seq_len));
+  const simd::KernelTable* kt = &simd::Kernels();
+  ScratchArena::Scope scratch;
+  float* scores = scratch.AllocFloats(seq_len);
   for (int64_t b = 0; b < batch; ++b) {
     const int64_t base = b * seq_len;
     for (int64_t h = 0; h < num_heads; ++h) {
@@ -77,8 +81,7 @@ Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
             continue;
           }
           const float* k_row = k + (base + j) * d + col0;
-          double dot = 0.0;
-          for (int64_t c = 0; c < dh; ++c) dot += double(q_row[c]) * k_row[c];
+          const double dot = kt->dot(q_row, k_row, dh);
           const float s = static_cast<float>(dot) * scale;
           scores[static_cast<size_t>(j)] = s;
           max_score = std::max(max_score, s);
@@ -103,8 +106,7 @@ Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
           if (p_row[j] == 0.f) continue;
           p_row[j] *= inv;
           const float* v_row = v + (base + j) * d + col0;
-          const float w = p_row[j];
-          for (int64_t c = 0; c < dh; ++c) out_row[c] += w * v_row[c];
+          kt->axpy(out_row, v_row, p_row[j], dh);
         }
       }
     }
@@ -146,7 +148,9 @@ Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
       float* pgk = gk.data();
       float* pgv = gv.data();
 
-      std::vector<float> dp(static_cast<size_t>(seq_len));
+      const simd::KernelTable* kt = &simd::Kernels();
+      ScratchArena::Scope scratch;
+      float* dp = scratch.AllocFloats(seq_len);
       for (int64_t b = 0; b < batch; ++b) {
         const int64_t base = b * seq_len;
         for (int64_t h = 0; h < num_heads; ++h) {
@@ -165,12 +169,9 @@ Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
               }
               const float* v_row = v + (base + j) * d + col0;
               float* gv_row = pgv + (base + j) * d + col0;
-              double dpij = 0.0;
               const float pij = p_row[j];
-              for (int64_t c = 0; c < dh; ++c) {
-                dpij += double(go_row[c]) * v_row[c];
-                gv_row[c] += pij * go_row[c];
-              }
+              const double dpij = kt->dot(go_row, v_row, dh);
+              kt->axpy(gv_row, go_row, pij, dh);
               dp[static_cast<size_t>(j)] = static_cast<float>(dpij);
               dot_dp_p += dpij * pij;
             }
@@ -185,10 +186,8 @@ Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
                          static_cast<float>(dot_dp_p)) * scale;
               const float* k_row = k + (base + j) * d + col0;
               float* gk_row = pgk + (base + j) * d + col0;
-              for (int64_t c = 0; c < dh; ++c) {
-                gq_row[c] += ds * k_row[c];
-                gk_row[c] += ds * q_row[c];
-              }
+              kt->axpy(gq_row, k_row, ds, dh);
+              kt->axpy(gk_row, q_row, ds, dh);
             }
           }
         }

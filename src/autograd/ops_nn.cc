@@ -7,6 +7,8 @@
 #include "autograd/ops.h"
 #include "obs/trace.h"
 #include "parallel/parallel.h"
+#include "tensor/scratch.h"
+#include "tensor/simd/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace cl4srec {
@@ -42,25 +44,15 @@ Variable LayerNormV(const Variable& x, const Variable& gamma,
   float* pout = out.data();
   const int64_t row_grain =
       std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(1, n));
+  const simd::KernelTable* kt = &simd::Kernels();
   parallel::ParallelFor(0, m, row_grain, [=](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* row = px + i * n;
-      double mean = 0.0;
-      for (int64_t j = 0; j < n; ++j) mean += row[j];
-      mean /= n;
-      double var = 0.0;
-      for (int64_t j = 0; j < n; ++j) {
-        const double d = row[j] - mean;
-        var += d * d;
-      }
-      var /= n;
-      const float istd = 1.f / std::sqrt(static_cast<float>(var) + eps);
+      float mean, var;
+      kt->mean_var(row, n, &mean, &var);
+      const float istd = 1.f / std::sqrt(var + eps);
       pinv_std[i] = istd;
-      for (int64_t j = 0; j < n; ++j) {
-        const float xh = (row[j] - static_cast<float>(mean)) * istd;
-        pxhat[i * n + j] = xh;
-        pout[i * n + j] = pg[j] * xh + pb[j];
-      }
+      kt->norm_affine(pxhat + i * n, pout + i * n, row, pg, pb, mean, istd, n);
     }
   });
 
@@ -91,20 +83,18 @@ Variable LayerNormV(const Variable& x, const Variable& gamma,
         // dx = inv_std/n * (n*dy_hat - sum(dy_hat) - xhat*sum(dy_hat*xhat))
         // with dy_hat = g * gamma, per row.
         Tensor dx({m, n});
+        const simd::KernelTable* kt = &simd::Kernels();
+        ScratchArena::Scope scratch;
+        float* dyh = scratch.AllocFloats(n);
         for (int64_t i = 0; i < m; ++i) {
-          double sum_dyh = 0.0;
-          double sum_dyh_xh = 0.0;
-          for (int64_t j = 0; j < n; ++j) {
-            const float dyh = g[i * n + j] * pg[j];
-            sum_dyh += dyh;
-            sum_dyh_xh += double(dyh) * xh[i * n + j];
-          }
+          kt->mul_out(dyh, g + i * n, pg, n);
+          const double sum_dyh = kt->reduce_sum(dyh, n);
+          const double sum_dyh_xh = kt->dot(dyh, xh + i * n, n);
           const float istd = inv_std.at(i);
           const float inv_n = 1.f / static_cast<float>(n);
           for (int64_t j = 0; j < n; ++j) {
-            const float dyh = g[i * n + j] * pg[j];
             dx.at(i, j) =
-                istd * (dyh - inv_n * static_cast<float>(sum_dyh) -
+                istd * (dyh[j] - inv_n * static_cast<float>(sum_dyh) -
                         xh[i * n + j] * inv_n * static_cast<float>(sum_dyh_xh));
           }
         }
@@ -128,9 +118,9 @@ Variable SoftmaxRowsV(const Variable& logits) {
       Tensor dlogits({m, n});
       const float* g = nd->grad.data();
       const float* pp = p.data();
+      const simd::KernelTable* kt = &simd::Kernels();
       for (int64_t i = 0; i < m; ++i) {
-        double dot = 0.0;
-        for (int64_t j = 0; j < n; ++j) dot += double(g[i * n + j]) * pp[i * n + j];
+        const double dot = kt->dot(g + i * n, pp + i * n, n);
         for (int64_t j = 0; j < n; ++j) {
           dlogits.at(i, j) =
               pp[i * n + j] * (g[i * n + j] - static_cast<float>(dot));
@@ -152,10 +142,9 @@ Variable RowDotV(const Variable& a, const Variable& b) {
   Tensor out({m});
   const float* pa = av.data();
   const float* pb = bv.data();
+  const simd::KernelTable* kt = &simd::Kernels();
   for (int64_t i = 0; i < m; ++i) {
-    double dot = 0.0;
-    for (int64_t j = 0; j < d; ++j) dot += double(pa[i * d + j]) * pb[i * d + j];
-    out.at(i) = static_cast<float>(dot);
+    out.at(i) = static_cast<float>(kt->dot(pa + i * d, pb + i * d, d));
   }
   auto node = MakeNode(std::move(out), {a, b});
   if (node->requires_grad) {
@@ -166,19 +155,22 @@ Variable RowDotV(const Variable& a, const Variable& b) {
     Tensor b_val = bv;
     node->backward_fn = [nd, an, bn, a_val, b_val, m, d]() {
       const float* g = nd->grad.data();
+      const simd::KernelTable* kt = &simd::Kernels();
       if (an->requires_grad) {
         Tensor da({m, d});
         const float* pb2 = b_val.data();
+        float* pda = da.data();
         for (int64_t i = 0; i < m; ++i) {
-          for (int64_t j = 0; j < d; ++j) da.at(i, j) = g[i] * pb2[i * d + j];
+          kt->scale_out(pda + i * d, pb2 + i * d, g[i], d);
         }
         an->AccumulateGrad(da);
       }
       if (bn->requires_grad) {
         Tensor db({m, d});
         const float* pa2 = a_val.data();
+        float* pdb = db.data();
         for (int64_t i = 0; i < m; ++i) {
-          for (int64_t j = 0; j < d; ++j) db.at(i, j) = g[i] * pa2[i * d + j];
+          kt->scale_out(pdb + i * d, pa2 + i * d, g[i], d);
         }
         bn->AccumulateGrad(db);
       }
@@ -202,9 +194,9 @@ Variable L2NormalizeRowsV(const Variable& a, float eps) {
       Tensor dx({m, n});
       const float* g = nd->grad.data();
       const float* py = y.data();
+      const simd::KernelTable* kt = &simd::Kernels();
       for (int64_t i = 0; i < m; ++i) {
-        double dot = 0.0;
-        for (int64_t j = 0; j < n; ++j) dot += double(g[i * n + j]) * py[i * n + j];
+        const double dot = kt->dot(g + i * n, py + i * n, n);
         const float inv = 1.f / norms.at(i);
         for (int64_t j = 0; j < n; ++j) {
           dx.at(i, j) =

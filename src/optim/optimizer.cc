@@ -2,20 +2,18 @@
 
 #include <cmath>
 
+#include "tensor/simd/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace cl4srec {
 
 void Sgd::Step() {
+  const simd::KernelTable* kt = &simd::Kernels();
   for (Variable* p : params_) {
     if (!p->has_grad()) continue;
     Tensor& value = p->mutable_value();
-    const Tensor& grad = p->grad();
-    float* w = value.data();
-    const float* g = grad.data();
-    for (int64_t i = 0; i < value.numel(); ++i) {
-      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
-    }
+    kt->sgd_update(value.data(), p->grad().data(), lr_, weight_decay_,
+                   value.numel());
   }
 }
 
@@ -31,29 +29,23 @@ Adam::Adam(std::vector<Variable*> params, const AdamOptions& options)
 
 void Adam::Step() {
   ++step_count_;
-  const float bias1 =
+  simd::AdamStepParams step_params;
+  step_params.beta1 = options_.beta1;
+  step_params.beta2 = options_.beta2;
+  step_params.bias1 =
       1.f - std::pow(options_.beta1, static_cast<float>(step_count_));
-  const float bias2 =
+  step_params.bias2 =
       1.f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  step_params.lr = lr_;
+  step_params.eps = options_.eps;
+  step_params.weight_decay = options_.weight_decay;
+  const simd::KernelTable* kt = &simd::Kernels();
   for (size_t i = 0; i < params_.size(); ++i) {
     Variable* p = params_[i];
     if (!p->has_grad()) continue;
     Tensor& value = p->mutable_value();
-    const Tensor& grad = p->grad();
-    float* w = value.data();
-    const float* g = grad.data();
-    float* m = m_[i].data();
-    float* v = v_[i].data();
-    const float b1 = options_.beta1;
-    const float b2 = options_.beta2;
-    for (int64_t j = 0; j < value.numel(); ++j) {
-      const float gj = g[j] + options_.weight_decay * w[j];
-      m[j] = b1 * m[j] + (1.f - b1) * gj;
-      v[j] = b2 * v[j] + (1.f - b2) * gj * gj;
-      const float m_hat = m[j] / bias1;
-      const float v_hat = v[j] / bias2;
-      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + options_.eps);
-    }
+    kt->adam_update(value.data(), m_[i].data(), v_[i].data(),
+                    p->grad().data(), step_params, value.numel());
   }
 }
 

@@ -113,6 +113,17 @@ Acc ParallelReduce(int64_t begin, int64_t end, int64_t grain, Acc init,
   return acc;
 }
 
+// Rounds `grain` up to the next multiple of `multiple` (e.g. the SIMD
+// vector width from simd::Kernels().vector_floats). Chunk boundaries that
+// are multiples of the vector width keep every chunk except the last free
+// of scalar tail iterations — and, because the rounded grain is still a
+// pure function of its inputs, the ParallelFor determinism contract holds.
+constexpr int64_t AlignGrain(int64_t grain, int64_t multiple) {
+  if (multiple <= 1) return grain < 1 ? 1 : grain;
+  if (grain < multiple) return multiple;
+  return (grain + multiple - 1) / multiple * multiple;
+}
+
 // Parallel memcpy for large buffers (parameter snapshots, tensor clones).
 // Falls back to one memcpy below the parallel threshold.
 void CopyFloats(float* dst, const float* src, int64_t n);

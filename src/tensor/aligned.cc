@@ -1,0 +1,40 @@
+#include "tensor/aligned.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+void* AlignedAlloc(size_t bytes) {
+  const size_t rounded = AlignedRoundUp(bytes == 0 ? 1 : bytes);
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  void* p = std::aligned_alloc(kTensorAlignBytes, rounded);
+  CL4SREC_CHECK(p != nullptr) << "aligned_alloc failed for " << rounded
+                              << " bytes";
+  return p;
+}
+
+void AlignedFree(void* ptr) { std::free(ptr); }
+
+AlignedFloatBuffer::AlignedFloatBuffer(int64_t n) : size_(n) {
+  if (n <= 0) return;
+  const size_t bytes = static_cast<size_t>(n) * sizeof(float);
+  data_ = static_cast<float*>(AlignedAlloc(bytes));
+  std::memset(data_, 0, bytes);
+}
+
+AlignedFloatBuffer::AlignedFloatBuffer(const float* src, int64_t n)
+    : size_(n) {
+  if (n <= 0) return;
+  const size_t bytes = static_cast<size_t>(n) * sizeof(float);
+  data_ = static_cast<float*>(AlignedAlloc(bytes));
+  std::memcpy(data_, src, bytes);
+}
+
+AlignedFloatBuffer::AlignedFloatBuffer(const AlignedFloatBuffer& other)
+    : AlignedFloatBuffer(other.data_, other.size_) {}
+
+AlignedFloatBuffer::~AlignedFloatBuffer() { AlignedFree(data_); }
+
+}  // namespace cl4srec

@@ -1,0 +1,58 @@
+// 64-byte-aligned float storage for Tensor and the kernel scratch arena.
+//
+// Every Tensor buffer (and every scratch-arena slice) starts on a cache-line
+// boundary so the SIMD kernels can assume aligned bases: a 64-byte alignment
+// covers AVX-512's widest loads and keeps hot rows from straddling cache
+// lines. Allocation sizes are rounded up to a whole number of cache lines,
+// which also lets vector kernels safely prefetch the final partial line.
+
+#ifndef CL4SREC_TENSOR_ALIGNED_H_
+#define CL4SREC_TENSOR_ALIGNED_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace cl4srec {
+
+// Alignment (bytes) of every Tensor buffer and scratch-arena slice.
+inline constexpr size_t kTensorAlignBytes = 64;
+
+// Rounds `bytes` up to a multiple of kTensorAlignBytes.
+inline size_t AlignedRoundUp(size_t bytes) {
+  return (bytes + kTensorAlignBytes - 1) & ~(kTensorAlignBytes - 1);
+}
+
+// Allocates `bytes` (rounded up to whole cache lines) at 64-byte alignment.
+// CHECK-fails on allocation failure. Free with AlignedFree.
+void* AlignedAlloc(size_t bytes);
+void AlignedFree(void* ptr);
+
+// Fixed-size, 64-byte-aligned float array: the backing Storage for Tensor.
+// Replaces std::vector<float> so tensor data feeds aligned vector loads.
+class AlignedFloatBuffer {
+ public:
+  AlignedFloatBuffer() = default;
+  // Zero-initialized buffer of n floats.
+  explicit AlignedFloatBuffer(int64_t n);
+  // Copies n floats from src.
+  AlignedFloatBuffer(const float* src, int64_t n);
+  // Deep copy (Tensor::Clone / copy-on-write paths).
+  AlignedFloatBuffer(const AlignedFloatBuffer& other);
+  AlignedFloatBuffer& operator=(const AlignedFloatBuffer&) = delete;
+  ~AlignedFloatBuffer();
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  int64_t size() const { return size_; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+ private:
+  float* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TENSOR_ALIGNED_H_

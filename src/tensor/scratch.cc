@@ -1,0 +1,126 @@
+#include "tensor/scratch.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "tensor/aligned.h"
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace {
+
+// First block size; large enough for one MatMul pack panel set so the
+// common case never grows past a single block.
+constexpr size_t kInitialBlockBytes = size_t{1} << 19;  // 512 KiB
+
+struct ScratchCounters {
+  obs::Counter* reserved_bytes;
+  obs::Counter* grow_events;
+  obs::Counter* alloc_calls;
+};
+
+const ScratchCounters& Counters() {
+  static const ScratchCounters counters = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return ScratchCounters{
+        registry.GetCounter("tensor.scratch.reserved_bytes"),
+        registry.GetCounter("tensor.scratch.grow_events"),
+        registry.GetCounter("tensor.scratch.alloc_calls"),
+    };
+  }();
+  return counters;
+}
+
+}  // namespace
+
+ScratchArena& ScratchArena::ForThread() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+ScratchArena::~ScratchArena() {
+  for (Block& block : blocks_) AlignedFree(block.data);
+}
+
+int64_t ScratchArena::reserved_bytes() const {
+  size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return static_cast<int64_t>(total);
+}
+
+void* ScratchArena::AllocBytes(size_t bytes) {
+  CL4SREC_CHECK_GT(depth_, 0) << "scratch Alloc outside any Scope";
+  Counters().alloc_calls->Increment();
+  bytes = AlignedRoundUp(bytes == 0 ? 1 : bytes);
+  // Bump within the current block, else move to the next block with room,
+  // else reserve a new block. Blocks already passed stay untouched (live
+  // pointers from enclosing scopes may point into them).
+  while (block_ < blocks_.size()) {
+    Block& current = blocks_[block_];
+    if (current.capacity - offset_ >= bytes) {
+      float* p = current.data + offset_ / sizeof(float);
+      offset_ += bytes;
+      return p;
+    }
+    ++block_;
+    offset_ = 0;
+  }
+  const size_t capacity = std::max(
+      {kInitialBlockBytes, bytes, static_cast<size_t>(reserved_bytes())});
+  Block block;
+  block.data = static_cast<float*>(AlignedAlloc(capacity));
+  block.capacity = AlignedRoundUp(capacity);
+  blocks_.push_back(block);
+  Counters().reserved_bytes->Add(static_cast<int64_t>(block.capacity));
+  Counters().grow_events->Increment();
+  block_ = blocks_.size() - 1;
+  offset_ = bytes;
+  return block.data;
+}
+
+void ScratchArena::PopTo(size_t block, size_t offset) {
+  block_ = block;
+  offset_ = offset;
+}
+
+void ScratchArena::MaybeCoalesce() {
+  if (blocks_.size() <= 1) return;
+  // All scopes have exited: merge the fragmented blocks into one allocation
+  // of the combined capacity so the next deep call chain fits in block 0.
+  const size_t total = static_cast<size_t>(reserved_bytes());
+  for (Block& block : blocks_) AlignedFree(block.data);
+  blocks_.clear();
+  Block block;
+  block.data = static_cast<float*>(AlignedAlloc(total));
+  block.capacity = AlignedRoundUp(total);
+  blocks_.push_back(block);
+  // Coalescing swaps allocations without reserving new capacity on net, but
+  // the OS-facing allocation is new; count it so the metric explains RSS.
+  Counters().grow_events->Increment();
+  block_ = 0;
+  offset_ = 0;
+}
+
+ScratchArena::Scope::Scope()
+    : arena_(&ScratchArena::ForThread()),
+      saved_block_(arena_->block_),
+      saved_offset_(arena_->offset_) {
+  ++arena_->depth_;
+}
+
+ScratchArena::Scope::~Scope() {
+  arena_->PopTo(saved_block_, saved_offset_);
+  if (--arena_->depth_ == 0) arena_->MaybeCoalesce();
+}
+
+float* ScratchArena::Scope::AllocFloats(int64_t n) {
+  CL4SREC_CHECK_GE(n, 0);
+  return static_cast<float*>(
+      arena_->AllocBytes(static_cast<size_t>(n) * sizeof(float)));
+}
+
+void* ScratchArena::Scope::Alloc(size_t bytes) {
+  return arena_->AllocBytes(bytes);
+}
+
+}  // namespace cl4srec

@@ -1,0 +1,89 @@
+// Thread-local, grow-only scratch arena for kernel temporaries.
+//
+// The blocked MatMul used to heap-allocate its pack panels (two std::vector
+// buffers) on every call, inside every ParallelFor task — hundreds of
+// allocations per training step. The arena replaces that churn with a bump
+// allocator over 64-byte-aligned blocks that are reused across calls and
+// across steps: after warmup, kernel temporaries cost a pointer bump.
+//
+// Usage (stack discipline, enforced by Scope):
+//   ScratchArena::Scope scratch;
+//   float* panel = scratch.AllocFloats(depth * width);
+//   ... use panel; freed automatically when scratch goes out of scope.
+//
+// Scopes nest (a kernel holding scratch may call another kernel that takes
+// its own scope); inner scopes pop back to the outer scope's watermark.
+// Blocks are never freed while any scope is live, so outer-scope pointers
+// stay valid even when an inner allocation forces the arena to grow. When
+// the outermost scope exits after a growth event, the fragmented blocks are
+// coalesced into one block of the combined capacity, so steady state is a
+// single reused allocation per thread.
+//
+// Observability (src/obs counters, aggregated across threads):
+//   tensor.scratch.reserved_bytes  total bytes ever reserved from the OS
+//   tensor.scratch.grow_events     number of new-block allocations
+//   tensor.scratch.alloc_calls     number of AllocFloats/Alloc calls
+
+#ifndef CL4SREC_TENSOR_SCRATCH_H_
+#define CL4SREC_TENSOR_SCRATCH_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace cl4srec {
+
+class ScratchArena {
+ public:
+  // The calling thread's arena (created on first use).
+  static ScratchArena& ForThread();
+
+  ~ScratchArena();
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // RAII allocation scope over the calling thread's arena. Must be destroyed
+  // on the thread that created it, in LIFO order (automatic for stack
+  // objects). Pointers returned by Alloc* are valid until the Scope dies.
+  class Scope {
+   public:
+    Scope();
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    // 64-byte-aligned, uninitialized slice of n floats (n >= 0).
+    float* AllocFloats(int64_t n);
+    // 64-byte-aligned, uninitialized slice of `bytes` bytes.
+    void* Alloc(size_t bytes);
+
+   private:
+    ScratchArena* arena_;
+    size_t saved_block_;
+    size_t saved_offset_;
+  };
+
+  // Total capacity currently reserved by this thread's arena, in bytes.
+  int64_t reserved_bytes() const;
+
+ private:
+  struct Block {
+    float* data = nullptr;  // 64-byte aligned
+    size_t capacity = 0;    // bytes
+  };
+
+  ScratchArena() = default;
+
+  void* AllocBytes(size_t bytes);
+  void PopTo(size_t block, size_t offset);
+  void MaybeCoalesce();
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;   // index of the block currently being bumped
+  size_t offset_ = 0;  // bytes used within blocks_[block_]
+  int depth_ = 0;      // live Scope count
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TENSOR_SCRATCH_H_

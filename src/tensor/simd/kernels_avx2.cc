@@ -1,0 +1,492 @@
+// AVX2 + FMA kernel table (8-float lanes, 4-double accumulator lanes).
+//
+// Compiled with -mavx2 -mfma -ffp-contract=off: FMA appears ONLY where an
+// explicit _mm256_fmadd_ps is written (the MatMul microkernel and the
+// reduction lane accumulators); elementwise kernels use separate mul/add so
+// their results are bit-identical to the scalar lane. Loop tails run the
+// shared scalar reference code (kernels_common.h) for the same reason.
+//
+// The exp polynomial is the Cephes/avx_mathfun expf scheme (~2 ulp of
+// libm): range-reduce by log2(e), evaluate a degree-5 polynomial, scale by
+// 2^n through exponent bits. NaN lanes are restored from the input and
+// above-range lanes overflow to +inf to match std::exp semantics.
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/simd/kernels_common.h"
+#include "tensor/simd/simd.h"
+
+namespace cl4srec {
+namespace simd {
+namespace {
+
+constexpr int64_t kW = 8;  // floats per __m256
+
+// ---- Elementwise (mul/add only: bit-identical to the scalar lane) ----
+
+void AxpyAvx2(float* y, const float* x, float alpha, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  ref::Axpy(y + i, x + i, alpha, n - i);
+}
+
+void AddAvx2(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  ref::Add(y + i, x + i, n - i);
+}
+
+void ScaleAvx2(float* y, float alpha, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), va));
+  }
+  ref::Scale(y + i, alpha, n - i);
+}
+
+void ScaleOutAvx2(float* out, const float* x, float alpha, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  ref::ScaleOut(out + i, x + i, alpha, n - i);
+}
+
+void AddScalarOutAvx2(float* out, const float* x, float alpha, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(x + i), va));
+  }
+  ref::AddScalarOut(out + i, x + i, alpha, n - i);
+}
+
+void AddOutAvx2(float* out, const float* x, const float* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  ref::AddOut(out + i, x + i, y + i, n - i);
+}
+
+void SubOutAvx2(float* out, const float* x, const float* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm256_storeu_ps(
+        out + i, _mm256_sub_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  ref::SubOut(out + i, x + i, y + i, n - i);
+}
+
+void MulOutAvx2(float* out, const float* x, const float* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm256_storeu_ps(
+        out + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  ref::MulOut(out + i, x + i, y + i, n - i);
+}
+
+void NormAffineAvx2(float* xhat, float* out, const float* x,
+                    const float* gamma, const float* beta, float mean,
+                    float inv_std, int64_t n) {
+  const __m256 vmean = _mm256_set1_ps(mean);
+  const __m256 vistd = _mm256_set1_ps(inv_std);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 xh =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vmean), vistd);
+    _mm256_storeu_ps(xhat + i, xh);
+    _mm256_storeu_ps(
+        out + i,
+        _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(gamma + i), xh),
+                      _mm256_loadu_ps(beta + i)));
+  }
+  ref::NormAffine(xhat + i, out + i, x + i, gamma + i, beta + i, mean,
+                  inv_std, n - i);
+}
+
+void AdamUpdateAvx2(float* w, float* m, float* v, const float* g,
+                    const AdamStepParams& p, int64_t n) {
+  const __m256 b1 = _mm256_set1_ps(p.beta1);
+  const __m256 b2 = _mm256_set1_ps(p.beta2);
+  const __m256 omb1 = _mm256_set1_ps(1.f - p.beta1);
+  const __m256 omb2 = _mm256_set1_ps(1.f - p.beta2);
+  const __m256 bias1 = _mm256_set1_ps(p.bias1);
+  const __m256 bias2 = _mm256_set1_ps(p.bias2);
+  const __m256 lr = _mm256_set1_ps(p.lr);
+  const __m256 eps = _mm256_set1_ps(p.eps);
+  const __m256 wd = _mm256_set1_ps(p.weight_decay);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 wi = _mm256_loadu_ps(w + i);
+    const __m256 gi =
+        _mm256_add_ps(_mm256_loadu_ps(g + i), _mm256_mul_ps(wd, wi));
+    const __m256 mi = _mm256_add_ps(_mm256_mul_ps(b1, _mm256_loadu_ps(m + i)),
+                                    _mm256_mul_ps(omb1, gi));
+    // ((1-beta2) * gi) * gi, matching the reference's left-to-right order.
+    const __m256 vi =
+        _mm256_add_ps(_mm256_mul_ps(b2, _mm256_loadu_ps(v + i)),
+                      _mm256_mul_ps(_mm256_mul_ps(omb2, gi), gi));
+    _mm256_storeu_ps(m + i, mi);
+    _mm256_storeu_ps(v + i, vi);
+    const __m256 m_hat = _mm256_div_ps(mi, bias1);
+    const __m256 v_hat = _mm256_div_ps(vi, bias2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps);
+    const __m256 step = _mm256_div_ps(_mm256_mul_ps(lr, m_hat), denom);
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(wi, step));
+  }
+  ref::AdamUpdate(w + i, m + i, v + i, g + i, p, n - i);
+}
+
+void SgdUpdateAvx2(float* w, const float* g, float lr, float weight_decay,
+                   int64_t n) {
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 vwd = _mm256_set1_ps(weight_decay);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 wi = _mm256_loadu_ps(w + i);
+    const __m256 gi =
+        _mm256_add_ps(_mm256_loadu_ps(g + i), _mm256_mul_ps(vwd, wi));
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(wi, _mm256_mul_ps(vlr, gi)));
+  }
+  ref::SgdUpdate(w + i, g + i, lr, weight_decay, n - i);
+}
+
+// ---- Reductions: 4-double accumulator lanes, folded low-to-high ----
+
+// Adds the 8 floats of `v` into two 4-double accumulators.
+inline void AccumulateF64(__m256d* lo, __m256d* hi, __m256 v) {
+  *lo = _mm256_add_pd(*lo, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+  *hi = _mm256_add_pd(*hi, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+}
+
+// Folds the two 4-double accumulators to one double, fixed lane order.
+inline double HorizontalSum(__m256d lo, __m256d hi) {
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, lo);
+  _mm256_store_pd(lanes + 4, hi);
+  double total = 0.0;
+  for (int i = 0; i < 8; ++i) total += lanes[i];
+  return total;
+}
+
+double ReduceSumAvx2(const float* x, int64_t n) {
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) AccumulateF64(&lo, &hi, _mm256_loadu_ps(x + i));
+  double total = HorizontalSum(lo, hi);
+  for (; i < n; ++i) total += x[i];
+  return total;
+}
+
+double DotAvx2(const float* a, const float* b, int64_t n) {
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    // Products in double (exact for float inputs), matching the scalar
+    // lane's double(a[i]) * b[i].
+    const __m256d alo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+    const __m256d ahi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+    const __m256d blo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+    const __m256d bhi = _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1));
+    lo = _mm256_fmadd_pd(alo, blo, lo);
+    hi = _mm256_fmadd_pd(ahi, bhi, hi);
+  }
+  double total = HorizontalSum(lo, hi);
+  for (; i < n; ++i) total += double(a[i]) * b[i];
+  return total;
+}
+
+double SumSquaresAvx2(const float* x, int64_t n) {
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256d vlo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d vhi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    lo = _mm256_fmadd_pd(vlo, vlo, lo);
+    hi = _mm256_fmadd_pd(vhi, vhi, hi);
+  }
+  double total = HorizontalSum(lo, hi);
+  for (; i < n; ++i) total += double(x[i]) * x[i];
+  return total;
+}
+
+float ReduceMaxAvx2(const float* x, int64_t n) {
+  float best = x[0];
+  bool has_nan = std::isnan(x[0]);
+  int64_t i = 0;
+  if (n >= kW) {
+    __m256 vmax = _mm256_loadu_ps(x);
+    __m256 unord = _mm256_cmp_ps(vmax, vmax, _CMP_UNORD_Q);
+    for (i = kW; i + kW <= n; i += kW) {
+      const __m256 v = _mm256_loadu_ps(x + i);
+      unord = _mm256_or_ps(unord, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+      vmax = _mm256_max_ps(vmax, v);
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vmax);
+    best = lanes[0];
+    for (int lane = 1; lane < 8; ++lane) {
+      if (lanes[lane] > best) best = lanes[lane];
+    }
+    has_nan = _mm256_movemask_ps(unord) != 0;
+  }
+  for (; i < n; ++i) {
+    has_nan = has_nan || std::isnan(x[i]);
+    if (x[i] > best) best = x[i];
+  }
+  return has_nan ? std::numeric_limits<float>::quiet_NaN() : best;
+}
+
+// ---- Vector expf (Cephes polynomial, as in avx_mathfun) ----
+
+inline __m256 Exp256(__m256 x) {
+  const __m256 exp_hi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 exp_lo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 one = _mm256_set1_ps(1.f);
+
+  const __m256 orig = x;
+  x = _mm256_min_ps(x, exp_hi);
+  x = _mm256_max_ps(x, exp_lo);
+
+  // n = round-to-floor(x * log2(e) + 0.5); r = x - n*ln2 (split constant).
+  __m256 fx = _mm256_add_ps(_mm256_mul_ps(x, log2e), _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, c1));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, c2));
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, _mm256_add_ps(x, one));
+
+  // 2^n via the exponent field.
+  __m256i n = _mm256_cvttps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+  n = _mm256_slli_epi32(n, 23);
+  y = _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+
+  // std::exp semantics at the edges: NaN in -> NaN out; x > hi -> +inf.
+  const __m256 nan_mask = _mm256_cmp_ps(orig, orig, _CMP_UNORD_Q);
+  y = _mm256_blendv_ps(y, orig, nan_mask);
+  const __m256 inf_mask = _mm256_cmp_ps(orig, exp_hi, _CMP_GT_OQ);
+  y = _mm256_blendv_ps(
+      y, _mm256_set1_ps(std::numeric_limits<float>::infinity()), inf_mask);
+  return y;
+}
+
+double ExpShiftSumAvx2(float* out, const float* x, float shift, int64_t n) {
+  const __m256 vshift = _mm256_set1_ps(shift);
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(x + i), vshift));
+    _mm256_storeu_ps(out + i, e);
+    AccumulateF64(&lo, &hi, e);
+  }
+  double total = HorizontalSum(lo, hi);
+  // Tail uses the same polynomial (one lane at a time) so every element of
+  // a row goes through the same exp approximation.
+  for (; i < n; ++i) {
+    alignas(32) float lanes[8] = {x[i] - shift, 0.f, 0.f, 0.f,
+                                  0.f,          0.f, 0.f, 0.f};
+    const __m256 e = Exp256(_mm256_load_ps(lanes));
+    _mm256_store_ps(lanes, e);
+    out[i] = lanes[0];
+    total += lanes[0];
+  }
+  return total;
+}
+
+void MeanVarAvx2(const float* x, int64_t n, float* mean, float* var) {
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) AccumulateF64(&lo, &hi, _mm256_loadu_ps(x + i));
+  double sum = HorizontalSum(lo, hi);
+  for (; i < n; ++i) sum += x[i];
+  const double mu = sum / static_cast<double>(n);
+
+  const __m256d vmu = _mm256_set1_pd(mu);
+  __m256d sl = _mm256_setzero_pd(), sh = _mm256_setzero_pd();
+  for (i = 0; i + kW <= n; i += kW) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256d dlo =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v)), vmu);
+    const __m256d dhi =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)), vmu);
+    sl = _mm256_fmadd_pd(dlo, dlo, sl);
+    sh = _mm256_fmadd_pd(dhi, dhi, sh);
+  }
+  double ssq = HorizontalSum(sl, sh);
+  for (; i < n; ++i) {
+    const double d = x[i] - mu;
+    ssq += d * d;
+  }
+  *mean = static_cast<float>(mu);
+  *var = static_cast<float>(ssq / static_cast<double>(n));
+}
+
+// ---- MatMul microkernel: 4 C rows x 16 C columns of FMA accumulators ----
+
+void MatMulMicroAvx2(float* c, int64_t c_stride, const float* a,
+                     int64_t a_stride, const float* b_panel, int64_t depth,
+                     int64_t rows, int64_t width) {
+  int64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* a0 = a + (r + 0) * a_stride;
+    const float* a1 = a + (r + 1) * a_stride;
+    const float* a2 = a + (r + 2) * a_stride;
+    const float* a3 = a + (r + 3) * a_stride;
+    float* c0 = c + (r + 0) * c_stride;
+    float* c1 = c + (r + 1) * c_stride;
+    float* c2 = c + (r + 2) * c_stride;
+    float* c3 = c + (r + 3) * c_stride;
+    int64_t j = 0;
+    for (; j + 16 <= width; j += 16) {
+      __m256 acc00 = _mm256_loadu_ps(c0 + j);
+      __m256 acc01 = _mm256_loadu_ps(c0 + j + 8);
+      __m256 acc10 = _mm256_loadu_ps(c1 + j);
+      __m256 acc11 = _mm256_loadu_ps(c1 + j + 8);
+      __m256 acc20 = _mm256_loadu_ps(c2 + j);
+      __m256 acc21 = _mm256_loadu_ps(c2 + j + 8);
+      __m256 acc30 = _mm256_loadu_ps(c3 + j);
+      __m256 acc31 = _mm256_loadu_ps(c3 + j + 8);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        __m256 va = _mm256_broadcast_ss(a0 + p);
+        acc00 = _mm256_fmadd_ps(va, b0, acc00);
+        acc01 = _mm256_fmadd_ps(va, b1, acc01);
+        va = _mm256_broadcast_ss(a1 + p);
+        acc10 = _mm256_fmadd_ps(va, b0, acc10);
+        acc11 = _mm256_fmadd_ps(va, b1, acc11);
+        va = _mm256_broadcast_ss(a2 + p);
+        acc20 = _mm256_fmadd_ps(va, b0, acc20);
+        acc21 = _mm256_fmadd_ps(va, b1, acc21);
+        va = _mm256_broadcast_ss(a3 + p);
+        acc30 = _mm256_fmadd_ps(va, b0, acc30);
+        acc31 = _mm256_fmadd_ps(va, b1, acc31);
+      }
+      _mm256_storeu_ps(c0 + j, acc00);
+      _mm256_storeu_ps(c0 + j + 8, acc01);
+      _mm256_storeu_ps(c1 + j, acc10);
+      _mm256_storeu_ps(c1 + j + 8, acc11);
+      _mm256_storeu_ps(c2 + j, acc20);
+      _mm256_storeu_ps(c2 + j + 8, acc21);
+      _mm256_storeu_ps(c3 + j, acc30);
+      _mm256_storeu_ps(c3 + j + 8, acc31);
+    }
+    for (; j + 8 <= width; j += 8) {
+      __m256 acc0 = _mm256_loadu_ps(c0 + j);
+      __m256 acc1 = _mm256_loadu_ps(c1 + j);
+      __m256 acc2 = _mm256_loadu_ps(c2 + j);
+      __m256 acc3 = _mm256_loadu_ps(c3 + j);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        acc0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + p), b0, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + p), b0, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a2 + p), b0, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a3 + p), b0, acc3);
+      }
+      _mm256_storeu_ps(c0 + j, acc0);
+      _mm256_storeu_ps(c1 + j, acc1);
+      _mm256_storeu_ps(c2 + j, acc2);
+      _mm256_storeu_ps(c3 + j, acc3);
+    }
+    if (j < width) {
+      // Scalar column tail for all four rows (ascending p per element).
+      // The sub-panel keeps the full panel's row stride `width`.
+      ref::MatMulMicroStrided(c + r * c_stride + j, c_stride,
+                              a + r * a_stride, a_stride, b_panel + j, width,
+                              depth, 4, width - j);
+    }
+  }
+  for (; r < rows; ++r) {
+    const float* a0 = a + r * a_stride;
+    float* c0 = c + r * c_stride;
+    int64_t j = 0;
+    for (; j + 16 <= width; j += 16) {
+      __m256 acc0 = _mm256_loadu_ps(c0 + j);
+      __m256 acc1 = _mm256_loadu_ps(c0 + j + 8);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        const __m256 va = _mm256_broadcast_ss(a0 + p);
+        acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp), acc0);
+        acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp + 8), acc1);
+      }
+      _mm256_storeu_ps(c0 + j, acc0);
+      _mm256_storeu_ps(c0 + j + 8, acc1);
+    }
+    for (; j + 8 <= width; j += 8) {
+      __m256 acc0 = _mm256_loadu_ps(c0 + j);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        acc0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + p), _mm256_loadu_ps(bp),
+                               acc0);
+      }
+      _mm256_storeu_ps(c0 + j, acc0);
+    }
+    if (j < width) {
+      ref::MatMulMicroStrided(c0 + j, c_stride, a0, a_stride, b_panel + j,
+                              width, depth, 1, width - j);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable* GetAvx2Table() {
+  static const KernelTable table = {
+      /*isa=*/Isa::kAvx2,
+      /*name=*/"avx2",
+      /*vector_floats=*/8,
+      /*axpy=*/AxpyAvx2,
+      /*add=*/AddAvx2,
+      /*scale=*/ScaleAvx2,
+      /*scale_out=*/ScaleOutAvx2,
+      /*add_scalar_out=*/AddScalarOutAvx2,
+      /*add_out=*/AddOutAvx2,
+      /*sub_out=*/SubOutAvx2,
+      /*mul_out=*/MulOutAvx2,
+      /*norm_affine=*/NormAffineAvx2,
+      /*adam_update=*/AdamUpdateAvx2,
+      /*sgd_update=*/SgdUpdateAvx2,
+      /*reduce_sum=*/ReduceSumAvx2,
+      /*dot=*/DotAvx2,
+      /*sum_squares=*/SumSquaresAvx2,
+      /*reduce_max=*/ReduceMaxAvx2,
+      /*exp_shift_sum=*/ExpShiftSumAvx2,
+      /*mean_var=*/MeanVarAvx2,
+      /*matmul_micro=*/MatMulMicroAvx2,
+  };
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace cl4srec

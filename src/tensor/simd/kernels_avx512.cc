@@ -1,0 +1,154 @@
+// AVX-512 kernel table. Only the MatMul microkernel is specialized (4 C
+// rows x 32 C columns of 16-float FMA accumulators, masked column tails);
+// elementwise kernels and reductions are shared with the AVX2 table — the
+// 256-bit versions are already memory-bound, and reusing them keeps their
+// bits identical while sidestepping AVX-512 frequency licensing.
+
+#include <immintrin.h>
+
+#include "tensor/simd/kernels_common.h"
+#include "tensor/simd/simd.h"
+
+namespace cl4srec {
+namespace simd {
+namespace {
+
+// One row-strip of C columns [j, j+w) with w <= 16, masked. Ascending-p FMA
+// accumulation per element, same as the full-width path.
+inline void RowStripMasked(float* c_row, const float* a_row,
+                           const float* b_panel, int64_t depth, int64_t width,
+                           int64_t j, __mmask16 mask) {
+  __m512 acc = _mm512_maskz_loadu_ps(mask, c_row + j);
+  const float* bp = b_panel + j;
+  for (int64_t p = 0; p < depth; ++p, bp += width) {
+    const __m512 b = _mm512_maskz_loadu_ps(mask, bp);
+    acc = _mm512_fmadd_ps(_mm512_set1_ps(a_row[p]), b, acc);
+  }
+  _mm512_mask_storeu_ps(c_row + j, mask, acc);
+}
+
+void MatMulMicroAvx512(float* c, int64_t c_stride, const float* a,
+                       int64_t a_stride, const float* b_panel, int64_t depth,
+                       int64_t rows, int64_t width) {
+  int64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* a0 = a + (r + 0) * a_stride;
+    const float* a1 = a + (r + 1) * a_stride;
+    const float* a2 = a + (r + 2) * a_stride;
+    const float* a3 = a + (r + 3) * a_stride;
+    float* c0 = c + (r + 0) * c_stride;
+    float* c1 = c + (r + 1) * c_stride;
+    float* c2 = c + (r + 2) * c_stride;
+    float* c3 = c + (r + 3) * c_stride;
+    int64_t j = 0;
+    for (; j + 32 <= width; j += 32) {
+      __m512 acc00 = _mm512_loadu_ps(c0 + j);
+      __m512 acc01 = _mm512_loadu_ps(c0 + j + 16);
+      __m512 acc10 = _mm512_loadu_ps(c1 + j);
+      __m512 acc11 = _mm512_loadu_ps(c1 + j + 16);
+      __m512 acc20 = _mm512_loadu_ps(c2 + j);
+      __m512 acc21 = _mm512_loadu_ps(c2 + j + 16);
+      __m512 acc30 = _mm512_loadu_ps(c3 + j);
+      __m512 acc31 = _mm512_loadu_ps(c3 + j + 16);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        const __m512 b0 = _mm512_loadu_ps(bp);
+        const __m512 b1 = _mm512_loadu_ps(bp + 16);
+        __m512 va = _mm512_set1_ps(a0[p]);
+        acc00 = _mm512_fmadd_ps(va, b0, acc00);
+        acc01 = _mm512_fmadd_ps(va, b1, acc01);
+        va = _mm512_set1_ps(a1[p]);
+        acc10 = _mm512_fmadd_ps(va, b0, acc10);
+        acc11 = _mm512_fmadd_ps(va, b1, acc11);
+        va = _mm512_set1_ps(a2[p]);
+        acc20 = _mm512_fmadd_ps(va, b0, acc20);
+        acc21 = _mm512_fmadd_ps(va, b1, acc21);
+        va = _mm512_set1_ps(a3[p]);
+        acc30 = _mm512_fmadd_ps(va, b0, acc30);
+        acc31 = _mm512_fmadd_ps(va, b1, acc31);
+      }
+      _mm512_storeu_ps(c0 + j, acc00);
+      _mm512_storeu_ps(c0 + j + 16, acc01);
+      _mm512_storeu_ps(c1 + j, acc10);
+      _mm512_storeu_ps(c1 + j + 16, acc11);
+      _mm512_storeu_ps(c2 + j, acc20);
+      _mm512_storeu_ps(c2 + j + 16, acc21);
+      _mm512_storeu_ps(c3 + j, acc30);
+      _mm512_storeu_ps(c3 + j + 16, acc31);
+    }
+    for (; j + 16 <= width; j += 16) {
+      __m512 acc0 = _mm512_loadu_ps(c0 + j);
+      __m512 acc1 = _mm512_loadu_ps(c1 + j);
+      __m512 acc2 = _mm512_loadu_ps(c2 + j);
+      __m512 acc3 = _mm512_loadu_ps(c3 + j);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        const __m512 b0 = _mm512_loadu_ps(bp);
+        acc0 = _mm512_fmadd_ps(_mm512_set1_ps(a0[p]), b0, acc0);
+        acc1 = _mm512_fmadd_ps(_mm512_set1_ps(a1[p]), b0, acc1);
+        acc2 = _mm512_fmadd_ps(_mm512_set1_ps(a2[p]), b0, acc2);
+        acc3 = _mm512_fmadd_ps(_mm512_set1_ps(a3[p]), b0, acc3);
+      }
+      _mm512_storeu_ps(c0 + j, acc0);
+      _mm512_storeu_ps(c1 + j, acc1);
+      _mm512_storeu_ps(c2 + j, acc2);
+      _mm512_storeu_ps(c3 + j, acc3);
+    }
+    if (j < width) {
+      const __mmask16 mask =
+          static_cast<__mmask16>((uint32_t{1} << (width - j)) - 1);
+      RowStripMasked(c0, a0, b_panel, depth, width, j, mask);
+      RowStripMasked(c1, a1, b_panel, depth, width, j, mask);
+      RowStripMasked(c2, a2, b_panel, depth, width, j, mask);
+      RowStripMasked(c3, a3, b_panel, depth, width, j, mask);
+    }
+  }
+  for (; r < rows; ++r) {
+    const float* a0 = a + r * a_stride;
+    float* c0 = c + r * c_stride;
+    int64_t j = 0;
+    for (; j + 32 <= width; j += 32) {
+      __m512 acc0 = _mm512_loadu_ps(c0 + j);
+      __m512 acc1 = _mm512_loadu_ps(c0 + j + 16);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        const __m512 va = _mm512_set1_ps(a0[p]);
+        acc0 = _mm512_fmadd_ps(va, _mm512_loadu_ps(bp), acc0);
+        acc1 = _mm512_fmadd_ps(va, _mm512_loadu_ps(bp + 16), acc1);
+      }
+      _mm512_storeu_ps(c0 + j, acc0);
+      _mm512_storeu_ps(c0 + j + 16, acc1);
+    }
+    for (; j + 16 <= width; j += 16) {
+      __m512 acc0 = _mm512_loadu_ps(c0 + j);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        acc0 = _mm512_fmadd_ps(_mm512_set1_ps(a0[p]), _mm512_loadu_ps(bp),
+                               acc0);
+      }
+      _mm512_storeu_ps(c0 + j, acc0);
+    }
+    if (j < width) {
+      const __mmask16 mask =
+          static_cast<__mmask16>((uint32_t{1} << (width - j)) - 1);
+      RowStripMasked(c0, a0, b_panel, depth, width, j, mask);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable* GetAvx512Table() {
+  static const KernelTable table = [] {
+    KernelTable t = *GetAvx2Table();
+    t.isa = Isa::kAvx512;
+    t.name = "avx512";
+    t.vector_floats = 16;
+    t.matmul_micro = MatMulMicroAvx512;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace cl4srec

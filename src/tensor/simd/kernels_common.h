@@ -1,0 +1,167 @@
+// Scalar reference kernels, shared by every dispatch TU.
+//
+// The scalar KernelTable wraps these directly, and the vector TUs call them
+// for loop tails — so a vector kernel's remainder elements go through
+// EXACTLY the same code (and rounding) as the scalar lane. These loops use
+// plain mul/add (each TU is compiled with -ffp-contract=off, so the
+// compiler cannot fuse them), which is what makes the elementwise kernels
+// bit-identical across every dispatch choice.
+//
+// Reductions accumulate in double, matching the seed kernels in
+// tensor_ops.cc / ops_nn.cc before this layer existed.
+
+#ifndef CL4SREC_TENSOR_SIMD_KERNELS_COMMON_H_
+#define CL4SREC_TENSOR_SIMD_KERNELS_COMMON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "tensor/simd/simd.h"
+
+namespace cl4srec {
+namespace simd {
+namespace ref {
+
+inline void Axpy(float* y, const float* x, float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline void Add(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+inline void Scale(float* y, float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] *= alpha;
+}
+
+inline void ScaleOut(float* out, const float* x, float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = alpha * x[i];
+}
+
+inline void AddScalarOut(float* out, const float* x, float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x[i] + alpha;
+}
+
+inline void AddOut(float* out, const float* x, const float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+inline void SubOut(float* out, const float* x, const float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+inline void MulOut(float* out, const float* x, const float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+inline void NormAffine(float* xhat, float* out, const float* x,
+                       const float* gamma, const float* beta, float mean,
+                       float inv_std, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float xh = (x[i] - mean) * inv_std;
+    xhat[i] = xh;
+    out[i] = gamma[i] * xh + beta[i];
+  }
+}
+
+inline void AdamUpdate(float* w, float* m, float* v, const float* g,
+                       const AdamStepParams& p, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float gi = g[i] + p.weight_decay * w[i];
+    m[i] = p.beta1 * m[i] + (1.f - p.beta1) * gi;
+    v[i] = p.beta2 * v[i] + (1.f - p.beta2) * gi * gi;
+    const float m_hat = m[i] / p.bias1;
+    const float v_hat = v[i] / p.bias2;
+    w[i] -= p.lr * m_hat / (std::sqrt(v_hat) + p.eps);
+  }
+}
+
+inline void SgdUpdate(float* w, const float* g, float lr, float weight_decay,
+                      int64_t n) {
+  for (int64_t i = 0; i < n; ++i) w[i] -= lr * (g[i] + weight_decay * w[i]);
+}
+
+inline double ReduceSum(const float* x, int64_t n) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += x[i];
+  return total;
+}
+
+inline double Dot(const float* a, const float* b, int64_t n) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += double(a[i]) * b[i];
+  return total;
+}
+
+inline double SumSquares(const float* x, int64_t n) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += double(x[i]) * x[i];
+  return total;
+}
+
+inline float ReduceMax(const float* x, int64_t n) {
+  float best = x[0];
+  bool has_nan = std::isnan(x[0]);
+  for (int64_t i = 1; i < n; ++i) {
+    has_nan = has_nan || std::isnan(x[i]);
+    if (x[i] > best) best = x[i];
+  }
+  return has_nan ? std::numeric_limits<float>::quiet_NaN() : best;
+}
+
+inline double ExpShiftSum(float* out, const float* x, float shift, int64_t n) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = std::exp(x[i] - shift);
+    total += out[i];
+  }
+  return total;
+}
+
+inline void MeanVar(const float* x, int64_t n, float* mean, float* var) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += x[i];
+  const double mu = sum / static_cast<double>(n);
+  double ssq = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = x[i] - mu;
+    ssq += d * d;
+  }
+  *mean = static_cast<float>(mu);
+  *var = static_cast<float>(ssq / static_cast<double>(n));
+}
+
+// The seed blocked-MatMul inner kernel: per C row, ascending p, j inner.
+// Every (r, j) element accumulates its depth products in ascending-p order.
+// The strided variant exists for the vector lanes' column tails, where the
+// remaining sub-panel keeps the full panel's row stride.
+inline void MatMulMicroStrided(float* c, int64_t c_stride, const float* a,
+                               int64_t a_stride, const float* b_panel,
+                               int64_t b_stride, int64_t depth, int64_t rows,
+                               int64_t width) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* a_row = a + r * a_stride;
+    float* c_row = c + r * c_stride;
+    for (int64_t p = 0; p < depth; ++p) {
+      const float a_rp = a_row[p];
+      const float* b_row = b_panel + p * b_stride;
+      for (int64_t j = 0; j < width; ++j) {
+        c_row[j] += a_rp * b_row[j];
+      }
+    }
+  }
+}
+
+inline void MatMulMicro(float* c, int64_t c_stride, const float* a,
+                        int64_t a_stride, const float* b_panel, int64_t depth,
+                        int64_t rows, int64_t width) {
+  MatMulMicroStrided(c, c_stride, a, a_stride, b_panel, width, depth, rows,
+                     width);
+}
+
+}  // namespace ref
+}  // namespace simd
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TENSOR_SIMD_KERNELS_COMMON_H_

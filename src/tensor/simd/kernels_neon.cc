@@ -1,0 +1,396 @@
+// AArch64 NEON kernel table (4-float lanes, 2-double accumulator lanes).
+//
+// Same structure as the AVX2 table: elementwise kernels use separate
+// mul/add (no vfma) so their bits match the scalar lane; reductions
+// accumulate in double via vcvt_f64_f32; the MatMul microkernel uses
+// explicit vfmaq with 4 rows x 8 columns of accumulators. exp_shift_sum
+// reuses the scalar std::exp path — NEON has no cheap exp and the softmax
+// rows in this codebase are short, so the win would be marginal while
+// staying bit-identical to the scalar lane is free.
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/simd/kernels_common.h"
+#include "tensor/simd/simd.h"
+
+namespace cl4srec {
+namespace simd {
+namespace {
+
+constexpr int64_t kW = 4;  // floats per float32x4_t
+
+void AxpyNeon(float* y, const float* x, float alpha, int64_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t prod = vmulq_f32(va, vld1q_f32(x + i));
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), prod));
+  }
+  ref::Axpy(y + i, x + i, alpha, n - i);
+}
+
+void AddNeon(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), vld1q_f32(x + i)));
+  }
+  ref::Add(y + i, x + i, n - i);
+}
+
+void ScaleNeon(float* y, float alpha, int64_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vst1q_f32(y + i, vmulq_f32(vld1q_f32(y + i), va));
+  }
+  ref::Scale(y + i, alpha, n - i);
+}
+
+void ScaleOutNeon(float* out, const float* x, float alpha, int64_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vst1q_f32(out + i, vmulq_f32(va, vld1q_f32(x + i)));
+  }
+  ref::ScaleOut(out + i, x + i, alpha, n - i);
+}
+
+void AddScalarOutNeon(float* out, const float* x, float alpha, int64_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(x + i), va));
+  }
+  ref::AddScalarOut(out + i, x + i, alpha, n - i);
+}
+
+void AddOutNeon(float* out, const float* x, const float* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  ref::AddOut(out + i, x + i, y + i, n - i);
+}
+
+void SubOutNeon(float* out, const float* x, const float* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vst1q_f32(out + i, vsubq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  ref::SubOut(out + i, x + i, y + i, n - i);
+}
+
+void MulOutNeon(float* out, const float* x, const float* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  ref::MulOut(out + i, x + i, y + i, n - i);
+}
+
+void NormAffineNeon(float* xhat, float* out, const float* x,
+                    const float* gamma, const float* beta, float mean,
+                    float inv_std, int64_t n) {
+  const float32x4_t vmean = vdupq_n_f32(mean);
+  const float32x4_t vistd = vdupq_n_f32(inv_std);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t xh =
+        vmulq_f32(vsubq_f32(vld1q_f32(x + i), vmean), vistd);
+    vst1q_f32(xhat + i, xh);
+    vst1q_f32(out + i, vaddq_f32(vmulq_f32(vld1q_f32(gamma + i), xh),
+                                 vld1q_f32(beta + i)));
+  }
+  ref::NormAffine(xhat + i, out + i, x + i, gamma + i, beta + i, mean,
+                  inv_std, n - i);
+}
+
+void AdamUpdateNeon(float* w, float* m, float* v, const float* g,
+                    const AdamStepParams& p, int64_t n) {
+  const float32x4_t b1 = vdupq_n_f32(p.beta1);
+  const float32x4_t b2 = vdupq_n_f32(p.beta2);
+  const float32x4_t omb1 = vdupq_n_f32(1.f - p.beta1);
+  const float32x4_t omb2 = vdupq_n_f32(1.f - p.beta2);
+  const float32x4_t bias1 = vdupq_n_f32(p.bias1);
+  const float32x4_t bias2 = vdupq_n_f32(p.bias2);
+  const float32x4_t lr = vdupq_n_f32(p.lr);
+  const float32x4_t eps = vdupq_n_f32(p.eps);
+  const float32x4_t wd = vdupq_n_f32(p.weight_decay);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t wi = vld1q_f32(w + i);
+    const float32x4_t gi = vaddq_f32(vld1q_f32(g + i), vmulq_f32(wd, wi));
+    const float32x4_t mi =
+        vaddq_f32(vmulq_f32(b1, vld1q_f32(m + i)), vmulq_f32(omb1, gi));
+    // ((1-beta2) * gi) * gi, matching the reference's left-to-right order.
+    const float32x4_t vi = vaddq_f32(vmulq_f32(b2, vld1q_f32(v + i)),
+                                     vmulq_f32(vmulq_f32(omb2, gi), gi));
+    vst1q_f32(m + i, mi);
+    vst1q_f32(v + i, vi);
+    const float32x4_t m_hat = vdivq_f32(mi, bias1);
+    const float32x4_t v_hat = vdivq_f32(vi, bias2);
+    const float32x4_t denom = vaddq_f32(vsqrtq_f32(v_hat), eps);
+    const float32x4_t step = vdivq_f32(vmulq_f32(lr, m_hat), denom);
+    vst1q_f32(w + i, vsubq_f32(wi, step));
+  }
+  ref::AdamUpdate(w + i, m + i, v + i, g + i, p, n - i);
+}
+
+void SgdUpdateNeon(float* w, const float* g, float lr, float weight_decay,
+                   int64_t n) {
+  const float32x4_t vlr = vdupq_n_f32(lr);
+  const float32x4_t vwd = vdupq_n_f32(weight_decay);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t wi = vld1q_f32(w + i);
+    const float32x4_t gi = vaddq_f32(vld1q_f32(g + i), vmulq_f32(vwd, wi));
+    vst1q_f32(w + i, vsubq_f32(wi, vmulq_f32(vlr, gi)));
+  }
+  ref::SgdUpdate(w + i, g + i, lr, weight_decay, n - i);
+}
+
+// ---- Reductions: 2-double accumulator lanes ----
+
+inline void AccumulateF64(float64x2_t* lo, float64x2_t* hi, float32x4_t v) {
+  *lo = vaddq_f64(*lo, vcvt_f64_f32(vget_low_f32(v)));
+  *hi = vaddq_f64(*hi, vcvt_f64_f32(vget_high_f32(v)));
+}
+
+inline double HorizontalSum(float64x2_t lo, float64x2_t hi) {
+  double lanes[4];
+  vst1q_f64(lanes, lo);
+  vst1q_f64(lanes + 2, hi);
+  double total = 0.0;
+  for (int i = 0; i < 4; ++i) total += lanes[i];
+  return total;
+}
+
+double ReduceSumNeon(const float* x, int64_t n) {
+  float64x2_t lo = vdupq_n_f64(0.0), hi = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) AccumulateF64(&lo, &hi, vld1q_f32(x + i));
+  double total = HorizontalSum(lo, hi);
+  for (; i < n; ++i) total += x[i];
+  return total;
+}
+
+double DotNeon(const float* a, const float* b, int64_t n) {
+  float64x2_t lo = vdupq_n_f64(0.0), hi = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t va = vld1q_f32(a + i);
+    const float32x4_t vb = vld1q_f32(b + i);
+    lo = vfmaq_f64(lo, vcvt_f64_f32(vget_low_f32(va)),
+                   vcvt_f64_f32(vget_low_f32(vb)));
+    hi = vfmaq_f64(hi, vcvt_f64_f32(vget_high_f32(va)),
+                   vcvt_f64_f32(vget_high_f32(vb)));
+  }
+  double total = HorizontalSum(lo, hi);
+  for (; i < n; ++i) total += double(a[i]) * b[i];
+  return total;
+}
+
+double SumSquaresNeon(const float* x, int64_t n) {
+  float64x2_t lo = vdupq_n_f64(0.0), hi = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t v = vld1q_f32(x + i);
+    const float64x2_t vlo = vcvt_f64_f32(vget_low_f32(v));
+    const float64x2_t vhi = vcvt_f64_f32(vget_high_f32(v));
+    lo = vfmaq_f64(lo, vlo, vlo);
+    hi = vfmaq_f64(hi, vhi, vhi);
+  }
+  double total = HorizontalSum(lo, hi);
+  for (; i < n; ++i) total += double(x[i]) * x[i];
+  return total;
+}
+
+float ReduceMaxNeon(const float* x, int64_t n) {
+  float best = x[0];
+  bool has_nan = std::isnan(x[0]);
+  int64_t i = 0;
+  if (n >= kW) {
+    float32x4_t vmax = vld1q_f32(x);
+    uint32x4_t unord = vmvnq_u32(vceqq_f32(vmax, vmax));
+    for (i = kW; i + kW <= n; i += kW) {
+      const float32x4_t v = vld1q_f32(x + i);
+      unord = vorrq_u32(unord, vmvnq_u32(vceqq_f32(v, v)));
+      vmax = vmaxq_f32(vmax, v);
+    }
+    float lanes[4];
+    vst1q_f32(lanes, vmax);
+    best = lanes[0];
+    for (int lane = 1; lane < 4; ++lane) {
+      if (lanes[lane] > best) best = lanes[lane];
+    }
+    has_nan = vmaxvq_u32(unord) != 0;
+  }
+  for (; i < n; ++i) {
+    has_nan = has_nan || std::isnan(x[i]);
+    if (x[i] > best) best = x[i];
+  }
+  return has_nan ? std::numeric_limits<float>::quiet_NaN() : best;
+}
+
+void MeanVarNeon(const float* x, int64_t n, float* mean, float* var) {
+  float64x2_t lo = vdupq_n_f64(0.0), hi = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) AccumulateF64(&lo, &hi, vld1q_f32(x + i));
+  double sum = HorizontalSum(lo, hi);
+  for (; i < n; ++i) sum += x[i];
+  const double mu = sum / static_cast<double>(n);
+
+  const float64x2_t vmu = vdupq_n_f64(mu);
+  float64x2_t sl = vdupq_n_f64(0.0), sh = vdupq_n_f64(0.0);
+  for (i = 0; i + kW <= n; i += kW) {
+    const float32x4_t v = vld1q_f32(x + i);
+    const float64x2_t dlo = vsubq_f64(vcvt_f64_f32(vget_low_f32(v)), vmu);
+    const float64x2_t dhi = vsubq_f64(vcvt_f64_f32(vget_high_f32(v)), vmu);
+    sl = vfmaq_f64(sl, dlo, dlo);
+    sh = vfmaq_f64(sh, dhi, dhi);
+  }
+  double ssq = HorizontalSum(sl, sh);
+  for (; i < n; ++i) {
+    const double d = x[i] - mu;
+    ssq += d * d;
+  }
+  *mean = static_cast<float>(mu);
+  *var = static_cast<float>(ssq / static_cast<double>(n));
+}
+
+// ---- MatMul microkernel: 4 C rows x 8 C columns of FMA accumulators ----
+
+void MatMulMicroNeon(float* c, int64_t c_stride, const float* a,
+                     int64_t a_stride, const float* b_panel, int64_t depth,
+                     int64_t rows, int64_t width) {
+  int64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* a0 = a + (r + 0) * a_stride;
+    const float* a1 = a + (r + 1) * a_stride;
+    const float* a2 = a + (r + 2) * a_stride;
+    const float* a3 = a + (r + 3) * a_stride;
+    float* c0 = c + (r + 0) * c_stride;
+    float* c1 = c + (r + 1) * c_stride;
+    float* c2 = c + (r + 2) * c_stride;
+    float* c3 = c + (r + 3) * c_stride;
+    int64_t j = 0;
+    for (; j + 8 <= width; j += 8) {
+      float32x4_t acc00 = vld1q_f32(c0 + j);
+      float32x4_t acc01 = vld1q_f32(c0 + j + 4);
+      float32x4_t acc10 = vld1q_f32(c1 + j);
+      float32x4_t acc11 = vld1q_f32(c1 + j + 4);
+      float32x4_t acc20 = vld1q_f32(c2 + j);
+      float32x4_t acc21 = vld1q_f32(c2 + j + 4);
+      float32x4_t acc30 = vld1q_f32(c3 + j);
+      float32x4_t acc31 = vld1q_f32(c3 + j + 4);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        const float32x4_t b0 = vld1q_f32(bp);
+        const float32x4_t b1 = vld1q_f32(bp + 4);
+        acc00 = vfmaq_n_f32(acc00, b0, a0[p]);
+        acc01 = vfmaq_n_f32(acc01, b1, a0[p]);
+        acc10 = vfmaq_n_f32(acc10, b0, a1[p]);
+        acc11 = vfmaq_n_f32(acc11, b1, a1[p]);
+        acc20 = vfmaq_n_f32(acc20, b0, a2[p]);
+        acc21 = vfmaq_n_f32(acc21, b1, a2[p]);
+        acc30 = vfmaq_n_f32(acc30, b0, a3[p]);
+        acc31 = vfmaq_n_f32(acc31, b1, a3[p]);
+      }
+      vst1q_f32(c0 + j, acc00);
+      vst1q_f32(c0 + j + 4, acc01);
+      vst1q_f32(c1 + j, acc10);
+      vst1q_f32(c1 + j + 4, acc11);
+      vst1q_f32(c2 + j, acc20);
+      vst1q_f32(c2 + j + 4, acc21);
+      vst1q_f32(c3 + j, acc30);
+      vst1q_f32(c3 + j + 4, acc31);
+    }
+    for (; j + 4 <= width; j += 4) {
+      float32x4_t acc0 = vld1q_f32(c0 + j);
+      float32x4_t acc1 = vld1q_f32(c1 + j);
+      float32x4_t acc2 = vld1q_f32(c2 + j);
+      float32x4_t acc3 = vld1q_f32(c3 + j);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        const float32x4_t b0 = vld1q_f32(bp);
+        acc0 = vfmaq_n_f32(acc0, b0, a0[p]);
+        acc1 = vfmaq_n_f32(acc1, b0, a1[p]);
+        acc2 = vfmaq_n_f32(acc2, b0, a2[p]);
+        acc3 = vfmaq_n_f32(acc3, b0, a3[p]);
+      }
+      vst1q_f32(c0 + j, acc0);
+      vst1q_f32(c1 + j, acc1);
+      vst1q_f32(c2 + j, acc2);
+      vst1q_f32(c3 + j, acc3);
+    }
+    if (j < width) {
+      // Scalar column tail; the sub-panel keeps row stride `width`.
+      ref::MatMulMicroStrided(c + r * c_stride + j, c_stride,
+                              a + r * a_stride, a_stride, b_panel + j, width,
+                              depth, 4, width - j);
+    }
+  }
+  for (; r < rows; ++r) {
+    const float* a0 = a + r * a_stride;
+    float* c0 = c + r * c_stride;
+    int64_t j = 0;
+    for (; j + 8 <= width; j += 8) {
+      float32x4_t acc0 = vld1q_f32(c0 + j);
+      float32x4_t acc1 = vld1q_f32(c0 + j + 4);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        acc0 = vfmaq_n_f32(acc0, vld1q_f32(bp), a0[p]);
+        acc1 = vfmaq_n_f32(acc1, vld1q_f32(bp + 4), a0[p]);
+      }
+      vst1q_f32(c0 + j, acc0);
+      vst1q_f32(c0 + j + 4, acc1);
+    }
+    for (; j + 4 <= width; j += 4) {
+      float32x4_t acc0 = vld1q_f32(c0 + j);
+      const float* bp = b_panel + j;
+      for (int64_t p = 0; p < depth; ++p, bp += width) {
+        acc0 = vfmaq_n_f32(acc0, vld1q_f32(bp), a0[p]);
+      }
+      vst1q_f32(c0 + j, acc0);
+    }
+    if (j < width) {
+      ref::MatMulMicroStrided(c0 + j, c_stride, a0, a_stride, b_panel + j,
+                              width, depth, 1, width - j);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable* GetNeonTable() {
+  static const KernelTable table = {
+      /*isa=*/Isa::kNeon,
+      /*name=*/"neon",
+      /*vector_floats=*/4,
+      /*axpy=*/AxpyNeon,
+      /*add=*/AddNeon,
+      /*scale=*/ScaleNeon,
+      /*scale_out=*/ScaleOutNeon,
+      /*add_scalar_out=*/AddScalarOutNeon,
+      /*add_out=*/AddOutNeon,
+      /*sub_out=*/SubOutNeon,
+      /*mul_out=*/MulOutNeon,
+      /*norm_affine=*/NormAffineNeon,
+      /*adam_update=*/AdamUpdateNeon,
+      /*sgd_update=*/SgdUpdateNeon,
+      /*reduce_sum=*/ReduceSumNeon,
+      /*dot=*/DotNeon,
+      /*sum_squares=*/SumSquaresNeon,
+      /*reduce_max=*/ReduceMaxNeon,
+      /*exp_shift_sum=*/ref::ExpShiftSum,
+      /*mean_var=*/MeanVarNeon,
+      /*matmul_micro=*/MatMulMicroNeon,
+  };
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace cl4srec

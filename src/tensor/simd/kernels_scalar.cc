@@ -1,0 +1,39 @@
+// Scalar kernel table: the always-available fallback and the reference the
+// vector lanes are tested against. Compiled with -ffp-contract=off like the
+// vector TUs, so its arithmetic is the portable baseline on every target.
+
+#include "tensor/simd/kernels_common.h"
+#include "tensor/simd/simd.h"
+
+namespace cl4srec {
+namespace simd {
+
+const KernelTable* GetScalarTable() {
+  static const KernelTable table = {
+      /*isa=*/Isa::kScalar,
+      /*name=*/"scalar",
+      /*vector_floats=*/1,
+      /*axpy=*/ref::Axpy,
+      /*add=*/ref::Add,
+      /*scale=*/ref::Scale,
+      /*scale_out=*/ref::ScaleOut,
+      /*add_scalar_out=*/ref::AddScalarOut,
+      /*add_out=*/ref::AddOut,
+      /*sub_out=*/ref::SubOut,
+      /*mul_out=*/ref::MulOut,
+      /*norm_affine=*/ref::NormAffine,
+      /*adam_update=*/ref::AdamUpdate,
+      /*sgd_update=*/ref::SgdUpdate,
+      /*reduce_sum=*/ref::ReduceSum,
+      /*dot=*/ref::Dot,
+      /*sum_squares=*/ref::SumSquares,
+      /*reduce_max=*/ref::ReduceMax,
+      /*exp_shift_sum=*/ref::ExpShiftSum,
+      /*mean_var=*/ref::MeanVar,
+      /*matmul_micro=*/ref::MatMulMicro,
+  };
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace cl4srec

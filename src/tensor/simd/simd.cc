@@ -1,0 +1,217 @@
+#include "tensor/simd/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace simd {
+namespace {
+
+obs::Gauge* ActiveIsaGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("simd.active_isa");
+  return gauge;
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string UsableLanesMessage() {
+  std::ostringstream msg;
+  msg << "usable lanes:";
+  for (Isa isa : CompiledIsas()) {
+    if (IsaSupportedByHost(isa)) msg << " " << IsaName(isa);
+  }
+  return msg.str();
+}
+
+// Resolves the initial dispatch from CL4SREC_SIMD (default auto). Invalid
+// env values fail fast with the same message as SetMode.
+const KernelTable* ResolveInitialTable() {
+  const char* env = std::getenv("CL4SREC_SIMD");
+  const std::string mode = (env && *env) ? env : "auto";
+  Isa isa;
+  CL4SREC_CHECK(ParseIsaMode(mode, &isa))
+      << "CL4SREC_SIMD=\"" << mode
+      << "\" is not a valid mode (auto|off|scalar|avx2|avx512|neon)";
+  const KernelTable* table = TableForIsa(isa);
+  CL4SREC_CHECK(table != nullptr)
+      << "CL4SREC_SIMD=" << IsaName(isa)
+      << " is not compiled into this binary (CMake option CL4SREC_SIMD); "
+      << UsableLanesMessage();
+  CL4SREC_CHECK(IsaSupportedByHost(isa))
+      << "CL4SREC_SIMD=" << IsaName(isa)
+      << " is not supported by this CPU; " << UsableLanesMessage();
+  return table;
+}
+
+std::atomic<const KernelTable*>& ActiveTable() {
+  static std::atomic<const KernelTable*> active = [] {
+    const KernelTable* table = ResolveInitialTable();
+    ActiveIsaGauge()->Set(static_cast<double>(static_cast<int>(table->isa)));
+    return table;
+  }();
+  return active;
+}
+
+}  // namespace
+
+const KernelTable& Kernels() {
+  return *ActiveTable().load(std::memory_order_acquire);
+}
+
+Isa ActiveIsa() { return Kernels().isa; }
+
+void SetActiveIsa(Isa isa) {
+  const KernelTable* table = TableForIsa(isa);
+  CL4SREC_CHECK(table != nullptr)
+      << "SIMD lane " << IsaName(isa)
+      << " is not compiled into this binary (CMake option CL4SREC_SIMD); "
+      << UsableLanesMessage();
+  CL4SREC_CHECK(IsaSupportedByHost(isa))
+      << "SIMD lane " << IsaName(isa) << " is not supported by this CPU; "
+      << UsableLanesMessage();
+  ActiveTable().store(table, std::memory_order_release);
+  ActiveIsaGauge()->Set(static_cast<double>(static_cast<int>(isa)));
+}
+
+void SetMode(const std::string& mode) {
+  Isa isa;
+  CL4SREC_CHECK(ParseIsaMode(mode, &isa))
+      << "--simd \"" << mode
+      << "\" is not a valid mode (auto|off|scalar|avx2|avx512|neon); "
+      << UsableLanesMessage();
+  SetActiveIsa(isa);
+}
+
+Isa DetectHostIsa() {
+  Isa best = Isa::kScalar;
+  for (Isa isa : CompiledIsas()) {
+    if (IsaSupportedByHost(isa) &&
+        static_cast<int>(isa) > static_cast<int>(best)) {
+      best = isa;
+    }
+  }
+  return best;
+}
+
+std::vector<Isa> CompiledIsas() {
+  std::vector<Isa> isas = {Isa::kScalar};
+#ifdef CL4SREC_SIMD_HAVE_AVX2
+  isas.push_back(Isa::kAvx2);
+#endif
+#ifdef CL4SREC_SIMD_HAVE_AVX512
+  isas.push_back(Isa::kAvx512);
+#endif
+#ifdef CL4SREC_SIMD_HAVE_NEON
+  isas.push_back(Isa::kNeon);
+#endif
+  return isas;
+}
+
+bool IsaCompiled(Isa isa) { return TableForIsa(isa) != nullptr; }
+
+bool IsaSupportedByHost(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw");
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architecturally guaranteed on AArch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseIsaMode(const std::string& mode, Isa* isa) {
+  const std::string m = Lower(mode);
+  if (m == "auto") {
+    *isa = DetectHostIsa();
+    return true;
+  }
+  if (m == "off" || m == "scalar") {
+    *isa = Isa::kScalar;
+    return true;
+  }
+  if (m == "avx2") {
+    *isa = Isa::kAvx2;
+    return true;
+  }
+  if (m == "avx512") {
+    *isa = Isa::kAvx512;
+    return true;
+  }
+  if (m == "neon") {
+    *isa = Isa::kNeon;
+    return true;
+  }
+  return false;
+}
+
+const KernelTable* TableForIsa(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return GetScalarTable();
+    case Isa::kAvx2:
+#ifdef CL4SREC_SIMD_HAVE_AVX2
+      return GetAvx2Table();
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx512:
+#ifdef CL4SREC_SIMD_HAVE_AVX512
+      return GetAvx512Table();
+#else
+      return nullptr;
+#endif
+    case Isa::kNeon:
+#ifdef CL4SREC_SIMD_HAVE_NEON
+      return GetNeonTable();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+}  // namespace simd
+}  // namespace cl4srec

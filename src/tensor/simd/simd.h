@@ -1,0 +1,176 @@
+// Runtime-dispatched SIMD microkernel layer.
+//
+// Every hot dense-float loop in the training and eval path routes through a
+// table of kernel function pointers selected once at startup:
+//
+//   * ISA detection: the best lane among {AVX-512, AVX2+FMA, NEON} that is
+//     both compiled into the binary (CMake option CL4SREC_SIMD) and
+//     supported by the host CPU; a scalar table is always available.
+//   * Overrides: the CL4SREC_SIMD environment variable and the --simd CLI
+//     flag (auto | off | scalar | avx2 | avx512 | neon) force a specific
+//     table for A/B runs. Forcing a lane the build or host cannot run
+//     CHECK-fails with a message listing the usable lanes.
+//
+// Determinism contract (see DESIGN.md "Kernel dispatch"):
+//   * For a FIXED dispatch choice, every kernel is bit-deterministic
+//     run-to-run and across thread counts: lane structure and accumulation
+//     order depend only on the input length, never on threading.
+//   * Elementwise kernels (axpy/add/scale/adam/sgd/norm_affine/...) perform
+//     the same IEEE operations in every lane with no FMA contraction and no
+//     reassociation, so they are BIT-IDENTICAL across all dispatch choices.
+//   * Reductions and the MatMul microkernel use fixed-width lane
+//     accumulators (reductions in double precision) and, in the vector
+//     MatMul, FMA — bit-identical per dispatch choice, equal to the scalar
+//     reference only within a small tolerance.
+//   * exp_shift_sum uses a polynomial exp on vector lanes (~2 ulp vs libm);
+//     the scalar table uses std::exp. Cross-dispatch agreement is within
+//     ~1e-5 relative.
+//   * NaN/Inf propagate per IEEE everywhere; reduce_max returns NaN iff the
+//     input contains a NaN (both scalar and vector tables — stickier than a
+//     naive std::max fold, identical across dispatches).
+
+#ifndef CL4SREC_TENSOR_SIMD_SIMD_H_
+#define CL4SREC_TENSOR_SIMD_SIMD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cl4srec {
+namespace simd {
+
+enum class Isa : int {
+  kScalar = 0,
+  kAvx2 = 1,    // AVX2 + FMA, 8-float lanes
+  kAvx512 = 2,  // AVX-512 F/DQ/BW, 16-float lanes (elementwise shares AVX2)
+  kNeon = 3,    // AArch64 NEON, 4-float lanes
+};
+
+// Scalars of one Adam step, precomputed per step (bias corrections are the
+// divisors 1 - beta^t, matching the seed optimizer's division exactly).
+struct AdamStepParams {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float bias1 = 1.f;  // 1 - beta1^t
+  float bias2 = 1.f;  // 1 - beta2^t
+  float lr = 1e-3f;
+  float eps = 1e-8f;
+  float weight_decay = 0.f;
+};
+
+// One ISA's kernel implementations. All kernels accept n == 0. Buffers may
+// be unaligned (Tensor storage is 64-byte aligned, but kernels take interior
+// row pointers); aliasing is allowed only where noted.
+struct KernelTable {
+  Isa isa;
+  const char* name;
+  int vector_floats;  // lanes per vector register (1 for scalar)
+
+  // ---- Elementwise: bit-identical across dispatch choices ----
+  // y[i] += alpha * x[i]
+  void (*axpy)(float* y, const float* x, float alpha, int64_t n);
+  // y[i] += x[i]
+  void (*add)(float* y, const float* x, int64_t n);
+  // y[i] *= alpha
+  void (*scale)(float* y, float alpha, int64_t n);
+  // out[i] = alpha * x[i] (out may alias x)
+  void (*scale_out)(float* out, const float* x, float alpha, int64_t n);
+  // out[i] = x[i] + alpha (out may alias x)
+  void (*add_scalar_out)(float* out, const float* x, float alpha, int64_t n);
+  // out[i] = x[i] + y[i] / x[i] - y[i] / x[i] * y[i] (out may alias either)
+  void (*add_out)(float* out, const float* x, const float* y, int64_t n);
+  void (*sub_out)(float* out, const float* x, const float* y, int64_t n);
+  void (*mul_out)(float* out, const float* x, const float* y, int64_t n);
+  // Layer-norm finish: xhat[i] = (x[i] - mean) * inv_std;
+  // out[i] = gamma[i] * xhat[i] + beta[i].
+  void (*norm_affine)(float* xhat, float* out, const float* x,
+                      const float* gamma, const float* beta, float mean,
+                      float inv_std, int64_t n);
+  // Fused Adam step over one parameter tensor (seed-optimizer arithmetic).
+  void (*adam_update)(float* w, float* m, float* v, const float* g,
+                      const AdamStepParams& p, int64_t n);
+  // w[i] -= lr * (g[i] + weight_decay * w[i])
+  void (*sgd_update)(float* w, const float* g, float lr, float weight_decay,
+                     int64_t n);
+
+  // ---- Reductions: double-precision lane accumulators, fixed order ----
+  // Reductions return double so callers can finish the computation at the
+  // seed kernels' precision (e.g. softmax divides by the double sum).
+  double (*reduce_sum)(const float* x, int64_t n);
+  double (*dot)(const float* a, const float* b, int64_t n);
+  double (*sum_squares)(const float* x, int64_t n);
+  // Max over x; returns quiet NaN iff any element is NaN. n >= 1.
+  float (*reduce_max)(const float* x, int64_t n);
+  // out[i] = exp(x[i] - shift); returns sum(out). out must not alias x.
+  double (*exp_shift_sum)(float* out, const float* x, float shift, int64_t n);
+  // Row mean and (biased) variance, double accumulation internally. n >= 1.
+  void (*mean_var)(const float* x, int64_t n, float* mean, float* var);
+
+  // ---- MatMul microkernel over packed panels ----
+  // c[r * c_stride + j] += sum_{p < depth} a[r * a_stride + p] *
+  //                        b_panel[p * width + j]   for r < rows, j < width.
+  // Accumulates in ascending-p order per element (vector lanes use FMA).
+  void (*matmul_micro)(float* c, int64_t c_stride, const float* a,
+                       int64_t a_stride, const float* b_panel, int64_t depth,
+                       int64_t rows, int64_t width);
+};
+
+// ---- Dispatch ----
+
+// The active kernel table. First use resolves the CL4SREC_SIMD environment
+// variable (default "auto": best compiled + host-supported lane). The
+// returned reference stays valid forever; the *active* table can be swapped
+// with SetMode/SetActiveIsa (only between kernel invocations).
+const KernelTable& Kernels();
+
+// The active ISA (== Kernels().isa).
+Isa ActiveIsa();
+
+// Forces the dispatch named by `mode`: auto | off | scalar | avx2 | avx512 |
+// neon (case-insensitive; "off" is an alias for "scalar"). CHECK-fails with
+// a message listing usable lanes if the request is unknown, not compiled
+// into this binary, or not supported by the host CPU. Backs the --simd flag.
+void SetMode(const std::string& mode);
+
+// Forces a specific ISA (same validation as SetMode).
+void SetActiveIsa(Isa isa);
+
+// Best lane among CompiledIsas() that the host supports (kScalar if none).
+Isa DetectHostIsa();
+
+// Lanes compiled into this binary (always includes kScalar), ascending.
+std::vector<Isa> CompiledIsas();
+bool IsaCompiled(Isa isa);
+// Whether the host CPU can execute `isa` (kScalar is always true).
+bool IsaSupportedByHost(Isa isa);
+
+const char* IsaName(Isa isa);
+// Parses an ISA name or mode string; returns false on unknown input.
+// "auto" resolves to DetectHostIsa(); "off" resolves to kScalar.
+bool ParseIsaMode(const std::string& mode, Isa* isa);
+
+// The table for a specific compiled lane (nullptr if not compiled in) —
+// lets tests and benchmarks compare lanes directly without switching the
+// global dispatch. Host support is NOT checked; calling kernels from a
+// table the host cannot execute is undefined.
+const KernelTable* TableForIsa(Isa isa);
+
+// ---- Per-lane table constructors (internal; defined per TU) ----
+const KernelTable* GetScalarTable();
+#ifdef CL4SREC_SIMD_HAVE_AVX2
+const KernelTable* GetAvx2Table();
+#endif
+#ifdef CL4SREC_SIMD_HAVE_AVX512
+// AVX-512 specializes the MatMul microkernel; elementwise kernels and
+// reductions are shared with the AVX2 table (identical bits, and 256-bit
+// ops avoid AVX-512 frequency licensing on the memory-bound kernels).
+const KernelTable* GetAvx512Table();
+#endif
+#ifdef CL4SREC_SIMD_HAVE_NEON
+const KernelTable* GetNeonTable();
+#endif
+
+}  // namespace simd
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TENSOR_SIMD_SIMD_H_

@@ -1,6 +1,9 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "tensor/simd/simd.h"
 
 namespace cl4srec {
 namespace {
@@ -18,7 +21,7 @@ int64_t ComputeNumel(const std::vector<int64_t>& shape) {
 
 Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
   numel_ = ComputeNumel(shape_);
-  data_ = std::make_shared<Storage>(static_cast<size_t>(numel_), 0.f);
+  data_ = std::make_shared<Storage>(numel_);
 }
 
 Tensor Tensor::Ones(std::vector<int64_t> shape) {
@@ -37,7 +40,8 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
   t.shape_ = std::move(shape);
   t.numel_ = ComputeNumel(t.shape_);
   CL4SREC_CHECK_EQ(t.numel_, static_cast<int64_t>(values.size()));
-  t.data_ = std::make_shared<Storage>(std::move(values));
+  t.data_ = std::make_shared<Storage>(values.data(),
+                                      static_cast<int64_t>(values.size()));
   return t;
 }
 
@@ -153,26 +157,21 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
 
 void Tensor::Fill(float value) {
   if (!data_) return;
-  std::fill(data_->begin(), data_->end(), value);
+  std::fill(data_->data(), data_->data() + data_->size(), value);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
   CL4SREC_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
-  float* dst = data();
-  const float* src = other.data();
-  for (int64_t i = 0; i < numel_; ++i) dst[i] += src[i];
+  simd::Kernels().add(data(), other.data(), numel_);
 }
 
 void Tensor::AxpyInPlace(float alpha, const Tensor& other) {
   CL4SREC_CHECK(SameShape(other)) << "AxpyInPlace shape mismatch";
-  float* dst = data();
-  const float* src = other.data();
-  for (int64_t i = 0; i < numel_; ++i) dst[i] += alpha * src[i];
+  simd::Kernels().axpy(data(), other.data(), alpha, numel_);
 }
 
 void Tensor::ScaleInPlace(float alpha) {
-  float* dst = data();
-  for (int64_t i = 0; i < numel_; ++i) dst[i] *= alpha;
+  simd::Kernels().scale(data(), alpha, numel_);
 }
 
 std::string Tensor::ToString(int64_t max_elements) const {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -86,7 +87,9 @@ class Tensor {
   std::string ToString(int64_t max_elements = 8) const;
 
  private:
-  using Storage = std::vector<float>;
+  // 64-byte-aligned backing buffer: vector kernels rely on aligned bases,
+  // and whole rows of power-of-two widths stay within cache lines.
+  using Storage = AlignedFloatBuffer;
 
   std::vector<int64_t> shape_;
   int64_t numel_ = 0;

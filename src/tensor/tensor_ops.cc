@@ -8,13 +8,17 @@
 
 #include "obs/trace.h"
 #include "parallel/parallel.h"
+#include "tensor/scratch.h"
+#include "tensor/simd/simd.h"
 
 namespace cl4srec {
 namespace {
 
-// Elementwise work per ParallelFor chunk; ranges at or below this run inline
-// on the calling thread with no pool involvement.
-constexpr int64_t kElemGrain = 1 << 14;
+// Elementwise work per ParallelFor chunk, kept a multiple of the widest
+// SIMD register (16 floats, AVX-512) so interior chunk boundaries never
+// force scalar tail iterations; ranges at or below this run inline on the
+// calling thread with no pool involvement.
+constexpr int64_t kElemGrain = parallel::AlignGrain(1 << 14, 16);
 
 // Grain (in rows) for row-wise kernels over [m, n] tensors, sized so each
 // chunk carries roughly kElemGrain elements of work.
@@ -77,13 +81,16 @@ void MatMulBlocked(const float* a, const float* b, float* c, int64_t m,
   const int64_t flops_per_row_block = 2 * kRowBlock * k * n;
   const int64_t grain = std::max<int64_t>(
       1, kMinFlopsPerTask / std::max<int64_t>(1, flops_per_row_block));
+  const simd::KernelTable* kt = &simd::Kernels();
   parallel::ParallelFor(0, num_row_blocks, grain, [=](int64_t rb_lo,
                                                       int64_t rb_hi) {
-    std::vector<float> b_panel(
-        static_cast<size_t>(kDepthBlock * std::min(n, kColBlock)));
-    std::vector<float> a_panel(
-        trans_a ? static_cast<size_t>(kRowBlock * std::min(k, kDepthBlock))
-                : 0);
+    // Pack panels live in the thread-local scratch arena: after warmup each
+    // task costs two pointer bumps instead of two heap allocations.
+    ScratchArena::Scope scratch;
+    float* b_panel = scratch.AllocFloats(kDepthBlock * std::min(n, kColBlock));
+    float* a_panel =
+        trans_a ? scratch.AllocFloats(kRowBlock * std::min(k, kDepthBlock))
+                : nullptr;
     for (int64_t rb = rb_lo; rb < rb_hi; ++rb) {
       const int64_t i0 = rb * kRowBlock;
       const int64_t i1 = std::min(m, i0 + kRowBlock);
@@ -93,20 +100,12 @@ void MatMulBlocked(const float* a, const float* b, float* c, int64_t m,
         for (int64_t p0 = 0; p0 < k; p0 += kDepthBlock) {  // Ascending p.
           const int64_t p1 = std::min(k, p0 + kDepthBlock);
           const int64_t depth = p1 - p0;
-          PackBPanel(b, n, k, trans_b, p0, p1, j0, j1, b_panel.data());
-          if (trans_a) PackAPanel(a, m, i0, i1, p0, p1, a_panel.data());
-          for (int64_t i = i0; i < i1; ++i) {
-            const float* a_row = trans_a ? a_panel.data() + (i - i0) * depth
-                                         : a + i * k + p0;
-            float* c_row = c + i * n + j0;
-            for (int64_t p = 0; p < depth; ++p) {
-              const float a_ip = a_row[p];
-              const float* b_row = b_panel.data() + p * width;
-              for (int64_t j = 0; j < width; ++j) {
-                c_row[j] += a_ip * b_row[j];
-              }
-            }
-          }
+          PackBPanel(b, n, k, trans_b, p0, p1, j0, j1, b_panel);
+          if (trans_a) PackAPanel(a, m, i0, i1, p0, p1, a_panel);
+          const float* a_block = trans_a ? a_panel : a + i0 * k + p0;
+          const int64_t a_stride = trans_a ? depth : k;
+          kt->matmul_micro(c + i0 * n + j0, n, a_block, a_stride, b_panel,
+                           depth, i1 - i0, width);
         }
       }
     }
@@ -137,6 +136,24 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F&& f) {
       0, a.numel(), kElemGrain, [&f, pa, pb, dst](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) dst[i] = f(pa[i], pb[i]);
       });
+  return out;
+}
+
+// Binary elementwise op through a dispatched kernel (out[i] = fn(a[i], b[i])).
+// Chunk boundaries only split independent elements, so results are identical
+// for every thread count and chunking.
+Tensor BinaryKernel(const Tensor& a, const Tensor& b,
+                    void (*fn)(float*, const float*, const float*, int64_t)) {
+  CL4SREC_CHECK(a.SameShape(b)) << "elementwise shape mismatch: "
+                                << a.ToString(0) << " vs " << b.ToString(0);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  parallel::ParallelFor(0, a.numel(), kElemGrain,
+                        [=](int64_t lo, int64_t hi) {
+                          fn(dst + lo, pa + lo, pb + lo, hi - lo);
+                        });
   return out;
 }
 
@@ -192,23 +209,39 @@ Tensor Transpose2D(const Tensor& a) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(a, b, [](float x, float y) { return x + y; });
+  return BinaryKernel(a, b, simd::Kernels().add_out);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(a, b, [](float x, float y) { return x - y; });
+  return BinaryKernel(a, b, simd::Kernels().sub_out);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(a, b, [](float x, float y) { return x * y; });
+  return BinaryKernel(a, b, simd::Kernels().mul_out);
 }
 
 Tensor Scale(const Tensor& a, float alpha) {
-  return ElementwiseUnary(a, [alpha](float x) { return alpha * x; });
+  Tensor out(a.shape());
+  const float* src = a.data();
+  float* dst = out.data();
+  const simd::KernelTable* kt = &simd::Kernels();
+  parallel::ParallelFor(0, a.numel(), kElemGrain,
+                        [=](int64_t lo, int64_t hi) {
+                          kt->scale_out(dst + lo, src + lo, alpha, hi - lo);
+                        });
+  return out;
 }
 
 Tensor AddScalar(const Tensor& a, float alpha) {
-  return ElementwiseUnary(a, [alpha](float x) { return x + alpha; });
+  Tensor out(a.shape());
+  const float* src = a.data();
+  float* dst = out.data();
+  const simd::KernelTable* kt = &simd::Kernels();
+  parallel::ParallelFor(
+      0, a.numel(), kElemGrain, [=](int64_t lo, int64_t hi) {
+        kt->add_scalar_out(dst + lo, src + lo, alpha, hi - lo);
+      });
+  return out;
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
@@ -221,11 +254,10 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   const float* src = a.data();
   const float* pb = bias.data();
   float* dst = out.data();
+  const simd::KernelTable* kt = &simd::Kernels();
   parallel::ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        dst[i * n + j] = src[i * n + j] + pb[j];
-      }
+      kt->add_out(dst + i * n, src + i * n, pb, n);
     }
   });
   return out;
@@ -264,10 +296,7 @@ Tensor Sqrt(const Tensor& a) {
 }
 
 float SumAll(const Tensor& a) {
-  const float* p = a.data();
-  double total = 0.0;
-  for (int64_t i = 0; i < a.numel(); ++i) total += p[i];
-  return static_cast<float>(total);
+  return static_cast<float>(simd::Kernels().reduce_sum(a.data(), a.numel()));
 }
 
 float MeanAll(const Tensor& a) {
@@ -290,9 +319,9 @@ Tensor SumRows(const Tensor& a) {
   Tensor out({n});
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) dst[j] += src[i * n + j];
-  }
+  const simd::KernelTable* kt = &simd::Kernels();
+  // Accumulate row-by-row in ascending i: same order as the naive loop.
+  for (int64_t i = 0; i < m; ++i) kt->add(dst, src + i * n, n);
   return out;
 }
 
@@ -303,19 +332,15 @@ Tensor SumCols(const Tensor& a) {
   Tensor out({m});
   const float* src = a.data();
   float* dst = out.data();
+  const simd::KernelTable* kt = &simd::Kernels();
   for (int64_t i = 0; i < m; ++i) {
-    double row = 0.0;
-    for (int64_t j = 0; j < n; ++j) row += src[i * n + j];
-    dst[i] = static_cast<float>(row);
+    dst[i] = static_cast<float>(kt->reduce_sum(src + i * n, n));
   }
   return out;
 }
 
 float SquaredNorm(const Tensor& a) {
-  const float* p = a.data();
-  double total = 0.0;
-  for (int64_t i = 0; i < a.numel(); ++i) total += double(p[i]) * p[i];
-  return static_cast<float>(total);
+  return static_cast<float>(simd::Kernels().sum_squares(a.data(), a.numel()));
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {
@@ -326,19 +351,15 @@ Tensor SoftmaxRows(const Tensor& logits) {
   Tensor out(logits.shape());
   const float* src = logits.data();
   float* dst = out.data();
+  const simd::KernelTable* kt = &simd::Kernels();
   parallel::ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* row = src + i * n;
       float* out_row = dst + i * n;
-      float max_val = row[0];
-      for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
-      double denom = 0.0;
-      for (int64_t j = 0; j < n; ++j) {
-        out_row[j] = std::exp(row[j] - max_val);
-        denom += out_row[j];
-      }
+      const float max_val = kt->reduce_max(row, n);
+      const double denom = kt->exp_shift_sum(out_row, row, max_val, n);
       const float inv = static_cast<float>(1.0 / denom);
-      for (int64_t j = 0; j < n; ++j) out_row[j] *= inv;
+      kt->scale(out_row, inv, n);
     }
   });
   return out;
@@ -352,16 +373,21 @@ Tensor LogSoftmaxRows(const Tensor& logits) {
   Tensor out(logits.shape());
   const float* src = logits.data();
   float* dst = out.data();
+  const simd::KernelTable* kt = &simd::Kernels();
   parallel::ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
+    // The exponentials are only needed for the denominator; stage them in
+    // scratch instead of a per-chunk heap buffer.
+    ScratchArena::Scope scratch;
+    float* tmp = scratch.AllocFloats(n);
     for (int64_t i = lo; i < hi; ++i) {
       const float* row = src + i * n;
       float* out_row = dst + i * n;
-      float max_val = row[0];
-      for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
-      double denom = 0.0;
-      for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - max_val);
+      const float max_val = kt->reduce_max(row, n);
+      const double denom = kt->exp_shift_sum(tmp, row, max_val, n);
       const float log_denom = max_val + static_cast<float>(std::log(denom));
-      for (int64_t j = 0; j < n; ++j) out_row[j] = row[j] - log_denom;
+      // x - c == x + (-c) exactly in IEEE, so add_scalar_out matches the
+      // seed kernel's subtraction bit-for-bit.
+      kt->add_scalar_out(out_row, row, -log_denom, n);
     }
   });
   return out;
@@ -377,15 +403,15 @@ Tensor L2NormalizeRows(const Tensor& a, float eps, Tensor* norms) {
   const float* src = a.data();
   float* dst = out.data();
   float* dst_norm = norm_out.data();
+  const simd::KernelTable* kt = &simd::Kernels();
   parallel::ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* row = src + i * n;
-      double sq = 0.0;
-      for (int64_t j = 0; j < n; ++j) sq += double(row[j]) * row[j];
+      const double sq = kt->sum_squares(row, n);
       const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
       dst_norm[i] = norm;
       const float inv = 1.f / norm;
-      for (int64_t j = 0; j < n; ++j) dst[i * n + j] = row[j] * inv;
+      kt->scale_out(dst + i * n, row, inv, n);
     }
   });
   if (norms != nullptr) *norms = std::move(norm_out);

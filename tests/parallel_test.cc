@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "parallel/parallel.h"
+#include "tensor/simd/simd.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 
@@ -23,6 +24,18 @@ namespace {
 // pool setting never leaks between tests.
 struct ThreadSettingGuard {
   ~ThreadSettingGuard() { parallel::SetNumThreads(0); }
+};
+
+// Pins the scalar kernel dispatch for a test's duration. The scalar lane
+// reproduces the pre-SIMD kernels bit-for-bit, which is what the naive
+// reference below encodes; vector lanes are bit-identical only per lane
+// (FMA + wider accumulation order) and are covered by simd_test.
+struct ScalarDispatchGuard {
+  ScalarDispatchGuard() : saved(simd::ActiveIsa()) {
+    simd::SetActiveIsa(simd::Isa::kScalar);
+  }
+  ~ScalarDispatchGuard() { simd::SetActiveIsa(saved); }
+  simd::Isa saved;
 };
 
 bool BitEqual(const Tensor& a, const Tensor& b) {
@@ -194,6 +207,7 @@ Tensor MatMulReference(const Tensor& a, const Tensor& b, bool trans_a,
 
 TEST(MatMulBlockedTest, MatchesReferenceAcrossShapesAndTransposeFlags) {
   ThreadSettingGuard guard;
+  ScalarDispatchGuard simd_guard;
   parallel::SetNumThreads(4);
   struct Shape {
     int64_t m, k, n;

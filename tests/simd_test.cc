@@ -1,0 +1,393 @@
+// Tests for the runtime-dispatched SIMD kernel layer (src/tensor/simd/).
+//
+// The determinism contract under test (see DESIGN.md "Kernel dispatch"):
+//   * elementwise kernels are BIT-IDENTICAL across every compiled +
+//     host-supported lane (no FMA, no reassociation);
+//   * reductions / exp / matmul agree with the scalar reference within a
+//     small tolerance, and are bit-deterministic run-to-run per lane;
+//   * reduce_max returns NaN iff the input contains a NaN, in every lane;
+//   * forcing an uncompiled / host-unsupported lane CHECK-fails with a
+//     message listing the usable lanes.
+//
+// Sizes deliberately straddle every vector width (4/8/16) and its tails.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/simd/kernels_common.h"
+#include "tensor/simd/simd.h"
+
+namespace cl4srec {
+namespace simd {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// Odd sizes, powers of two, and every nearby tail for 4/8/16-float lanes.
+const int64_t kSizes[] = {1,  2,  3,  7,  8,  9,   15,   16,  17,
+                          31, 32, 33, 63, 64, 65, 100, 1000, 4099};
+
+std::vector<float> RandomVec(int64_t n, uint32_t seed, float lo = -2.f,
+                             float hi = 2.f) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = dist(gen);
+  return v;
+}
+
+// Every lane this binary can actually run on this machine.
+std::vector<const KernelTable*> UsableTables() {
+  std::vector<const KernelTable*> tables;
+  for (Isa isa : CompiledIsas()) {
+    if (IsaSupportedByHost(isa)) tables.push_back(TableForIsa(isa));
+  }
+  return tables;
+}
+
+// Bit equality via memcmp: distinguishes -0.0 from 0.0 and compares NaN
+// payloads, which is exactly the "same IEEE operations" claim.
+::testing::AssertionResult BitEqual(const std::vector<float>& a,
+                                    const std::vector<float>& b,
+                                    const char* what) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << what << ": size mismatch";
+  }
+  if (a.empty() ||
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint32_t ba, bb;
+    std::memcpy(&ba, &a[i], 4);
+    std::memcpy(&bb, &b[i], 4);
+    if (ba != bb) {
+      return ::testing::AssertionFailure()
+             << what << ": first differing element " << i << ": " << a[i]
+             << " vs " << b[i] << " (n=" << a.size() << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Restores the global dispatch after tests that call SetMode/SetActiveIsa.
+struct DispatchGuard {
+  Isa prior = ActiveIsa();
+  ~DispatchGuard() { SetActiveIsa(prior); }
+};
+
+TEST(SimdDispatchTest, ScalarAlwaysCompiledAndBestLaneUsable) {
+  EXPECT_TRUE(IsaCompiled(Isa::kScalar));
+  EXPECT_TRUE(IsaSupportedByHost(Isa::kScalar));
+  const Isa best = DetectHostIsa();
+  EXPECT_TRUE(IsaCompiled(best));
+  EXPECT_TRUE(IsaSupportedByHost(best));
+  EXPECT_NE(TableForIsa(best), nullptr);
+  EXPECT_EQ(TableForIsa(best)->isa, best);
+}
+
+TEST(SimdDispatchTest, SetModeRoundTrip) {
+  DispatchGuard guard;
+  SetMode("off");
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  EXPECT_EQ(Kernels().vector_floats, 1);
+  SetMode("AUTO");  // Case-insensitive.
+  EXPECT_EQ(ActiveIsa(), DetectHostIsa());
+}
+
+TEST(SimdDispatchTest, ParseIsaMode) {
+  Isa isa;
+  EXPECT_TRUE(ParseIsaMode("scalar", &isa));
+  EXPECT_EQ(isa, Isa::kScalar);
+  EXPECT_TRUE(ParseIsaMode("off", &isa));
+  EXPECT_EQ(isa, Isa::kScalar);
+  EXPECT_TRUE(ParseIsaMode("AVX2", &isa));
+  EXPECT_EQ(isa, Isa::kAvx2);
+  EXPECT_TRUE(ParseIsaMode("avx512", &isa));
+  EXPECT_EQ(isa, Isa::kAvx512);
+  EXPECT_TRUE(ParseIsaMode("neon", &isa));
+  EXPECT_EQ(isa, Isa::kNeon);
+  EXPECT_FALSE(ParseIsaMode("sse9", &isa));
+  EXPECT_FALSE(ParseIsaMode("", &isa));
+}
+
+TEST(SimdDispatchDeathTest, InvalidModeStringDies) {
+  EXPECT_DEATH(SetMode("sse9"), "not a valid mode");
+}
+
+TEST(SimdDispatchDeathTest, UnusableLaneDies) {
+  // Find a lane this binary/host cannot run (e.g. neon on x86 builds,
+  // avx512 on older CPUs). Skip if every lane happens to be usable.
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    if (!IsaCompiled(isa) || !IsaSupportedByHost(isa)) {
+      EXPECT_DEATH(SetActiveIsa(isa), "usable lanes:");
+      return;
+    }
+  }
+  GTEST_SKIP() << "every lane is usable on this build/host";
+}
+
+TEST(SimdKernelTest, ElementwiseBitIdenticalAcrossLanes) {
+  AdamStepParams adam;
+  adam.bias1 = 1.f - adam.beta1;
+  adam.bias2 = 1.f - adam.beta2;
+  adam.weight_decay = 0.01f;
+  for (int64_t n : kSizes) {
+    const std::vector<float> x = RandomVec(n, 100 + uint32_t(n));
+    const std::vector<float> y0 = RandomVec(n, 200 + uint32_t(n));
+    const std::vector<float> gamma = RandomVec(n, 300 + uint32_t(n));
+    const std::vector<float> beta = RandomVec(n, 400 + uint32_t(n));
+    const std::vector<float> m0 = RandomVec(n, 500 + uint32_t(n), 0.f, 0.1f);
+    const std::vector<float> v0 = RandomVec(n, 600 + uint32_t(n), 0.f, 0.1f);
+
+    // Reference outputs from the shared scalar kernels.
+    std::vector<float> r_axpy = y0, r_add = y0, r_scale = y0;
+    ref::Axpy(r_axpy.data(), x.data(), 0.7f, n);
+    ref::Add(r_add.data(), x.data(), n);
+    ref::Scale(r_scale.data(), 1.3f, n);
+    std::vector<float> r_out(static_cast<size_t>(n)), r_xhat(static_cast<size_t>(n));
+    std::vector<float> r_w = y0, r_m = m0, r_v = v0, r_sgd = y0;
+    ref::NormAffine(r_xhat.data(), r_out.data(), x.data(), gamma.data(),
+                    beta.data(), 0.25f, 1.5f, n);
+    ref::AdamUpdate(r_w.data(), r_m.data(), r_v.data(), x.data(), adam, n);
+    ref::SgdUpdate(r_sgd.data(), x.data(), 0.1f, 0.01f, n);
+
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(::testing::Message() << "lane=" << kt->name << " n=" << n);
+      std::vector<float> out(static_cast<size_t>(n)), out2(static_cast<size_t>(n));
+
+      std::vector<float> buf = y0;
+      kt->axpy(buf.data(), x.data(), 0.7f, n);
+      EXPECT_TRUE(BitEqual(buf, r_axpy, "axpy"));
+      buf = y0;
+      kt->add(buf.data(), x.data(), n);
+      EXPECT_TRUE(BitEqual(buf, r_add, "add"));
+      buf = y0;
+      kt->scale(buf.data(), 1.3f, n);
+      EXPECT_TRUE(BitEqual(buf, r_scale, "scale"));
+
+      kt->scale_out(out.data(), x.data(), 1.3f, n);
+      std::vector<float> r(static_cast<size_t>(n));
+      ref::ScaleOut(r.data(), x.data(), 1.3f, n);
+      EXPECT_TRUE(BitEqual(out, r, "scale_out"));
+
+      kt->add_scalar_out(out.data(), x.data(), -0.5f, n);
+      ref::AddScalarOut(r.data(), x.data(), -0.5f, n);
+      EXPECT_TRUE(BitEqual(out, r, "add_scalar_out"));
+
+      kt->add_out(out.data(), x.data(), y0.data(), n);
+      ref::AddOut(r.data(), x.data(), y0.data(), n);
+      EXPECT_TRUE(BitEqual(out, r, "add_out"));
+      kt->sub_out(out.data(), x.data(), y0.data(), n);
+      ref::SubOut(r.data(), x.data(), y0.data(), n);
+      EXPECT_TRUE(BitEqual(out, r, "sub_out"));
+      kt->mul_out(out.data(), x.data(), y0.data(), n);
+      ref::MulOut(r.data(), x.data(), y0.data(), n);
+      EXPECT_TRUE(BitEqual(out, r, "mul_out"));
+
+      kt->norm_affine(out.data(), out2.data(), x.data(), gamma.data(),
+                      beta.data(), 0.25f, 1.5f, n);
+      EXPECT_TRUE(BitEqual(out, r_xhat, "norm_affine xhat"));
+      EXPECT_TRUE(BitEqual(out2, r_out, "norm_affine out"));
+
+      std::vector<float> w = y0, m = m0, v = v0;
+      kt->adam_update(w.data(), m.data(), v.data(), x.data(), adam, n);
+      EXPECT_TRUE(BitEqual(w, r_w, "adam w"));
+      EXPECT_TRUE(BitEqual(m, r_m, "adam m"));
+      EXPECT_TRUE(BitEqual(v, r_v, "adam v"));
+
+      buf = y0;
+      kt->sgd_update(buf.data(), x.data(), 0.1f, 0.01f, n);
+      EXPECT_TRUE(BitEqual(buf, r_sgd, "sgd"));
+    }
+  }
+}
+
+TEST(SimdKernelTest, ElementwiseAliasingAndZeroLength) {
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    // n == 0 must be a no-op on every kernel that allows it.
+    kt->axpy(nullptr, nullptr, 1.f, 0);
+    kt->add(nullptr, nullptr, 0);
+    kt->scale(nullptr, 1.f, 0);
+    EXPECT_EQ(kt->reduce_sum(nullptr, 0), 0.0);
+    EXPECT_EQ(kt->dot(nullptr, nullptr, 0), 0.0);
+    EXPECT_EQ(kt->sum_squares(nullptr, 0), 0.0);
+    EXPECT_EQ(kt->exp_shift_sum(nullptr, nullptr, 0.f, 0), 0.0);
+
+    // out == x aliasing, used by SoftmaxRows / LogSoftmaxRows in place.
+    std::vector<float> x = RandomVec(33, 7);
+    std::vector<float> expect(x.size());
+    ref::ScaleOut(expect.data(), x.data(), 2.f, 33);
+    kt->scale_out(x.data(), x.data(), 2.f, 33);
+    EXPECT_TRUE(BitEqual(x, expect, "scale_out aliased"));
+    ref::AddScalarOut(expect.data(), x.data(), 1.f, 33);
+    kt->add_scalar_out(x.data(), x.data(), 1.f, 33);
+    EXPECT_TRUE(BitEqual(x, expect, "add_scalar_out aliased"));
+  }
+}
+
+TEST(SimdKernelTest, ReductionsMatchScalarReference) {
+  for (int64_t n : kSizes) {
+    const std::vector<float> a = RandomVec(n, 10 + uint32_t(n));
+    const std::vector<float> b = RandomVec(n, 20 + uint32_t(n));
+    const double r_sum = ref::ReduceSum(a.data(), n);
+    const double r_dot = ref::Dot(a.data(), b.data(), n);
+    const double r_sq = ref::SumSquares(a.data(), n);
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(::testing::Message() << "lane=" << kt->name << " n=" << n);
+      // Double accumulators everywhere; only the lane fold order differs,
+      // so agreement is far tighter than float epsilon.
+      EXPECT_NEAR(kt->reduce_sum(a.data(), n), r_sum,
+                  1e-10 * (std::abs(r_sum) + double(n)));
+      EXPECT_NEAR(kt->dot(a.data(), b.data(), n), r_dot,
+                  1e-10 * (std::abs(r_dot) + double(n)));
+      EXPECT_NEAR(kt->sum_squares(a.data(), n), r_sq,
+                  1e-10 * (r_sq + double(n)));
+    }
+  }
+}
+
+TEST(SimdKernelTest, ReduceMaxExactAndNanPropagation) {
+  for (int64_t n : kSizes) {
+    std::vector<float> a = RandomVec(n, 30 + uint32_t(n), -100.f, 100.f);
+    const float expect = ref::ReduceMax(a.data(), n);
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(::testing::Message() << "lane=" << kt->name << " n=" << n);
+      EXPECT_EQ(kt->reduce_max(a.data(), n), expect);
+
+      // -inf everywhere except one finite element.
+      std::vector<float> inf_case(static_cast<size_t>(n), -kInf);
+      inf_case[size_t(n) / 2] = 3.f;
+      EXPECT_EQ(kt->reduce_max(inf_case.data(), n), 3.f);
+
+      // NaN anywhere (head, lane interior, tail) forces a NaN result even
+      // when other elements are larger.
+      for (int64_t pos : {int64_t{0}, n / 2, n - 1}) {
+        std::vector<float> nan_case = a;
+        nan_case[size_t(pos)] = kNaN;
+        EXPECT_TRUE(std::isnan(kt->reduce_max(nan_case.data(), n)))
+            << "NaN at " << pos << " ignored";
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ExpShiftSumMatchesLibmWithinTolerance) {
+  for (int64_t n : kSizes) {
+    // Softmax-realistic range: logits shifted by the row max (<= 0).
+    std::vector<float> x = RandomVec(n, 40 + uint32_t(n), -30.f, 0.f);
+    std::vector<float> expect(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+    const double r_sum = ref::ExpShiftSum(expect.data(), x.data(), 0.f, n);
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(::testing::Message() << "lane=" << kt->name << " n=" << n);
+      const double sum = kt->exp_shift_sum(got.data(), x.data(), 0.f, n);
+      EXPECT_NEAR(sum, r_sum, 1e-5 * r_sum);
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[size_t(i)], expect[size_t(i)],
+                    1e-5f * expect[size_t(i)] + 1e-12f)
+            << "element " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ExpShiftSumEdgeCases) {
+  // Overflow saturates to +inf, large-negative underflows to 0, NaN stays.
+  const std::vector<float> x = {200.f, -200.f, 0.f, kNaN, 88.f, -87.f,
+                                1.f,   -1.f,   2.f, -2.f, 3.f,  -3.f};
+  const int64_t n = static_cast<int64_t>(x.size());
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    std::vector<float> out(x.size());
+    const double sum = kt->exp_shift_sum(out.data(), x.data(), 0.f, n);
+    EXPECT_TRUE(std::isinf(out[0]) && out[0] > 0.f) << out[0];
+    EXPECT_EQ(out[1], 0.f);
+    EXPECT_EQ(out[2], 1.f);
+    EXPECT_TRUE(std::isnan(out[3]));
+    EXPECT_NEAR(out[4], std::exp(88.f), 1e-4f * std::exp(88.f));
+    EXPECT_NEAR(out[5], std::exp(-87.f), 1e-4f * std::exp(-87.f));
+    EXPECT_TRUE(std::isnan(sum) || std::isinf(sum));
+  }
+}
+
+TEST(SimdKernelTest, MeanVarMatchesScalarReference) {
+  for (int64_t n : kSizes) {
+    const std::vector<float> x = RandomVec(n, 50 + uint32_t(n), -3.f, 5.f);
+    float r_mean, r_var;
+    ref::MeanVar(x.data(), n, &r_mean, &r_var);
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(::testing::Message() << "lane=" << kt->name << " n=" << n);
+      float mean, var;
+      kt->mean_var(x.data(), n, &mean, &var);
+      EXPECT_NEAR(mean, r_mean, 1e-6f * (std::abs(r_mean) + 1.f));
+      EXPECT_NEAR(var, r_var, 1e-5f * (r_var + 1.f));
+      EXPECT_GE(var, 0.f);
+    }
+  }
+}
+
+TEST(SimdKernelTest, MatMulMicroMatchesScalarReference) {
+  // rows x width tiles with depths straddling the register-tile shapes
+  // (4x16 AVX2, 4x32 AVX-512, 4x8 NEON) and their row/column tails.
+  const int64_t kDepths[] = {1, 2, 7, 16, 33, 64};
+  const int64_t kRows[] = {1, 2, 3, 4, 5, 8, 11};
+  const int64_t kWidths[] = {1, 3, 8, 15, 16, 17, 31, 32, 33, 64, 100};
+  for (int64_t depth : kDepths) {
+    for (int64_t rows : kRows) {
+      for (int64_t width : kWidths) {
+        const std::vector<float> a =
+            RandomVec(rows * depth, uint32_t(depth * 131 + rows));
+        const std::vector<float> b =
+            RandomVec(depth * width, uint32_t(depth * 17 + width));
+        std::vector<float> expect =
+            RandomVec(rows * width, uint32_t(rows * 7 + width));
+        std::vector<float> init = expect;  // C accumulates on top.
+        ref::MatMulMicro(expect.data(), width, a.data(), depth, b.data(),
+                         depth, rows, width);
+        for (const KernelTable* kt : UsableTables()) {
+          SCOPED_TRACE(::testing::Message()
+                       << "lane=" << kt->name << " depth=" << depth
+                       << " rows=" << rows << " width=" << width);
+          std::vector<float> c = init;
+          kt->matmul_micro(c.data(), width, a.data(), depth, b.data(), depth,
+                           rows, width);
+          for (size_t i = 0; i < c.size(); ++i) {
+            EXPECT_NEAR(c[i], expect[i],
+                        1e-5f * (std::abs(expect[i]) + float(depth)))
+                << "element " << i;
+          }
+          // Run-to-run bit determinism at a fixed dispatch.
+          std::vector<float> c2 = init;
+          kt->matmul_micro(c2.data(), width, a.data(), depth, b.data(), depth,
+                           rows, width);
+          EXPECT_TRUE(BitEqual(c, c2, "matmul_micro rerun"));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ReductionsAndExpAreRunToRunDeterministic) {
+  const int64_t n = 4099;
+  const std::vector<float> x = RandomVec(n, 60, -10.f, 0.f);
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    EXPECT_EQ(kt->reduce_sum(x.data(), n), kt->reduce_sum(x.data(), n));
+    EXPECT_EQ(kt->dot(x.data(), x.data(), n), kt->dot(x.data(), x.data(), n));
+    std::vector<float> o1(static_cast<size_t>(n)), o2(static_cast<size_t>(n));
+    const double s1 = kt->exp_shift_sum(o1.data(), x.data(), 0.f, n);
+    const double s2 = kt->exp_shift_sum(o2.data(), x.data(), 0.f, n);
+    EXPECT_EQ(s1, s2);
+    EXPECT_TRUE(BitEqual(o1, o2, "exp_shift_sum rerun"));
+  }
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace cl4srec
