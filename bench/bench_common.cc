@@ -25,6 +25,10 @@ void AddCommonFlags(FlagParser* flags) {
   flags->AddInt("threads", 0,
                 "compute threads (0 = CL4SREC_NUM_THREADS env var or "
                 "hardware concurrency; 1 = serial)");
+  flags->AddInt("prefetch_depth", 2,
+                "batches built ahead of the optimizer by the async "
+                "prefetcher (0 = build inline; batch content is identical "
+                "at any depth)");
   flags->AddString("simd", "",
                    "kernel dispatch: auto, off, avx2, avx512, neon "
                    "(empty = CL4SREC_SIMD env var, else auto-detect)");
@@ -51,6 +55,7 @@ BenchConfig ConfigFromFlags(const FlagParser& flags) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.verbose = flags.GetBool("verbose");
   config.threads = flags.GetInt("threads");
+  config.prefetch_depth = flags.GetInt("prefetch_depth");
   config.csv_path = flags.GetString("csv");
   // Applied here so every bench/CLI binary honors --threads without each
   // main() having to remember to; training loops re-apply via TrainOptions.
@@ -93,6 +98,7 @@ TrainOptions MakeTrainOptions(const BenchConfig& config) {
   options.seed = config.seed;
   options.verbose = config.verbose;
   options.num_threads = config.threads;
+  options.prefetch_depth = config.prefetch_depth;
   return options;
 }
 

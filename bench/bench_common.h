@@ -41,6 +41,8 @@ struct BenchConfig {
   // Compute threads (0 = CL4SREC_NUM_THREADS env var, else hardware
   // concurrency; 1 = serial). ConfigFromFlags applies this process-wide.
   int64_t threads = 0;
+  // Async batch-prefetch depth (0 = serial batch building).
+  int64_t prefetch_depth = 2;
   std::string csv_path;
 };
 

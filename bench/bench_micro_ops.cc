@@ -9,9 +9,14 @@
 //     times the transformer-shaped matmuls and the full-ranking eval loop at
 //     threads=1 vs. threads=N (default: all cores) and writes a JSON report
 //     (default path BENCH_micro_ops.json) with GFLOP/s, users/sec, parallel
-//     speedups, and a "simd" section (detected/active ISA, compiled lanes,
-//     per-kernel scalar-vs-vector speedups) — the per-PR perf trajectory
-//     artifact; scripts/bench_micro.sh wraps the Release build + run.
+//     speedups, a "simd" section (detected/active ISA, compiled lanes,
+//     per-kernel scalar-vs-vector speedups), a "pool" section (pooled vs.
+//     heap tensor churn and a full pooled-vs-heap training step), a "fused"
+//     section (fused loss/normalization kernels vs. their unfused
+//     compositions), and a "pipeline" section (CL4SRec pretraining
+//     steps/sec with batches built inline vs. on the prefetch producer) —
+//     the per-PR perf trajectory artifact; scripts/bench_micro.sh wraps the
+//     Release build + run.
 //     --simd (auto | off | avx2 | avx512 | neon) pins the dispatch first.
 
 #include <benchmark/benchmark.h>
@@ -21,16 +26,21 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "augment/augmentations.h"
+#include "autograd/graph_arena.h"
 #include "autograd/ops.h"
+#include "core/cl4srec.h"
 #include "core/nt_xent.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "nn/transformer.h"
+#include "optim/optimizer.h"
 #include "parallel/parallel.h"
+#include "tensor/pool.h"
 #include "tensor/simd/simd.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
@@ -401,6 +411,184 @@ int RunJsonSuite(const std::string& path, int parallel_threads) {
       json += StrFormat("      \"matmul_256\": %.2f\n    }\n  },\n",
                         scalar_sec / vec_sec);
     }
+  }
+
+  // Pooled tensor memory: transformer-shaped temporary churn through the
+  // size-bucketed freelist vs. raw heap (fresh large mallocs fault their
+  // pages in; pooled reuse keeps them warm), plus a full training step
+  // (forward + backward + Adam) with pool + step arena on vs. off.
+  {
+    SetNumThreads(1);
+    auto churn = [&] {
+      for (int i = 0; i < 4; ++i) {
+        Tensor t({128 * 50, 64});
+        benchmark::DoNotOptimize(t.data());
+      }
+    };
+    TensorPool::SetEnabled(true);
+    const double churn_pooled_sec = TimePerCall(churn);
+    TensorPool::SetEnabled(false);
+    const double churn_heap_sec = TimePerCall(churn);
+    TensorPool::SetEnabled(true);
+
+    TransformerConfig config;
+    config.num_items = 200;
+    config.max_len = 32;
+    config.hidden_dim = 32;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.dropout = 0.f;
+    Rng init_rng(7);
+    TransformerSeqEncoder encoder(config, &init_rng);
+    std::vector<Variable*> params = encoder.Parameters();
+    Adam optimizer(params, AdamOptions{.lr = 1e-3f});
+    std::vector<std::vector<int64_t>> sequences;
+    Rng data_rng(13);
+    for (int i = 0; i < 32; ++i) {
+      std::vector<int64_t> seq;
+      for (int t = 0; t < 24; ++t) seq.push_back(data_rng.UniformInt(1, 200));
+      sequences.push_back(std::move(seq));
+    }
+    PaddedBatch batch = PackSequences(sequences, config.max_len);
+    Rng step_rng(23);
+    auto step = [&](bool pooled) {
+      TensorPool::SetEnabled(pooled);
+      std::optional<GraphArena::StepScope> scope;
+      if (pooled) scope.emplace();
+      ForwardContext ctx{.training = true, .rng = &step_rng};
+      Variable hidden = encoder.EncodeAll(batch, ctx);
+      Variable loss = SumV(MulV(hidden, hidden));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    };
+    const double step_pooled_sec = TimePerCall([&] { step(true); });
+    const double step_heap_sec = TimePerCall([&] { step(false); });
+    TensorPool::SetEnabled(true);
+    json += StrFormat(
+        "  \"pool\": {\n"
+        "    \"tensor_churn_heap_usec\": %.2f,\n"
+        "    \"tensor_churn_pooled_usec\": %.2f,\n"
+        "    \"tensor_churn_speedup\": %.2f,\n"
+        "    \"train_step_heap_usec\": %.1f,\n"
+        "    \"train_step_pooled_usec\": %.1f,\n"
+        "    \"train_step_speedup\": %.3f\n"
+        "  },\n",
+        churn_heap_sec * 1e6, churn_pooled_sec * 1e6,
+        churn_heap_sec / churn_pooled_sec, step_heap_sec * 1e6,
+        step_pooled_sec * 1e6, step_heap_sec / step_pooled_sec);
+  }
+
+  // Fused loss / normalization kernels (ops_fused.cc) vs. their unfused
+  // compositions; each case times one forward + backward pass.
+  {
+    SetNumThreads(1);
+    Rng rng(41);
+    const int64_t rows = 256, classes = 1024, d = 64, views = 128;
+    Variable logits(Tensor::Randn({rows, classes}, &rng), true);
+    std::vector<int64_t> targets;
+    for (int64_t i = 0; i < rows; ++i) {
+      targets.push_back(rng.UniformInt(classes));
+    }
+    auto ce = [&](bool fused) {
+      logits.ZeroGrad();
+      Variable loss = fused ? FusedSoftmaxCrossEntropyV(logits, targets)
+                            : SoftmaxCrossEntropyV(logits, targets);
+      loss.Backward();
+      benchmark::DoNotOptimize(logits.grad().data());
+    };
+    Variable reps(Tensor::Randn({2 * views, d}, &rng), true);
+    auto ntxent = [&](bool fused) {
+      reps.ZeroGrad();
+      Variable loss =
+          fused ? FusedNtXentV(reps, 0.5f) : NtXentLossUnfused(reps, 0.5f);
+      loss.Backward();
+      benchmark::DoNotOptimize(reps.grad().data());
+    };
+    Variable x(Tensor::Randn({rows, d}, &rng), true);
+    Variable y(Tensor::Randn({rows, d}, &rng), true);
+    Variable gamma(Tensor::Randn({d}, &rng), true);
+    Variable beta(Tensor::Randn({d}, &rng), true);
+    auto layernorm = [&](bool fused) {
+      ZeroGradAll({&x, &y, &gamma, &beta});
+      Variable out = fused ? ResidualLayerNormV(x, y, gamma, beta)
+                           : LayerNormV(AddV(x, y), gamma, beta);
+      SumV(out).Backward();
+      benchmark::DoNotOptimize(x.grad().data());
+    };
+    struct FusedCase {
+      const char* name;
+      std::function<void(bool)> run;
+    };
+    const FusedCase fused_cases[] = {
+        {"softmax_ce_B256_C1024", ce},
+        {"nt_xent_2x128_d64", ntxent},
+        {"residual_layernorm_B256_d64", layernorm},
+    };
+    json += "  \"fused\": {\n";
+    for (size_t ci = 0; ci < std::size(fused_cases); ++ci) {
+      const FusedCase& fc = fused_cases[ci];
+      const double unfused_sec = TimePerCall([&] { fc.run(false); });
+      const double fused_sec = TimePerCall([&] { fc.run(true); });
+      json += StrFormat(
+          "    \"%s\": {\"unfused_usec\": %.1f, \"fused_usec\": %.1f, "
+          "\"speedup\": %.2f}%s\n",
+          fc.name, unfused_sec * 1e6, fused_sec * 1e6,
+          unfused_sec / fused_sec,
+          ci + 1 < std::size(fused_cases) ? "," : "");
+    }
+    json += "  },\n";
+  }
+
+  // Async augmentation prefetch: CL4SRec contrastive pretraining steps/sec
+  // with batches built inline on the training thread (prefetch_depth 0)
+  // vs. built ahead on the producer thread (depth 2). Compute is pinned
+  // serial so the producer overlaps with the optimizer, not with kernel
+  // workers; the overlap needs a spare core, so read this next to
+  // hardware_concurrency above.
+  {
+    SequenceDataset data =
+        MakeSyntheticDataset(SyntheticPreset::kBeauty, /*scale=*/0.25);
+    Cl4SRecConfig config;
+    config.encoder.hidden_dim = 32;
+    config.pretrain_epochs = 2;
+    config.pretrain_batch_size = 64;
+    config.augmentations = {{AugmentationKind::kCrop, 0.5},
+                            {AugmentationKind::kMask, 0.5}};
+    TrainOptions options;
+    options.batch_size = 64;
+    options.max_len = 50;
+    options.num_threads = 1;
+    const int64_t users = data.num_users();
+    const int64_t per_epoch = users / 64 + (users % 64 >= 2 ? 1 : 0);
+    const int64_t steps = per_epoch * config.pretrain_epochs;
+    auto run = [&](int64_t depth) {
+      options.prefetch_depth = depth;
+      Cl4SRec model(config);
+      using clock = std::chrono::steady_clock;
+      double best = 1e30;
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto start = clock::now();
+        model.Pretrain(data, options);
+        best = std::min(
+            best,
+            std::chrono::duration<double>(clock::now() - start).count());
+      }
+      return best;
+    };
+    const double inline_sec = run(0);
+    const double prefetch_sec = run(2);
+    json += StrFormat(
+        "  \"pipeline\": {\"model\": \"cl4srec_pretrain\", "
+        "\"num_users\": %lld, \"batch_size\": 64, \"epochs\": %lld, "
+        "\"steps\": %lld, \"inline_steps_per_sec\": %.1f, "
+        "\"prefetch2_steps_per_sec\": %.1f, \"speedup\": %.3f},\n",
+        static_cast<long long>(users),
+        static_cast<long long>(config.pretrain_epochs),
+        static_cast<long long>(steps),
+        static_cast<double>(steps) / inline_sec,
+        static_cast<double>(steps) / prefetch_sec,
+        inline_sec / prefetch_sec);
   }
 
   // Full-ranking eval throughput: real dataset + RankOfTarget loop, with a

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Builds bench_micro_ops in Release and emits BENCH_micro_ops.json — the
 # per-PR kernel perf artifact: GFLOP/s and parallel speedup vs. threads=1
-# for the transformer-shaped matmuls, full-ranking eval users/sec, and a
+# for the transformer-shaped matmuls, full-ranking eval users/sec, a
 # "simd" section (detected/active ISA, compiled lanes, per-kernel
-# scalar-vs-vector speedups).
+# scalar-vs-vector speedups), a "pool" section (pooled vs. heap tensor
+# churn and training-step timing), a "fused" section (fused loss /
+# normalization kernels vs. their unfused compositions), and a "pipeline"
+# section (CL4SRec pretraining steps/sec with prefetch_depth 0 vs. 2 —
+# producer overlap needs a spare core; see hardware_concurrency).
 #
 # Usage: scripts/bench_micro.sh [output.json] [--threads N] [--simd MODE]
 #   output defaults to BENCH_micro_ops.json in the repo root; --threads

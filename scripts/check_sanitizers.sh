@@ -9,6 +9,10 @@
 #      integration suites that drive the pool end-to-end), catching data
 #      races in the thread pool, the blocked kernels, the parallel
 #      evaluator, and the metrics/trace instrumentation they update.
+#      prefetch_test and alloc_test join this lane: the async batch
+#      producer (bounded queue, cancellation, exception hand-off) and the
+#      tensor pool / graph arena recycling are exactly where a harmless-
+#      looking unlock-order change becomes a race.
 #   3. Scalar-lane sweep: the ASan binaries rerun with CL4SREC_SIMD=off
 #      (runtime scalar dispatch over the kernel-heavy suites), then a
 #      -DCL4SREC_SIMD=off build compiles and runs simd_test — proving the
@@ -39,18 +43,21 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCL4SREC_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
-  --target parallel_test determinism_test eval_test integration_test obs_test
+  --target parallel_test determinism_test eval_test integration_test \
+  obs_test prefetch_test alloc_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test' "$@"
+  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test|prefetch_test|alloc_test' "$@"
 echo "thread sanitizer suite passed"
 
 # Scalar dispatch under ASan: same binaries, vector lanes disabled at
 # runtime, over the suites that exercise the kernel layer hardest.
+# fused_test under CL4SREC_SIMD=off proves the scalar fallbacks of the
+# fused softmax-CE / NT-Xent / residual-LayerNorm kernels stay bit-equal.
 CL4SREC_SIMD=off ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -j "$(nproc)" \
-  -R 'simd_test|tensor_test|parallel_test|determinism_test|optim_test' "$@"
+  -R 'simd_test|tensor_test|parallel_test|determinism_test|optim_test|fused_test' "$@"
 echo "scalar-dispatch (CL4SREC_SIMD=off) asan suite passed"
 
 # Scalar-only BUILD: no vector TU is compiled at all; simd_test must still
@@ -59,8 +66,9 @@ SCALAR_BUILD_DIR=${SCALAR_BUILD_DIR:-build-scalar}
 cmake -B "$SCALAR_BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCL4SREC_SIMD=off
-cmake --build "$SCALAR_BUILD_DIR" -j "$(nproc)" --target simd_test tensor_test
+cmake --build "$SCALAR_BUILD_DIR" -j "$(nproc)" \
+  --target simd_test tensor_test fused_test
 ctest --test-dir "$SCALAR_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'simd_test|tensor_test' "$@"
+  -R 'simd_test|tensor_test|fused_test' "$@"
 echo "scalar-only build suite passed"
 echo "sanitizer suite passed"

@@ -1,0 +1,137 @@
+#include "autograd/graph_arena.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "tensor/aligned.h"
+
+namespace cl4srec {
+namespace {
+
+// First block sized for a typical transformer training step (~200 nodes of
+// ~200 bytes each plus closures) so the common case never grows.
+constexpr size_t kInitialBlockBytes = size_t{1} << 18;  // 256 KiB
+
+constexpr size_t kArenaAlign = 16;
+
+size_t RoundUp16(size_t bytes) {
+  return (bytes + kArenaAlign - 1) & ~(kArenaAlign - 1);
+}
+
+struct ArenaMetrics {
+  obs::Counter* bytes;
+  obs::Counter* grow_events;
+};
+
+const ArenaMetrics& Metrics() {
+  static const ArenaMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return ArenaMetrics{
+        registry.GetCounter("autograd.arena.bytes"),
+        registry.GetCounter("autograd.arena.grow_events"),
+    };
+  }();
+  return metrics;
+}
+
+thread_local GraphArena* tls_arena = nullptr;
+
+}  // namespace
+
+GraphArena& GraphArena::ForThread() {
+  thread_local GraphArena arena;
+  tls_arena = &arena;
+  return arena;
+}
+
+bool GraphArena::ActiveOnThisThread() {
+  // tls_arena is only set once ForThread() has run; before that no scope can
+  // be live on this thread.
+  return tls_arena != nullptr && tls_arena->depth_ > 0;
+}
+
+GraphArena::~GraphArena() {
+  for (Block& block : blocks_) AlignedFree(block.data);
+}
+
+int64_t GraphArena::reserved_bytes() const {
+  size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return static_cast<int64_t>(total);
+}
+
+void* GraphArena::Allocate(size_t bytes) {
+  CL4SREC_CHECK_GT(depth_, 0) << "graph arena Allocate outside a StepScope";
+  bytes = RoundUp16(bytes == 0 ? 1 : bytes);
+  while (block_ < blocks_.size()) {
+    Block& current = blocks_[block_];
+    if (current.capacity - offset_ >= bytes) {
+      void* p = current.data + offset_;
+      offset_ += bytes;
+      live_.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+    ++block_;
+    offset_ = 0;
+  }
+  const size_t capacity = AlignedRoundUp(std::max(
+      {kInitialBlockBytes, bytes, static_cast<size_t>(reserved_bytes())}));
+  Block block;
+  block.data = static_cast<char*>(AlignedAlloc(capacity));
+  block.capacity = capacity;
+  blocks_.push_back(block);
+  Metrics().bytes->Add(static_cast<int64_t>(capacity));
+  Metrics().grow_events->Increment();
+  block_ = blocks_.size() - 1;
+  offset_ = bytes;
+  live_.fetch_add(1, std::memory_order_relaxed);
+  return block.data;
+}
+
+bool GraphArena::Owns(const void* ptr) const {
+  const char* p = static_cast<const char*>(ptr);
+  for (const Block& block : blocks_) {
+    if (p >= block.data && p < block.data + block.capacity) return true;
+  }
+  return false;
+}
+
+void GraphArena::Deallocate(const void* ptr) {
+  CL4SREC_CHECK(Owns(ptr)) << "graph arena Deallocate of foreign pointer";
+  live_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void GraphArena::Rewind() {
+  if (blocks_.size() > 1) {
+    // Growth fragmented the arena: merge into one block of the combined
+    // capacity so the next step bumps through a single allocation.
+    const size_t total = static_cast<size_t>(reserved_bytes());
+    for (Block& block : blocks_) AlignedFree(block.data);
+    blocks_.clear();
+    Block block;
+    block.data = static_cast<char*>(AlignedAlloc(total));
+    block.capacity = AlignedRoundUp(total);
+    blocks_.push_back(block);
+    Metrics().grow_events->Increment();
+  }
+  block_ = 0;
+  offset_ = 0;
+}
+
+void GraphArena::MaybeRewind() {
+  if (live_.load(std::memory_order_acquire) == 0) Rewind();
+}
+
+GraphArena::StepScope::StepScope() : arena_(&GraphArena::ForThread()) {
+  if (arena_->depth_++ == 0) {
+    // A Variable that escaped the previous step keeps its memory pinned past
+    // that scope's exit; reclaim here once it has died.
+    arena_->MaybeRewind();
+  }
+}
+
+GraphArena::StepScope::~StepScope() {
+  if (--arena_->depth_ == 0) arena_->MaybeRewind();
+}
+
+}  // namespace cl4srec

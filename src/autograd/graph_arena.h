@@ -1,0 +1,213 @@
+// GraphArena — per-step bump arena for autograd graph memory.
+//
+// Training rebuilds the whole tape every step: one Node (plus its
+// shared_ptr control block), one backward closure, and the odd index array
+// per op, all freed together when the loss goes out of scope at the end of
+// the step. The arena exploits exactly that lifetime: while a StepScope is
+// live on the thread, graph allocations are pointer bumps into reused
+// blocks; when the scope exits (after optimizer.Step(), once every node
+// from the step has been destroyed) the arena rewinds to empty. Shaped like
+// the kernel scratch arena (tensor/scratch.h) but for whole-graph lifetime
+// instead of kernel-call lifetime.
+//
+// Usage (one scope per training-step iteration, declared FIRST in the loop
+// body so it is destroyed last, after the loss and every intermediate
+// Variable):
+//
+//   for (...batches...) {
+//     GraphArena::StepScope graph_arena;
+//     Variable loss = ...;                    // nodes bump-allocated
+//     loss.Backward();
+//     runner.Step(loss);
+//   }                                         // loss dies, arena rewinds
+//
+// Destructors still run (Node teardown returns tensor storage to the
+// TensorPool); only the *memory* is recycled wholesale. Allocations made
+// while no scope is active (model parameters, tests) fall back to the heap
+// — the allocator records which arena (if any) served each allocation, so
+// mixing arena-stepped training with heap-built parameters is safe, as is a
+// Variable outliving its step: the arena defers rewinding until its live
+// allocation count reaches zero (checked again when the next scope opens).
+//
+// Observability (obs::MetricsRegistry):
+//   autograd.arena.bytes        total bytes reserved from the OS (counter)
+//   autograd.arena.grow_events  number of new-block reservations
+//
+// Thread model: arenas are thread-local. Graph construction and Backward()
+// happen on one thread in this codebase; the live-allocation counter is
+// atomic anyway so a stray cross-thread destruction is counted correctly.
+
+#ifndef CL4SREC_AUTOGRAD_GRAPH_ARENA_H_
+#define CL4SREC_AUTOGRAD_GRAPH_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+class GraphArena {
+ public:
+  // The calling thread's arena (created on first use).
+  static GraphArena& ForThread();
+  // True when a StepScope is live on the calling thread (allocations will
+  // be served by the arena rather than the heap).
+  static bool ActiveOnThisThread();
+
+  ~GraphArena();
+  GraphArena(const GraphArena&) = delete;
+  GraphArena& operator=(const GraphArena&) = delete;
+
+  // Marks one training step: allocations between construction and
+  // destruction come from the arena. Scopes nest; the arena rewinds when
+  // the outermost scope exits and every allocation has been returned.
+  class StepScope {
+   public:
+    StepScope();
+    ~StepScope();
+    StepScope(const StepScope&) = delete;
+    StepScope& operator=(const StepScope&) = delete;
+
+   private:
+    GraphArena* arena_;
+  };
+
+  // Bump-allocates `bytes` (16-byte aligned). CHECK-fails outside a scope.
+  void* Allocate(size_t bytes);
+  // Returns an allocation; memory is not reusable until the arena rewinds.
+  void Deallocate(const void* ptr);
+  // Whether `ptr` points into one of this arena's blocks.
+  bool Owns(const void* ptr) const;
+
+  int64_t reserved_bytes() const;
+  int64_t live_allocations() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Block {
+    char* data = nullptr;
+    size_t capacity = 0;
+  };
+
+  GraphArena() = default;
+
+  void Rewind();          // offset back to zero; coalesce if fragmented
+  void MaybeRewind();     // rewind iff no live allocations
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;
+  size_t offset_ = 0;
+  int depth_ = 0;
+  std::atomic<int64_t> live_{0};
+};
+
+// Minimal STL allocator that serves from the thread's GraphArena when a
+// StepScope is active and from the heap otherwise. The arena pointer is
+// captured at allocation time and stored (inside shared_ptr control blocks,
+// etc.), so the matching deallocate always routes to the right place even
+// if scopes have since closed.
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  GraphArena* arena;
+
+  ArenaAllocator()
+      : arena(GraphArena::ActiveOnThisThread() ? &GraphArena::ForThread()
+                                               : nullptr) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena(other.arena) {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (arena != nullptr) return static_cast<T*>(arena->Allocate(bytes));
+    return static_cast<T*>(::operator new(bytes));
+  }
+  void deallocate(T* p, size_t) {
+    if (arena != nullptr) {
+      arena->Deallocate(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena == other.arena;
+  }
+};
+
+// An owned, immutable copy of a trivially-copyable array, arena-backed when
+// a StepScope is active. Backward closures capture index arrays
+// (GatherRows, embedding lookups) through this instead of copying a
+// std::vector, so the capture costs a bump instead of a heap allocation.
+template <typename T>
+class ArenaSpan {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  ArenaSpan() = default;
+  ArenaSpan(const T* src, size_t n) {
+    size_ = n;
+    if (n == 0) return;
+    arena_ = GraphArena::ActiveOnThisThread() ? &GraphArena::ForThread()
+                                              : nullptr;
+    void* mem = arena_ != nullptr
+                    ? arena_->Allocate(n * sizeof(T))
+                    : ::operator new(n * sizeof(T));
+    data_ = static_cast<T*>(mem);
+    std::memcpy(data_, src, n * sizeof(T));
+  }
+  explicit ArenaSpan(const std::vector<T>& v) : ArenaSpan(v.data(), v.size()) {}
+
+  ArenaSpan(ArenaSpan&& other) noexcept { *this = std::move(other); }
+  ArenaSpan& operator=(ArenaSpan&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = other.data_;
+      size_ = other.size_;
+      arena_ = other.arena_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.arena_ = nullptr;
+    }
+    return *this;
+  }
+  ArenaSpan(const ArenaSpan&) = delete;
+  ArenaSpan& operator=(const ArenaSpan&) = delete;
+  ~ArenaSpan() { Free(); }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Free() {
+    if (data_ == nullptr) return;
+    if (arena_ != nullptr) {
+      arena_->Deallocate(data_);
+    } else {
+      ::operator delete(data_);
+    }
+    data_ = nullptr;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  GraphArena* arena_ = nullptr;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUTOGRAD_GRAPH_ARENA_H_

@@ -1,17 +1,167 @@
 // Internal autograd graph node. Users interact with Variable (variable.h);
 // Node is exposed only so op implementations can build the tape.
+//
+// Node is built for the per-step graph arena (graph_arena.h): the inputs
+// array lives inline (no vector allocation for the ubiquitous 1-5-input
+// ops), the backward closure is a move-only type-erased callable whose
+// holder comes from the arena while a StepScope is active, and traversal
+// bookkeeping is an epoch stamp instead of a per-Backward hash set. The
+// result: recording one op costs one arena bump for the node and one for
+// its closure, and zero heap allocations in steady-state training.
 
 #ifndef CL4SREC_AUTOGRAD_NODE_H_
 #define CL4SREC_AUTOGRAD_NODE_H_
 
-#include <functional>
+#include <cstdint>
 #include <memory>
-#include <vector>
+#include <new>
+#include <type_traits>
+#include <utility>
 
+#include "autograd/graph_arena.h"
 #include "tensor/tensor.h"
 
 namespace cl4srec {
 namespace autograd_internal {
+
+struct Node;
+
+// Move-only type-erased `void()` callable for backward passes. Unlike
+// std::function it has no copyability requirement (closures may own
+// ArenaSpans) and its heap fallback is only used outside a StepScope — the
+// holder is bump-allocated from the graph arena during training. The
+// destructor always runs the closure's destructor (captured Tensors must
+// release their pooled storage); only the holder *memory* is arena-managed.
+class BackwardFn {
+ public:
+  BackwardFn() = default;
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+  BackwardFn(BackwardFn&& other) noexcept { MoveFrom(&other); }
+  BackwardFn& operator=(BackwardFn&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, BackwardFn>>>
+  BackwardFn(F&& f) {  // NOLINT(runtime/explicit) — assigned from lambdas
+    Init(std::forward<F>(f));
+  }
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, BackwardFn>>>
+  BackwardFn& operator=(F&& f) {
+    Destroy();
+    Init(std::forward<F>(f));
+    return *this;
+  }
+
+  ~BackwardFn() { Destroy(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()() const { invoke_(holder_); }
+
+ private:
+  template <typename F>
+  void Init(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= 16, "closure alignment exceeds arena's");
+    arena_ = GraphArena::ActiveOnThisThread() ? &GraphArena::ForThread()
+                                              : nullptr;
+    holder_ = arena_ != nullptr ? arena_->Allocate(sizeof(Fn))
+                                : ::operator new(sizeof(Fn));
+    new (holder_) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+  }
+
+  void Destroy() {
+    if (invoke_ == nullptr) return;
+    destroy_(holder_);
+    if (arena_ != nullptr) {
+      arena_->Deallocate(holder_);
+    } else {
+      ::operator delete(holder_);
+    }
+    invoke_ = nullptr;
+  }
+
+  void MoveFrom(BackwardFn* other) {
+    holder_ = other->holder_;
+    invoke_ = other->invoke_;
+    destroy_ = other->destroy_;
+    arena_ = other->arena_;
+    other->invoke_ = nullptr;
+  }
+
+  void* holder_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  GraphArena* arena_ = nullptr;
+};
+
+// Input edges with inline storage for the common fan-in. Every elementwise
+// and matmul op has 1-2 inputs and attention has 5; only variadic concats
+// can exceed the inline capacity and spill to the heap.
+class NodeInputs {
+ public:
+  static constexpr size_t kInline = 6;
+
+  NodeInputs() = default;
+  NodeInputs(const NodeInputs&) = delete;
+  NodeInputs& operator=(const NodeInputs&) = delete;
+  ~NodeInputs() {
+    for (size_t i = 0; i < size_; ++i) (*this)[i].~shared_ptr();
+    delete[] spill_;
+  }
+
+  void push_back(std::shared_ptr<Node> input) {
+    if (size_ == capacity_) Grow();
+    new (&data()[size_]) std::shared_ptr<Node>(std::move(input));
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::shared_ptr<Node>& operator[](size_t i) { return data()[i]; }
+  const std::shared_ptr<Node>& operator[](size_t i) const { return data()[i]; }
+
+ private:
+  struct alignas(std::shared_ptr<Node>) Slot {
+    unsigned char bytes[sizeof(std::shared_ptr<Node>)];
+  };
+
+  std::shared_ptr<Node>* data() {
+    return reinterpret_cast<std::shared_ptr<Node>*>(spill_ != nullptr ? spill_
+                                                                      : inline_);
+  }
+  const std::shared_ptr<Node>* data() const {
+    return const_cast<NodeInputs*>(this)->data();
+  }
+
+  void Grow() {
+    const size_t new_capacity = capacity_ * 2;
+    Slot* grown = new Slot[new_capacity];
+    auto* dst = reinterpret_cast<std::shared_ptr<Node>*>(grown);
+    for (size_t i = 0; i < size_; ++i) {
+      new (&dst[i]) std::shared_ptr<Node>(std::move(data()[i]));
+      data()[i].~shared_ptr();
+    }
+    delete[] spill_;
+    spill_ = grown;
+    capacity_ = new_capacity;
+  }
+
+  Slot inline_[kInline];
+  Slot* spill_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = kInline;
+};
 
 // One entry of the reverse-mode tape. `backward_fn` reads this node's
 // accumulated `grad` and pushes gradients into the input nodes.
@@ -20,8 +170,9 @@ struct Node {
   Tensor grad;                 // Allocated on first accumulation.
   bool requires_grad = false;
   bool has_grad = false;
-  std::vector<std::shared_ptr<Node>> inputs;
-  std::function<void()> backward_fn;
+  uint64_t visit_epoch = 0;    // Backward() traversal stamp.
+  NodeInputs inputs;
+  BackwardFn backward_fn;
 
   // grad += g (allocating a zero grad of value's shape on first use).
   void AccumulateGrad(const Tensor& g) {

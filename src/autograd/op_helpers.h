@@ -16,9 +16,15 @@ namespace autograd_internal {
 // Creates a tape node for `value` whose inputs are the given variables.
 // requires_grad is inherited from the inputs. The caller attaches
 // backward_fn afterwards (only needed when the node requires grad).
+// Nodes (object + control block, via allocate_shared) come from the
+// per-step graph arena while a StepScope is active, the heap otherwise.
+inline std::shared_ptr<Node> AllocateNode() {
+  return std::allocate_shared<Node>(ArenaAllocator<Node>());
+}
+
 inline std::shared_ptr<Node> MakeNode(Tensor value,
                                       std::initializer_list<Variable> inputs) {
-  auto node = std::make_shared<Node>();
+  auto node = AllocateNode();
   node->value = std::move(value);
   for (const Variable& v : inputs) {
     CL4SREC_CHECK(v.defined()) << "op input is undefined";
@@ -30,7 +36,7 @@ inline std::shared_ptr<Node> MakeNode(Tensor value,
 
 inline std::shared_ptr<Node> MakeNode(Tensor value,
                                       const std::vector<Variable>& inputs) {
-  auto node = std::make_shared<Node>();
+  auto node = AllocateNode();
   node->value = std::move(value);
   for (const Variable& v : inputs) {
     CL4SREC_CHECK(v.defined()) << "op input is undefined";

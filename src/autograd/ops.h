@@ -93,6 +93,31 @@ Variable SoftmaxCrossEntropyV(const Variable& logits,
 Variable BceWithLogitsV(const Variable& logits, const Tensor& labels,
                         const Tensor& weights = Tensor());
 
+// ---- Fused losses / normalization (ops_fused.cc) ----
+//
+// Single-node replacements for common op chains. Forward values are
+// bit-equal to the unfused compositions under the same kernel dispatch;
+// the loss backwards recompute the softmax with the lane's exp (scalar
+// lane: bit-equal, vector lanes: ~1e-5 relative vs unfused). See the
+// ops_fused.cc header comment for the full contract.
+
+// Mean softmax cross entropy like SoftmaxCrossEntropyV, but the backward
+// recomputes probabilities from the logits — only a [m] log-partition
+// vector is saved instead of the [m,C] log-probabilities.
+Variable FusedSoftmaxCrossEntropyV(const Variable& logits,
+                                   const std::vector<int64_t>& targets);
+
+// NT-Xent contrastive loss (CL4SRec Eq. 9) over 2B stacked views, row 2i
+// paired with 2i+1: cosine similarity, temperature scale, self-similarity
+// mask and cross entropy as one node.
+Variable FusedNtXentV(const Variable& reps, float temperature);
+
+// LayerNorm(x + y) in one pass; the residual sum is never materialized.
+// Forward and backward are bit-equal to LayerNormV(AddV(x, y), ...).
+Variable ResidualLayerNormV(const Variable& x, const Variable& y,
+                            const Variable& gamma, const Variable& beta,
+                            float eps = 1e-8f);
+
 // ---- Fused transformer attention ----
 
 // Multi-head self-attention over B packed sequences of length T.

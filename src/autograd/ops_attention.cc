@@ -48,7 +48,9 @@ Variable MultiHeadSelfAttentionV(const Variable& x, const Variable& wq,
   const int64_t dh = d / num_heads;
   const float scale = 1.f / std::sqrt(static_cast<float>(dh));
 
-  auto ctx = std::make_shared<AttentionContext>();
+  // Arena-allocated alongside the node while a training StepScope is live.
+  auto ctx =
+      std::allocate_shared<AttentionContext>(ArenaAllocator<AttentionContext>());
   ctx->q = MatMul(xv, wq.value());
   ctx->k = MatMul(xv, wk.value());
   ctx->v = MatMul(xv, wv.value());

@@ -145,7 +145,7 @@ Variable ReshapeV(const Variable& a, std::vector<int64_t> shape) {
   if (node->requires_grad) {
     Node* n = node.get();
     Node* an = a.node_ptr().get();
-    std::vector<int64_t> in_shape = a.value().shape();
+    const Shape in_shape = a.value().shape();
     node->backward_fn = [n, an, in_shape]() {
       an->AccumulateGrad(n->grad.Reshape(in_shape));
     };
@@ -172,13 +172,14 @@ Variable ConcatRowsV(const std::vector<Variable>& parts) {
   auto node = MakeNode(std::move(out), parts);
   if (node->requires_grad) {
     Node* n = node.get();
-    std::vector<Node*> part_nodes;
-    std::vector<int64_t> part_rows;
+    std::vector<Node*> nodes_tmp;
+    std::vector<int64_t> rows_tmp;
     for (const Variable& p : parts) {
-      part_nodes.push_back(p.node_ptr().get());
-      part_rows.push_back(p.value().dim(0));
+      nodes_tmp.push_back(p.node_ptr().get());
+      rows_tmp.push_back(p.value().dim(0));
     }
-    node->backward_fn = [n, part_nodes, part_rows, cols]() {
+    node->backward_fn = [n, part_nodes = ArenaSpan<Node*>(nodes_tmp),
+                         part_rows = ArenaSpan<int64_t>(rows_tmp), cols]() {
       int64_t start = 0;
       for (size_t i = 0; i < part_nodes.size(); ++i) {
         if (part_nodes[i]->requires_grad) {
@@ -236,13 +237,13 @@ Variable GatherRowsV(const Variable& a, const std::vector<int64_t>& indices) {
   if (node->requires_grad) {
     Node* n = node.get();
     Node* an = a.node_ptr().get();
-    node->backward_fn = [n, an, indices, cols]() {
+    node->backward_fn = [n, an, idx = ArenaSpan<int64_t>(indices), cols]() {
       Tensor& da = an->EnsureGrad();
       const float* g = n->grad.data();
       float* dst = da.data();
-      for (size_t i = 0; i < indices.size(); ++i) {
+      for (size_t i = 0; i < idx.size(); ++i) {
         const float* src = g + static_cast<int64_t>(i) * cols;
-        float* row = dst + indices[i] * cols;
+        float* row = dst + idx[i] * cols;
         for (int64_t j = 0; j < cols; ++j) row[j] += src[j];
       }
     };
@@ -358,7 +359,7 @@ Variable SumV(const Variable& a) {
   if (node->requires_grad) {
     Node* n = node.get();
     Node* an = a.node_ptr().get();
-    std::vector<int64_t> shape = a.value().shape();
+    const Shape shape = a.value().shape();
     node->backward_fn = [n, an, shape]() {
       an->AccumulateGrad(Tensor::Full(shape, n->grad.at(0)));
     };
@@ -372,7 +373,7 @@ Variable MeanV(const Variable& a) {
   if (node->requires_grad) {
     Node* n = node.get();
     Node* an = a.node_ptr().get();
-    std::vector<int64_t> shape = a.value().shape();
+    const Shape shape = a.value().shape();
     node->backward_fn = [n, an, shape, inv_n]() {
       an->AccumulateGrad(Tensor::Full(shape, n->grad.at(0) * inv_n));
     };

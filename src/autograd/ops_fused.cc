@@ -1,0 +1,296 @@
+// Fused loss / normalization ops.
+//
+// Each op here replaces a chain of primitive Variables with a single tape
+// node, eliminating the intermediate tensors that the unfused composition
+// keeps alive until optimizer.Step():
+//
+//   * FusedSoftmaxCrossEntropyV — forward saves only the per-row
+//     log-partition [m] instead of the full log-probabilities [m, C]; the
+//     backward recomputes the softmax from the logits it already owns. For
+//     BERT4Rec's full-vocabulary loss this removes a [B*T, |V|+2] tensor
+//     from the live set of every step.
+//   * FusedNtXentV — the CL4SRec contrastive loss (paper Eq. 9) as one
+//     node: normalize, similarity matmul, temperature scale, diagonal mask
+//     and softmax cross entropy against the augmented-pair targets. Only
+//     the similarity matrix and two [2B] vectors survive the forward.
+//   * ResidualLayerNormV — LayerNorm(x + y) in one pass via the
+//     add_mean_var kernel; the residual sum is staged in scratch and never
+//     materialized as a tensor.
+//
+// Numerics contract (tested by fused_test.cc):
+//   * Forward losses are BIT-EQUAL to the unfused compositions under the
+//     same dispatch choice: every kernel call mirrors the unfused
+//     sequence's arithmetic (same reductions, same float add for the
+//     log-partition subtraction).
+//   * ResidualLayerNormV is bit-equal in forward AND backward (its
+//     backward is the LayerNormV backward plus AddV's grad fan-out).
+//   * The loss backwards recompute exp via exp_scale_out. On the scalar
+//     lane that is std::exp — bit-equal to the unfused backward. Vector
+//     lanes use the polynomial exp (~2 ulp), so gradients agree with the
+//     unfused path to ~1e-5 relative.
+
+#include <cmath>
+
+#include "autograd/op_helpers.h"
+#include "autograd/ops.h"
+#include "obs/trace.h"
+#include "parallel/parallel.h"
+#include "tensor/scratch.h"
+#include "tensor/simd/simd.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+
+using autograd_internal::MakeNode;
+using autograd_internal::Node;
+
+namespace {
+
+// Same self-similarity mask value as the unfused NtXentLoss.
+constexpr float kNtXentMask = -1e9f;
+
+int64_t RowGrainFor(int64_t n) {
+  return std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(1, n));
+}
+
+}  // namespace
+
+Variable FusedSoftmaxCrossEntropyV(const Variable& logits,
+                                   const std::vector<int64_t>& targets) {
+  CL4SREC_TRACE_KERNEL_SPAN("tensor/fused_softmax_xent");
+  const Tensor& lv = logits.value();
+  CL4SREC_CHECK_EQ(lv.ndim(), 2);
+  const int64_t m = lv.dim(0);
+  const int64_t c = lv.dim(1);
+  CL4SREC_CHECK_EQ(static_cast<int64_t>(targets.size()), m);
+
+  // Per-row log-partition log(sum_j exp(x_ij)) = max_i + log(sum exp
+  // shifted) — the only [m]-sized state the backward needs.
+  Tensor log_denoms({m});
+  const float* src = lv.data();
+  float* pld = log_denoms.data();
+  const simd::KernelTable* kt = &simd::Kernels();
+  parallel::ParallelFor(0, m, RowGrainFor(c), [=](int64_t lo, int64_t hi) {
+    ScratchArena::Scope scratch;
+    float* tmp = scratch.AllocFloats(c);
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = src + i * c;
+      const float max_val = kt->reduce_max(row, c);
+      const double denom = kt->exp_shift_sum(tmp, row, max_val, c);
+      pld[i] = max_val + static_cast<float>(std::log(denom));
+    }
+  });
+  // Serial ascending-i double accumulation, exactly like the unfused loss.
+  double loss = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t t = targets[static_cast<size_t>(i)];
+    CL4SREC_CHECK_GE(t, 0);
+    CL4SREC_CHECK_LT(t, c);
+    loss -= src[i * c + t] + (-pld[i]);
+  }
+  loss /= m;
+
+  auto node = MakeNode(Tensor::Scalar(static_cast<float>(loss)), {logits});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* ln = logits.node_ptr().get();
+    node->backward_fn = [nd, ln, log_denoms,
+                         tgt = ArenaSpan<int64_t>(targets), m, c]() {
+      const float scale = nd->grad.at(0) / static_cast<float>(m);
+      Tensor dlogits({m, c});
+      const float* lsrc = ln->value.data();
+      const float* ld = log_denoms.data();
+      float* dst = dlogits.data();
+      const simd::KernelTable* kt = &simd::Kernels();
+      parallel::ParallelFor(0, m, RowGrainFor(c), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          // softmax recomputed from the logits: p_ij = exp(x_ij - logZ_i).
+          kt->exp_scale_out(dst + i * c, lsrc + i * c, ld[i], scale, c);
+          dst[i * c + tgt[static_cast<size_t>(i)]] -= scale;
+        }
+      });
+      ln->AccumulateGrad(dlogits);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable FusedNtXentV(const Variable& reps, float temperature) {
+  CL4SREC_TRACE_KERNEL_SPAN("tensor/fused_nt_xent");
+  const Tensor& rv = reps.value();
+  CL4SREC_CHECK_EQ(rv.ndim(), 2);
+  const int64_t n = rv.dim(0);
+  const int64_t d = rv.dim(1);
+  CL4SREC_CHECK_GE(n, 4) << "NT-Xent needs at least two users (4 views)";
+  CL4SREC_CHECK_EQ(n % 2, 0);
+  CL4SREC_CHECK_GT(temperature, 0.f);
+  const float inv_tau = 1.f / temperature;
+
+  Tensor norms;
+  Tensor z = L2NormalizeRows(rv, 1e-8f, &norms);
+  Tensor sim = MatMul(z, z, false, /*trans_b=*/true);  // [n, n]
+  Tensor log_denoms({n});
+
+  // Scale + diagonal mask + logsumexp per row, staged in scratch — the
+  // masked logits never exist as a tensor. Anchor 2i's positive is 2i+1
+  // and vice versa.
+  double loss = 0.0;
+  {
+    const simd::KernelTable* kt = &simd::Kernels();
+    ScratchArena::Scope scratch;
+    float* srow = scratch.AllocFloats(n);
+    float* tmp = scratch.AllocFloats(n);
+    const float* ps = sim.data();
+    float* pld = log_denoms.data();
+    for (int64_t i = 0; i < n; ++i) {
+      kt->scale_out(srow, ps + i * n, inv_tau, n);
+      srow[i] = srow[i] + kNtXentMask;
+      const float max_val = kt->reduce_max(srow, n);
+      const double denom = kt->exp_shift_sum(tmp, srow, max_val, n);
+      const float log_denom = max_val + static_cast<float>(std::log(denom));
+      pld[i] = log_denom;
+      const int64_t t = (i % 2 == 0) ? i + 1 : i - 1;
+      loss -= srow[t] + (-log_denom);
+    }
+  }
+  loss /= n;
+
+  auto node = MakeNode(Tensor::Scalar(static_cast<float>(loss)), {reps});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* rn = reps.node_ptr().get();
+    node->backward_fn = [nd, rn, z, norms, sim, log_denoms, n, d, inv_tau]() {
+      const float g = nd->grad.at(0);
+      // d loss / d sim = coeff * (P - Y) with P the masked row softmax and
+      // Y the positive-pair indicator; the masked diagonal underflows to
+      // exactly zero, like the unfused path.
+      const float coeff = g / static_cast<float>(n) * inv_tau;
+      Tensor dsim({n, n});
+      const simd::KernelTable* kt = &simd::Kernels();
+      {
+        ScratchArena::Scope scratch;
+        float* srow = scratch.AllocFloats(n);
+        const float* ps = sim.data();
+        const float* pld = log_denoms.data();
+        float* pd = dsim.data();
+        for (int64_t i = 0; i < n; ++i) {
+          kt->scale_out(srow, ps + i * n, inv_tau, n);
+          srow[i] = srow[i] + kNtXentMask;
+          kt->exp_scale_out(pd + i * n, srow, pld[i], coeff, n);
+          const int64_t t = (i % 2 == 0) ? i + 1 : i - 1;
+          pd[i * n + t] -= coeff;
+        }
+      }
+      // sim = z z^T with both operands the same tensor, so
+      // dz = dsim z + dsim^T z; then the L2-normalize backward per row.
+      Tensor dz = MatMul(dsim, z);
+      dz.AddInPlace(MatMul(dsim, z, /*trans_a=*/true));
+      Tensor dreps({n, d});
+      const float* pz = z.data();
+      const float* pdz = dz.data();
+      float* pdr = dreps.data();
+      for (int64_t i = 0; i < n; ++i) {
+        const double dot = kt->dot(pdz + i * d, pz + i * d, d);
+        const float inv = 1.f / norms.at(i);
+        for (int64_t j = 0; j < d; ++j) {
+          pdr[i * d + j] =
+              (pdz[i * d + j] - pz[i * d + j] * static_cast<float>(dot)) * inv;
+        }
+      }
+      rn->AccumulateGrad(dreps);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable ResidualLayerNormV(const Variable& x, const Variable& y,
+                            const Variable& gamma, const Variable& beta,
+                            float eps) {
+  CL4SREC_TRACE_KERNEL_SPAN("tensor/residual_layer_norm");
+  const Tensor& xv = x.value();
+  const Tensor& yv = y.value();
+  CL4SREC_CHECK(xv.SameShape(yv));
+  CL4SREC_CHECK_EQ(xv.ndim(), 2);
+  const int64_t m = xv.dim(0);
+  const int64_t n = xv.dim(1);
+  CL4SREC_CHECK_EQ(gamma.value().numel(), n);
+  CL4SREC_CHECK_EQ(beta.value().numel(), n);
+
+  Tensor xhat({m, n});  // normalized activations, saved for backward
+  Tensor inv_std({m});
+  Tensor out({m, n});
+  const float* px = xv.data();
+  const float* py = yv.data();
+  const float* pg = gamma.value().data();
+  const float* pb = beta.value().data();
+  float* pxhat = xhat.data();
+  float* pinv_std = inv_std.data();
+  float* pout = out.data();
+  const simd::KernelTable* kt = &simd::Kernels();
+  parallel::ParallelFor(0, m, RowGrainFor(n), [=](int64_t lo, int64_t hi) {
+    // The residual sum row only feeds the moments and the affine kernel,
+    // so it lives in scratch instead of a tensor.
+    ScratchArena::Scope scratch;
+    float* sum = scratch.AllocFloats(n);
+    for (int64_t i = lo; i < hi; ++i) {
+      float mean, var;
+      kt->add_mean_var(sum, px + i * n, py + i * n, n, &mean, &var);
+      const float istd = 1.f / std::sqrt(var + eps);
+      pinv_std[i] = istd;
+      kt->norm_affine(pxhat + i * n, pout + i * n, sum, pg, pb, mean, istd, n);
+    }
+  });
+
+  auto node = MakeNode(std::move(out), {x, y, gamma, beta});
+  if (node->requires_grad) {
+    Node* nd = node.get();
+    Node* xn = x.node_ptr().get();
+    Node* yn = y.node_ptr().get();
+    Node* gn = gamma.node_ptr().get();
+    Node* bn = beta.node_ptr().get();
+    Tensor gamma_val = gamma.value();
+    node->backward_fn = [nd, xn, yn, gn, bn, xhat, inv_std, gamma_val, m,
+                         n]() {
+      const float* g = nd->grad.data();
+      const float* xh = xhat.data();
+      const float* pg2 = gamma_val.data();
+      if (gn->requires_grad || bn->requires_grad) {
+        Tensor dgamma({n});
+        Tensor dbeta({n});
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            dgamma.at(j) += g[i * n + j] * xh[i * n + j];
+            dbeta.at(j) += g[i * n + j];
+          }
+        }
+        if (gn->requires_grad) gn->AccumulateGrad(dgamma);
+        if (bn->requires_grad) bn->AccumulateGrad(dbeta);
+      }
+      if (xn->requires_grad || yn->requires_grad) {
+        // LayerNorm input gradient w.r.t. the residual sum s = x + y; both
+        // addends then receive it unchanged (AddV's fan-out).
+        Tensor ds({m, n});
+        const simd::KernelTable* kt = &simd::Kernels();
+        ScratchArena::Scope scratch;
+        float* dyh = scratch.AllocFloats(n);
+        for (int64_t i = 0; i < m; ++i) {
+          kt->mul_out(dyh, g + i * n, pg2, n);
+          const double sum_dyh = kt->reduce_sum(dyh, n);
+          const double sum_dyh_xh = kt->dot(dyh, xh + i * n, n);
+          const float istd = inv_std.at(i);
+          const float inv_n = 1.f / static_cast<float>(n);
+          for (int64_t j = 0; j < n; ++j) {
+            ds.at(i, j) =
+                istd * (dyh[j] - inv_n * static_cast<float>(sum_dyh) -
+                        xh[i * n + j] * inv_n * static_cast<float>(sum_dyh_xh));
+          }
+        }
+        if (xn->requires_grad) xn->AccumulateGrad(ds);
+        if (yn->requires_grad) yn->AccumulateGrad(ds);
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+}  // namespace cl4srec

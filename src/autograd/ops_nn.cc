@@ -229,7 +229,8 @@ Variable SoftmaxCrossEntropyV(const Variable& logits,
   if (node->requires_grad) {
     Node* nd = node.get();
     Node* ln = logits.node_ptr().get();
-    node->backward_fn = [nd, ln, log_probs, targets, m, c]() {
+    node->backward_fn = [nd, ln, log_probs,
+                         tgt = ArenaSpan<int64_t>(targets), m, c]() {
       const float scale = nd->grad.at(0) / static_cast<float>(m);
       Tensor dlogits({m, c});
       const float* lp = log_probs.data();
@@ -237,7 +238,7 @@ Variable SoftmaxCrossEntropyV(const Variable& logits,
         for (int64_t j = 0; j < c; ++j) {
           dlogits.at(i, j) = scale * std::exp(lp[i * c + j]);
         }
-        dlogits.at(i, targets[static_cast<size_t>(i)]) -= scale;
+        dlogits.at(i, tgt[static_cast<size_t>(i)]) -= scale;
       }
       ln->AccumulateGrad(dlogits);
     };

@@ -1,13 +1,15 @@
 #include "autograd/variable.h"
 
-#include <unordered_set>
+#include <memory>
+
+#include "autograd/graph_arena.h"
 
 namespace cl4srec {
 
 using autograd_internal::Node;
 
 Variable::Variable(Tensor value, bool requires_grad)
-    : node_(std::make_shared<Node>()) {
+    : node_(std::allocate_shared<Node>(ArenaAllocator<Node>())) {
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
 }
@@ -56,24 +58,30 @@ void Variable::Backward() const {
   CL4SREC_CHECK_EQ(node_->value.numel(), 1)
       << "Backward() requires a scalar loss";
   // Iterative post-order DFS to produce a topological order of the subgraph
-  // that requires gradients.
-  std::vector<Node*> topo;
-  std::unordered_set<Node*> visited;
+  // that requires gradients. Visited-tracking is an epoch stamp on the node
+  // and the traversal buffers are grow-only thread-locals, so a steady-state
+  // Backward() allocates nothing.
   struct Frame {
     Node* node;
     size_t next_input;
   };
-  std::vector<Frame> stack;
+  thread_local std::vector<Node*> topo;
+  thread_local std::vector<Frame> stack;
+  thread_local uint64_t epoch_counter = 0;
+  const uint64_t epoch = ++epoch_counter;
+  topo.clear();
+  stack.clear();
   if (node_->requires_grad) {
     stack.push_back({node_.get(), 0});
-    visited.insert(node_.get());
+    node_->visit_epoch = epoch;
   }
   while (!stack.empty()) {
     Frame& frame = stack.back();
     if (frame.next_input < frame.node->inputs.size()) {
       Node* child = frame.node->inputs[frame.next_input++].get();
       if (child != nullptr && child->requires_grad &&
-          visited.insert(child).second) {
+          child->visit_epoch != epoch) {
+        child->visit_epoch = epoch;
         stack.push_back({child, 0});
       }
     } else {

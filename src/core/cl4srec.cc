@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "autograd/graph_arena.h"
 #include "core/nt_xent.h"
 #include "data/batcher.h"
+#include "data/prefetch.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "train/checkpoint.h"
@@ -65,8 +67,9 @@ std::vector<Variable*> Cl4SRec::PretrainParameters() {
   return params;
 }
 
-Variable Cl4SRec::ContrastiveLoss(const std::vector<ItemSequence>& sequences,
-                                  int64_t max_len, Rng* rng) {
+PaddedBatch Cl4SRec::BuildContrastiveViews(
+    const std::vector<ItemSequence>& sequences, int64_t max_len,
+    Rng* rng) const {
   // Two correlated views per sequence, interleaved so rows (2i, 2i+1) are
   // user i's positive pair.
   std::vector<ItemSequence> views;
@@ -76,11 +79,20 @@ Variable Cl4SRec::ContrastiveLoss(const std::vector<ItemSequence>& sequences,
     views.push_back(std::move(first));
     views.push_back(std::move(second));
   }
-  PaddedBatch batch = PackSequences(views, max_len);
+  return PackSequences(views, max_len);
+}
+
+Variable Cl4SRec::ContrastiveLossOnViews(const PaddedBatch& batch, Rng* rng) {
   ForwardContext ctx{.training = true, .rng = rng};
   Variable reps = sasrec_.encoder()->EncodeLast(batch, ctx);  // [2N, d]
   Variable projected = projection_->Forward(reps);            // g(f(s))
   return NtXentLoss(projected, config_.temperature);
+}
+
+Variable Cl4SRec::ContrastiveLoss(const std::vector<ItemSequence>& sequences,
+                                  int64_t max_len, Rng* rng) {
+  return ContrastiveLossOnViews(BuildContrastiveViews(sequences, max_len, rng),
+                                rng);
 }
 
 double Cl4SRec::Pretrain(const SequenceDataset& data,
@@ -109,11 +121,30 @@ double Cl4SRec::Pretrain(const SequenceDataset& data,
   for (int64_t epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
-    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
-      if (users.size() < 2) continue;  // NT-Xent needs in-batch negatives.
-      if (runner.SkipBatchForResume()) continue;
-      Variable loss = ContrastiveLoss(TrainSequencesOf(data, users),
-                                      options.max_len, &rng);
+    // NT-Xent needs in-batch negatives, so size-1 batches are dropped up
+    // front (they never counted as resume-skippable steps either).
+    // Augmentation runs on the prefetch producer under a per-batch seed;
+    // the consumer rng keeps the shuffle and dropout streams.
+    std::vector<std::vector<int64_t>> epoch_batches;
+    for (auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
+      if (users.size() >= 2) epoch_batches.push_back(std::move(users));
+    }
+    const auto batch_count = static_cast<int64_t>(epoch_batches.size());
+    Prefetcher<PaddedBatch> prefetch(
+        batch_count, options.prefetch_depth, [&](int64_t index) {
+          Rng batch_rng(BatchSeed(options.seed + 17, epoch, index));
+          return BuildContrastiveViews(
+              TrainSequencesOf(data, epoch_batches[static_cast<size_t>(index)]),
+              options.max_len, &batch_rng);
+        });
+    for (int64_t index = 0; index < batch_count; ++index) {
+      GraphArena::StepScope graph_arena;
+      if (runner.SkipBatchForResume()) {
+        prefetch.Skip();
+        continue;
+      }
+      PaddedBatch views = prefetch.Next();
+      Variable loss = ContrastiveLossOnViews(views, &rng);
       const StepOutcome outcome = runner.Step(loss);
       if (std::isfinite(outcome.loss)) {
         epoch_loss += outcome.loss;
@@ -170,45 +201,60 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
   ParameterSnapshot best;
   TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
 
+  // Both task's batch halves — supervised negatives and the two augmented
+  // views — are built ahead by the prefetch producer under one per-batch
+  // seed; the consumer rng keeps the shuffle and dropout streams.
+  struct JointBatch {
+    SupervisedBatch supervised;
+    PaddedBatch views;
+    bool has_views = false;
+  };
   TransformerSeqEncoder* encoder = sasrec_.encoder();
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
-    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
-      if (runner.SkipBatchForResume()) continue;
-      NextItemBatch batch = MakeNextItemBatch(data, users, options.max_len, &rng);
-      const int64_t t_count = batch.inputs.seq_len;
-      ForwardContext ctx{.training = true, .rng = &rng};
-      Variable hidden = encoder->EncodeAll(batch.inputs, ctx);
-      std::vector<int64_t> rows;
-      std::vector<int64_t> positives;
-      std::vector<int64_t> negatives;
-      for (int64_t b = 0; b < batch.inputs.batch; ++b) {
-        for (int64_t t = 0; t < t_count; ++t) {
-          const int64_t flat = b * t_count + t;
-          const int64_t target = batch.targets[static_cast<size_t>(flat)];
-          if (target == 0) continue;
-          rows.push_back(flat);
-          positives.push_back(target);
-          negatives.push_back(batch.negatives[static_cast<size_t>(flat)]);
-        }
+    const std::vector<std::vector<int64_t>> epoch_batches =
+        MakeEpochBatches(data, options.batch_size, &rng);
+    const auto batch_count = static_cast<int64_t>(epoch_batches.size());
+    Prefetcher<JointBatch> prefetch(
+        batch_count, options.prefetch_depth, [&](int64_t index) {
+          Rng batch_rng(BatchSeed(options.seed + 17, epoch, index));
+          const auto& users = epoch_batches[static_cast<size_t>(index)];
+          JointBatch batch;
+          batch.supervised = BuildSupervisedBatch(
+              data, users, options.max_len, /*time_major=*/false, &batch_rng);
+          if (users.size() >= 2) {
+            batch.views = BuildContrastiveViews(TrainSequencesOf(data, users),
+                                                options.max_len, &batch_rng);
+            batch.has_views = true;
+          }
+          return batch;
+        });
+    for (int64_t index = 0; index < batch_count; ++index) {
+      GraphArena::StepScope graph_arena;
+      if (runner.SkipBatchForResume()) {
+        prefetch.Skip();
+        continue;
       }
-      if (rows.empty()) continue;
-      Variable states = GatherRowsV(hidden, rows);
+      JointBatch batch = prefetch.Next();
+      const SupervisedBatch& sup = batch.supervised;
+      if (sup.rows.empty()) continue;
+      ForwardContext ctx{.training = true, .rng = &rng};
+      Variable hidden = encoder->EncodeAll(sup.base.inputs, ctx);
+      Variable states = GatherRowsV(hidden, sup.rows);
       Variable pos_scores =
-          RowDotV(states, encoder->item_embedding().Forward(positives));
+          RowDotV(states, encoder->item_embedding().Forward(sup.positives));
       Variable neg_scores =
-          RowDotV(states, encoder->item_embedding().Forward(negatives));
-      const auto m = static_cast<int64_t>(rows.size());
+          RowDotV(states, encoder->item_embedding().Forward(sup.negatives));
+      const auto m = static_cast<int64_t>(sup.rows.size());
       Variable all_scores = ReshapeV(
           ConcatRowsV({ReshapeV(pos_scores, {m, 1}), ReshapeV(neg_scores, {m, 1})}),
           {2 * m});
       Tensor labels({2 * m});
       for (int64_t i = 0; i < m; ++i) labels.at(i) = 1.f;
       Variable loss = BceWithLogitsV(all_scores, labels);
-      if (users.size() >= 2) {
-        Variable cl = ContrastiveLoss(TrainSequencesOf(data, users),
-                                      options.max_len, &rng);
+      if (batch.has_views) {
+        Variable cl = ContrastiveLossOnViews(batch.views, &rng);
         loss = AddV(loss, ScaleV(cl, config_.joint_weight));
       }
       const StepOutcome outcome = runner.Step(loss);

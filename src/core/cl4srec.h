@@ -74,9 +74,21 @@ class Cl4SRec : public Recommender {
 
  private:
   // One contrastive step over a batch of raw sequences; returns the loss
-  // Variable (graph retained until Backward).
+  // Variable (graph retained until Backward). Composition of the two
+  // halves below.
   Variable ContrastiveLoss(const std::vector<ItemSequence>& sequences,
                            int64_t max_len, Rng* rng);
+
+  // Augmentation half (§3.2.1): two correlated views per sequence, packed
+  // with rows (2i, 2i+1) as user i's positive pair. Touches only the
+  // (const) augmenter and the given rng, so the prefetch producer thread
+  // can run it ahead of the optimizer.
+  PaddedBatch BuildContrastiveViews(const std::vector<ItemSequence>& sequences,
+                                    int64_t max_len, Rng* rng) const;
+
+  // Model half: encode both views, project with g(.), and apply NT-Xent
+  // (Eq. 3). Runs on the training thread (`rng` drives dropout).
+  Variable ContrastiveLossOnViews(const PaddedBatch& batch, Rng* rng);
 
   // Creates augmenter_ (and, when substitute/insert operators are
   // configured, the co-occurrence similarity model they need).

@@ -5,6 +5,10 @@
 namespace cl4srec {
 
 Variable NtXentLoss(const Variable& reps, float temperature) {
+  return FusedNtXentV(reps, temperature);
+}
+
+Variable NtXentLossUnfused(const Variable& reps, float temperature) {
   const int64_t rows = reps.value().dim(0);
   CL4SREC_CHECK_GE(rows, 4) << "NT-Xent needs at least two users (4 views)";
   CL4SREC_CHECK_EQ(rows % 2, 0);

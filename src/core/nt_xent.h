@@ -14,8 +14,13 @@
 namespace cl4srec {
 
 // reps: [2N, d], N >= 2. Returns the scalar mean NT-Xent loss over all 2N
-// anchors.
+// anchors. Computed by the fused single-node kernel (FusedNtXentV).
 Variable NtXentLoss(const Variable& reps, float temperature);
+
+// The original primitive-op composition (normalize, matmul, scale, mask,
+// cross entropy). Kept as the reference the fused path is tested against;
+// its forward is bit-equal to NtXentLoss.
+Variable NtXentLossUnfused(const Variable& reps, float temperature);
 
 // Fraction of anchors whose positive partner has the highest similarity
 // among all candidates (a diagnostic, not part of the loss).

@@ -61,6 +61,28 @@ NextItemBatch MakeNextItemBatch(const SequenceDataset& data,
   return batch;
 }
 
+SupervisedBatch BuildSupervisedBatch(const SequenceDataset& data,
+                                     const std::vector<int64_t>& users,
+                                     int64_t max_len, bool time_major,
+                                     Rng* rng) {
+  SupervisedBatch batch;
+  batch.base = MakeNextItemBatch(data, users, max_len, rng);
+  const int64_t b_count = batch.base.inputs.batch;
+  const int64_t t_count = batch.base.inputs.seq_len;
+  for (int64_t b = 0; b < b_count; ++b) {
+    for (int64_t t = 0; t < t_count; ++t) {
+      const int64_t flat = b * t_count + t;
+      const int64_t target = batch.base.targets[static_cast<size_t>(flat)];
+      if (target == 0) continue;
+      batch.rows.push_back(time_major ? t * b_count + b : flat);
+      batch.positives.push_back(target);
+      batch.negatives.push_back(
+          batch.base.negatives[static_cast<size_t>(flat)]);
+    }
+  }
+  return batch;
+}
+
 std::vector<std::vector<int64_t>> TrainSequencesOf(
     const SequenceDataset& data, const std::vector<int64_t>& users) {
   std::vector<std::vector<int64_t>> sequences;

@@ -37,6 +37,23 @@ NextItemBatch MakeNextItemBatch(const SequenceDataset& data,
 std::vector<std::vector<int64_t>> TrainSequencesOf(
     const SequenceDataset& data, const std::vector<int64_t>& users);
 
+// A NextItemBatch plus the valid-position view the supervised loops train
+// on: `rows` index the encoder's flattened hidden states ([B*T] b-major,
+// or [T*B] time-major for GRU4Rec's EncodeAllSteps layout), with aligned
+// positive / sampled-negative item ids. Building it touches only the
+// dataset and the RNG, so it can run on a prefetch producer thread.
+struct SupervisedBatch {
+  NextItemBatch base;
+  std::vector<int64_t> rows;
+  std::vector<int64_t> positives;
+  std::vector<int64_t> negatives;
+};
+
+SupervisedBatch BuildSupervisedBatch(const SequenceDataset& data,
+                                     const std::vector<int64_t>& users,
+                                     int64_t max_len, bool time_major,
+                                     Rng* rng);
+
 }  // namespace cl4srec
 
 #endif  // CL4SREC_DATA_BATCHER_H_

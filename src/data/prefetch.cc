@@ -1,0 +1,39 @@
+#include "data/prefetch.h"
+
+#include "obs/metrics.h"
+
+namespace cl4srec {
+namespace prefetch_internal {
+namespace {
+
+struct PrefetchMetrics {
+  obs::Counter* produced;
+  obs::Counter* producer_stalls;
+  obs::Counter* consumer_stalls;
+  obs::Gauge* queue_depth;
+};
+
+const PrefetchMetrics& Metrics() {
+  static const PrefetchMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return PrefetchMetrics{
+        registry.GetCounter("data.prefetch.batches"),
+        registry.GetCounter("data.prefetch.producer_stalls"),
+        registry.GetCounter("data.prefetch.consumer_stalls"),
+        registry.GetGauge("data.prefetch.queue_depth"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+void RecordProduced() { Metrics().produced->Increment(); }
+void RecordProducerStall() { Metrics().producer_stalls->Increment(); }
+void RecordConsumerStall() { Metrics().consumer_stalls->Increment(); }
+void RecordQueueDepth(int64_t depth) {
+  Metrics().queue_depth->Set(static_cast<double>(depth));
+}
+
+}  // namespace prefetch_internal
+}  // namespace cl4srec

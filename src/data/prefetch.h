@@ -1,0 +1,186 @@
+// Async augmentation / batch-construction prefetch.
+//
+// Batch building (negative sampling, cloze masking, crop/mask/reorder
+// augmentation, padding) is pure CPU work that does not touch the model, so
+// it can run ahead of the optimizer on a producer thread. Prefetcher<B>
+// owns one dedicated producer that builds batches 0..count-1 IN ORDER,
+// `depth` batches ahead of the consumer, through a bounded queue.
+//
+// The producer is a plain std::thread rather than a parallel::ThreadPool
+// task: the pool only offers synchronous ParallelFor (fork-join), and the
+// producer must outlive individual joins. See DESIGN.md "Batch prefetch".
+//
+// Determinism contract (tested by determinism_test.cc):
+//   * The builder receives only the batch index. Loops derive a fresh
+//     per-batch Rng from BatchSeed(seed, epoch, index), so batch content
+//     is a pure function of (seed, epoch, index) — bit-identical between
+//     depth == 0 (built inline on the consumer thread) and depth > 0, and
+//     across compute thread counts.
+//   * Next() returns batches strictly in index order; the queue never
+//     reorders.
+//
+// Error handling: an exception thrown by the builder is captured, the
+// producer exits, and the pending exception is rethrown from Next() after
+// already-built batches are drained. The destructor cancels and joins the
+// producer, so abandoning the loop mid-epoch (early stopping) shuts down
+// cleanly.
+//
+// Observability (obs::MetricsRegistry):
+//   data.prefetch.batches          batches built by producer threads
+//   data.prefetch.producer_stalls  producer waits on a full queue
+//   data.prefetch.consumer_stalls  consumer waits on an empty queue
+//   data.prefetch.queue_depth      gauge: depth after the last push/pop
+
+#ifndef CL4SREC_DATA_PREFETCH_H_
+#define CL4SREC_DATA_PREFETCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+namespace prefetch_internal {
+// Process-global counters, defined in prefetch.cc; safe from any thread.
+void RecordProduced();
+void RecordProducerStall();
+void RecordConsumerStall();
+void RecordQueueDepth(int64_t depth);
+}  // namespace prefetch_internal
+
+// Stateless splitmix64 mixing step (Steele et al.), used to derive
+// well-separated per-batch RNG streams from small structured inputs.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// The RNG seed for batch `batch_index` of epoch `epoch` under experiment
+// `seed`. A pure function of its arguments, so a batch's sampled content
+// does not depend on which thread builds it, how many batches were skipped
+// (resume), or any other batch's randomness.
+inline uint64_t BatchSeed(uint64_t seed, int64_t epoch, int64_t batch_index) {
+  uint64_t mixed = SplitMix64(seed);
+  mixed = SplitMix64(mixed ^ static_cast<uint64_t>(epoch));
+  return SplitMix64(mixed ^ static_cast<uint64_t>(batch_index));
+}
+
+template <typename B>
+class Prefetcher {
+ public:
+  using Builder = std::function<B(int64_t index)>;
+
+  // depth == 0: serial mode — Next() invokes the builder inline, no thread.
+  // depth > 0: a producer thread keeps up to `depth` built batches queued.
+  Prefetcher(int64_t count, int64_t depth, Builder build)
+      : count_(count), depth_(depth), build_(std::move(build)) {
+    CL4SREC_CHECK_GE(depth_, 0);
+    CL4SREC_CHECK_GE(count_, 0);
+    if (depth_ > 0 && count_ > 0) {
+      producer_ = std::thread([this] { Produce(); });
+    }
+  }
+
+  ~Prefetcher() {
+    if (producer_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        cancelled_ = true;
+      }
+      can_produce_.notify_all();
+      producer_.join();
+    }
+  }
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  // The next batch, in index order. Blocks until available; rethrows a
+  // builder exception once prior batches are drained.
+  B Next() {
+    CL4SREC_CHECK_LT(consumed_, count_) << "Next() past the final batch";
+    ++consumed_;
+    if (depth_ == 0) return build_(consumed_ - 1);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty() && error_ == nullptr) {
+      prefetch_internal::RecordConsumerStall();
+    }
+    ready_.wait(lock, [this] { return !queue_.empty() || error_ != nullptr; });
+    if (queue_.empty()) std::rethrow_exception(error_);
+    B batch = std::move(queue_.front());
+    queue_.pop_front();
+    prefetch_internal::RecordQueueDepth(static_cast<int64_t>(queue_.size()));
+    lock.unlock();
+    can_produce_.notify_one();
+    return batch;
+  }
+
+  // Consumes and discards the next batch — keeps the consumer's position
+  // aligned with the producer when a loop skips a step (resume catch-up).
+  void Skip() { (void)Next(); }
+
+  int64_t consumed() const { return consumed_; }
+
+ private:
+  void Produce() {
+    for (int64_t i = 0; i < count_; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!cancelled_ && static_cast<int64_t>(queue_.size()) >= depth_) {
+          prefetch_internal::RecordProducerStall();
+        }
+        can_produce_.wait(lock, [this] {
+          return cancelled_ || static_cast<int64_t>(queue_.size()) < depth_;
+        });
+        if (cancelled_) return;
+      }
+      // Build outside the lock; the single producer means the queue can
+      // only shrink while we work, never overfill.
+      try {
+        B batch = build_(i);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (cancelled_) return;
+          queue_.push_back(std::move(batch));
+          prefetch_internal::RecordProduced();
+          prefetch_internal::RecordQueueDepth(
+              static_cast<int64_t>(queue_.size()));
+        }
+        ready_.notify_one();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          error_ = std::current_exception();
+        }
+        ready_.notify_all();
+        return;
+      }
+    }
+  }
+
+  const int64_t count_;
+  const int64_t depth_;
+  const Builder build_;
+  int64_t consumed_ = 0;  // consumer thread only
+
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::condition_variable can_produce_;
+  std::deque<B> queue_;
+  std::exception_ptr error_;
+  bool cancelled_ = false;
+  std::thread producer_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DATA_PREFETCH_H_

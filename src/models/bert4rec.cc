@@ -2,13 +2,82 @@
 
 #include <cmath>
 
+#include "autograd/graph_arena.h"
 #include "data/batcher.h"
+#include "data/prefetch.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
 #include "train/trainer.h"
 
 namespace cl4srec {
+namespace {
+
+// One cloze-corrupted batch: masked inputs plus the flattened row index and
+// 0-based target class of every prediction position.
+struct ClozeBatch {
+  PaddedBatch inputs;
+  std::vector<int64_t> rows;
+  std::vector<int64_t> targets;
+};
+
+// Cloze corruption (BERT4Rec §3.1): replace random positions by [mask];
+// include the final position half the time (when nothing else was masked
+// yet) so training matches the append-[mask] inference setup. Pure function
+// of (data, users, rng) — safe on a prefetch producer thread.
+ClozeBatch BuildClozeBatch(const SequenceDataset& data,
+                           const std::vector<int64_t>& users, int64_t max_len,
+                           int64_t mask_id, double mask_prob, Rng* rng) {
+  std::vector<std::vector<int64_t>> corrupted;
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> masked;  // (pos,item)
+  corrupted.reserve(users.size());
+  masked.reserve(users.size());
+  for (int64_t u : users) {
+    std::vector<int64_t> seq = data.TrainSequence(u);
+    std::vector<std::pair<int64_t, int64_t>> positions;
+    for (size_t t = 0; t < seq.size(); ++t) {
+      const bool is_last = t + 1 == seq.size();
+      const bool mask_this =
+          rng->Bernoulli(mask_prob) ||
+          (is_last && positions.empty() && rng->Bernoulli(0.5));
+      if (mask_this) {
+        positions.emplace_back(static_cast<int64_t>(t), seq[t]);
+        seq[t] = mask_id;
+      }
+    }
+    if (positions.empty()) {
+      // Guarantee at least one prediction per sequence.
+      const auto t = static_cast<size_t>(
+          rng->UniformInt(static_cast<int64_t>(seq.size())));
+      positions.emplace_back(static_cast<int64_t>(t), seq[t]);
+      seq[t] = mask_id;
+    }
+    corrupted.push_back(std::move(seq));
+    masked.push_back(std::move(positions));
+  }
+  ClozeBatch batch;
+  batch.inputs = PackSequences(corrupted, max_len);
+
+  // Map each masked (user, original position) to its padded row; account
+  // for truncation (PackSequences keeps the LAST seq_len tokens,
+  // right-aligned). Targets are 0-based classes: item - 1.
+  const int64_t t_count = batch.inputs.seq_len;
+  for (size_t b = 0; b < users.size(); ++b) {
+    const auto n = static_cast<int64_t>(corrupted[b].size());
+    const int64_t take = std::min(n, t_count);
+    const int64_t src0 = n - take;          // first kept source index
+    const int64_t dst0 = t_count - take;    // its padded column
+    for (const auto& [pos, item] : masked[b]) {
+      if (pos < src0) continue;  // truncated away
+      batch.rows.push_back(static_cast<int64_t>(b) * t_count + dst0 +
+                           (pos - src0));
+      batch.targets.push_back(item - 1);
+    }
+  }
+  return batch;
+}
+
+}  // namespace
 
 void Bert4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
   ApplyTrainParallelism(options);
@@ -43,67 +112,36 @@ void Bert4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
-    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
-      if (runner.SkipBatchForResume()) continue;
-      // Cloze corruption: replace random positions by [mask]; always include
-      // the final position half the time so training matches the
-      // append-[mask] inference setup.
-      std::vector<std::vector<int64_t>> corrupted;
-      std::vector<std::vector<std::pair<int64_t, int64_t>>> masked;  // (pos,item)
-      corrupted.reserve(users.size());
-      masked.reserve(users.size());
-      for (int64_t u : users) {
-        std::vector<int64_t> seq = data.TrainSequence(u);
-        std::vector<std::pair<int64_t, int64_t>> positions;
-        for (size_t t = 0; t < seq.size(); ++t) {
-          const bool is_last = t + 1 == seq.size();
-          const bool mask_this =
-              rng.Bernoulli(config_.mask_prob) ||
-              (is_last && positions.empty() && rng.Bernoulli(0.5));
-          if (mask_this) {
-            positions.emplace_back(static_cast<int64_t>(t), seq[t]);
-            seq[t] = mask_id;
-          }
-        }
-        if (positions.empty()) {
-          // Guarantee at least one prediction per sequence.
-          const auto t = static_cast<size_t>(
-              rng.UniformInt(static_cast<int64_t>(seq.size())));
-          positions.emplace_back(static_cast<int64_t>(t), seq[t]);
-          seq[t] = mask_id;
-        }
-        corrupted.push_back(std::move(seq));
-        masked.push_back(std::move(positions));
+    // Cloze corruption runs on the prefetch producer under a per-batch
+    // seed; the consumer rng keeps the shuffle and dropout streams.
+    const std::vector<std::vector<int64_t>> epoch_batches =
+        MakeEpochBatches(data, options.batch_size, &rng);
+    const auto batch_count = static_cast<int64_t>(epoch_batches.size());
+    Prefetcher<ClozeBatch> prefetch(
+        batch_count, options.prefetch_depth, [&](int64_t index) {
+          Rng batch_rng(BatchSeed(options.seed + 3, epoch, index));
+          return BuildClozeBatch(data,
+                                 epoch_batches[static_cast<size_t>(index)],
+                                 max_len_, mask_id, config_.mask_prob,
+                                 &batch_rng);
+        });
+    for (int64_t index = 0; index < batch_count; ++index) {
+      GraphArena::StepScope graph_arena;
+      if (runner.SkipBatchForResume()) {
+        prefetch.Skip();
+        continue;
       }
-      PaddedBatch batch = PackSequences(corrupted, max_len_);
+      ClozeBatch batch = prefetch.Next();
+      if (batch.rows.empty()) continue;
       ForwardContext ctx{.training = true, .rng = &rng};
-      Variable hidden = encoder_->EncodeAll(batch, ctx);  // [B*T, d]
-
-      // Map each masked (user, original position) to its padded row; account
-      // for truncation (PackSequences keeps the LAST seq_len tokens,
-      // right-aligned).
-      std::vector<int64_t> rows;
-      std::vector<int64_t> targets;  // 0-based class = item - 1
-      const int64_t t_count = batch.seq_len;
-      for (size_t b = 0; b < users.size(); ++b) {
-        const auto n = static_cast<int64_t>(corrupted[b].size());
-        const int64_t take = std::min(n, t_count);
-        const int64_t src0 = n - take;          // first kept source index
-        const int64_t dst0 = t_count - take;    // its padded column
-        for (const auto& [pos, item] : masked[b]) {
-          if (pos < src0) continue;  // truncated away
-          rows.push_back(static_cast<int64_t>(b) * t_count + dst0 +
-                         (pos - src0));
-          targets.push_back(item - 1);
-        }
-      }
-      if (rows.empty()) continue;
-      Variable states = GatherRowsV(hidden, rows);  // [M, d]
+      Variable hidden = encoder_->EncodeAll(batch.inputs, ctx);  // [B*T, d]
+      Variable states = GatherRowsV(hidden, batch.rows);  // [M, d]
       // Full-vocabulary logits over real items 1..V (tied embeddings).
       Variable item_rows =
           SliceRowsV(encoder_->item_embedding().table(), 1, data.num_items());
       Variable logits = MatMulV(states, item_rows, false, /*trans_b=*/true);
-      Variable loss = SoftmaxCrossEntropyV(logits, targets);
+      // Fused: avoids keeping a second [M, |V|] log-prob tensor alive.
+      Variable loss = FusedSoftmaxCrossEntropyV(logits, batch.targets);
 
       const StepOutcome outcome = runner.Step(loss);
       if (std::isfinite(outcome.loss)) {

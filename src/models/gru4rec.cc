@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "autograd/graph_arena.h"
 #include "data/batcher.h"
+#include "data/prefetch.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
@@ -51,39 +53,40 @@ void Gru4Rec::Fit(const SequenceDataset& data, const TrainOptions& options) {
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
-    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
-      if (runner.SkipBatchForResume()) continue;
-      NextItemBatch batch = MakeNextItemBatch(data, users, max_len_, &rng);
-      const int64_t b_count = batch.inputs.batch;
-      const int64_t t_count = batch.inputs.seq_len;
-      ForwardContext ctx{.training = true, .rng = &rng};
-      // Hidden states stacked time-major: (b,t) -> row t*B + b.
-      Variable hidden = encoder_->EncodeAllSteps(batch.inputs, ctx);
-      if (hidden_to_embed_ != nullptr) hidden = hidden_to_embed_->Forward(hidden);
-
-      std::vector<int64_t> rows;
-      std::vector<int64_t> positives;
-      std::vector<int64_t> negatives;
-      for (int64_t b = 0; b < b_count; ++b) {
-        for (int64_t t = 0; t < t_count; ++t) {
-          const int64_t target = batch.targets[static_cast<size_t>(b * t_count + t)];
-          if (target == 0) continue;
-          rows.push_back(t * b_count + b);
-          positives.push_back(target);
-          negatives.push_back(
-              batch.negatives[static_cast<size_t>(b * t_count + t)]);
-        }
+    // Negative sampling runs on the prefetch producer under a per-batch
+    // seed; the consumer rng keeps the shuffle and dropout streams. Rows
+    // come back time-major ((b,t) -> t*B + b) to match EncodeAllSteps.
+    const std::vector<std::vector<int64_t>> epoch_batches =
+        MakeEpochBatches(data, options.batch_size, &rng);
+    const auto batch_count = static_cast<int64_t>(epoch_batches.size());
+    Prefetcher<SupervisedBatch> prefetch(
+        batch_count, options.prefetch_depth, [&](int64_t index) {
+          Rng batch_rng(BatchSeed(options.seed, epoch, index));
+          return BuildSupervisedBatch(data,
+                                      epoch_batches[static_cast<size_t>(index)],
+                                      max_len_, /*time_major=*/true,
+                                      &batch_rng);
+        });
+    for (int64_t index = 0; index < batch_count; ++index) {
+      GraphArena::StepScope graph_arena;
+      if (runner.SkipBatchForResume()) {
+        prefetch.Skip();
+        continue;
       }
-      if (rows.empty()) continue;
-      Variable states = GatherRowsV(hidden, rows);
-      Variable pos_emb = encoder_->item_embedding().Forward(positives);
-      Variable neg_emb = encoder_->item_embedding().Forward(negatives);
+      SupervisedBatch batch = prefetch.Next();
+      if (batch.rows.empty()) continue;
+      ForwardContext ctx{.training = true, .rng = &rng};
+      Variable hidden = encoder_->EncodeAllSteps(batch.base.inputs, ctx);
+      if (hidden_to_embed_ != nullptr) hidden = hidden_to_embed_->Forward(hidden);
+      Variable states = GatherRowsV(hidden, batch.rows);
+      Variable pos_emb = encoder_->item_embedding().Forward(batch.positives);
+      Variable neg_emb = encoder_->item_embedding().Forward(batch.negatives);
       Variable pos_scores = RowDotV(states, pos_emb);
       Variable neg_scores = RowDotV(states, neg_emb);
       // BPR: -log sigmoid(pos - neg) == BCE(pos - neg, label 1).
       Variable diff = SubV(pos_scores, neg_scores);
       Variable loss = BceWithLogitsV(
-          diff, Tensor::Ones({static_cast<int64_t>(rows.size())}));
+          diff, Tensor::Ones({static_cast<int64_t>(batch.rows.size())}));
       const StepOutcome outcome = runner.Step(loss);
       if (std::isfinite(outcome.loss)) {
         epoch_loss += outcome.loss;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "autograd/graph_arena.h"
 #include "autograd/ops.h"
+#include "data/prefetch.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "train/trainer.h"
@@ -75,31 +77,50 @@ void Ncf::Fit(const SequenceDataset& data, const TrainOptions& options) {
   LinearDecaySchedule schedule(steps_per_epoch * options.epochs,
                                options.lr_decay_final);
   TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
+  struct NcfBatch {
+    std::vector<int64_t> users;
+    std::vector<int64_t> items;
+    std::vector<float> labels;
+  };
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Shuffle on the consumer rng, then slice + sample negatives on the
+    // prefetch producer; `positives` is read-only until the epoch ends.
     rng.Shuffle(positives.begin(), positives.end());
     double epoch_loss = 0.0;
-    for (size_t start = 0; start < positives.size();
-         start += static_cast<size_t>(options.batch_size)) {
-      if (runner.SkipBatchForResume()) continue;
-      const size_t end = std::min(positives.size(),
-                                  start + static_cast<size_t>(options.batch_size));
-      std::vector<int64_t> users, items;
-      std::vector<float> labels;
-      for (size_t i = start; i < end; ++i) {
-        users.push_back(positives[i].first);
-        items.push_back(positives[i].second);
-        labels.push_back(1.f);
-        for (int64_t k = 0; k < config_.negatives_per_positive; ++k) {
-          users.push_back(positives[i].first);
-          items.push_back(data.SampleNegative(positives[i].first, &rng));
-          labels.push_back(0.f);
-        }
+    Prefetcher<NcfBatch> prefetch(
+        steps_per_epoch, options.prefetch_depth, [&](int64_t index) {
+          Rng batch_rng(BatchSeed(options.seed, epoch, index));
+          const auto start = static_cast<size_t>(index * options.batch_size);
+          const size_t end =
+              std::min(positives.size(),
+                       start + static_cast<size_t>(options.batch_size));
+          NcfBatch batch;
+          for (size_t i = start; i < end; ++i) {
+            batch.users.push_back(positives[i].first);
+            batch.items.push_back(positives[i].second);
+            batch.labels.push_back(1.f);
+            for (int64_t k = 0; k < config_.negatives_per_positive; ++k) {
+              batch.users.push_back(positives[i].first);
+              batch.items.push_back(
+                  data.SampleNegative(positives[i].first, &batch_rng));
+              batch.labels.push_back(0.f);
+            }
+          }
+          return batch;
+        });
+    for (int64_t index = 0; index < steps_per_epoch; ++index) {
+      GraphArena::StepScope graph_arena;
+      if (runner.SkipBatchForResume()) {
+        prefetch.Skip();
+        continue;
       }
+      NcfBatch batch = prefetch.Next();
       ForwardContext ctx{.training = true, .rng = &rng};
-      Variable logits = Predict(users, items, ctx);
-      const auto label_count = static_cast<int64_t>(labels.size());
+      Variable logits = Predict(batch.users, batch.items, ctx);
+      const auto label_count = static_cast<int64_t>(batch.labels.size());
       Variable loss = BceWithLogitsV(
-          logits, Tensor::FromVector({label_count}, std::move(labels)));
+          logits,
+          Tensor::FromVector({label_count}, std::move(batch.labels)));
       const StepOutcome outcome = runner.Step(loss);
       if (std::isfinite(outcome.loss)) epoch_loss += outcome.loss;
     }

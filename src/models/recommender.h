@@ -36,6 +36,11 @@ struct TrainOptions {
   // snapshots). 0 keeps the current process-wide setting (--threads /
   // CL4SREC_NUM_THREADS / hardware concurrency); 1 forces serial execution.
   int64_t num_threads = 0;
+  // Batch construction (negative sampling, masking, augmentation) runs this
+  // many batches ahead of the optimizer on a producer thread (see
+  // data/prefetch.h). 0 builds batches inline on the training thread; any
+  // depth produces bit-identical batches (per-batch seeded RNG).
+  int64_t prefetch_depth = 2;
   // Training-robustness layer (src/train/): the divergence sentinel is on
   // by default; crash-safe checkpointing and resume activate when
   // robust.checkpoints.directory is set.

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "autograd/graph_arena.h"
 #include "data/batcher.h"
+#include "data/prefetch.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
@@ -50,35 +52,39 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
-    for (const auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
-      if (runner.SkipBatchForResume()) continue;
-      NextItemBatch batch = MakeNextItemBatch(data, users, max_len_, &rng);
-      const int64_t t_count = batch.inputs.seq_len;
-      ForwardContext ctx{.training = true, .rng = &rng};
-      Variable hidden = encoder_->EncodeAll(batch.inputs, ctx);  // [B*T, d]
-
-      // Gather the valid positions and their positive/negative targets.
-      std::vector<int64_t> rows;
-      std::vector<int64_t> positives;
-      std::vector<int64_t> negatives;
-      for (int64_t b = 0; b < batch.inputs.batch; ++b) {
-        for (int64_t t = 0; t < t_count; ++t) {
-          const int64_t flat = b * t_count + t;
-          const int64_t target = batch.targets[static_cast<size_t>(flat)];
-          if (target == 0) continue;
-          rows.push_back(flat);
-          positives.push_back(target);
-          negatives.push_back(batch.negatives[static_cast<size_t>(flat)]);
-        }
+    // Sampling (negatives) runs on the prefetch producer under a per-batch
+    // seed; the consumer rng keeps the shuffle and dropout streams.
+    const std::vector<std::vector<int64_t>> epoch_batches =
+        MakeEpochBatches(data, options.batch_size, &rng);
+    const auto batch_count = static_cast<int64_t>(epoch_batches.size());
+    Prefetcher<SupervisedBatch> prefetch(
+        batch_count, options.prefetch_depth, [&](int64_t index) {
+          Rng batch_rng(BatchSeed(options.seed + 1, epoch, index));
+          return BuildSupervisedBatch(data,
+                                      epoch_batches[static_cast<size_t>(index)],
+                                      max_len_, /*time_major=*/false,
+                                      &batch_rng);
+        });
+    for (int64_t index = 0; index < batch_count; ++index) {
+      // Every node/tensor built this step comes from the per-step arena and
+      // tensor pool; the scope recycles them wholesale at the end of the
+      // iteration.
+      GraphArena::StepScope graph_arena;
+      if (runner.SkipBatchForResume()) {
+        prefetch.Skip();
+        continue;
       }
-      if (rows.empty()) continue;
-      Variable states = GatherRowsV(hidden, rows);
+      SupervisedBatch batch = prefetch.Next();
+      if (batch.rows.empty()) continue;
+      ForwardContext ctx{.training = true, .rng = &rng};
+      Variable hidden = encoder_->EncodeAll(batch.base.inputs, ctx);  // [B*T, d]
+      Variable states = GatherRowsV(hidden, batch.rows);
       Variable pos_scores =
-          RowDotV(states, encoder_->item_embedding().Forward(positives));
+          RowDotV(states, encoder_->item_embedding().Forward(batch.positives));
       Variable neg_scores =
-          RowDotV(states, encoder_->item_embedding().Forward(negatives));
+          RowDotV(states, encoder_->item_embedding().Forward(batch.negatives));
       // Eq. 15: BCE(positive, 1) + BCE(negative, 0), averaged jointly.
-      const auto m = static_cast<int64_t>(rows.size());
+      const auto m = static_cast<int64_t>(batch.rows.size());
       Variable all_scores = ReshapeV(
           ConcatRowsV({ReshapeV(pos_scores, {m, 1}), ReshapeV(neg_scores, {m, 1})}),
           {2 * m});

@@ -52,6 +52,11 @@ Variable LayerNorm::Forward(const Variable& x) const {
   return LayerNormV(x, gamma_, beta_, eps_);
 }
 
+Variable LayerNorm::ForwardResidual(const Variable& x,
+                                    const Variable& y) const {
+  return ResidualLayerNormV(x, y, gamma_, beta_, eps_);
+}
+
 std::vector<Variable*> LayerNorm::Parameters() { return {&gamma_, &beta_}; }
 
 FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng,

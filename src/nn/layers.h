@@ -64,6 +64,10 @@ class LayerNorm : public Module {
   // x: [m, dim].
   Variable Forward(const Variable& x) const;
 
+  // LayerNorm(x + y) as one fused node (ResidualLayerNormV); bit-equal to
+  // Forward(AddV(x, y)) in forward and backward.
+  Variable ForwardResidual(const Variable& x, const Variable& y) const;
+
   std::vector<Variable*> Parameters() override;
 
  private:

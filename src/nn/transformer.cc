@@ -39,11 +39,11 @@ Variable TransformerEncoderLayer::Forward(const Variable& x, int64_t batch,
                                           seq_len, num_heads_, key_valid,
                                           causal_);
   attn = DropoutV(attn, dropout_, ctx.rng, ctx.training);
-  Variable f = attn_norm_.Forward(AddV(x, attn));
+  Variable f = attn_norm_.ForwardResidual(x, attn);
   // out = LayerNorm(F + Dropout(PFFN(F)))
   Variable ffn_out = ffn_.Forward(f);
   ffn_out = DropoutV(ffn_out, dropout_, ctx.rng, ctx.training);
-  return ffn_norm_.Forward(AddV(f, ffn_out));
+  return ffn_norm_.ForwardResidual(f, ffn_out);
 }
 
 std::vector<Variable*> TransformerEncoderLayer::Parameters() {

@@ -71,7 +71,7 @@ struct ThreadPool::Batch {
   int64_t grain = 1;
   int64_t num_chunks = 0;
   int64_t submit_ns = 0;  // NowNanos() at submission, for queue-wait metrics.
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  const ChunkFn* fn = nullptr;
 
   std::atomic<int64_t> next_chunk{0};
   std::atomic<int64_t> chunks_done{0};
@@ -157,7 +157,7 @@ void ThreadPool::WorkerLoop(int worker_index) {
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                             const std::function<void(int64_t, int64_t)>& fn) {
+                             ChunkFn fn) {
   if (end <= begin) return;
   if (grain < 1) grain = 1;
   const int64_t num_chunks = NumChunks(begin, end, grain);
@@ -248,8 +248,7 @@ void SetNumThreads(int n) {
 
 int GetNumThreads() { return GlobalPool().num_threads(); }
 
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn) {
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, ChunkFn fn) {
   if (end <= begin) return;
   if (grain < 1) grain = 1;
   // Single-chunk and nested calls never need the pool (or its lock).

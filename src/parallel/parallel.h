@@ -20,9 +20,10 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace cl4srec {
@@ -30,6 +31,29 @@ namespace cl4srec {
 namespace obs {
 class Counter;  // obs/metrics.h; pool utilization metrics.
 }  // namespace obs
+
+// Non-owning view of a fn(chunk_begin, chunk_end) callable. ParallelFor is
+// fork-join — the callable always outlives the call — so nothing needs to
+// own or copy it. Unlike std::function, binding a capturing lambda never
+// heap-allocates, which keeps the tensor kernels allocation-free in the
+// training hot path (tests/alloc_test.cc counts this).
+class ChunkFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ChunkFn>>>
+  ChunkFn(F&& fn)  // NOLINT(google-explicit-constructor)
+      : target_(const_cast<void*>(static_cast<const void*>(&fn))),
+        invoke_(+[](void* target, int64_t lo, int64_t hi) {
+          (*static_cast<std::remove_reference_t<F>*>(target))(lo, hi);
+        }) {}
+
+  void operator()(int64_t lo, int64_t hi) const { invoke_(target_, lo, hi); }
+
+ private:
+  void* target_;
+  void (*invoke_)(void*, int64_t, int64_t);
+};
 
 class ThreadPool {
  public:
@@ -51,8 +75,7 @@ class ThreadPool {
   // and calls nested inside another ParallelFor all run inline on the
   // calling thread. If any fn invocation throws, the first exception (in
   // chunk order) is rethrown here after all chunks complete.
-  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& fn);
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain, ChunkFn fn);
 
  private:
   struct Batch;  // One ParallelFor's shared state.
@@ -89,18 +112,16 @@ void SetNumThreads(int n);
 int GetNumThreads();
 
 // ParallelFor on the process-wide shared pool. See ThreadPool::ParallelFor.
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn);
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, ChunkFn fn);
 
 // Deterministic parallel reduction: evaluates partial = fn(chunk_begin,
 // chunk_end) for every chunk, then folds the partials IN CHUNK ORDER with
 // `merge(acc, partial)` starting from `init`. Because chunk boundaries are
 // thread-count-independent, the result is bit-identical for every thread
 // count (though not, in general, to a single unchunked serial fold).
-template <typename Acc>
+template <typename Acc, typename ChunkF, typename MergeF>
 Acc ParallelReduce(int64_t begin, int64_t end, int64_t grain, Acc init,
-                   const std::function<Acc(int64_t, int64_t)>& fn,
-                   const std::function<void(Acc&, const Acc&)>& merge) {
+                   const ChunkF& fn, const MergeF& merge) {
   if (end <= begin) return init;
   if (grain < 1) grain = 1;
   const int64_t num_chunks = (end - begin + grain - 1) / grain;

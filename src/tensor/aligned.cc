@@ -1,6 +1,7 @@
 #include "tensor/aligned.h"
 
 #include <cstring>
+#include <new>
 
 #include "util/logging.h"
 
@@ -8,14 +9,19 @@ namespace cl4srec {
 
 void* AlignedAlloc(size_t bytes) {
   const size_t rounded = AlignedRoundUp(bytes == 0 ? 1 : bytes);
-  // std::aligned_alloc requires the size to be a multiple of the alignment.
-  void* p = std::aligned_alloc(kTensorAlignBytes, rounded);
-  CL4SREC_CHECK(p != nullptr) << "aligned_alloc failed for " << rounded
+  // Routed through the aligned global operator new (not std::aligned_alloc)
+  // so the test-only allocation probe (util/alloc_probe.h), which replaces
+  // operator new, observes tensor-storage traffic too.
+  void* p = ::operator new(rounded, std::align_val_t{kTensorAlignBytes},
+                           std::nothrow);
+  CL4SREC_CHECK(p != nullptr) << "aligned allocation failed for " << rounded
                               << " bytes";
   return p;
 }
 
-void AlignedFree(void* ptr) { std::free(ptr); }
+void AlignedFree(void* ptr) {
+  ::operator delete(ptr, std::align_val_t{kTensorAlignBytes});
+}
 
 AlignedFloatBuffer::AlignedFloatBuffer(int64_t n) : size_(n) {
   if (n <= 0) return;

@@ -1,0 +1,170 @@
+#include "tensor/pool.h"
+
+#include <cstring>
+#include <new>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Gauge* bytes_held;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return PoolMetrics{
+        registry.GetCounter("tensor.pool.hits"),
+        registry.GetCounter("tensor.pool.misses"),
+        registry.GetGauge("tensor.pool.bytes_held"),
+    };
+  }();
+  return metrics;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("CL4SREC_POOL");
+    return !(env != nullptr && std::strcmp(env, "off") == 0);
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+TensorPool::TensorPool() = default;
+
+TensorPool& TensorPool::Global() {
+  static TensorPool* pool = new TensorPool();  // leaked, see header
+  return *pool;
+}
+
+bool TensorPool::enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void TensorPool::SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+int TensorPool::BucketIndex(size_t bytes) {
+  size_t bucket_bytes = size_t{1} << kMinBucketLog2;
+  int index = 0;
+  while (bucket_bytes < bytes) {
+    bucket_bytes <<= 1;
+    ++index;
+  }
+  CL4SREC_CHECK_LT(index, kNumBuckets) << "tensor of " << bytes << " bytes";
+  return index;
+}
+
+void* TensorPool::Acquire(size_t bytes, size_t* actual_bytes) {
+  const int index = BucketIndex(bytes);
+  const size_t bucket_bytes = size_t{1} << (kMinBucketLog2 + index);
+  *actual_bytes = bucket_bytes;
+  Bucket& bucket = buckets_[index];
+  {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    if (!bucket.blocks.empty()) {
+      void* block = bucket.blocks.back();
+      bucket.blocks.pop_back();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      bytes_held_.fetch_sub(static_cast<int64_t>(bucket_bytes),
+                            std::memory_order_relaxed);
+      blocks_held_.fetch_sub(1, std::memory_order_relaxed);
+      Metrics().hits->Increment();
+      Metrics().bytes_held->Add(-static_cast<double>(bucket_bytes));
+      return block;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().misses->Increment();
+  return AlignedAlloc(bucket_bytes);
+}
+
+void TensorPool::Release(void* ptr, size_t actual_bytes) {
+  const int index = BucketIndex(actual_bytes);
+  CL4SREC_CHECK_EQ(size_t{1} << (kMinBucketLog2 + index), actual_bytes)
+      << "Release with a size that is not a bucket size";
+  Bucket& bucket = buckets_[index];
+  {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    bucket.blocks.push_back(ptr);
+  }
+  bytes_held_.fetch_add(static_cast<int64_t>(actual_bytes),
+                        std::memory_order_relaxed);
+  blocks_held_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().bytes_held->Add(static_cast<double>(actual_bytes));
+}
+
+void TensorPool::Trim() {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    std::vector<void*> blocks;
+    {
+      std::lock_guard<std::mutex> lock(buckets_[i].mu);
+      blocks.swap(buckets_[i].blocks);
+    }
+    const size_t bucket_bytes = size_t{1} << (kMinBucketLog2 + i);
+    for (void* block : blocks) AlignedFree(block);
+    const int64_t freed =
+        static_cast<int64_t>(bucket_bytes) * static_cast<int64_t>(blocks.size());
+    bytes_held_.fetch_sub(freed, std::memory_order_relaxed);
+    blocks_held_.fetch_sub(static_cast<int64_t>(blocks.size()),
+                           std::memory_order_relaxed);
+    Metrics().bytes_held->Add(-static_cast<double>(freed));
+  }
+}
+
+TensorPool::StatsSnapshot TensorPool::Stats() const {
+  StatsSnapshot snapshot;
+  snapshot.hits = hits_.load(std::memory_order_relaxed);
+  snapshot.misses = misses_.load(std::memory_order_relaxed);
+  snapshot.bytes_held = bytes_held_.load(std::memory_order_relaxed);
+  snapshot.blocks_held = blocks_held_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+TensorStorage* TensorStorage::Create(int64_t n) {
+  CL4SREC_CHECK_GE(n, 0);
+  const size_t payload = static_cast<size_t>(n) * sizeof(float);
+  const size_t total = sizeof(TensorStorage) + AlignedRoundUp(payload);
+  void* raw;
+  size_t block_bytes = 0;
+  if (TensorPool::enabled()) {
+    raw = TensorPool::Global().Acquire(total, &block_bytes);
+  } else {
+    raw = AlignedAlloc(total);
+  }
+  auto* storage = new (raw) TensorStorage;
+  storage->refs.store(1, std::memory_order_relaxed);
+  storage->size = n;
+  storage->block_bytes = block_bytes;
+  if (n > 0) std::memset(storage->data(), 0, payload);
+  return storage;
+}
+
+TensorStorage* TensorStorage::CreateCopy(const float* src, int64_t n) {
+  TensorStorage* storage = Create(n);
+  if (n > 0) {
+    std::memcpy(storage->data(), src, static_cast<size_t>(n) * sizeof(float));
+  }
+  return storage;
+}
+
+void TensorStorage::Unref() {
+  if (refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  const size_t block_bytes = this->block_bytes;
+  this->~TensorStorage();
+  if (block_bytes != 0) {
+    TensorPool::Global().Release(this, block_bytes);
+  } else {
+    AlignedFree(this);
+  }
+}
+
+}  // namespace cl4srec

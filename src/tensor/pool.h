@@ -1,0 +1,161 @@
+// TensorPool — size-bucketed, thread-safe free-list recycler for tensor
+// storage, plus the intrusive refcounted TensorStorage block Tensor holds.
+//
+// Training rebuilds the whole autograd graph every step, so the same tensor
+// shapes are allocated and freed thousands of times with identical sizes.
+// The pool turns that churn into free-list pushes/pops: a released block is
+// kept in a per-bucket list (buckets are power-of-two byte sizes) and the
+// next acquisition of the same bucket reuses it without touching the system
+// allocator. After one warm-up step the steady-state hot path performs zero
+// heap allocations for tensor data (see tests/alloc_test.cc).
+//
+// TensorStorage is a single allocation: a 64-byte header (refcount, float
+// count, bucket size) followed by the 64-byte-aligned float payload, so one
+// pool block covers both the old shared_ptr control block and the old
+// AlignedFloatBuffer. Refcounting is atomic; blocks may be released from a
+// different thread than the one that acquired them (eval workers, the
+// prefetch producer).
+//
+// Runtime toggle: the pool is on by default; CL4SREC_POOL=off in the
+// environment or TensorPool::SetEnabled(false) routes future acquisitions
+// straight to AlignedAlloc (blocks remember how they were allocated, so
+// toggling mid-flight is safe). The toggle exists for the allocation
+// regression test and the bench baseline, not as a supported production
+// mode.
+//
+// Observability (obs::MetricsRegistry):
+//   tensor.pool.hits        acquisitions served from a free list
+//   tensor.pool.misses      acquisitions that hit the system allocator
+//   tensor.pool.bytes_held  bytes currently parked in free lists (gauge)
+
+#ifndef CL4SREC_TENSOR_POOL_H_
+#define CL4SREC_TENSOR_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "tensor/aligned.h"
+
+namespace cl4srec {
+
+class TensorPool {
+ public:
+  // The process-wide pool. Leaked on purpose: tensors with static storage
+  // duration (test fixtures, cached models) may release blocks during exit,
+  // after a normal static pool would already be destroyed.
+  static TensorPool& Global();
+
+  // A 64-byte-aligned block of at least `bytes`; *actual_bytes receives the
+  // bucket size the block really has (pass it back to Release).
+  void* Acquire(size_t bytes, size_t* actual_bytes);
+  // Returns a block to its bucket's free list (never to the OS; use Trim).
+  void Release(void* ptr, size_t actual_bytes);
+
+  // Frees every block currently parked in a free list back to the OS.
+  void Trim();
+
+  struct StatsSnapshot {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t bytes_held = 0;
+    int64_t blocks_held = 0;
+  };
+  StatsSnapshot Stats() const;
+
+  // Whether new acquisitions go through the pool. Reads CL4SREC_POOL=off
+  // from the environment once at startup; SetEnabled overrides at runtime.
+  static bool enabled();
+  static void SetEnabled(bool on);
+
+ private:
+  // 2^6 (=64, one cache line) .. 2^37 bytes; tensors above the top bucket
+  // would be >100 GiB and are a bug upstream.
+  static constexpr int kMinBucketLog2 = 6;
+  static constexpr int kNumBuckets = 32;
+
+  struct Bucket {
+    std::mutex mu;
+    std::vector<void*> blocks;
+  };
+
+  TensorPool();
+  static int BucketIndex(size_t bytes);
+
+  Bucket buckets_[kNumBuckets];
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> bytes_held_{0};
+  std::atomic<int64_t> blocks_held_{0};
+};
+
+// One refcounted storage block: 64-byte header + aligned float payload.
+struct alignas(kTensorAlignBytes) TensorStorage {
+  std::atomic<int64_t> refs;
+  int64_t size;        // payload extent, in floats
+  size_t block_bytes;  // full allocation size; 0 => unpooled (AlignedAlloc)
+
+  // Zero-initialized payload of n floats, refcount 1.
+  static TensorStorage* Create(int64_t n);
+  // Payload copied from src, refcount 1.
+  static TensorStorage* CreateCopy(const float* src, int64_t n);
+
+  float* data() {
+    return reinterpret_cast<float*>(reinterpret_cast<char*>(this) +
+                                    sizeof(TensorStorage));
+  }
+  const float* data() const {
+    return const_cast<TensorStorage*>(this)->data();
+  }
+
+  void Ref() { refs.fetch_add(1, std::memory_order_relaxed); }
+  void Unref();  // frees (to pool or OS) when the count reaches zero
+};
+static_assert(sizeof(TensorStorage) == kTensorAlignBytes,
+              "header must occupy exactly one cache line so the payload "
+              "stays 64-byte aligned");
+
+// Intrusive smart pointer over TensorStorage — what Tensor actually holds.
+class StorageRef {
+ public:
+  StorageRef() = default;
+  // Adopts `storage` (which must carry refcount 1 from Create).
+  explicit StorageRef(TensorStorage* storage) : storage_(storage) {}
+  StorageRef(const StorageRef& other) : storage_(other.storage_) {
+    if (storage_ != nullptr) storage_->Ref();
+  }
+  StorageRef(StorageRef&& other) noexcept : storage_(other.storage_) {
+    other.storage_ = nullptr;
+  }
+  StorageRef& operator=(const StorageRef& other) {
+    if (this != &other) {
+      if (other.storage_ != nullptr) other.storage_->Ref();
+      if (storage_ != nullptr) storage_->Unref();
+      storage_ = other.storage_;
+    }
+    return *this;
+  }
+  StorageRef& operator=(StorageRef&& other) noexcept {
+    if (this != &other) {
+      if (storage_ != nullptr) storage_->Unref();
+      storage_ = other.storage_;
+      other.storage_ = nullptr;
+    }
+    return *this;
+  }
+  ~StorageRef() {
+    if (storage_ != nullptr) storage_->Unref();
+  }
+
+  TensorStorage* get() const { return storage_; }
+  explicit operator bool() const { return storage_ != nullptr; }
+
+ private:
+  TensorStorage* storage_ = nullptr;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TENSOR_POOL_H_

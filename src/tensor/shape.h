@@ -1,0 +1,83 @@
+// Inline tensor shape: a fixed-capacity extent array that replaces
+// std::vector<int64_t> inside Tensor.
+//
+// Tensors are value types that get copied constantly — every autograd op
+// captures its operands by value in the backward closure — and with a
+// vector-backed shape each of those copies was a heap allocation. Every
+// tensor in this codebase has rank <= 3 (rank 4 headroom), so the extents
+// live inline and copying a Tensor touches no allocator.
+//
+// The interface mirrors the parts of std::vector the call sites used:
+// operator[], size(), begin()/end() (range-for in serialization), equality
+// against both Shape and std::vector<int64_t>, and implicit conversion to
+// std::vector<int64_t> for code that wants a mutable copy.
+
+#ifndef CL4SREC_TENSOR_SHAPE_H_
+#define CL4SREC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+
+class Shape {
+ public:
+  static constexpr int64_t kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> extents) {
+    CL4SREC_CHECK_LE(extents.size(), static_cast<size_t>(kMaxRank));
+    for (int64_t extent : extents) dims_[rank_++] = extent;
+  }
+  // Implicit on purpose: call sites pass std::vector<int64_t> shapes
+  // (serialization, saved backward shapes) where a Shape is expected.
+  Shape(const std::vector<int64_t>& extents) {  // NOLINT(runtime/explicit)
+    CL4SREC_CHECK_LE(extents.size(), static_cast<size_t>(kMaxRank));
+    for (int64_t extent : extents) dims_[rank_++] = extent;
+  }
+
+  size_t size() const { return static_cast<size_t>(rank_); }
+  bool empty() const { return rank_ == 0; }
+
+  int64_t operator[](size_t i) const { return dims_[i]; }
+  int64_t& operator[](size_t i) { return dims_[i]; }
+
+  const int64_t* begin() const { return dims_; }
+  const int64_t* end() const { return dims_ + rank_; }
+
+  void push_back(int64_t extent) {
+    CL4SREC_CHECK_LT(rank_, kMaxRank);
+    dims_[rank_++] = extent;
+  }
+
+  std::vector<int64_t> ToVector() const {
+    return std::vector<int64_t>(begin(), end());
+  }
+  operator std::vector<int64_t>() const { return ToVector(); }  // NOLINT
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.rank_ != b.rank_) return false;
+    for (int64_t i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const Shape& a, const std::vector<int64_t>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (a.dims_[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  int64_t dims_[kMaxRank] = {0, 0, 0, 0};
+  int64_t rank_ = 0;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_TENSOR_SHAPE_H_

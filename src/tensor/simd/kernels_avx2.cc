@@ -350,6 +350,36 @@ void MeanVarAvx2(const float* x, int64_t n, float* mean, float* var) {
   *var = static_cast<float>(ssq / static_cast<double>(n));
 }
 
+// ---- Fused-op kernels ----
+
+// Composition of this lane's add_out and mean_var, so the fused kernel is
+// bit-identical to the unfused pair under the same dispatch choice.
+void AddMeanVarAvx2(float* out, const float* x, const float* y, int64_t n,
+                    float* mean, float* var) {
+  AddOutAvx2(out, x, y, n);
+  MeanVarAvx2(out, n, mean, var);
+}
+
+void ExpScaleOutAvx2(float* out, const float* x, float shift, float scale,
+                     int64_t n) {
+  const __m256 vshift = _mm256_set1_ps(shift);
+  const __m256 vscale = _mm256_set1_ps(scale);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(x + i), vshift));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(vscale, e));
+  }
+  // Tail goes through the same polynomial, one lane at a time, so every
+  // element of a row uses the same exp approximation.
+  for (; i < n; ++i) {
+    alignas(32) float lanes[8] = {x[i] - shift, 0.f, 0.f, 0.f,
+                                  0.f,          0.f, 0.f, 0.f};
+    const __m256 e = Exp256(_mm256_load_ps(lanes));
+    _mm256_store_ps(lanes, e);
+    out[i] = scale * lanes[0];
+  }
+}
+
 // ---- MatMul microkernel: 4 C rows x 16 C columns of FMA accumulators ----
 
 void MatMulMicroAvx2(float* c, int64_t c_stride, const float* a,
@@ -483,6 +513,8 @@ const KernelTable* GetAvx2Table() {
       /*reduce_max=*/ReduceMaxAvx2,
       /*exp_shift_sum=*/ExpShiftSumAvx2,
       /*mean_var=*/MeanVarAvx2,
+      /*add_mean_var=*/AddMeanVarAvx2,
+      /*exp_scale_out=*/ExpScaleOutAvx2,
       /*matmul_micro=*/MatMulMicroAvx2,
   };
   return &table;

@@ -132,6 +132,19 @@ inline void MeanVar(const float* x, int64_t n, float* mean, float* var) {
   *var = static_cast<float>(ssq / static_cast<double>(n));
 }
 
+// Fused residual-add + row moments: the composition is the definition, so
+// the fused kernel is bit-identical to calling add_out then mean_var.
+inline void AddMeanVar(float* out, const float* x, const float* y, int64_t n,
+                       float* mean, float* var) {
+  AddOut(out, x, y, n);
+  MeanVar(out, n, mean, var);
+}
+
+inline void ExpScaleOut(float* out, const float* x, float shift, float scale,
+                        int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = scale * std::exp(x[i] - shift);
+}
+
 // The seed blocked-MatMul inner kernel: per C row, ascending p, j inner.
 // Every (r, j) element accumulates its depth products in ascending-p order.
 // The strided variant exists for the vector lanes' column tails, where the

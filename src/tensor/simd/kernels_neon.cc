@@ -261,6 +261,16 @@ void MeanVarNeon(const float* x, int64_t n, float* mean, float* var) {
   *var = static_cast<float>(ssq / static_cast<double>(n));
 }
 
+// ---- Fused-op kernels ----
+
+// Composition of this lane's add_out and mean_var, so the fused kernel is
+// bit-identical to the unfused pair under the same dispatch choice.
+void AddMeanVarNeon(float* out, const float* x, const float* y, int64_t n,
+                    float* mean, float* var) {
+  AddOutNeon(out, x, y, n);
+  MeanVarNeon(out, n, mean, var);
+}
+
 // ---- MatMul microkernel: 4 C rows x 8 C columns of FMA accumulators ----
 
 void MatMulMicroNeon(float* c, int64_t c_stride, const float* a,
@@ -387,6 +397,10 @@ const KernelTable* GetNeonTable() {
       /*reduce_max=*/ReduceMaxNeon,
       /*exp_shift_sum=*/ref::ExpShiftSum,
       /*mean_var=*/MeanVarNeon,
+      /*add_mean_var=*/AddMeanVarNeon,
+      // NEON's exp_shift_sum uses libm (see the TU comment), so the fused
+      // exp kernel does too — keeping the two paths bit-consistent.
+      /*exp_scale_out=*/ref::ExpScaleOut,
       /*matmul_micro=*/MatMulMicroNeon,
   };
   return &table;

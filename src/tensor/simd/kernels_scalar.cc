@@ -30,6 +30,8 @@ const KernelTable* GetScalarTable() {
       /*reduce_max=*/ref::ReduceMax,
       /*exp_shift_sum=*/ref::ExpShiftSum,
       /*mean_var=*/ref::MeanVar,
+      /*add_mean_var=*/ref::AddMeanVar,
+      /*exp_scale_out=*/ref::ExpScaleOut,
       /*matmul_micro=*/ref::MatMulMicro,
   };
   return &table;

@@ -106,6 +106,18 @@ struct KernelTable {
   // Row mean and (biased) variance, double accumulation internally. n >= 1.
   void (*mean_var)(const float* x, int64_t n, float* mean, float* var);
 
+  // ---- Fused-op kernels (used by autograd/ops_fused.cc) ----
+  // Residual add + row moments in one pass:
+  //   out[i] = x[i] + y[i]   (bit-identical to add_out in every lane),
+  // then *mean/*var of out exactly as mean_var. out must not alias x or y.
+  // n >= 1.
+  void (*add_mean_var)(float* out, const float* x, const float* y, int64_t n,
+                       float* mean, float* var);
+  // out[i] = scale * exp(x[i] - shift). Uses the same exp as exp_shift_sum
+  // (polynomial on vector lanes, std::exp on scalar). out must not alias x.
+  void (*exp_scale_out)(float* out, const float* x, float shift, float scale,
+                        int64_t n);
+
   // ---- MatMul microkernel over packed panels ----
   // c[r * c_stride + j] += sum_{p < depth} a[r * a_stride + p] *
   //                        b_panel[p * width + j]   for r < rows, j < width.

@@ -8,7 +8,7 @@
 namespace cl4srec {
 namespace {
 
-int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+int64_t ComputeNumel(const Shape& shape) {
   int64_t numel = 1;
   for (int64_t extent : shape) {
     CL4SREC_CHECK_GE(extent, 0);
@@ -19,35 +19,31 @@ int64_t ComputeNumel(const std::vector<int64_t>& shape) {
 
 }  // namespace
 
-Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+Tensor::Tensor(Shape shape) : shape_(shape) {
   numel_ = ComputeNumel(shape_);
-  data_ = std::make_shared<Storage>(numel_);
+  data_ = StorageRef(TensorStorage::Create(numel_));
 }
 
-Tensor Tensor::Ones(std::vector<int64_t> shape) {
-  return Full(std::move(shape), 1.f);
-}
+Tensor Tensor::Ones(Shape shape) { return Full(shape, 1.f); }
 
-Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
-  Tensor t(std::move(shape));
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(shape);
   t.Fill(value);
   return t;
 }
 
-Tensor Tensor::FromVector(std::vector<int64_t> shape,
-                          std::vector<float> values) {
+Tensor Tensor::FromVector(Shape shape, const std::vector<float>& values) {
   Tensor t;
-  t.shape_ = std::move(shape);
+  t.shape_ = shape;
   t.numel_ = ComputeNumel(t.shape_);
   CL4SREC_CHECK_EQ(t.numel_, static_cast<int64_t>(values.size()));
-  t.data_ = std::make_shared<Storage>(values.data(),
-                                      static_cast<int64_t>(values.size()));
+  t.data_ = StorageRef(
+      TensorStorage::CreateCopy(values.data(), static_cast<int64_t>(values.size())));
   return t;
 }
 
-Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float mean,
-                     float stddev) {
-  Tensor t(std::move(shape));
+Tensor Tensor::Randn(Shape shape, Rng* rng, float mean, float stddev) {
+  Tensor t(shape);
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng->Normal(mean, stddev));
@@ -55,9 +51,9 @@ Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float mean,
   return t;
 }
 
-Tensor Tensor::TruncatedNormal(std::vector<int64_t> shape, Rng* rng,
-                               float mean, float stddev) {
-  Tensor t(std::move(shape));
+Tensor Tensor::TruncatedNormal(Shape shape, Rng* rng, float mean,
+                               float stddev) {
+  Tensor t(shape);
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng->TruncatedNormal(mean, stddev));
@@ -65,9 +61,8 @@ Tensor Tensor::TruncatedNormal(std::vector<int64_t> shape, Rng* rng,
   return t;
 }
 
-Tensor Tensor::Uniform(std::vector<int64_t> shape, Rng* rng, float lo,
-                       float hi) {
-  Tensor t(std::move(shape));
+Tensor Tensor::Uniform(Shape shape, Rng* rng, float lo, float hi) {
+  Tensor t(shape);
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng->Uniform(lo, hi));
@@ -85,13 +80,13 @@ int64_t Tensor::dim(int64_t axis) const {
 float& Tensor::at(int64_t i) {
   CL4SREC_CHECK_GE(i, 0);
   CL4SREC_CHECK_LT(i, numel_);
-  return (*data_)[static_cast<size_t>(i)];
+  return data()[i];
 }
 
 float Tensor::at(int64_t i) const {
   CL4SREC_CHECK_GE(i, 0);
   CL4SREC_CHECK_LT(i, numel_);
-  return (*data_)[static_cast<size_t>(i)];
+  return data()[i];
 }
 
 float& Tensor::at(int64_t i, int64_t j) {
@@ -100,7 +95,7 @@ float& Tensor::at(int64_t i, int64_t j) {
   CL4SREC_CHECK_LT(i, shape_[0]);
   CL4SREC_CHECK_GE(j, 0);
   CL4SREC_CHECK_LT(j, shape_[1]);
-  return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+  return data()[i * shape_[1] + j];
 }
 
 float Tensor::at(int64_t i, int64_t j) const {
@@ -115,7 +110,7 @@ float& Tensor::at(int64_t i, int64_t j, int64_t k) {
   CL4SREC_CHECK_LT(j, shape_[1]);
   CL4SREC_CHECK_GE(k, 0);
   CL4SREC_CHECK_LT(k, shape_[2]);
-  return (*data_)[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  return data()[(i * shape_[1] + j) * shape_[2] + k];
 }
 
 float Tensor::at(int64_t i, int64_t j, int64_t k) const {
@@ -126,11 +121,13 @@ Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
   t.numel_ = numel_;
-  t.data_ = data_ ? std::make_shared<Storage>(*data_) : nullptr;
+  if (data_) {
+    t.data_ = StorageRef(TensorStorage::CreateCopy(data(), numel_));
+  }
   return t;
 }
 
-Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+Tensor Tensor::Reshape(Shape new_shape) const {
   int64_t known = 1;
   int64_t infer_axis = -1;
   for (size_t i = 0; i < new_shape.size(); ++i) {
@@ -148,7 +145,7 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
     new_shape[static_cast<size_t>(infer_axis)] = numel_ / known;
   }
   Tensor t;
-  t.shape_ = std::move(new_shape);
+  t.shape_ = new_shape;
   t.numel_ = ComputeNumel(t.shape_);
   CL4SREC_CHECK_EQ(t.numel_, numel_) << "reshape must preserve element count";
   t.data_ = data_;
@@ -157,7 +154,7 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
 
 void Tensor::Fill(float value) {
   if (!data_) return;
-  std::fill(data_->data(), data_->data() + data_->size(), value);
+  std::fill(data(), data() + numel_, value);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
@@ -185,7 +182,7 @@ std::string Tensor::ToString(int64_t max_elements) const {
   const int64_t shown = std::min(max_elements, numel_);
   for (int64_t i = 0; i < shown; ++i) {
     if (i > 0) os << ", ";
-    os << (*data_)[static_cast<size_t>(i)];
+    os << data()[i];
   }
   if (shown < numel_) os << ", ...";
   os << "]";

@@ -5,16 +5,22 @@
 // for a deep copy. All tensors are contiguous; Reshape shares storage.
 // Shape errors are programmer errors and CHECK-fail rather than returning
 // Status, consistent with the rest of the math stack.
+//
+// Memory: storage is one refcounted pooled block (tensor/pool.h) and the
+// shape lives inline (tensor/shape.h), so constructing a tensor of a
+// previously-seen size reuses a free-listed block and copying a tensor
+// performs no heap allocation at all — the properties the allocation-free
+// training step (DESIGN.md "Memory management") is built on.
 
 #ifndef CL4SREC_TENSOR_TENSOR_H_
 #define CL4SREC_TENSOR_TENSOR_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "tensor/aligned.h"
+#include "tensor/pool.h"
+#include "tensor/shape.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -26,35 +32,35 @@ class Tensor {
   Tensor() = default;
 
   // Zero-initialized tensor of the given shape. Each extent must be >= 0.
-  explicit Tensor(std::vector<int64_t> shape);
+  explicit Tensor(Shape shape);
 
   // ---- Factories ----
-  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
-  static Tensor Ones(std::vector<int64_t> shape);
-  static Tensor Full(std::vector<int64_t> shape, float value);
-  // Takes ownership of `values`; its size must equal the shape's element count.
-  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> values);
+  static Tensor Zeros(Shape shape) { return Tensor(shape); }
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  // Copies `values`; its size must equal the shape's element count.
+  static Tensor FromVector(Shape shape, const std::vector<float>& values);
   // Scalar (shape {1}) tensor.
   static Tensor Scalar(float value) { return Full({1}, value); }
   // I.i.d. N(mean, stddev) entries.
-  static Tensor Randn(std::vector<int64_t> shape, Rng* rng, float mean = 0.f,
+  static Tensor Randn(Shape shape, Rng* rng, float mean = 0.f,
                       float stddev = 1.f);
   // Truncated normal in [mean-2*stddev, mean+2*stddev] (paper's initializer).
-  static Tensor TruncatedNormal(std::vector<int64_t> shape, Rng* rng,
-                                float mean, float stddev);
+  static Tensor TruncatedNormal(Shape shape, Rng* rng, float mean,
+                                float stddev);
   // Uniform in [lo, hi).
-  static Tensor Uniform(std::vector<int64_t> shape, Rng* rng, float lo, float hi);
+  static Tensor Uniform(Shape shape, Rng* rng, float lo, float hi);
 
   // ---- Introspection ----
-  const std::vector<int64_t>& shape() const { return shape_; }
+  const Shape& shape() const { return shape_; }
   int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
   int64_t dim(int64_t axis) const;
   int64_t numel() const { return numel_; }
   bool empty() const { return numel_ == 0; }
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
-  float* data() { return data_ ? data_->data() : nullptr; }
-  const float* data() const { return data_ ? data_->data() : nullptr; }
+  float* data() { return data_ ? data_.get()->data() : nullptr; }
+  const float* data() const { return data_ ? data_.get()->data() : nullptr; }
 
   // ---- Element access (bounds CHECKed) ----
   float& at(int64_t i);
@@ -69,7 +75,7 @@ class Tensor {
   Tensor Clone() const;
   // New view with the same storage and a different shape (element counts must
   // match). A -1 extent is inferred from the remaining dimensions.
-  Tensor Reshape(std::vector<int64_t> new_shape) const;
+  Tensor Reshape(Shape new_shape) const;
   // Sets every element to `value`.
   void Fill(float value);
   // Sets every element to 0.
@@ -87,13 +93,9 @@ class Tensor {
   std::string ToString(int64_t max_elements = 8) const;
 
  private:
-  // 64-byte-aligned backing buffer: vector kernels rely on aligned bases,
-  // and whole rows of power-of-two widths stay within cache lines.
-  using Storage = AlignedFloatBuffer;
-
-  std::vector<int64_t> shape_;
+  Shape shape_;
   int64_t numel_ = 0;
-  std::shared_ptr<Storage> data_;
+  StorageRef data_;
 };
 
 }  // namespace cl4srec

@@ -1,0 +1,147 @@
+// Counting replacements for the global allocation functions. See
+// alloc_probe.h for why this TU must only be linked into test binaries.
+//
+// The wrappers route through malloc/posix_memalign directly (never back
+// into operator new) so they can run during static initialization, and
+// they never allocate themselves.
+
+#include "util/alloc_probe.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+// Diagnostic build flag: -DCL4SREC_ALLOC_PROBE_TRACE dumps a backtrace to
+// stderr for every counted allocation (symbolize with addr2line). Not set
+// by any CMake target; compile by hand when hunting a hot-path allocation.
+#ifdef CL4SREC_ALLOC_PROBE_TRACE
+#include <execinfo.h>
+#include <unistd.h>
+#endif
+
+namespace cl4srec {
+namespace alloc_probe {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<int64_t> g_count{0};
+std::atomic<int64_t> g_bytes{0};
+
+inline void Note(std::size_t size) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(static_cast<int64_t>(size), std::memory_order_relaxed);
+#ifdef CL4SREC_ALLOC_PROBE_TRACE
+    void* frames[24];
+    const int depth = backtrace(frames, 24);
+    backtrace_symbols_fd(frames, depth, 2);
+    (void)!write(2, "----\n", 5);
+#endif
+  }
+}
+
+inline void* AllocPlain(std::size_t size) {
+  Note(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+inline void* AllocAligned(std::size_t size, std::size_t alignment) {
+  Note(size);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  // posix_memalign requires a multiple of sizeof(void*); align_val_t is
+  // always a power of two >= that after the clamp above.
+  void* ptr = nullptr;
+  const std::size_t bytes = size != 0 ? size : alignment;
+  if (posix_memalign(&ptr, alignment, bytes) != 0) return nullptr;
+  return ptr;
+}
+
+}  // namespace
+
+bool Linked() { return true; }
+
+void Enable() { g_enabled.store(true, std::memory_order_relaxed); }
+void Disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Reset() {
+  g_count.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+int64_t AllocationCount() { return g_count.load(std::memory_order_relaxed); }
+int64_t BytesAllocated() { return g_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace alloc_probe
+}  // namespace cl4srec
+
+namespace {
+
+void* NewOrThrow(std::size_t size) {
+  void* ptr = cl4srec::alloc_probe::AllocPlain(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* NewAlignedOrThrow(std::size_t size, std::align_val_t alignment) {
+  void* ptr = cl4srec::alloc_probe::AllocAligned(
+      size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return NewOrThrow(size); }
+void* operator new[](std::size_t size) { return NewOrThrow(size); }
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return NewAlignedOrThrow(size, alignment);
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return NewAlignedOrThrow(size, alignment);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return cl4srec::alloc_probe::AllocPlain(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return cl4srec::alloc_probe::AllocPlain(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return cl4srec::alloc_probe::AllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return cl4srec::alloc_probe::AllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}

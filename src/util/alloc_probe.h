@@ -1,0 +1,49 @@
+// Heap-allocation probe for tests.
+//
+// The companion alloc_probe.cc replaces the global operator new / delete
+// family with counting wrappers over malloc/free. It is deliberately NOT
+// part of cl4srec_util: linking it into an executable swaps that binary's
+// allocator, so only test targets that measure allocation behavior (see
+// tests/alloc_test.cc) add the cl4srec_alloc_probe library.
+//
+// Counting is off until Enable(); the wrappers then cost two relaxed
+// atomic increments per allocation. Counters are process-global and
+// thread-safe, so allocations made by worker threads (prefetch producer,
+// compute pool) while the probe is enabled are included.
+
+#ifndef CL4SREC_UTIL_ALLOC_PROBE_H_
+#define CL4SREC_UTIL_ALLOC_PROBE_H_
+
+#include <cstdint>
+
+namespace cl4srec {
+namespace alloc_probe {
+
+// True when this binary links the replacement allocator; false lets tests
+// skip gracefully if they are ever built without it.
+bool Linked();
+
+void Enable();
+void Disable();
+void Reset();
+
+// Allocations / bytes recorded while enabled since the last Reset().
+int64_t AllocationCount();
+int64_t BytesAllocated();
+
+// RAII: Reset + Enable on entry, Disable on exit.
+class Scope {
+ public:
+  Scope() {
+    Reset();
+    Enable();
+  }
+  ~Scope() { Disable(); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+}  // namespace alloc_probe
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_ALLOC_PROBE_H_

@@ -1,0 +1,140 @@
+// Allocation regression tests: with the tensor pool and the per-step graph
+// arena active, a steady-state training step must perform at least 99%
+// fewer heap allocations than the same step with both disabled. Links
+// cl4srec_alloc_probe, which replaces global operator new/delete with
+// counting wrappers (see util/alloc_probe.h).
+
+#include "util/alloc_probe.h"
+
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/graph_arena.h"
+#include "autograd/ops.h"
+#include "nn/transformer.h"
+#include "obs/metrics.h"
+#include "optim/optimizer.h"
+#include "parallel/parallel.h"
+#include "tensor/pool.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+namespace {
+
+TEST(AllocProbeTest, ProbeIsLinkedAndCounts) {
+  ASSERT_TRUE(alloc_probe::Linked());
+  alloc_probe::Scope scope;
+  auto* leaked_until_delete = new std::vector<int>(128, 3);
+  EXPECT_GE(alloc_probe::AllocationCount(), 1);
+  EXPECT_GE(alloc_probe::BytesAllocated(),
+            static_cast<int64_t>(128 * sizeof(int)));
+  delete leaked_until_delete;
+  alloc_probe::Disable();
+  alloc_probe::Reset();
+  auto* uncounted = new int(7);
+  EXPECT_EQ(alloc_probe::AllocationCount(), 0);
+  delete uncounted;
+}
+
+class SteadyStateAllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Serial compute: thread-pool dispatch is not part of what this test
+    // measures, and the probe counts allocations from every thread.
+    parallel::SetNumThreads(1);
+    TransformerConfig config;
+    config.num_items = 60;
+    config.max_len = 16;
+    config.hidden_dim = 16;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.dropout = 0.1;
+    Rng init_rng(7);
+    encoder_ = std::make_unique<TransformerSeqEncoder>(config, &init_rng);
+    params_ = encoder_->Parameters();
+    optimizer_ = std::make_unique<Adam>(params_, AdamOptions{.lr = 1e-3f});
+    std::vector<std::vector<int64_t>> sequences;
+    Rng data_rng(11);
+    for (int i = 0; i < 8; ++i) {
+      std::vector<int64_t> seq;
+      for (int t = 0; t < 12; ++t) seq.push_back(data_rng.UniformInt(1, 60));
+      sequences.push_back(std::move(seq));
+    }
+    batch_ = PackSequences(sequences, config.max_len);
+  }
+
+  void TearDown() override {
+    TensorPool::SetEnabled(true);
+    parallel::SetNumThreads(0);
+  }
+
+  // One full training step: forward, backward, optimizer update. `pooled`
+  // selects pool + arena (steady-state mode) vs plain heap (baseline).
+  void RunStep(bool pooled, Rng* rng) {
+    TensorPool::SetEnabled(pooled);
+    std::optional<GraphArena::StepScope> scope;
+    if (pooled) scope.emplace();
+    ForwardContext ctx{.training = true, .rng = rng};
+    Variable hidden = encoder_->EncodeAll(batch_, ctx);
+    Variable loss = SumV(MulV(hidden, hidden));
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    optimizer_->Step();
+  }
+
+  std::unique_ptr<TransformerSeqEncoder> encoder_;
+  std::vector<Variable*> params_;
+  std::unique_ptr<Adam> optimizer_;
+  PaddedBatch batch_;
+};
+
+TEST_F(SteadyStateAllocTest, PoolAndArenaCut99PercentOfStepAllocations) {
+  Rng rng(23);
+  // Warm up: Adam state, pool slabs, arena blocks, scratch buffers.
+  for (int i = 0; i < 4; ++i) RunStep(/*pooled=*/true, &rng);
+
+  int64_t steady = 0;
+  {
+    alloc_probe::Scope probe;
+    RunStep(/*pooled=*/true, &rng);
+    steady = alloc_probe::AllocationCount();
+  }
+
+  // Baseline: identical step with the pool off and no step arena. One
+  // warm-up so lazily-grown caches don't inflate the comparison.
+  RunStep(/*pooled=*/false, &rng);
+  int64_t baseline = 0;
+  {
+    alloc_probe::Scope probe;
+    RunStep(/*pooled=*/false, &rng);
+    baseline = alloc_probe::AllocationCount();
+  }
+
+  ASSERT_GT(baseline, 0);
+  // The acceptance bar: >= 99% of per-step heap allocations eliminated.
+  EXPECT_LE(steady * 100, baseline)
+      << "steady-state step made " << steady << " allocations vs baseline "
+      << baseline;
+  std::cout << "[ allocs ] steady-state step: " << steady << " vs baseline "
+            << baseline << " ("
+            << 100.0 - 100.0 * static_cast<double>(steady) /
+                           static_cast<double>(baseline)
+            << "% eliminated)\n";
+}
+
+TEST_F(SteadyStateAllocTest, SteadyStatePoolMissesAreZero) {
+  Rng rng(29);
+  for (int i = 0; i < 4; ++i) RunStep(/*pooled=*/true, &rng);
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* misses = registry.GetCounter("tensor.pool.misses");
+  const int64_t misses_before = misses->value();
+  RunStep(/*pooled=*/true, &rng);
+  EXPECT_EQ(misses->value(), misses_before)
+      << "steady-state step fell back to the heap for tensor storage";
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -207,6 +207,65 @@ TEST(BatcherTest, TruncatesLongSequences) {
   EXPECT_EQ(batch.targets[3], 8);
 }
 
+TEST(BatcherTest, FinalPartialBatchKeepsRemainder) {
+  // 3 eligible users, batch_size 2 -> sizes {2, 1}; nothing dropped.
+  SequenceDataset data(TinyCorpus());
+  Rng rng(6);
+  auto batches = MakeEpochBatches(data, 2, &rng);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 2u);
+  EXPECT_EQ(batches[1].size(), 1u);
+}
+
+TEST(BatcherTest, BatchSizeLargerThanDatasetYieldsOneBatch) {
+  SequenceDataset data(TinyCorpus());
+  Rng rng(7);
+  auto batches = MakeEpochBatches(data, 100, &rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 3u);
+}
+
+TEST(BatcherTest, EpochShuffleIsSeedDeterministic) {
+  SequenceDataset data(TinyCorpus());
+  Rng rng_a(42);
+  Rng rng_b(42);
+  EXPECT_EQ(MakeEpochBatches(data, 2, &rng_a),
+            MakeEpochBatches(data, 2, &rng_b));
+  // Consecutive epochs from one rng reshuffle (all 3! orders are reachable,
+  // so two draws agreeing is possible but not for this seed).
+  Rng rng(42);
+  auto first = MakeEpochBatches(data, 2, &rng);
+  auto second = MakeEpochBatches(data, 2, &rng);
+  EXPECT_NE(first, second);
+}
+
+TEST(BatcherTest, SupervisedBatchRowLayouts) {
+  SequenceDataset data(TinyCorpus());
+  // Identically seeded rngs -> identical sampled negatives, so the two
+  // layouts must agree on everything except the row indexing.
+  Rng rng_b(9);
+  Rng rng_t(9);
+  SupervisedBatch b_major =
+      BuildSupervisedBatch(data, {0, 1}, 5, /*time_major=*/false, &rng_b);
+  SupervisedBatch t_major =
+      BuildSupervisedBatch(data, {0, 1}, 5, /*time_major=*/true, &rng_t);
+  EXPECT_EQ(b_major.positives, t_major.positives);
+  EXPECT_EQ(b_major.negatives, t_major.negatives);
+  ASSERT_EQ(b_major.rows.size(), t_major.rows.size());
+  const int64_t b_count = b_major.base.inputs.batch;
+  const int64_t t_count = b_major.base.inputs.seq_len;
+  for (size_t i = 0; i < b_major.rows.size(); ++i) {
+    const int64_t b = b_major.rows[i] / t_count;
+    const int64_t t = b_major.rows[i] % t_count;
+    EXPECT_EQ(t_major.rows[i], t * b_count + b);
+    // Rows point at valid (non-padding) positions with a real target.
+    EXPECT_NE(b_major.base.targets[static_cast<size_t>(b_major.rows[i])], 0);
+  }
+  // Valid-position count: each user's train sequence {a,b,c} yields two
+  // (input, target) pairs.
+  EXPECT_EQ(b_major.rows.size(), 4u);
+}
+
 TEST(SyntheticTest, PresetsRoughlyMatchTable1Shape) {
   for (auto preset : {SyntheticPreset::kBeauty, SyntheticPreset::kSports,
                       SyntheticPreset::kToys, SyntheticPreset::kYelp}) {

@@ -1,9 +1,11 @@
-// Thread-count determinism: a small end-to-end CL4SRec run (contrastive
-// pre-training + fine-tuning + full-ranking evaluation) must produce
-// identical training losses, model scores, and eval metrics for every
-// thread count. This is the contract that lets --threads be a pure
-// performance knob: parallel chunk boundaries depend only on range and
-// grain, never on the pool size.
+// Thread-count and prefetch-depth determinism: a small end-to-end CL4SRec
+// run (contrastive pre-training + fine-tuning + full-ranking evaluation)
+// must produce identical training losses, model scores, and eval metrics
+// for every thread count AND every --prefetch_depth. These are the
+// contracts that make both pure performance knobs: parallel chunk
+// boundaries depend only on range and grain, never on the pool size, and
+// batch content is a pure function of (seed, epoch, batch index), never of
+// which thread builds the batch or how far ahead it is built.
 
 #include <gtest/gtest.h>
 
@@ -33,7 +35,7 @@ SequenceDataset SmallData() {
   return MakeSyntheticDataset(config);
 }
 
-RunResult RunCl4SRec(int threads) {
+RunResult RunCl4SRec(int threads, int64_t prefetch_depth = 2) {
   parallel::SetNumThreads(threads);
   SequenceDataset data = SmallData();
 
@@ -49,6 +51,7 @@ RunResult RunCl4SRec(int threads) {
   options.batch_size = 32;
   options.max_len = 12;
   options.seed = 11;
+  options.prefetch_depth = prefetch_depth;
 
   RunResult result;
   result.pretrain_loss = model.Pretrain(data, options);
@@ -91,6 +94,32 @@ TEST(DeterminismTest, Cl4SRecEndToEndIdenticalAcrossThreadCounts) {
               0);
   }
   parallel::SetNumThreads(0);  // Restore the default for later tests.
+}
+
+TEST(DeterminismTest, Cl4SRecEndToEndIdenticalAcrossPrefetchDepths) {
+  // Serial batch building (depth 0, on the training thread) vs the async
+  // producer (depth 2) vs a deep queue, across thread counts: all
+  // bit-identical.
+  const RunResult inline_build = RunCl4SRec(1, /*prefetch_depth=*/0);
+  EXPECT_TRUE(std::isfinite(inline_build.pretrain_loss));
+  struct Case {
+    int threads;
+    int64_t depth;
+  };
+  for (const Case c : {Case{1, 2}, Case{2, 2}, Case{8, 2}, Case{2, 8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(c.threads) +
+                 " prefetch_depth=" + std::to_string(c.depth));
+    const RunResult prefetched = RunCl4SRec(c.threads, c.depth);
+    EXPECT_EQ(prefetched.pretrain_loss, inline_build.pretrain_loss);
+    ExpectIdenticalReports(prefetched.valid, inline_build.valid);
+    ExpectIdenticalReports(prefetched.test, inline_build.test);
+    ASSERT_TRUE(prefetched.scores.SameShape(inline_build.scores));
+    EXPECT_EQ(std::memcmp(prefetched.scores.data(), inline_build.scores.data(),
+                          static_cast<size_t>(inline_build.scores.numel()) *
+                              sizeof(float)),
+              0);
+  }
+  parallel::SetNumThreads(0);
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// Tests for src/autograd/ops_fused.cc: finite-difference gradient checks,
+// forward bit-equivalence with the unfused compositions, and backward
+// agreement within the documented tolerance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "core/nt_xent.h"
+#include "tensor/simd/simd.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace {
+
+Variable Param(std::vector<int64_t> shape, Rng* rng, float stddev = 0.5f) {
+  return Variable(Tensor::Randn(std::move(shape), rng, 0.f, stddev), true);
+}
+
+// Max |a - b| over all elements (shapes must match).
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  EXPECT_TRUE(a.SameShape(b));
+  float worst = 0.f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+// ---- FusedSoftmaxCrossEntropyV ----
+
+TEST(FusedSoftmaxXentTest, LossBitEqualToUnfused) {
+  Rng rng(11);
+  const std::vector<int64_t> targets = {2, 0, 4, 1, 3, 3};
+  Tensor logits = Tensor::Randn({6, 5}, &rng, 0.f, 2.f);
+  const Variable fused =
+      FusedSoftmaxCrossEntropyV(Variable(logits, false), targets);
+  const Variable unfused =
+      SoftmaxCrossEntropyV(Variable(logits, false), targets);
+  EXPECT_EQ(fused.value().at(0), unfused.value().at(0));
+}
+
+TEST(FusedSoftmaxXentTest, GradientMatchesUnfused) {
+  Rng rng(12);
+  const std::vector<int64_t> targets = {1, 3, 0, 2};
+  Tensor logits = Tensor::Randn({4, 6}, &rng, 0.f, 2.f);
+  Variable fused_in(logits, true);
+  FusedSoftmaxCrossEntropyV(fused_in, targets).Backward();
+  Variable unfused_in(logits, true);
+  SoftmaxCrossEntropyV(unfused_in, targets).Backward();
+  // Scalar exp is bit-equal; the vector lanes' polynomial exp agrees with
+  // libm to ~2 ulp, so the probabilities (all in [0, 1]) agree to ~1e-6.
+  EXPECT_LE(MaxAbsDiff(fused_in.grad(), unfused_in.grad()), 1e-5f);
+}
+
+TEST(FusedSoftmaxXentTest, GradCheck) {
+  Rng rng(13);
+  const std::vector<int64_t> targets = {0, 2, 1};
+  Variable logits = Param({3, 4}, &rng, 1.f);
+  const auto result = CheckGradients(
+      [&] { return FusedSoftmaxCrossEntropyV(logits, targets); }, {&logits});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+// ---- FusedNtXentV ----
+
+TEST(FusedNtXentTest, LossBitEqualToUnfused) {
+  Rng rng(21);
+  Tensor reps = Tensor::Randn({8, 16}, &rng, 0.f, 1.f);
+  for (float tau : {0.1f, 0.5f, 1.f}) {
+    const Variable fused = FusedNtXentV(Variable(reps, false), tau);
+    const Variable unfused = NtXentLossUnfused(Variable(reps, false), tau);
+    EXPECT_EQ(fused.value().at(0), unfused.value().at(0)) << "tau=" << tau;
+  }
+}
+
+TEST(FusedNtXentTest, GradientMatchesUnfused) {
+  Rng rng(22);
+  Tensor reps = Tensor::Randn({6, 8}, &rng, 0.f, 1.f);
+  Variable fused_in(reps, true);
+  FusedNtXentV(fused_in, 0.5f).Backward();
+  Variable unfused_in(reps, true);
+  NtXentLossUnfused(unfused_in, 0.5f).Backward();
+  EXPECT_LE(MaxAbsDiff(fused_in.grad(), unfused_in.grad()), 1e-5f);
+}
+
+TEST(FusedNtXentTest, GradCheck) {
+  Rng rng(23);
+  Variable reps = Param({4, 6}, &rng, 1.f);
+  const auto result =
+      CheckGradients([&] { return FusedNtXentV(reps, 0.5f); }, {&reps});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(FusedNtXentTest, NtXentLossRoutesToFused) {
+  Rng rng(24);
+  Tensor reps = Tensor::Randn({6, 8}, &rng, 0.f, 1.f);
+  const Variable via_alias = NtXentLoss(Variable(reps, false), 0.4f);
+  const Variable direct = FusedNtXentV(Variable(reps, false), 0.4f);
+  EXPECT_EQ(via_alias.value().at(0), direct.value().at(0));
+}
+
+// ---- ResidualLayerNormV ----
+
+TEST(ResidualLayerNormTest, ForwardAndBackwardBitEqualToUnfused) {
+  Rng rng(31);
+  Tensor xt = Tensor::Randn({5, 8}, &rng, 0.f, 1.f);
+  Tensor yt = Tensor::Randn({5, 8}, &rng, 0.f, 1.f);
+  Tensor gt = Tensor::Randn({8}, &rng, 1.f, 0.2f);
+  Tensor bt = Tensor::Randn({8}, &rng, 0.f, 0.2f);
+
+  Variable fx(xt, true), fy(yt, true), fg(gt, true), fb(bt, true);
+  Variable fused = ResidualLayerNormV(fx, fy, fg, fb);
+  Variable ux(xt, true), uy(yt, true), ug(gt, true), ub(bt, true);
+  Variable unfused = LayerNormV(AddV(ux, uy), ug, ub);
+
+  EXPECT_EQ(MaxAbsDiff(fused.value(), unfused.value()), 0.f);
+
+  SumV(MulV(fused, fused)).Backward();
+  SumV(MulV(unfused, unfused)).Backward();
+  EXPECT_EQ(MaxAbsDiff(fx.grad(), ux.grad()), 0.f);
+  EXPECT_EQ(MaxAbsDiff(fy.grad(), uy.grad()), 0.f);
+  EXPECT_EQ(MaxAbsDiff(fg.grad(), ug.grad()), 0.f);
+  EXPECT_EQ(MaxAbsDiff(fb.grad(), ub.grad()), 0.f);
+}
+
+TEST(ResidualLayerNormTest, GradCheck) {
+  Rng rng(32);
+  Variable x = Param({3, 5}, &rng);
+  Variable y = Param({3, 5}, &rng);
+  Variable gamma(Tensor::Randn({5}, &rng, 1.f, 0.1f), true);
+  Variable beta(Tensor::Randn({5}, &rng, 0.f, 0.1f), true);
+  const auto result = CheckGradients(
+      [&] { return SumV(MulV(ResidualLayerNormV(x, y, gamma, beta),
+                             ResidualLayerNormV(x, y, gamma, beta))); },
+      {&x, &y, &gamma, &beta});
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+// ---- New fused kernels vs the scalar reference ----
+
+TEST(FusedKernelTest, AddMeanVarMatchesUnfusedPair) {
+  Rng rng(41);
+  const int64_t n = 37;  // exercises the vector tail
+  Tensor x = Tensor::Randn({n}, &rng, 0.f, 1.f);
+  Tensor y = Tensor::Randn({n}, &rng, 0.f, 1.f);
+  const simd::KernelTable& kt = simd::Kernels();
+  std::vector<float> fused_out(n), unfused_out(n);
+  float fm, fv, um, uv;
+  kt.add_mean_var(fused_out.data(), x.data(), y.data(), n, &fm, &fv);
+  kt.add_out(unfused_out.data(), x.data(), y.data(), n);
+  kt.mean_var(unfused_out.data(), n, &um, &uv);
+  EXPECT_EQ(fused_out, unfused_out);
+  EXPECT_EQ(fm, um);
+  EXPECT_EQ(fv, uv);
+}
+
+TEST(FusedKernelTest, ExpScaleOutMatchesExpShiftSum) {
+  Rng rng(42);
+  const int64_t n = 29;
+  Tensor x = Tensor::Randn({n}, &rng, 0.f, 2.f);
+  const float shift = 0.75f, scale = 0.125f;
+  const simd::KernelTable& kt = simd::Kernels();
+  std::vector<float> fused(n), plain(n);
+  kt.exp_scale_out(fused.data(), x.data(), shift, scale, n);
+  kt.exp_shift_sum(plain.data(), x.data(), shift, n);
+  for (int64_t i = 0; i < n; ++i) {
+    // scale * exp(..) with the same lane exp: exact.
+    EXPECT_EQ(fused[static_cast<size_t>(i)],
+              scale * plain[static_cast<size_t>(i)])
+        << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace cl4srec

@@ -1,0 +1,120 @@
+// Tests for data/prefetch.h: ordering, depth-independence, per-batch seed
+// purity, resume Skip(), builder-exception propagation, and clean shutdown
+// when a consumer abandons the epoch early. Runs under TSan in
+// scripts/check_sanitizers.sh.
+
+#include "data/prefetch.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cl4srec {
+namespace {
+
+TEST(BatchSeedTest, PureAndWellSeparated) {
+  EXPECT_EQ(BatchSeed(7, 3, 11), BatchSeed(7, 3, 11));
+  // Neighboring (seed, epoch, index) triples land far apart.
+  EXPECT_NE(BatchSeed(7, 3, 11), BatchSeed(7, 3, 12));
+  EXPECT_NE(BatchSeed(7, 3, 11), BatchSeed(7, 4, 11));
+  EXPECT_NE(BatchSeed(7, 3, 11), BatchSeed(8, 3, 11));
+  // (epoch, index) must not be interchangeable.
+  EXPECT_NE(BatchSeed(7, 3, 11), BatchSeed(7, 11, 3));
+}
+
+// A builder with real randomness: the batch content is a pure function of
+// the per-batch seed, exactly like the training loops' builders.
+std::vector<int64_t> SeededBatch(uint64_t seed, int64_t epoch, int64_t index) {
+  Rng rng(BatchSeed(seed, epoch, index));
+  std::vector<int64_t> values;
+  for (int i = 0; i < 16; ++i) values.push_back(rng.UniformInt(1000));
+  return values;
+}
+
+TEST(PrefetcherTest, DepthZeroAndDeepQueuesProduceIdenticalStreams) {
+  auto run = [](int64_t depth) {
+    Prefetcher<std::vector<int64_t>> prefetch(
+        12, depth, [](int64_t index) { return SeededBatch(7, 0, index); });
+    std::vector<std::vector<int64_t>> batches;
+    for (int64_t i = 0; i < 12; ++i) batches.push_back(prefetch.Next());
+    return batches;
+  };
+  const auto serial = run(0);
+  EXPECT_EQ(serial, run(1));
+  EXPECT_EQ(serial, run(3));
+  EXPECT_EQ(serial, run(64));  // deeper than the batch count
+}
+
+TEST(PrefetcherTest, BatchesArriveInIndexOrder) {
+  // A deliberately uneven builder: early batches are slow, late ones fast.
+  Prefetcher<int64_t> prefetch(20, 4, [](int64_t index) {
+    if (index % 3 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return index;
+  });
+  for (int64_t i = 0; i < 20; ++i) EXPECT_EQ(prefetch.Next(), i);
+}
+
+TEST(PrefetcherTest, SkipDiscardsInOrder) {
+  Prefetcher<int64_t> prefetch(6, 2, [](int64_t index) { return index * 10; });
+  prefetch.Skip();
+  prefetch.Skip();
+  EXPECT_EQ(prefetch.consumed(), 2);
+  EXPECT_EQ(prefetch.Next(), 20);
+  EXPECT_EQ(prefetch.consumed(), 3);
+}
+
+TEST(PrefetcherTest, BuilderExceptionSurfacesAfterDrain) {
+  Prefetcher<int64_t> prefetch(10, 2, [](int64_t index) {
+    if (index == 3) throw std::runtime_error("bad batch");
+    return index;
+  });
+  EXPECT_EQ(prefetch.Next(), 0);
+  EXPECT_EQ(prefetch.Next(), 1);
+  EXPECT_EQ(prefetch.Next(), 2);
+  EXPECT_THROW(prefetch.Next(), std::runtime_error);
+}
+
+TEST(PrefetcherTest, SerialModeThrowsInline) {
+  Prefetcher<int64_t> prefetch(4, 0, [](int64_t index) {
+    if (index == 1) throw std::runtime_error("bad batch");
+    return index;
+  });
+  EXPECT_EQ(prefetch.Next(), 0);
+  EXPECT_THROW(prefetch.Next(), std::runtime_error);
+}
+
+TEST(PrefetcherTest, AbandoningMidEpochJoinsProducer) {
+  // Early stopping: the consumer walks away after two batches of many; the
+  // destructor must cancel and join the producer without deadlocking, even
+  // while the producer is blocked on a full queue.
+  std::atomic<int64_t> built{0};
+  {
+    Prefetcher<int64_t> prefetch(1000, 2, [&](int64_t index) {
+      built.fetch_add(1);
+      return index;
+    });
+    EXPECT_EQ(prefetch.Next(), 0);
+    EXPECT_EQ(prefetch.Next(), 1);
+  }
+  // The producer never raced ahead of the queue bound.
+  EXPECT_LE(built.load(), 2 + 2 + 1);
+}
+
+TEST(PrefetcherTest, ProducerRunsAheadOfConsumer) {
+  // With a slow consumer, the queue should actually fill: after the first
+  // Next() returns, up to `depth` further batches may already be built.
+  Prefetcher<int64_t> prefetch(8, 4, [](int64_t index) { return index; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(prefetch.Next(), i);
+}
+
+}  // namespace
+}  // namespace cl4srec
