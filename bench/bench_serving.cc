@@ -1,0 +1,292 @@
+// Serving-runtime load benchmark: Zipfian closed-loop traffic against the
+// RecommendServer, reporting QPS, p50/p99 latency, shed rate, and per-tier
+// answer fractions.
+//
+// Two phases share one server:
+//   steady    client count sized to the worker pool; generous deadlines —
+//             measures the tier-0 happy path;
+//   overload  several times more clients, tight deadlines, plus an
+//             optional injected slow-worker fault — measures typed
+//             shedding and the degradation ladder under saturation.
+//
+// Users are drawn from a Zipf(s) distribution over the dataset's users, so
+// the session cache sees the skewed reuse a production frontend would.
+//
+//   ./bench_serving [--json out.json] [--duration_ms 2000] [--workers 2]
+//                   [--clients 4] [--overload_clients 16] [--zipf 1.1]
+//                   [--deadline_ms 50] [--overload_deadline_ms 8]
+//                   [--slow_worker_ms 0] [--scale 1.0] ...
+//
+// --json writes a machine-readable report; scripts/bench_micro.sh smoke-runs
+// this binary and scripts/validate_telemetry.sh checks the serve.* metrics
+// the run emits.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/model_backend.h"
+#include "serve/server.h"
+#include "train/fault_injector.h"
+#include "util/stopwatch.h"
+#include "util/time_budget.h"
+
+using namespace cl4srec;
+using namespace cl4srec::bench;
+using namespace cl4srec::serve;
+
+namespace {
+
+// Zipfian sampler over ranks 0..n-1 via inverse-CDF on precomputed weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double s) : cdf_(static_cast<size_t>(n)) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<size_t>(i)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  int64_t Sample(Rng* rng) const {
+    const double u = rng->Uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct PhaseResult {
+  std::string name;
+  int64_t requests = 0;
+  int64_t tier0 = 0;
+  int64_t tier1 = 0;
+  int64_t tier2 = 0;
+  int64_t shed_overload = 0;
+  int64_t shed_deadline = 0;
+  int64_t deadline_missed = 0;
+  double duration_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  int64_t answered() const { return tier0 + tier1 + tier2; }
+  int64_t shed() const { return shed_overload + shed_deadline; }
+  double qps() const { return duration_s > 0 ? answered() / duration_s : 0.0; }
+  double shed_rate() const {
+    return requests > 0 ? static_cast<double>(shed()) / requests : 0.0;
+  }
+  double TierFraction(int64_t tier_count) const {
+    return answered() > 0 ? static_cast<double>(tier_count) / answered() : 0.0;
+  }
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const auto index = static_cast<size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[index];
+}
+
+PhaseResult RunPhase(const std::string& name, RecommendServer* server,
+                     const SequenceDataset& data, const ZipfSampler& zipf,
+                     int clients, double duration_ms, double deadline_ms,
+                     uint64_t seed) {
+  PhaseResult result;
+  result.name = name;
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::atomic<int64_t> requests{0}, tier0{0}, tier1{0}, tier2{0};
+  std::atomic<int64_t> shed_overload{0}, shed_deadline{0}, missed{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed + static_cast<uint64_t>(c) * 7919);
+      std::vector<double> local_latencies;
+      TimeBudget budget(duration_ms);
+      while (!budget.exhausted()) {
+        RecommendRequest request;
+        request.user = zipf.Sample(&rng) % data.num_users();
+        request.history = data.TrainSequence(request.user);
+        request.k = 10;
+        if (deadline_ms > 0.0) {
+          request.deadline = Deadline::AfterMillis(deadline_ms);
+        }
+        requests.fetch_add(1);
+        Stopwatch latency;
+        StatusOr<RecommendResponse> response = server->Recommend(request);
+        if (response.ok()) {
+          local_latencies.push_back(latency.ElapsedMillis());
+          if (response->deadline_missed) missed.fetch_add(1);
+          switch (response->tier) {
+            case ServeTier::kFull: tier0.fetch_add(1); break;
+            case ServeTier::kCached: tier1.fetch_add(1); break;
+            case ServeTier::kPopularity: tier2.fetch_add(1); break;
+          }
+        } else if (response.status().code() == StatusCode::kOverloaded) {
+          shed_overload.fetch_add(1);
+        } else if (response.status().code() ==
+                   StatusCode::kDeadlineExceeded) {
+          shed_deadline.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local_latencies.begin(),
+                       local_latencies.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.duration_s = wall.ElapsedSeconds();
+  result.requests = requests.load();
+  result.tier0 = tier0.load();
+  result.tier1 = tier1.load();
+  result.tier2 = tier2.load();
+  result.shed_overload = shed_overload.load();
+  result.shed_deadline = shed_deadline.load();
+  result.deadline_missed = missed.load();
+  result.p50_ms = Percentile(&latencies, 0.50);
+  result.p99_ms = Percentile(&latencies, 0.99);
+  return result;
+}
+
+void PrintPhase(const PhaseResult& r) {
+  std::printf(
+      "[%s] %lld req in %.2fs | qps %.0f | p50 %.2fms p99 %.2fms | shed "
+      "%.1f%% (overload %lld, deadline %lld) | tiers %.2f/%.2f/%.2f | late "
+      "%lld\n",
+      r.name.c_str(), static_cast<long long>(r.requests), r.duration_s,
+      r.qps(), r.p50_ms, r.p99_ms, 100.0 * r.shed_rate(),
+      static_cast<long long>(r.shed_overload),
+      static_cast<long long>(r.shed_deadline), r.TierFraction(r.tier0),
+      r.TierFraction(r.tier1), r.TierFraction(r.tier2),
+      static_cast<long long>(r.deadline_missed));
+}
+
+void AppendPhaseJson(std::ostringstream* out, const PhaseResult& r) {
+  *out << "    \"" << r.name << "\": {\n"
+       << "      \"requests\": " << r.requests << ",\n"
+       << "      \"duration_s\": " << r.duration_s << ",\n"
+       << "      \"qps\": " << r.qps() << ",\n"
+       << "      \"p50_ms\": " << r.p50_ms << ",\n"
+       << "      \"p99_ms\": " << r.p99_ms << ",\n"
+       << "      \"shed_rate\": " << r.shed_rate() << ",\n"
+       << "      \"shed_overload\": " << r.shed_overload << ",\n"
+       << "      \"shed_deadline\": " << r.shed_deadline << ",\n"
+       << "      \"deadline_missed\": " << r.deadline_missed << ",\n"
+       << "      \"tier0_fraction\": " << r.TierFraction(r.tier0) << ",\n"
+       << "      \"tier1_fraction\": " << r.TierFraction(r.tier1) << ",\n"
+       << "      \"tier2_fraction\": " << r.TierFraction(r.tier2) << "\n"
+       << "    }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(&flags);
+  flags.AddString("json", "", "JSON report output path");
+  flags.AddInt("duration_ms", 2000, "per-phase load duration");
+  flags.AddInt("workers", 2, "server worker threads");
+  flags.AddInt("clients", 4, "steady-phase client threads");
+  flags.AddInt("overload_clients", 16, "overload-phase client threads");
+  flags.AddDouble("zipf", 1.1, "Zipf exponent for user popularity");
+  flags.AddDouble("deadline_ms", 50.0, "steady-phase request deadline");
+  flags.AddDouble("overload_deadline_ms", 8.0,
+                  "overload-phase request deadline");
+  flags.AddDouble("slow_worker_ms", 0.0,
+                  "inject this stall into every overload-phase batch");
+  flags.AddDouble("slow_batch_ms", 0.0,
+                  "degrade-controller slow-batch threshold (0 = off)");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
+  BenchConfig config = ConfigFromFlags(flags);
+
+  SequenceDataset data = MakeBenchDataset(SyntheticPreset::kBeauty, config);
+  std::printf("serving bench: %s\n", data.Stats().ToString().c_str());
+
+  // Random-weight encoder: serving throughput does not depend on model
+  // quality, and skipping Fit keeps the bench about the runtime.
+  SasRec model(SasRecConfig{.hidden_dim = config.dim});
+  TrainOptions train_options = MakeTrainOptions(config);
+  model.EnsureEncoder(data, train_options);
+  SasRecBackend backend(&model);
+
+  std::vector<float> popularity(static_cast<size_t>(data.num_items() + 1),
+                                0.f);
+  for (int64_t u = 0; u < data.num_users(); ++u) {
+    for (int64_t item : data.TrainSequence(u)) {
+      popularity[static_cast<size_t>(item)] += 1.f;
+    }
+  }
+
+  ServerOptions options;
+  options.num_workers = flags.GetInt("workers");
+  options.batcher.max_batch_size = 16;
+  options.batcher.max_batch_delay_ms = 2.0;
+  options.batcher.queue_capacity = 128;
+  options.degrade.failure_threshold = 2;
+  options.degrade.cooldown_ms = 50.0;
+  options.degrade.slow_batch_ms = flags.GetDouble("slow_batch_ms");
+  RecommendServer server(&backend, popularity, options);
+
+  const ZipfSampler zipf(data.num_users(), flags.GetDouble("zipf"));
+  const auto duration_ms = static_cast<double>(flags.GetInt("duration_ms"));
+
+  PhaseResult steady =
+      RunPhase("steady", &server, data, zipf,
+               static_cast<int>(flags.GetInt("clients")), duration_ms,
+               flags.GetDouble("deadline_ms"), config.seed);
+  PrintPhase(steady);
+
+  PhaseResult overload;
+  {
+    const double slow_ms = flags.GetDouble("slow_worker_ms");
+    std::unique_ptr<ScopedFaultInjection> injection;
+    if (slow_ms > 0.0) {
+      FaultPlan plan;
+      plan.serve_slow_at = 0;
+      plan.serve_slow_count = int64_t{1} << 60;
+      plan.serve_slow_ms = slow_ms;
+      injection = std::make_unique<ScopedFaultInjection>(plan);
+    }
+    overload = RunPhase("overload", &server, data, zipf,
+                        static_cast<int>(flags.GetInt("overload_clients")),
+                        duration_ms, flags.GetDouble("overload_deadline_ms"),
+                        config.seed + 1);
+    PrintPhase(overload);
+  }
+  server.Stop();
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\n  \"bench\": \"serving\",\n"
+        << "  \"workers\": " << options.num_workers << ",\n"
+        << "  \"zipf\": " << flags.GetDouble("zipf") << ",\n"
+        << "  \"phases\": {\n";
+    AppendPhaseJson(&out, steady);
+    out << ",\n";
+    AppendPhaseJson(&out, overload);
+    out << "\n  }\n}\n";
+    std::ofstream file(json_path);
+    file << out.str();
+    if (!file) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -9,6 +9,12 @@
 # section (CL4SRec pretraining steps/sec with prefetch_depth 0 vs. 2 —
 # producer overlap needs a spare core; see hardware_concurrency).
 #
+# Also smoke-runs bench_serving (the online-serving load generator) and
+# emits BENCH_serving.json next to the micro-op artifact: QPS, p50/p99
+# latency, shed rate, and per-tier answer fractions for a steady phase and
+# a saturating phase with an injected slow worker (the degradation ladder
+# must visibly engage).
+#
 # Usage: scripts/bench_micro.sh [output.json] [--threads N] [--simd MODE]
 #   output defaults to BENCH_micro_ops.json in the repo root; --threads
 #   defaults to hardware concurrency; --simd (auto|off|avx2|avx512|neon)
@@ -23,6 +29,13 @@ OUT=${1:-BENCH_micro_ops.json}
 shift || true
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_ops
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_ops bench_serving
 
 "$BUILD_DIR"/bench/bench_micro_ops --json "$OUT" "$@"
+
+# Serving smoke: short phases, slow-worker fault in the overload phase so
+# the per-tier fractions exercise the whole ladder.
+SERVING_OUT=${SERVING_OUT:-BENCH_serving.json}
+"$BUILD_DIR"/bench/bench_serving --json "$SERVING_OUT" \
+  --duration_ms 800 --slow_worker_ms 10 --slow_batch_ms 8 \
+  --overload_deadline_ms 25

@@ -12,7 +12,12 @@
 #      prefetch_test and alloc_test join this lane: the async batch
 #      producer (bounded queue, cancellation, exception hand-off) and the
 #      tensor pool / graph arena recycling are exactly where a harmless-
-#      looking unlock-order change becomes a race.
+#      looking unlock-order change becomes a race. serve_test and
+#      chaos_serve_test join it too: the serving runtime (dynamic batcher,
+#      session cache, degrade breaker, completion hand-off) is
+#      multi-producer/multi-consumer by construction, and the chaos suite's
+#      "no deadlock, no drop under faults" guarantee is only credible when
+#      TSan watches the locks.
 #   3. Scalar-lane sweep: the ASan binaries rerun with CL4SREC_SIMD=off
 #      (runtime scalar dispatch over the kernel-heavy suites), then a
 #      -DCL4SREC_SIMD=off build compiles and runs simd_test — proving the
@@ -44,11 +49,11 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DCL4SREC_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
   --target parallel_test determinism_test eval_test integration_test \
-  obs_test prefetch_test alloc_test
+  obs_test prefetch_test alloc_test serve_test chaos_serve_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test|prefetch_test|alloc_test' "$@"
+  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test|prefetch_test|alloc_test|serve_test|chaos_serve_test' "$@"
 echo "thread sanitizer suite passed"
 
 # Scalar dispatch under ASan: same binaries, vector lanes disabled at

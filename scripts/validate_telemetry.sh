@@ -8,6 +8,14 @@
 #   - the metrics snapshot is valid JSON with a positive train.steps count
 #     that matches the JSONL line count.
 #
+# Then runs a short bench_serving load and validates the serve.* metrics:
+#   - the accounting invariant serve.requests == serve.answered.tier{0,1,2}
+#     + serve.shed.{overload,deadline} (every admitted request is answered
+#     at exactly one tier or shed with a typed status — nothing vanishes),
+#   - serve.latency_ms histogram count == answered total,
+#   - batcher/cache counters are self-consistent,
+#   - the trace contains serve/batch spans from the worker loop.
+#
 # Usage: scripts/validate_telemetry.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,10 +27,11 @@ PYTHON=${PYTHON:-python3}
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DCL4SREC_OBS_KERNELS=ON
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target cl4srec_cli
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target cl4srec_cli bench_serving
 
 mkdir -p "$OUT_DIR"
-rm -f "$OUT_DIR"/steps.jsonl "$OUT_DIR"/trace.json "$OUT_DIR"/metrics.json
+rm -f "$OUT_DIR"/steps.jsonl "$OUT_DIR"/trace.json "$OUT_DIR"/metrics.json \
+  "$OUT_DIR"/serve_trace.json "$OUT_DIR"/serve_metrics.json
 
 # CL4SRec exercises both training stages (contrastive pre-train + fine-tune),
 # so the JSONL carries more than one stage label.
@@ -81,6 +90,78 @@ assert metrics["histograms"]["train.step_ms"]["count"] == steps
 
 print(f"telemetry OK: {steps} steps across stages {sorted(stages)}, "
       f"{len(events)} trace events, metrics consistent")
+PYEOF
+
+# Serving runtime: a short two-phase load (steady + overload with an
+# injected slow worker) emits serve.* metrics and serve/batch trace spans.
+# The overload phase guarantees shed/degraded traffic so the invariant is
+# checked against a non-trivial mix, not just the tier-0 happy path.
+"$BUILD_DIR/bench/bench_serving" \
+  --duration_ms 500 --slow_worker_ms 10 --slow_batch_ms 8 \
+  --overload_deadline_ms 25 \
+  --trace_out "$OUT_DIR/serve_trace.json" \
+  --metrics_out "$OUT_DIR/serve_metrics.json"
+
+"$PYTHON" - "$OUT_DIR" <<'PYEOF'
+import json
+import sys
+
+out_dir = sys.argv[1]
+
+with open(f"{out_dir}/serve_metrics.json") as f:
+    metrics = json.load(f)
+counters = metrics["counters"]
+
+def counter(name):
+    return counters.get(name, 0)
+
+# 1. Accounting invariant: every request the server ever saw is either
+#    answered at exactly one tier or shed with a typed status. A leak here
+#    means a silently dropped (deadlocked / forgotten) request.
+requests = counter("serve.requests")
+answered = (counter("serve.answered.tier0") + counter("serve.answered.tier1")
+            + counter("serve.answered.tier2"))
+shed = counter("serve.shed.overload") + counter("serve.shed.deadline")
+assert requests > 0, "serving bench recorded no requests"
+assert requests == answered + shed, \
+    f"serve.requests={requests} != answered({answered}) + shed({shed})"
+
+# 2. Latency histogram observes exactly the answered requests (shed paths
+#    return before the observation point).
+latency = metrics["histograms"]["serve.latency_ms"]
+assert latency["count"] == answered, \
+    f"serve.latency_ms count={latency['count']} != answered={answered}"
+
+# 3. Batcher self-consistency: every released batch is counted once and
+#    its size observed once.
+batches = counter("serve.batcher.batches")
+assert batches > 0, "batcher released no batches"
+batch_size = metrics["histograms"]["serve.batcher.batch_size"]
+assert batch_size["count"] == batches, \
+    f"batch_size count={batch_size['count']} != batches={batches}"
+
+# 4. The slow-worker overload phase must have engaged the ladder: some
+#    traffic answered below tier 0 or shed, and the breaker moved.
+degraded_or_shed = (counter("serve.answered.tier1")
+                    + counter("serve.answered.tier2") + shed)
+assert degraded_or_shed > 0, "overload phase never left the tier-0 path"
+assert counter("serve.degrade.transitions") > 0, "breaker never moved"
+
+# 5. Zipfian reuse must produce cache traffic.
+cache_lookups = counter("serve.cache.hits") + counter("serve.cache.misses")
+assert cache_lookups > 0, "session cache was never consulted"
+
+# 6. Worker-loop trace spans are present and carry the serve category.
+with open(f"{out_dir}/serve_trace.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+serve_spans = [e for e in events if e["name"] == "serve/batch"]
+assert serve_spans, "trace missing serve/batch spans"
+assert batches == len(serve_spans), \
+    f"{len(serve_spans)} serve/batch spans but {batches} batches"
+
+print(f"serving telemetry OK: {requests} requests = {answered} answered + "
+      f"{shed} shed, {batches} batches, {len(serve_spans)} serve/batch spans")
 PYEOF
 
 echo "telemetry validation passed"

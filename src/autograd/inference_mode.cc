@@ -1,0 +1,17 @@
+#include "autograd/inference_mode.h"
+
+namespace cl4srec {
+namespace {
+// Depth rather than bool so scopes nest (a helper opening its own scope
+// inside a caller's scope must not re-enable taping on exit).
+thread_local int t_inference_depth = 0;
+}  // namespace
+
+InferenceModeScope::InferenceModeScope() { ++t_inference_depth; }
+InferenceModeScope::~InferenceModeScope() { --t_inference_depth; }
+
+namespace autograd_internal {
+bool InferenceModeActive() { return t_inference_depth > 0; }
+}  // namespace autograd_internal
+
+}  // namespace cl4srec

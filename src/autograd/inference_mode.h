@@ -1,0 +1,45 @@
+// Tape-free inference: a thread-local scope that makes every autograd op
+// record NOTHING — no input edges, no backward closures, no requires_grad
+// propagation. Inside the scope an op is just its forward kernel plus one
+// node holding the result, and intermediate activations are freed the
+// moment their Variable goes out of scope instead of being pinned until the
+// whole graph dies.
+//
+// This is the "model definition vs execution context" seam the ROADMAP
+// calls for: the same TransformerSeqEncoder::EncodeLast code serves both
+// training (taped, inside a GraphArena::StepScope) and online serving
+// (tape-free, many concurrent threads). The scope is per-thread, so serving
+// workers run inference-mode forwards while a training thread records tapes
+// untouched.
+//
+// Calling Backward() on a Variable produced under the scope is a silent
+// no-op (the node has no inputs and no closure) — the same behavior as
+// calling Backward() on a constant.
+//
+// Usage:
+//   InferenceModeScope inference;                 // RAII, nests
+//   Variable state = encoder.EncodeLast(batch, ctx);
+//   ... state.value() ...                         // requires_grad() is false
+
+#ifndef CL4SREC_AUTOGRAD_INFERENCE_MODE_H_
+#define CL4SREC_AUTOGRAD_INFERENCE_MODE_H_
+
+namespace cl4srec {
+
+class InferenceModeScope {
+ public:
+  InferenceModeScope();
+  ~InferenceModeScope();
+
+  InferenceModeScope(const InferenceModeScope&) = delete;
+  InferenceModeScope& operator=(const InferenceModeScope&) = delete;
+};
+
+namespace autograd_internal {
+// True while an InferenceModeScope is alive on the calling thread.
+bool InferenceModeActive();
+}  // namespace autograd_internal
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_AUTOGRAD_INFERENCE_MODE_H_

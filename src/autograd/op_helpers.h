@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "autograd/inference_mode.h"
 #include "autograd/node.h"
 #include "autograd/variable.h"
 
@@ -18,6 +19,11 @@ namespace autograd_internal {
 // backward_fn afterwards (only needed when the node requires grad).
 // Nodes (object + control block, via allocate_shared) come from the
 // per-step graph arena while a StepScope is active, the heap otherwise.
+//
+// Under an InferenceModeScope (inference_mode.h) the node records neither
+// input edges nor requires_grad: every op's `if (node->requires_grad)`
+// backward-attachment branch is skipped, intermediate values are released
+// as soon as their Variables die, and the tape simply never exists.
 inline std::shared_ptr<Node> AllocateNode() {
   return std::allocate_shared<Node>(ArenaAllocator<Node>());
 }
@@ -26,6 +32,12 @@ inline std::shared_ptr<Node> MakeNode(Tensor value,
                                       std::initializer_list<Variable> inputs) {
   auto node = AllocateNode();
   node->value = std::move(value);
+  if (InferenceModeActive()) {
+    for (const Variable& v : inputs) {
+      CL4SREC_CHECK(v.defined()) << "op input is undefined";
+    }
+    return node;
+  }
   for (const Variable& v : inputs) {
     CL4SREC_CHECK(v.defined()) << "op input is undefined";
     node->inputs.push_back(v.node_ptr());
@@ -38,6 +50,12 @@ inline std::shared_ptr<Node> MakeNode(Tensor value,
                                       const std::vector<Variable>& inputs) {
   auto node = AllocateNode();
   node->value = std::move(value);
+  if (InferenceModeActive()) {
+    for (const Variable& v : inputs) {
+      CL4SREC_CHECK(v.defined()) << "op input is undefined";
+    }
+    return node;
+  }
   for (const Variable& v : inputs) {
     CL4SREC_CHECK(v.defined()) << "op input is undefined";
     node->inputs.push_back(v.node_ptr());

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/graph_arena.h"
+#include "autograd/inference_mode.h"
 #include "data/batcher.h"
 #include "data/prefetch.h"
 #include "models/training_utils.h"
@@ -184,6 +185,7 @@ Tensor Bert4Rec::ScoreBatch(const std::vector<int64_t>& users,
     with_mask.push_back(std::move(seq));
   }
   PaddedBatch batch = PackSequences(with_mask, max_len_);
+  InferenceModeScope inference;  // tape-free scoring
   Rng dummy(0);
   ForwardContext ctx{.training = false, .rng = &dummy};
   Variable state = encoder_->EncodeLast(batch, ctx);  // [B, d] at the [mask]

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/graph_arena.h"
+#include "autograd/inference_mode.h"
 #include "data/batcher.h"
 #include "data/prefetch.h"
 #include "models/training_utils.h"
@@ -120,6 +121,7 @@ Tensor Gru4Rec::ScoreBatch(const std::vector<int64_t>& users,
   (void)users;
   CL4SREC_CHECK(encoder_ != nullptr) << "Fit must be called first";
   PaddedBatch batch = PackSequences(inputs, max_len_);
+  InferenceModeScope inference;  // tape-free scoring
   Rng dummy(0);
   ForwardContext ctx{.training = false, .rng = &dummy};
   Variable state = encoder_->EncodeLast(batch, ctx);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/graph_arena.h"
+#include "autograd/inference_mode.h"
 #include "autograd/ops.h"
 #include "data/prefetch.h"
 #include "models/training_utils.h"
@@ -143,6 +144,7 @@ Tensor Ncf::ScoreBatch(const std::vector<int64_t>& users,
   const int64_t num_items = gmf_item_->count() - 1;
   const auto b = static_cast<int64_t>(users.size());
   Tensor scores({b, num_items + 1});
+  InferenceModeScope inference;  // tape-free scoring
   Rng dummy(0);
   ForwardContext ctx{.training = false, .rng = &dummy};
   // Score in slabs of users x all items to bound peak memory.

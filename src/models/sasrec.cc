@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/graph_arena.h"
+#include "autograd/inference_mode.h"
 #include "data/batcher.h"
 #include "data/prefetch.h"
 #include "models/training_utils.h"
@@ -131,6 +132,9 @@ Tensor SasRec::ScoreBatch(const std::vector<int64_t>& users,
   (void)users;
   CL4SREC_CHECK(encoder_ != nullptr) << "Fit must be called first";
   PaddedBatch batch = PackSequences(inputs, max_len_);
+  // Scoring never backpropagates: run the forward tape-free so no graph
+  // edges or backward closures are recorded (autograd/inference_mode.h).
+  InferenceModeScope inference;
   Rng dummy(0);
   ForwardContext ctx{.training = false, .rng = &dummy};
   Variable state = encoder_->EncodeLast(batch, ctx);  // [B, d]

@@ -1,0 +1,144 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace serve {
+namespace {
+
+struct BatcherMetrics {
+  obs::Counter* batches;
+  obs::Counter* flush_full;
+  obs::Counter* flush_deadline;
+  obs::Histogram* batch_size;
+  obs::Gauge* queue_depth;
+};
+
+BatcherMetrics& Metrics() {
+  static BatcherMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return BatcherMetrics{
+        reg.GetCounter("serve.batcher.batches"),
+        reg.GetCounter("serve.batcher.flush_full"),
+        reg.GetCounter("serve.batcher.flush_deadline"),
+        reg.GetHistogram("serve.batcher.batch_size",
+                         {1, 2, 4, 8, 16, 32, 64, 128, 256}),
+        reg.GetGauge("serve.queue_depth"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(const BatcherOptions& options)
+    : options_(options) {
+  CL4SREC_CHECK_GE(options_.max_batch_size, 1);
+  CL4SREC_CHECK_GE(options_.queue_capacity, 1);
+}
+
+Status DynamicBatcher::Push(BatchTicket ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::FailedPrecondition("batcher closed");
+    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+      return Status::Overloaded("serve queue full");
+    }
+    ticket.seq = next_seq_++;
+    ticket.enqueue_ns = NowNanos();
+    queue_.push_back(ticket);
+    Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  ready_.notify_one();
+  return Status::Ok();
+}
+
+Deadline DynamicBatcher::FlushDeadlineLocked() const {
+  // min over tickets of min(enqueue + max_delay, deadline - margin). The
+  // queue is FIFO so the oldest enqueue is at the front, but deadlines are
+  // not ordered — scan them all (queues are short; capacity-bounded).
+  const auto delay_ns =
+      static_cast<int64_t>(options_.max_batch_delay_ms * 1e6);
+  const int64_t now = NowNanos();
+  const int64_t oldest_wait_ns = queue_.front().enqueue_ns + delay_ns - now;
+  Deadline flush = Deadline::AfterNanos(std::max<int64_t>(oldest_wait_ns, 0));
+  for (const BatchTicket& t : queue_) {
+    flush = Deadline::Earlier(
+        flush, t.deadline.EarlierBy(options_.deadline_margin_ms));
+  }
+  return flush;
+}
+
+std::vector<BatchTicket> DynamicBatcher::Pull() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (closed_) return {};
+      ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
+      continue;
+    }
+    const bool full =
+        static_cast<int64_t>(queue_.size()) >= options_.max_batch_size;
+    bool timed_out = false;
+    if (!full && !closed_) {
+      const Deadline flush = FlushDeadlineLocked();
+      if (flush.expired()) {
+        timed_out = true;
+      } else if (flush.is_infinite()) {
+        // Only possible when max_batch_delay_ms is infinite AND every
+        // deadline is infinite; wait for more pushes or close.
+        const size_t size_before = queue_.size();
+        ready_.wait(lock, [&] {
+          return queue_.size() != size_before || closed_;
+        });
+        continue;
+      } else {
+        // Wake early on new pushes (the batch may fill, or a tighter
+        // deadline may pull the flush forward) and on close.
+        const size_t size_before = queue_.size();
+        ready_.wait_until(lock, flush.time_point(), [&] {
+          return queue_.size() != size_before || closed_;
+        });
+        continue;  // re-evaluate with fresh clock and queue
+      }
+    }
+    // Release the oldest max_batch_size tickets.
+    const auto take = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), options_.max_batch_size);
+    std::vector<BatchTicket> batch(queue_.begin(), queue_.begin() + take);
+    queue_.erase(queue_.begin(), queue_.begin() + take);
+    BatcherMetrics& m = Metrics();
+    m.queue_depth->Set(static_cast<double>(queue_.size()));
+    m.batches->Increment();
+    m.batch_size->Observe(static_cast<double>(take));
+    if (full) {
+      m.flush_full->Increment();
+    } else if (timed_out) {
+      m.flush_deadline->Increment();
+    }
+    // A worker taking a partial batch may leave timer-pending tickets
+    // behind; wake another waiter to re-arm the flush timer.
+    if (!queue_.empty()) ready_.notify_one();
+    return batch;
+  }
+}
+
+void DynamicBatcher::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+int64_t DynamicBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+}  // namespace serve
+}  // namespace cl4srec

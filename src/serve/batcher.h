@@ -1,0 +1,102 @@
+// DynamicBatcher — deadline-aware request coalescing for the serving
+// runtime.
+//
+// Client threads Push() lightweight tickets into a bounded queue; worker
+// threads Pull() batches. A batch is released when ANY of:
+//   * it is full (max_batch_size tickets),
+//   * the oldest queued ticket has waited max_batch_delay_ms (the
+//     coalescing latency budget), or
+//   * some queued ticket's deadline, minus deadline_margin_ms of scoring
+//     headroom, is about to pass — the flush timer is the minimum over
+//     queued tickets of min(enqueue + max_delay, deadline - margin), so a
+//     tight-deadline arrival drags the flush forward for its whole batch.
+//
+// Backpressure is typed, not blocking: Push on a full queue returns
+// kOverloaded immediately (the server turns that into a shed response);
+// Push after Close returns kFailedPrecondition. Pull never loses or
+// duplicates a ticket: every pushed ticket appears in exactly one pulled
+// batch, in FIFO order, including the drain after Close — Pull returns the
+// remaining tickets batch by batch and only then the empty "shut down"
+// batch. tests/serve_test.cc fuzzes exactly these invariants.
+//
+// Observability (obs::MetricsRegistry):
+//   serve.batcher.batches         batches released
+//   serve.batcher.flush_full      released because the batch filled
+//   serve.batcher.flush_deadline  released by the delay/deadline timer
+//   serve.batcher.batch_size      histogram of released batch sizes
+//   serve.queue_depth             gauge: tickets queued after push/pull
+
+#ifndef CL4SREC_SERVE_BATCHER_H_
+#define CL4SREC_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+#include "util/time_budget.h"
+
+namespace cl4srec {
+namespace serve {
+
+// What the batcher carries. The payload (request body, completion slot)
+// stays with the owner; the ticket holds just enough to batch and to route
+// the result back via `context`.
+struct BatchTicket {
+  uint64_t seq = 0;           // assigned by Push; unique, FIFO-ordered
+  Deadline deadline;          // request deadline (infinite allowed)
+  int64_t enqueue_ns = 0;     // NowNanos() at Push
+  void* context = nullptr;    // owner's per-request state (opaque)
+};
+
+struct BatcherOptions {
+  int64_t max_batch_size = 32;
+  int64_t queue_capacity = 256;    // bound on queued tickets; full => shed
+  double max_batch_delay_ms = 4.0; // max time a ticket waits to coalesce
+  double deadline_margin_ms = 2.0; // scoring headroom carved off deadlines
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(const BatcherOptions& options);
+
+  // Thread-safe. kOverloaded when the bounded queue is full;
+  // kFailedPrecondition after Close. On success the ticket's seq and
+  // enqueue_ns are filled in.
+  Status Push(BatchTicket ticket);
+
+  // Blocks until a batch is ready under the flush policy, or until the
+  // batcher is closed AND drained — then returns an empty vector (the
+  // worker-shutdown signal). Safe to call from multiple workers.
+  std::vector<BatchTicket> Pull();
+
+  // Stops admission. Queued tickets remain pullable; once drained, every
+  // Pull returns empty. Idempotent.
+  void Close();
+
+  // Approximate number of queued tickets (racy by nature; admission
+  // control only needs a load estimate).
+  int64_t pending() const;
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  // Earliest flush time over the queued tickets. Requires mu_ held and a
+  // non-empty queue.
+  Deadline FlushDeadlineLocked() const;
+
+  const BatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;  // pull-side wakeups (push/close)
+  std::deque<BatchTicket> queue_;
+  uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace cl4srec
+
+#endif  // CL4SREC_SERVE_BATCHER_H_

@@ -1,0 +1,125 @@
+#include "serve/degrade.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace serve {
+namespace {
+
+struct DegradeMetrics {
+  obs::Gauge* tier;
+  obs::Counter* transitions;
+  obs::Counter* breaker_opened;
+  obs::Counter* breaker_closed;
+};
+
+DegradeMetrics& Metrics() {
+  static DegradeMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return DegradeMetrics{
+        reg.GetGauge("serve.tier"),
+        reg.GetCounter("serve.degrade.transitions"),
+        reg.GetCounter("serve.degrade.breaker_opened"),
+        reg.GetCounter("serve.degrade.breaker_closed"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+const char* ServeTierName(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kFull:
+      return "full";
+    case ServeTier::kCached:
+      return "cached";
+    case ServeTier::kPopularity:
+      return "popularity";
+  }
+  return "unknown";
+}
+
+DegradeController::DegradeController(const DegradeOptions& options)
+    : options_(options) {
+  CL4SREC_CHECK_GE(options_.failure_threshold, 1);
+  CL4SREC_CHECK_GE(options_.cooldown_ms, 0.0);
+}
+
+ServeTier DegradeController::BatchTier() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (breaker_) {
+    case Breaker::kClosed:
+      Metrics().tier->Set(0.0);
+      return ServeTier::kFull;
+    case Breaker::kHalfOpen:
+      // A probe is already in flight; stay degraded until it reports.
+      Metrics().tier->Set(1.0);
+      return ServeTier::kCached;
+    case Breaker::kOpen: {
+      const double open_ms = (NowNanos() - opened_ns_) * 1e-6;
+      if (open_ms >= options_.cooldown_ms) {
+        // Cooldown over: this batch probes tier 0. Outcome decides whether
+        // the breaker closes (recovery) or re-opens (another cooldown).
+        SetBreakerLocked(Breaker::kHalfOpen);
+        Metrics().tier->Set(0.0);
+        return ServeTier::kFull;
+      }
+      Metrics().tier->Set(1.0);
+      return ServeTier::kCached;
+    }
+  }
+  return ServeTier::kFull;
+}
+
+void DegradeController::ReportBatchOutcome(bool ok, double forward_ms) {
+  const bool slow =
+      options_.slow_batch_ms > 0.0 && forward_ms > options_.slow_batch_ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok && !slow) {
+    consecutive_failures_ = 0;
+    if (breaker_ != Breaker::kClosed) {
+      SetBreakerLocked(Breaker::kClosed);
+      Metrics().breaker_closed->Increment();
+    }
+    return;
+  }
+  ++consecutive_failures_;
+  if (breaker_ == Breaker::kHalfOpen ||
+      consecutive_failures_ >= options_.failure_threshold) {
+    // A failed probe re-opens immediately; repeated closed-state failures
+    // open on threshold. Re-stamp opened_ns_ either way so the cooldown
+    // restarts from the latest failure.
+    if (breaker_ != Breaker::kOpen) Metrics().breaker_opened->Increment();
+    SetBreakerLocked(Breaker::kOpen);
+    opened_ns_ = NowNanos();
+  }
+}
+
+bool DegradeController::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_ != Breaker::kClosed;
+}
+
+int64_t DegradeController::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+void DegradeController::SetBreakerLocked(Breaker next) {
+  if (breaker_ == next) return;
+  // Count only closed<->degraded movement as a ladder transition;
+  // open -> half-open is an internal probe step.
+  const bool was_closed = breaker_ == Breaker::kClosed;
+  const bool now_closed = next == Breaker::kClosed;
+  if (was_closed != now_closed) {
+    ++transitions_;
+    Metrics().transitions->Increment();
+  }
+  breaker_ = next;
+}
+
+}  // namespace serve
+}  // namespace cl4srec

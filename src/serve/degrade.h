@@ -1,0 +1,92 @@
+// DegradeController — the serving runtime's graceful-degradation ladder.
+//
+// Three answer tiers, cheapest-acceptable wins:
+//   tier 0 (kFull)       full batched encoder forward — exact scores
+//   tier 1 (kCached)     incremental scoring from the session cache's last
+//                        hidden state — approximate, no encoder forward
+//   tier 2 (kPopularity) global popularity (Pop) fallback — model-free
+//
+// Tier selection combines two signals:
+//
+//   * A circuit breaker over tier-0 health. Batch-forward failures and
+//     pathologically slow batches count against it; past a threshold the
+//     breaker OPENS and whole batches are answered at tier 1/2 without
+//     touching the encoder. After cooldown_ms it goes HALF-OPEN: the next
+//     batch is a probe sent to tier 0, and its outcome closes the breaker
+//     (recovery) or re-opens it (another cooldown). This is what makes the
+//     ladder self-healing: when faults clear, serving climbs back to
+//     tier 0 without operator action.
+//
+//   * Per-request pressure at admission: a deadline too tight to survive
+//     batching + forward, or a queue past its soft watermark, degrades
+//     that request immediately instead of letting it expire in the queue.
+//
+// Transitions are counted (serve.degrade.transitions) and the current
+// batch tier is exported as a gauge (serve.tier) so dashboards and the
+// validate_telemetry.sh gate can see the ladder move.
+
+#ifndef CL4SREC_SERVE_DEGRADE_H_
+#define CL4SREC_SERVE_DEGRADE_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace cl4srec {
+namespace serve {
+
+enum class ServeTier : int {
+  kFull = 0,        // exact batched encoder scoring
+  kCached = 1,      // incremental scoring from cached session state
+  kPopularity = 2,  // popularity fallback, always available
+};
+
+const char* ServeTierName(ServeTier tier);
+
+struct DegradeOptions {
+  // Consecutive tier-0 batch failures that open the breaker.
+  int64_t failure_threshold = 2;
+  // A batch forward slower than this counts as a failure (0 disables).
+  double slow_batch_ms = 0.0;
+  // How long the breaker stays open before probing tier 0 again.
+  double cooldown_ms = 50.0;
+};
+
+class DegradeController {
+ public:
+  explicit DegradeController(const DegradeOptions& options);
+
+  // Tier for the next batch. kFull while the breaker is closed; also kFull
+  // exactly once per cooldown lapse while open (the half-open probe);
+  // kCached otherwise. Workers fall further to kPopularity per request
+  // when tier 1 has no cached state.
+  ServeTier BatchTier();
+
+  // Report the outcome of a tier-0 batch forward. Failures (and slow
+  // batches, when slow_batch_ms > 0) trip the breaker; a success closes
+  // it. No-op for batches answered at tier >= 1.
+  void ReportBatchOutcome(bool ok, double forward_ms);
+
+  // True when the breaker is open (serving is degraded).
+  bool degraded() const;
+
+  // Total closed->open + open->closed transitions so far.
+  int64_t transitions() const;
+
+ private:
+  enum class Breaker { kClosed, kOpen, kHalfOpen };
+
+  void SetBreakerLocked(Breaker next);
+
+  const DegradeOptions options_;
+
+  mutable std::mutex mu_;
+  Breaker breaker_ = Breaker::kClosed;
+  int64_t consecutive_failures_ = 0;
+  int64_t opened_ns_ = 0;      // when the breaker last opened
+  int64_t transitions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace cl4srec
+
+#endif  // CL4SREC_SERVE_DEGRADE_H_

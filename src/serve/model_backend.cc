@@ -1,0 +1,124 @@
+#include "serve/model_backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/graph_arena.h"
+#include "autograd/inference_mode.h"
+#include "nn/padded_batch.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+namespace serve {
+
+SasRecBackend::SasRecBackend(SasRec* model,
+                             const SasRecBackendOptions& options)
+    : model_(model), options_(options) {
+  CL4SREC_CHECK(model_ != nullptr);
+  CL4SREC_CHECK(model_->encoder() != nullptr)
+      << "SasRecBackend needs a built encoder (Fit or EnsureEncoder first)";
+}
+
+int64_t SasRecBackend::num_items() const {
+  return model_->encoder()->config().num_items;
+}
+
+int64_t SasRecBackend::state_dim() const {
+  return model_->encoder()->config().hidden_dim;
+}
+
+Status SasRecBackend::ScoreFull(
+    const std::vector<int64_t>& users,
+    const std::vector<std::vector<int64_t>>& histories, Tensor* scores,
+    Tensor* states) {
+  (void)users;
+  TransformerSeqEncoder* encoder = model_->encoder();
+  const int64_t n = num_items();
+  const int64_t d = state_dim();
+  const auto b_count = static_cast<int64_t>(histories.size());
+  // Per-batch arena scope: every graph node built by the forward is
+  // recycled wholesale when the scope exits (arenas are thread-local, so
+  // concurrent serving workers do not contend). Inference mode keeps the
+  // forward tape-free on top of that.
+  GraphArena::StepScope arena;
+  InferenceModeScope inference;
+  PaddedBatch batch = PackSequences(histories, encoder->config().max_len);
+  Rng dummy(0);
+  ForwardContext ctx{.training = false, .rng = &dummy};
+  Variable state = encoder->EncodeLast(batch, ctx);  // [B, d]
+  Tensor all = MatMul(state.value(), encoder->item_embedding().table().value(),
+                      false, /*trans_b=*/true);  // [B, vocab]
+  *scores = Tensor({b_count, n + 1});
+  for (int64_t i = 0; i < b_count; ++i) {
+    std::copy(all.data() + i * all.dim(1),
+              all.data() + i * all.dim(1) + n + 1,
+              scores->data() + i * (n + 1));
+  }
+  *states = Tensor({b_count, d});
+  std::copy(state.value().data(), state.value().data() + b_count * d,
+            states->data());
+  return Status::Ok();
+}
+
+Status SasRecBackend::ScoreFromState(std::vector<float>* state,
+                                     const std::vector<int64_t>& new_items,
+                                     std::vector<float>* scores) {
+  TransformerSeqEncoder* encoder = model_->encoder();
+  const int64_t n = num_items();
+  const int64_t d = state_dim();
+  if (static_cast<int64_t>(state->size()) != d) {
+    return Status::InvalidArgument("cached state has wrong width");
+  }
+  // EMA advance: pull the state toward each new item's embedding. An exact
+  // incremental forward is impossible with right-aligned absolute position
+  // embeddings (every position shifts when the history grows), so tier 1
+  // trades exactness for a forward-free update; tier 0 periodically
+  // rewrites the cache with exact states (see DESIGN.md).
+  const Tensor& table = encoder->item_embedding().table().value();  // [V, d]
+  for (int64_t item : new_items) {
+    if (item < 1 || item > n) continue;
+    const float* row = table.data() + item * d;
+    const float a = options_.state_ema;
+    for (int64_t j = 0; j < d; ++j) {
+      (*state)[static_cast<size_t>(j)] =
+          (1.f - a) * (*state)[static_cast<size_t>(j)] + a * row[j];
+    }
+  }
+  // Same scoring rule as tier 0: state . embedding_table^T over the real
+  // item columns.
+  scores->assign(static_cast<size_t>(n + 1), 0.f);
+  for (int64_t item = 0; item <= n; ++item) {
+    const float* row = table.data() + item * d;
+    float dot = 0.f;
+    for (int64_t j = 0; j < d; ++j) {
+      dot += (*state)[static_cast<size_t>(j)] * row[j];
+    }
+    (*scores)[static_cast<size_t>(item)] = dot;
+  }
+  return Status::Ok();
+}
+
+Status RecommenderBackend::ScoreFull(
+    const std::vector<int64_t>& users,
+    const std::vector<std::vector<int64_t>>& histories, Tensor* scores,
+    Tensor* states) {
+  *scores = model_->ScoreBatch(users, histories);
+  if (scores->dim(1) != num_items_ + 1) {
+    return Status::Internal("backend returned unexpected score width");
+  }
+  *states = Tensor();
+  return Status::Ok();
+}
+
+Status RecommenderBackend::ScoreFromState(std::vector<float>* state,
+                                          const std::vector<int64_t>& new_items,
+                                          std::vector<float>* scores) {
+  (void)state;
+  (void)new_items;
+  (void)scores;
+  return Status::FailedPrecondition("backend keeps no serving state");
+}
+
+}  // namespace serve
+}  // namespace cl4srec

@@ -1,0 +1,117 @@
+// ModelBackend — the serving runtime's view of a scoring model.
+//
+// The RecommendServer is model-agnostic: it batches, degrades, and caches
+// against this interface. Two tiers of scoring:
+//
+//   ScoreFull      tier 0: exact batched forward over full histories,
+//                  returning both the score rows and the per-user hidden
+//                  states the session cache stores for tier 1.
+//   ScoreFromState tier 1: approximate scoring from a cached state plus
+//                  the events that arrived since it was written — no
+//                  encoder forward. Backends without a usable state
+//                  (state_dim() == 0) skip tier 1; the ladder falls
+//                  straight to the popularity tier.
+//
+// SasRecBackend is the production implementation. Its tier-0 forward runs
+// tape-free (autograd/inference_mode.h) inside a thread-local
+// GraphArena::StepScope, so concurrent serving workers build no autograd
+// tape and recycle all intermediate memory per batch. Its tier-1 update is
+// a deliberate approximation: a true incremental transformer forward is
+// invalid here because right-aligned absolute position embeddings shift
+// every position when a history grows, so the cached state is advanced by
+// an exponential moving average toward the new items' embeddings and
+// scored by the same state-times-embedding-table dot product as tier 0
+// (rationale in DESIGN.md). Tier 0 refreshes the cache with exact states,
+// which bounds how far the approximation drifts.
+//
+// RecommenderBackend adapts any Recommender (Pop, GRU4Rec, ...) with
+// tier-0 scoring only.
+
+#ifndef CL4SREC_SERVE_MODEL_BACKEND_H_
+#define CL4SREC_SERVE_MODEL_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "models/recommender.h"
+#include "models/sasrec.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace cl4srec {
+namespace serve {
+
+class ModelBackend {
+ public:
+  virtual ~ModelBackend() = default;
+
+  // Exact batched scoring. On success *scores is [B, num_items + 1]
+  // (column 0 is the padding slot, never recommended) and *states is
+  // [B, state_dim()] — or an empty tensor when state_dim() == 0.
+  virtual Status ScoreFull(const std::vector<int64_t>& users,
+                           const std::vector<std::vector<int64_t>>& histories,
+                           Tensor* scores, Tensor* states) = 0;
+
+  // Approximate scoring from a cached state advanced by `new_items`
+  // (events newer than the state; may be empty). *scores gets
+  // num_items + 1 entries; *state is updated in place.
+  // kFailedPrecondition when state_dim() == 0.
+  virtual Status ScoreFromState(std::vector<float>* state,
+                                const std::vector<int64_t>& new_items,
+                                std::vector<float>* scores) = 0;
+
+  virtual int64_t num_items() const = 0;
+  // Width of the cached hidden state; 0 disables tier 1.
+  virtual int64_t state_dim() const = 0;
+};
+
+struct SasRecBackendOptions {
+  // EMA step toward each new item's embedding in the tier-1 state update.
+  float state_ema = 0.3f;
+};
+
+// Serves a trained SasRec (non-owning; the model must outlive the backend
+// and not be trained concurrently with serving).
+class SasRecBackend : public ModelBackend {
+ public:
+  explicit SasRecBackend(SasRec* model,
+                         const SasRecBackendOptions& options = {});
+
+  Status ScoreFull(const std::vector<int64_t>& users,
+                   const std::vector<std::vector<int64_t>>& histories,
+                   Tensor* scores, Tensor* states) override;
+  Status ScoreFromState(std::vector<float>* state,
+                        const std::vector<int64_t>& new_items,
+                        std::vector<float>* scores) override;
+  int64_t num_items() const override;
+  int64_t state_dim() const override;
+
+ private:
+  SasRec* model_;
+  const SasRecBackendOptions options_;
+};
+
+// Tier-0-only adapter over the generic Recommender interface.
+class RecommenderBackend : public ModelBackend {
+ public:
+  RecommenderBackend(Recommender* model, int64_t num_items)
+      : model_(model), num_items_(num_items) {}
+
+  Status ScoreFull(const std::vector<int64_t>& users,
+                   const std::vector<std::vector<int64_t>>& histories,
+                   Tensor* scores, Tensor* states) override;
+  Status ScoreFromState(std::vector<float>* state,
+                        const std::vector<int64_t>& new_items,
+                        std::vector<float>* scores) override;
+  int64_t num_items() const override { return num_items_; }
+  int64_t state_dim() const override { return 0; }
+
+ private:
+  Recommender* model_;
+  int64_t num_items_;
+};
+
+}  // namespace serve
+}  // namespace cl4srec
+
+#endif  // CL4SREC_SERVE_MODEL_BACKEND_H_

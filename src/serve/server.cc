@@ -1,0 +1,358 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "train/fault_injector.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace serve {
+namespace {
+
+struct ServerMetrics {
+  obs::Counter* requests;
+  obs::Counter* answered_tier0;
+  obs::Counter* answered_tier1;
+  obs::Counter* answered_tier2;
+  obs::Counter* shed_overload;
+  obs::Counter* shed_deadline;
+  obs::Counter* deadline_missed;
+  obs::Counter* inline_degraded;
+  obs::Counter* batch_failures;
+  obs::Histogram* latency_ms;
+  obs::Histogram* batch_forward_ms;
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return ServerMetrics{
+        reg.GetCounter("serve.requests"),
+        reg.GetCounter("serve.answered.tier0"),
+        reg.GetCounter("serve.answered.tier1"),
+        reg.GetCounter("serve.answered.tier2"),
+        reg.GetCounter("serve.shed.overload"),
+        reg.GetCounter("serve.shed.deadline"),
+        reg.GetCounter("serve.deadline_missed"),
+        reg.GetCounter("serve.inline_degraded"),
+        reg.GetCounter("serve.batch_failures"),
+        reg.GetHistogram("serve.latency_ms", obs::DefaultLatencyBoundsMs()),
+        reg.GetHistogram("serve.batch_forward_ms",
+                         obs::DefaultLatencyBoundsMs()),
+    };
+  }();
+  return m;
+}
+
+void CountAnswered(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kFull:
+      Metrics().answered_tier0->Increment();
+      return;
+    case ServeTier::kCached:
+      Metrics().answered_tier1->Increment();
+      return;
+    case ServeTier::kPopularity:
+      Metrics().answered_tier2->Increment();
+      return;
+  }
+}
+
+}  // namespace
+
+int64_t NewEventCount(const std::vector<int64_t>& cached,
+                      const std::vector<int64_t>& history, int64_t max_new) {
+  if (cached.empty()) return -1;
+  const auto h = static_cast<int64_t>(history.size());
+  const auto c = static_cast<int64_t>(cached.size());
+  for (int64_t k = 0; k <= max_new; ++k) {
+    // Does `cached` end exactly k events before the end of `history`?
+    const int64_t prefix = h - k;  // history events the cache should cover
+    if (prefix < 1) break;
+    // The cache truncates to its most recent max_items, so compare only
+    // the overlapping tail.
+    const int64_t overlap = std::min(c, prefix);
+    bool match = true;
+    for (int64_t i = 0; i < overlap; ++i) {
+      if (cached[static_cast<size_t>(c - 1 - i)] !=
+          history[static_cast<size_t>(prefix - 1 - i)]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return k;
+  }
+  return -1;
+}
+
+// A stack-allocated rendezvous between the requesting thread and whichever
+// thread answers (worker or inline path). The requester owns the memory
+// and frees it only after `done`, so workers never touch a dead slot.
+struct RecommendServer::Completion {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  StatusOr<RecommendResponse> result{Status::Internal("pending")};
+  RecommendRequest request;  // copied in; workers read it lock-free
+};
+
+void RecommendServer::Complete(Completion* slot,
+                               StatusOr<RecommendResponse> result) {
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->result = std::move(result);
+    slot->done = true;
+  }
+  slot->cv.notify_one();
+}
+
+RecommendServer::RecommendServer(ModelBackend* backend,
+                                 std::vector<float> popularity,
+                                 const ServerOptions& options)
+    : backend_(backend),
+      popularity_(std::move(popularity)),
+      options_(options),
+      min_queue_deadline_ms_(options.min_queue_deadline_ms > 0.0
+                                 ? options.min_queue_deadline_ms
+                                 : options.batcher.max_batch_delay_ms +
+                                       options.batcher.deadline_margin_ms),
+      batcher_(options.batcher),
+      cache_(options.cache),
+      degrade_(options.degrade) {
+  CL4SREC_CHECK(backend_ != nullptr);
+  CL4SREC_CHECK_GE(options_.num_workers, 1);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int64_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RecommendServer::~RecommendServer() { Stop(); }
+
+void RecommendServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  batcher_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+StatusOr<RecommendResponse> RecommendServer::Recommend(
+    const RecommendRequest& request) {
+  ServerMetrics& m = Metrics();
+  m.requests->Increment();
+  Stopwatch latency;
+  if (request.deadline.expired()) {
+    m.shed_deadline->Increment();
+    return Status::DeadlineExceeded("deadline expired before admission");
+  }
+  // Pressure-based inline degradation: a deadline too tight to survive
+  // coalescing, or a queue near capacity, is answered below tier 0 right
+  // now rather than queued to expire.
+  const bool tight_deadline =
+      request.deadline.remaining_ms() < min_queue_deadline_ms_;
+  const bool queue_pressed =
+      batcher_.pending() >= static_cast<int64_t>(
+          options_.soft_watermark *
+          static_cast<double>(options_.batcher.queue_capacity));
+  if (tight_deadline || queue_pressed) {
+    m.inline_degraded->Increment();
+    RecommendResponse response = AnswerDegraded(request);
+    CountAnswered(response.tier);
+    m.latency_ms->Observe(latency.ElapsedMillis());
+    return response;
+  }
+
+  Completion slot;
+  slot.request = request;
+  BatchTicket ticket;
+  ticket.deadline = request.deadline;
+  ticket.context = &slot;
+  const Status pushed = batcher_.Push(ticket);
+  if (!pushed.ok()) {
+    if (pushed.code() == StatusCode::kOverloaded) {
+      m.shed_overload->Increment();
+    }
+    return pushed;  // kOverloaded or kFailedPrecondition (stopped)
+  }
+  std::unique_lock<std::mutex> lock(slot.mu);
+  slot.cv.wait(lock, [&] { return slot.done; });
+  if (slot.result.ok()) {
+    CountAnswered(slot.result.value().tier);
+    if (slot.result.value().deadline_missed) m.deadline_missed->Increment();
+  }
+  m.latency_ms->Observe(latency.ElapsedMillis());
+  return std::move(slot.result);
+}
+
+void RecommendServer::WorkerLoop() {
+  for (;;) {
+    std::vector<BatchTicket> batch = batcher_.Pull();
+    if (batch.empty()) return;  // closed and drained
+    CL4SREC_TRACE_SPAN_CAT("serve/batch", "serve");
+
+    // Fault injection hooks: an injected stall models a slow worker (the
+    // degrade controller sees it through slow_batch_ms); an injected
+    // failure models the batch forward dying. The stall runs BEFORE the
+    // deadline partition below, exactly like a real scheduling hiccup:
+    // deadlines that die during the stall are diverted, flagged, and
+    // spared the forward.
+    double injected_delay_ms = 0.0;
+    const bool injected_failure = fault::OnServeBatch(&injected_delay_ms);
+    if (injected_delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(injected_delay_ms));
+    }
+
+    // Split out tickets whose deadline already passed while queued: they
+    // are answered immediately at tier 2 and FLAGGED — a late answer is
+    // typed, never silent — so the expensive forward runs only for
+    // requests that can still meet their deadline.
+    std::vector<Completion*> live;
+    live.reserve(batch.size());
+    for (const BatchTicket& ticket : batch) {
+      auto* slot = static_cast<Completion*>(ticket.context);
+      if (ticket.deadline.expired()) {
+        RecommendResponse response = AnswerPopularity(slot->request);
+        response.deadline_missed = true;
+        Complete(slot, std::move(response));
+      } else {
+        live.push_back(slot);
+      }
+    }
+    if (live.empty()) continue;
+
+    ServeTier tier = degrade_.BatchTier();
+    if (tier == ServeTier::kFull) {
+      std::vector<int64_t> users;
+      std::vector<std::vector<int64_t>> histories;
+      users.reserve(live.size());
+      histories.reserve(live.size());
+      for (Completion* slot : live) {
+        users.push_back(slot->request.user);
+        histories.push_back(slot->request.history);
+      }
+      Tensor scores, states;
+      Stopwatch forward;
+      Status st = injected_failure
+                      ? Status::Internal("injected batch-forward failure")
+                      : backend_->ScoreFull(users, histories, &scores, &states);
+      const double forward_ms = forward.ElapsedMillis() + injected_delay_ms;
+      Metrics().batch_forward_ms->Observe(forward_ms);
+      degrade_.ReportBatchOutcome(st.ok(), forward_ms);
+      if (st.ok()) {
+        const int64_t width = scores.dim(1);
+        const bool has_state = backend_->state_dim() > 0 && !states.empty();
+        for (size_t i = 0; i < live.size(); ++i) {
+          Completion* slot = live[i];
+          RecommendResponse response;
+          response.tier = ServeTier::kFull;
+          response.items = TopKExcluding(
+              scores.data() + static_cast<int64_t>(i) * width, width,
+              slot->request);
+          if (has_state) {
+            const int64_t d = states.dim(1);
+            const float* row = states.data() + static_cast<int64_t>(i) * d;
+            cache_.Put(slot->request.user, slot->request.history,
+                       std::vector<float>(row, row + d));
+          }
+          // The forward itself may have outlived the deadline; a late
+          // answer is delivered but never silent.
+          response.deadline_missed = slot->request.deadline.expired();
+          Complete(slot, std::move(response));
+        }
+        continue;
+      }
+      Metrics().batch_failures->Increment();
+      tier = ServeTier::kCached;  // fall through below tier 0
+    }
+
+    // Degraded batch: answer each request from the cache or popularity.
+    for (Completion* slot : live) {
+      RecommendResponse response = AnswerDegraded(slot->request);
+      response.deadline_missed = slot->request.deadline.expired();
+      Complete(slot, std::move(response));
+    }
+  }
+}
+
+RecommendResponse RecommendServer::AnswerDegraded(
+    const RecommendRequest& request) {
+  if (backend_->state_dim() > 0) {
+    SessionState session;
+    if (cache_.Get(request.user, &session)) {
+      const int64_t new_events =
+          NewEventCount(session.items, request.history, /*max_new=*/3);
+      if (new_events >= 0) {
+        std::vector<int64_t> fresh(
+            request.history.end() - new_events, request.history.end());
+        std::vector<float> scores;
+        if (backend_->ScoreFromState(&session.state, fresh, &scores).ok()) {
+          RecommendResponse response;
+          response.tier = ServeTier::kCached;
+          response.items = TopKExcluding(
+              scores.data(), static_cast<int64_t>(scores.size()), request);
+          // Write the advanced state back so the next tier-1 answer for
+          // this user starts from the newest events.
+          cache_.Put(request.user, request.history, std::move(session.state));
+          return response;
+        }
+      }
+    }
+  }
+  return AnswerPopularity(request);
+}
+
+RecommendResponse RecommendServer::AnswerPopularity(
+    const RecommendRequest& request) const {
+  RecommendResponse response;
+  response.tier = ServeTier::kPopularity;
+  const int64_t count = backend_->num_items() + 1;
+  if (static_cast<int64_t>(popularity_.size()) == count) {
+    response.items = TopKExcluding(popularity_.data(), count, request);
+  } else {
+    // No popularity table: deterministic ascending-id fallback.
+    std::unordered_set<int64_t> exclude(request.history.begin(),
+                                        request.history.end());
+    for (int64_t item = 1;
+         item < count && static_cast<int64_t>(response.items.size()) < request.k;
+         ++item) {
+      if (exclude.count(item) == 0) response.items.push_back(item);
+    }
+  }
+  return response;
+}
+
+std::vector<int64_t> RecommendServer::TopKExcluding(
+    const float* scores, int64_t count,
+    const RecommendRequest& request) const {
+  std::unordered_set<int64_t> exclude(request.history.begin(),
+                                      request.history.end());
+  std::vector<int64_t> candidates;
+  candidates.reserve(static_cast<size_t>(count));
+  for (int64_t item = 1; item < count; ++item) {  // skip padding slot 0
+    if (exclude.count(item) == 0) candidates.push_back(item);
+  }
+  const auto k = std::min<int64_t>(request.k,
+                                   static_cast<int64_t>(candidates.size()));
+  // Ties break toward lower ids (stable order under equal scores).
+  std::partial_sort(candidates.begin(), candidates.begin() + k,
+                    candidates.end(), [&](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  candidates.resize(static_cast<size_t>(k));
+  return candidates;
+}
+
+}  // namespace serve
+}  // namespace cl4srec

@@ -1,0 +1,148 @@
+// RecommendServer — fault-tolerant in-process online serving runtime.
+//
+// The server answers top-k recommendation requests from concurrent client
+// threads. The pipeline:
+//
+//   Recommend()                admission control + blocking completion
+//     └─ DynamicBatcher        deadline-aware coalescing, bounded queue
+//          └─ worker threads   Pull -> tier selection -> score -> complete
+//
+// Fault-tolerance contract (chaos-tested in tests/chaos_serve_test.cc):
+// every admitted request is answered exactly once — there is no code path
+// that drops a ticket — and every non-admitted request gets a typed shed
+// status (kOverloaded for a full queue, kDeadlineExceeded for a deadline
+// that expired before admission). Under worker faults or overload the
+// server degrades through the tier ladder (degrade.h) instead of failing:
+//
+//   tier 0  exact batched encoder forward (ModelBackend::ScoreFull)
+//   tier 1  incremental scoring from the SessionCache's last hidden state
+//   tier 2  popularity fallback — always answers
+//
+// A request pulled from the queue after its deadline is still answered
+// (tier 2) but flagged `deadline_missed` — late answers are never silent.
+// When faults clear, the degrade controller's half-open probe climbs
+// serving back to tier 0 automatically.
+//
+// Threading: Recommend() is called from any number of client threads; it
+// parks on a stack-allocated completion slot until a worker (or the
+// inline-degrade path) publishes the response. Workers are dedicated
+// std::threads — the shared fork-join ThreadPool has no task-submission
+// API (by design; see parallel/thread_pool.h), and tier-0 forwards already
+// exploit it internally through the tensor kernels. Stop() closes the
+// batcher, drains every queued ticket, and joins the workers; the
+// destructor calls Stop().
+//
+// Observability: serve.requests == serve.answered.tier{0,1,2} summed +
+// serve.shed.overload + serve.shed.deadline. scripts/validate_telemetry.sh
+// asserts this invariant. Latency lands in serve.latency_ms; each worker
+// batch runs under a "serve/batch" trace span.
+
+#ifndef CL4SREC_SERVE_SERVER_H_
+#define CL4SREC_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/degrade.h"
+#include "serve/model_backend.h"
+#include "serve/session_cache.h"
+#include "util/status.h"
+#include "util/time_budget.h"
+
+namespace cl4srec {
+namespace serve {
+
+struct RecommendRequest {
+  int64_t user = 0;
+  // Full interaction history, most recent item LAST (ids 1..num_items).
+  std::vector<int64_t> history;
+  int64_t k = 10;
+  Deadline deadline;  // default: infinite
+};
+
+struct RecommendResponse {
+  std::vector<int64_t> items;  // top-k, best first; history excluded
+  ServeTier tier = ServeTier::kFull;
+  // Answered after its deadline (queue wait outlived the budget). The
+  // answer is still delivered — late, typed, never silent.
+  bool deadline_missed = false;
+};
+
+struct ServerOptions {
+  BatcherOptions batcher;
+  SessionCacheOptions cache;
+  DegradeOptions degrade;
+  int64_t num_workers = 2;
+  // Queue fill fraction past which admission answers degraded inline
+  // instead of queueing (the request would likely expire waiting).
+  double soft_watermark = 0.85;
+  // Deadlines with less remaining than this skip the queue and answer
+  // degraded inline. <= 0: derived as batcher.max_batch_delay_ms +
+  // batcher.deadline_margin_ms.
+  double min_queue_deadline_ms = 0.0;
+};
+
+class RecommendServer {
+ public:
+  // `backend` is non-owning and must outlive the server. `popularity`
+  // holds tier-2 scores indexed by item id ([num_items + 1] entries, entry
+  // 0 ignored); empty means rank by ascending id.
+  RecommendServer(ModelBackend* backend, std::vector<float> popularity,
+                  const ServerOptions& options);
+  ~RecommendServer();
+
+  RecommendServer(const RecommendServer&) = delete;
+  RecommendServer& operator=(const RecommendServer&) = delete;
+
+  // Blocks until the request is answered or shed. Typed errors:
+  // kOverloaded (queue full), kDeadlineExceeded (expired before
+  // admission), kFailedPrecondition (server stopped).
+  StatusOr<RecommendResponse> Recommend(const RecommendRequest& request);
+
+  // Stops admission, drains the queue (every queued request is still
+  // answered), joins workers. Idempotent.
+  void Stop();
+
+  const DegradeController& degrade() const { return degrade_; }
+  SessionCache& cache() { return cache_; }
+  int64_t pending() const { return batcher_.pending(); }
+
+ private:
+  struct Completion;
+
+  void WorkerLoop();
+  // Answers one request below tier 0: tier 1 if the session cache has a
+  // usable state for this user/history, else tier 2. Never fails.
+  RecommendResponse AnswerDegraded(const RecommendRequest& request);
+  RecommendResponse AnswerPopularity(const RecommendRequest& request) const;
+  std::vector<int64_t> TopKExcluding(const float* scores, int64_t count,
+                                     const RecommendRequest& request) const;
+  static void Complete(Completion* slot, StatusOr<RecommendResponse> result);
+
+  ModelBackend* backend_;
+  const std::vector<float> popularity_;
+  const ServerOptions options_;
+  const double min_queue_deadline_ms_;
+
+  DynamicBatcher batcher_;
+  SessionCache cache_;
+  DegradeController degrade_;
+  std::vector<std::thread> workers_;
+  bool stopped_ = false;
+};
+
+// Returns how many trailing events of `history` are NOT covered by the
+// cached item list (0 means the cache is current), or -1 when the cached
+// items are not a suffix-aligned prefix of `history` (history rewritten or
+// cache too stale) or more than `max_new` events are missing. Exposed for
+// tests.
+int64_t NewEventCount(const std::vector<int64_t>& cached,
+                      const std::vector<int64_t>& history, int64_t max_new);
+
+}  // namespace serve
+}  // namespace cl4srec
+
+#endif  // CL4SREC_SERVE_SERVER_H_

@@ -1,0 +1,143 @@
+#include "serve/session_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "train/fault_injector.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace serve {
+namespace {
+
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* expired;
+  obs::Counter* corrupt_dropped;
+  obs::Counter* evictions;
+  obs::Gauge* entries;
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return CacheMetrics{
+        reg.GetCounter("serve.cache.hits"),
+        reg.GetCounter("serve.cache.misses"),
+        reg.GetCounter("serve.cache.expired"),
+        reg.GetCounter("serve.cache.corrupt_dropped"),
+        reg.GetCounter("serve.cache.evictions"),
+        reg.GetGauge("serve.cache.entries"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+SessionCache::SessionCache(const SessionCacheOptions& options)
+    : options_(options) {
+  CL4SREC_CHECK_GE(options_.capacity, 1);
+  CL4SREC_CHECK_GE(options_.max_items, 1);
+}
+
+uint32_t SessionCache::Checksum(const SessionState& session) {
+  Crc32Accumulator acc;
+  acc.Update(session.items.data(), session.items.size() * sizeof(int64_t));
+  acc.Update(session.state.data(), session.state.size() * sizeof(float));
+  return acc.value();
+}
+
+bool SessionCache::Get(int64_t user, SessionState* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(user);
+  if (it == entries_.end()) {
+    Metrics().misses->Increment();
+    return false;
+  }
+  Entry& entry = it->second;
+  if (options_.ttl_ms > 0.0) {
+    const double age_ms = (NowNanos() - entry.put_ns) * 1e-6;
+    if (age_ms > options_.ttl_ms) {
+      lru_.erase(entry.lru_it);
+      entries_.erase(it);
+      CacheMetrics& m = Metrics();
+      m.expired->Increment();
+      m.misses->Increment();
+      m.entries->Set(static_cast<double>(entries_.size()));
+      return false;
+    }
+  }
+  if (Checksum(entry.session) != entry.crc) {
+    lru_.erase(entry.lru_it);
+    entries_.erase(it);
+    CacheMetrics& m = Metrics();
+    m.corrupt_dropped->Increment();
+    m.misses->Increment();
+    m.entries->Set(static_cast<double>(entries_.size()));
+    return false;
+  }
+  // Refresh LRU position (reads keep an entry resident, not fresh: the TTL
+  // clock is untouched).
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  *out = entry.session;
+  Metrics().hits->Increment();
+  return true;
+}
+
+void SessionCache::Put(int64_t user, std::vector<int64_t> items,
+                       std::vector<float> state) {
+  if (static_cast<int64_t>(items.size()) > options_.max_items) {
+    items.erase(items.begin(),
+                items.end() - static_cast<size_t>(options_.max_items));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(user);
+  if (it == entries_.end()) {
+    if (static_cast<int64_t>(entries_.size()) >= options_.capacity) {
+      EvictLocked();
+    }
+    lru_.push_front(user);
+    it = entries_.emplace(user, Entry{}).first;
+    it->second.lru_it = lru_.begin();
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+  Entry& entry = it->second;
+  entry.session.items = std::move(items);
+  entry.session.state = std::move(state);
+  entry.put_ns = NowNanos();
+  entry.crc = Checksum(entry.session);
+  if (fault::ConsumeCacheCorruption() && !entry.session.state.empty()) {
+    // Flip payload bits AFTER checksumming: the stored crc no longer
+    // matches, exactly like a stray write landing between Put and Get.
+    entry.session.state[0] += 1e6f;
+  }
+  Metrics().entries->Set(static_cast<double>(entries_.size()));
+}
+
+void SessionCache::EvictLocked() {
+  if (lru_.empty()) return;
+  const int64_t victim = lru_.back();
+  lru_.pop_back();
+  entries_.erase(victim);
+  Metrics().evictions->Increment();
+}
+
+void SessionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  Metrics().entries->Set(0.0);
+}
+
+int64_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace serve
+}  // namespace cl4srec

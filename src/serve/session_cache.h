@@ -1,0 +1,88 @@
+// SessionCache — bounded per-user session state for incremental serving.
+//
+// Each entry holds a user's recent item ids plus the encoder's last hidden
+// state for that history, so a request that extends the history by one
+// event can be answered from the cached state (degradation tier 1) instead
+// of a cold full re-encode. Memory is bounded two ways: a hard capacity
+// with LRU eviction (least recently READ OR written goes first) and a TTL
+// measured from the last WRITE — a stale state is worse than a miss, so
+// reads refresh the LRU position but never the TTL.
+//
+// Every entry carries a CRC32 over its payload, verified on Get: a
+// corrupted entry (fault injection, or a real stray write) is dropped and
+// reported as a miss rather than served. The serving tier ladder then falls
+// back to tier 0 or tier 2 — cache corruption can cost latency, never
+// correctness.
+//
+// Thread-safe (single mutex; entries are small and the serving hot path
+// touches the cache once per request).
+//
+// Observability (obs::MetricsRegistry):
+//   serve.cache.hits / misses / expired / corrupt_dropped / evictions
+//   serve.cache.entries   gauge: current entry count
+
+#ifndef CL4SREC_SERVE_SESSION_CACHE_H_
+#define CL4SREC_SERVE_SESSION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cl4srec {
+namespace serve {
+
+struct SessionState {
+  std::vector<int64_t> items;  // recent item ids, most recent LAST
+  std::vector<float> state;    // last hidden state, [d]
+};
+
+struct SessionCacheOptions {
+  int64_t capacity = 4096;   // max resident users (>= 1)
+  double ttl_ms = 0.0;       // entry lifetime since last Put; <= 0: no TTL
+  int64_t max_items = 50;    // history ids kept per entry (tail-truncated)
+};
+
+class SessionCache {
+ public:
+  explicit SessionCache(const SessionCacheOptions& options);
+
+  // Copies the entry for `user` into *out and refreshes its LRU position.
+  // Returns false on miss, TTL expiry, or checksum mismatch (the latter two
+  // erase the entry; corruption additionally counts
+  // serve.cache.corrupt_dropped).
+  bool Get(int64_t user, SessionState* out);
+
+  // Inserts or replaces the entry, truncating `items` to the most recent
+  // max_items, stamping the TTL clock and recomputing the checksum. Evicts
+  // the LRU entry when at capacity.
+  void Put(int64_t user, std::vector<int64_t> items, std::vector<float> state);
+
+  // Drops every entry (tests).
+  void Clear();
+
+  int64_t size() const;
+
+ private:
+  struct Entry {
+    SessionState session;
+    int64_t put_ns = 0;   // TTL clock: last write
+    uint32_t crc = 0;
+    std::list<int64_t>::iterator lru_it;  // position in lru_ (front = hot)
+  };
+
+  static uint32_t Checksum(const SessionState& session);
+  void EvictLocked();
+
+  const SessionCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<int64_t, Entry> entries_;
+  std::list<int64_t> lru_;  // user ids, most recently used first
+};
+
+}  // namespace serve
+}  // namespace cl4srec
+
+#endif  // CL4SREC_SERVE_SESSION_CACHE_H_

@@ -1,5 +1,6 @@
 #include "train/fault_injector.h"
 
+#include <atomic>
 #include <limits>
 
 #include "util/logging.h"
@@ -10,6 +11,9 @@ namespace {
 struct InjectionState {
   FaultPlan plan;
   int64_t save_attempts = 0;
+  // Serving-path counters are advanced from concurrent worker threads.
+  std::atomic<int64_t> serve_batches{0};
+  std::atomic<int64_t> cache_puts{0};
 };
 
 // Owned by the active ScopedFaultInjection; null when none is installed.
@@ -23,7 +27,9 @@ bool InWindow(int64_t value, int64_t start, int64_t count) {
 
 ScopedFaultInjection::ScopedFaultInjection(const FaultPlan& plan) {
   CL4SREC_CHECK(g_state == nullptr) << "fault injection already active";
-  g_state = new InjectionState{plan};
+  auto* state = new InjectionState;
+  state->plan = plan;
+  g_state = state;
 }
 
 ScopedFaultInjection::~ScopedFaultInjection() {
@@ -54,6 +60,30 @@ void PoisonStep(int64_t step, double* loss, float* grad_norm) {
   if (InWindow(step, plan.spike_loss_at, plan.spike_loss_count)) {
     *loss *= plan.spike_factor;
   }
+}
+
+bool OnServeBatch(double* delay_ms) {
+  *delay_ms = 0.0;
+  // The serving path races against plan teardown only in the sense that a
+  // test must not destroy its ScopedFaultInjection while the server is
+  // running; the chaos tests stop injecting by choosing finite windows.
+  InjectionState* state = g_state;
+  if (state == nullptr) return false;
+  const int64_t batch =
+      state->serve_batches.fetch_add(1, std::memory_order_relaxed);
+  const FaultPlan& plan = state->plan;
+  if (InWindow(batch, plan.serve_slow_at, plan.serve_slow_count)) {
+    *delay_ms = plan.serve_slow_ms;
+  }
+  return InWindow(batch, plan.serve_fail_at, plan.serve_fail_count);
+}
+
+bool ConsumeCacheCorruption() {
+  InjectionState* state = g_state;
+  if (state == nullptr) return false;
+  const int64_t put = state->cache_puts.fetch_add(1, std::memory_order_relaxed);
+  return InWindow(put, state->plan.serve_corrupt_at,
+                  state->plan.serve_corrupt_count);
 }
 
 }  // namespace fault

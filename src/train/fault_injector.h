@@ -35,6 +35,28 @@ struct FaultPlan {
   int64_t spike_loss_at = -1;
   int64_t spike_loss_count = 1;
   double spike_factor = 100.0;
+
+  // ---- Serving faults (src/serve/) ----
+  // These count SERVING batches (one OnServeBatch call per batch a server
+  // worker processes, 0-based from plan installation) and session-cache
+  // writes, independently of the training step counter. The counters are
+  // atomic: serving queries come from multiple worker threads.
+  //
+  // Slow worker: stall the batch forward by serve_slow_ms for batches
+  // [serve_slow_at, serve_slow_at + count).
+  int64_t serve_slow_at = -1;
+  int64_t serve_slow_count = 1;
+  double serve_slow_ms = 50.0;
+  // Batch-forward failure: the encoder forward for batches
+  // [serve_fail_at, serve_fail_at + count) fails with an internal error,
+  // forcing the server down the degradation ladder.
+  int64_t serve_fail_at = -1;
+  int64_t serve_fail_count = 1;
+  // Cache corruption: session-cache writes [serve_corrupt_at, at + count)
+  // (0-based counter of Put calls) store a corrupted payload; the cache's
+  // checksum validation must catch it on the next read.
+  int64_t serve_corrupt_at = -1;
+  int64_t serve_corrupt_count = 1;
 };
 
 // Installs `plan` process-wide for its lifetime; nesting is disallowed.
@@ -59,6 +81,16 @@ bool ConsumeSaveFailure();
 // Called by StepGuard before inspecting a step: applies any loss/grad-norm
 // poisoning configured for `step`.
 void PoisonStep(int64_t step, double* loss, float* grad_norm);
+
+// Called by a serving worker once per batch, BEFORE the tier-0 forward.
+// Advances the (atomic) serving batch counter; outputs the injected stall
+// in milliseconds (0 when none) and returns true when the batch forward
+// must fail. Thread-safe; a no-op returning false with no plan installed.
+bool OnServeBatch(double* delay_ms);
+
+// Called by the session cache on each Put; true means this write must
+// store a corrupted payload. Advances the (atomic) cache-write counter.
+bool ConsumeCacheCorruption();
 
 }  // namespace fault
 }  // namespace cl4srec

@@ -22,6 +22,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kInternal,
+  // Load shedding: a bounded queue or admission controller refused the work.
+  // Retryable by design — the serving runtime returns this instead of
+  // queueing unboundedly (see src/serve/).
+  kOverloaded,
+  // The operation's monotonic deadline (util/time_budget.h) passed before it
+  // could produce a useful result.
+  kDeadlineExceeded,
 };
 
 // Returns a short human-readable name such as "InvalidArgument".
@@ -57,6 +64,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

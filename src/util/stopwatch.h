@@ -1,9 +1,16 @@
-// Wall-clock stopwatch for training loops and bench harnesses, plus the
+// Elapsed-time stopwatch for training loops and bench harnesses, plus the
 // monotonic nanosecond clock used by the trace layer.
 //
-// All readings are monotonic (std::chrono::steady_clock) and returned as
-// double (Elapsed*) or int64_t nanoseconds (NowNanos) — callers must not
-// narrow them to int, which truncates after ~2.1s of millis.
+// All readings are monotonic (std::chrono::steady_clock, statically
+// asserted below) and returned as double (Elapsed*) or int64_t nanoseconds
+// (NowNanos) — callers must not narrow them to int, which truncates after
+// ~2.1s of millis. Audit note: every duration measurement in the codebase
+// (step timing, checkpoint-write timing in train/trainer.cc, eval phases)
+// goes through this header, so none of them can mis-fire on a wall-clock
+// jump. Code that needs a *timeout* rather than an elapsed reading should
+// use Deadline / TimeBudget (util/time_budget.h), which share the same
+// steady-clock guarantee and convert to the time points condition variables
+// expect.
 
 #ifndef CL4SREC_UTIL_STOPWATCH_H_
 #define CL4SREC_UTIL_STOPWATCH_H_
@@ -12,6 +19,9 @@
 #include <cstdint>
 
 namespace cl4srec {
+
+static_assert(std::chrono::steady_clock::is_steady,
+              "timing and timeouts must be immune to wall-clock adjustment");
 
 // Monotonic timestamp in nanoseconds since an arbitrary epoch. Cheap enough
 // for per-span instrumentation; differences are meaningful, absolutes are

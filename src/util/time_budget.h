@@ -1,0 +1,110 @@
+// Monotonic deadlines and countdown budgets for anything that must time out
+// or pace itself: the serving runtime's per-request deadlines, the dynamic
+// batcher's flush timers, and bench phase windows.
+//
+// Everything here is built on std::chrono::steady_clock — NEVER
+// system_clock. A wall clock can jump (NTP slew, suspend/resume, manual
+// adjustment), which would fire a timeout early or stall it forever; the
+// steady clock only moves forward at one second per second. The
+// static_assert below makes that a compile-time guarantee rather than a
+// convention (stopwatch.h carries the same assert for its elapsed-time
+// readings).
+
+#ifndef CL4SREC_UTIL_TIME_BUDGET_H_
+#define CL4SREC_UTIL_TIME_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace cl4srec {
+
+// A fixed point on the monotonic timeline. Value type: cheap to copy, store
+// in request structs, and compare (an earlier deadline orders first). The
+// default-constructed Deadline is infinite — it never expires — so "no
+// deadline" needs no sentinel flag.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "deadlines must be immune to wall-clock adjustment");
+
+  Deadline() : tp_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // `ms` from now; non-positive values produce an already-expired deadline.
+  static Deadline AfterMillis(double ms) {
+    return Deadline(Clock::now() +
+                    std::chrono::nanoseconds(static_cast<int64_t>(ms * 1e6)));
+  }
+
+  static Deadline AfterNanos(int64_t ns) {
+    return Deadline(Clock::now() + std::chrono::nanoseconds(ns));
+  }
+
+  // The raw time point, for condition_variable::wait_until.
+  Clock::time_point time_point() const { return tp_; }
+
+  bool is_infinite() const { return tp_ == Clock::time_point::max(); }
+
+  bool expired() const { return !is_infinite() && Clock::now() >= tp_; }
+
+  // Remaining time; +inf for an infinite deadline, negative once expired.
+  double remaining_ms() const {
+    if (is_infinite()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(tp_ - Clock::now())
+        .count();
+  }
+
+  // A deadline moved `ms` earlier (e.g. a flush margin carved off a request
+  // deadline). Infinite deadlines stay infinite.
+  Deadline EarlierBy(double ms) const {
+    if (is_infinite()) return *this;
+    return Deadline(tp_ -
+                    std::chrono::nanoseconds(static_cast<int64_t>(ms * 1e6)));
+  }
+
+  friend bool operator<(const Deadline& a, const Deadline& b) {
+    return a.tp_ < b.tp_;
+  }
+  friend bool operator==(const Deadline& a, const Deadline& b) {
+    return a.tp_ == b.tp_;
+  }
+
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    return a < b ? a : b;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point tp) : tp_(tp) {}
+
+  Clock::time_point tp_;
+};
+
+// A countdown that starts at construction: "you have N ms". Sugar over
+// Deadline for code that thinks in budgets (bench phases, per-stage time
+// slicing) rather than absolute points.
+class TimeBudget {
+ public:
+  explicit TimeBudget(double budget_ms)
+      : start_(Deadline::Clock::now()), deadline_(Deadline::AfterMillis(budget_ms)) {}
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Deadline::Clock::now() -
+                                                     start_)
+        .count();
+  }
+
+  double remaining_ms() const { return deadline_.remaining_ms(); }
+  bool exhausted() const { return deadline_.expired(); }
+  Deadline deadline() const { return deadline_; }
+
+ private:
+  Deadline::Clock::time_point start_;
+  Deadline deadline_;
+};
+
+}  // namespace cl4srec
+
+#endif  // CL4SREC_UTIL_TIME_BUDGET_H_

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "util/crc32.h"
+#include "util/time_budget.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
 #include "util/fs_util.h"
@@ -365,6 +368,117 @@ TEST(CsvWriterTest, DestructorFlushesBufferedRows) {
   std::getline(in, line);
   EXPECT_EQ(line, "value");
   std::remove(path.c_str());
+}
+
+// ---- Serving status codes (kOverloaded / kDeadlineExceeded) ----
+
+TEST(StatusTest, ServingCodes) {
+  const Status overloaded = Status::Overloaded("queue full");
+  EXPECT_FALSE(overloaded.ok());
+  EXPECT_EQ(overloaded.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(overloaded.ToString(), "Overloaded: queue full");
+
+  const Status late = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: too slow");
+}
+
+namespace {
+StatusOr<std::string> ShedOrValue(StatusCode code) {
+  if (code == StatusCode::kOverloaded) return Status::Overloaded("shed");
+  if (code == StatusCode::kDeadlineExceeded) {
+    return Status::DeadlineExceeded("late");
+  }
+  return std::string("answered");
+}
+StatusOr<std::string> ChainsServingCodes(StatusCode code) {
+  // The move-out must compile and propagate for the new codes exactly like
+  // the original ones.
+  CL4SREC_ASSIGN_OR_RETURN(std::string answer, ShedOrValue(code));
+  CL4SREC_RETURN_NOT_OK(ShedOrValue(code).status());
+  return answer + "!";
+}
+}  // namespace
+
+TEST(StatusMacroTest, ServingCodesPropagateThroughMacros) {
+  StatusOr<std::string> ok = ChainsServingCodes(StatusCode::kOk);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "answered!");
+
+  StatusOr<std::string> shed = ChainsServingCodes(StatusCode::kOverloaded);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(shed.status().message(), "shed");
+
+  StatusOr<std::string> late =
+      ChainsServingCodes(StatusCode::kDeadlineExceeded);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---- Deadline / TimeBudget (util/time_budget.h) ----
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.is_infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.remaining_ms()));
+  EXPECT_TRUE(deadline == Deadline::Infinite());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  const Deadline deadline = Deadline::AfterMillis(60000.0);
+  EXPECT_FALSE(deadline.is_infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_ms(), 59000.0);
+  EXPECT_LT(deadline.remaining_ms(), 60001.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0.0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5.0).expired());
+  EXPECT_LE(Deadline::AfterMillis(-5.0).remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, EarlierByAndOrdering) {
+  const Deadline late = Deadline::AfterMillis(60000.0);
+  const Deadline early = late.EarlierBy(30000.0);
+  EXPECT_TRUE(early < late);
+  EXPECT_TRUE(Deadline::Earlier(late, early) == early);
+  // Infinite stays infinite no matter the margin.
+  EXPECT_TRUE(Deadline::Infinite().EarlierBy(1e9).is_infinite());
+  // Any finite deadline orders before infinite.
+  EXPECT_TRUE(late < Deadline::Infinite());
+}
+
+TEST(DeadlineTest, ExpiresAfterItsBudget) {
+  const Deadline deadline = Deadline::AfterMillis(5.0);
+  while (!deadline.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_LE(deadline.remaining_ms(), 0.0);
+}
+
+TEST(TimeBudgetTest, CountsDownMonotonically) {
+  TimeBudget budget(60000.0);
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_GE(budget.elapsed_ms(), 0.0);
+  const double first = budget.remaining_ms();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_LT(budget.remaining_ms(), first);
+  EXPECT_GT(budget.elapsed_ms(), 0.0);
+  EXPECT_FALSE(budget.deadline().is_infinite());
+}
+
+TEST(TimeBudgetTest, ExhaustsAfterBudget) {
+  TimeBudget budget(3.0);
+  while (!budget.exhausted()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_GE(budget.elapsed_ms(), 3.0);
 }
 
 }  // namespace
