@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
@@ -171,6 +172,19 @@ SequenceDataset MakeBenchDataset(SyntheticPreset preset,
 }
 
 std::string Fmt(double value) { return StrFormat("%.4f", value); }
+
+std::string MachineMetadataJson() {
+  std::string lanes;
+  for (simd::Isa isa : simd::CompiledIsas()) {
+    if (!lanes.empty()) lanes += ", ";
+    lanes += StrFormat("\"%s\"", simd::IsaName(isa));
+  }
+  return StrFormat(
+      "{\"hardware_concurrency\": %u, \"parallel_threads\": %d, "
+      "\"active_isa\": \"%s\", \"compiled_lanes\": [%s]}",
+      std::thread::hardware_concurrency(), parallel::GetNumThreads(),
+      simd::IsaName(simd::ActiveIsa()), lanes.c_str());
+}
 
 void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');

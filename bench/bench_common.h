@@ -73,6 +73,13 @@ SequenceDataset MakeBenchDataset(SyntheticPreset preset,
 // Formats one metric value like the paper (4 decimals).
 std::string Fmt(double value);
 
+// JSON object describing the machine and kernel dispatch this process runs
+// with: {"hardware_concurrency": N, "parallel_threads": N,
+// "active_isa": "...", "compiled_lanes": ["scalar", ...]}. Every BENCH_*.json
+// embeds this under a "machine" key so numbers from different hosts/lane
+// configurations are never compared blind.
+std::string MachineMetadataJson();
+
 // Prints a horizontal rule of the given width.
 void PrintRule(int width);
 

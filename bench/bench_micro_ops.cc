@@ -32,6 +32,7 @@
 
 #include "augment/augmentations.h"
 #include "autograd/graph_arena.h"
+#include "bench/bench_common.h"
 #include "autograd/ops.h"
 #include "core/cl4srec.h"
 #include "core/nt_xent.h"
@@ -272,9 +273,11 @@ int RunJsonSuite(const std::string& path, int parallel_threads) {
   std::string json = "{\n";
   const unsigned hw = std::thread::hardware_concurrency();
   json += StrFormat(
+      "  \"machine\": %s,\n"
       "  \"hardware_concurrency\": %u,\n  \"parallel_threads\": %d,\n"
       "  \"matmul\": [\n",
-      hw == 0 ? 1 : hw, parallel_threads);
+      bench::MachineMetadataJson().c_str(), hw == 0 ? 1 : hw,
+      parallel_threads);
 
   for (size_t ci = 0; ci < std::size(kMatMulCases); ++ci) {
     const MatMulCase& mc = kMatMulCases[ci];
@@ -302,6 +305,33 @@ int RunJsonSuite(const std::string& path, int parallel_threads) {
         ci + 1 < std::size(kMatMulCases) ? "," : "");
   }
   json += "  ],\n";
+
+  // Wide-N blocking A/B on the ranking-shaped matmul (n >> m): column-block
+  // tasks that pack each B panel once, versus the standard row-block path.
+  {
+    const MatMulCase& mc = kMatMulCases[std::size(kMatMulCases) - 1];
+    Rng rng(17);
+    Tensor a = Tensor::Randn({mc.m, mc.k}, &rng);
+    Tensor b = mc.trans_b ? Tensor::Randn({mc.n, mc.k}, &rng)
+                          : Tensor::Randn({mc.k, mc.n}, &rng);
+    auto run = [&] {
+      Tensor c = MatMul(a, b, /*trans_a=*/false, mc.trans_b);
+      benchmark::DoNotOptimize(c.data());
+    };
+    SetNumThreads(parallel_threads);
+    SetMatMulWideNBlocking(false);
+    const double row_block_sec = TimePerCall(run);
+    SetMatMulWideNBlocking(true);
+    const double wide_n_sec = TimePerCall(run);
+    const double flops = 2.0 * static_cast<double>(mc.m) *
+                         static_cast<double>(mc.k) * static_cast<double>(mc.n);
+    json += StrFormat(
+        "  \"matmul_wide_n_blocking\": {\"case\": \"%s\", "
+        "\"row_block_gflops\": %.3f, \"wide_n_gflops\": %.3f, "
+        "\"speedup\": %.3f},\n",
+        mc.name, flops / row_block_sec * 1e-9, flops / wide_n_sec * 1e-9,
+        row_block_sec / wide_n_sec);
+  }
 
   // SIMD dispatch report: which lanes this binary + host can run, and the
   // per-kernel speedup of the active dispatch over the scalar table. Kernel

@@ -1,0 +1,262 @@
+// Candidate-retrieval benchmark: exact full-catalog scoring vs the IVF
+// int8 index, on synthetic clustered catalogs at 100k and 1M items.
+//
+// The catalog is drawn from a clustered generative family (items = shared
+// center direction + noise) because that is both the structure IVF exploits
+// and what trained item embeddings look like: co-consumed items end up near
+// each other. Queries come from the same family, standing in for encoded
+// user states.
+//
+// For each catalog size the bench reports users/sec for ExactRetriever and
+// IvfRetriever (default auto parameters unless overridden), the IVF
+// recall@k against the exact top-k sets, index build time, and index size.
+//
+//   ./bench_retrieval [--json BENCH_retrieval.json] [--items 0]
+//                     [--dim 64] [--queries 256] [--k 50]
+//                     [--clusters 0] [--nprobe 0] [--rerank 0]
+//                     [--threads N] [--simd auto|off|avx2|...]
+//
+// --items 0 runs the standard 100k and 1M catalogs; a positive value runs
+// that single size (scripts/bench_micro.sh smoke-runs --items 10000).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "parallel/parallel.h"
+#include "retrieval/retriever.h"
+#include "tensor/simd/simd.h"
+#include "tensor/tensor.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace cl4srec;
+
+namespace {
+
+// [num_items + 1, dim] embedding table (row 0 = padding): each item is a
+// random one of `centers` unit-scale directions plus isotropic noise whose
+// norm is ~`noise` relative to the center's.
+Tensor ClusteredCatalog(int64_t num_items, int64_t dim, int64_t centers,
+                        double noise, Rng* rng) {
+  const double unit = 1.0 / std::sqrt(static_cast<double>(dim));
+  std::vector<float> c(static_cast<size_t>(centers * dim));
+  for (float& v : c) v = static_cast<float>(rng->Normal(0.0, unit));
+  Tensor table({num_items + 1, dim});
+  float* out = table.data();
+  for (int64_t j = 0; j < dim; ++j) out[j] = 0.f;
+  for (int64_t i = 1; i <= num_items; ++i) {
+    const float* center =
+        c.data() + static_cast<size_t>(rng->UniformInt(centers) * dim);
+    float* row = out + i * dim;
+    for (int64_t j = 0; j < dim; ++j) {
+      row[j] =
+          center[j] + static_cast<float>(rng->Normal(0.0, noise * unit));
+    }
+  }
+  return table;
+}
+
+// [num_queries, dim] query block from the same generative family.
+Tensor QueryBlock(int64_t num_queries, int64_t dim, int64_t centers,
+                  double noise, Rng* rng) {
+  Tensor block = ClusteredCatalog(num_queries - 1, dim, centers, noise, rng);
+  // Row 0 came out zeroed (padding convention); make it a real query.
+  const double unit = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (int64_t j = 0; j < dim; ++j) {
+    block.data()[j] = static_cast<float>(rng->Normal(0.0, unit));
+  }
+  return block;
+}
+
+struct Timed {
+  double users_per_s = 0.0;
+  std::vector<std::vector<retrieval::ScoredItem>> results;
+};
+
+// Warm-up pass (whose results are kept for the recall check), then timed
+// passes until `min_seconds` of wall clock or 50 passes.
+Timed TimeRetriever(retrieval::Retriever* retriever, const Tensor& queries,
+                    int64_t k, double min_seconds) {
+  Timed timed;
+  const int64_t q = queries.dim(0);
+  retriever->RetrieveBatch(queries.data(), q, k, &timed.results);
+  Stopwatch wall;
+  int64_t passes = 0;
+  do {
+    std::vector<std::vector<retrieval::ScoredItem>> scratch;
+    retriever->RetrieveBatch(queries.data(), q, k, &scratch);
+    ++passes;
+  } while (wall.ElapsedSeconds() < min_seconds && passes < 50);
+  timed.users_per_s =
+      static_cast<double>(passes * q) / wall.ElapsedSeconds();
+  return timed;
+}
+
+// Mean over queries of |approx top-k ∩ exact top-k| / |exact top-k|.
+double RecallAtK(const std::vector<std::vector<retrieval::ScoredItem>>& exact,
+                 const std::vector<std::vector<retrieval::ScoredItem>>& approx) {
+  double total = 0.0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i].empty()) continue;
+    std::unordered_set<int64_t> truth;
+    for (const retrieval::ScoredItem& item : exact[i]) truth.insert(item.id);
+    int64_t hits = 0;
+    for (const retrieval::ScoredItem& item : approx[i]) {
+      hits += truth.count(item.id) ? 1 : 0;
+    }
+    total += static_cast<double>(hits) / static_cast<double>(truth.size());
+  }
+  return exact.empty() ? 0.0 : total / static_cast<double>(exact.size());
+}
+
+struct RunResult {
+  int64_t items = 0;
+  int64_t clusters = 0;
+  int64_t nprobe = 0;
+  int64_t rerank = 0;
+  double build_ms = 0.0;
+  double index_mib = 0.0;
+  double exact_users_per_s = 0.0;
+  double ivf_users_per_s = 0.0;
+  double recall_at_k = 0.0;
+
+  double speedup() const {
+    return exact_users_per_s > 0 ? ivf_users_per_s / exact_users_per_s : 0.0;
+  }
+};
+
+RunResult RunOnce(int64_t items, int64_t dim, int64_t num_queries, int64_t k,
+                  const retrieval::IvfRetrieverOptions& options,
+                  int64_t centers, double noise, uint64_t seed,
+                  double min_seconds) {
+  RunResult r;
+  r.items = items;
+  Rng rng(seed + static_cast<uint64_t>(items));
+  const Tensor table = ClusteredCatalog(items, dim, centers, noise, &rng);
+  const Tensor queries = QueryBlock(num_queries, dim, centers, noise, &rng);
+
+  retrieval::ExactRetriever exact(table);
+  Stopwatch build;
+  retrieval::IvfRetriever ivf(table, options);
+  r.build_ms = build.ElapsedMillis();
+  r.clusters = ivf.num_clusters();
+  r.nprobe = ivf.nprobe();
+  r.rerank = ivf.rerank_depth();
+  r.index_mib = static_cast<double>(ivf.bytes()) / (1024.0 * 1024.0);
+
+  const Timed exact_timed = TimeRetriever(&exact, queries, k, min_seconds);
+  const Timed ivf_timed = TimeRetriever(&ivf, queries, k, min_seconds);
+  r.exact_users_per_s = exact_timed.users_per_s;
+  r.ivf_users_per_s = ivf_timed.users_per_s;
+  r.recall_at_k = RecallAtK(exact_timed.results, ivf_timed.results);
+
+  std::printf(
+      "items %8lld | build %7.0fms idx %7.1fMiB C %4lld nprobe %3lld "
+      "rerank %4lld | exact %8.1f u/s | %s %8.1f u/s | speedup %5.1fx | "
+      "recall@%lld %.4f\n",
+      static_cast<long long>(items), r.build_ms, r.index_mib,
+      static_cast<long long>(r.clusters), static_cast<long long>(r.nprobe),
+      static_cast<long long>(r.rerank), r.exact_users_per_s, ivf.name(),
+      r.ivf_users_per_s, r.speedup(), static_cast<long long>(k),
+      r.recall_at_k);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("json", "", "JSON report output path");
+  flags.AddInt("items", 0, "catalog size (0 = run 100000 and 1000000)");
+  flags.AddInt("dim", 64, "embedding dimension");
+  flags.AddInt("queries", 256, "query batch size");
+  flags.AddInt("k", 50, "retrieved candidates per query");
+  flags.AddInt("centers", 256, "generative cluster count for the catalog");
+  flags.AddDouble("noise", 0.5,
+                  "per-item noise norm relative to its center's norm");
+  flags.AddInt("clusters", 0, "IVF cluster count (0 = auto ~4*sqrt(N))");
+  flags.AddInt("nprobe", 0, "IVF clusters scanned per query (0 = auto)");
+  flags.AddInt("rerank", 0, "IVF exact re-rank depth (0 = auto)");
+  flags.AddBool("fp32", false, "scan fp32 rows instead of the int8 store");
+  flags.AddInt("threads", 0, "compute threads (0 = auto)");
+  flags.AddString("simd", "", "kernel dispatch: auto, off, avx2, ...");
+  flags.AddInt("seed", 13, "rng seed");
+  flags.AddDouble("min_time_s", 0.4, "minimum timed window per retriever");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
+
+  if (flags.GetInt("threads") > 0) {
+    parallel::SetNumThreads(static_cast<int>(flags.GetInt("threads")));
+  }
+  const std::string simd_mode = flags.GetString("simd");
+  if (!simd_mode.empty()) simd::SetMode(simd_mode);
+
+  const int64_t dim = flags.GetInt("dim");
+  const int64_t num_queries = flags.GetInt("queries");
+  const int64_t k = flags.GetInt("k");
+  retrieval::IvfRetrieverOptions options;
+  options.num_clusters = flags.GetInt("clusters");
+  options.nprobe = flags.GetInt("nprobe");
+  options.rerank = flags.GetInt("rerank");
+  options.quantize = !flags.GetBool("fp32");
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::vector<int64_t> sizes;
+  if (flags.GetInt("items") > 0) {
+    sizes.push_back(flags.GetInt("items"));
+  } else {
+    sizes = {100000, 1000000};
+  }
+
+  std::printf("retrieval bench: dim %lld, %lld queries, k %lld, %s\n",
+              static_cast<long long>(dim),
+              static_cast<long long>(num_queries), static_cast<long long>(k),
+              bench::MachineMetadataJson().c_str());
+  std::vector<RunResult> runs;
+  for (int64_t items : sizes) {
+    runs.push_back(RunOnce(items, dim, num_queries, k, options,
+                           flags.GetInt("centers"), flags.GetDouble("noise"),
+                           static_cast<uint64_t>(flags.GetInt("seed")),
+                           flags.GetDouble("min_time_s")));
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\n  \"bench\": \"retrieval\",\n"
+        << "  \"machine\": " << bench::MachineMetadataJson() << ",\n"
+        << "  \"dim\": " << dim << ",\n"
+        << "  \"queries\": " << num_queries << ",\n"
+        << "  \"k\": " << k << ",\n"
+        << "  \"mode\": \"" << (options.quantize ? "ivf_int8" : "ivf_fp32")
+        << "\",\n  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const RunResult& r = runs[i];
+      out << "    {\"items\": " << r.items << ", \"clusters\": " << r.clusters
+          << ", \"nprobe\": " << r.nprobe << ", \"rerank\": " << r.rerank
+          << ",\n     \"build_ms\": " << r.build_ms
+          << ", \"index_mib\": " << r.index_mib
+          << ",\n     \"exact_users_per_s\": " << r.exact_users_per_s
+          << ", \"ivf_users_per_s\": " << r.ivf_users_per_s
+          << ", \"speedup\": " << r.speedup()
+          << ", \"recall_at_k\": " << r.recall_at_k << "}"
+          << (i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::ofstream file(json_path);
+    file << out.str();
+    if (!file) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

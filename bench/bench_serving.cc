@@ -15,7 +15,10 @@
 //   ./bench_serving [--json out.json] [--duration_ms 2000] [--workers 2]
 //                   [--clients 4] [--overload_clients 16] [--zipf 1.1]
 //                   [--deadline_ms 50] [--overload_deadline_ms 8]
-//                   [--slow_worker_ms 0] [--scale 1.0] ...
+//                   [--slow_worker_ms 0] [--retrieval] [--scale 1.0] ...
+//
+// --retrieval serves tier-0 answers from an IVF int8 ANN index over the
+// model's item table instead of full-catalog scoring.
 //
 // --json writes a machine-readable report; scripts/bench_micro.sh smoke-runs
 // this binary and scripts/validate_telemetry.sh checks the serve.* metrics
@@ -26,6 +29,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -33,6 +37,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "retrieval/retriever.h"
 #include "serve/model_backend.h"
 #include "serve/server.h"
 #include "train/fault_injector.h"
@@ -210,6 +215,9 @@ int main(int argc, char** argv) {
                   "inject this stall into every overload-phase batch");
   flags.AddDouble("slow_batch_ms", 0.0,
                   "degrade-controller slow-batch threshold (0 = off)");
+  flags.AddBool("retrieval", false,
+                "serve tier-0 from an IVF int8 index over the item table "
+                "instead of full-catalog scoring");
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
   BenchConfig config = ConfigFromFlags(flags);
 
@@ -221,7 +229,27 @@ int main(int argc, char** argv) {
   SasRec model(SasRecConfig{.hidden_dim = config.dim});
   TrainOptions train_options = MakeTrainOptions(config);
   model.EnsureEncoder(data, train_options);
-  SasRecBackend backend(&model);
+
+  // Optional ANN tier-0: index the item-table slice the backend serves
+  // ([num_items + 1, dim]; the vocabulary's extra mask row is not a
+  // recommendable item).
+  std::unique_ptr<retrieval::IvfRetriever> retriever;
+  SasRecBackendOptions backend_options;
+  if (flags.GetBool("retrieval")) {
+    const Tensor& full = model.encoder()->item_embedding().table().value();
+    const int64_t d = full.dim(1);
+    Tensor slice({data.num_items() + 1, d});
+    std::copy(full.data(), full.data() + (data.num_items() + 1) * d,
+              slice.data());
+    retriever = std::make_unique<retrieval::IvfRetriever>(slice);
+    std::printf(
+        "tier-0 retrieval: %s (clusters %lld, nprobe %lld, %.1f KiB)\n",
+        retriever->name(), static_cast<long long>(retriever->num_clusters()),
+        static_cast<long long>(retriever->nprobe()),
+        static_cast<double>(retriever->bytes()) / 1024.0);
+    backend_options.retriever = retriever.get();
+  }
+  SasRecBackend backend(&model, backend_options);
 
   std::vector<float> popularity(static_cast<size_t>(data.num_items() + 1),
                                 0.f);
@@ -273,6 +301,9 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::ostringstream out;
     out << "{\n  \"bench\": \"serving\",\n"
+        << "  \"machine\": " << MachineMetadataJson() << ",\n"
+        << "  \"tier0_retriever\": \""
+        << (retriever ? retriever->name() : "exact") << "\",\n"
         << "  \"workers\": " << options.num_workers << ",\n"
         << "  \"zipf\": " << flags.GetDouble("zipf") << ",\n"
         << "  \"phases\": {\n";

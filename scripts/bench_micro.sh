@@ -15,6 +15,11 @@
 # a saturating phase with an injected slow worker (the degradation ladder
 # must visibly engage).
 #
+# bench_retrieval gets a 10k-item smoke run (stdout only) as a per-PR
+# sanity check of the IVF int8 index; the committed BENCH_retrieval.json
+# artifact comes from the full 100k/1M run, `bench_retrieval --json
+# BENCH_retrieval.json` (see EXPERIMENTS.md), which takes minutes.
+#
 # Usage: scripts/bench_micro.sh [output.json] [--threads N] [--simd MODE]
 #   output defaults to BENCH_micro_ops.json in the repo root; --threads
 #   defaults to hardware concurrency; --simd (auto|off|avx2|avx512|neon)
@@ -29,9 +34,15 @@ OUT=${1:-BENCH_micro_ops.json}
 shift || true
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_ops bench_serving
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_micro_ops bench_serving bench_retrieval
 
 "$BUILD_DIR"/bench/bench_micro_ops --json "$OUT" "$@"
+
+# Retrieval smoke: small catalog, short timed windows; prints recall@50 and
+# users/sec for exact vs IVF int8 but does not overwrite the committed
+# full-scale artifact.
+"$BUILD_DIR"/bench/bench_retrieval --items 10000 --min_time_s 0.2
 
 # Serving smoke: short phases, slow-worker fault in the overload phase so
 # the per-tier fractions exercise the whole ladder.

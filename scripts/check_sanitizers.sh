@@ -17,7 +17,10 @@
 #      session cache, degrade breaker, completion hand-off) is
 #      multi-producer/multi-consumer by construction, and the chaos suite's
 #      "no deadlock, no drop under faults" guarantee is only credible when
-#      TSan watches the locks.
+#      TSan watches the locks. retrieval_test rides along: the IVF index
+#      parallelizes k-means assignment and batch queries over the pool and
+#      promises thread-count-invariant results, a claim worth checking
+#      under the race detector.
 #   3. Scalar-lane sweep: the ASan binaries rerun with CL4SREC_SIMD=off
 #      (runtime scalar dispatch over the kernel-heavy suites), then a
 #      -DCL4SREC_SIMD=off build compiles and runs simd_test — proving the
@@ -49,20 +52,24 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DCL4SREC_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
   --target parallel_test determinism_test eval_test integration_test \
-  obs_test prefetch_test alloc_test serve_test chaos_serve_test
+  obs_test prefetch_test alloc_test retrieval_test serve_test \
+  chaos_serve_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test|prefetch_test|alloc_test|serve_test|chaos_serve_test' "$@"
+  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test|prefetch_test|alloc_test|retrieval_test|serve_test|chaos_serve_test' "$@"
 echo "thread sanitizer suite passed"
 
 # Scalar dispatch under ASan: same binaries, vector lanes disabled at
 # runtime, over the suites that exercise the kernel layer hardest.
 # fused_test under CL4SREC_SIMD=off proves the scalar fallbacks of the
 # fused softmax-CE / NT-Xent / residual-LayerNorm kernels stay bit-equal.
+# retrieval_test here pins the int8 IVF contract where it matters most:
+# lane-independence is only real if the scalar dot_i8 path returns the
+# same bits the vector lanes do.
 CL4SREC_SIMD=off ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -j "$(nproc)" \
-  -R 'simd_test|tensor_test|parallel_test|determinism_test|optim_test|fused_test' "$@"
+  -R 'simd_test|tensor_test|parallel_test|determinism_test|optim_test|fused_test|retrieval_test' "$@"
 echo "scalar-dispatch (CL4SREC_SIMD=off) asan suite passed"
 
 # Scalar-only BUILD: no vector TU is compiled at all; simd_test must still
@@ -72,8 +79,8 @@ cmake -B "$SCALAR_BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCL4SREC_SIMD=off
 cmake --build "$SCALAR_BUILD_DIR" -j "$(nproc)" \
-  --target simd_test tensor_test fused_test
+  --target simd_test tensor_test fused_test retrieval_test
 ctest --test-dir "$SCALAR_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'simd_test|tensor_test|fused_test' "$@"
+  -R 'simd_test|tensor_test|fused_test|retrieval_test' "$@"
 echo "scalar-only build suite passed"
 echo "sanitizer suite passed"

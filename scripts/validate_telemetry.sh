@@ -14,7 +14,11 @@
 #     at exactly one tier or shed with a typed status — nothing vanishes),
 #   - serve.latency_ms histogram count == answered total,
 #   - batcher/cache counters are self-consistent,
-#   - the trace contains serve/batch spans from the worker loop.
+#   - the trace contains serve/batch spans from the worker loop,
+#   - with --retrieval the tier-0 path goes through the IVF index, so the
+#     retrieval.* counters (queries, probes, scanned_rows) must be
+#     positive and consistent, and the trace must carry retrieval/query
+#     spans.
 #
 # Usage: scripts/validate_telemetry.sh
 set -euo pipefail
@@ -98,7 +102,7 @@ PYEOF
 # checked against a non-trivial mix, not just the tier-0 happy path.
 "$BUILD_DIR/bench/bench_serving" \
   --duration_ms 500 --slow_worker_ms 10 --slow_batch_ms 8 \
-  --overload_deadline_ms 25 \
+  --overload_deadline_ms 25 --retrieval \
   --trace_out "$OUT_DIR/serve_trace.json" \
   --metrics_out "$OUT_DIR/serve_metrics.json"
 
@@ -160,8 +164,24 @@ assert serve_spans, "trace missing serve/batch spans"
 assert batches == len(serve_spans), \
     f"{len(serve_spans)} serve/batch spans but {batches} batches"
 
+# 7. --retrieval routed tier-0 through the IVF index: every served batch
+#    issues one RetrieveBatch over its live requests, so the retrieval
+#    counters must be positive and mutually consistent, and the query
+#    spans must show up in the trace.
+queries = counter("retrieval.queries")
+assert queries > 0, "--retrieval run recorded no retrieval.queries"
+assert counter("retrieval.probes") >= queries, \
+    "each IVF query must probe at least one cell"
+assert counter("retrieval.scanned_rows") >= queries, \
+    "each IVF query must scan at least one row"
+assert counter("retrieval.shortlist") >= queries, \
+    "each IVF query must shortlist at least one row"
+retrieval_spans = [e for e in events if e["name"] == "retrieval/query"]
+assert retrieval_spans, "trace missing retrieval/query spans"
+
 print(f"serving telemetry OK: {requests} requests = {answered} answered + "
-      f"{shed} shed, {batches} batches, {len(serve_spans)} serve/batch spans")
+      f"{shed} shed, {batches} batches, {len(serve_spans)} serve/batch "
+      f"spans, {queries} retrieval queries")
 PYEOF
 
 echo "telemetry validation passed"

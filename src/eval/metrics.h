@@ -16,6 +16,10 @@
 
 namespace cl4srec {
 
+namespace retrieval {
+class Retriever;
+}  // namespace retrieval
+
 struct MetricReport {
   // hr[k] and ndcg[k] averaged over evaluated users.
   std::map<int64_t, double> hr;
@@ -42,6 +46,10 @@ struct EvalOptions {
   EvalSplit split = EvalSplit::kTest;
   std::vector<int64_t> cutoffs = {5, 10, 20};
   int64_t batch_size = 256;
+  // Candidates fetched per user by EvaluateRetrievedRanking (ignored by the
+  // full-scoring paths). 0 = auto: max cutoff + the batch's largest
+  // seen-item count, so exclusions can never starve the cutoffs.
+  int64_t retrieval_depth = 0;
 };
 
 // Scores a batch: given user ids and their input sequences, returns a
@@ -66,6 +74,26 @@ MetricReport EvaluateSampledRanking(const SequenceDataset& data,
                                     const ScoreBatchFn& score_batch,
                                     int64_t num_negatives, uint64_t seed,
                                     const EvalOptions& options = {});
+
+// Encodes a batch: returns the [B, dim] user-state matrix whose rows are
+// dotted against item embeddings (the factored form of ScoreBatchFn when the
+// model's final score is state . item_embedding).
+using EncodeBatchFn = std::function<Tensor(
+    const std::vector<int64_t>& users,
+    const std::vector<std::vector<int64_t>>& inputs)>;
+
+// Retrieval-based evaluation: ranks each user's target within the top
+// retrieval_depth candidates fetched from `retriever` instead of scoring the
+// full catalog. With an ExactRetriever (and ties aside) this reproduces
+// EvaluateRanking; with an IvfRetriever it measures the metric impact of
+// approximate retrieval directly. A target missing from the candidate list
+// ranks num_items + 1 (counts zero toward every cutoff), so reported
+// HR/NDCG are a lower bound on the full-scoring metric; ties at the target
+// score rank pessimistically, as in RankOfTarget.
+MetricReport EvaluateRetrievedRanking(const SequenceDataset& data,
+                                      const EncodeBatchFn& encode_batch,
+                                      retrieval::Retriever* retriever,
+                                      const EvalOptions& options = {});
 
 }  // namespace cl4srec
 

@@ -1,0 +1,452 @@
+// IVF (inverted-file) approximate top-K retrieval.
+//
+// Build: k-means on a sample partitions the catalog into num_clusters cells;
+// every item is assigned to its best cell (assignment is exact and chunked —
+// only k-means *training* samples). Rows are then permuted cluster-major so
+// each cell is one contiguous strip for the scan kernels, and quantized to
+// int8 (see quantized_table.h).
+//
+// Query: score the cell centroids, scan the top-nprobe cells through the
+// int8 store, keep a rerank-sized shortlist on a bounded heap, then re-score
+// the shortlist exactly from the fp32 rows (scalar double accumulation, fixed
+// order) and return the top-k of that. The re-rank absorbs the int8
+// rounding, so recall is governed almost entirely by nprobe.
+//
+// k-means objective: cells maximize the inner product a query is likely to
+// achieve, so assignment uses argmax_c dot(x, c) - 0.5*||c||^2 — the
+// squared-L2-nearest centroid rewritten without the ||x||^2 term, which is
+// constant per item.
+
+#include "retrieval/retriever.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/parallel.h"
+#include "tensor/simd/kernels_common.h"
+#include "tensor/simd/simd.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace retrieval {
+namespace {
+
+// Assignment chunk: bounds the [chunk, num_clusters] score matrix to a few
+// MB at the 4096-cluster cap.
+constexpr int64_t kAssignChunk = 4096;
+
+// argmax_c scores[c] - 0.5*||c||^2, ties toward the lower cluster id.
+inline int64_t BestCluster(const float* scores, const double* half_norms,
+                           int64_t num_clusters) {
+  int64_t best = 0;
+  double best_val = double(scores[0]) - half_norms[0];
+  for (int64_t c = 1; c < num_clusters; ++c) {
+    const double v = double(scores[c]) - half_norms[c];
+    if (v > best_val) {
+      best_val = v;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void CentroidHalfNorms(const Tensor& centroids, std::vector<double>* out) {
+  const int64_t c = centroids.dim(0);
+  const int64_t d = centroids.dim(1);
+  out->resize(static_cast<size_t>(c));
+  for (int64_t i = 0; i < c; ++i) {
+    (*out)[static_cast<size_t>(i)] =
+        0.5 * simd::ref::SumSquares(centroids.data() + i * d, d);
+  }
+}
+
+// Chunked exact assignment of every row of `items` to its best centroid.
+void AssignAll(const Tensor& items, const Tensor& centroids,
+               std::vector<int32_t>* assign) {
+  const int64_t n = items.dim(0);
+  const int64_t d = items.dim(1);
+  const int64_t c = centroids.dim(0);
+  std::vector<double> half_norms;
+  CentroidHalfNorms(centroids, &half_norms);
+  assign->resize(static_cast<size_t>(n));
+  for (int64_t base = 0; base < n; base += kAssignChunk) {
+    const int64_t b = std::min(kAssignChunk, n - base);
+    Tensor chunk({b, d});
+    std::memcpy(chunk.data(), items.data() + base * d,
+                static_cast<size_t>(b * d) * sizeof(float));
+    const Tensor scores = MatMul(chunk, centroids, false, /*trans_b=*/true);
+    const float* s = scores.data();
+    parallel::ParallelFor(0, b, 64, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        (*assign)[static_cast<size_t>(base + i)] = static_cast<int32_t>(
+            BestCluster(s + i * c, half_norms.data(), c));
+      }
+    });
+  }
+}
+
+}  // namespace
+
+IvfRetriever::IvfRetriever(const Tensor& item_embeddings,
+                           const IvfRetrieverOptions& options)
+    : options_(options) {
+  Rebuild(item_embeddings);
+}
+
+void IvfRetriever::Rebuild(const Tensor& item_embeddings) {
+  CL4SREC_TRACE_SPAN_CAT("retrieval/build", "retrieval");
+  CL4SREC_CHECK_EQ(item_embeddings.ndim(), 2);
+  CL4SREC_CHECK_GE(item_embeddings.dim(0), 1);
+  num_items_ = item_embeddings.dim(0) - 1;
+  dim_ = item_embeddings.dim(1);
+
+  // Items without the padding row: rows 1..N of the table.
+  Tensor items01({std::max<int64_t>(num_items_, 1), dim_});
+  if (num_items_ > 0) {
+    std::memcpy(items01.data(), item_embeddings.data() + dim_,
+                static_cast<size_t>(num_items_ * dim_) * sizeof(float));
+  } else {
+    std::memset(items01.data(), 0,
+                static_cast<size_t>(items01.numel()) * sizeof(float));
+  }
+
+  // Resolve the auto parameters. ~4*sqrt(N) cells keeps both the probe
+  // (num_clusters dots) and the scan (nprobe * N / num_clusters rows)
+  // sublinear; the 4096 cap bounds probe cost at the million-item end.
+  const int64_t n_for_params = std::max<int64_t>(num_items_, 1);
+  num_clusters_ = options_.num_clusters > 0
+                      ? options_.num_clusters
+                      : static_cast<int64_t>(
+                            4.0 * std::sqrt(static_cast<double>(n_for_params)));
+  num_clusters_ = std::min<int64_t>(num_clusters_, 4096);
+  num_clusters_ = std::max<int64_t>(1, std::min(num_clusters_, n_for_params));
+  nprobe_ = options_.nprobe > 0 ? options_.nprobe
+                                : std::max<int64_t>(1, num_clusters_ / 32);
+  nprobe_ = std::max<int64_t>(1, std::min(nprobe_, num_clusters_));
+  rerank_ = std::max<int64_t>(0, options_.rerank);  // 0 = auto per query.
+
+  TrainCoarseQuantizer(items01);
+  AssignAndPack(items01);
+}
+
+void IvfRetriever::TrainCoarseQuantizer(const Tensor& items01) {
+  const int64_t n = num_items_ > 0 ? num_items_ : 1;
+  const int64_t d = dim_;
+  const int64_t sample_n =
+      std::min<int64_t>(n, std::max(num_clusters_, options_.kmeans_sample));
+
+  // Deterministic sample: shuffle 0..N-1 with the option seed, take a prefix.
+  Rng rng(options_.seed);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  if (sample_n < n) rng.Shuffle(order.begin(), order.end());
+
+  Tensor sample({sample_n, d});
+  for (int64_t i = 0; i < sample_n; ++i) {
+    std::memcpy(sample.data() + i * d, items01.data() + order[i] * d,
+                static_cast<size_t>(d) * sizeof(float));
+  }
+
+  // Init: the first num_clusters sampled rows (distinct by construction).
+  centroids_ = Tensor({num_clusters_, d});
+  std::memcpy(centroids_.data(), sample.data(),
+              static_cast<size_t>(num_clusters_ * d) * sizeof(float));
+
+  std::vector<int32_t> assign;
+  std::vector<double> sums(static_cast<size_t>(num_clusters_ * d));
+  std::vector<int64_t> counts(static_cast<size_t>(num_clusters_));
+  for (int64_t iter = 0; iter < options_.kmeans_iters; ++iter) {
+    AssignAll(sample, centroids_, &assign);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    const float* src = sample.data();
+    for (int64_t i = 0; i < sample_n; ++i) {
+      const int64_t c = assign[static_cast<size_t>(i)];
+      double* acc = sums.data() + c * d;
+      const float* row = src + i * d;
+      for (int64_t j = 0; j < d; ++j) acc[j] += row[j];
+      ++counts[static_cast<size_t>(c)];
+    }
+    for (int64_t c = 0; c < num_clusters_; ++c) {
+      float* dst = centroids_.data() + c * d;
+      if (counts[static_cast<size_t>(c)] > 0) {
+        const double inv = 1.0 / double(counts[static_cast<size_t>(c)]);
+        const double* acc = sums.data() + c * d;
+        for (int64_t j = 0; j < d; ++j) {
+          dst[j] = static_cast<float>(acc[j] * inv);
+        }
+      } else {
+        // Empty cell: reseed from a deterministic sample row so the cell
+        // count never silently collapses.
+        const int64_t r = rng.UniformInt(sample_n);
+        std::memcpy(dst, src + r * d, static_cast<size_t>(d) * sizeof(float));
+      }
+    }
+  }
+}
+
+void IvfRetriever::AssignAndPack(const Tensor& items01) {
+  const int64_t d = dim_;
+  std::vector<int32_t> assign;
+  if (num_items_ > 0) {
+    AssignAll(items01, centroids_, &assign);
+  }
+
+  offsets_.assign(static_cast<size_t>(num_clusters_ + 1), 0);
+  for (int32_t c : assign) ++offsets_[static_cast<size_t>(c) + 1];
+  for (int64_t c = 0; c < num_clusters_; ++c) {
+    offsets_[static_cast<size_t>(c + 1)] += offsets_[static_cast<size_t>(c)];
+  }
+
+  // Stable pack: items visited in id order land in ascending-id order within
+  // each cell, so the scan position order (and every tie-break derived from
+  // it) is deterministic.
+  ids_.assign(static_cast<size_t>(num_items_), 0);
+  packed_ = Tensor({std::max<int64_t>(num_items_, 1), d});
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (int64_t i = 0; i < num_items_; ++i) {
+    const int64_t c = assign[static_cast<size_t>(i)];
+    const int64_t pos = cursor[static_cast<size_t>(c)]++;
+    ids_[static_cast<size_t>(pos)] = i + 1;  // Back to 1-based item ids.
+    std::memcpy(packed_.data() + pos * d, items01.data() + i * d,
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  if (num_items_ == 0) {
+    std::memset(packed_.data(), 0,
+                static_cast<size_t>(packed_.numel()) * sizeof(float));
+  }
+
+  if (options_.quantize) {
+    quantized_.Build(packed_);
+    qcentroids_.Build(centroids_);
+  } else {
+    quantized_ = QuantizedTable();
+    qcentroids_ = QuantizedTable();
+  }
+}
+
+int64_t IvfRetriever::bytes() const {
+  int64_t total = 0;
+  total += centroids_.numel() * static_cast<int64_t>(sizeof(float));
+  total += packed_.numel() * static_cast<int64_t>(sizeof(float));
+  total += static_cast<int64_t>(ids_.size() * sizeof(int64_t));
+  total += static_cast<int64_t>(offsets_.size() * sizeof(int64_t));
+  // Quantized payloads plus their per-row fp32 scales.
+  total += quantized_.bytes() + quantized_.rows() * 4;
+  total += qcentroids_.bytes() + qcentroids_.rows() * 4;
+  return total;
+}
+
+void IvfRetriever::RetrieveOne(const float* query, int64_t k,
+                               std::vector<ScoredItem>* out, int64_t* probed,
+                               int64_t* scanned, int64_t* shortlisted,
+                               int64_t* promoted) const {
+  const int64_t want = std::min(k, num_items_);
+  out->clear();
+  if (want <= 0) return;
+  const int64_t d = dim_;
+
+  // Per-thread scratch — RetrieveBatch fans queries across the pool and the
+  // scan loops must stay allocation-free after warm-up.
+  thread_local std::vector<int8_t> q8;
+  thread_local std::vector<float> cell_scores;
+  thread_local std::vector<float> scan_scores;
+  thread_local std::vector<int64_t> approx_ids;
+
+  // The scan visits cells best-first and stops once nprobe cells are done
+  // AND at least `want` rows were covered — the extension past nprobe
+  // guarantees min(k, N) results even on tiny or skewed indexes, without
+  // changing which cells a well-filled query visits. Only the top `select`
+  // cells are ranked per attempt: a bounded heap rejects the other
+  // C - select cells with one comparison each, where ranking (and sorting)
+  // all C cells cost O(C log C) per query and dominated small-nprobe
+  // queries. When the selected cells hold too few rows, the selection
+  // doubles and the scan restarts — the visited cells are a prefix of the
+  // full cell ranking either way, so results are bit-identical to ranking
+  // everything.
+  if (options_.quantize) {
+    // Quantize the query once; both the probe and the scan run in exact
+    // int32 arithmetic, so nothing downstream depends on lane or threads.
+    q8.resize(static_cast<size_t>(quantized_.row_stride()));
+    const float q_scale = quantized_.QuantizeQuery(query, q8.data());
+
+    cell_scores.resize(static_cast<size_t>(num_clusters_));
+    qcentroids_.ScoreRange(0, num_clusters_, q8.data(), q_scale,
+                           cell_scores.data());
+
+    const int64_t depth =
+        rerank_ > 0 ? rerank_ : std::max<int64_t>(2 * want, want + 32);
+    TopKHeap shortlist_heap(depth);
+    int64_t select = std::min(num_clusters_, nprobe_);
+    int64_t cells_visited = 0;
+    int64_t scanned_rows = 0;
+    for (;;) {
+      TopKHeap cell_heap(select);
+      for (int64_t c = 0; c < num_clusters_; ++c) {
+        cell_heap.Push(c, cell_scores[static_cast<size_t>(c)]);
+      }
+      const std::vector<ScoredItem> cells = cell_heap.Take();
+      shortlist_heap.Reset(depth);
+      cells_visited = 0;
+      scanned_rows = 0;
+      int64_t rows_covered = 0;
+      bool satisfied = false;
+      for (const ScoredItem& cell : cells) {
+        if (cells_visited >= nprobe_ && rows_covered >= want) {
+          satisfied = true;
+          break;
+        }
+        ++cells_visited;
+        const int64_t begin = offsets_[static_cast<size_t>(cell.id)];
+        const int64_t end = offsets_[static_cast<size_t>(cell.id) + 1];
+        const int64_t count = end - begin;
+        if (count == 0) continue;
+        rows_covered += count;
+        scanned_rows += count;
+        scan_scores.resize(static_cast<size_t>(count));
+        quantized_.ScoreRange(begin, count, q8.data(), q_scale,
+                              scan_scores.data());
+        for (int64_t i = 0; i < count; ++i) {
+          // Keyed by packed position: the re-rank needs the row, and
+          // position order is itself deterministic (ascending id within a
+          // cell).
+          shortlist_heap.Push(begin + i,
+                              scan_scores[static_cast<size_t>(i)]);
+        }
+      }
+      if (satisfied || rows_covered >= want || select >= num_clusters_) break;
+      select = std::min(num_clusters_, select * 2);
+    }
+    *probed += cells_visited;
+    *scanned += scanned_rows;
+    const std::vector<ScoredItem> shortlist = shortlist_heap.Take();
+    *shortlisted += static_cast<int64_t>(shortlist.size());
+
+    // Exact re-rank in scalar double, keyed by the original item id so ties
+    // resolve exactly as ExactRetriever resolves them.
+    TopKHeap final_heap(want);
+    for (const ScoredItem& s : shortlist) {
+      const int64_t pos = s.id;
+      const float exact = static_cast<float>(
+          simd::ref::Dot(query, packed_.data() + pos * d, d));
+      final_heap.Push(ids_[static_cast<size_t>(pos)], exact);
+    }
+    *out = final_heap.Take();
+
+    // How many winners the int8 scan had *outside* its approximate top-want
+    // prefix — a direct read on how much work the re-rank is doing.
+    const int64_t prefix =
+        std::min<int64_t>(want, static_cast<int64_t>(shortlist.size()));
+    approx_ids.clear();
+    for (int64_t i = 0; i < prefix; ++i) {
+      approx_ids.push_back(ids_[static_cast<size_t>(shortlist[i].id)]);
+    }
+    std::sort(approx_ids.begin(), approx_ids.end());
+    for (const ScoredItem& r : *out) {
+      if (!std::binary_search(approx_ids.begin(), approx_ids.end(), r.id)) {
+        ++*promoted;
+      }
+    }
+    return;
+  }
+
+  // fp32 path: the scan is already exact, so winners go straight into the
+  // final heap — no shortlist, no re-rank. Same bounded cell selection
+  // with doubling restart as the int8 path.
+  const simd::KernelTable& kt = simd::Kernels();
+  cell_scores.resize(static_cast<size_t>(num_clusters_));
+  for (int64_t c = 0; c < num_clusters_; ++c) {
+    cell_scores[static_cast<size_t>(c)] = static_cast<float>(
+        kt.dot(query, centroids_.data() + c * d, d));
+  }
+
+  TopKHeap final_heap(want);
+  int64_t select = std::min(num_clusters_, nprobe_);
+  int64_t cells_visited = 0;
+  int64_t scanned_rows = 0;
+  for (;;) {
+    TopKHeap cell_heap(select);
+    for (int64_t c = 0; c < num_clusters_; ++c) {
+      cell_heap.Push(c, cell_scores[static_cast<size_t>(c)]);
+    }
+    const std::vector<ScoredItem> cells = cell_heap.Take();
+    final_heap.Reset(want);
+    cells_visited = 0;
+    scanned_rows = 0;
+    int64_t rows_covered = 0;
+    bool satisfied = false;
+    for (const ScoredItem& cell : cells) {
+      if (cells_visited >= nprobe_ && rows_covered >= want) {
+        satisfied = true;
+        break;
+      }
+      ++cells_visited;
+      const int64_t begin = offsets_[static_cast<size_t>(cell.id)];
+      const int64_t end = offsets_[static_cast<size_t>(cell.id) + 1];
+      rows_covered += end - begin;
+      scanned_rows += end - begin;
+      for (int64_t pos = begin; pos < end; ++pos) {
+        const float score = static_cast<float>(
+            kt.dot(query, packed_.data() + pos * d, d));
+        final_heap.Push(ids_[static_cast<size_t>(pos)], score);
+      }
+    }
+    if (satisfied || rows_covered >= want || select >= num_clusters_) break;
+    select = std::min(num_clusters_, select * 2);
+  }
+  *probed += cells_visited;
+  *scanned += scanned_rows;
+  *out = final_heap.Take();
+}
+
+void IvfRetriever::RetrieveBatch(
+    const float* queries, int64_t num_queries, int64_t k,
+    std::vector<std::vector<ScoredItem>>* results) {
+  CL4SREC_TRACE_SPAN_CAT("retrieval/query", "retrieval");
+  Stopwatch timer;
+  results->assign(static_cast<size_t>(num_queries), {});
+
+  std::atomic<int64_t> probed{0}, scanned{0}, shortlisted{0}, promoted{0};
+  parallel::ParallelFor(0, num_queries, 1, [&](int64_t lo, int64_t hi) {
+    int64_t p = 0, s = 0, sl = 0, pr = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      RetrieveOne(queries + i * dim_, k,
+                  &(*results)[static_cast<size_t>(i)], &p, &s, &sl, &pr);
+    }
+    probed.fetch_add(p, std::memory_order_relaxed);
+    scanned.fetch_add(s, std::memory_order_relaxed);
+    shortlisted.fetch_add(sl, std::memory_order_relaxed);
+    promoted.fetch_add(pr, std::memory_order_relaxed);
+  });
+
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const queries_counter =
+      registry.GetCounter("retrieval.queries");
+  static obs::Counter* const probes_counter =
+      registry.GetCounter("retrieval.probes");
+  static obs::Counter* const scanned_counter =
+      registry.GetCounter("retrieval.scanned_rows");
+  static obs::Counter* const shortlist_counter =
+      registry.GetCounter("retrieval.shortlist");
+  static obs::Counter* const promoted_counter =
+      registry.GetCounter("retrieval.rerank_promoted");
+  static obs::Histogram* const batch_ms = registry.GetHistogram(
+      "retrieval.batch_ms", obs::DefaultLatencyBoundsMs());
+  queries_counter->Add(num_queries);
+  probes_counter->Add(probed.load(std::memory_order_relaxed));
+  scanned_counter->Add(scanned.load(std::memory_order_relaxed));
+  shortlist_counter->Add(shortlisted.load(std::memory_order_relaxed));
+  promoted_counter->Add(promoted.load(std::memory_order_relaxed));
+  batch_ms->Observe(timer.ElapsedMillis());
+}
+
+}  // namespace retrieval
+}  // namespace cl4srec

@@ -1,0 +1,139 @@
+#include "retrieval/quantized_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/aligned.h"
+#include "tensor/simd/simd.h"
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace retrieval {
+namespace {
+
+// Symmetric round-to-nearest into [-127, 127]. std::round (half away from
+// zero) is rounding-mode independent, so quantization is deterministic
+// everywhere. inv_scale == 0 encodes an all-zero vector.
+inline int8_t QuantizeValue(float x, float inv_scale) {
+  const float scaled = x * inv_scale;
+  const float rounded = std::round(scaled);
+  const float clamped = std::min(127.f, std::max(-127.f, rounded));
+  return static_cast<int8_t>(clamped);
+}
+
+// scale = max|x| / 127; returns 0 for an all-zero (or empty) vector.
+inline float RowScale(const float* x, int64_t n) {
+  float amax = 0.f;
+  for (int64_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(x[i]));
+  return amax / 127.f;
+}
+
+inline void QuantizeRow(const float* x, int64_t n, int64_t stride, float scale,
+                        int8_t* out) {
+  if (scale > 0.f) {
+    const float inv_scale = 1.f / scale;
+    for (int64_t i = 0; i < n; ++i) out[i] = QuantizeValue(x[i], inv_scale);
+  } else {
+    std::memset(out, 0, static_cast<size_t>(n));
+  }
+  if (stride > n) std::memset(out + n, 0, static_cast<size_t>(stride - n));
+}
+
+}  // namespace
+
+QuantizedTable::~QuantizedTable() { Free(); }
+
+QuantizedTable::QuantizedTable(QuantizedTable&& other) noexcept
+    : data_(other.data_),
+      scales_(std::move(other.scales_)),
+      rows_(other.rows_),
+      dim_(other.dim_),
+      stride_(other.stride_) {
+  other.data_ = nullptr;
+  other.rows_ = other.dim_ = other.stride_ = 0;
+}
+
+QuantizedTable& QuantizedTable::operator=(QuantizedTable&& other) noexcept {
+  if (this == &other) return *this;
+  Free();
+  data_ = other.data_;
+  scales_ = std::move(other.scales_);
+  rows_ = other.rows_;
+  dim_ = other.dim_;
+  stride_ = other.stride_;
+  other.data_ = nullptr;
+  other.rows_ = other.dim_ = other.stride_ = 0;
+  return *this;
+}
+
+void QuantizedTable::Free() {
+  if (data_ != nullptr) AlignedFree(data_);
+  data_ = nullptr;
+}
+
+void QuantizedTable::Build(const Tensor& table) {
+  CL4SREC_CHECK_EQ(table.ndim(), 2);
+  Free();
+  rows_ = table.dim(0);
+  dim_ = table.dim(1);
+  stride_ = static_cast<int64_t>(
+      AlignedRoundUp(static_cast<size_t>(std::max<int64_t>(dim_, 1))));
+  scales_.assign(static_cast<size_t>(rows_), 0.f);
+  data_ = static_cast<int8_t*>(
+      AlignedAlloc(static_cast<size_t>(rows_ * stride_)));
+  const float* src = table.data();
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* row = src + r * dim_;
+    const float scale = RowScale(row, dim_);
+    scales_[static_cast<size_t>(r)] = scale;
+    QuantizeRow(row, dim_, stride_, scale, data_ + r * stride_);
+  }
+}
+
+float QuantizedTable::QuantizeQuery(const float* query, int8_t* out) const {
+  const float scale = RowScale(query, dim_);
+  QuantizeRow(query, dim_, stride_, scale, out);
+  return scale;
+}
+
+void QuantizedTable::ScoreIds(const int64_t* ids, int64_t count,
+                              const int8_t* q, float q_scale,
+                              float* scores) const {
+  const simd::KernelTable& kt = simd::Kernels();
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t r = ids[i];
+    const int32_t raw = kt.dot_i8(data_ + r * stride_, q, dim_);
+    scores[i] = row_scale(r) * q_scale * static_cast<float>(raw);
+  }
+}
+
+void QuantizedTable::ScoreRange(int64_t row0, int64_t count, const int8_t* q,
+                                float q_scale, float* scores) const {
+  CL4SREC_CHECK_LE(row0 + count, rows_);
+  const simd::KernelTable& kt = simd::Kernels();
+  // Raw int32 dots go through a stack chunk buffer (2 KiB), keeping the
+  // scan loop allocation-free without type-punning the caller's floats.
+  constexpr int64_t kChunk = 512;
+  int32_t raw[kChunk];
+  for (int64_t base = 0; base < count; base += kChunk) {
+    const int64_t c = std::min(kChunk, count - base);
+    kt.dot_i8_batch(data_ + (row0 + base) * stride_, stride_, c, q, dim_,
+                    raw);
+    for (int64_t i = 0; i < c; ++i) {
+      scores[base + i] =
+          row_scale(row0 + base + i) * q_scale * static_cast<float>(raw[i]);
+    }
+  }
+}
+
+void QuantizedTable::DequantizeRow(int64_t r, float* out) const {
+  const int8_t* row = row_data(r);
+  const float scale = row_scale(r);
+  for (int64_t i = 0; i < dim_; ++i) {
+    out[i] = scale * static_cast<float>(row[i]);
+  }
+}
+
+}  // namespace retrieval
+}  // namespace cl4srec

@@ -1,0 +1,89 @@
+// Int8 symmetrically-quantized embedding table for the retrieval scan.
+//
+// Layout: each fp32 row [dim] becomes an int8 row padded to a 64-byte
+// multiple (AlignedAlloc base + cache-line row stride, so every row feeds
+// full-width aligned vector loads and no row straddles into its neighbor's
+// line). Quantization is symmetric per row: scale = max|x| / 127, values
+// round-to-nearest into [-127, 127]. -128 is deliberately never produced —
+// that keeps the AVX2 vpmaddubsw kernel saturation-free (see simd.h) and
+// makes the representable range symmetric, so dequantization error is at
+// most scale/2 per element.
+//
+// A dot product against a query quantized the same way reconstructs as
+//   score ≈ row_scale * query_scale * dot_i8(row, query)
+// with all the integer work running through the dispatched dot_i8 /
+// dot_i8_batch kernels — exact integer arithmetic, so scores are
+// bit-identical across SIMD lanes (the float rescale is one multiply in
+// fixed order). At dim 64 the int8 rows are 4x smaller than fp32 and the
+// AVX2/VNNI kernels process 32-64 products per instruction, which is where
+// the IVF scan's throughput comes from.
+
+#ifndef CL4SREC_RETRIEVAL_QUANTIZED_TABLE_H_
+#define CL4SREC_RETRIEVAL_QUANTIZED_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+namespace retrieval {
+
+class QuantizedTable {
+ public:
+  QuantizedTable() = default;
+  explicit QuantizedTable(const Tensor& table) { Build(table); }
+  ~QuantizedTable();
+
+  QuantizedTable(QuantizedTable&& other) noexcept;
+  QuantizedTable& operator=(QuantizedTable&& other) noexcept;
+  QuantizedTable(const QuantizedTable&) = delete;
+  QuantizedTable& operator=(const QuantizedTable&) = delete;
+
+  // (Re)quantizes a [rows, dim] fp32 table. Row padding bytes are zeroed so
+  // kernels may read the full stride.
+  void Build(const Tensor& table);
+
+  int64_t rows() const { return rows_; }
+  int64_t dim() const { return dim_; }
+  // Bytes per row; a multiple of 64.
+  int64_t row_stride() const { return stride_; }
+  // Total quantized storage in bytes (scales excluded).
+  int64_t bytes() const { return rows_ * stride_; }
+
+  const int8_t* row_data(int64_t r) const { return data_ + r * stride_; }
+  float row_scale(int64_t r) const {
+    return scales_[static_cast<size_t>(r)];
+  }
+
+  // Quantizes a query vector of dim() floats with the same symmetric rule;
+  // returns the query scale (0 for an all-zero query — every reconstructed
+  // score is then exactly 0). `out` must hold row_stride() bytes; the tail
+  // past dim() is zeroed to match the row padding.
+  float QuantizeQuery(const float* query, int8_t* out) const;
+
+  // scores[i] = row_scale(ids[i]) * q_scale * dot_i8(row(ids[i]), q).
+  void ScoreIds(const int64_t* ids, int64_t count, const int8_t* q,
+                float q_scale, float* scores) const;
+  // Same over the contiguous row range [row0, row0 + count) — the IVF
+  // cluster-scan shape, routed through the batched kernel.
+  void ScoreRange(int64_t row0, int64_t count, const int8_t* q, float q_scale,
+                  float* scores) const;
+
+  // Reconstructs row r into out[0..dim()) (tests / error-bound checks).
+  void DequantizeRow(int64_t r, float* out) const;
+
+ private:
+  void Free();
+
+  int8_t* data_ = nullptr;  // AlignedAlloc'd, rows_ * stride_ bytes.
+  std::vector<float> scales_;
+  int64_t rows_ = 0;
+  int64_t dim_ = 0;
+  int64_t stride_ = 0;
+};
+
+}  // namespace retrieval
+}  // namespace cl4srec
+
+#endif  // CL4SREC_RETRIEVAL_QUANTIZED_TABLE_H_

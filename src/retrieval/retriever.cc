@@ -1,0 +1,75 @@
+#include "retrieval/retriever.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/parallel.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace retrieval {
+
+void Retriever::Retrieve(const float* query, int64_t k,
+                         std::vector<ScoredItem>* out) {
+  std::vector<std::vector<ScoredItem>> results;
+  RetrieveBatch(query, 1, k, &results);
+  *out = std::move(results[0]);
+}
+
+ExactRetriever::ExactRetriever(const Tensor& item_embeddings) {
+  Rebuild(item_embeddings);
+}
+
+void ExactRetriever::Rebuild(const Tensor& item_embeddings) {
+  CL4SREC_CHECK_EQ(item_embeddings.ndim(), 2);
+  CL4SREC_CHECK_GE(item_embeddings.dim(0), 1);
+  table_ = item_embeddings;  // Shared storage, no copy.
+}
+
+void ExactRetriever::RetrieveBatch(
+    const float* queries, int64_t num_queries, int64_t k,
+    std::vector<std::vector<ScoredItem>>* results) {
+  CL4SREC_TRACE_SPAN_CAT("retrieval/query", "retrieval");
+  Stopwatch timer;
+  const int64_t n = num_items();
+  const int64_t d = dim();
+  const int64_t want = std::min(k, n);
+  results->assign(static_cast<size_t>(num_queries), {});
+
+  // Chunk the score matrix so a million-item catalog doesn't materialize
+  // B x (N+1) floats at once (~128 MB ceiling per chunk).
+  const int64_t max_chunk =
+      std::max<int64_t>(1, (int64_t{32} << 20) / std::max<int64_t>(1, n + 1));
+  for (int64_t q0 = 0; q0 < num_queries; q0 += max_chunk) {
+    const int64_t b = std::min(max_chunk, num_queries - q0);
+    Tensor q({b, d});
+    std::memcpy(q.data(), queries + q0 * d,
+                static_cast<size_t>(b * d) * sizeof(float));
+    const Tensor scores = MatMul(q, table_, false, /*trans_b=*/true);
+    const float* s = scores.data();
+    parallel::ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        (*results)[static_cast<size_t>(q0 + i)] =
+            TopKFromScores(s + i * (n + 1), n, want);
+      }
+    });
+  }
+
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const queries_counter =
+      registry.GetCounter("retrieval.queries");
+  static obs::Counter* const scanned_counter =
+      registry.GetCounter("retrieval.scanned_rows");
+  static obs::Histogram* const batch_ms = registry.GetHistogram(
+      "retrieval.batch_ms", obs::DefaultLatencyBoundsMs());
+  queries_counter->Add(num_queries);
+  scanned_counter->Add(num_queries * n);
+  batch_ms->Observe(timer.ElapsedMillis());
+}
+
+}  // namespace retrieval
+}  // namespace cl4srec

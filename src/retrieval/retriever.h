@@ -1,0 +1,163 @@
+// Candidate retrieval behind one interface: given encoded user states
+// (queries), return the top-K catalog items by inner product.
+//
+// Two implementations:
+//
+//   ExactRetriever  scores every item — the pre-existing full-catalog
+//                   scoring path (eval full ranking, serving tier 0)
+//                   refactored behind the interface. Ground truth for
+//                   recall measurements; O(items) per query.
+//
+//   IvfRetriever    inverted-file ANN index: a k-means coarse quantizer
+//                   partitions the items into nlist clusters; a query scans
+//                   only the nprobe clusters whose centroids score highest,
+//                   then exactly re-ranks a small shortlist in fp32/f64.
+//                   With the int8-quantized store (default) the cluster
+//                   scan runs through the dispatched dot_i8 kernels at 4x
+//                   the memory density of fp32. O(items * nprobe / nlist)
+//                   per query.
+//
+// Item ids are 1..num_items (row 0 of the embedding table is the padding
+// slot and is never indexed or returned), matching the rest of the stack.
+//
+// Determinism: the IVF int8 query path (centroid probe, int8 scan, f64
+// re-rank) does all float math in fixed scalar order and all bulk math in
+// exact integer arithmetic, so for a FIXED built index the results are
+// bit-identical across SIMD lanes AND thread counts. ExactRetriever and the
+// fp32 (quantize=false) scan inherit MatMul/dot's contract instead:
+// bit-deterministic per dispatch choice and across thread counts,
+// tolerance-equal across lanes.
+
+#ifndef CL4SREC_RETRIEVAL_RETRIEVER_H_
+#define CL4SREC_RETRIEVAL_RETRIEVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "retrieval/quantized_table.h"
+#include "retrieval/topk.h"
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+namespace retrieval {
+
+class Retriever {
+ public:
+  virtual ~Retriever() = default;
+
+  // Top-k items for each of the `num_queries` row-major [num_queries, dim()]
+  // query vectors, best first (score descending, ties toward lower id). k is
+  // clamped to num_items(); fewer than k items are returned only when the
+  // catalog is smaller than k. Queries are independent — implementations
+  // parallelize over them without changing any per-query result.
+  virtual void RetrieveBatch(const float* queries, int64_t num_queries,
+                             int64_t k,
+                             std::vector<std::vector<ScoredItem>>* results) = 0;
+
+  // Single-query convenience over RetrieveBatch.
+  void Retrieve(const float* query, int64_t k, std::vector<ScoredItem>* out);
+
+  // Rebuilds the index over a new [num_items + 1, dim] embedding table
+  // (row 0 is the padding slot). Used after the model's embeddings change.
+  virtual void Rebuild(const Tensor& item_embeddings) = 0;
+
+  virtual int64_t num_items() const = 0;
+  virtual int64_t dim() const = 0;
+  virtual const char* name() const = 0;
+};
+
+// Exact full-catalog scoring (queries x table^T via the blocked MatMul, then
+// a top-K heap per row).
+class ExactRetriever : public Retriever {
+ public:
+  // `item_embeddings` is [num_items + 1, dim]; the tensor is retained by
+  // value (shared storage, no copy).
+  explicit ExactRetriever(const Tensor& item_embeddings);
+
+  void RetrieveBatch(const float* queries, int64_t num_queries, int64_t k,
+                     std::vector<std::vector<ScoredItem>>* results) override;
+  void Rebuild(const Tensor& item_embeddings) override;
+  int64_t num_items() const override { return table_.dim(0) - 1; }
+  int64_t dim() const override { return table_.dim(1); }
+  const char* name() const override { return "exact"; }
+
+ private:
+  Tensor table_;  // [num_items + 1, dim]
+};
+
+struct IvfRetrieverOptions {
+  // Coarse-quantizer cluster count; 0 picks ~4*sqrt(num_items), clamped to
+  // [1, num_items].
+  int64_t num_clusters = 0;
+  // Clusters scanned per query; 0 picks max(1, num_clusters / 32). The scan
+  // extends past nprobe cells when the visited cells hold fewer than k rows,
+  // so retrieval always yields min(k, num_items) results.
+  int64_t nprobe = 0;
+  // Lloyd iterations for the k-means coarse quantizer.
+  int64_t kmeans_iters = 10;
+  // Rows sampled for k-means training (full assignment is always exact).
+  int64_t kmeans_sample = 1 << 16;
+  // Shortlist size re-ranked exactly per query; 0 picks max(2k, k + 32).
+  // The re-rank runs fixed-order scalar f64 dots, so depth is the knob that
+  // trades its (deterministic) cost against int8 ordering error.
+  int64_t rerank = 0;
+  // Scan the clusters through the int8 store (true) or fp32 rows (false —
+  // the scan is then already exact and no re-rank pass runs).
+  bool quantize = true;
+  uint64_t seed = 13;
+};
+
+class IvfRetriever : public Retriever {
+ public:
+  IvfRetriever(const Tensor& item_embeddings,
+               const IvfRetrieverOptions& options = {});
+
+  void RetrieveBatch(const float* queries, int64_t num_queries, int64_t k,
+                     std::vector<std::vector<ScoredItem>>* results) override;
+  void Rebuild(const Tensor& item_embeddings) override;
+  int64_t num_items() const override { return num_items_; }
+  int64_t dim() const override { return dim_; }
+  const char* name() const override {
+    return options_.quantize ? "ivf_int8" : "ivf_fp32";
+  }
+
+  // Resolved parameters (after the 0-means-auto defaults), for reporting.
+  int64_t num_clusters() const { return num_clusters_; }
+  int64_t nprobe() const { return nprobe_; }
+  int64_t rerank_depth() const { return rerank_; }
+  // Index storage: centroids + permuted rows (+ int8 store).
+  int64_t bytes() const;
+
+ private:
+  void TrainCoarseQuantizer(const Tensor& items01);  // items01: [N, dim]
+  void AssignAndPack(const Tensor& items01);
+  void RetrieveOne(const float* query, int64_t k,
+                   std::vector<ScoredItem>* out, int64_t* probed,
+                   int64_t* scanned, int64_t* shortlisted,
+                   int64_t* promoted) const;
+
+  IvfRetrieverOptions options_;
+  int64_t num_items_ = 0;
+  int64_t dim_ = 0;
+  int64_t num_clusters_ = 0;
+  int64_t nprobe_ = 0;
+  int64_t rerank_ = 0;
+
+  Tensor centroids_;            // [num_clusters, dim]
+  // Items permuted cluster-major: positions [offsets_[c], offsets_[c+1])
+  // belong to cluster c; ids_[pos] is the original item id.
+  std::vector<int64_t> offsets_;  // [num_clusters + 1]
+  std::vector<int64_t> ids_;      // [num_items]
+  Tensor packed_;                 // [num_items, dim] fp32, permuted rows
+  QuantizedTable quantized_;      // permuted rows, int8 (quantize=true)
+  // Centroids quantized with the same rule, so the probe step is also exact
+  // integer arithmetic — cluster selection can't flip on a float near-tie
+  // between lanes (quantize=true only).
+  QuantizedTable qcentroids_;
+};
+
+}  // namespace retrieval
+}  // namespace cl4srec
+
+#endif  // CL4SREC_RETRIEVAL_RETRIEVER_H_

@@ -1,0 +1,100 @@
+// Shared bounded top-K selection. Before this helper, exact top-K lived in
+// three places with three subtly different shapes: RankOfTarget's linear
+// scan in eval, TopKExcluding's full candidate partial_sort in serving, and
+// TopKIndices in tensor_ops — each O(N) memory or O(N log N) work. The heap
+// here is O(K) memory and O(N log K) worst case (O(N) when scores arrive in
+// random order, since most pushes fail the cheap worst-element test), which
+// is what the retrieval scan loops need: K is tens, N is millions.
+//
+// Ordering contract (shared by ExactRetriever, the IVF re-rank, and the
+// serving TopKExcluding path): score descending, ties toward the LOWER id —
+// the same deterministic tie-break the serving layer always used. NaN
+// scores order below every real score (and among themselves by id), so a
+// NaN candidate can never displace a real one; a full-NaN input still
+// yields K items in id order rather than UB from an inconsistent
+// comparator.
+
+#ifndef CL4SREC_RETRIEVAL_TOPK_H_
+#define CL4SREC_RETRIEVAL_TOPK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cl4srec {
+namespace retrieval {
+
+struct ScoredItem {
+  int64_t id = 0;
+  float score = 0.f;
+};
+
+// Strict weak ordering: "a ranks ahead of b".
+inline bool ScoredBetter(const ScoredItem& a, const ScoredItem& b) {
+  const bool a_nan = std::isnan(a.score);
+  const bool b_nan = std::isnan(b.score);
+  if (a_nan != b_nan) return b_nan;  // The non-NaN side ranks ahead.
+  if (!a_nan && a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+// Bounded selector: push any number of (id, score) pairs, Take() the best K
+// in ScoredBetter order. Reusable across queries via Reset().
+class TopKHeap {
+ public:
+  explicit TopKHeap(int64_t k) : k_(std::max<int64_t>(0, k)) {
+    heap_.reserve(static_cast<size_t>(k_));
+  }
+
+  void Push(int64_t id, float score) {
+    if (k_ == 0) return;
+    const ScoredItem item{id, score};
+    if (static_cast<int64_t>(heap_.size()) < k_) {
+      heap_.push_back(item);
+      // Max-heap under ScoredBetter-as-less: the root is the WORST kept item.
+      std::push_heap(heap_.begin(), heap_.end(), ScoredBetter);
+      return;
+    }
+    if (!ScoredBetter(item, heap_.front())) return;
+    std::pop_heap(heap_.begin(), heap_.end(), ScoredBetter);
+    heap_.back() = item;
+    std::push_heap(heap_.begin(), heap_.end(), ScoredBetter);
+  }
+
+  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+  int64_t capacity() const { return k_; }
+
+  // Sorts the kept items best-first and moves them out; the heap is empty
+  // (but reusable) afterwards.
+  std::vector<ScoredItem> Take() {
+    std::sort_heap(heap_.begin(), heap_.end(), ScoredBetter);
+    // sort_heap leaves ascending order under the comparator — which reads
+    // "ranks ahead of", so the result is already best-first.
+    return std::move(heap_);
+  }
+
+  void Reset(int64_t k) {
+    k_ = std::max<int64_t>(0, k);
+    heap_.clear();
+    heap_.reserve(static_cast<size_t>(k_));
+  }
+
+ private:
+  int64_t k_;
+  std::vector<ScoredItem> heap_;
+};
+
+// Top-k of scores[1..n] (slot 0 is the padding item, never a candidate) —
+// the full-catalog shape ExactRetriever and the serving tiers use.
+inline std::vector<ScoredItem> TopKFromScores(const float* scores, int64_t n,
+                                              int64_t k) {
+  TopKHeap heap(std::min(k, n));
+  for (int64_t id = 1; id <= n; ++id) heap.Push(id, scores[id]);
+  return heap.Take();
+}
+
+}  // namespace retrieval
+}  // namespace cl4srec
+
+#endif  // CL4SREC_RETRIEVAL_TOPK_H_

@@ -12,6 +12,24 @@
 namespace cl4srec {
 namespace serve {
 
+Status ModelBackend::TopCandidates(
+    const std::vector<int64_t>& users,
+    const std::vector<std::vector<int64_t>>& histories, int64_t want,
+    std::vector<std::vector<retrieval::ScoredItem>>* candidates,
+    Tensor* states) {
+  Tensor scores;
+  Status st = ScoreFull(users, histories, &scores, states);
+  if (!st.ok()) return st;
+  const int64_t b = scores.dim(0);
+  const int64_t n = scores.dim(1) - 1;  // Column 0 is the padding slot.
+  candidates->assign(static_cast<size_t>(b), {});
+  for (int64_t i = 0; i < b; ++i) {
+    (*candidates)[static_cast<size_t>(i)] =
+        retrieval::TopKFromScores(scores.data() + i * (n + 1), n, want);
+  }
+  return Status::Ok();
+}
+
 SasRecBackend::SasRecBackend(SasRec* model,
                              const SasRecBackendOptions& options)
     : model_(model), options_(options) {
@@ -28,13 +46,9 @@ int64_t SasRecBackend::state_dim() const {
   return model_->encoder()->config().hidden_dim;
 }
 
-Status SasRecBackend::ScoreFull(
-    const std::vector<int64_t>& users,
-    const std::vector<std::vector<int64_t>>& histories, Tensor* scores,
-    Tensor* states) {
-  (void)users;
+Tensor SasRecBackend::EncodeStates(
+    const std::vector<std::vector<int64_t>>& histories) {
   TransformerSeqEncoder* encoder = model_->encoder();
-  const int64_t n = num_items();
   const int64_t d = state_dim();
   const auto b_count = static_cast<int64_t>(histories.size());
   // Per-batch arena scope: every graph node built by the forward is
@@ -47,7 +61,22 @@ Status SasRecBackend::ScoreFull(
   Rng dummy(0);
   ForwardContext ctx{.training = false, .rng = &dummy};
   Variable state = encoder->EncodeLast(batch, ctx);  // [B, d]
-  Tensor all = MatMul(state.value(), encoder->item_embedding().table().value(),
+  Tensor out({b_count, d});
+  std::copy(state.value().data(), state.value().data() + b_count * d,
+            out.data());
+  return out;
+}
+
+Status SasRecBackend::ScoreFull(
+    const std::vector<int64_t>& users,
+    const std::vector<std::vector<int64_t>>& histories, Tensor* scores,
+    Tensor* states) {
+  (void)users;
+  TransformerSeqEncoder* encoder = model_->encoder();
+  const int64_t n = num_items();
+  const auto b_count = static_cast<int64_t>(histories.size());
+  Tensor state = EncodeStates(histories);  // [B, d]
+  Tensor all = MatMul(state, encoder->item_embedding().table().value(),
                       false, /*trans_b=*/true);  // [B, vocab]
   *scores = Tensor({b_count, n + 1});
   for (int64_t i = 0; i < b_count; ++i) {
@@ -55,9 +84,30 @@ Status SasRecBackend::ScoreFull(
               all.data() + i * all.dim(1) + n + 1,
               scores->data() + i * (n + 1));
   }
-  *states = Tensor({b_count, d});
-  std::copy(state.value().data(), state.value().data() + b_count * d,
-            states->data());
+  *states = std::move(state);
+  return Status::Ok();
+}
+
+Status SasRecBackend::TopCandidates(
+    const std::vector<int64_t>& users,
+    const std::vector<std::vector<int64_t>>& histories, int64_t want,
+    std::vector<std::vector<retrieval::ScoredItem>>* candidates,
+    Tensor* states) {
+  if (options_.retriever == nullptr) {
+    // Exact default: full scoring, then per-row top-K.
+    return ModelBackend::TopCandidates(users, histories, want, candidates,
+                                       states);
+  }
+  (void)users;
+  retrieval::Retriever* retriever = options_.retriever;
+  if (retriever->dim() != state_dim() ||
+      retriever->num_items() != num_items()) {
+    return Status::FailedPrecondition(
+        "retriever index does not match the served model");
+  }
+  Tensor state = EncodeStates(histories);  // [B, d]
+  retriever->RetrieveBatch(state.data(), state.dim(0), want, candidates);
+  *states = std::move(state);
   return Status::Ok();
 }
 

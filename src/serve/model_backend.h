@@ -35,6 +35,7 @@
 
 #include "models/recommender.h"
 #include "models/sasrec.h"
+#include "retrieval/retriever.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -60,6 +61,19 @@ class ModelBackend {
                                 const std::vector<int64_t>& new_items,
                                 std::vector<float>* scores) = 0;
 
+  // Tier-0 candidate generation: the top `want` items per user, best first
+  // (score descending, ties toward the lower id), plus the same per-user
+  // states ScoreFull returns. The server sizes `want` as k + history so it
+  // can drop seen items afterwards and still fill k slots. The base
+  // implementation is exact — ScoreFull, then a bounded top-K heap per row;
+  // backends holding an ANN retriever override it to skip the [B, num_items]
+  // score matrix entirely.
+  virtual Status TopCandidates(
+      const std::vector<int64_t>& users,
+      const std::vector<std::vector<int64_t>>& histories, int64_t want,
+      std::vector<std::vector<retrieval::ScoredItem>>* candidates,
+      Tensor* states);
+
   virtual int64_t num_items() const = 0;
   // Width of the cached hidden state; 0 disables tier 1.
   virtual int64_t state_dim() const = 0;
@@ -68,6 +82,12 @@ class ModelBackend {
 struct SasRecBackendOptions {
   // EMA step toward each new item's embedding in the tier-1 state update.
   float state_ema = 0.3f;
+  // Optional ANN index over the model's item embeddings (non-owning; must
+  // outlive the backend and be built/rebuilt from the same table the model
+  // serves). When set, tier-0 candidate generation encodes user states and
+  // asks the retriever for the shortlist instead of scoring the full
+  // catalog. ScoreFull itself stays exact — only TopCandidates changes.
+  retrieval::Retriever* retriever = nullptr;
 };
 
 // Serves a trained SasRec (non-owning; the model must outlive the backend
@@ -83,10 +103,18 @@ class SasRecBackend : public ModelBackend {
   Status ScoreFromState(std::vector<float>* state,
                         const std::vector<int64_t>& new_items,
                         std::vector<float>* scores) override;
+  Status TopCandidates(
+      const std::vector<int64_t>& users,
+      const std::vector<std::vector<int64_t>>& histories, int64_t want,
+      std::vector<std::vector<retrieval::ScoredItem>>* candidates,
+      Tensor* states) override;
   int64_t num_items() const override;
   int64_t state_dim() const override;
 
  private:
+  // Tape-free encoder forward over the histories; returns [B, state_dim()].
+  Tensor EncodeStates(const std::vector<std::vector<int64_t>>& histories);
+
   SasRec* model_;
   const SasRecBackendOptions options_;
 };

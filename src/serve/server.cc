@@ -106,11 +106,12 @@ struct RecommendServer::Completion {
 
 void RecommendServer::Complete(Completion* slot,
                                StatusOr<RecommendResponse> result) {
-  {
-    std::lock_guard<std::mutex> lock(slot->mu);
-    slot->result = std::move(result);
-    slot->done = true;
-  }
+  // Notify while still holding the mutex: the requester destroys the slot
+  // as soon as it observes `done`, and only the lock keeps it from doing so
+  // while this thread is still inside notify_one on the slot's cv.
+  std::lock_guard<std::mutex> lock(slot->mu);
+  slot->result = std::move(result);
+  slot->done = true;
   slot->cv.notify_one();
 }
 
@@ -241,24 +242,33 @@ void RecommendServer::WorkerLoop() {
         users.push_back(slot->request.user);
         histories.push_back(slot->request.history);
       }
-      Tensor scores, states;
+      // Candidate depth: enough that after dropping a request's own history
+      // every slot can still fill k. With an exact backend this reproduces
+      // the old full-scoring answers; with an ANN retriever attached it is
+      // the only place the approximation enters the serving path.
+      int64_t want = 1;
+      for (Completion* slot : live) {
+        want = std::max(
+            want, slot->request.k +
+                      static_cast<int64_t>(slot->request.history.size()));
+      }
+      std::vector<std::vector<retrieval::ScoredItem>> candidates;
+      Tensor states;
       Stopwatch forward;
       Status st = injected_failure
                       ? Status::Internal("injected batch-forward failure")
-                      : backend_->ScoreFull(users, histories, &scores, &states);
+                      : backend_->TopCandidates(users, histories, want,
+                                                &candidates, &states);
       const double forward_ms = forward.ElapsedMillis() + injected_delay_ms;
       Metrics().batch_forward_ms->Observe(forward_ms);
       degrade_.ReportBatchOutcome(st.ok(), forward_ms);
       if (st.ok()) {
-        const int64_t width = scores.dim(1);
         const bool has_state = backend_->state_dim() > 0 && !states.empty();
         for (size_t i = 0; i < live.size(); ++i) {
           Completion* slot = live[i];
           RecommendResponse response;
           response.tier = ServeTier::kFull;
-          response.items = TopKExcluding(
-              scores.data() + static_cast<int64_t>(i) * width, width,
-              slot->request);
+          response.items = PickFromCandidates(candidates[i], slot->request);
           if (has_state) {
             const int64_t d = states.dim(1);
             const float* row = states.data() + static_cast<int64_t>(i) * d;
@@ -335,23 +345,35 @@ RecommendResponse RecommendServer::AnswerPopularity(
 std::vector<int64_t> RecommendServer::TopKExcluding(
     const float* scores, int64_t count,
     const RecommendRequest& request) const {
+  // Bounded heap instead of the old full-candidate partial_sort: O(k)
+  // memory, identical ordering (score descending, ties toward lower ids —
+  // and NaN scores, unlike partial_sort's raw comparator, ordered last
+  // instead of invoking UB).
   std::unordered_set<int64_t> exclude(request.history.begin(),
                                       request.history.end());
-  std::vector<int64_t> candidates;
-  candidates.reserve(static_cast<size_t>(count));
+  retrieval::TopKHeap heap(std::max<int64_t>(0, request.k));
   for (int64_t item = 1; item < count; ++item) {  // skip padding slot 0
-    if (exclude.count(item) == 0) candidates.push_back(item);
+    if (exclude.count(item) == 0) heap.Push(item, scores[item]);
   }
-  const auto k = std::min<int64_t>(request.k,
-                                   static_cast<int64_t>(candidates.size()));
-  // Ties break toward lower ids (stable order under equal scores).
-  std::partial_sort(candidates.begin(), candidates.begin() + k,
-                    candidates.end(), [&](int64_t a, int64_t b) {
-                      if (scores[a] != scores[b]) return scores[a] > scores[b];
-                      return a < b;
-                    });
-  candidates.resize(static_cast<size_t>(k));
-  return candidates;
+  const std::vector<retrieval::ScoredItem> top = heap.Take();
+  std::vector<int64_t> out;
+  out.reserve(top.size());
+  for (const retrieval::ScoredItem& s : top) out.push_back(s.id);
+  return out;
+}
+
+std::vector<int64_t> RecommendServer::PickFromCandidates(
+    const std::vector<retrieval::ScoredItem>& candidates,
+    const RecommendRequest& request) {
+  std::unordered_set<int64_t> exclude(request.history.begin(),
+                                      request.history.end());
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(std::max<int64_t>(0, request.k)));
+  for (const retrieval::ScoredItem& cand : candidates) {
+    if (static_cast<int64_t>(out.size()) >= request.k) break;
+    if (exclude.count(cand.id) == 0) out.push_back(cand.id);
+  }
+  return out;
 }
 
 }  // namespace serve

@@ -120,6 +120,11 @@ class RecommendServer {
   RecommendResponse AnswerPopularity(const RecommendRequest& request) const;
   std::vector<int64_t> TopKExcluding(const float* scores, int64_t count,
                                      const RecommendRequest& request) const;
+  // Filters a best-first tier-0 candidate list down to the request's k,
+  // dropping already-seen items.
+  static std::vector<int64_t> PickFromCandidates(
+      const std::vector<retrieval::ScoredItem>& candidates,
+      const RecommendRequest& request);
   static void Complete(Completion* slot, StatusOr<RecommendResponse> result);
 
   ModelBackend* backend_;

@@ -489,6 +489,72 @@ void MatMulMicroAvx2(float* c, int64_t c_stride, const float* a,
   }
 }
 
+// Int8 dot via vpmaddubsw: maddubs multiplies UNSIGNED bytes by signed
+// bytes, so move a's sign onto b (|a| * sign(a)*b == a*b elementwise). With
+// inputs clamped to [-127, 127] each 16-bit pair sum is at most
+// 127*127*2 = 32258 < 32767 — no saturation — and vpmaddwd widens the pairs
+// to exact int32. Integer adds are associative, so the result is bit-equal
+// to ref::DotI8 for any n.
+inline __m256i DotI8Step(__m256i acc, __m256i va, __m256i vb) {
+  const __m256i abs_a = _mm256_abs_epi8(va);
+  const __m256i signed_b = _mm256_sign_epi8(vb, va);
+  const __m256i pairs = _mm256_maddubs_epi16(abs_a, signed_b);
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, _mm256_set1_epi16(1)));
+}
+
+inline int32_t HorizontalSumI32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i sum = _mm_add_epi32(lo, hi);
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(sum);
+}
+
+int32_t DotI8Avx2(const int8_t* a, const int8_t* b, int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = DotI8Step(acc, va, vb);
+  }
+  int32_t total = HorizontalSumI32(acc);
+  total += ref::DotI8(a + i, b + i, n - i);
+  return total;
+}
+
+void DotI8BatchAvx2(const int8_t* rows, int64_t row_stride, int64_t num_rows,
+                    const int8_t* q, int64_t n, int32_t* out) {
+  // Two rows per iteration share each query load; the quantized store pads
+  // rows to 64 bytes so full-vector loads dominate.
+  int64_t r = 0;
+  for (; r + 2 <= num_rows; r += 2) {
+    const int8_t* row0 = rows + r * row_stride;
+    const int8_t* row1 = row0 + row_stride;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    int64_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+      const __m256i vq =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + i));
+      acc0 = DotI8Step(
+          acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row0 + i)),
+          vq);
+      acc1 = DotI8Step(
+          acc1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row1 + i)),
+          vq);
+    }
+    out[r] = HorizontalSumI32(acc0) + ref::DotI8(row0 + i, q + i, n - i);
+    out[r + 1] = HorizontalSumI32(acc1) + ref::DotI8(row1 + i, q + i, n - i);
+  }
+  for (; r < num_rows; ++r) {
+    out[r] = DotI8Avx2(rows + r * row_stride, q, n);
+  }
+}
+
 }  // namespace
 
 const KernelTable* GetAvx2Table() {
@@ -516,6 +582,8 @@ const KernelTable* GetAvx2Table() {
       /*add_mean_var=*/AddMeanVarAvx2,
       /*exp_scale_out=*/ExpScaleOutAvx2,
       /*matmul_micro=*/MatMulMicroAvx2,
+      /*dot_i8=*/DotI8Avx2,
+      /*dot_i8_batch=*/DotI8BatchAvx2,
   };
   return &table;
 }

@@ -136,6 +136,77 @@ void MatMulMicroAvx512(float* c, int64_t c_stride, const float* a,
   }
 }
 
+// ---- Int8 dot via AVX-512 VNNI (vpdpbusd), selected at runtime ----
+//
+// The table-level host check only requires F/DQ/BW, so VNNI is probed per
+// process with __builtin_cpu_supports; hosts without it keep the AVX2
+// vpmaddubsw kernels copied into this table. vpdpbusd multiplies UNSIGNED
+// bytes by signed bytes, and AVX-512 has no vpsignb to move the sign over,
+// so the unsigned operand is biased instead: (a ^ 0x80) = a + 128 as u8,
+// and sum (a+128)*q = sum a*q + 128 * sum q — the correction term
+// 128*sum(q) is computed once per call with vpdpbusd against constant 1s.
+// All-integer arithmetic, so bit-equal to ref::DotI8 by construction.
+
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) inline int32_t
+SumI32Vnni(__m512i v) {
+  return _mm512_reduce_add_epi32(v);
+}
+
+// Sum of q[0:n_vec) (n_vec = n rounded down to 64) for the bias correction.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) int32_t QuerySumVnni(
+    const int8_t* q, int64_t n_vec) {
+  const __m512i ones = _mm512_set1_epi8(1);
+  __m512i qs = _mm512_setzero_si512();
+  for (int64_t i = 0; i + 64 <= n_vec; i += 64) {
+    qs = _mm512_dpbusd_epi32(
+        qs, ones, _mm512_loadu_si512(reinterpret_cast<const void*>(q + i)));
+  }
+  return SumI32Vnni(qs);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) int32_t DotI8RowVnni(
+    const int8_t* a, const int8_t* q, int64_t n_vec, int32_t correction) {
+  const __m512i bias = _mm512_set1_epi8(static_cast<char>(0x80));
+  __m512i acc = _mm512_setzero_si512();
+  for (int64_t i = 0; i + 64 <= n_vec; i += 64) {
+    const __m512i ua = _mm512_xor_si512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + i)), bias);
+    acc = _mm512_dpbusd_epi32(
+        acc, ua, _mm512_loadu_si512(reinterpret_cast<const void*>(q + i)));
+  }
+  return SumI32Vnni(acc) - correction;
+}
+
+bool HostHasVnni() {
+  static const bool has = __builtin_cpu_supports("avx512vnni");
+  return has;
+}
+
+int32_t DotI8Avx512(const int8_t* a, const int8_t* b, int64_t n) {
+  if (!HostHasVnni()) return GetAvx2Table()->dot_i8(a, b, n);
+  const int64_t n_vec = n & ~int64_t{63};
+  const int32_t correction = 128 * QuerySumVnni(b, n_vec);
+  int32_t total = DotI8RowVnni(a, b, n_vec, correction);
+  total += ref::DotI8(a + n_vec, b + n_vec, n - n_vec);
+  return total;
+}
+
+void DotI8BatchAvx512(const int8_t* rows, int64_t row_stride,
+                      int64_t num_rows, const int8_t* q, int64_t n,
+                      int32_t* out) {
+  if (!HostHasVnni()) {
+    GetAvx2Table()->dot_i8_batch(rows, row_stride, num_rows, q, n, out);
+    return;
+  }
+  const int64_t n_vec = n & ~int64_t{63};
+  const int32_t correction = 128 * QuerySumVnni(q, n_vec);
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const int8_t* row = rows + r * row_stride;
+    out[r] = DotI8RowVnni(row, q, n_vec, correction) +
+             ref::DotI8(row + n_vec, q + n_vec, n - n_vec);
+  }
+}
+
 }  // namespace
 
 const KernelTable* GetAvx512Table() {
@@ -145,6 +216,8 @@ const KernelTable* GetAvx512Table() {
     t.name = "avx512";
     t.vector_floats = 16;
     t.matmul_micro = MatMulMicroAvx512;
+    t.dot_i8 = DotI8Avx512;
+    t.dot_i8_batch = DotI8BatchAvx512;
     return t;
   }();
   return &table;

@@ -173,6 +173,26 @@ inline void MatMulMicro(float* c, int64_t c_stride, const float* a,
                      width);
 }
 
+// Int8 dot products are exact integer arithmetic; every lane (and every
+// vector tail) produces the same int32, so unlike the float reductions there
+// is no per-lane tolerance story — vector kernels are tested bit-equal to
+// these references.
+inline int32_t DotI8(const int8_t* a, const int8_t* b, int64_t n) {
+  int32_t total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
+inline void DotI8Batch(const int8_t* rows, int64_t row_stride,
+                       int64_t num_rows, const int8_t* q, int64_t n,
+                       int32_t* out) {
+  for (int64_t r = 0; r < num_rows; ++r) {
+    out[r] = DotI8(rows + r * row_stride, q, n);
+  }
+}
+
 }  // namespace ref
 }  // namespace simd
 }  // namespace cl4srec

@@ -33,6 +33,8 @@ const KernelTable* GetScalarTable() {
       /*add_mean_var=*/ref::AddMeanVar,
       /*exp_scale_out=*/ref::ExpScaleOut,
       /*matmul_micro=*/ref::MatMulMicro,
+      /*dot_i8=*/ref::DotI8,
+      /*dot_i8_batch=*/ref::DotI8Batch,
   };
   return &table;
 }

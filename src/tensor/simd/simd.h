@@ -125,6 +125,21 @@ struct KernelTable {
   void (*matmul_micro)(float* c, int64_t c_stride, const float* a,
                        int64_t a_stride, const float* b_panel, int64_t depth,
                        int64_t rows, int64_t width);
+
+  // ---- Int8 kernels (quantized embedding store, retrieval/) ----
+  // Exact int32 arithmetic: integer addition is associative, so these are
+  // BIT-IDENTICAL across every lane and accumulation order by construction.
+  // Inputs must lie in [-127, 127] — symmetric quantization never produces
+  // -128, which keeps the AVX2 vpmaddubsw path saturation-free
+  // (127*127*2 = 32258 < 32767).
+  // Returns sum_i a[i] * b[i] in int32 (no overflow for n < ~66k at the
+  // clamped range; embedding dims here are <= a few hundred).
+  int32_t (*dot_i8)(const int8_t* a, const int8_t* b, int64_t n);
+  // out[r] = dot_i8(rows + r * row_stride, q, n) for r < num_rows. The
+  // batch form lets lanes keep the query resident across rows.
+  void (*dot_i8_batch)(const int8_t* rows, int64_t row_stride,
+                       int64_t num_rows, const int8_t* q, int64_t n,
+                       int32_t* out);
 };
 
 // ---- Dispatch ----

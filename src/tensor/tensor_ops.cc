@@ -1,6 +1,7 @@
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <numeric>
@@ -75,8 +76,55 @@ void PackAPanel(const float* a, int64_t m, int64_t i0, int64_t i1, int64_t p0,
   }
 }
 
+// Wide-N gate (SetMatMulWideNBlocking). Relaxed atomic: flips only between
+// whole MatMul calls in tests/benches, never mid-call.
+std::atomic<bool> g_matmul_wide_n{true};
+
+// Wide-N variant for n >> m (the retrieval/ranking shape: a handful of user
+// states against a catalog of up to a million items). The standard path
+// parallelizes over C row blocks — at m <= 256 that is at most 4 tasks, and
+// each of them re-packs every B panel. Here the roles flip: tasks own C
+// *column* blocks (n / kColBlock of them — plenty), and each (j0, p0) panel
+// is packed once and reused across all row blocks. Every C element still
+// belongs to exactly one task and accumulates its p-blocks in ascending
+// order, so results stay bit-identical with the standard path, any thread
+// count, and any block size.
+void MatMulBlockedWideN(const float* a, const float* b, float* c, int64_t m,
+                        int64_t k, int64_t n, bool trans_b) {
+  const int64_t num_col_blocks = (n + kColBlock - 1) / kColBlock;
+  const int64_t flops_per_col_block = 2 * m * k * kColBlock;
+  const int64_t grain = std::max<int64_t>(
+      1, kMinFlopsPerTask / std::max<int64_t>(1, flops_per_col_block));
+  const simd::KernelTable* kt = &simd::Kernels();
+  parallel::ParallelFor(0, num_col_blocks, grain, [=](int64_t cb_lo,
+                                                      int64_t cb_hi) {
+    ScratchArena::Scope scratch;
+    float* b_panel = scratch.AllocFloats(kDepthBlock * kColBlock);
+    for (int64_t cb = cb_lo; cb < cb_hi; ++cb) {
+      const int64_t j0 = cb * kColBlock;
+      const int64_t j1 = std::min(n, j0 + kColBlock);
+      const int64_t width = j1 - j0;
+      for (int64_t p0 = 0; p0 < k; p0 += kDepthBlock) {  // Ascending p.
+        const int64_t p1 = std::min(k, p0 + kDepthBlock);
+        const int64_t depth = p1 - p0;
+        PackBPanel(b, n, k, trans_b, p0, p1, j0, j1, b_panel);
+        for (int64_t i0 = 0; i0 < m; i0 += kRowBlock) {
+          const int64_t i1 = std::min(m, i0 + kRowBlock);
+          kt->matmul_micro(c + i0 * n + j0, n, a + i0 * k + p0, k, b_panel,
+                           depth, i1 - i0, width);
+        }
+      }
+    }
+  });
+}
+
 void MatMulBlocked(const float* a, const float* b, float* c, int64_t m,
                    int64_t k, int64_t n, bool trans_a, bool trans_b) {
+  if (!trans_a && n >= 4 * m && n >= 2 * kColBlock &&
+      g_matmul_wide_n.load(std::memory_order_relaxed)) {
+    MatMulBlockedWideN(a, b, c, m, k, n, trans_b);
+    return;
+  }
   const int64_t num_row_blocks = (m + kRowBlock - 1) / kRowBlock;
   const int64_t flops_per_row_block = 2 * kRowBlock * k * n;
   const int64_t grain = std::max<int64_t>(
@@ -158,6 +206,10 @@ Tensor BinaryKernel(const Tensor& a, const Tensor& b,
 }
 
 }  // namespace
+
+bool SetMatMulWideNBlocking(bool enabled) {
+  return g_matmul_wide_n.exchange(enabled, std::memory_order_relaxed);
+}
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   // Coarse span (one per MatMul call, not per block/chunk): a single relaxed

@@ -17,6 +17,13 @@ namespace cl4srec {
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
 
+// Toggles the wide-N matmul blocking (tasks own column blocks and reuse each
+// packed B panel across all row blocks) used when n >> m — the few-queries
+// versus million-item-catalog shape. On by default; results are bit-identical
+// either way (both paths accumulate each C element in the same order), so
+// this exists for A/B benchmarking and bisection. Returns the previous value.
+bool SetMatMulWideNBlocking(bool enabled);
+
 // Transpose of a 2-D tensor.
 Tensor Transpose2D(const Tensor& a);
 

@@ -1,0 +1,495 @@
+// Tests for src/retrieval: the bounded top-K helper, the int8 quantized
+// store, ExactRetriever versus brute force, the IVF index's recall and
+// determinism contracts, and the retrieval-based evaluation path against the
+// reference full-scoring evaluator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "parallel/parallel.h"
+#include "retrieval/quantized_table.h"
+#include "retrieval/retriever.h"
+#include "retrieval/topk.h"
+#include "tensor/simd/simd.h"
+#include "tensor/tensor_ops.h"
+
+namespace cl4srec {
+namespace retrieval {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+Tensor RandomTable(int64_t rows, int64_t dim, uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.f, 1.f);
+  Tensor t({rows, dim});
+  for (int64_t i = 0; i < t.numel(); ++i) t.data()[i] = dist(gen);
+  // Row 0 is the padding slot; zero it like the embedding table does.
+  for (int64_t j = 0; j < dim; ++j) t.data()[j] = 0.f;
+  return t;
+}
+
+std::vector<int64_t> Ids(const std::vector<ScoredItem>& items) {
+  std::vector<int64_t> ids;
+  ids.reserve(items.size());
+  for (const ScoredItem& s : items) ids.push_back(s.id);
+  return ids;
+}
+
+double RecallVsExact(const std::vector<ScoredItem>& approx,
+                     const std::vector<ScoredItem>& exact) {
+  if (exact.empty()) return 1.0;
+  std::set<int64_t> truth;
+  for (const ScoredItem& s : exact) truth.insert(s.id);
+  int64_t hit = 0;
+  for (const ScoredItem& s : approx) hit += truth.count(s.id);
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+// ---- TopKHeap ----
+
+TEST(TopKHeapTest, KeepsBestKInOrder) {
+  TopKHeap heap(3);
+  const float scores[] = {0.1f, 0.9f, 0.3f, 0.7f, 0.5f};
+  for (int64_t i = 0; i < 5; ++i) heap.Push(i + 1, scores[i]);
+  const auto top = heap.Take();
+  EXPECT_EQ(Ids(top), (std::vector<int64_t>{2, 4, 5}));
+}
+
+TEST(TopKHeapTest, KLargerThanInputReturnsEverything) {
+  TopKHeap heap(10);
+  heap.Push(3, 1.f);
+  heap.Push(1, 2.f);
+  heap.Push(2, 3.f);
+  const auto top = heap.Take();
+  EXPECT_EQ(Ids(top), (std::vector<int64_t>{2, 1, 3}));
+}
+
+TEST(TopKHeapTest, KZeroKeepsNothing) {
+  TopKHeap heap(0);
+  heap.Push(1, 5.f);
+  EXPECT_TRUE(heap.Take().empty());
+}
+
+TEST(TopKHeapTest, TiesBreakTowardLowerId) {
+  TopKHeap heap(3);
+  heap.Push(9, 1.f);
+  heap.Push(2, 1.f);
+  heap.Push(5, 1.f);
+  heap.Push(7, 1.f);
+  EXPECT_EQ(Ids(heap.Take()), (std::vector<int64_t>{2, 5, 7}));
+}
+
+TEST(TopKHeapTest, NanNeverDisplacesRealScores) {
+  TopKHeap heap(2);
+  heap.Push(1, kNaN);
+  heap.Push(2, 0.1f);
+  heap.Push(3, kNaN);
+  heap.Push(4, -5.f);
+  EXPECT_EQ(Ids(heap.Take()), (std::vector<int64_t>{2, 4}));
+}
+
+TEST(TopKHeapTest, AllNanYieldsIdOrder) {
+  TopKHeap heap(3);
+  for (int64_t id : {7, 3, 9, 5}) heap.Push(id, kNaN);
+  EXPECT_EQ(Ids(heap.Take()), (std::vector<int64_t>{3, 5, 7}));
+}
+
+TEST(TopKHeapTest, ResetReuses) {
+  TopKHeap heap(2);
+  heap.Push(1, 1.f);
+  heap.Take();
+  heap.Reset(1);
+  heap.Push(2, 2.f);
+  heap.Push(3, 3.f);
+  EXPECT_EQ(Ids(heap.Take()), (std::vector<int64_t>{3}));
+}
+
+TEST(TopKFromScoresTest, SkipsPaddingSlotZero) {
+  const float scores[] = {99.f, 0.2f, 0.8f, 0.5f};
+  const auto top = TopKFromScores(scores, 3, 2);
+  EXPECT_EQ(Ids(top), (std::vector<int64_t>{2, 3}));
+}
+
+// ---- QuantizedTable ----
+
+TEST(QuantizedTableTest, RoundTripErrorWithinHalfScale) {
+  const Tensor table = RandomTable(33, 65, 7);
+  QuantizedTable qt(table);
+  EXPECT_EQ(qt.rows(), 33);
+  EXPECT_EQ(qt.dim(), 65);
+  EXPECT_EQ(qt.row_stride() % 64, 0);
+  std::vector<float> row(65);
+  for (int64_t r = 0; r < qt.rows(); ++r) {
+    qt.DequantizeRow(r, row.data());
+    const float scale = qt.row_scale(r);
+    for (int64_t j = 0; j < 65; ++j) {
+      EXPECT_LE(std::fabs(row[static_cast<size_t>(j)] -
+                          table.data()[r * 65 + j]),
+                scale * 0.5f + 1e-6f)
+          << "row " << r << " col " << j;
+    }
+  }
+}
+
+TEST(QuantizedTableTest, ZeroRowHasZeroScaleAndZeroScores) {
+  Tensor table({2, 8});
+  for (int64_t j = 0; j < 8; ++j) {
+    table.data()[j] = 0.f;
+    table.data()[8 + j] = 1.f;
+  }
+  QuantizedTable qt(table);
+  EXPECT_EQ(qt.row_scale(0), 0.f);
+  std::vector<int8_t> q(static_cast<size_t>(qt.row_stride()));
+  std::vector<float> query(8, 1.f);
+  const float q_scale = qt.QuantizeQuery(query.data(), q.data());
+  float scores[2];
+  qt.ScoreRange(0, 2, q.data(), q_scale, scores);
+  EXPECT_EQ(scores[0], 0.f);
+  EXPECT_NEAR(scores[1], 8.f, 8.f * 0.02f);
+}
+
+TEST(QuantizedTableTest, ScoreIdsMatchesScoreRange) {
+  const Tensor table = RandomTable(700, 48, 11);  // > one 512-entry chunk
+  QuantizedTable qt(table);
+  std::vector<int8_t> q(static_cast<size_t>(qt.row_stride()));
+  const Tensor queries = RandomTable(2, 48, 12);
+  const float q_scale = qt.QuantizeQuery(queries.data() + 48, q.data());
+  std::vector<float> range(700);
+  qt.ScoreRange(0, 700, q.data(), q_scale, range.data());
+  std::vector<int64_t> ids = {0, 1, 5, 511, 512, 513, 699};
+  std::vector<float> picked(ids.size());
+  qt.ScoreIds(ids.data(), static_cast<int64_t>(ids.size()), q.data(), q_scale,
+              picked.data());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(picked[i], range[static_cast<size_t>(ids[i])]) << ids[i];
+  }
+}
+
+TEST(QuantizedTableTest, QuantizedDotApproximatesExactDot) {
+  const int64_t d = 64;
+  const Tensor table = RandomTable(40, d, 13);
+  QuantizedTable qt(table);
+  std::vector<int8_t> q8(static_cast<size_t>(qt.row_stride()));
+  // Use row 1 of a second random table as the query.
+  const Tensor queries = RandomTable(2, d, 14);
+  const float* query = queries.data() + d;
+  const float q_scale = qt.QuantizeQuery(query, q8.data());
+  std::vector<float> scores(40);
+  qt.ScoreRange(0, 40, q8.data(), q_scale, scores.data());
+  for (int64_t r = 1; r < 40; ++r) {
+    double exact = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      exact += double(table.data()[r * d + j]) * query[j];
+    }
+    // First-order error bound: each side contributes <= scale/2 per element.
+    const double bound =
+        0.75 * d * (qt.row_scale(r) + q_scale) + 1e-3;
+    EXPECT_NEAR(scores[static_cast<size_t>(r)], exact, bound) << "row " << r;
+  }
+}
+
+// ---- ExactRetriever ----
+
+TEST(ExactRetrieverTest, MatchesBruteForceOrderingAndTies) {
+  const int64_t n = 300, d = 16;
+  const Tensor table = RandomTable(n + 1, d, 21);
+  ExactRetriever exact(table);
+  EXPECT_EQ(exact.num_items(), n);
+  const Tensor queries = RandomTable(5, d, 22);
+  std::vector<std::vector<ScoredItem>> results;
+  exact.RetrieveBatch(queries.data(), 5, 10, &results);
+  ASSERT_EQ(results.size(), 5u);
+  const Tensor scores = MatMul(queries, table, false, /*trans_b=*/true);
+  for (int64_t i = 0; i < 5; ++i) {
+    const auto expect = TopKFromScores(scores.data() + i * (n + 1), n, 10);
+    ASSERT_EQ(results[static_cast<size_t>(i)].size(), 10u);
+    EXPECT_EQ(Ids(results[static_cast<size_t>(i)]), Ids(expect));
+  }
+}
+
+TEST(ExactRetrieverTest, KPastCatalogReturnsWholeCatalog) {
+  const Tensor table = RandomTable(6, 8, 23);  // 5 items
+  ExactRetriever exact(table);
+  std::vector<ScoredItem> out;
+  exact.Retrieve(table.data() + 8, 50, &out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+// ---- IvfRetriever ----
+
+// Clustered synthetic catalog: true cluster centers, items = center + noise.
+Tensor ClusteredTable(int64_t n, int64_t d, int64_t centers, uint32_t seed,
+                      float noise) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.f, 1.f);
+  std::vector<float> mu(static_cast<size_t>(centers * d));
+  for (float& x : mu) x = dist(gen);
+  Tensor t({n + 1, d});
+  for (int64_t j = 0; j < d; ++j) t.data()[j] = 0.f;
+  for (int64_t i = 1; i <= n; ++i) {
+    const float* center = mu.data() + (i % centers) * d;
+    for (int64_t j = 0; j < d; ++j) {
+      t.data()[i * d + j] = center[j] + noise * dist(gen);
+    }
+  }
+  return t;
+}
+
+TEST(IvfRetrieverTest, RecallOnClusteredDataBeatsFloor) {
+  const int64_t n = 2000, d = 32, k = 10;
+  const Tensor table = ClusteredTable(n, d, 20, 31, 0.15f);
+  ExactRetriever exact(table);
+  IvfRetrieverOptions opt;
+  opt.num_clusters = 32;
+  opt.nprobe = 8;
+  IvfRetriever ivf(table, opt);
+  EXPECT_EQ(ivf.num_clusters(), 32);
+  EXPECT_EQ(ivf.nprobe(), 8);
+
+  const Tensor queries = RandomTable(33, d, 32);
+  std::vector<std::vector<ScoredItem>> approx, truth;
+  ivf.RetrieveBatch(queries.data(), 33, k, &approx);
+  exact.RetrieveBatch(queries.data(), 33, k, &truth);
+  double recall = 0.0;
+  for (size_t i = 0; i < approx.size(); ++i) {
+    recall += RecallVsExact(approx[i], truth[i]);
+  }
+  recall /= static_cast<double>(approx.size());
+  // Probing a quarter of the cells on well-clustered data must recover the
+  // bulk of the exact top-10; the bound is deliberately loose — this guards
+  // against a broken index (recall collapsing), not a noisy one.
+  EXPECT_GE(recall, 0.75) << "IVF recall collapsed";
+}
+
+TEST(IvfRetrieverTest, FullProbeFullRerankMatchesExactSet) {
+  const int64_t n = 500, d = 16, k = 10;
+  const Tensor table = RandomTable(n + 1, d, 41);
+  ExactRetriever exact(table);
+  IvfRetrieverOptions opt;
+  opt.num_clusters = 16;
+  opt.nprobe = 16;    // scan everything
+  opt.rerank = n;     // re-rank everything scanned
+  IvfRetriever ivf(table, opt);
+  const Tensor queries = RandomTable(7, d, 42);
+  std::vector<std::vector<ScoredItem>> approx, truth;
+  ivf.RetrieveBatch(queries.data(), 7, k, &approx);
+  exact.RetrieveBatch(queries.data(), 7, k, &truth);
+  for (size_t i = 0; i < approx.size(); ++i) {
+    EXPECT_EQ(RecallVsExact(approx[i], truth[i]), 1.0) << "query " << i;
+  }
+}
+
+TEST(IvfRetrieverTest, DeterministicAcrossThreadCountsAndReruns) {
+  const int64_t n = 1200, d = 24, k = 8;
+  const Tensor table = ClusteredTable(n, d, 12, 51, 0.2f);
+  IvfRetriever ivf(table);  // auto params, quantize=true
+  const Tensor queries = RandomTable(17, d, 52);
+
+  std::vector<std::vector<ScoredItem>> baseline;
+  ivf.RetrieveBatch(queries.data(), 17, k, &baseline);
+  for (int threads : {1, 2, 4}) {
+    parallel::SetNumThreads(threads);
+    std::vector<std::vector<ScoredItem>> run;
+    ivf.RetrieveBatch(queries.data(), 17, k, &run);
+    ASSERT_EQ(run.size(), baseline.size());
+    for (size_t i = 0; i < run.size(); ++i) {
+      ASSERT_EQ(run[i].size(), baseline[i].size()) << "query " << i;
+      for (size_t j = 0; j < run[i].size(); ++j) {
+        EXPECT_EQ(run[i][j].id, baseline[i][j].id);
+        EXPECT_EQ(run[i][j].score, baseline[i][j].score);
+      }
+    }
+  }
+  parallel::SetNumThreads(0);
+}
+
+TEST(IvfRetrieverTest, Int8QueryPathBitIdenticalAcrossLanes) {
+  const int64_t n = 800, d = 40, k = 10;
+  const Tensor table = ClusteredTable(n, d, 10, 61, 0.2f);
+  // Build ONCE (the determinism contract is per built index), then query
+  // under every usable lane: the int8 probe/scan and the scalar-double
+  // re-rank may not depend on the dispatch choice at all.
+  IvfRetriever ivf(table);
+  const Tensor queries = RandomTable(9, d, 62);
+  const simd::Isa prior = simd::ActiveIsa();
+  std::vector<std::vector<ScoredItem>> baseline;
+  bool have_baseline = false;
+  for (simd::Isa isa : simd::CompiledIsas()) {
+    if (!simd::IsaSupportedByHost(isa)) continue;
+    simd::SetActiveIsa(isa);
+    std::vector<std::vector<ScoredItem>> run;
+    ivf.RetrieveBatch(queries.data(), 9, k, &run);
+    if (!have_baseline) {
+      baseline = std::move(run);
+      have_baseline = true;
+      continue;
+    }
+    ASSERT_EQ(run.size(), baseline.size());
+    for (size_t i = 0; i < run.size(); ++i) {
+      ASSERT_EQ(run[i].size(), baseline[i].size());
+      for (size_t j = 0; j < run[i].size(); ++j) {
+        EXPECT_EQ(run[i][j].id, baseline[i][j].id)
+            << simd::IsaName(isa) << " query " << i << " slot " << j;
+        EXPECT_EQ(run[i][j].score, baseline[i][j].score)
+            << simd::IsaName(isa) << " query " << i << " slot " << j;
+      }
+    }
+  }
+  simd::SetActiveIsa(prior);
+}
+
+TEST(IvfRetrieverTest, EmptyCatalogAndKPastCatalog) {
+  Tensor empty({1, 8});  // padding row only
+  for (int64_t j = 0; j < 8; ++j) empty.data()[j] = 0.f;
+  IvfRetriever ivf(empty);
+  std::vector<float> query(8, 1.f);
+  std::vector<ScoredItem> out;
+  ivf.Retrieve(query.data(), 5, &out);
+  EXPECT_TRUE(out.empty());
+
+  const Tensor small = RandomTable(4, 8, 71);  // 3 items
+  IvfRetriever ivf_small(small);
+  ivf_small.Retrieve(small.data() + 8, 50, &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(IvfRetrieverTest, RebuildTracksUpdatedEmbeddings) {
+  const int64_t n = 200, d = 16;
+  Tensor table = RandomTable(n + 1, d, 81);
+  IvfRetriever ivf(table);
+  std::vector<float> query(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) query[static_cast<size_t>(j)] = 1.f;
+
+  // Make item 42 overwhelmingly the best match, then rebuild.
+  for (int64_t j = 0; j < d; ++j) table.data()[42 * d + j] = 10.f;
+  ivf.Rebuild(table);
+  std::vector<ScoredItem> out;
+  ivf.Retrieve(query.data(), 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 42);
+}
+
+TEST(IvfRetrieverTest, Fp32ModeWorksAndReportsName) {
+  const int64_t n = 600, d = 16, k = 5;
+  const Tensor table = ClusteredTable(n, d, 8, 91, 0.2f);
+  IvfRetrieverOptions opt;
+  opt.quantize = false;
+  opt.num_clusters = 8;
+  opt.nprobe = 8;
+  IvfRetriever ivf(table, opt);
+  EXPECT_STREQ(ivf.name(), "ivf_fp32");
+  ExactRetriever exact(table);
+  std::vector<std::vector<ScoredItem>> approx, truth;
+  const Tensor queries = RandomTable(5, d, 92);
+  ivf.RetrieveBatch(queries.data(), 5, k, &approx);
+  exact.RetrieveBatch(queries.data(), 5, k, &truth);
+  // Full probe in fp32 scans every item exactly: sets must match.
+  for (size_t i = 0; i < approx.size(); ++i) {
+    EXPECT_EQ(RecallVsExact(approx[i], truth[i]), 1.0) << "query " << i;
+  }
+}
+
+// ---- Retrieval-based evaluation ----
+
+SequenceCorpus MediumCorpus(int64_t num_users, int64_t num_items,
+                            uint32_t seed) {
+  std::mt19937 gen(seed);
+  SequenceCorpus corpus;
+  corpus.num_items = num_items;
+  std::uniform_int_distribution<int64_t> item(1, num_items);
+  std::uniform_int_distribution<int> len(4, 10);
+  for (int64_t u = 0; u < num_users; ++u) {
+    std::vector<int64_t> seq;
+    const int l = len(gen);
+    while (static_cast<int>(seq.size()) < l) {
+      const int64_t it = item(gen);
+      if (std::find(seq.begin(), seq.end(), it) == seq.end()) {
+        seq.push_back(it);
+      }
+    }
+    corpus.sequences.push_back(std::move(seq));
+  }
+  return corpus;
+}
+
+TEST(EvaluateRetrievedTest, ExactRetrieverReproducesFullScoringMetrics) {
+  const int64_t num_items = 150, d = 12;
+  SequenceDataset data(MediumCorpus(40, num_items, 101));
+  const Tensor table = RandomTable(num_items + 1, d, 102);
+
+  // Deterministic per-user state: a hash-seeded random vector, shared by
+  // both paths.
+  auto encode = [&](const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    Tensor states({static_cast<int64_t>(users.size()), d});
+    for (size_t i = 0; i < users.size(); ++i) {
+      std::mt19937 gen(static_cast<uint32_t>(1000 + users[i]));
+      std::normal_distribution<float> dist(0.f, 1.f);
+      for (int64_t j = 0; j < d; ++j) {
+        states.data()[static_cast<int64_t>(i) * d + j] = dist(gen);
+      }
+    }
+    return states;
+  };
+  auto score = [&](const std::vector<int64_t>& users,
+                   const std::vector<std::vector<int64_t>>& inputs) {
+    return MatMul(encode(users, inputs), table, false, /*trans_b=*/true);
+  };
+
+  const MetricReport full = EvaluateRanking(data, score);
+  ExactRetriever exact(table);
+  const MetricReport retrieved = EvaluateRetrievedRanking(data, encode, &exact);
+
+  EXPECT_EQ(retrieved.num_users, full.num_users);
+  for (int64_t k : {5, 10, 20}) {
+    EXPECT_DOUBLE_EQ(retrieved.hr.at(k), full.hr.at(k)) << "HR@" << k;
+    EXPECT_DOUBLE_EQ(retrieved.ndcg.at(k), full.ndcg.at(k)) << "NDCG@" << k;
+  }
+}
+
+TEST(EvaluateRetrievedTest, IvfMetricsLowerBoundFullScoring) {
+  const int64_t num_items = 200, d = 16;
+  SequenceDataset data(MediumCorpus(30, num_items, 111));
+  const Tensor table = ClusteredTable(num_items, d, 8, 112, 0.3f);
+  auto encode = [&](const std::vector<int64_t>& users,
+                    const std::vector<std::vector<int64_t>>& inputs) {
+    (void)inputs;
+    Tensor states({static_cast<int64_t>(users.size()), d});
+    for (size_t i = 0; i < users.size(); ++i) {
+      // Point each user's state at some item's neighborhood.
+      const int64_t anchor = 1 + (users[i] * 7) % num_items;
+      for (int64_t j = 0; j < d; ++j) {
+        states.data()[static_cast<int64_t>(i) * d + j] =
+            table.data()[anchor * d + j];
+      }
+    }
+    return states;
+  };
+  auto score = [&](const std::vector<int64_t>& users,
+                   const std::vector<std::vector<int64_t>>& inputs) {
+    return MatMul(encode(users, inputs), table, false, /*trans_b=*/true);
+  };
+
+  const MetricReport full = EvaluateRanking(data, score);
+  IvfRetriever ivf(table);
+  const MetricReport approx = EvaluateRetrievedRanking(data, encode, &ivf);
+  EXPECT_EQ(approx.num_users, full.num_users);
+  for (int64_t k : {5, 10, 20}) {
+    // Misses can only push ranks past the cutoffs: retrieved HR is a lower
+    // bound on full-scoring HR.
+    EXPECT_LE(approx.hr.at(k), full.hr.at(k) + 1e-12) << "HR@" << k;
+  }
+}
+
+}  // namespace
+}  // namespace retrieval
+}  // namespace cl4srec

@@ -421,6 +421,129 @@ TEST(SasRecBackendTest, ScoreFromStateUpdatesStateAndScores) {
   EXPECT_FALSE(backend.ScoreFromState(&bad, {}, &scores).ok());
 }
 
+// First num_items + 1 rows of the model's item-embedding table — the slice
+// the retrieval index covers (the vocab may hold extra special tokens, e.g.
+// the augmentation mask, which are never recommended).
+Tensor ItemTableSlice(SasRec* model, int64_t num_items) {
+  const Tensor& full = model->encoder()->item_embedding().table().value();
+  const int64_t d = full.dim(1);
+  Tensor slice({num_items + 1, d});
+  std::copy(full.data(), full.data() + (num_items + 1) * d, slice.data());
+  return slice;
+}
+
+TEST(SasRecBackendTest, TopCandidatesDefaultMatchesScoreFullTopK) {
+  ServingFixture& f = Fixture();
+  SasRecBackend backend(&f.model);
+  const std::vector<std::vector<int64_t>> histories = {f.History(2),
+                                                       f.History(3)};
+  Tensor scores, states;
+  ASSERT_TRUE(backend.ScoreFull({2, 3}, histories, &scores, &states).ok());
+  std::vector<std::vector<retrieval::ScoredItem>> candidates;
+  Tensor cand_states;
+  ASSERT_TRUE(backend
+                  .TopCandidates({2, 3}, histories, /*want=*/7, &candidates,
+                                 &cand_states)
+                  .ok());
+  ASSERT_EQ(candidates.size(), 2u);
+  for (int64_t i = 0; i < 2; ++i) {
+    const auto expect = retrieval::TopKFromScores(
+        scores.data() + i * (backend.num_items() + 1), backend.num_items(), 7);
+    ASSERT_EQ(candidates[static_cast<size_t>(i)].size(), expect.size());
+    for (size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(candidates[static_cast<size_t>(i)][j].id, expect[j].id);
+    }
+  }
+  // States flow through unchanged so the session cache still works.
+  EXPECT_EQ(cand_states.dim(0), 2);
+  EXPECT_EQ(cand_states.dim(1), backend.state_dim());
+}
+
+TEST(SasRecBackendTest, TopCandidatesWithRetrieverUsesTheIndex) {
+  ServingFixture& f = Fixture();
+  const Tensor table = ItemTableSlice(&f.model, f.data.num_items());
+  // Full probe + full re-rank: the IVF answer set equals exact retrieval,
+  // making the assertion deterministic.
+  retrieval::IvfRetrieverOptions opt;
+  opt.num_clusters = 8;
+  opt.nprobe = 8;
+  opt.rerank = f.data.num_items();
+  retrieval::IvfRetriever index(table, opt);
+  SasRecBackendOptions bopt;
+  bopt.retriever = &index;
+  SasRecBackend backend(&f.model, bopt);
+  SasRecBackend exact_backend(&f.model);
+
+  const std::vector<std::vector<int64_t>> histories = {f.History(4)};
+  std::vector<std::vector<retrieval::ScoredItem>> approx, exact;
+  Tensor s1, s2;
+  ASSERT_TRUE(
+      backend.TopCandidates({4}, histories, 10, &approx, &s1).ok());
+  ASSERT_TRUE(
+      exact_backend.TopCandidates({4}, histories, 10, &exact, &s2).ok());
+  ASSERT_EQ(approx[0].size(), exact[0].size());
+  std::set<int64_t> approx_ids, exact_ids;
+  for (const auto& c : approx[0]) approx_ids.insert(c.id);
+  for (const auto& c : exact[0]) exact_ids.insert(c.id);
+  EXPECT_EQ(approx_ids, exact_ids);
+  // Both paths must return the same encoder states for the cache.
+  ASSERT_EQ(s1.dim(0), s2.dim(0));
+  for (int64_t j = 0; j < s1.numel(); ++j) {
+    EXPECT_EQ(s1.data()[j], s2.data()[j]) << "state element " << j;
+  }
+}
+
+TEST(SasRecBackendTest, MismatchedRetrieverIsRejectedTyped) {
+  ServingFixture& f = Fixture();
+  // An index with the wrong dimensionality must produce a typed error, not
+  // garbage recommendations.
+  Tensor bad_table({f.data.num_items() + 1, 4});
+  for (int64_t i = 0; i < bad_table.numel(); ++i) bad_table.data()[i] = 0.5f;
+  retrieval::IvfRetriever index(bad_table);
+  SasRecBackendOptions bopt;
+  bopt.retriever = &index;
+  SasRecBackend backend(&f.model, bopt);
+  std::vector<std::vector<retrieval::ScoredItem>> candidates;
+  Tensor states;
+  const Status st =
+      backend.TopCandidates({0}, {f.History(0)}, 10, &candidates, &states);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RecommendServerTest, RetrieverBackedTier0AnswersAreValid) {
+  ServingFixture& f = Fixture();
+  const Tensor table = ItemTableSlice(&f.model, f.data.num_items());
+  retrieval::IvfRetrieverOptions opt;
+  opt.num_clusters = 8;
+  opt.nprobe = 4;
+  retrieval::IvfRetriever index(table, opt);
+  SasRecBackendOptions bopt;
+  bopt.retriever = &index;
+  SasRecBackend backend(&f.model, bopt);
+  ServerOptions options;
+  options.num_workers = 2;
+  RecommendServer server(&backend, f.popularity, options);
+  for (int64_t u = 0; u < 8; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.history = f.History(u);
+    request.k = 5;
+    auto result = server.Recommend(request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const RecommendResponse& response = result.value();
+    EXPECT_EQ(response.items.size(), 5u);
+    std::set<int64_t> seen(request.history.begin(), request.history.end());
+    for (int64_t item : response.items) {
+      EXPECT_GE(item, 1);
+      EXPECT_LE(item, f.data.num_items());
+      EXPECT_EQ(seen.count(item), 0u) << "history leaked into answer";
+      seen.insert(item);  // also catches duplicates
+    }
+  }
+  server.Stop();
+}
+
 TEST(RecommenderBackendTest, Tier0OnlyAdapter) {
   ServingFixture& f = Fixture();
   Pop pop;

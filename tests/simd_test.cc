@@ -388,6 +388,85 @@ TEST(SimdKernelTest, ReductionsAndExpAreRunToRunDeterministic) {
   }
 }
 
+// ---- Int8 kernels (quantized retrieval store) ----
+//
+// These are exact integer arithmetic, so the bar is strict equality with the
+// scalar reference in EVERY lane — not tolerance agreement like the float
+// reductions.
+
+std::vector<int8_t> RandomI8(int64_t n, uint32_t seed) {
+  std::mt19937 gen(seed);
+  // Full symmetric quantized range; -128 is never produced by the store.
+  std::uniform_int_distribution<int> dist(-127, 127);
+  std::vector<int8_t> v(static_cast<size_t>(n));
+  for (int8_t& x : v) x = static_cast<int8_t>(dist(gen));
+  return v;
+}
+
+TEST(SimdInt8Test, DotMatchesReferenceExactlyInEveryLane) {
+  for (int64_t n : kSizes) {
+    const std::vector<int8_t> a = RandomI8(n, 1000 + static_cast<uint32_t>(n));
+    const std::vector<int8_t> b = RandomI8(n, 2000 + static_cast<uint32_t>(n));
+    const int32_t expect = ref::DotI8(a.data(), b.data(), n);
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(std::string(kt->name) + " n=" + std::to_string(n));
+      EXPECT_EQ(kt->dot_i8(a.data(), b.data(), n), expect);
+    }
+  }
+}
+
+TEST(SimdInt8Test, DotSaturationWorstCaseIsExact) {
+  // All-|127| inputs are the pair-sum worst case: 127*127*2 = 32258 must not
+  // saturate the 16-bit intermediate (the reason the store never emits -128).
+  for (int64_t n : {32l, 33l, 64l, 65l, 256l}) {
+    std::vector<int8_t> a(static_cast<size_t>(n)), b(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      a[static_cast<size_t>(i)] = 127;
+      // Sign pattern exercises both the positive and negative halves of the
+      // sign-trick kernels.
+      b[static_cast<size_t>(i)] = (i % 3 == 0) ? -127 : 127;
+    }
+    const int32_t expect = ref::DotI8(a.data(), b.data(), n);
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(std::string(kt->name) + " n=" + std::to_string(n));
+      EXPECT_EQ(kt->dot_i8(a.data(), b.data(), n), expect);
+      EXPECT_EQ(kt->dot_i8(b.data(), a.data(), n), expect);
+    }
+  }
+}
+
+TEST(SimdInt8Test, DotBatchMatchesPerRowWithPaddedStride) {
+  const int64_t n = 65;        // Odd: exercises every lane's tail path.
+  const int64_t stride = 128;  // Padded rows, as the quantized store lays out.
+  const int64_t rows = 7;      // Odd row count: exercises row-pairing tails.
+  std::vector<int8_t> data(static_cast<size_t>(rows * stride), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const std::vector<int8_t> row =
+        RandomI8(n, 3000 + static_cast<uint32_t>(r));
+    std::copy(row.begin(), row.end(), data.begin() + r * stride);
+  }
+  const std::vector<int8_t> q = RandomI8(n, 4000);
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    std::vector<int32_t> out(static_cast<size_t>(rows), -1);
+    kt->dot_i8_batch(data.data(), stride, rows, q.data(), n, out.data());
+    for (int64_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(out[static_cast<size_t>(r)],
+                ref::DotI8(data.data() + r * stride, q.data(), n))
+          << "row " << r;
+    }
+  }
+}
+
+TEST(SimdInt8Test, EmptyAndSingleElementDots) {
+  const int8_t a = -127, b = 127;
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    EXPECT_EQ(kt->dot_i8(&a, &b, 0), 0);
+    EXPECT_EQ(kt->dot_i8(&a, &b, 1), -16129);
+  }
+}
+
 }  // namespace
 }  // namespace simd
 }  // namespace cl4srec
