@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "parallel/parallel.h"
@@ -43,6 +44,11 @@ void AddCommonFlags(FlagParser* flags) {
                    "(empty = tracing off)");
   flags->AddString("metrics_out", "",
                    "metrics-registry JSON snapshot path, written at exit");
+  flags->AddString("statusz_out", "",
+                   "live statusz JSON path, rewritten every "
+                   "--statusz_period_ms and on SIGUSR1 (empty = off)");
+  flags->AddInt("statusz_period_ms", 1000,
+                "statusz dump period in milliseconds");
 }
 
 BenchConfig ConfigFromFlags(const FlagParser& flags) {
@@ -88,6 +94,12 @@ BenchConfig ConfigFromFlags(const FlagParser& flags) {
   if (!trace_out.empty()) obs::Tracing::EnableWithOutput(trace_out);
   const std::string metrics_out = flags.GetString("metrics_out");
   if (!metrics_out.empty()) obs::WriteMetricsJsonAtExit(metrics_out);
+  const std::string statusz_out = flags.GetString("statusz_out");
+  if (!statusz_out.empty()) {
+    obs::Statusz::EnableWithOutput(statusz_out,
+                                   flags.GetInt("statusz_period_ms"));
+    obs::Statusz::InstallSigusr1Handler();
+  }
   return config;
 }
 

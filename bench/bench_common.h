@@ -8,6 +8,8 @@
 //   --telemetry_out  per-step training telemetry JSONL path
 //   --trace_out      Chrome trace_event JSON path (written at exit)
 //   --metrics_out    metrics-registry snapshot JSON path (written at exit)
+//   --statusz_out    live statusz JSON, rewritten every --statusz_period_ms
+//                    and on SIGUSR1 (pull-based introspection)
 
 #ifndef CL4SREC_BENCH_BENCH_COMMON_H_
 #define CL4SREC_BENCH_BENCH_COMMON_H_

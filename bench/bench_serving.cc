@@ -15,10 +15,18 @@
 //   ./bench_serving [--json out.json] [--duration_ms 2000] [--workers 2]
 //                   [--clients 4] [--overload_clients 16] [--zipf 1.1]
 //                   [--deadline_ms 50] [--overload_deadline_ms 8]
-//                   [--slow_worker_ms 0] [--retrieval] [--scale 1.0] ...
+//                   [--slow_worker_ms 0] [--retrieval] [--scale 1.0]
+//                   [--percentile_source sorted|sketch] [--p99_trip_ms 0]
+//                   [--trace_slow_ms 25] [--statusz_out statusz.json] ...
 //
 // --retrieval serves tier-0 answers from an IVF int8 ANN index over the
 // model's item table instead of full-catalog scoring.
+//
+// Reported p50/p99 come from exact sorted samples by default;
+// --percentile_source=sketch reports from a log-linear latency sketch fed
+// the same samples. Both are always recorded in the JSON and the run fails
+// if they disagree by more than 2% — a standing cross-check on the sketch
+// math the serving runtime itself reports from.
 //
 // --json writes a machine-readable report; scripts/bench_micro.sh smoke-runs
 // this binary and scripts/validate_telemetry.sh checks the serve.* metrics
@@ -37,6 +45,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/sketch.h"
 #include "retrieval/retriever.h"
 #include "serve/model_backend.h"
 #include "serve/server.h"
@@ -82,8 +91,22 @@ struct PhaseResult {
   int64_t shed_deadline = 0;
   int64_t deadline_missed = 0;
   double duration_s = 0.0;
-  double p50_ms = 0.0;
+  double p50_ms = 0.0;  // from the source picked by --percentile_source
   double p99_ms = 0.0;
+  // Both sources, always recorded: the exact sorted-sample percentiles and
+  // the log-linear sketch's estimates over the same samples. The sketch's
+  // bucket width caps its relative error at ~0.8%, so the bench asserts the
+  // two agree within 2% — a standing accuracy check on the sketch the
+  // serving hot path reports from.
+  double sorted_p50_ms = 0.0;
+  double sorted_p99_ms = 0.0;
+  double sketch_p50_ms = 0.0;
+  double sketch_p99_ms = 0.0;
+
+  double SketchRelError(double sketch_ms, double sorted_ms) const {
+    return sorted_ms > 0.0 ? std::abs(sketch_ms - sorted_ms) / sorted_ms
+                           : 0.0;
+  }
 
   int64_t answered() const { return tier0 + tier1 + tier2; }
   int64_t shed() const { return shed_overload + shed_deadline; }
@@ -107,11 +130,15 @@ double Percentile(std::vector<double>* sorted_in_place, double p) {
 PhaseResult RunPhase(const std::string& name, RecommendServer* server,
                      const SequenceDataset& data, const ZipfSampler& zipf,
                      int clients, double duration_ms, double deadline_ms,
-                     uint64_t seed) {
+                     uint64_t seed, bool report_from_sketch) {
   PhaseResult result;
   result.name = name;
   std::mutex mu;
   std::vector<double> latencies;
+  // Fed the exact same samples as `latencies`, concurrently from every
+  // client thread — the order-independent merge math is what makes the
+  // sketch-vs-sorted comparison below meaningful under concurrency.
+  obs::LatencySketch sketch;
   std::atomic<int64_t> requests{0}, tier0{0}, tier1{0}, tier2{0};
   std::atomic<int64_t> shed_overload{0}, shed_deadline{0}, missed{0};
 
@@ -134,7 +161,9 @@ PhaseResult RunPhase(const std::string& name, RecommendServer* server,
         Stopwatch latency;
         StatusOr<RecommendResponse> response = server->Recommend(request);
         if (response.ok()) {
-          local_latencies.push_back(latency.ElapsedMillis());
+          const double latency_ms = latency.ElapsedMillis();
+          local_latencies.push_back(latency_ms);
+          sketch.Observe(latency_ms);
           if (response->deadline_missed) missed.fetch_add(1);
           switch (response->tier) {
             case ServeTier::kFull: tier0.fetch_add(1); break;
@@ -162,9 +191,40 @@ PhaseResult RunPhase(const std::string& name, RecommendServer* server,
   result.shed_overload = shed_overload.load();
   result.shed_deadline = shed_deadline.load();
   result.deadline_missed = missed.load();
-  result.p50_ms = Percentile(&latencies, 0.50);
-  result.p99_ms = Percentile(&latencies, 0.99);
+  result.sorted_p50_ms = Percentile(&latencies, 0.50);
+  result.sorted_p99_ms = Percentile(&latencies, 0.99);
+  result.sketch_p50_ms = sketch.Percentile(0.50);
+  result.sketch_p99_ms = sketch.Percentile(0.99);
+  result.p50_ms = report_from_sketch ? result.sketch_p50_ms
+                                     : result.sorted_p50_ms;
+  result.p99_ms = report_from_sketch ? result.sketch_p99_ms
+                                     : result.sorted_p99_ms;
   return result;
+}
+
+// Standing accuracy contract: the sketch's p50/p99 must land within 2% of
+// the exact sorted-sample percentiles (both use rank floor(q*(n-1)); the
+// sketch's <=1/64 bucket width bounds its midpoint error well inside that).
+// Returns false (and complains) on violation. Phases with fewer than 10
+// samples are skipped — a couple of answers make percentiles degenerate.
+bool CheckSketchAgreement(const PhaseResult& r) {
+  if (r.answered() < 10) return true;
+  bool ok = true;
+  const struct { const char* label; double sketch, sorted; } checks[] = {
+      {"p50", r.sketch_p50_ms, r.sorted_p50_ms},
+      {"p99", r.sketch_p99_ms, r.sorted_p99_ms},
+  };
+  for (const auto& c : checks) {
+    const double rel = r.SketchRelError(c.sketch, c.sorted);
+    if (rel > 0.02) {
+      std::fprintf(stderr,
+                   "[%s] sketch %s disagrees with sorted sample: sketch "
+                   "%.4fms vs sorted %.4fms (rel err %.2f%% > 2%%)\n",
+                   r.name.c_str(), c.label, c.sketch, c.sorted, 100.0 * rel);
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 void PrintPhase(const PhaseResult& r) {
@@ -187,6 +247,14 @@ void AppendPhaseJson(std::ostringstream* out, const PhaseResult& r) {
        << "      \"qps\": " << r.qps() << ",\n"
        << "      \"p50_ms\": " << r.p50_ms << ",\n"
        << "      \"p99_ms\": " << r.p99_ms << ",\n"
+       << "      \"sorted_p50_ms\": " << r.sorted_p50_ms << ",\n"
+       << "      \"sorted_p99_ms\": " << r.sorted_p99_ms << ",\n"
+       << "      \"sketch_p50_ms\": " << r.sketch_p50_ms << ",\n"
+       << "      \"sketch_p99_ms\": " << r.sketch_p99_ms << ",\n"
+       << "      \"sketch_p50_rel_err\": "
+       << r.SketchRelError(r.sketch_p50_ms, r.sorted_p50_ms) << ",\n"
+       << "      \"sketch_p99_rel_err\": "
+       << r.SketchRelError(r.sketch_p99_ms, r.sorted_p99_ms) << ",\n"
        << "      \"shed_rate\": " << r.shed_rate() << ",\n"
        << "      \"shed_overload\": " << r.shed_overload << ",\n"
        << "      \"shed_deadline\": " << r.shed_deadline << ",\n"
@@ -215,6 +283,17 @@ int main(int argc, char** argv) {
                   "inject this stall into every overload-phase batch");
   flags.AddDouble("slow_batch_ms", 0.0,
                   "degrade-controller slow-batch threshold (0 = off)");
+  flags.AddDouble("p99_trip_ms", 0.0,
+                  "degrade when the windowed forward p99 exceeds this "
+                  "(0 = off; see DegradeOptions::p99_trip_ms)");
+  flags.AddDouble("trace_slow_ms", 25.0,
+                  "tail-sampling threshold: requests slower than this keep "
+                  "their full span tree (<= 0 disables the trace store)");
+  flags.AddString("percentile_source", "sorted",
+                  "where reported p50/p99 come from: 'sorted' (exact "
+                  "sorted samples) or 'sketch' (log-linear latency "
+                  "sketch); both are recorded and cross-checked either "
+                  "way");
   flags.AddBool("retrieval", false,
                 "serve tier-0 from an IVF int8 index over the item table "
                 "instead of full-catalog scoring");
@@ -267,7 +346,17 @@ int main(int argc, char** argv) {
   options.degrade.failure_threshold = 2;
   options.degrade.cooldown_ms = 50.0;
   options.degrade.slow_batch_ms = flags.GetDouble("slow_batch_ms");
+  options.degrade.p99_trip_ms = flags.GetDouble("p99_trip_ms");
+  options.trace_slow_ms = flags.GetDouble("trace_slow_ms");
   RecommendServer server(&backend, popularity, options);
+
+  const std::string percentile_source = flags.GetString("percentile_source");
+  if (percentile_source != "sorted" && percentile_source != "sketch") {
+    std::fprintf(stderr, "unknown --percentile_source '%s' (want sorted or "
+                 "sketch)\n", percentile_source.c_str());
+    return 1;
+  }
+  const bool report_from_sketch = percentile_source == "sketch";
 
   const ZipfSampler zipf(data.num_users(), flags.GetDouble("zipf"));
   const auto duration_ms = static_cast<double>(flags.GetInt("duration_ms"));
@@ -275,7 +364,8 @@ int main(int argc, char** argv) {
   PhaseResult steady =
       RunPhase("steady", &server, data, zipf,
                static_cast<int>(flags.GetInt("clients")), duration_ms,
-               flags.GetDouble("deadline_ms"), config.seed);
+               flags.GetDouble("deadline_ms"), config.seed,
+               report_from_sketch);
   PrintPhase(steady);
 
   PhaseResult overload;
@@ -292,10 +382,13 @@ int main(int argc, char** argv) {
     overload = RunPhase("overload", &server, data, zipf,
                         static_cast<int>(flags.GetInt("overload_clients")),
                         duration_ms, flags.GetDouble("overload_deadline_ms"),
-                        config.seed + 1);
+                        config.seed + 1, report_from_sketch);
     PrintPhase(overload);
   }
   server.Stop();
+
+  const bool sketch_ok =
+      CheckSketchAgreement(steady) && CheckSketchAgreement(overload);
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
@@ -306,6 +399,7 @@ int main(int argc, char** argv) {
         << (retriever ? retriever->name() : "exact") << "\",\n"
         << "  \"workers\": " << options.num_workers << ",\n"
         << "  \"zipf\": " << flags.GetDouble("zipf") << ",\n"
+        << "  \"percentile_source\": \"" << percentile_source << "\",\n"
         << "  \"phases\": {\n";
     AppendPhaseJson(&out, steady);
     out << ",\n";
@@ -319,5 +413,5 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return 0;
+  return sketch_ok ? 0 : 1;
 }

@@ -45,8 +45,15 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 "$BUILD_DIR"/bench/bench_retrieval --items 10000 --min_time_s 0.2
 
 # Serving smoke: short phases, slow-worker fault in the overload phase so
-# the per-tier fractions exercise the whole ladder.
+# the per-tier fractions exercise the whole ladder. The run itself
+# cross-checks the latency sketch against exact sorted percentiles (2%
+# contract) and fails on disagreement.
 SERVING_OUT=${SERVING_OUT:-BENCH_serving.json}
 "$BUILD_DIR"/bench/bench_serving --json "$SERVING_OUT" \
   --duration_ms 800 --slow_worker_ms 10 --slow_batch_ms 8 \
   --overload_deadline_ms 25
+
+# Regression gate: compare the fresh artifacts against the baselines
+# committed at HEAD. Machine-fingerprint-aware (skips when the host does
+# not match the baseline's), fails on >15% regression in throughput / p99.
+python3 scripts/bench_regress.py "$OUT" "$SERVING_OUT"

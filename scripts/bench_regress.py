@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json artifacts against the committed baselines.
+
+Every BENCH_*.json embeds a "machine" object (hardware_concurrency,
+parallel_threads, active_isa, compiled_lanes) precisely so numbers from
+different hosts are never compared blind. This script enforces that: a
+fresh artifact is compared against `git show <ref>:<name>` only when the
+two machine fingerprints match; otherwise the comparison is skipped with a
+note (a laptop run regressing against a CI baseline is noise, not signal).
+
+Comparable metrics are found by key name anywhere in the JSON tree:
+
+  higher is better   qps, *users_per_s, *gflops, *steps_per_s, recall_at_k
+  lower is better    p99_ms
+
+Paths containing "overload" are excluded — that bench phase runs with an
+injected worker fault and a saturating client load, so its numbers are
+deliberately chaotic. A metric regressing by more than --threshold
+(default 15%) relative to the baseline fails the run with exit 1.
+
+Usage:
+  scripts/bench_regress.py [--threshold 0.15] [--ref HEAD] FILE [FILE...]
+
+Invoked from scripts/bench_micro.sh after the smoke benches rewrite their
+artifacts, turning "did this PR slow serving down?" into a red build
+instead of an eyeballed diff.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HIGHER_BETTER_SUFFIXES = ("users_per_s", "gflops", "steps_per_s")
+HIGHER_BETTER_KEYS = ("qps", "recall_at_k")
+LOWER_BETTER_KEYS = ("p99_ms",)
+EXCLUDED_PATH_PARTS = ("overload",)
+MACHINE_KEYS = ("hardware_concurrency", "parallel_threads", "active_isa")
+
+
+def flatten(node, path=()):
+    """Yields (path, value) for every numeric leaf of a JSON tree."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, path + (str(key),))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            # Prefer a "name" field over the index so list reordering does
+            # not misalign baseline and current entries.
+            label = node[i].get("name", str(i)) if isinstance(node[i], dict) else str(i)
+            yield from flatten(value, path + (str(label),))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, float(node)
+
+
+def direction(path):
+    """Returns +1 (higher better), -1 (lower better), or 0 (not compared)."""
+    if any(part in p for part in EXCLUDED_PATH_PARTS for p in path):
+        return 0
+    key = path[-1]
+    if key in LOWER_BETTER_KEYS:
+        return -1
+    if key in HIGHER_BETTER_KEYS or key.endswith(HIGHER_BETTER_SUFFIXES):
+        return 1
+    return 0
+
+
+def baseline_json(ref, name):
+    """Loads <ref>:<name> from git, or None if the baseline does not exist."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{name}"],
+        capture_output=True, text=True, cwd=Path(__file__).resolve().parent.parent)
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def machines_match(current, baseline):
+    cur = current.get("machine", {})
+    base = baseline.get("machine", {})
+    return all(cur.get(k) == base.get(k) for k in MACHINE_KEYS)
+
+
+def compare_file(path, ref, threshold):
+    """Returns (num_compared, regressions) for one artifact."""
+    name = Path(path).name
+    with open(path) as f:
+        current = json.load(f)
+    baseline = baseline_json(ref, name)
+    if baseline is None:
+        print(f"[{name}] no baseline at {ref} — skipping (new artifact)")
+        return 0, []
+    if not machines_match(current, baseline):
+        cur, base = current.get("machine", {}), baseline.get("machine", {})
+        print(f"[{name}] machine fingerprint differs from {ref} baseline — "
+              f"skipping (current {cur.get('active_isa')}/"
+              f"{cur.get('hardware_concurrency')}c vs baseline "
+              f"{base.get('active_isa')}/{base.get('hardware_concurrency')}c)")
+        return 0, []
+
+    base_values = dict(flatten(baseline))
+    compared = 0
+    regressions = []
+    for path_key, cur_value in flatten(current):
+        sign = direction(path_key)
+        if sign == 0 or path_key not in base_values:
+            continue
+        base_value = base_values[path_key]
+        if base_value <= 0:
+            continue
+        compared += 1
+        # Positive delta = improvement in the metric's good direction.
+        delta = sign * (cur_value - base_value) / base_value
+        label = ".".join(path_key)
+        marker = ""
+        if delta < -threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((label, base_value, cur_value, delta))
+        print(f"[{name}] {label}: {base_value:.4g} -> {cur_value:.4g} "
+              f"({100 * delta:+.1f}%){marker}")
+    return compared, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="fresh BENCH_*.json artifacts")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression that fails the run")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref holding the baseline artifacts")
+    args = parser.parse_args()
+
+    total_compared = 0
+    all_regressions = []
+    for path in args.files:
+        if not Path(path).exists():
+            print(f"[{Path(path).name}] missing — skipping")
+            continue
+        compared, regressions = compare_file(path, args.ref, args.threshold)
+        total_compared += compared
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} metric(s) regressed more than "
+              f"{100 * args.threshold:.0f}% vs {args.ref}:")
+        for label, base, cur, delta in all_regressions:
+            print(f"  {label}: {base:.4g} -> {cur:.4g} ({100 * delta:+.1f}%)")
+        return 1
+    print(f"\nbench_regress: {total_compared} metric(s) compared, "
+          f"no regression beyond {100 * args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,15 @@
 #   - the accounting invariant serve.requests == serve.answered.tier{0,1,2}
 #     + serve.shed.{overload,deadline} (every admitted request is answered
 #     at exactly one tier or shed with a typed status — nothing vanishes),
-#   - serve.latency_ms histogram count == answered total,
+#   - serve.latency_ms windowed-sketch count == answered total,
 #   - batcher/cache counters are self-consistent,
 #   - the trace contains serve/batch spans from the worker loop,
+#   - request tracing produces CONNECTED span trees: >=99% of the ok
+#     requests inside the trace ring's retained window have a serve/request
+#     root whose children (serve/queue, serve/forward, retrieval/query)
+#     link back to it through parent_span_id,
+#   - the statusz dump is valid JSON whose serve section satisfies
+#     requests == answered.total + shed.total, with sampled slow traces,
 #   - with --retrieval the tier-0 path goes through the IVF index, so the
 #     retrieval.* counters (queries, probes, scanned_rows) must be
 #     positive and consistent, and the trace must carry retrieval/query
@@ -35,7 +41,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target cl4srec_cli bench_serving
 
 mkdir -p "$OUT_DIR"
 rm -f "$OUT_DIR"/steps.jsonl "$OUT_DIR"/trace.json "$OUT_DIR"/metrics.json \
-  "$OUT_DIR"/serve_trace.json "$OUT_DIR"/serve_metrics.json
+  "$OUT_DIR"/serve_trace.json "$OUT_DIR"/serve_metrics.json \
+  "$OUT_DIR"/serve_statusz.json
 
 # CL4SRec exercises both training stages (contrastive pre-train + fine-tune),
 # so the JSONL carries more than one stage label.
@@ -104,7 +111,8 @@ PYEOF
   --duration_ms 500 --slow_worker_ms 10 --slow_batch_ms 8 \
   --overload_deadline_ms 25 --retrieval \
   --trace_out "$OUT_DIR/serve_trace.json" \
-  --metrics_out "$OUT_DIR/serve_metrics.json"
+  --metrics_out "$OUT_DIR/serve_metrics.json" \
+  --statusz_out "$OUT_DIR/serve_statusz.json"
 
 "$PYTHON" - "$OUT_DIR" <<'PYEOF'
 import json
@@ -130,11 +138,15 @@ assert requests > 0, "serving bench recorded no requests"
 assert requests == answered + shed, \
     f"serve.requests={requests} != answered({answered}) + shed({shed})"
 
-# 2. Latency histogram observes exactly the answered requests (shed paths
-#    return before the observation point).
-latency = metrics["histograms"]["serve.latency_ms"]
+# 2. The latency sketch observes exactly the answered requests (shed paths
+#    return before the observation point), and its percentile estimates are
+#    sane: finite, ordered, positive.
+latency = metrics["sketches"]["serve.latency_ms"]
 assert latency["count"] == answered, \
     f"serve.latency_ms count={latency['count']} != answered={answered}"
+assert 0 < latency["p50_ms"] <= latency["p99_ms"], \
+    f"sketch percentiles out of order: {latency}"
+assert latency["tail_exemplars"], "latency sketch kept no tail exemplars"
 
 # 3. Batcher self-consistency: every released batch is counted once and
 #    its size observed once.
@@ -179,9 +191,61 @@ assert counter("retrieval.shortlist") >= queries, \
 retrieval_spans = [e for e in events if e["name"] == "retrieval/query"]
 assert retrieval_spans, "trace missing retrieval/query spans"
 
+# 8. Request-trace connectivity: every request minted at admission must
+#    leave one connected span tree — a serve/request root plus children
+#    linking back to it through parent_span_id. The per-thread trace rings
+#    keep only the most recent window, so the check is bounded to roots
+#    admitted after the earliest retained child span (evicted spans are a
+#    ring-capacity fact, not broken propagation).
+traced = [e for e in events if e.get("args", {}).get("trace_id")]
+roots = [e for e in traced if e["name"] == "serve/request"]
+children = [e for e in traced if e["name"] != "serve/request"]
+assert roots, "trace has no serve/request roots"
+assert children, "trace has no request child spans"
+
+spans_by_trace = {}
+for e in children:
+    spans_by_trace.setdefault(e["args"]["trace_id"], []).append(e)
+window_start_ts = min(e["ts"] for e in children)
+
+eligible = [r for r in roots
+            if r["args"].get("outcome") == "ok" and r["ts"] >= window_start_ts]
+assert eligible, "no ok-outcome roots inside the retained trace window"
+connected = 0
+for root in eligible:
+    group = spans_by_trace.get(root["args"]["trace_id"], [])
+    ids = {s["args"]["span_id"] for s in group} | {root["args"]["span_id"]}
+    if group and all(s["args"]["parent_span_id"] in ids for s in group):
+        connected += 1
+connectivity = connected / len(eligible)
+assert connectivity >= 0.99, \
+    f"only {connected}/{len(eligible)} ok requests form connected span " \
+    f"trees ({100 * connectivity:.1f}% < 99%)"
+
+# 9. Statusz dump: the pull-based surface must agree with itself — the
+#    serve section satisfies the same accounting invariant, and the tail
+#    sampler retained slow/degraded trees from the overload phase, each of
+#    them parent-connected.
+with open(f"{out_dir}/serve_statusz.json") as f:
+    statusz = json.load(f)
+serve = statusz["serve"]
+assert serve["requests"] > 0, "statusz saw no requests"
+assert serve["requests"] == serve["answered"]["total"] + serve["shed"]["total"], \
+    f"statusz invariant broken: {serve['requests']} != " \
+    f"{serve['answered']['total']} + {serve['shed']['total']}"
+sampled = statusz["sampled_traces"]
+assert sampled, "statusz retained no sampled traces despite a slow worker"
+for tree in sampled:
+    ids = {s["span_id"] for s in tree["spans"]}
+    for span in tree["spans"]:
+        assert span["parent_span_id"] == 0 or span["parent_span_id"] in ids, \
+            f"sampled trace {tree['trace_id']} has a dangling span"
+
 print(f"serving telemetry OK: {requests} requests = {answered} answered + "
       f"{shed} shed, {batches} batches, {len(serve_spans)} serve/batch "
-      f"spans, {queries} retrieval queries")
+      f"spans, {queries} retrieval queries, "
+      f"{100 * connectivity:.1f}% connected trees "
+      f"({len(eligible)} in window), {len(sampled)} sampled slow traces")
 PYEOF
 
 echo "telemetry validation passed"

@@ -89,6 +89,20 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+WindowedLatencySketch* MetricsRegistry::GetSketch(const std::string& name,
+                                                  double window_ms,
+                                                  int64_t slices) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sketches_[name];
+  if (slot == nullptr) {
+    WindowOptions options;
+    options.window_ms = window_ms;
+    options.slices = slices;
+    slot.reset(new WindowedLatencySketch(options));
+  }
+  return slot.get();
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
@@ -122,6 +136,34 @@ std::string MetricsRegistry::ToJson() const {
         out << "\"inf\"";
       }
       out << ", \"count\": " << counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"sketches\": {";
+  first = true;
+  for (const auto& [name, sketch] : sketches_) {
+    const LatencySketch& all = sketch->cumulative();
+    const WindowedLatencySketch::WindowStats window = sketch->Window();
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": {\"count\": " << all.count()
+        << ", \"sum_ms\": " << JsonNumber(all.sum_ms())
+        << ", \"p50_ms\": " << JsonNumber(all.Percentile(0.50))
+        << ", \"p99_ms\": " << JsonNumber(all.Percentile(0.99))
+        << ", \"window\": {\"window_ms\": " << JsonNumber(sketch->window_ms())
+        << ", \"count\": " << window.count
+        << ", \"p50_ms\": " << JsonNumber(window.p50_ms)
+        << ", \"p90_ms\": " << JsonNumber(window.p90_ms)
+        << ", \"p99_ms\": " << JsonNumber(window.p99_ms)
+        << ", \"p999_ms\": " << JsonNumber(window.p999_ms)
+        << "}, \"tail_exemplars\": [";
+    const std::vector<LatencySketch::Exemplar> exemplars =
+        all.TailExemplars(/*max_buckets=*/4);
+    for (size_t i = 0; i < exemplars.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le_ms\": " << JsonNumber(exemplars[i].le_ms)
+          << ", \"count\": " << exemplars[i].count
+          << ", \"trace_id\": " << exemplars[i].trace_id << "}";
     }
     out << "]}";
     first = false;
@@ -161,6 +203,24 @@ Status MetricsRegistry::WriteCsvFile(const std::string& path) const {
           {name, "histogram", key, std::to_string(counts[i])}));
     }
   }
+  for (const auto& [name, sketch] : sketches_) {
+    const LatencySketch& all = sketch->cumulative();
+    const WindowedLatencySketch::WindowStats window = sketch->Window();
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "sketch", "count", std::to_string(all.count())}));
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "sketch", "sum_ms", StrFormat("%.9g", all.sum_ms())}));
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "sketch", "p50_ms", StrFormat("%.9g", all.Percentile(0.50))}));
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "sketch", "p99_ms", StrFormat("%.9g", all.Percentile(0.99))}));
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "sketch", "window_count", std::to_string(window.count)}));
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "sketch", "window_p50_ms", StrFormat("%.9g", window.p50_ms)}));
+    CL4SREC_RETURN_NOT_OK(csv.WriteRow(
+        {name, "sketch", "window_p99_ms", StrFormat("%.9g", window.p99_ms)}));
+  }
   return Status::Ok();
 }
 
@@ -176,13 +236,30 @@ std::string& ExitSnapshotPath() {
   return *kPath;
 }
 
-void WriteMetricsAtExit() {
+// The exit-snapshot latch. atexit hooks run in reverse registration order,
+// so the metrics snapshot could previously fire after another exit hook
+// (statusz shutdown, trace export) had already flushed a document embedding
+// the same registry state — or, worse, after test/bench teardown had Reset
+// the registry, silently overwriting the real numbers with zeros. The latch
+// makes the snapshot single-shot: whoever flushes first (explicit teardown
+// call or the atexit hook) wins, and the late writer is a no-op.
+std::atomic<bool>& ExitSnapshotSpent() {
+  static std::atomic<bool>* const kSpent = new std::atomic<bool>(false);
+  return *kSpent;
+}
+
+}  // namespace
+
+void FlushMetricsExitSnapshot() {
   std::string path;
   {
     std::lock_guard<std::mutex> lock(ExitSnapshotMutex());
     path = ExitSnapshotPath();
   }
   if (path.empty()) return;
+  if (ExitSnapshotSpent().exchange(true, std::memory_order_acq_rel)) {
+    return;  // already flushed for this registration
+  }
   const Status status = MetricsRegistry::Global().WriteJsonFile(path);
   if (!status.ok()) {
     CL4SREC_LOG(Warning) << "failed to write metrics snapshot to " << path
@@ -190,14 +267,14 @@ void WriteMetricsAtExit() {
   }
 }
 
-}  // namespace
-
 void WriteMetricsJsonAtExit(const std::string& path) {
   static bool hook_installed = false;  // Guarded by ExitSnapshotMutex().
   std::lock_guard<std::mutex> lock(ExitSnapshotMutex());
   ExitSnapshotPath() = path;
+  // A fresh registration re-arms the latch so the new path gets its write.
+  ExitSnapshotSpent().store(false, std::memory_order_release);
   if (!path.empty() && !hook_installed) {
-    std::atexit(WriteMetricsAtExit);
+    std::atexit(FlushMetricsExitSnapshot);
     hook_installed = true;
   }
 }
@@ -213,6 +290,7 @@ void MetricsRegistry::Reset() {
     hist->count_.store(0);
     hist->sum_.store(0.0);
   }
+  for (auto& [name, sketch] : sketches_) sketch->Clear();
 }
 
 }  // namespace obs

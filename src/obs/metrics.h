@@ -1,10 +1,11 @@
 // MetricsRegistry — process-wide, thread-safe metric store for the training
 // and serving runtime: monotonically increasing counters, last-value gauges,
-// and fixed-bucket histograms. Metric objects are created once (registry map
-// guarded by a mutex) and then updated lock-free with relaxed atomics, so
-// instrumenting a hot path costs one atomic add per update. Snapshots export
-// to JSON (`ToJson` / `WriteJsonFile`) and to the CSV writer (`WriteCsvFile`)
-// for offline analysis.
+// fixed-bucket histograms, and windowed log-linear latency sketches
+// (obs/sketch.h). Metric objects are created once (registry map guarded by a
+// mutex) and then updated lock-free with relaxed atomics, so instrumenting a
+// hot path costs one atomic add per update. Snapshots export to JSON
+// (`ToJson` / `WriteJsonFile`) and to the CSV writer (`WriteCsvFile`) for
+// offline analysis.
 //
 // Naming convention: dotted lowercase paths, subsystem first —
 // `train.steps`, `parallel.chunks_executed`, `eval.users_per_sec`.
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/sketch.h"
 #include "util/status.h"
 
 namespace cl4srec {
@@ -82,9 +84,18 @@ class Histogram {
 const std::vector<double>& DefaultLatencyBoundsMs();
 
 // Arranges for the global registry to be snapshotted to `path` as JSON at
-// process exit (atexit). Calling again replaces the path; empty disables.
-// Backs the --metrics_out flag on the CLI/bench binaries.
+// process exit (atexit). Calling again replaces the path (and re-arms the
+// flush latch below); empty disables. Backs the --metrics_out flag on the
+// CLI/bench binaries.
 void WriteMetricsJsonAtExit(const std::string& path);
+
+// Writes the registered exit snapshot now, exactly once per registration
+// (atomic latch shared with the atexit hook). Teardown code that runs
+// before atexit — or other exit hooks whose output embeds metrics — can
+// flush explicitly without risking a second, later write observing
+// half-torn-down or Reset state. No-op when no path is registered or the
+// latch is already spent.
+void FlushMetricsExitSnapshot();
 
 class MetricsRegistry {
  public:
@@ -98,9 +109,15 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds = {});
+  // A sketch's window geometry is fixed by its first GetSketch call.
+  WindowedLatencySketch* GetSketch(const std::string& name,
+                                   double window_ms = 10000.0,
+                                   int64_t slices = 5);
 
   // Point-in-time snapshot of every metric as a JSON object with "counters",
-  // "gauges", and "histograms" sections, name-sorted.
+  // "gauges", "histograms", and "sketches" sections, name-sorted. Sketch
+  // entries carry all-time count/sum/percentiles, the sliding-window
+  // percentiles, and the tail buckets' exemplar trace ids.
   std::string ToJson() const;
   Status WriteJsonFile(const std::string& path) const;
 
@@ -119,6 +136,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedLatencySketch>> sketches_;
 };
 
 }  // namespace obs

@@ -1,0 +1,211 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace obs {
+namespace {
+
+// 100ns ticks per millisecond.
+constexpr double kTicksPerMs = 1e4;
+constexpr int64_t kMaxTicks = (int64_t{1} << LatencySketch::kMaxTickBits) - 1;
+
+int64_t MsToTicks(double ms) {
+  if (!(ms > 0.0)) return 0;  // negatives and NaN clamp to the zero bucket
+  const double ticks = ms * kTicksPerMs;
+  if (ticks >= static_cast<double>(kMaxTicks)) return kMaxTicks;
+  return static_cast<int64_t>(std::llround(ticks));
+}
+
+int64_t HighestBit(int64_t v) {
+  int64_t bit = 0;
+  while (v >>= 1) ++bit;
+  return bit;
+}
+
+}  // namespace
+
+LatencySketch::LatencySketch() {
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(kNumBuckets);
+  exemplars_ = std::make_unique<std::atomic<uint64_t>[]>(kNumBuckets);
+  for (int64_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+    exemplars_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t LatencySketch::TickBucket(int64_t ticks) {
+  if (ticks < kLinearBuckets) return ticks;
+  const int64_t octave = HighestBit(ticks) - 6;  // >= 1 for ticks >= 128
+  return kLinearBuckets + (octave - 1) * kSubBuckets +
+         ((ticks >> octave) - kSubBuckets);
+}
+
+int64_t LatencySketch::BucketIndex(double ms) {
+  return TickBucket(MsToTicks(ms));
+}
+
+double LatencySketch::BucketLowerMs(int64_t index) {
+  if (index < kLinearBuckets) return static_cast<double>(index) / kTicksPerMs;
+  const int64_t octave = (index - kLinearBuckets) / kSubBuckets + 1;
+  const int64_t mantissa = (index - kLinearBuckets) % kSubBuckets + kSubBuckets;
+  return static_cast<double>(mantissa << octave) / kTicksPerMs;
+}
+
+double LatencySketch::BucketUpperMs(int64_t index) {
+  if (index < kLinearBuckets) {
+    return static_cast<double>(index + 1) / kTicksPerMs;
+  }
+  const int64_t octave = (index - kLinearBuckets) / kSubBuckets + 1;
+  const int64_t mantissa = (index - kLinearBuckets) % kSubBuckets + kSubBuckets;
+  return static_cast<double>((mantissa + 1) << octave) / kTicksPerMs;
+}
+
+void LatencySketch::ObserveWithExemplar(double ms, uint64_t trace_id) {
+  const int64_t ticks = MsToTicks(ms);
+  const int64_t bucket = TickBucket(ticks);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ticks_.fetch_add(ticks, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    exemplars_[bucket].store(trace_id, std::memory_order_relaxed);
+  }
+}
+
+void LatencySketch::Merge(const LatencySketch& other) {
+  for (int64_t i = 0; i < kNumBuckets; ++i) {
+    const int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    const uint64_t exemplar =
+        other.exemplars_[i].load(std::memory_order_relaxed);
+    if (exemplar != 0) {
+      exemplars_[i].store(exemplar, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_ticks_.fetch_add(other.sum_ticks(), std::memory_order_relaxed);
+}
+
+void LatencySketch::Clear() {
+  for (int64_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+    exemplars_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_ticks_.store(0, std::memory_order_relaxed);
+}
+
+double LatencySketch::Percentile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Same nearest-rank rule bench_serving applies to its sorted sample.
+  const auto target = static_cast<int64_t>(
+      q * static_cast<double>(total - 1));
+  int64_t cumulative = 0;
+  for (int64_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative > target) {
+      return 0.5 * (BucketLowerMs(i) + BucketUpperMs(i));
+    }
+  }
+  return BucketUpperMs(kNumBuckets - 1);
+}
+
+std::vector<LatencySketch::Exemplar> LatencySketch::TailExemplars(
+    int64_t max_buckets) const {
+  std::vector<Exemplar> out;
+  for (int64_t i = kNumBuckets - 1;
+       i >= 0 && static_cast<int64_t>(out.size()) < max_buckets; --i) {
+    const int64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    Exemplar e;
+    e.le_ms = BucketUpperMs(i);
+    e.count = n;
+    e.trace_id = exemplars_[i].load(std::memory_order_relaxed);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<int64_t> LatencySketch::bucket_counts() const {
+  std::vector<int64_t> counts(static_cast<size_t>(kNumBuckets));
+  for (int64_t i = 0; i < kNumBuckets; ++i) {
+    counts[static_cast<size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+WindowedLatencySketch::WindowedLatencySketch(const WindowOptions& options)
+    : options_(options),
+      slice_ns_(std::max<int64_t>(
+          1, static_cast<int64_t>(options.window_ms * 1e6 /
+                                  static_cast<double>(
+                                      std::max<int64_t>(1, options.slices))))),
+      slices_(static_cast<size_t>(std::max<int64_t>(1, options.slices))) {
+  CL4SREC_CHECK_GT(options_.window_ms, 0.0);
+}
+
+void WindowedLatencySketch::Observe(double ms, uint64_t trace_id,
+                                    int64_t now_ns) {
+  if (now_ns < 0) now_ns = NowNanos();
+  const int64_t epoch = now_ns / slice_ns_;
+  Slice& slice = slices_[static_cast<size_t>(
+      epoch % static_cast<int64_t>(slices_.size()))];
+  if (slice.epoch.load(std::memory_order_acquire) != epoch) {
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    // Re-check under the lock; only rotate forward (a concurrent observer
+    // may already have claimed this or a newer epoch for the slot).
+    if (slice.epoch.load(std::memory_order_relaxed) < epoch) {
+      slice.sketch.Clear();
+      slice.epoch.store(epoch, std::memory_order_release);
+    }
+  }
+  slice.sketch.ObserveWithExemplar(ms, trace_id);
+  cumulative_.ObserveWithExemplar(ms, trace_id);
+}
+
+void WindowedLatencySketch::MergeWindowInto(LatencySketch* out,
+                                            int64_t now_ns) const {
+  if (now_ns < 0) now_ns = NowNanos();
+  const int64_t epoch = now_ns / slice_ns_;
+  const auto num_slices = static_cast<int64_t>(slices_.size());
+  out->Clear();
+  for (const Slice& slice : slices_) {
+    const int64_t slice_epoch = slice.epoch.load(std::memory_order_acquire);
+    if (slice_epoch >= 0 && slice_epoch > epoch - num_slices &&
+        slice_epoch <= epoch) {
+      out->Merge(slice.sketch);
+    }
+  }
+}
+
+WindowedLatencySketch::WindowStats WindowedLatencySketch::Window(
+    int64_t now_ns) const {
+  LatencySketch merged;
+  MergeWindowInto(&merged, now_ns);
+  WindowStats stats;
+  stats.count = merged.count();
+  stats.p50_ms = merged.Percentile(0.50);
+  stats.p90_ms = merged.Percentile(0.90);
+  stats.p99_ms = merged.Percentile(0.99);
+  stats.p999_ms = merged.Percentile(0.999);
+  return stats;
+}
+
+void WindowedLatencySketch::Clear() {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  for (Slice& slice : slices_) {
+    slice.sketch.Clear();
+    slice.epoch.store(-1, std::memory_order_release);
+  }
+  cumulative_.Clear();
+}
+
+}  // namespace obs
+}  // namespace cl4srec

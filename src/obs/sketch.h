@@ -1,0 +1,165 @@
+// Mergeable log-linear (HDR-style) latency sketches and their sliding-window
+// wrapper — the tail-percentile machinery for the serving hot path.
+//
+// A LatencySketch buckets a latency into one of kNumBuckets log-linear bins:
+// values are quantized to 100ns ticks, the first 128 ticks are one bucket
+// each (sub-13us latencies are near-exact), and every octave above that is
+// split into 64 linear sub-buckets, so a bucket is never wider than 1/64 of
+// its value. Reporting the bucket midpoint therefore bounds the relative
+// percentile error at ~0.8% — comfortably inside the 2%-vs-exact-sorted
+// contract bench_serving asserts. All state is integer (atomic bucket
+// counts, an integer tick sum), which buys two properties the fixed-bucket
+// Histogram cannot offer:
+//
+//   * Merge is a bucket-wise integer add: order-independent and
+//     bit-identical regardless of how observations were sharded across
+//     threads (tests/obs_test.cc pins this).
+//   * Observe is wait-free — two relaxed fetch_adds and one relaxed store —
+//     so per-request recording costs the same as the old histogram.
+//
+// Each bucket also carries an exemplar: the trace_id of the most recent
+// observation that landed there. A p99 spike in the exported percentiles
+// links directly to a captured request trace (obs/trace_context.h) through
+// the tail buckets' exemplars.
+//
+// WindowedLatencySketch slices time into `slices` rotating epochs covering
+// `window_ms` in total; Observe lands in the current slice (plus a
+// cumulative all-time sketch) and Window() merges only the live slices, so
+// the exported p50/p90/p99/p999 gauges reflect the recent window instead of
+// the whole process lifetime. Rotation is a mutex-guarded clear of one
+// expired slice; the hot path stays lock-free. Time is injectable
+// (`now_ns`) so tests drive the window deterministically.
+
+#ifndef CL4SREC_OBS_SKETCH_H_
+#define CL4SREC_OBS_SKETCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cl4srec {
+namespace obs {
+
+class LatencySketch {
+ public:
+  // 128 linear buckets of one 100ns tick each, then 64 sub-buckets per
+  // octave up to 2^40 ticks (~30h); larger observations clamp to the top
+  // bucket.
+  static constexpr int64_t kLinearBuckets = 128;
+  static constexpr int64_t kSubBuckets = 64;
+  static constexpr int64_t kMaxTickBits = 40;
+  static constexpr int64_t kNumBuckets =
+      kLinearBuckets + (kMaxTickBits - 7) * kSubBuckets;
+
+  LatencySketch();
+
+  LatencySketch(const LatencySketch&) = delete;
+  LatencySketch& operator=(const LatencySketch&) = delete;
+
+  void Observe(double ms) { ObserveWithExemplar(ms, 0); }
+  // Records `ms` and stamps its bucket's exemplar with `trace_id` (0 keeps
+  // the previous exemplar). Wait-free; safe from any thread.
+  void ObserveWithExemplar(double ms, uint64_t trace_id);
+
+  // Bucket-wise add of `other` into this sketch. Integer arithmetic, so any
+  // merge order over any sharding of the same observations yields
+  // bit-identical counts and tick sums.
+  void Merge(const LatencySketch& other);
+
+  // Zeroes all buckets, exemplars, count, and sum.
+  void Clear();
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum_ticks() const {
+    return sum_ticks_.load(std::memory_order_relaxed);
+  }
+  double sum_ms() const { return static_cast<double>(sum_ticks()) * 1e-4; }
+
+  // Quantile in [0, 1] using the same nearest-rank rule as a sorted-sample
+  // percentile (target rank floor(q * (count - 1))), reported as the bucket
+  // midpoint. 0 when empty.
+  double Percentile(double q) const;
+
+  struct Exemplar {
+    double le_ms = 0.0;      // bucket upper bound
+    int64_t count = 0;       // observations in that bucket
+    uint64_t trace_id = 0;   // most recent trace that landed there (0: none)
+  };
+  // The up-to-`max_buckets` highest non-empty buckets, descending — the
+  // histogram tail with its linked traces.
+  std::vector<Exemplar> TailExemplars(int64_t max_buckets) const;
+
+  // Raw bucket counts (tests / merge verification).
+  std::vector<int64_t> bucket_counts() const;
+
+  // Bucket geometry, exposed for tests.
+  static int64_t BucketIndex(double ms);
+  static double BucketLowerMs(int64_t index);
+  static double BucketUpperMs(int64_t index);
+
+ private:
+  static int64_t TickBucket(int64_t ticks);
+
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplars_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_ticks_{0};
+};
+
+struct WindowOptions {
+  double window_ms = 10000.0;  // sliding-window width
+  int64_t slices = 5;          // rotation granularity (window_ms / slices)
+};
+
+class WindowedLatencySketch {
+ public:
+  explicit WindowedLatencySketch(const WindowOptions& options = {});
+
+  WindowedLatencySketch(const WindowedLatencySketch&) = delete;
+  WindowedLatencySketch& operator=(const WindowedLatencySketch&) = delete;
+
+  // Records into the current window slice and the cumulative sketch.
+  // `now_ns` defaults to the monotonic clock; tests inject it.
+  void Observe(double ms, uint64_t trace_id = 0, int64_t now_ns = -1);
+
+  struct WindowStats {
+    int64_t count = 0;
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double p999_ms = 0.0;
+  };
+  // Percentiles over the live slices only (observations older than
+  // window_ms have rotated out).
+  WindowStats Window(int64_t now_ns = -1) const;
+
+  // Merges the live slices into `out` (cleared first) for custom queries.
+  void MergeWindowInto(LatencySketch* out, int64_t now_ns = -1) const;
+
+  // All-time sketch: total count/sum survive window expiry, and its tail
+  // exemplars link the process-lifetime histogram tail to traces.
+  const LatencySketch& cumulative() const { return cumulative_; }
+
+  void Clear();
+
+  double window_ms() const { return options_.window_ms; }
+
+ private:
+  struct Slice {
+    std::atomic<int64_t> epoch{-1};
+    LatencySketch sketch;
+  };
+
+  const WindowOptions options_;
+  const int64_t slice_ns_;
+  std::vector<Slice> slices_;  // fixed size, never resized
+  mutable std::mutex rotate_mu_;
+  LatencySketch cumulative_;
+};
+
+}  // namespace obs
+}  // namespace cl4srec
+
+#endif  // CL4SREC_OBS_SKETCH_H_

@@ -1,0 +1,207 @@
+#include "obs/statusz.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "obs/trace_context.h"
+#include "util/fs_util.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace obs {
+namespace {
+
+// Set by the SIGUSR1 handler, consumed by the dumper thread's poll loop.
+// sig_atomic_t store is the only thing the handler does, keeping it
+// async-signal-safe.
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void Sigusr1Handler(int /*signum*/) { g_dump_requested = 1; }
+
+struct StatuszState {
+  std::mutex mu;  // Guards providers, frozen, path, period, thread handle.
+  std::map<std::string, StatusProvider> providers;
+  // Final values of unregistered sections. A provider owner (e.g. a
+  // RecommendServer) usually dies before the process-exit dump; freezing
+  // its last answer keeps the section in later dumps instead of silently
+  // dropping the accounting. Re-registering the section supersedes it.
+  std::map<std::string, std::string> frozen;
+  std::string output_path;
+  int64_t period_ms = 1000;
+  std::thread dumper;
+  bool running = false;
+  bool atexit_installed = false;
+  int64_t start_ns = 0;  // Process-relative uptime origin.
+
+  std::condition_variable wake_cv;
+  std::mutex wake_mu;
+  bool stop_requested = false;
+  bool dump_now = false;
+};
+
+StatuszState& State() {
+  static StatuszState* const kState = new StatuszState();
+  return *kState;
+}
+
+void WriteDump() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(State().mu);
+    path = State().output_path;
+  }
+  if (path.empty()) return;
+  const Status status = AtomicWriteFile(path, Statusz::CollectJson());
+  if (!status.ok()) {
+    CL4SREC_LOG(Warning) << "statusz dump failed: " << status.ToString();
+  }
+}
+
+// Polls every <=100ms so SIGUSR1 requests are served promptly even with a
+// long dump period; writes on period expiry, on-demand request, or final
+// shutdown.
+void DumperLoop() {
+  int64_t last_dump_ns = NowNanos();
+  for (;;) {
+    bool stop = false;
+    bool dump = false;
+    {
+      StatuszState& state = State();
+      std::unique_lock<std::mutex> lock(state.wake_mu);
+      state.wake_cv.wait_for(lock, std::chrono::milliseconds(100), [&] {
+        return state.stop_requested || state.dump_now;
+      });
+      stop = state.stop_requested;
+      dump = state.dump_now;
+      state.dump_now = false;
+    }
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      dump = true;
+    }
+    int64_t period_ms = 1000;
+    {
+      std::lock_guard<std::mutex> lock(State().mu);
+      period_ms = State().period_ms;
+    }
+    const int64_t now_ns = NowNanos();
+    if (stop || dump || now_ns - last_dump_ns >= period_ms * 1000000) {
+      WriteDump();
+      last_dump_ns = now_ns;
+    }
+    if (stop) return;
+  }
+}
+
+}  // namespace
+
+void Statusz::Register(const std::string& section, StatusProvider provider) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  State().providers[section] = std::move(provider);
+  State().frozen.erase(section);
+}
+
+void Statusz::Unregister(const std::string& section) {
+  // Take one last snapshot before dropping the provider; evaluate outside
+  // the lock (the provider may be slow, and CollectJson holds the same mu).
+  StatusProvider provider;
+  {
+    std::lock_guard<std::mutex> lock(State().mu);
+    auto it = State().providers.find(section);
+    if (it == State().providers.end()) return;
+    provider = std::move(it->second);
+    State().providers.erase(it);
+  }
+  std::string last = provider();
+  std::lock_guard<std::mutex> lock(State().mu);
+  // A re-registration that raced us wins; don't shadow it with stale data.
+  if (State().providers.count(section) == 0) {
+    State().frozen[section] = std::move(last);
+  }
+}
+
+std::string Statusz::CollectJson() {
+  std::map<std::string, StatusProvider> providers;
+  std::map<std::string, std::string> frozen;
+  int64_t start_ns = 0;
+  {
+    StatuszState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.start_ns == 0) state.start_ns = NowNanos();
+    start_ns = state.start_ns;
+    providers = state.providers;
+    frozen = state.frozen;
+  }
+  const int64_t now_ns = NowNanos();
+  std::ostringstream out;
+  out << "{\n  \"uptime_ms\": "
+      << StrFormat("%.1f", static_cast<double>(now_ns - start_ns) / 1e6);
+  for (const auto& [section, provider] : providers) {
+    out << ",\n  \"" << section << "\": " << provider();
+  }
+  for (const auto& [section, value] : frozen) {
+    out << ",\n  \"" << section << "\": " << value;
+  }
+  out << ",\n  \"sampled_traces\": "
+      << RequestTraceStore::Global().RetainedJson(/*max_traces=*/16);
+  out << "\n}\n";
+  return out.str();
+}
+
+void Statusz::EnableWithOutput(const std::string& path, int64_t period_ms) {
+  StatuszState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.output_path = path;
+  state.period_ms = period_ms > 0 ? period_ms : 1000;
+  if (state.start_ns == 0) state.start_ns = NowNanos();
+  if (!state.running) {
+    state.running = true;
+    state.dumper = std::thread(DumperLoop);
+  }
+  if (!state.atexit_installed) {
+    state.atexit_installed = true;
+    std::atexit(Statusz::Shutdown);
+  }
+}
+
+void Statusz::InstallSigusr1Handler() { std::signal(SIGUSR1, Sigusr1Handler); }
+
+void Statusz::TriggerDump() {
+  StatuszState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.wake_mu);
+    state.dump_now = true;
+  }
+  state.wake_cv.notify_one();
+}
+
+void Statusz::Shutdown() {
+  StatuszState& state = State();
+  std::thread dumper;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.running) return;
+    state.running = false;
+    dumper = std::move(state.dumper);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.wake_mu);
+    state.stop_requested = true;
+  }
+  state.wake_cv.notify_one();
+  if (dumper.joinable()) dumper.join();
+  {
+    std::lock_guard<std::mutex> lock(state.wake_mu);
+    state.stop_requested = false;  // allow re-enable (tests)
+  }
+}
+
+}  // namespace obs
+}  // namespace cl4srec

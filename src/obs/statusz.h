@@ -1,0 +1,76 @@
+// Pull-based live introspection ("statusz") for long-running processes.
+//
+// Push-style telemetry (metrics JSON at exit, periodic telemetry snapshots)
+// answers "what happened"; statusz answers "what is happening right now".
+// Components register a named StatusProvider that renders their current
+// state as a JSON object on demand — the serving runtime registers one
+// reporting per-tier answer accounting, windowed latency percentiles,
+// breaker state, cache hit rates, and batcher queue depth. CollectJson
+// stitches the provider sections together with a timestamp and the tail
+// sampler's last-N slow-request traces into one self-describing document.
+//
+// Three pull paths share that document:
+//   * In-process: Statusz::CollectJson() (tests, embedding code).
+//   * Periodic file: --statusz_out <path> [--statusz_period_ms N] rewrites
+//     the file atomically every period from a background thread — `watch
+//     cat statusz.json` is the poor man's status page.
+//   * On demand: SIGUSR1 triggers an immediate dump to the same path
+//     (handler just sets a flag; the dumper thread does the IO, so the
+//     handler stays async-signal-safe).
+//
+// Shutdown: Statusz::Shutdown() (installed via atexit by EnableWithOutput)
+// joins the dumper thread and writes one final dump, so short runs always
+// leave a statusz file behind.
+
+#ifndef CL4SREC_OBS_STATUSZ_H_
+#define CL4SREC_OBS_STATUSZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cl4srec {
+namespace obs {
+
+// Renders one component's current state as a JSON object (including the
+// braces). Must be callable from the dumper thread at any time between
+// Register and Unregister.
+using StatusProvider = std::function<std::string()>;
+
+class Statusz {
+ public:
+  // Registers `provider` under `section`. Re-registering a section replaces
+  // its provider. Components with bounded lifetimes (e.g. RecommendServer)
+  // must Unregister before the state their provider reads is torn down.
+  // Unregister evaluates the provider one final time and keeps that frozen
+  // value in later dumps (the process-exit dump typically outlives the
+  // provider's owner); Register for the same section supersedes it.
+  static void Register(const std::string& section, StatusProvider provider);
+  static void Unregister(const std::string& section);
+
+  // Renders the full status document: timestamp, uptime, every registered
+  // provider section, and the tail sampler's retained slow-request traces.
+  static std::string CollectJson();
+
+  // Starts the periodic dumper: rewrites `path` atomically every
+  // `period_ms` (and immediately on SIGUSR1 / TriggerDump). Installs an
+  // atexit hook that joins the thread and writes a final dump. Calling
+  // again replaces the output path.
+  static void EnableWithOutput(const std::string& path, int64_t period_ms);
+
+  // Installs the SIGUSR1 handler that requests an on-demand dump. Safe to
+  // call more than once. Only useful after EnableWithOutput.
+  static void InstallSigusr1Handler();
+
+  // Requests an immediate dump from the dumper thread (what the signal
+  // handler does, callable from normal code and tests).
+  static void TriggerDump();
+
+  // Stops the dumper thread and writes a final dump. Idempotent.
+  static void Shutdown();
+};
+
+}  // namespace obs
+}  // namespace cl4srec
+
+#endif  // CL4SREC_OBS_STATUSZ_H_

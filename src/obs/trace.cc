@@ -181,7 +181,17 @@ std::string Tracing::ToChromeJson() {
                      static_cast<double>(e.start_ns - base_ns) / 1000.0)
         << ", \"dur\": "
         << StrFormat("%.3f", static_cast<double>(e.duration_ns) / 1000.0)
-        << ", \"args\": {\"depth\": " << e.depth << "}}";
+        << ", \"args\": {\"depth\": " << e.depth;
+    if (e.trace_id != 0) {
+      out << ", \"trace_id\": " << e.trace_id
+          << ", \"span_id\": " << e.span_id
+          << ", \"parent_span_id\": " << e.parent_span_id;
+    }
+    if (e.outcome != nullptr) {
+      out << ", \"outcome\": \"" << EscapeJsonString(e.outcome) << "\"";
+    }
+    if (e.tier >= 0) out << ", \"tier\": " << e.tier;
+    out << "}}";
   }
   out << "\n]}\n";
   return out.str();
@@ -189,6 +199,13 @@ std::string Tracing::ToChromeJson() {
 
 Status Tracing::WriteChromeTrace(const std::string& path) {
   return AtomicWriteFile(path, ToChromeJson());
+}
+
+void Tracing::RecordEvent(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  event.thread_id = buffer.thread_id;
+  buffer.Push(event);
 }
 
 TraceSpan::TraceSpan(const char* name, const char* category)

@@ -43,6 +43,14 @@ struct TraceEvent {
   int64_t duration_ns = 0;
   int thread_id = 0;  // Small sequential id, assigned per recording thread.
   int depth = 0;      // Span nesting depth on that thread (0 = outermost).
+  // Request-scoped identity (obs/trace_context.h); 0 = not request-scoped.
+  // Spans sharing a trace_id form one request's tree via parent_span_id.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  // Request-root annotations ("ok", "shed_overload", ...); nullptr = unset.
+  const char* outcome = nullptr;
+  int tier = -1;  // answer tier for request roots; -1 = unset
 };
 
 class Tracing {
@@ -65,6 +73,13 @@ class Tracing {
 
   // Copies out every recorded event (unordered across threads). For tests.
   static std::vector<TraceEvent> Snapshot();
+
+  // Appends an externally built event (explicit timestamps, request-scoped
+  // ids) to the calling thread's ring. The event's thread_id is overwritten
+  // with the caller's; depth is kept as set. No-op while tracing is
+  // disabled. This is how the request-span layer (obs/trace_context.h)
+  // lands its cross-thread span trees in the same export as the RAII spans.
+  static void RecordEvent(TraceEvent event);
 
   // Drops all recorded events; thread ids and buffers are retained.
   static void Clear();

@@ -1,0 +1,259 @@
+#include "obs/trace_context.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace cl4srec {
+namespace obs {
+namespace {
+
+// Process-wide id mints. Trace ids and span ids draw from separate counters
+// so a trace_id is never mistaken for a span_id in the export; both start at
+// 1 because 0 means "inactive".
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+
+// splitmix64 — decorrelates sequential trace ids into uniform hashes for
+// shard selection and the deterministic reservoir.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TraceContext NewTraceRoot() {
+  if (!RequestTracingActive()) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  ctx.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ctx.parent_span_id = 0;
+  return ctx;
+}
+
+TraceContext ChildContext(const TraceContext& parent) {
+  if (!parent.active()) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ctx.parent_span_id = parent.span_id;
+  return ctx;
+}
+
+bool RequestTracingActive() {
+  return Tracing::enabled() || RequestTraceStore::Global().enabled();
+}
+
+void EmitRequestSpan(const char* name, const char* category,
+                     const TraceContext& ctx, int64_t start_ns,
+                     int64_t end_ns, const char* outcome, int tier) {
+  if (!ctx.active()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = start_ns;
+  event.duration_ns = std::max<int64_t>(0, end_ns - start_ns);
+  event.trace_id = ctx.trace_id;
+  event.span_id = ctx.span_id;
+  event.parent_span_id = ctx.parent_span_id;
+  event.outcome = outcome;
+  event.tier = tier;
+  Tracing::RecordEvent(event);
+  RequestTraceStore::Global().Record(event);
+}
+
+// One shard of the in-flight capture table plus its slice of the retained
+// and reservoir stores. Sharding keeps Begin/Record/Finish from different
+// client threads off one global mutex; retained/reservoir snapshots gather
+// across shards.
+struct RequestTraceStore::Shard {
+  std::mutex mu;
+  std::unordered_map<uint64_t, std::vector<TraceEvent>> in_flight;
+  std::deque<CapturedTrace> retained;     // newest at back
+  std::vector<CapturedTrace> reservoir;   // algorithm-R sample
+  int64_t reservoir_seen = 0;             // ordinary finishes offered so far
+};
+
+RequestTraceStore::RequestTraceStore() : shards_(new Shard[kShards]) {}
+
+RequestTraceStore& RequestTraceStore::Global() {
+  static RequestTraceStore* const kStore = new RequestTraceStore();
+  return *kStore;
+}
+
+RequestTraceStore::Shard& RequestTraceStore::ShardFor(
+    uint64_t trace_id) const {
+  return shards_[Mix64(trace_id) % static_cast<uint64_t>(kShards)];
+}
+
+void RequestTraceStore::Enable() {
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void RequestTraceStore::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void RequestTraceStore::SetSlowThresholdMs(double ms) {
+  slow_threshold_us_.store(static_cast<int64_t>(ms * 1000.0),
+                           std::memory_order_relaxed);
+}
+
+double RequestTraceStore::slow_threshold_ms() const {
+  return static_cast<double>(
+             slow_threshold_us_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+void RequestTraceStore::Begin(uint64_t trace_id) {
+  if (!enabled() || trace_id == 0) return;
+  Shard& shard = ShardFor(trace_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (static_cast<int64_t>(shard.in_flight.size()) >= (kMaxInFlight / kShards)) {
+    return;  // capture table full; this request's tree is not sampled
+  }
+  shard.in_flight.emplace(trace_id, std::vector<TraceEvent>());
+}
+
+void RequestTraceStore::Record(const TraceEvent& event) {
+  if (!enabled() || event.trace_id == 0) return;
+  Shard& shard = ShardFor(event.trace_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.in_flight.find(event.trace_id);
+  if (it == shard.in_flight.end()) return;
+  if (static_cast<int64_t>(it->second.size()) >= kMaxSpansPerTrace) return;
+  it->second.push_back(event);
+}
+
+void RequestTraceStore::Finish(uint64_t trace_id, const Outcome& outcome) {
+  if (trace_id == 0) return;
+  Shard& shard = ShardFor(trace_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.in_flight.find(trace_id);
+  if (it == shard.in_flight.end()) return;
+  CapturedTrace trace;
+  trace.trace_id = trace_id;
+  trace.latency_ms = outcome.latency_ms;
+  trace.finished_ns = NowNanos();
+  trace.spans = std::move(it->second);
+  shard.in_flight.erase(it);
+  if (trace.spans.empty()) return;
+
+  const double slow_ms = slow_threshold_ms();
+  if (outcome.shed) {
+    trace.reason = "shed";
+  } else if (outcome.deadline_missed) {
+    trace.reason = "late";
+  } else if (outcome.degraded) {
+    trace.reason = "degraded";
+  } else if (slow_ms > 0.0 && outcome.latency_ms >= slow_ms) {
+    trace.reason = "slow";
+  } else {
+    // Ordinary request: deterministic reservoir (algorithm R with the
+    // trace-id hash standing in for the random draw).
+    trace.reason = "reservoir";
+    ++shard.reservoir_seen;
+    if (static_cast<int64_t>(shard.reservoir.size()) < (kReservoirCapacity / kShards)) {
+      shard.reservoir.push_back(std::move(trace));
+    } else {
+      const auto slot = static_cast<int64_t>(
+          Mix64(trace_id) % static_cast<uint64_t>(shard.reservoir_seen));
+      if (slot < (kReservoirCapacity / kShards)) {
+        shard.reservoir[static_cast<size_t>(slot)] = std::move(trace);
+      }
+    }
+    return;
+  }
+  shard.retained.push_back(std::move(trace));
+  while (static_cast<int64_t>(shard.retained.size()) > (kRetainedCapacity / kShards)) {
+    shard.retained.pop_front();
+  }
+}
+
+std::vector<CapturedTrace> RequestTraceStore::RetainedSnapshot() const {
+  std::vector<CapturedTrace> out;
+  for (int64_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.retained.begin(), shard.retained.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CapturedTrace& a, const CapturedTrace& b) {
+              return a.finished_ns > b.finished_ns;
+            });
+  return out;
+}
+
+std::vector<CapturedTrace> RequestTraceStore::ReservoirSnapshot() const {
+  std::vector<CapturedTrace> out;
+  for (int64_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.reservoir.begin(), shard.reservoir.end());
+  }
+  return out;
+}
+
+std::string RequestTraceStore::RetainedJson(int64_t max_traces) const {
+  std::vector<CapturedTrace> traces = RetainedSnapshot();
+  if (static_cast<int64_t>(traces.size()) > max_traces) {
+    traces.resize(static_cast<size_t>(max_traces));
+  }
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const CapturedTrace& t = traces[i];
+    if (i > 0) out << ",";
+    out << "\n    {\"trace_id\": " << t.trace_id
+        << ", \"latency_ms\": " << StrFormat("%.3f", t.latency_ms)
+        << ", \"reason\": \"" << t.reason << "\", \"spans\": [";
+    for (size_t j = 0; j < t.spans.size(); ++j) {
+      const TraceEvent& e = t.spans[j];
+      if (j > 0) out << ",";
+      out << "\n      {\"name\": \"" << e.name << "\", \"span_id\": "
+          << e.span_id << ", \"parent_span_id\": " << e.parent_span_id
+          << ", \"dur_ms\": "
+          << StrFormat("%.3f", static_cast<double>(e.duration_ns) / 1e6);
+      if (e.outcome != nullptr) {
+        out << ", \"outcome\": \"" << e.outcome << "\"";
+      }
+      if (e.tier >= 0) out << ", \"tier\": " << e.tier;
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ]";
+  return out.str();
+}
+
+void RequestTraceStore::Clear() {
+  for (int64_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.in_flight.clear();
+    shard.retained.clear();
+    shard.reservoir.clear();
+    shard.reservoir_seen = 0;
+  }
+}
+
+int64_t RequestTraceStore::retained_count() const {
+  int64_t n = 0;
+  for (int64_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += static_cast<int64_t>(shard.retained.size());
+  }
+  return n;
+}
+
+}  // namespace obs
+}  // namespace cl4srec

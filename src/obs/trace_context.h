@@ -1,0 +1,151 @@
+// Request-scoped trace propagation and tail-based trace sampling.
+//
+// A TraceContext is the (trace_id, span_id, parent_span_id) triple minted at
+// RecommendServer admission and explicitly handed across every thread hop of
+// the request path: client slot -> DynamicBatcher ticket -> worker batch ->
+// ModelBackend::TopCandidates -> Retriever::RetrieveBatch. Each layer mints
+// a child context (ChildContext) and emits its completed span with
+// EmitRequestSpan, so one request yields one connected span tree in the
+// Chrome/Perfetto export regardless of how many threads touched it. Span
+// timestamps are explicit (batch-level phases are measured once and emitted
+// per request), so emission is a ring push, not a second clock read per
+// request per phase.
+//
+// Tail-based sampling (RequestTraceStore): every in-flight request's spans
+// are additionally captured into a bounded per-trace buffer; when the
+// request finishes, the store keeps the full tree only when the request was
+// interesting — slow (latency above the threshold), shed, answered below
+// tier 0, or late — and otherwise offers it to a small deterministic
+// reservoir (Vitter's algorithm R keyed on a trace_id hash). The retained
+// trees back the statusz "last N slow requests" section and the tail
+// exemplars in the latency sketches; the per-thread trace rings still hold
+// the recent-window firehose for the Perfetto export.
+//
+// Cost when idle: minting and emission are gated on RequestTracingActive()
+// (tracing or the store enabled); a disabled process pays one relaxed load
+// per request.
+
+#ifndef CL4SREC_OBS_TRACE_CONTEXT_H_
+#define CL4SREC_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cl4srec {
+namespace obs {
+
+struct TraceContext {
+  uint64_t trace_id = 0;        // one per request; 0 = tracing inactive
+  uint64_t span_id = 0;         // this hop's span
+  uint64_t parent_span_id = 0;  // 0 for the request root
+
+  bool active() const { return trace_id != 0; }
+};
+
+// Mints a fresh root context (new trace_id + root span_id) when request
+// tracing is active; returns an inactive context otherwise, which turns
+// every downstream emission into a no-op.
+TraceContext NewTraceRoot();
+
+// Mints a child span context under `parent` (same trace, fresh span_id).
+// Inactive parents yield inactive children.
+TraceContext ChildContext(const TraceContext& parent);
+
+// True when request spans should be minted and emitted: tracing is enabled
+// or the tail-sampling store is collecting.
+bool RequestTracingActive();
+
+// Emits a completed request-scoped span with explicit timestamps into the
+// calling thread's trace ring (when tracing is on) and into the in-flight
+// capture of the tail sampler (when the store is on). `name`/`category`/
+// `outcome` must be string literals (stored by pointer). No-op for
+// inactive contexts.
+void EmitRequestSpan(const char* name, const char* category,
+                     const TraceContext& ctx, int64_t start_ns,
+                     int64_t end_ns, const char* outcome = nullptr,
+                     int tier = -1);
+
+// One retained request tree.
+struct CapturedTrace {
+  uint64_t trace_id = 0;
+  double latency_ms = 0.0;
+  const char* reason = "";  // "slow" | "shed" | "degraded" | "late" | "reservoir"
+  int64_t finished_ns = 0;
+  std::vector<TraceEvent> spans;
+};
+
+class RequestTraceStore {
+ public:
+  static RequestTraceStore& Global();
+
+  // Collection gate. The serving runtime enables the store alongside
+  // tracing / statusz; a disabled store drops Begin/Record/Finish in one
+  // relaxed load.
+  void Enable();
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Latency above which a finished request's tree is retained outright.
+  void SetSlowThresholdMs(double ms);
+  double slow_threshold_ms() const;
+
+  // Opens an in-flight capture for `trace_id`. Bounded: past
+  // kMaxInFlight concurrent traces, new captures are dropped (their Finish
+  // is still safe).
+  void Begin(uint64_t trace_id);
+
+  // Appends a span to its trace's in-flight capture (keyed by
+  // event.trace_id). Safe from any thread; no-op for unknown traces.
+  void Record(const TraceEvent& event);
+
+  struct Outcome {
+    double latency_ms = 0.0;
+    bool shed = false;
+    bool degraded = false;         // answered below tier 0
+    bool deadline_missed = false;
+  };
+  // Closes the capture and applies the tail-sampling policy: interesting
+  // outcomes retain the full tree, the rest feed the reservoir.
+  void Finish(uint64_t trace_id, const Outcome& outcome);
+
+  // Retained tail trees, newest first (up to the retention cap).
+  std::vector<CapturedTrace> RetainedSnapshot() const;
+  // Reservoir of ordinary requests (unordered).
+  std::vector<CapturedTrace> ReservoirSnapshot() const;
+
+  // JSON array of the newest `max_traces` retained trees — the statusz
+  // "last N sampled slow requests" section.
+  std::string RetainedJson(int64_t max_traces) const;
+
+  // Drops all in-flight, retained, and reservoir state (tests).
+  void Clear();
+
+  int64_t retained_count() const;
+
+ private:
+  RequestTraceStore();
+
+  // Global caps, split evenly across kShards shards.
+  static constexpr int64_t kMaxInFlight = 4096;
+  static constexpr int64_t kMaxSpansPerTrace = 64;
+  static constexpr int64_t kRetainedCapacity = 32;
+  static constexpr int64_t kReservoirCapacity = 16;
+  static constexpr int64_t kShards = 16;
+
+  struct Shard;
+  Shard& ShardFor(uint64_t trace_id) const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> slow_threshold_us_{25000};  // 25ms default
+  Shard* const shards_;  // Leaked with the Global() singleton.
+};
+
+}  // namespace obs
+}  // namespace cl4srec
+
+#endif  // CL4SREC_OBS_TRACE_CONTEXT_H_

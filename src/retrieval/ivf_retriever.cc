@@ -409,7 +409,8 @@ void IvfRetriever::RetrieveOne(const float* query, int64_t k,
 
 void IvfRetriever::RetrieveBatch(
     const float* queries, int64_t num_queries, int64_t k,
-    std::vector<std::vector<ScoredItem>>* results) {
+    std::vector<std::vector<ScoredItem>>* results,
+    const obs::TraceContext* contexts) {
   CL4SREC_TRACE_SPAN_CAT("retrieval/query", "retrieval");
   Stopwatch timer;
   results->assign(static_cast<size_t>(num_queries), {});
@@ -418,8 +419,17 @@ void IvfRetriever::RetrieveBatch(
   parallel::ParallelFor(0, num_queries, 1, [&](int64_t lo, int64_t hi) {
     int64_t p = 0, s = 0, sl = 0, pr = 0;
     for (int64_t i = lo; i < hi; ++i) {
+      // Per-query child span with true per-query timing (queries fan out
+      // across the pool, so each lands on its worker's thread lane).
+      const bool traced = contexts != nullptr && contexts[i].active();
+      const int64_t q_start_ns = traced ? NowNanos() : 0;
       RetrieveOne(queries + i * dim_, k,
                   &(*results)[static_cast<size_t>(i)], &p, &s, &sl, &pr);
+      if (traced) {
+        obs::EmitRequestSpan("retrieval/query", "retrieval",
+                             obs::ChildContext(contexts[i]), q_start_ns,
+                             NowNanos());
+      }
     }
     probed.fetch_add(p, std::memory_order_relaxed);
     scanned.fetch_add(s, std::memory_order_relaxed);

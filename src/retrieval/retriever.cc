@@ -32,9 +32,11 @@ void ExactRetriever::Rebuild(const Tensor& item_embeddings) {
 
 void ExactRetriever::RetrieveBatch(
     const float* queries, int64_t num_queries, int64_t k,
-    std::vector<std::vector<ScoredItem>>* results) {
+    std::vector<std::vector<ScoredItem>>* results,
+    const obs::TraceContext* contexts) {
   CL4SREC_TRACE_SPAN_CAT("retrieval/query", "retrieval");
   Stopwatch timer;
+  const int64_t start_ns = NowNanos();
   const int64_t n = num_items();
   const int64_t d = dim();
   const int64_t want = std::min(k, n);
@@ -57,6 +59,17 @@ void ExactRetriever::RetrieveBatch(
             TopKFromScores(s + i * (n + 1), n, want);
       }
     });
+  }
+
+  // One child span per request in the batch. The batch is scored jointly,
+  // so every query's span covers the shared scoring interval — the tree
+  // stays connected and the attribution is honest about the fate sharing.
+  if (contexts != nullptr) {
+    const int64_t end_ns = NowNanos();
+    for (int64_t i = 0; i < num_queries; ++i) {
+      obs::EmitRequestSpan("retrieval/query", "retrieval",
+                           obs::ChildContext(contexts[i]), start_ns, end_ns);
+    }
   }
 
   auto& registry = obs::MetricsRegistry::Global();

@@ -35,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "retrieval/quantized_table.h"
 #include "retrieval/topk.h"
 #include "tensor/tensor.h"
@@ -51,9 +52,22 @@ class Retriever {
   // clamped to num_items(); fewer than k items are returned only when the
   // catalog is smaller than k. Queries are independent — implementations
   // parallelize over them without changing any per-query result.
+  //
+  // `contexts`, when non-null, points at num_queries request trace contexts
+  // (one per query, inactive entries allowed); each query then emits a
+  // "retrieval/query" child span into its request's trace tree. Retrieval
+  // results are identical with or without contexts.
   virtual void RetrieveBatch(const float* queries, int64_t num_queries,
                              int64_t k,
-                             std::vector<std::vector<ScoredItem>>* results) = 0;
+                             std::vector<std::vector<ScoredItem>>* results,
+                             const obs::TraceContext* contexts) = 0;
+
+  // Untraced convenience overload (eval, benchmarks, tests). Derived classes
+  // re-expose it with `using Retriever::RetrieveBatch;`.
+  void RetrieveBatch(const float* queries, int64_t num_queries, int64_t k,
+                     std::vector<std::vector<ScoredItem>>* results) {
+    RetrieveBatch(queries, num_queries, k, results, nullptr);
+  }
 
   // Single-query convenience over RetrieveBatch.
   void Retrieve(const float* query, int64_t k, std::vector<ScoredItem>* out);
@@ -75,8 +89,10 @@ class ExactRetriever : public Retriever {
   // value (shared storage, no copy).
   explicit ExactRetriever(const Tensor& item_embeddings);
 
+  using Retriever::RetrieveBatch;
   void RetrieveBatch(const float* queries, int64_t num_queries, int64_t k,
-                     std::vector<std::vector<ScoredItem>>* results) override;
+                     std::vector<std::vector<ScoredItem>>* results,
+                     const obs::TraceContext* contexts) override;
   void Rebuild(const Tensor& item_embeddings) override;
   int64_t num_items() const override { return table_.dim(0) - 1; }
   int64_t dim() const override { return table_.dim(1); }
@@ -113,8 +129,10 @@ class IvfRetriever : public Retriever {
   IvfRetriever(const Tensor& item_embeddings,
                const IvfRetrieverOptions& options = {});
 
+  using Retriever::RetrieveBatch;
   void RetrieveBatch(const float* queries, int64_t num_queries, int64_t k,
-                     std::vector<std::vector<ScoredItem>>* results) override;
+                     std::vector<std::vector<ScoredItem>>* results,
+                     const obs::TraceContext* contexts) override;
   void Rebuild(const Tensor& item_embeddings) override;
   int64_t num_items() const override { return num_items_; }
   int64_t dim() const override { return dim_; }

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "util/status.h"
 #include "util/time_budget.h"
 
@@ -49,6 +50,9 @@ struct BatchTicket {
   Deadline deadline;          // request deadline (infinite allowed)
   int64_t enqueue_ns = 0;     // NowNanos() at Push
   void* context = nullptr;    // owner's per-request state (opaque)
+  // Request root trace context; carried across the queue hop so the pulling
+  // worker can attach its spans (queue wait, forward) to the request's tree.
+  obs::TraceContext trace;
 };
 
 struct BatcherOptions {

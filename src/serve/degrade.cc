@@ -46,6 +46,7 @@ DegradeController::DegradeController(const DegradeOptions& options)
     : options_(options) {
   CL4SREC_CHECK_GE(options_.failure_threshold, 1);
   CL4SREC_CHECK_GE(options_.cooldown_ms, 0.0);
+  CL4SREC_CHECK_GE(options_.p99_min_count, 1);
 }
 
 ServeTier DegradeController::BatchTier() {
@@ -75,8 +76,21 @@ ServeTier DegradeController::BatchTier() {
 }
 
 void DegradeController::ReportBatchOutcome(bool ok, double forward_ms) {
-  const bool slow =
+  bool slow =
       options_.slow_batch_ms > 0.0 && forward_ms > options_.slow_batch_ms;
+  if (!slow && options_.p99_trip_ms > 0.0) {
+    // Windowed-tail trigger: consult the sliding-window p99 of the batch
+    // forward sketch (the server records every tier-0 forward there before
+    // reporting). A sustained tail shift trips the breaker even when no
+    // single batch crosses slow_batch_ms; the min-count guard keeps a cold
+    // window's first few samples from deciding anything.
+    static obs::WindowedLatencySketch* const forward_sketch =
+        obs::MetricsRegistry::Global().GetSketch("serve.batch_forward_ms");
+    const obs::WindowedLatencySketch::WindowStats window =
+        forward_sketch->Window();
+    slow = window.count >= options_.p99_min_count &&
+           window.p99_ms > options_.p99_trip_ms;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (ok && !slow) {
     consecutive_failures_ = 0;
@@ -101,6 +115,19 @@ void DegradeController::ReportBatchOutcome(bool ok, double forward_ms) {
 bool DegradeController::degraded() const {
   std::lock_guard<std::mutex> lock(mu_);
   return breaker_ != Breaker::kClosed;
+}
+
+const char* DegradeController::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (breaker_) {
+    case Breaker::kClosed:
+      return "closed";
+    case Breaker::kOpen:
+      return "open";
+    case Breaker::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
 }
 
 int64_t DegradeController::transitions() const {

@@ -49,6 +49,14 @@ struct DegradeOptions {
   double slow_batch_ms = 0.0;
   // How long the breaker stays open before probing tier 0 again.
   double cooldown_ms = 50.0;
+  // Alternative slow-batch trigger (default off): a batch also counts as
+  // slow when the sliding-window p99 of serve.batch_forward_ms exceeds this
+  // many milliseconds. Unlike slow_batch_ms — which trips on any single
+  // outlier — the windowed trigger reacts to a sustained tail shift and
+  // ignores one-off stragglers. Requires the window to hold at least
+  // p99_min_count observations before it can fire.
+  double p99_trip_ms = 0.0;
+  int64_t p99_min_count = 16;
 };
 
 class DegradeController {
@@ -68,6 +76,10 @@ class DegradeController {
 
   // True when the breaker is open (serving is degraded).
   bool degraded() const;
+
+  // Current breaker state as a stable string ("closed" | "open" |
+  // "half_open") for the statusz surface.
+  const char* breaker_state() const;
 
   // Total closed->open + open->closed transitions so far.
   int64_t transitions() const;

@@ -16,7 +16,8 @@ Status ModelBackend::TopCandidates(
     const std::vector<int64_t>& users,
     const std::vector<std::vector<int64_t>>& histories, int64_t want,
     std::vector<std::vector<retrieval::ScoredItem>>* candidates,
-    Tensor* states) {
+    Tensor* states, const obs::TraceContext* contexts) {
+  (void)contexts;  // exact path: no retrieval stage to attribute
   Tensor scores;
   Status st = ScoreFull(users, histories, &scores, states);
   if (!st.ok()) return st;
@@ -92,11 +93,11 @@ Status SasRecBackend::TopCandidates(
     const std::vector<int64_t>& users,
     const std::vector<std::vector<int64_t>>& histories, int64_t want,
     std::vector<std::vector<retrieval::ScoredItem>>* candidates,
-    Tensor* states) {
+    Tensor* states, const obs::TraceContext* contexts) {
   if (options_.retriever == nullptr) {
     // Exact default: full scoring, then per-row top-K.
     return ModelBackend::TopCandidates(users, histories, want, candidates,
-                                       states);
+                                       states, contexts);
   }
   (void)users;
   retrieval::Retriever* retriever = options_.retriever;
@@ -106,7 +107,8 @@ Status SasRecBackend::TopCandidates(
         "retriever index does not match the served model");
   }
   Tensor state = EncodeStates(histories);  // [B, d]
-  retriever->RetrieveBatch(state.data(), state.dim(0), want, candidates);
+  retriever->RetrieveBatch(state.data(), state.dim(0), want, candidates,
+                           contexts);
   *states = std::move(state);
   return Status::Ok();
 }

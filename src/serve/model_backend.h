@@ -68,11 +68,17 @@ class ModelBackend {
   // implementation is exact — ScoreFull, then a bounded top-K heap per row;
   // backends holding an ANN retriever override it to skip the [B, num_items]
   // score matrix entirely.
+  //
+  // `contexts` (optional): one request trace context per user; backends
+  // that route through a Retriever hand them down so each query's
+  // "retrieval/query" span lands in its request's trace tree. Results are
+  // identical with or without contexts. Overrides must repeat the same
+  // nullptr default so call sites through concrete types keep compiling.
   virtual Status TopCandidates(
       const std::vector<int64_t>& users,
       const std::vector<std::vector<int64_t>>& histories, int64_t want,
       std::vector<std::vector<retrieval::ScoredItem>>* candidates,
-      Tensor* states);
+      Tensor* states, const obs::TraceContext* contexts = nullptr);
 
   virtual int64_t num_items() const = 0;
   // Width of the cached hidden state; 0 disables tier 1.
@@ -107,7 +113,7 @@ class SasRecBackend : public ModelBackend {
       const std::vector<int64_t>& users,
       const std::vector<std::vector<int64_t>>& histories, int64_t want,
       std::vector<std::vector<retrieval::ScoredItem>>* candidates,
-      Tensor* states) override;
+      Tensor* states, const obs::TraceContext* contexts = nullptr) override;
   int64_t num_items() const override;
   int64_t state_dim() const override;
 

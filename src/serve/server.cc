@@ -8,10 +8,13 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "train/fault_injector.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace cl4srec {
 namespace serve {
@@ -27,8 +30,12 @@ struct ServerMetrics {
   obs::Counter* deadline_missed;
   obs::Counter* inline_degraded;
   obs::Counter* batch_failures;
-  obs::Histogram* latency_ms;
-  obs::Histogram* batch_forward_ms;
+  // Windowed log-linear sketches (obs/sketch.h), not fixed-bucket
+  // histograms: the export carries sliding-window p50/p90/p99/p999 plus
+  // per-bucket exemplar trace ids, and the degrade controller's windowed
+  // p99 trigger reads serve.batch_forward_ms by name.
+  obs::WindowedLatencySketch* latency_ms;
+  obs::WindowedLatencySketch* batch_forward_ms;
 };
 
 ServerMetrics& Metrics() {
@@ -44,9 +51,8 @@ ServerMetrics& Metrics() {
         reg.GetCounter("serve.deadline_missed"),
         reg.GetCounter("serve.inline_degraded"),
         reg.GetCounter("serve.batch_failures"),
-        reg.GetHistogram("serve.latency_ms", obs::DefaultLatencyBoundsMs()),
-        reg.GetHistogram("serve.batch_forward_ms",
-                         obs::DefaultLatencyBoundsMs()),
+        reg.GetSketch("serve.latency_ms"),
+        reg.GetSketch("serve.batch_forward_ms"),
     };
   }();
   return m;
@@ -64,6 +70,26 @@ void CountAnswered(ServeTier tier) {
       Metrics().answered_tier2->Increment();
       return;
   }
+}
+
+// Emits the request root span and closes the tail sampler's capture — the
+// single exit point every Recommend() path funnels through. Runs on the
+// requesting thread, after every worker-side span for this request has been
+// recorded (Complete() happens-before the requester waking), so the
+// captured tree is complete when the retention decision is made.
+void FinishRequestTrace(const obs::TraceContext& root, int64_t start_ns,
+                        double latency_ms, const char* trace_outcome,
+                        int tier, bool shed, bool degraded,
+                        bool deadline_missed) {
+  if (!root.active()) return;
+  obs::EmitRequestSpan("serve/request", "serve", root, start_ns, NowNanos(),
+                       trace_outcome, tier);
+  obs::RequestTraceStore::Outcome outcome;
+  outcome.latency_ms = latency_ms;
+  outcome.shed = shed;
+  outcome.degraded = degraded;
+  outcome.deadline_missed = deadline_missed;
+  obs::RequestTraceStore::Global().Finish(root.trace_id, outcome);
 }
 
 }  // namespace
@@ -102,6 +128,7 @@ struct RecommendServer::Completion {
   bool done = false;
   StatusOr<RecommendResponse> result{Status::Internal("pending")};
   RecommendRequest request;  // copied in; workers read it lock-free
+  obs::TraceContext trace;   // request root; workers mint children from it
 };
 
 void RecommendServer::Complete(Completion* slot,
@@ -130,13 +157,27 @@ RecommendServer::RecommendServer(ModelBackend* backend,
       degrade_(options.degrade) {
   CL4SREC_CHECK(backend_ != nullptr);
   CL4SREC_CHECK_GE(options_.num_workers, 1);
+  if (options_.trace_slow_ms > 0.0) {
+    auto& store = obs::RequestTraceStore::Global();
+    store.SetSlowThresholdMs(options_.trace_slow_ms);
+    store.Enable();
+  }
+  obs::Statusz::Register("serve", [this] { return StatusJson(); });
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int64_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-RecommendServer::~RecommendServer() { Stop(); }
+RecommendServer::~RecommendServer() {
+  // Unregister here, not in Stop(): StatusSnapshot() stays valid on a
+  // stopped server, and keeping the section registered lets the statusz
+  // final dump (written at process exit, after Stop) still carry the serve
+  // accounting. It must go before any member dies — the provider lambda
+  // captures `this`.
+  obs::Statusz::Unregister("serve");
+  Stop();
+}
 
 void RecommendServer::Stop() {
   if (stopped_) return;
@@ -151,9 +192,17 @@ StatusOr<RecommendResponse> RecommendServer::Recommend(
     const RecommendRequest& request) {
   ServerMetrics& m = Metrics();
   m.requests->Increment();
+  // Mint the request's trace identity at admission; every span this request
+  // produces — on this thread or any worker — hangs off `root`.
+  const obs::TraceContext root = obs::NewTraceRoot();
+  const int64_t start_ns = NowNanos();
+  obs::RequestTraceStore::Global().Begin(root.trace_id);
   Stopwatch latency;
   if (request.deadline.expired()) {
     m.shed_deadline->Increment();
+    FinishRequestTrace(root, start_ns, latency.ElapsedMillis(),
+                       "shed_deadline", /*tier=*/-1, /*shed=*/true,
+                       /*degraded=*/false, /*deadline_missed=*/false);
     return Status::DeadlineExceeded("deadline expired before admission");
   }
   // Pressure-based inline degradation: a deadline too tight to survive
@@ -169,29 +218,52 @@ StatusOr<RecommendResponse> RecommendServer::Recommend(
     m.inline_degraded->Increment();
     RecommendResponse response = AnswerDegraded(request);
     CountAnswered(response.tier);
-    m.latency_ms->Observe(latency.ElapsedMillis());
+    const double latency_ms = latency.ElapsedMillis();
+    m.latency_ms->Observe(latency_ms, root.trace_id);
+    FinishRequestTrace(root, start_ns, latency_ms, "inline_degraded",
+                       static_cast<int>(response.tier), /*shed=*/false,
+                       /*degraded=*/true, /*deadline_missed=*/false);
     return response;
   }
 
   Completion slot;
   slot.request = request;
+  slot.trace = root;
   BatchTicket ticket;
   ticket.deadline = request.deadline;
   ticket.context = &slot;
+  ticket.trace = root;
   const Status pushed = batcher_.Push(ticket);
   if (!pushed.ok()) {
     if (pushed.code() == StatusCode::kOverloaded) {
       m.shed_overload->Increment();
     }
+    FinishRequestTrace(root, start_ns, latency.ElapsedMillis(),
+                       pushed.code() == StatusCode::kOverloaded
+                           ? "shed_overload"
+                           : "rejected",
+                       /*tier=*/-1, /*shed=*/true, /*degraded=*/false,
+                       /*deadline_missed=*/false);
     return pushed;  // kOverloaded or kFailedPrecondition (stopped)
   }
   std::unique_lock<std::mutex> lock(slot.mu);
   slot.cv.wait(lock, [&] { return slot.done; });
+  const double latency_ms = latency.ElapsedMillis();
   if (slot.result.ok()) {
-    CountAnswered(slot.result.value().tier);
-    if (slot.result.value().deadline_missed) m.deadline_missed->Increment();
+    const RecommendResponse& response = slot.result.value();
+    CountAnswered(response.tier);
+    if (response.deadline_missed) m.deadline_missed->Increment();
+    m.latency_ms->Observe(latency_ms, root.trace_id);
+    FinishRequestTrace(root, start_ns, latency_ms, "ok",
+                       static_cast<int>(response.tier), /*shed=*/false,
+                       /*degraded=*/response.tier != ServeTier::kFull,
+                       response.deadline_missed);
+  } else {
+    m.latency_ms->Observe(latency_ms, root.trace_id);
+    FinishRequestTrace(root, start_ns, latency_ms, "error", /*tier=*/-1,
+                       /*shed=*/false, /*degraded=*/false,
+                       /*deadline_missed=*/false);
   }
-  m.latency_ms->Observe(latency.ElapsedMillis());
   return std::move(slot.result);
 }
 
@@ -199,7 +271,19 @@ void RecommendServer::WorkerLoop() {
   for (;;) {
     std::vector<BatchTicket> batch = batcher_.Pull();
     if (batch.empty()) return;  // closed and drained
+    const int64_t pull_ns = NowNanos();
     CL4SREC_TRACE_SPAN_CAT("serve/batch", "serve");
+
+    // Queue-wait span per ticket: enqueue (client thread) to pull (this
+    // worker). Emitted before any completion below, so it is always part
+    // of the captured tree by the time the requester finishes the trace.
+    for (const BatchTicket& ticket : batch) {
+      if (ticket.trace.active()) {
+        obs::EmitRequestSpan("serve/queue", "serve",
+                             obs::ChildContext(ticket.trace),
+                             ticket.enqueue_ns, pull_ns);
+      }
+    }
 
     // Fault injection hooks: an injected stall models a slow worker (the
     // degrade controller sees it through slow_batch_ms); an injected
@@ -252,15 +336,43 @@ void RecommendServer::WorkerLoop() {
             want, slot->request.k +
                       static_cast<int64_t>(slot->request.history.size()));
       }
+      // Forward-span contexts, one per live request: children of each
+      // request's root, minted BEFORE the forward so the retrieval layer
+      // can hang its per-query spans under them.
+      std::vector<obs::TraceContext> forward_ctx;
+      forward_ctx.reserve(live.size());
+      bool any_traced = false;
+      for (Completion* slot : live) {
+        forward_ctx.push_back(obs::ChildContext(slot->trace));
+        any_traced = any_traced || forward_ctx.back().active();
+      }
       std::vector<std::vector<retrieval::ScoredItem>> candidates;
       Tensor states;
       Stopwatch forward;
+      const int64_t forward_start_ns = NowNanos();
       Status st = injected_failure
                       ? Status::Internal("injected batch-forward failure")
-                      : backend_->TopCandidates(users, histories, want,
-                                                &candidates, &states);
+                      : backend_->TopCandidates(
+                            users, histories, want, &candidates, &states,
+                            any_traced ? forward_ctx.data() : nullptr);
       const double forward_ms = forward.ElapsedMillis() + injected_delay_ms;
-      Metrics().batch_forward_ms->Observe(forward_ms);
+      if (any_traced) {
+        // The batch forward is one measurement shared by every request in
+        // it; each request gets its own span over that interval so trees
+        // stay per-request while the attribution stays honest.
+        const int64_t forward_end_ns = NowNanos();
+        uint64_t exemplar = 0;
+        for (size_t i = 0; i < live.size(); ++i) {
+          if (!forward_ctx[i].active()) continue;
+          if (exemplar == 0) exemplar = forward_ctx[i].trace_id;
+          obs::EmitRequestSpan("serve/forward", "serve", forward_ctx[i],
+                               forward_start_ns, forward_end_ns,
+                               st.ok() ? nullptr : "error");
+        }
+        Metrics().batch_forward_ms->Observe(forward_ms, exemplar);
+      } else {
+        Metrics().batch_forward_ms->Observe(forward_ms);
+      }
       degrade_.ReportBatchOutcome(st.ok(), forward_ms);
       if (st.ok()) {
         const bool has_state = backend_->state_dim() > 0 && !states.empty();
@@ -359,6 +471,77 @@ std::vector<int64_t> RecommendServer::TopKExcluding(
   std::vector<int64_t> out;
   out.reserve(top.size());
   for (const retrieval::ScoredItem& s : top) out.push_back(s.id);
+  return out;
+}
+
+ServerStatus RecommendServer::StatusSnapshot() const {
+  ServerMetrics& m = Metrics();
+  auto& reg = obs::MetricsRegistry::Global();
+  ServerStatus s;
+  s.requests = m.requests->value();
+  s.answered_tier0 = m.answered_tier0->value();
+  s.answered_tier1 = m.answered_tier1->value();
+  s.answered_tier2 = m.answered_tier2->value();
+  s.shed_overload = m.shed_overload->value();
+  s.shed_deadline = m.shed_deadline->value();
+  s.deadline_missed = m.deadline_missed->value();
+  s.inline_degraded = m.inline_degraded->value();
+  s.batch_failures = m.batch_failures->value();
+  s.queue_depth = batcher_.pending();
+  s.cache_hits = reg.GetCounter("serve.cache.hits")->value();
+  s.cache_misses = reg.GetCounter("serve.cache.misses")->value();
+  s.breaker = degrade_.breaker_state();
+  s.degraded = degrade_.degraded();
+  s.degrade_transitions = degrade_.transitions();
+  s.latency_window = m.latency_ms->Window();
+  s.sampled_traces = obs::RequestTraceStore::Global().retained_count();
+  return s;
+}
+
+std::string RecommendServer::StatusJson() const {
+  const ServerStatus s = StatusSnapshot();
+  const int64_t lookups = s.cache_hits + s.cache_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(s.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  std::string out = "{";
+  out += StrFormat("\"requests\": %lld",
+                   static_cast<long long>(s.requests));
+  out += StrFormat(
+      ", \"answered\": {\"tier0\": %lld, \"tier1\": %lld, \"tier2\": %lld, "
+      "\"total\": %lld}",
+      static_cast<long long>(s.answered_tier0),
+      static_cast<long long>(s.answered_tier1),
+      static_cast<long long>(s.answered_tier2),
+      static_cast<long long>(s.answered_total()));
+  out += StrFormat(
+      ", \"shed\": {\"overload\": %lld, \"deadline\": %lld, \"total\": %lld}",
+      static_cast<long long>(s.shed_overload),
+      static_cast<long long>(s.shed_deadline),
+      static_cast<long long>(s.shed_total()));
+  out += StrFormat(", \"deadline_missed\": %lld, \"inline_degraded\": %lld",
+                   static_cast<long long>(s.deadline_missed),
+                   static_cast<long long>(s.inline_degraded));
+  out += StrFormat(", \"batch_failures\": %lld, \"queue_depth\": %lld",
+                   static_cast<long long>(s.batch_failures),
+                   static_cast<long long>(s.queue_depth));
+  out += StrFormat(
+      ", \"cache\": {\"hits\": %lld, \"misses\": %lld, \"hit_rate\": %.4f}",
+      static_cast<long long>(s.cache_hits),
+      static_cast<long long>(s.cache_misses), hit_rate);
+  out += StrFormat(", \"breaker\": \"%s\", \"degraded\": %s"
+                   ", \"degrade_transitions\": %lld",
+                   s.breaker, s.degraded ? "true" : "false",
+                   static_cast<long long>(s.degrade_transitions));
+  out += StrFormat(
+      ", \"latency_window_ms\": {\"count\": %lld, \"p50\": %.3f, "
+      "\"p90\": %.3f, \"p99\": %.3f, \"p999\": %.3f}",
+      static_cast<long long>(s.latency_window.count),
+      s.latency_window.p50_ms, s.latency_window.p90_ms,
+      s.latency_window.p99_ms, s.latency_window.p999_ms);
+  out += StrFormat(", \"sampled_traces\": %lld}",
+                   static_cast<long long>(s.sampled_traces));
   return out;
 }
 

@@ -34,8 +34,21 @@
 //
 // Observability: serve.requests == serve.answered.tier{0,1,2} summed +
 // serve.shed.overload + serve.shed.deadline. scripts/validate_telemetry.sh
-// asserts this invariant. Latency lands in serve.latency_ms; each worker
-// batch runs under a "serve/batch" trace span.
+// asserts this invariant. Request latency lands in the serve.latency_ms
+// windowed sketch (obs/sketch.h) with the request's trace_id as the bucket
+// exemplar; each worker batch additionally runs under an untraced
+// "serve/batch" span.
+//
+// Request tracing: admission mints a TraceContext root per request
+// (obs/trace_context.h) and carries it through the batcher ticket and the
+// completion slot, so every thread that touches the request attaches its
+// span to one connected tree: "serve/request" (root, emitted on the client
+// thread with the outcome and answer tier), "serve/queue" (enqueue ->
+// pull), "serve/forward" (the tier-0 batch forward, per request), and
+// "retrieval/query" under the forward when an ANN retriever serves
+// candidates. The RequestTraceStore keeps full trees for slow / shed /
+// degraded / late requests (threshold: ServerOptions::trace_slow_ms) plus a
+// small reservoir of ordinary ones; statusz surfaces the retained trees.
 
 #ifndef CL4SREC_SERVE_SERVER_H_
 #define CL4SREC_SERVE_SERVER_H_
@@ -45,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/sketch.h"
 #include "serve/batcher.h"
 #include "serve/degrade.h"
 #include "serve/model_backend.h"
@@ -83,6 +97,40 @@ struct ServerOptions {
   // degraded inline. <= 0: derived as batcher.max_batch_delay_ms +
   // batcher.deadline_margin_ms.
   double min_queue_deadline_ms = 0.0;
+  // Tail-based trace sampling: requests slower than this (and all shed /
+  // degraded / late ones) keep their full span tree in the
+  // RequestTraceStore. <= 0 disables the store for this server.
+  double trace_slow_ms = 25.0;
+};
+
+// Point-in-time accounting the server exposes through the statusz surface
+// and StatusSnapshot(). Counter fields read the process-global metrics
+// registry, so with several servers in one process they aggregate across
+// all of them; queue/breaker/window fields are this server's own.
+struct ServerStatus {
+  int64_t requests = 0;
+  int64_t answered_tier0 = 0;
+  int64_t answered_tier1 = 0;
+  int64_t answered_tier2 = 0;
+  int64_t shed_overload = 0;
+  int64_t shed_deadline = 0;
+  int64_t deadline_missed = 0;
+  int64_t inline_degraded = 0;
+  int64_t batch_failures = 0;
+  int64_t queue_depth = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  const char* breaker = "closed";
+  bool degraded = false;
+  int64_t degrade_transitions = 0;
+  // Sliding-window request latency percentiles (serve.latency_ms sketch).
+  obs::WindowedLatencySketch::WindowStats latency_window;
+  int64_t sampled_traces = 0;  // trees currently retained by the tail store
+
+  int64_t answered_total() const {
+    return answered_tier0 + answered_tier1 + answered_tier2;
+  }
+  int64_t shed_total() const { return shed_overload + shed_deadline; }
 };
 
 class RecommendServer {
@@ -109,6 +157,11 @@ class RecommendServer {
   const DegradeController& degrade() const { return degrade_; }
   SessionCache& cache() { return cache_; }
   int64_t pending() const { return batcher_.pending(); }
+
+  // Live accounting snapshot (see ServerStatus). Safe from any thread while
+  // the server exists; also the body of the "serve" statusz section.
+  ServerStatus StatusSnapshot() const;
+  std::string StatusJson() const;
 
  private:
   struct Completion;

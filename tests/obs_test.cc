@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -16,8 +17,12 @@
 #include "core/cl4srec.h"
 #include "models/sasrec.h"
 #include "obs/metrics.h"
+#include "obs/sketch.h"
+#include "obs/statusz.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "util/rng.h"
 #include "optim/optimizer.h"
 #include "parallel/parallel.h"
 #include "train/trainer.h"
@@ -351,6 +356,367 @@ TEST(TelemetryTest, ResumeSkipStepsEmitNoRecords) {
   const std::string text = ReadFile(path);
   EXPECT_NE(text.find("\"step\": 7"), std::string::npos);
   EXPECT_NE(text.find("\"step\": 8"), std::string::npos);
+}
+
+// ---- LatencySketch ----
+
+TEST(SketchTest, BucketGeometryBoundsRelativeError) {
+  using Sketch = obs::LatencySketch;
+  // Probe a wide range of latencies: every bucket must contain its value,
+  // bounds must be consistent, and above the linear range a bucket is never
+  // wider than 1/64 of its lower bound — the property that caps the
+  // midpoint's relative error at ~0.8%.
+  for (double ms : {0.001, 0.0127, 0.05, 0.3, 1.0, 7.5, 42.0, 999.0,
+                    12345.0, 8.0e6}) {
+    const int64_t index = Sketch::BucketIndex(ms);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, Sketch::kNumBuckets);
+    const double lower = Sketch::BucketLowerMs(index);
+    const double upper = Sketch::BucketUpperMs(index);
+    EXPECT_LE(lower, ms) << ms;
+    EXPECT_LT(ms, upper + 1e-9) << ms;
+    if (index >= Sketch::kLinearBuckets) {
+      EXPECT_LE(upper - lower, lower / 64.0 + 1e-9) << ms;
+    }
+  }
+  // Bucket index is monotone in the latency.
+  double previous = 0.0;
+  int64_t previous_index = -1;
+  for (double ms = 0.0005; ms < 1e5; ms *= 1.7) {
+    const int64_t index = Sketch::BucketIndex(ms);
+    EXPECT_GE(index, previous_index) << previous << " -> " << ms;
+    previous_index = index;
+    previous = ms;
+  }
+}
+
+TEST(SketchTest, PercentileWithinTwoPercentOfSorted) {
+  obs::LatencySketch sketch;
+  std::vector<double> samples;
+  Rng rng(42);
+  // Log-uniform latencies spanning 50us..500ms — the shape of a serving
+  // latency distribution with a long tail.
+  for (int i = 0; i < 20000; ++i) {
+    const double ms = 0.05 * std::pow(10000.0, rng.Uniform());
+    samples.push_back(ms);
+    sketch.Observe(ms);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = samples[static_cast<size_t>(
+        q * static_cast<double>(samples.size() - 1))];
+    const double estimate = sketch.Percentile(q);
+    EXPECT_NEAR(estimate, exact, 0.02 * exact) << "q=" << q;
+  }
+  EXPECT_EQ(sketch.count(), 20000);
+}
+
+TEST(SketchTest, MergeIsOrderIndependentAndShardingInvariant) {
+  // The same 6000 observations, recorded three ways: serially into one
+  // sketch, sharded round-robin over 3 sketches merged forward, and
+  // sharded by thirds over 4 sketches merged in reverse. Integer bucket
+  // state makes all three bit-identical — count, tick sum, and every
+  // bucket.
+  std::vector<double> samples;
+  Rng rng(7);
+  for (int i = 0; i < 6000; ++i) {
+    samples.push_back(0.01 * std::pow(1e5, rng.Uniform()));
+  }
+
+  obs::LatencySketch serial;
+  for (double ms : samples) serial.Observe(ms);
+
+  obs::LatencySketch round_robin[3];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    round_robin[i % 3].Observe(samples[i]);
+  }
+  obs::LatencySketch merged_forward;
+  for (auto& shard : round_robin) merged_forward.Merge(shard);
+
+  obs::LatencySketch blocks[4];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    blocks[i / ((samples.size() + 3) / 4)].Observe(samples[i]);
+  }
+  obs::LatencySketch merged_reverse;
+  for (int s = 3; s >= 0; --s) merged_reverse.Merge(blocks[s]);
+
+  EXPECT_EQ(serial.count(), merged_forward.count());
+  EXPECT_EQ(serial.sum_ticks(), merged_forward.sum_ticks());
+  EXPECT_EQ(serial.bucket_counts(), merged_forward.bucket_counts());
+  EXPECT_EQ(serial.sum_ticks(), merged_reverse.sum_ticks());
+  EXPECT_EQ(serial.bucket_counts(), merged_reverse.bucket_counts());
+}
+
+TEST(SketchTest, ConcurrentObservationsMatchSerialBitExactly) {
+  // Any thread count over the same observations must produce the identical
+  // sketch — the TSan lane runs this too, pinning the wait-free Observe.
+  std::vector<double> samples;
+  Rng rng(99);
+  for (int i = 0; i < 8000; ++i) {
+    samples.push_back(0.05 + 50.0 * rng.Uniform());
+  }
+  obs::LatencySketch serial;
+  for (double ms : samples) serial.Observe(ms);
+
+  for (int num_threads : {2, 5, 8}) {
+    obs::LatencySketch concurrent;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = static_cast<size_t>(t); i < samples.size();
+             i += static_cast<size_t>(num_threads)) {
+          concurrent.Observe(samples[i]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(serial.count(), concurrent.count()) << num_threads;
+    EXPECT_EQ(serial.sum_ticks(), concurrent.sum_ticks()) << num_threads;
+    EXPECT_EQ(serial.bucket_counts(), concurrent.bucket_counts())
+        << num_threads;
+  }
+}
+
+TEST(SketchTest, WindowExpiresOldObservationsCumulativeKeepsAll) {
+  obs::WindowedLatencySketch windowed(
+      obs::WindowOptions{.window_ms = 100.0, .slices = 5});
+  const int64_t t0 = 1'000'000'000;  // injected clock, ns
+  for (int i = 0; i < 50; ++i) {
+    windowed.Observe(5.0, /*trace_id=*/0, t0 + i * 1'000'000);
+  }
+  auto live = windowed.Window(t0 + 60'000'000);
+  EXPECT_EQ(live.count, 50);
+  EXPECT_NEAR(live.p50_ms, 5.0, 0.1);
+  // Two windows later every slice has rotated out; the cumulative sketch
+  // still carries the full history.
+  auto expired = windowed.Window(t0 + 300'000'000);
+  EXPECT_EQ(expired.count, 0);
+  EXPECT_EQ(expired.p99_ms, 0.0);
+  EXPECT_EQ(windowed.cumulative().count(), 50);
+
+  // New observations after the gap repopulate the window.
+  windowed.Observe(9.0, 0, t0 + 400'000'000);
+  auto repopulated = windowed.Window(t0 + 400'000'000);
+  EXPECT_EQ(repopulated.count, 1);
+  EXPECT_EQ(windowed.cumulative().count(), 51);
+}
+
+TEST(SketchTest, TailExemplarsLinkBucketsToTraces) {
+  obs::LatencySketch sketch;
+  sketch.ObserveWithExemplar(1.0, 101);
+  sketch.ObserveWithExemplar(80.0, 202);
+  sketch.ObserveWithExemplar(80.0, 303);  // same bucket: newest wins
+  const auto tail = sketch.TailExemplars(2);
+  ASSERT_EQ(tail.size(), 2u);
+  // Descending: the slowest bucket first, stamped with the latest trace.
+  EXPECT_EQ(tail[0].trace_id, 303u);
+  EXPECT_EQ(tail[0].count, 2);
+  EXPECT_GT(tail[0].le_ms, tail[1].le_ms);
+  EXPECT_EQ(tail[1].trace_id, 101u);
+}
+
+// ---- TraceContext + RequestTraceStore ----
+
+TEST(TraceContextTest, MintingAndPropagation) {
+  auto& store = obs::RequestTraceStore::Global();
+  store.Clear();
+  store.Enable();
+  const obs::TraceContext root = obs::NewTraceRoot();
+  ASSERT_TRUE(root.active());
+  EXPECT_EQ(root.parent_span_id, 0u);
+  const obs::TraceContext child = obs::ChildContext(root);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  store.Disable();
+  store.Clear();
+
+  // With neither tracing nor the store active, minting yields inactive
+  // contexts and children stay inactive — the whole path no-ops.
+  if (!obs::Tracing::enabled()) {
+    const obs::TraceContext off = obs::NewTraceRoot();
+    EXPECT_FALSE(off.active());
+    EXPECT_FALSE(obs::ChildContext(off).active());
+  }
+}
+
+obs::TraceEvent RequestSpanEvent(const char* name,
+                                 const obs::TraceContext& ctx) {
+  obs::TraceEvent event;
+  event.name = name;
+  event.category = "serve";
+  event.start_ns = 1000;
+  event.duration_ns = 1000;
+  event.trace_id = ctx.trace_id;
+  event.span_id = ctx.span_id;
+  event.parent_span_id = ctx.parent_span_id;
+  return event;
+}
+
+TEST(RequestTraceStoreTest, TailPolicyRetainsInterestingOutcomes) {
+  auto& store = obs::RequestTraceStore::Global();
+  store.Clear();
+  store.Enable();
+  store.SetSlowThresholdMs(10.0);
+
+  struct Case {
+    obs::RequestTraceStore::Outcome outcome;
+    const char* want_reason;
+  };
+  const Case cases[] = {
+      {{.latency_ms = 50.0}, "slow"},
+      {{.latency_ms = 1.0, .shed = true}, "shed"},
+      {{.latency_ms = 1.0, .degraded = true}, "degraded"},
+      {{.latency_ms = 1.0, .deadline_missed = true}, "late"},
+  };
+  std::vector<uint64_t> ids;
+  for (const Case& c : cases) {
+    const obs::TraceContext root = obs::NewTraceRoot();
+    ids.push_back(root.trace_id);
+    store.Begin(root.trace_id);
+    store.Record(RequestSpanEvent("serve/request", root));
+    store.Finish(root.trace_id, c.outcome);
+  }
+  const auto retained = store.RetainedSnapshot();
+  ASSERT_EQ(retained.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    const uint64_t id = ids[i];
+    const auto it = std::find_if(
+        retained.begin(), retained.end(),
+        [id](const obs::CapturedTrace& t) { return t.trace_id == id; });
+    ASSERT_NE(it, retained.end()) << cases[i].want_reason;
+    EXPECT_STREQ(it->reason, cases[i].want_reason);
+    ASSERT_EQ(it->spans.size(), 1u);
+    EXPECT_EQ(it->spans[0].trace_id, id);
+  }
+
+  // A fast, clean request is NOT retained (at most it enters the
+  // reservoir).
+  const obs::TraceContext fast = obs::NewTraceRoot();
+  store.Begin(fast.trace_id);
+  store.Record(RequestSpanEvent("serve/request", fast));
+  store.Finish(fast.trace_id, {.latency_ms = 0.5});
+  for (const auto& trace : store.RetainedSnapshot()) {
+    EXPECT_NE(trace.trace_id, fast.trace_id);
+  }
+
+  // RetainedJson is structurally valid and caps the tree count.
+  EXPECT_TRUE(BalancedJson(store.RetainedJson(2)));
+  store.Disable();
+  store.Clear();
+}
+
+TEST(RequestTraceStoreTest, RetentionIsBounded) {
+  auto& store = obs::RequestTraceStore::Global();
+  store.Clear();
+  store.Enable();
+  store.SetSlowThresholdMs(1.0);
+  for (int i = 0; i < 500; ++i) {
+    const obs::TraceContext root = obs::NewTraceRoot();
+    store.Begin(root.trace_id);
+    store.Record(RequestSpanEvent("serve/request", root));
+    store.Finish(root.trace_id, {.latency_ms = 100.0});  // all slow
+  }
+  // The global retention cap holds no matter how many slow requests pass.
+  EXPECT_LE(store.retained_count(), 32);
+  EXPECT_GT(store.retained_count(), 0);
+  store.Disable();
+  store.Clear();
+}
+
+// ---- Statusz ----
+
+TEST(StatuszTest, SectionsCollectAndFreezeOnUnregister) {
+  obs::Statusz::Register("obs_test_section",
+                         [] { return std::string("{\"value\": 7}"); });
+  std::string json = obs::Statusz::CollectJson();
+  EXPECT_TRUE(BalancedJson(json));
+  EXPECT_NE(json.find("\"obs_test_section\": {\"value\": 7}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"uptime_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"sampled_traces\""), std::string::npos);
+
+  // Unregister freezes the provider's final answer: later dumps (e.g. the
+  // process-exit one, which outlives most providers) keep the section.
+  obs::Statusz::Unregister("obs_test_section");
+  json = obs::Statusz::CollectJson();
+  EXPECT_NE(json.find("\"obs_test_section\": {\"value\": 7}"),
+            std::string::npos);
+
+  // Re-registering supersedes the frozen value.
+  obs::Statusz::Register("obs_test_section",
+                         [] { return std::string("{\"value\": 8}"); });
+  json = obs::Statusz::CollectJson();
+  EXPECT_NE(json.find("\"obs_test_section\": {\"value\": 8}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("{\"value\": 7}"), std::string::npos);
+  obs::Statusz::Unregister("obs_test_section");
+}
+
+TEST(StatuszTest, PeriodicDumperWritesAndShutsDownCleanly) {
+  const std::string dir = FreshDir("obs_statusz_dump");
+  const std::string path = dir + "/statusz.json";
+  obs::Statusz::Register("obs_test_dumper",
+                         [] { return std::string("{\"alive\": true}"); });
+  obs::Statusz::EnableWithOutput(path, /*period_ms=*/100000);
+  obs::Statusz::TriggerDump();
+  // The dumper thread polls every <=100ms; give it a few cycles.
+  std::string content;
+  for (int i = 0; i < 50 && content.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    content = ReadFile(path);
+  }
+  EXPECT_TRUE(BalancedJson(content));
+  EXPECT_NE(content.find("obs_test_dumper"), std::string::npos);
+  obs::Statusz::Unregister("obs_test_dumper");
+  obs::Statusz::Shutdown();  // joins the thread, writes a final dump
+  EXPECT_TRUE(BalancedJson(ReadFile(path)));
+}
+
+// ---- Metrics exit snapshot (shutdown ordering regression) ----
+
+TEST(MetricsTest, ExitSnapshotWritesExactlyOncePerRegistration) {
+  const std::string dir = FreshDir("obs_exit_snapshot");
+  const std::string path = dir + "/metrics.json";
+  auto& registry = obs::MetricsRegistry::Global();
+  auto* counter = registry.GetCounter("test.obs.exit_snapshot");
+  counter->Increment();
+
+  // Registration arms the latch; the first flush writes the snapshot.
+  obs::WriteMetricsJsonAtExit(path);
+  obs::FlushMetricsExitSnapshot();
+  const std::string first = ReadFile(path);
+  ASSERT_FALSE(first.empty());
+  EXPECT_TRUE(BalancedJson(first));
+
+  // The latch is spent: later flushes (e.g. the atexit hook racing an
+  // explicit shutdown flush) must not rewrite the file with post-teardown
+  // state. This is the regression test for the exit-ordering hazard where
+  // the atexit snapshot ran after parts of the process were torn down.
+  counter->Increment();
+  obs::FlushMetricsExitSnapshot();
+  EXPECT_EQ(ReadFile(path), first);
+
+  // A fresh registration re-arms the latch and captures the new state.
+  obs::WriteMetricsJsonAtExit(path);
+  obs::FlushMetricsExitSnapshot();
+  const std::string second = ReadFile(path);
+  EXPECT_NE(second, first);
+  EXPECT_TRUE(BalancedJson(second));
+}
+
+TEST(MetricsTest, RegistrySketchExportsWindowAndExemplars) {
+  auto& registry = obs::MetricsRegistry::Global();
+  auto* sketch = registry.GetSketch("test.obs.sketch_export");
+  sketch->Observe(3.0, /*trace_id=*/4242);
+  sketch->Observe(150.0, /*trace_id=*/4343);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(BalancedJson(json));
+  EXPECT_NE(json.find("\"sketches\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.sketch_export\""), std::string::npos);
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"tail_exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("4343"), std::string::npos);  // tail exemplar trace
 }
 
 TEST(TelemetryTest, StageLabelFollowsCheckpointPrefix) {

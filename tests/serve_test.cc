@@ -19,6 +19,7 @@
 #include "models/sasrec.h"
 #include "nn/padded_batch.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "serve/batcher.h"
 #include "serve/degrade.h"
 #include "serve/model_backend.h"
@@ -704,6 +705,118 @@ TEST(RecommendServerTest, MetricsInvariantRequestsEqualAnsweredPlusShed) {
       shed_overload->value() + shed_deadline->value();
   EXPECT_EQ(requests->value() - base, 10);
   EXPECT_EQ(answered_or_shed - base_answered_or_shed, 10);
+}
+
+TEST(RecommendServerTest, RequestTracesFormConnectedSpanTrees) {
+  ServingFixture& f = Fixture();
+  SasRecBackend backend(&f.model);
+  ServerOptions options;
+  options.num_workers = 2;
+  options.batcher.max_batch_size = 4;
+  options.batcher.max_batch_delay_ms = 1.0;
+  // Threshold (1us) below any real latency: every finished request is
+  // "slow", so the tail store retains full trees we can inspect
+  // deterministically.
+  options.trace_slow_ms = 0.001;
+  auto& store = obs::RequestTraceStore::Global();
+  store.Clear();
+  RecommendServer server(&backend, f.popularity, options);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 4;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        RecommendRequest request;
+        request.user = (c * kPerClient + i) % f.data.num_users();
+        request.history = f.History(request.user);
+        request.k = 5;
+        ASSERT_TRUE(server.Recommend(request).ok());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  // Every retained tree must be connected: exactly one root
+  // ("serve/request", parent 0) and every other span reachable from it via
+  // parent_span_id, all sharing the trace_id. Workers emit their spans
+  // before completing the request, so the client-side Finish always sees
+  // the full tree — no torn trees even across thread hops.
+  const auto retained = store.RetainedSnapshot();
+  ASSERT_FALSE(retained.empty());
+  for (const auto& trace : retained) {
+    const obs::TraceEvent* root = nullptr;
+    std::set<uint64_t> span_ids;
+    for (const auto& span : trace.spans) {
+      EXPECT_EQ(span.trace_id, trace.trace_id);
+      ASSERT_NE(span.span_id, 0u);
+      EXPECT_TRUE(span_ids.insert(span.span_id).second)
+          << "duplicate span_id in trace " << trace.trace_id;
+      if (span.parent_span_id == 0) {
+        ASSERT_EQ(root, nullptr) << "two roots in trace " << trace.trace_id;
+        root = &span;
+      }
+    }
+    ASSERT_NE(root, nullptr) << "trace " << trace.trace_id << " has no root";
+    EXPECT_STREQ(root->name, "serve/request");
+    EXPECT_GE(trace.spans.size(), 2u)
+        << "root has no children in trace " << trace.trace_id;
+    for (const auto& span : trace.spans) {
+      if (span.parent_span_id != 0) {
+        EXPECT_EQ(span_ids.count(span.parent_span_id), 1u)
+            << span.name << " in trace " << trace.trace_id
+            << " dangles from span " << span.parent_span_id;
+      }
+    }
+    // A queue hop must be attributed on every queued tier-0 answer.
+    const bool has_queue = std::any_of(
+        trace.spans.begin(), trace.spans.end(), [](const obs::TraceEvent& s) {
+          return std::string(s.name) == "serve/queue";
+        });
+    EXPECT_TRUE(has_queue) << "trace " << trace.trace_id;
+  }
+  store.Clear();
+}
+
+TEST(RecommendServerTest, StatusSnapshotInvariantAndJson) {
+  ServingFixture& f = Fixture();
+  SasRecBackend backend(&f.model);
+  ServerOptions options;
+  options.num_workers = 1;
+  RecommendServer server(&backend, f.popularity, options);
+
+  const ServerStatus before = server.StatusSnapshot();
+  for (int i = 0; i < 12; ++i) {
+    RecommendRequest request;
+    request.user = i % f.data.num_users();
+    request.history = f.History(request.user);
+    if (i % 4 == 0) request.deadline = Deadline::AfterMillis(-1.0);  // shed
+    (void)server.Recommend(request);
+  }
+  const ServerStatus after = server.StatusSnapshot();
+
+  // The accounting invariant the statusz surface exposes: every request is
+  // answered at exactly one tier or shed with a typed status.
+  EXPECT_EQ(after.requests - before.requests, 12);
+  EXPECT_EQ((after.answered_total() + after.shed_total()) -
+                (before.answered_total() + before.shed_total()),
+            12);
+  EXPECT_GE(after.shed_deadline - before.shed_deadline, 3);
+  EXPECT_GE(after.latency_window.count, 1);
+  EXPECT_GT(after.latency_window.p50_ms, 0.0);
+  EXPECT_STREQ(after.breaker, "closed");
+  EXPECT_EQ(after.queue_depth, 0);
+
+  // The JSON rendering parses structurally and carries the key sections.
+  const std::string json = server.StatusJson();
+  for (const char* key :
+       {"\"requests\"", "\"answered\"", "\"shed\"", "\"latency_window_ms\"",
+        "\"breaker\"", "\"cache\"", "\"queue_depth\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  server.Stop();
 }
 
 TEST(RecommendServerTest, StopDrainsQueuedRequests) {
