@@ -1,0 +1,221 @@
+// Ring-allreduce bandwidth benchmark: bus bandwidth vs payload size and
+// world size, for both comm backends (thread mailboxes and TCP loopback).
+//
+// Bandwidth is reported two ways, following the NCCL convention:
+//   * alg_gbps — payload bytes / wall time. What a caller observes.
+//   * bus_gbps — alg * 2(W-1)/W. The traffic the ring actually moves per
+//     rank (reduce-scatter + all-gather each send (W-1)/W of the payload),
+//     so it is comparable across world sizes: a perfect ring holds
+//     bus_gbps constant as W grows while alg_gbps stays flat too.
+//
+// Every run first verifies the reduction (each rank contributes a known
+// pattern; the sum is checked elementwise) so a bandwidth number can never
+// come from a collective that silently corrupted data.
+//
+//   ./bench_allreduce [--json BENCH_allreduce.json] [--backends thread,tcp]
+//                     [--worlds 2,4] [--min_floats 4096]
+//                     [--max_floats 4194304] [--iters 10] [--chunk_floats N]
+//
+// scripts/bench_micro.sh smoke-runs a 2-rank configuration per PR; the
+// committed BENCH_allreduce.json comes from the full default sweep and is
+// gated by scripts/bench_regress.py (the *_gbps keys are higher-is-better).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dist/launcher.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+using namespace cl4srec;
+
+namespace {
+
+std::vector<int64_t> ParseInt64List(const std::string& csv) {
+  std::vector<int64_t> out;
+  std::string token;
+  std::istringstream stream(csv);
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(std::stoll(token));
+  }
+  return out;
+}
+
+std::vector<std::string> ParseStringList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream stream(csv);
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+struct RunResult {
+  std::string backend;
+  int world = 0;
+  int64_t floats = 0;
+  double time_per_call_ms = 0.0;
+  double alg_gbps = 0.0;
+  double bus_gbps = 0.0;
+
+  std::string name() const {
+    return StrFormat("%s_w%d_%lldf", backend.c_str(), world,
+                     static_cast<long long>(floats));
+  }
+};
+
+// One (backend, world, payload) measurement. Every rank allreduces the same
+// buffer size; rank 0's barrier-bounded wall time is the run's time.
+StatusOr<RunResult> RunOnce(const std::string& backend, int world,
+                            int64_t floats, int64_t iters,
+                            int64_t chunk_floats) {
+  RunResult result;
+  result.backend = backend;
+  result.world = world;
+  result.floats = floats;
+
+  dist::LaunchOptions launch;
+  launch.world_size = world;
+  launch.backend = backend;
+  if (chunk_floats > 0) launch.comm.chunk_floats = chunk_floats;
+
+  double rank0_seconds = 0.0;
+  std::mutex mu;
+  Status verify = Status::Ok();
+  Status status = dist::RunDataParallel(
+      launch, [&](int rank, dist::CommBackend* comm) -> Status {
+        std::vector<float> buf(static_cast<size_t>(floats));
+        for (int64_t i = 0; i < floats; ++i) {
+          buf[static_cast<size_t>(i)] =
+              static_cast<float>(i % 17) * 0.25f + static_cast<float>(rank);
+        }
+        // Correctness gate: the first allreduce must produce the exact sum
+        // of every rank's pattern (the ring adds floats in a fixed order,
+        // but these values are exactly representable, so == is exact).
+        CL4SREC_RETURN_NOT_OK(comm->AllReduce(buf.data(), floats));
+        const auto w = static_cast<float>(world);
+        const float rank_sum = 0.5f * w * (w - 1.0f);
+        for (int64_t i = 0; i < floats; ++i) {
+          const float want =
+              static_cast<float>(i % 17) * 0.25f * w + rank_sum;
+          if (buf[static_cast<size_t>(i)] != want) {
+            std::lock_guard<std::mutex> lock(mu);
+            verify = Status::Internal(StrFormat(
+                "allreduce mismatch at %lld: got %f want %f",
+                static_cast<long long>(i), buf[static_cast<size_t>(i)],
+                want));
+            break;
+          }
+        }
+        // Warmup, then the timed window. Values grow by ~world x per call;
+        // with iters <= ~30 and world <= 8 they stay far from overflow.
+        CL4SREC_RETURN_NOT_OK(comm->AllReduce(buf.data(), floats));
+        CL4SREC_RETURN_NOT_OK(comm->Barrier());
+        Stopwatch wall;
+        for (int64_t it = 0; it < iters; ++it) {
+          CL4SREC_RETURN_NOT_OK(comm->AllReduce(buf.data(), floats));
+        }
+        CL4SREC_RETURN_NOT_OK(comm->Barrier());
+        if (rank == 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          rank0_seconds = wall.ElapsedSeconds();
+        }
+        return Status::Ok();
+      });
+  CL4SREC_RETURN_NOT_OK(status);
+  CL4SREC_RETURN_NOT_OK(verify);
+
+  const double per_call_s = rank0_seconds / static_cast<double>(iters);
+  const double bytes = static_cast<double>(floats) * sizeof(float);
+  result.time_per_call_ms = per_call_s * 1e3;
+  result.alg_gbps = bytes / per_call_s / 1e9;
+  result.bus_gbps = result.alg_gbps * 2.0 *
+                    (static_cast<double>(world) - 1.0) /
+                    static_cast<double>(world);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("json", "", "JSON report output path");
+  flags.AddString("backends", "thread,tcp",
+                  "comm backends to sweep (comma list: thread, tcp)");
+  flags.AddString("worlds", "2,4", "world sizes to sweep (comma list)");
+  flags.AddInt("min_floats", 4096, "smallest payload, in floats");
+  flags.AddInt("max_floats", 4194304, "largest payload, in floats");
+  flags.AddInt("iters", 10, "timed allreduce calls per configuration");
+  flags.AddInt("chunk_floats", 0, "ring chunk size override (0 = default)");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
+
+  const std::vector<std::string> backends =
+      ParseStringList(flags.GetString("backends"));
+  const std::vector<int64_t> worlds = ParseInt64List(flags.GetString("worlds"));
+  const int64_t iters = std::max<int64_t>(1, flags.GetInt("iters"));
+  const int64_t min_floats = std::max<int64_t>(1, flags.GetInt("min_floats"));
+  const int64_t max_floats = std::max(min_floats, flags.GetInt("max_floats"));
+
+  std::printf("allreduce bench: iters %lld, %s\n",
+              static_cast<long long>(iters),
+              bench::MachineMetadataJson().c_str());
+  std::vector<RunResult> runs;
+  for (const std::string& backend : backends) {
+    for (int64_t world : worlds) {
+      for (int64_t floats = min_floats; floats <= max_floats; floats *= 16) {
+        auto run = RunOnce(backend, static_cast<int>(world), floats, iters,
+                           flags.GetInt("chunk_floats"));
+        if (!run.ok()) {
+          std::fprintf(stderr, "%s world %lld %lld floats: %s\n",
+                       backend.c_str(), static_cast<long long>(world),
+                       static_cast<long long>(floats),
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        std::printf(
+            "%-6s w%lld %9lld floats (%7.2f MiB) | %8.3f ms/call | "
+            "alg %6.2f GB/s | bus %6.2f GB/s\n",
+            backend.c_str(), static_cast<long long>(world),
+            static_cast<long long>(floats),
+            static_cast<double>(floats) * sizeof(float) / (1024.0 * 1024.0),
+            run->time_per_call_ms, run->alg_gbps, run->bus_gbps);
+        runs.push_back(*std::move(run));
+      }
+    }
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\n  \"bench\": \"allreduce\",\n"
+        << "  \"machine\": " << bench::MachineMetadataJson() << ",\n"
+        << "  \"iters\": " << iters << ",\n  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const RunResult& r = runs[i];
+      out << "    {\"name\": \"" << r.name() << "\", \"backend\": \""
+          << r.backend << "\", \"world\": " << r.world
+          << ", \"floats\": " << r.floats
+          << ",\n     \"time_per_call_ms\": " << r.time_per_call_ms
+          << ", \"alg_gbps\": " << r.alg_gbps
+          << ", \"bus_gbps\": " << r.bus_gbps << "}"
+          << (i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::ofstream file(json_path);
+    file << out.str();
+    if (!file) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "dist/launcher.h"
 #include "obs/metrics.h"
 #include "obs/statusz.h"
 #include "obs/telemetry.h"
@@ -31,6 +32,14 @@ void AddCommonFlags(FlagParser* flags) {
                 "batches built ahead of the optimizer by the async "
                 "prefetcher (0 = build inline; batch content is identical "
                 "at any depth)");
+  flags->AddInt("world_size", 1,
+                "data-parallel ranks (1 = off; each rank is an in-process "
+                "replica, gradients ring-allreduced every step)");
+  flags->AddString("dist_backend", "thread",
+                   "rank transport: thread (shared-memory mailboxes) or "
+                   "tcp (loopback socket ring)");
+  flags->AddInt("grad_accum", 1,
+                "micro-batches accumulated into one optimizer step");
   flags->AddString("simd", "",
                    "kernel dispatch: auto, off, avx2, avx512, neon "
                    "(empty = CL4SREC_SIMD env var, else auto-detect)");
@@ -63,6 +72,9 @@ BenchConfig ConfigFromFlags(const FlagParser& flags) {
   config.verbose = flags.GetBool("verbose");
   config.threads = flags.GetInt("threads");
   config.prefetch_depth = flags.GetInt("prefetch_depth");
+  config.world_size = flags.GetInt("world_size");
+  config.dist_backend = flags.GetString("dist_backend");
+  config.grad_accum = flags.GetInt("grad_accum");
   config.csv_path = flags.GetString("csv");
   // Applied here so every bench/CLI binary honors --threads without each
   // main() having to remember to; training loops re-apply via TrainOptions.
@@ -112,7 +124,51 @@ TrainOptions MakeTrainOptions(const BenchConfig& config) {
   options.verbose = config.verbose;
   options.num_threads = config.threads;
   options.prefetch_depth = config.prefetch_depth;
+  options.robust.grad_accum = config.grad_accum;
   return options;
+}
+
+StatusOr<std::unique_ptr<Recommender>> DistTrainModel(
+    const std::string& name, const BenchConfig& config,
+    const SequenceDataset& data, TrainOptions options,
+    const std::vector<AugmentationOp>& augmentations) {
+  if (config.world_size <= 1) {
+    std::unique_ptr<Recommender> model = MakeModel(name, config, augmentations);
+    model->Fit(data, options);
+    return model;
+  }
+  const int world = static_cast<int>(config.world_size);
+  // The ParallelFor pool must be sized before rank threads launch; resizing
+  // it with collectives in flight is not safe (parallel.h).
+  if (options.num_threads > 0) {
+    parallel::SetNumThreads(static_cast<int>(options.num_threads));
+  }
+  // Replicas are constructed from the same seed, so they start identical —
+  // the gradient averaging then keeps them identical forever.
+  std::vector<std::unique_ptr<Recommender>> replicas;
+  replicas.reserve(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    replicas.push_back(MakeModel(name, config, augmentations));
+  }
+  dist::LaunchOptions launch;
+  launch.world_size = world;
+  launch.backend = config.dist_backend;
+  Status status = dist::RunDataParallel(
+      launch, [&](int rank, dist::CommBackend* comm) -> Status {
+        TrainOptions rank_options = options;
+        rank_options.robust.comm = comm;
+        rank_options.num_threads = 0;  // pool already sized above
+        if (rank > 0) {
+          // Replicas are bit-identical; one copy of the logs and the
+          // checkpoint stream is enough.
+          rank_options.verbose = false;
+          rank_options.robust.checkpoints.directory.clear();
+        }
+        replicas[static_cast<size_t>(rank)]->Fit(data, rank_options);
+        return Status::Ok();
+      });
+  CL4SREC_RETURN_NOT_OK(status);
+  return std::move(replicas[0]);
 }
 
 std::unique_ptr<Recommender> MakeModel(

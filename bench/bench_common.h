@@ -27,6 +27,7 @@
 #include "models/pop.h"
 #include "models/sasrec.h"
 #include "util/flags.h"
+#include "util/status.h"
 
 namespace cl4srec {
 namespace bench {
@@ -45,6 +46,14 @@ struct BenchConfig {
   int64_t threads = 0;
   // Async batch-prefetch depth (0 = serial batch building).
   int64_t prefetch_depth = 2;
+  // Data-parallel ranks (1 = single-process training). Each rank is a
+  // thread holding a full model replica; gradients are ring-allreduced.
+  int64_t world_size = 1;
+  // Rank communication transport: "thread" (shared-memory mailboxes) or
+  // "tcp" (loopback socket ring).
+  std::string dist_backend = "thread";
+  // Micro-batches accumulated per optimizer step (1 = step every batch).
+  int64_t grad_accum = 1;
   std::string csv_path;
 };
 
@@ -63,6 +72,17 @@ TrainOptions MakeTrainOptions(const BenchConfig& config);
 // (empty -> mask 0.5).
 std::unique_ptr<Recommender> MakeModel(
     const std::string& name, const BenchConfig& config,
+    const std::vector<AugmentationOp>& augmentations = {});
+
+// Trains a model under the config's data-parallel settings and returns the
+// trained instance. world_size == 1 is plain MakeModel + Fit; world_size > 1
+// builds one replica per rank (identical by seeded construction), trains
+// them under a ring comm group (config.dist_backend), and returns rank 0's
+// replica — bit-identical to every other rank's by the fixed reduction
+// order. Only rank 0 writes checkpoints or logs epoch summaries.
+StatusOr<std::unique_ptr<Recommender>> DistTrainModel(
+    const std::string& name, const BenchConfig& config,
+    const SequenceDataset& data, TrainOptions options,
     const std::vector<AugmentationOp>& augmentations = {});
 
 // The paper's Table 2 model order.

@@ -35,7 +35,7 @@ shift || true
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_micro_ops bench_serving bench_retrieval
+  --target bench_micro_ops bench_serving bench_retrieval bench_allreduce
 
 "$BUILD_DIR"/bench/bench_micro_ops --json "$OUT" "$@"
 
@@ -53,7 +53,16 @@ SERVING_OUT=${SERVING_OUT:-BENCH_serving.json}
   --duration_ms 800 --slow_worker_ms 10 --slow_batch_ms 8 \
   --overload_deadline_ms 25
 
+# Ring-allreduce smoke: 2-rank sweep over both backends with short timed
+# windows. Every run self-verifies the reduction before timing, so this
+# doubles as a per-PR correctness check of the comm layer. The committed
+# BENCH_allreduce.json comes from the full default sweep,
+# `bench_allreduce --json BENCH_allreduce.json` (see EXPERIMENTS.md).
+ALLREDUCE_OUT=${ALLREDUCE_OUT:-BENCH_allreduce.json}
+"$BUILD_DIR"/bench/bench_allreduce --json "$ALLREDUCE_OUT" \
+  --worlds 2 --min_floats 65536 --max_floats 1048576 --iters 6
+
 # Regression gate: compare the fresh artifacts against the baselines
 # committed at HEAD. Machine-fingerprint-aware (skips when the host does
 # not match the baseline's), fails on >15% regression in throughput / p99.
-python3 scripts/bench_regress.py "$OUT" "$SERVING_OUT"
+python3 scripts/bench_regress.py "$OUT" "$SERVING_OUT" "$ALLREDUCE_OUT"

@@ -10,7 +10,8 @@ note (a laptop run regressing against a CI baseline is noise, not signal).
 
 Comparable metrics are found by key name anywhere in the JSON tree:
 
-  higher is better   qps, *users_per_s, *gflops, *steps_per_s, recall_at_k
+  higher is better   qps, *users_per_s, *gflops, *steps_per_s, *_gbps,
+                     recall_at_k
   lower is better    p99_ms
 
 Paths containing "overload" are excluded — that bench phase runs with an
@@ -32,7 +33,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-HIGHER_BETTER_SUFFIXES = ("users_per_s", "gflops", "steps_per_s")
+HIGHER_BETTER_SUFFIXES = ("users_per_s", "gflops", "steps_per_s", "_gbps")
 HIGHER_BETTER_KEYS = ("qps", "recall_at_k")
 LOWER_BETTER_KEYS = ("p99_ms",)
 EXCLUDED_PATH_PARTS = ("overload",)
@@ -88,8 +89,15 @@ def machines_match(current, baseline):
 def compare_file(path, ref, threshold):
     """Returns (num_compared, regressions) for one artifact."""
     name = Path(path).name
-    with open(path) as f:
-        current = json.load(f)
+    try:
+        with open(path) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        # A mangled fresh artifact is a bench bug, not a perf regression;
+        # warn loudly but let the remaining artifacts still be compared.
+        print(f"[{name}] unreadable artifact ({err}) — skipping",
+              file=sys.stderr)
+        return 0, []
     baseline = baseline_json(ref, name)
     if baseline is None:
         print(f"[{name}] no baseline at {ref} — skipping (new artifact)")

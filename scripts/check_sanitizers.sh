@@ -20,7 +20,11 @@
 #      TSan watches the locks. retrieval_test rides along: the IVF index
 #      parallelizes k-means assignment and batch queries over the pool and
 #      promises thread-count-invariant results, a claim worth checking
-#      under the race detector.
+#      under the race detector. dist_test completes the lane: the ring
+#      comm layer (capacity-1 mailboxes, TCP poll loops, the launcher's
+#      abort-on-failure unwind) and the DistTrainer's comm worker thread
+#      are wall-to-wall cross-thread hand-offs, and determinism_test's
+#      data-parallel matrix drives full multi-rank training under TSan.
 #   3. Scalar-lane sweep: the ASan binaries rerun with CL4SREC_SIMD=off
 #      (runtime scalar dispatch over the kernel-heavy suites), then a
 #      -DCL4SREC_SIMD=off build compiles and runs simd_test — proving the
@@ -53,11 +57,11 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
 cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
   --target parallel_test determinism_test eval_test integration_test \
   obs_test prefetch_test alloc_test retrieval_test serve_test \
-  chaos_serve_test
+  chaos_serve_test dist_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test|prefetch_test|alloc_test|retrieval_test|serve_test|chaos_serve_test' "$@"
+  -R 'parallel_test|determinism_test|eval_test|integration_test|obs_test|prefetch_test|alloc_test|retrieval_test|serve_test|chaos_serve_test|dist_test' "$@"
 echo "thread sanitizer suite passed"
 
 # Scalar dispatch under ASan: same binaries, vector lanes disabled at

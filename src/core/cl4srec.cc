@@ -7,6 +7,7 @@
 #include "core/nt_xent.h"
 #include "data/batcher.h"
 #include "data/prefetch.h"
+#include "dist/comm.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "train/checkpoint.h"
@@ -116,25 +117,36 @@ double Cl4SRec::Pretrain(const SequenceDataset& data,
   LinearDecaySchedule schedule(steps_per_epoch * config_.pretrain_epochs,
                                options.lr_decay_final);
   TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
+  // Data parallelism: identical global batches everywhere, each rank trains
+  // its contiguous user slice (see sasrec.cc for the full contract).
+  dist::CommBackend* comm = options.robust.comm;
+  const int world = comm == nullptr ? 1 : comm->world_size();
+  const int dist_rank = comm == nullptr ? 0 : comm->rank();
 
   double last_epoch_loss = 0.0;
   for (int64_t epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
-    // NT-Xent needs in-batch negatives, so size-1 batches are dropped up
-    // front (they never counted as resume-skippable steps either).
-    // Augmentation runs on the prefetch producer under a per-batch seed;
-    // the consumer rng keeps the shuffle and dropout streams.
+    // NT-Xent needs in-batch negatives, so batches that can't give every
+    // rank two users are dropped up front (they never counted as
+    // resume-skippable steps either). Augmentation runs on the prefetch
+    // producer under a per-batch seed; the consumer rng keeps the shuffle
+    // and dropout streams.
     std::vector<std::vector<int64_t>> epoch_batches;
     for (auto& users : MakeEpochBatches(data, options.batch_size, &rng)) {
-      if (users.size() >= 2) epoch_batches.push_back(std::move(users));
+      if (static_cast<int64_t>(users.size()) >= 2 * world) {
+        epoch_batches.push_back(std::move(users));
+      }
     }
     const auto batch_count = static_cast<int64_t>(epoch_batches.size());
     Prefetcher<PaddedBatch> prefetch(
         batch_count, options.prefetch_depth, [&](int64_t index) {
           Rng batch_rng(BatchSeed(options.seed + 17, epoch, index));
+          const auto& users = epoch_batches[static_cast<size_t>(index)];
           return BuildContrastiveViews(
-              TrainSequencesOf(data, epoch_batches[static_cast<size_t>(index)]),
+              TrainSequencesOf(data, world > 1 ? dist::ShardSlice(
+                                                     users, dist_rank, world)
+                                               : users),
               options.max_len, &batch_rng);
         });
     for (int64_t index = 0; index < batch_count; ++index) {
@@ -146,6 +158,11 @@ double Cl4SRec::Pretrain(const SequenceDataset& data,
       PaddedBatch views = prefetch.Next();
       Variable loss = ContrastiveLossOnViews(views, &rng);
       const StepOutcome outcome = runner.Step(loss);
+      if (!outcome.comm.ok()) {
+        CL4SREC_LOG(Error) << name() << " distributed pretrain step failed: "
+                           << outcome.comm.ToString() << "; aborting stage";
+        return last_epoch_loss;
+      }
       if (std::isfinite(outcome.loss)) {
         epoch_loss += outcome.loss;
         ++batches;
@@ -200,6 +217,12 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
   EarlyStopper stopper(options.patience);
   ParameterSnapshot best;
   TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
+  // Data parallelism: identical global batches everywhere, each rank trains
+  // its contiguous user slice (see sasrec.cc for the full contract). A
+  // rank's slice only carries the contrastive term when it has >= 2 users.
+  dist::CommBackend* comm = options.robust.comm;
+  const int world = comm == nullptr ? 1 : comm->world_size();
+  const int dist_rank = comm == nullptr ? 0 : comm->rank();
 
   // Both task's batch halves — supervised negatives and the two augmented
   // views — are built ahead by the prefetch producer under one per-batch
@@ -219,7 +242,12 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
     Prefetcher<JointBatch> prefetch(
         batch_count, options.prefetch_depth, [&](int64_t index) {
           Rng batch_rng(BatchSeed(options.seed + 17, epoch, index));
-          const auto& users = epoch_batches[static_cast<size_t>(index)];
+          const std::vector<int64_t> users =
+              world > 1
+                  ? dist::ShardSlice(
+                        epoch_batches[static_cast<size_t>(index)], dist_rank,
+                        world)
+                  : epoch_batches[static_cast<size_t>(index)];
           JointBatch batch;
           batch.supervised = BuildSupervisedBatch(
               data, users, options.max_len, /*time_major=*/false, &batch_rng);
@@ -233,6 +261,14 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
     for (int64_t index = 0; index < batch_count; ++index) {
       GraphArena::StepScope graph_arena;
       if (runner.SkipBatchForResume()) {
+        prefetch.Skip();
+        continue;
+      }
+      // Batches smaller than the world can't give every rank work; all
+      // ranks skip them by the same rule so collective counts stay aligned.
+      if (world > 1 &&
+          static_cast<int64_t>(
+              epoch_batches[static_cast<size_t>(index)].size()) < world) {
         prefetch.Skip();
         continue;
       }
@@ -258,6 +294,11 @@ void Cl4SRec::JointFit(const SequenceDataset& data,
         loss = AddV(loss, ScaleV(cl, config_.joint_weight));
       }
       const StepOutcome outcome = runner.Step(loss);
+      if (!outcome.comm.ok()) {
+        CL4SREC_LOG(Error) << name() << " distributed joint step failed: "
+                           << outcome.comm.ToString() << "; aborting training";
+        return;
+      }
       if (std::isfinite(outcome.loss)) {
         epoch_loss += outcome.loss;
         ++batches;

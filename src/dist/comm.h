@@ -1,0 +1,96 @@
+// CommBackend — the narrow collective-communication interface the
+// data-parallel training layer is built on (ROADMAP item 3). The surface is
+// deliberately small (AllReduce / AllGather / Broadcast / Barrier over
+// float buffers) so a heavier transport (MPI, RDMA) could drop in behind it
+// without touching any caller.
+//
+// Two implementations exist today, both ring-topology (src/dist/ring.cc
+// holds the shared schedule; the backends only provide the point-to-point
+// channel):
+//   * ThreadCommGroup (thread_comm.h) — rank = thread inside one process,
+//     neighbor exchange through shared-memory mailboxes. This is the
+//     default for `--world_size N` training and the backend the
+//     determinism tests pin down.
+//   * TcpCommGroup (tcp_comm.h) — rank neighbors exchange over real TCP
+//     sockets (loopback today; the framing is host-agnostic).
+//
+// Determinism contract: every collective's floating-point reduction order
+// is a pure function of (world_size, payload size, chunk_floats) — never of
+// the backend, thread scheduling, or wall-clock. Fixed world size and chunk
+// geometry therefore give bit-identical results run to run and across
+// backends, extending the repo's thread-count/SIMD-lane determinism story.
+//
+// Failure model: a peer that stops participating (crashed rank, broken
+// socket) surfaces as Status kUnavailable after `timeout_ms`, never as a
+// hang. Collectives are not retryable mid-flight — callers treat
+// kUnavailable as fatal for the training job.
+
+#ifndef CL4SREC_DIST_COMM_H_
+#define CL4SREC_DIST_COMM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cl4srec {
+namespace dist {
+
+struct CommOptions {
+  // Largest message a single ring step moves, in floats. Collectives over
+  // bigger payloads pipeline multiple chunks. Part of the determinism
+  // fingerprint: changing it legally changes low-order bits of AllReduce.
+  int64_t chunk_floats = 1 << 16;
+  // How long a rank waits on a neighbor before declaring it gone
+  // (kUnavailable). <= 0 waits forever.
+  int64_t timeout_ms = 10000;
+};
+
+class CommBackend {
+ public:
+  virtual ~CommBackend() = default;
+
+  virtual int rank() const = 0;
+  virtual int world_size() const = 0;
+
+  // In-place elementwise SUM over all ranks; every rank ends with the same
+  // bits. Fixed reduction order (see ring.h).
+  virtual Status AllReduce(float* data, int64_t n) = 0;
+
+  // Concatenates each rank's `count` floats rank-major into `recv`
+  // (capacity world_size * count). send may alias &recv[rank * count].
+  virtual Status AllGather(const float* send, int64_t count, float* recv) = 0;
+
+  // Copies root's buffer to every rank.
+  virtual Status Broadcast(float* data, int64_t n, int root) = 0;
+
+  // Returns only after every rank has entered.
+  virtual Status Barrier() = 0;
+};
+
+// Rank `rank`'s contiguous shard of n items: [n*rank/world, n*(rank+1)/world).
+// Shard sizes differ by at most one and the layout is a pure function of
+// (n, world), so every rank can compute every other rank's bounds locally.
+inline std::pair<int64_t, int64_t> ShardBounds(int64_t n, int rank,
+                                               int world) {
+  const int64_t lo = n * rank / world;
+  const int64_t hi = n * (rank + 1) / world;
+  return {lo, hi};
+}
+
+// This rank's contiguous slice of a work list (e.g. the users of one global
+// batch). Every rank slices the same list, so the union over ranks is the
+// whole list and the partition is deterministic.
+inline std::vector<int64_t> ShardSlice(const std::vector<int64_t>& items,
+                                       int rank, int world) {
+  const auto [lo, hi] =
+      ShardBounds(static_cast<int64_t>(items.size()), rank, world);
+  return std::vector<int64_t>(items.begin() + lo, items.begin() + hi);
+}
+
+}  // namespace dist
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DIST_COMM_H_

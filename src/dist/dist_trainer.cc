@@ -1,0 +1,190 @@
+#include "dist/dist_trainer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/simd/simd.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace dist {
+
+DistTrainer::DistTrainer(std::vector<Variable*> params, CommBackend* comm,
+                         const DistTrainerOptions& options)
+    : params_(std::move(params)),
+      comm_(comm != nullptr && comm->world_size() > 1 ? comm : nullptr),
+      options_(options) {
+  if (comm_ == nullptr) return;
+  CL4SREC_CHECK_GE(options_.bucket_floats, 1);
+  // Greedy packing in fixed parameter order: the bucket layout is a pure
+  // function of (params order, bucket_floats), part of the determinism
+  // fingerprint.
+  Bucket current;
+  for (int i = 0; i < static_cast<int>(params_.size()); ++i) {
+    const int64_t n = params_[i]->value().numel();
+    if (current.floats > 0 && current.floats + n > options_.bucket_floats) {
+      buckets_.push_back(std::move(current));
+      current = Bucket();
+    }
+    current.param_index.push_back(i);
+    current.offset.push_back(current.floats);
+    current.floats += n;
+  }
+  if (current.floats > 0) buckets_.push_back(std::move(current));
+  for (Bucket& bucket : buckets_) {
+    bucket.flat = Tensor(Shape({bucket.floats}));
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("dist.grad_buckets")
+      ->Set(static_cast<double>(buckets_.size()));
+  worker_ = std::thread([this] { CommLoop(); });
+}
+
+DistTrainer::~DistTrainer() {
+  if (comm_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void DistTrainer::Pack(Bucket& bucket) {
+  float* flat = bucket.flat.data();
+  for (size_t j = 0; j < bucket.param_index.size(); ++j) {
+    const Variable* p = params_[bucket.param_index[j]];
+    const int64_t n = p->value().numel();
+    float* dst = flat + bucket.offset[j];
+    if (p->has_grad()) {
+      std::memcpy(dst, p->grad().data(),
+                  static_cast<size_t>(n) * sizeof(float));
+    } else {
+      std::memset(dst, 0, static_cast<size_t>(n) * sizeof(float));
+    }
+  }
+}
+
+Status DistTrainer::Unpack(Bucket& bucket) {
+  // Sum -> mean before scattering back.
+  simd::Kernels().scale(bucket.flat.data(),
+                        1.0f / static_cast<float>(comm_->world_size()),
+                        bucket.floats);
+  const float* flat = bucket.flat.data();
+  for (size_t j = 0; j < bucket.param_index.size(); ++j) {
+    Variable* p = params_[bucket.param_index[j]];
+    const int64_t n = p->value().numel();
+    const float* src = flat + bucket.offset[j];
+    if (p->has_grad()) {
+      // Same in-place mutation idiom as ClipGradNorm.
+      std::memcpy(const_cast<Tensor&>(p->grad()).data(), src,
+                  static_cast<size_t>(n) * sizeof(float));
+    } else {
+      // Only materialize a gradient if some other rank produced one, so a
+      // parameter untouched on every rank still skips its optimizer update
+      // exactly like in single-rank training.
+      bool nonzero = false;
+      for (int64_t k = 0; k < n; ++k) {
+        if (src[k] != 0.0f) {
+          nonzero = true;
+          break;
+        }
+      }
+      if (nonzero) {
+        Tensor grad(p->value().shape());
+        std::memcpy(grad.data(), src, static_cast<size_t>(n) * sizeof(float));
+        p->AccumulateGrad(grad);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void DistTrainer::CommLoop() {
+  int64_t processed = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || ready_ > processed; });
+      if (stop_ && ready_ <= processed) return;
+    }
+    Bucket& bucket =
+        buckets_[static_cast<size_t>(processed % num_buckets())];
+    Status status = comm_->AllReduce(bucket.flat.data(), bucket.floats);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() && comm_status_.ok()) comm_status_ = status;
+      done_ = ++processed;
+    }
+    cv_.notify_all();
+  }
+}
+
+Status DistTrainer::AllReduceGrads() {
+  if (comm_ == nullptr || buckets_.empty()) return Status::Ok();
+  CL4SREC_TRACE_SPAN_CAT("dist/grad_allreduce", "dist");
+  Stopwatch total;
+  const int64_t base = done_;  // worker idle between calls: done_ == ready_
+  // Pack and hand off each bucket; the worker reduces bucket i while we
+  // pack bucket i+1 and unpack anything already finished.
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    Pack(buckets_[i]);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!comm_status_.ok()) return comm_status_;
+      ++ready_;
+    }
+    cv_.notify_all();
+  }
+  double wait_us = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    Stopwatch wait;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return done_ >= base + static_cast<int64_t>(i) + 1 ||
+               !comm_status_.ok();
+      });
+      if (!comm_status_.ok()) return comm_status_;
+    }
+    wait_us += wait.ElapsedMicros();
+    CL4SREC_RETURN_NOT_OK(Unpack(buckets_[i]));
+  }
+  const double total_us = total.ElapsedMicros();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("dist.grad_allreduce_us")
+      ->Add(static_cast<int64_t>(total_us));
+  registry.GetCounter("dist.grad_wait_us")->Add(static_cast<int64_t>(wait_us));
+  if (total_us > 0.0) {
+    registry.GetGauge("dist.overlap_fraction")
+        ->Set(std::max(0.0, 1.0 - wait_us / total_us));
+  }
+  return Status::Ok();
+}
+
+Status DistTrainer::AllReduceMean(float* value) {
+  if (comm_ == nullptr) return Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!comm_status_.ok()) return comm_status_;
+  }
+  CL4SREC_RETURN_NOT_OK(comm_->AllReduce(value, 1));
+  *value /= static_cast<float>(comm_->world_size());
+  return Status::Ok();
+}
+
+Status DistTrainer::BroadcastParams(int root) {
+  if (comm_ == nullptr) return Status::Ok();
+  CL4SREC_TRACE_SPAN_CAT("dist/broadcast_params", "dist");
+  for (Variable* p : params_) {
+    CL4SREC_RETURN_NOT_OK(comm_->Broadcast(p->mutable_value().data(),
+                                           p->value().numel(), root));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dist
+}  // namespace cl4srec

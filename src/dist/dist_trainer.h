@@ -1,0 +1,109 @@
+// DistTrainer — data-parallel gradient averaging over a CommBackend.
+//
+// Every rank holds a full model replica and computes gradients on its shard
+// of each global batch; DistTrainer then makes the replicas agree:
+//
+//   * Parameters are packed (in fixed params order) into size-bucketed
+//     fusion buffers of at most bucket_floats each, so one AllReduce moves
+//     many small tensors. Buffers are plain Tensors allocated once in the
+//     constructor, which routes them through the global TensorPool's
+//     power-of-two buckets like every other training allocation.
+//   * A persistent comm worker thread drains buckets in order while the
+//     caller packs the next bucket and unpacks completed ones, overlapping
+//     communication with the remaining CPU work of the step. The overlap
+//     won (1 - wait/total) is exported as the dist.overlap_fraction gauge.
+//   * The reduced sum is scaled by 1/world before unpacking, so gradients
+//     are the unweighted mean over ranks (DDP convention). The reduction
+//     order is the ring's fixed schedule — bit-identical for a given world
+//     size regardless of backend or thread timing.
+//
+// Call pattern per step (enforced by TrainRunner):
+//   Backward() -> AllReduceGrads() -> [AllReduceMean(loss)] -> clip/step
+// The backend must not be driven by anything else while AllReduceGrads is
+// in flight; between calls the worker is idle and AllReduceMean /
+// BroadcastParams may use the backend from the caller's thread.
+//
+// A comm failure (kUnavailable peer) is sticky: the first error is returned
+// and every later call fails with the same status. Distributed training
+// treats a lost rank as fatal for the job.
+
+#ifndef CL4SREC_DIST_DIST_TRAINER_H_
+#define CL4SREC_DIST_DIST_TRAINER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "dist/comm.h"
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+namespace dist {
+
+struct DistTrainerOptions {
+  // Fusion-buffer capacity in floats (default 4 MiB of floats). A single
+  // parameter larger than this gets a bucket of its own.
+  int64_t bucket_floats = 1 << 20;
+};
+
+class DistTrainer {
+ public:
+  // `comm` may be null or world_size 1, in which case every method is a
+  // cheap no-op and no worker thread is spawned.
+  DistTrainer(std::vector<Variable*> params, CommBackend* comm,
+              const DistTrainerOptions& options = {});
+  ~DistTrainer();
+
+  DistTrainer(const DistTrainer&) = delete;
+  DistTrainer& operator=(const DistTrainer&) = delete;
+
+  bool active() const { return comm_ != nullptr; }
+  int world_size() const { return comm_ == nullptr ? 1 : comm_->world_size(); }
+  int64_t num_buckets() const { return static_cast<int64_t>(buckets_.size()); }
+
+  // Replaces every parameter's gradient with the mean over all ranks.
+  // Parameters without a local gradient contribute zeros; they acquire a
+  // gradient only if some rank produced a nonzero one.
+  Status AllReduceGrads();
+
+  // Averages a scalar across ranks in place (e.g. the loss, so the step
+  // guard sees the same value — and reaches the same verdict — everywhere).
+  Status AllReduceMean(float* value);
+
+  // Copies root's parameter values to every rank (initial sync safety; the
+  // replicas are normally already identical by seeded construction).
+  Status BroadcastParams(int root = 0);
+
+ private:
+  struct Bucket {
+    std::vector<int> param_index;   // indices into params_
+    std::vector<int64_t> offset;    // float offset of each param in flat
+    int64_t floats = 0;
+    Tensor flat;
+  };
+
+  void Pack(Bucket& bucket);
+  Status Unpack(Bucket& bucket);
+  void CommLoop();
+
+  std::vector<Variable*> params_;
+  CommBackend* comm_;  // null when inactive
+  const DistTrainerOptions options_;
+  std::vector<Bucket> buckets_;
+
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t ready_ = 0;  // buckets packed and handed to the worker (cumulative)
+  int64_t done_ = 0;   // buckets the worker has finished (cumulative)
+  bool stop_ = false;
+  Status comm_status_;  // first failure; sticky
+};
+
+}  // namespace dist
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DIST_DIST_TRAINER_H_

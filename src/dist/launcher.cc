@@ -1,0 +1,68 @@
+#include "dist/launcher.h"
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dist/tcp_comm.h"
+#include "dist/thread_comm.h"
+#include "obs/metrics.h"
+
+namespace cl4srec {
+namespace dist {
+namespace {
+
+Status RunRanks(int world_size, const RankFn& fn,
+                const std::function<CommBackend*(int)>& backend,
+                const std::function<void()>& abort_group) {
+  std::vector<Status> results(world_size, Status::Ok());
+  std::vector<std::thread> threads;
+  threads.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&, r] {
+      results[r] = fn(r, backend(r));
+      if (!results[r].ok()) abort_group();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < world_size; ++r) {
+    if (!results[r].ok()) {
+      return Status(results[r].code(), "rank " + std::to_string(r) + ": " +
+                                           results[r].message());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunDataParallel(const LaunchOptions& options, const RankFn& fn) {
+  if (options.world_size < 1) {
+    return Status::InvalidArgument("dist: world_size must be >= 1");
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("dist.world_size")
+      ->Set(static_cast<double>(options.world_size));
+  if (options.world_size == 1) return fn(0, nullptr);
+
+  if (options.backend == "thread") {
+    ThreadCommGroup group(options.world_size, options.comm);
+    return RunRanks(
+        options.world_size, fn, [&](int r) { return group.backend(r); },
+        [&] { group.Abort(); });
+  }
+  if (options.backend == "tcp") {
+    CL4SREC_ASSIGN_OR_RETURN(
+        std::unique_ptr<TcpCommGroup> group,
+        TcpCommGroup::CreateLoopback(options.world_size, options.comm));
+    return RunRanks(
+        options.world_size, fn, [&](int r) { return group->backend(r); },
+        [&] { group->Abort(); });
+  }
+  return Status::InvalidArgument("dist: unknown backend '" + options.backend +
+                                 "' (expected thread|tcp)");
+}
+
+}  // namespace dist
+}  // namespace cl4srec

@@ -1,0 +1,44 @@
+// RunDataParallel — the one entry point that turns "a function of
+// (rank, CommBackend*)" into a data-parallel job.
+//
+// The launcher builds the requested comm group (thread mailboxes or TCP
+// loopback), spawns one thread per rank, runs `fn(rank, backend(rank))` on
+// each, and joins. On any rank failure it Abort()s the group so the healthy
+// ranks unwind with kUnavailable instead of waiting out their timeouts, and
+// returns the lowest-rank error annotated with its rank.
+//
+// world_size == 1 short-circuits: fn(0, nullptr) runs on the calling
+// thread, making the single-rank path byte-for-byte the non-distributed
+// path (determinism_test relies on this).
+//
+// Threading contract: configure parallel::SetNumThreads BEFORE calling —
+// rank threads share the global ParallelFor pool (concurrent top-level
+// callers serialize), and resizing it mid-job is not safe. The rank
+// function must not call SetNumThreads.
+
+#ifndef CL4SREC_DIST_LAUNCHER_H_
+#define CL4SREC_DIST_LAUNCHER_H_
+
+#include <functional>
+#include <string>
+
+#include "dist/comm.h"
+
+namespace cl4srec {
+namespace dist {
+
+struct LaunchOptions {
+  int world_size = 1;
+  // "thread" (in-process mailboxes) or "tcp" (loopback socket ring).
+  std::string backend = "thread";
+  CommOptions comm;
+};
+
+using RankFn = std::function<Status(int rank, CommBackend* comm)>;
+
+Status RunDataParallel(const LaunchOptions& options, const RankFn& fn);
+
+}  // namespace dist
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DIST_LAUNCHER_H_

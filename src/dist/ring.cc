@@ -1,0 +1,184 @@
+#include "dist/ring.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/simd/simd.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cl4srec {
+namespace dist {
+namespace {
+
+struct RingMetrics {
+  obs::Counter* bytes_sent;
+  obs::Counter* bytes_recv;
+  obs::Counter* allreduce_calls;
+  obs::Counter* allreduce_us;
+  obs::Counter* allgather_calls;
+  obs::Counter* broadcast_calls;
+  obs::Counter* barrier_calls;
+};
+
+RingMetrics& Metrics() {
+  static RingMetrics m = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    RingMetrics metrics;
+    metrics.bytes_sent = registry.GetCounter("dist.bytes_sent");
+    metrics.bytes_recv = registry.GetCounter("dist.bytes_recv");
+    metrics.allreduce_calls = registry.GetCounter("dist.allreduce_calls");
+    metrics.allreduce_us = registry.GetCounter("dist.allreduce_us");
+    metrics.allgather_calls = registry.GetCounter("dist.allgather_calls");
+    metrics.broadcast_calls = registry.GetCounter("dist.broadcast_calls");
+    metrics.barrier_calls = registry.GetCounter("dist.barrier_calls");
+    return metrics;
+  }();
+  return m;
+}
+
+}  // namespace
+
+Status RingChannel::SendRecv(const void* send, size_t send_bytes, void* recv,
+                             size_t recv_bytes) {
+  CL4SREC_RETURN_NOT_OK(SendToNext(send, send_bytes));
+  return RecvFromPrev(recv, recv_bytes);
+}
+
+RingBackend::RingBackend(int rank, int world_size, const CommOptions& options)
+    : rank_(rank), world_(world_size), options_(options) {
+  CL4SREC_CHECK(world_size >= 1);
+  CL4SREC_CHECK(rank >= 0 && rank < world_size);
+  CL4SREC_CHECK(options.chunk_floats >= 1);
+}
+
+Status RingBackend::StepSendRecv(const float* send, int64_t send_floats,
+                                 float* recv, int64_t recv_floats) {
+  // Sub-chunking keeps any single channel transfer below chunk_floats even
+  // when a caller's block (AllGather count, Broadcast chunk) is larger.
+  const int64_t limit = options_.chunk_floats;
+  int64_t sent = 0;
+  int64_t received = 0;
+  while (sent < send_floats || received < recv_floats) {
+    const int64_t s = std::min(limit, send_floats - sent);
+    const int64_t r = std::min(limit, recv_floats - received);
+    // Empty segments (ShardBounds of a payload smaller than the world) emit
+    // no message at all — both ends of the link compute the same zero size,
+    // so sender and receiver skip symmetrically and per-link message counts
+    // stay matched even when send and recv sizes differ.
+    if (s > 0 && r > 0) {
+      CL4SREC_RETURN_NOT_OK(channel()->SendRecv(
+          send + sent, static_cast<size_t>(s) * sizeof(float), recv + received,
+          static_cast<size_t>(r) * sizeof(float)));
+    } else if (s > 0) {
+      CL4SREC_RETURN_NOT_OK(
+          channel()->SendToNext(send + sent, static_cast<size_t>(s) * sizeof(float)));
+    } else {
+      CL4SREC_RETURN_NOT_OK(channel()->RecvFromPrev(
+          recv + received, static_cast<size_t>(r) * sizeof(float)));
+    }
+    Metrics().bytes_sent->Add(s * static_cast<int64_t>(sizeof(float)));
+    Metrics().bytes_recv->Add(r * static_cast<int64_t>(sizeof(float)));
+    sent += s;
+    received += r;
+  }
+  return Status::Ok();
+}
+
+Status RingBackend::AllReduce(float* data, int64_t n) {
+  CL4SREC_TRACE_SPAN_CAT("dist/allreduce", "dist");
+  Stopwatch timer;
+  Metrics().allreduce_calls->Increment();
+  if (world_ == 1 || n == 0) return Status::Ok();
+  const int W = world_;
+  // Each chunk spans at most chunk_floats * W floats so no segment (and
+  // therefore no single message) exceeds chunk_floats.
+  const int64_t chunk_span = options_.chunk_floats * W;
+  if (scratch_.size() < static_cast<size_t>(options_.chunk_floats)) {
+    scratch_.resize(static_cast<size_t>(options_.chunk_floats));
+  }
+  for (int64_t base = 0; base < n; base += chunk_span) {
+    const int64_t len = std::min(chunk_span, n - base);
+    float* chunk = data + base;
+    // Reduce-scatter: after W-1 steps rank r holds the fully reduced
+    // segment (r + 1) mod W, accumulated in ascending order from its
+    // first sender (segment s sums ranks s, s+1, ..., s+W-1 mod W).
+    for (int t = 0; t < W - 1; ++t) {
+      const int s_send = ((rank_ - t) % W + W) % W;
+      const int s_recv = ((rank_ - t - 1) % W + W) % W;
+      const auto [send_lo, send_hi] = ShardBounds(len, s_send, W);
+      const auto [recv_lo, recv_hi] = ShardBounds(len, s_recv, W);
+      CL4SREC_RETURN_NOT_OK(StepSendRecv(chunk + send_lo, send_hi - send_lo,
+                                         scratch_.data(), recv_hi - recv_lo));
+      simd::Kernels().add(chunk + recv_lo, scratch_.data(),
+                          recv_hi - recv_lo);
+    }
+    // All-gather: rotate the reduced segments back around the ring.
+    for (int t = 0; t < W - 1; ++t) {
+      const int s_send = ((rank_ + 1 - t) % W + W) % W;
+      const int s_recv = ((rank_ - t) % W + W) % W;
+      const auto [send_lo, send_hi] = ShardBounds(len, s_send, W);
+      const auto [recv_lo, recv_hi] = ShardBounds(len, s_recv, W);
+      CL4SREC_RETURN_NOT_OK(StepSendRecv(chunk + send_lo, send_hi - send_lo,
+                                         chunk + recv_lo, recv_hi - recv_lo));
+    }
+  }
+  Metrics().allreduce_us->Add(static_cast<int64_t>(timer.ElapsedMicros()));
+  return Status::Ok();
+}
+
+Status RingBackend::AllGather(const float* send, int64_t count, float* recv) {
+  CL4SREC_TRACE_SPAN_CAT("dist/allgather", "dist");
+  Metrics().allgather_calls->Increment();
+  if (count == 0) return Status::Ok();
+  float* own_block = recv + static_cast<int64_t>(rank_) * count;
+  if (send != own_block) {
+    std::memcpy(own_block, send, static_cast<size_t>(count) * sizeof(float));
+  }
+  const int W = world_;
+  for (int t = 0; t < W - 1; ++t) {
+    const int b_send = ((rank_ - t) % W + W) % W;
+    const int b_recv = ((rank_ - t - 1) % W + W) % W;
+    CL4SREC_RETURN_NOT_OK(
+        StepSendRecv(recv + static_cast<int64_t>(b_send) * count, count,
+                     recv + static_cast<int64_t>(b_recv) * count, count));
+  }
+  return Status::Ok();
+}
+
+Status RingBackend::Broadcast(float* data, int64_t n, int root) {
+  CL4SREC_TRACE_SPAN_CAT("dist/broadcast", "dist");
+  Metrics().broadcast_calls->Increment();
+  CL4SREC_CHECK(root >= 0 && root < world_);
+  if (world_ == 1 || n == 0) return Status::Ok();
+  // Chain root -> root+1 -> ... -> root+W-1, pipelined per chunk. The last
+  // rank in the chain only receives.
+  const int hops = ((rank_ - root) % world_ + world_) % world_;
+  for (int64_t base = 0; base < n; base += options_.chunk_floats) {
+    const int64_t len = std::min(options_.chunk_floats, n - base);
+    const size_t bytes = static_cast<size_t>(len) * sizeof(float);
+    if (hops > 0) {
+      CL4SREC_RETURN_NOT_OK(channel()->RecvFromPrev(data + base, bytes));
+      Metrics().bytes_recv->Add(static_cast<int64_t>(bytes));
+    }
+    if (hops < world_ - 1) {
+      CL4SREC_RETURN_NOT_OK(channel()->SendToNext(data + base, bytes));
+      Metrics().bytes_sent->Add(static_cast<int64_t>(bytes));
+    }
+  }
+  return Status::Ok();
+}
+
+Status RingBackend::Barrier() {
+  CL4SREC_TRACE_SPAN_CAT("dist/barrier", "dist");
+  Metrics().barrier_calls->Increment();
+  // A 1-float AllReduce: its nonempty messages chain through every rank in
+  // both phases, so no rank can exit before every rank has entered.
+  float token = 1.f;
+  return AllReduce(&token, 1);
+}
+
+}  // namespace dist
+}  // namespace cl4srec

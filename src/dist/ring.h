@@ -1,0 +1,98 @@
+// The ring collective schedule shared by every CommBackend implementation.
+//
+// A backend only supplies a RingChannel — a point-to-point byte pipe to its
+// successor rank (send) and predecessor rank (receive). RingBackend then
+// implements the CommBackend collectives with the textbook ring algorithms:
+//
+//   AllReduce   chunked reduce-scatter followed by all-gather. Each chunk of
+//               at most chunk_floats * world floats splits into world
+//               segments (ShardBounds, so non-divisible sizes just produce
+//               segments that differ by one element or are empty). During
+//               reduce-scatter, step t has rank r send segment (r - t) mod W
+//               and fold the received segment (r - t - 1) mod W into its own
+//               buffer; after W-1 steps rank r holds the fully reduced
+//               segment (r + 1) mod W, which the all-gather phase rotates
+//               back around. Per-rank traffic is 2 * (W-1)/W * payload — the
+//               bandwidth-optimal ring.
+//   AllGather   W-1 rotation steps moving each rank's block around the ring.
+//   Broadcast   pipelined chunk forwarding along the chain root -> root+W-1.
+//   Barrier     AllReduce over a single token float (exit causally depends
+//               on every rank's entry).
+//
+// Reduction-order determinism: segment s of every chunk is accumulated
+// left-to-right in the fixed cyclically-ascending rank order
+// s, s+1, ..., s+W-1 (mod W) — a pure function of (world size, payload
+// size, chunk_floats). No backend, scheduler, or thread-count choice can
+// change the bits. dist_test pins this against an independent serial
+// re-implementation of the same order, and (for world <= 2, where float
+// addition's commutativity makes every order equal) against the naive
+// ascending sum.
+//
+// Timeouts: every channel operation carries CommOptions::timeout_ms; a
+// neighbor that stops participating surfaces as kUnavailable, never a hang.
+
+#ifndef CL4SREC_DIST_RING_H_
+#define CL4SREC_DIST_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dist/comm.h"
+
+namespace cl4srec {
+namespace dist {
+
+// Point-to-point byte pipe between ring neighbors. Message sizes are never
+// framed on the wire: sender and receiver compute the same schedule from
+// the same inputs, so each end already knows every transfer's size (the
+// thread channel CHECKs the agreement; TCP relies on stream ordering).
+class RingChannel {
+ public:
+  virtual ~RingChannel() = default;
+
+  virtual Status SendToNext(const void* data, size_t bytes) = 0;
+  virtual Status RecvFromPrev(void* data, size_t bytes) = 0;
+
+  // One full-duplex ring step. The default sends then receives, which is
+  // deadlock-free only when the link buffers at least one in-flight message
+  // (the shared-memory mailboxes do). The TCP channel overrides this with a
+  // poll loop that progresses both directions simultaneously, so messages
+  // larger than the socket buffer cannot wedge the ring.
+  virtual Status SendRecv(const void* send, size_t send_bytes, void* recv,
+                          size_t recv_bytes);
+};
+
+// CommBackend implemented entirely in terms of a RingChannel. Concrete
+// backends (ThreadComm, TcpComm) subclass and return their channel.
+class RingBackend : public CommBackend {
+ public:
+  RingBackend(int rank, int world_size, const CommOptions& options);
+
+  int rank() const override { return rank_; }
+  int world_size() const override { return world_; }
+  const CommOptions& options() const { return options_; }
+
+  Status AllReduce(float* data, int64_t n) override;
+  Status AllGather(const float* send, int64_t count, float* recv) override;
+  Status Broadcast(float* data, int64_t n, int root) override;
+  Status Barrier() override;
+
+ protected:
+  virtual RingChannel* channel() = 0;
+
+ private:
+  // SendRecv of `floats` floats split into <= chunk_floats sub-messages.
+  Status StepSendRecv(const float* send, int64_t send_floats, float* recv,
+                      int64_t recv_floats);
+
+  const int rank_;
+  const int world_;
+  const CommOptions options_;
+  std::vector<float> scratch_;  // one segment; grown once, reused forever
+};
+
+}  // namespace dist
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DIST_RING_H_

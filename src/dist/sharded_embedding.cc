@@ -1,0 +1,176 @@
+#include "dist/sharded_embedding.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/simd/simd.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+namespace dist {
+namespace {
+
+// Index of the first element of sorted `ids` that is >= `value`.
+int64_t LowerBoundIndex(const std::vector<int64_t>& ids, int64_t value) {
+  return std::lower_bound(ids.begin(), ids.end(), value) - ids.begin();
+}
+
+Status ValidateIds(const std::vector<int64_t>& ids, int64_t num_rows) {
+  int64_t prev = -1;
+  for (int64_t id : ids) {
+    if (id < 0 || id >= num_rows) {
+      return Status::InvalidArgument("sharded_embedding: id out of range");
+    }
+    if (id <= prev) {
+      return Status::InvalidArgument(
+          "sharded_embedding: ids must be sorted ascending and unique");
+    }
+    prev = id;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ShardedEmbedding::ShardedEmbedding(int64_t num_rows, int64_t dim,
+                                   uint64_t seed, CommBackend* comm)
+    : num_rows_(num_rows),
+      dim_(dim),
+      comm_(comm != nullptr && comm->world_size() > 1 ? comm : nullptr) {
+  CL4SREC_CHECK_GE(num_rows, 1);
+  CL4SREC_CHECK_GE(dim, 1);
+  const auto [lo, hi] = ShardBounds(num_rows, rank(), world());
+  row_begin_ = lo;
+  row_end_ = hi;
+  shard_ = Tensor(Shape({row_end_ - row_begin_, dim_}));
+  // Each row draws from its own generator seeded by (seed, row), so the
+  // table is identical for every world size — a rank's shard is a window
+  // into the same global table.
+  for (int64_t row = row_begin_; row < row_end_; ++row) {
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(row + 1)));
+    float* dst = shard_.data() + (row - row_begin_) * dim_;
+    for (int64_t d = 0; d < dim_; ++d) {
+      dst[d] = static_cast<float>(rng.TruncatedNormal(0.0, 0.02));
+    }
+  }
+}
+
+int ShardedEmbedding::world() const {
+  return comm_ == nullptr ? 1 : comm_->world_size();
+}
+
+int ShardedEmbedding::rank() const {
+  return comm_ == nullptr ? 0 : comm_->rank();
+}
+
+Status ShardedEmbedding::Gather(const std::vector<int64_t>& ids, Tensor* out) {
+  CL4SREC_RETURN_NOT_OK(ValidateIds(ids, num_rows_));
+  const int64_t n = static_cast<int64_t>(ids.size());
+  *out = Tensor(Shape({n, dim_}));
+  if (n == 0) return Status::Ok();
+  if (comm_ == nullptr) {
+    for (int64_t i = 0; i < n; ++i) {
+      std::memcpy(out->data() + i * dim_, shard_.data() + ids[i] * dim_,
+                  static_cast<size_t>(dim_) * sizeof(float));
+    }
+    return Status::Ok();
+  }
+
+  // Per-rank request extents, computable locally on every rank because the
+  // id list and the shard layout are both shared knowledge.
+  const int W = world();
+  std::vector<int64_t> start(W + 1, 0);
+  for (int r = 0; r < W; ++r) {
+    start[r] = LowerBoundIndex(ids, ShardBounds(num_rows_, r, W).first);
+  }
+  start[W] = n;
+  int64_t c_max = 0;
+  for (int r = 0; r < W; ++r) c_max = std::max(c_max, start[r + 1] - start[r]);
+  const int64_t block = c_max * dim_;
+
+  // Pack the owned rows, in id order, into the fixed-size send block.
+  send_buf_.assign(static_cast<size_t>(block), 0.0f);
+  const int64_t my_count = start[rank() + 1] - start[rank()];
+  for (int64_t j = 0; j < my_count; ++j) {
+    const int64_t id = ids[start[rank()] + j];
+    std::memcpy(send_buf_.data() + j * dim_,
+                shard_.data() + (id - row_begin_) * dim_,
+                static_cast<size_t>(dim_) * sizeof(float));
+  }
+  recv_buf_.resize(static_cast<size_t>(block) * W);
+  CL4SREC_RETURN_NOT_OK(
+      comm_->AllGather(send_buf_.data(), block, recv_buf_.data()));
+
+  // Sorted ids + ascending contiguous shards => the output is just the
+  // ranks' live block prefixes concatenated in rank order.
+  for (int r = 0; r < W; ++r) {
+    const int64_t count = start[r + 1] - start[r];
+    if (count == 0) continue;
+    std::memcpy(out->data() + start[r] * dim_, recv_buf_.data() + r * block,
+                static_cast<size_t>(count * dim_) * sizeof(float));
+  }
+  return Status::Ok();
+}
+
+Status ShardedEmbedding::ApplySgd(const std::vector<int64_t>& ids,
+                                  const Tensor& grad, float lr) {
+  CL4SREC_RETURN_NOT_OK(ValidateIds(ids, num_rows_));
+  const int64_t n = static_cast<int64_t>(ids.size());
+  if (grad.numel() != n * dim_) {
+    return Status::InvalidArgument(
+        "sharded_embedding: gradient shape must be ids.size() x dim");
+  }
+  if (n == 0) return Status::Ok();
+
+  const float* reduced = grad.data();
+  if (comm_ != nullptr) {
+    send_buf_.resize(static_cast<size_t>(n * dim_));
+    std::memcpy(send_buf_.data(), grad.data(),
+                static_cast<size_t>(n * dim_) * sizeof(float));
+    CL4SREC_RETURN_NOT_OK(comm_->AllReduce(send_buf_.data(), n * dim_));
+    simd::Kernels().scale(send_buf_.data(), 1.0f / static_cast<float>(world()),
+                          n * dim_);
+    reduced = send_buf_.data();
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = ids[i];
+    if (id < row_begin_ || id >= row_end_) continue;
+    simd::Kernels().axpy(shard_.data() + (id - row_begin_) * dim_,
+                         reduced + i * dim_, -lr, dim_);
+  }
+  return Status::Ok();
+}
+
+Status ShardedEmbedding::Dense(Tensor* out) {
+  *out = Tensor(Shape({num_rows_, dim_}));
+  if (comm_ == nullptr) {
+    std::memcpy(out->data(), shard_.data(),
+                static_cast<size_t>(num_rows_ * dim_) * sizeof(float));
+    return Status::Ok();
+  }
+  const int W = world();
+  int64_t rows_max = 0;
+  for (int r = 0; r < W; ++r) {
+    const auto [lo, hi] = ShardBounds(num_rows_, r, W);
+    rows_max = std::max(rows_max, hi - lo);
+  }
+  const int64_t block = rows_max * dim_;
+  send_buf_.assign(static_cast<size_t>(block), 0.0f);
+  std::memcpy(send_buf_.data(), shard_.data(),
+              static_cast<size_t>((row_end_ - row_begin_) * dim_) *
+                  sizeof(float));
+  recv_buf_.resize(static_cast<size_t>(block) * W);
+  CL4SREC_RETURN_NOT_OK(
+      comm_->AllGather(send_buf_.data(), block, recv_buf_.data()));
+  for (int r = 0; r < W; ++r) {
+    const auto [lo, hi] = ShardBounds(num_rows_, r, W);
+    if (hi == lo) continue;
+    std::memcpy(out->data() + lo * dim_, recv_buf_.data() + r * block,
+                static_cast<size_t>((hi - lo) * dim_) * sizeof(float));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dist
+}  // namespace cl4srec

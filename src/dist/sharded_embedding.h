@@ -1,0 +1,87 @@
+// ShardedEmbedding — a parameter-server-style sharded embedding table.
+//
+// Embedding tables dominate a recommender's parameter count (num_items x
+// dim dwarfs the transformer weights), so replicating them per rank is the
+// first thing that stops scaling. Here each rank owns the contiguous row
+// shard ShardBounds(num_rows, rank, world) and only ever stores those rows:
+//
+//   Gather (forward)     every rank calls Gather with the SAME sorted,
+//                        deduplicated id list (data-parallel ranks compute
+//                        it from the same global batch). Each rank packs
+//                        the requested rows it owns into a fixed c_max-slot
+//                        block (c_max = max rows requested from any one
+//                        rank, computable locally because shard bounds and
+//                        the id list are shared), one padded AllGather
+//                        moves all blocks, and every rank assembles the
+//                        full (ids x dim) matrix.
+//   ApplySgd (backward)  the (ids x dim) gradient is AllReduced (then
+//                        scaled by 1/world — the same unweighted-mean
+//                        convention as DistTrainer), and each rank
+//                        scatter-adds -lr * grad into only the rows it
+//                        owns. No rank ever holds the full table.
+//
+// Initialization draws each row from its own Rng seeded by (seed, row), so
+// the table's contents are a pure function of (num_rows, dim, seed) —
+// independent of world size. dist_test exploits this: a sharded table and
+// a dense single-rank table start identical and must stay equal through
+// matching Gather/ApplySgd sequences.
+
+#ifndef CL4SREC_DIST_SHARDED_EMBEDDING_H_
+#define CL4SREC_DIST_SHARDED_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/comm.h"
+#include "tensor/tensor.h"
+
+namespace cl4srec {
+namespace dist {
+
+class ShardedEmbedding {
+ public:
+  // `comm` may be null (or world 1): the instance then owns every row and
+  // all methods run locally — the dense reference behavior.
+  ShardedEmbedding(int64_t num_rows, int64_t dim, uint64_t seed,
+                   CommBackend* comm);
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t dim() const { return dim_; }
+  int64_t row_begin() const { return row_begin_; }
+  int64_t row_end() const { return row_end_; }
+
+  // Fills `out` (resized to ids.size() x dim) with the rows for `ids`.
+  // `ids` must be sorted ascending, unique, in [0, num_rows), and identical
+  // on every rank of the group.
+  Status Gather(const std::vector<int64_t>& ids, Tensor* out);
+
+  // SGD update from a (ids.size() x dim) gradient: rows[ids] -= lr * mean
+  // over ranks of grad. Same id-list contract as Gather; every rank must
+  // call with its local gradient.
+  Status ApplySgd(const std::vector<int64_t>& ids, const Tensor& grad,
+                  float lr);
+
+  // Reassembles the full table on every rank (test/inspection only — this
+  // is exactly the memory blow-up sharding exists to avoid).
+  Status Dense(Tensor* out);
+
+ private:
+  int world() const;
+  int rank() const;
+
+  const int64_t num_rows_;
+  const int64_t dim_;
+  CommBackend* comm_;  // null => single-rank dense mode
+  int64_t row_begin_ = 0;
+  int64_t row_end_ = 0;
+  Tensor shard_;  // (row_end_ - row_begin_) x dim
+
+  // Reused collective buffers (send block, gathered blocks, reduced grad).
+  std::vector<float> send_buf_;
+  std::vector<float> recv_buf_;
+};
+
+}  // namespace dist
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DIST_SHARDED_EMBEDDING_H_

@@ -1,0 +1,231 @@
+#include "dist/tcp_comm.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace dist {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError("dist: fcntl(O_NONBLOCK) failed");
+  }
+  return Status::Ok();
+}
+
+Status TuneSocket(int fd) {
+  const int one = 1;
+  // Ring steps are latency-bound request/response exchanges; never batch
+  // them behind Nagle.
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Status::IoError("dist: setsockopt(TCP_NODELAY) failed");
+  }
+  return SetNonBlocking(fd);
+}
+
+// Remaining milliseconds until `deadline`, clamped to >= 0; -1 if no
+// deadline (timeout_ms <= 0 waits forever, matching the thread backend).
+int RemainingMs(int64_t timeout_ms,
+                std::chrono::steady_clock::time_point deadline) {
+  if (timeout_ms <= 0) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+TcpCommGroup::Channel::~Channel() {
+  if (send_fd_ >= 0) close(send_fd_);
+  if (recv_fd_ >= 0) close(recv_fd_);
+}
+
+Status TcpCommGroup::Channel::Transfer(const void* send, size_t send_bytes,
+                                       void* recv, size_t recv_bytes) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            timeout_ms_ > 0 ? timeout_ms_ : 0);
+  const unsigned char* send_p = static_cast<const unsigned char*>(send);
+  unsigned char* recv_p = static_cast<unsigned char*>(recv);
+  size_t sent = 0;
+  size_t received = 0;
+  while (sent < send_bytes || received < recv_bytes) {
+    struct pollfd fds[2];
+    int nfds = 0;
+    int send_slot = -1;
+    int recv_slot = -1;
+    if (sent < send_bytes) {
+      send_slot = nfds;
+      fds[nfds].fd = send_fd_;
+      fds[nfds].events = POLLOUT;
+      ++nfds;
+    }
+    if (received < recv_bytes) {
+      recv_slot = nfds;
+      fds[nfds].fd = recv_fd_;
+      fds[nfds].events = POLLIN;
+      ++nfds;
+    }
+    const int rc = poll(fds, nfds, RemainingMs(timeout_ms_, deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("dist: poll failed: ") +
+                             std::strerror(errno));
+    }
+    if (rc == 0) {
+      return Status::Unavailable(
+          "dist: ring neighbor made no progress before timeout");
+    }
+    if (send_slot >= 0 &&
+        (fds[send_slot].revents & (POLLOUT | POLLERR | POLLHUP))) {
+      const ssize_t n =
+          ::send(send_fd_, send_p + sent, send_bytes - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        return Status::Unavailable(
+            std::string("dist: send to ring neighbor failed: ") +
+            std::strerror(errno));
+      }
+    }
+    if (recv_slot >= 0 &&
+        (fds[recv_slot].revents & (POLLIN | POLLERR | POLLHUP))) {
+      const ssize_t n =
+          ::recv(recv_fd_, recv_p + received, recv_bytes - received, 0);
+      if (n > 0) {
+        received += static_cast<size_t>(n);
+      } else if (n == 0) {
+        return Status::Unavailable(
+            "dist: ring neighbor closed its connection");
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        return Status::Unavailable(
+            std::string("dist: recv from ring neighbor failed: ") +
+            std::strerror(errno));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void TcpCommGroup::Channel::Shutdown() {
+  if (send_fd_ >= 0) shutdown(send_fd_, SHUT_RDWR);
+  if (recv_fd_ >= 0) shutdown(recv_fd_, SHUT_RDWR);
+}
+
+Status TcpCommGroup::Channel::SendToNext(const void* data, size_t bytes) {
+  return Transfer(data, bytes, nullptr, 0);
+}
+
+Status TcpCommGroup::Channel::RecvFromPrev(void* data, size_t bytes) {
+  return Transfer(nullptr, 0, data, bytes);
+}
+
+Status TcpCommGroup::Channel::SendRecv(const void* send, size_t send_bytes,
+                                       void* recv, size_t recv_bytes) {
+  return Transfer(send, send_bytes, recv, recv_bytes);
+}
+
+StatusOr<std::unique_ptr<TcpCommGroup>> TcpCommGroup::CreateLoopback(
+    int world_size, const CommOptions& options) {
+  CL4SREC_CHECK_GE(world_size, 1);
+  struct FdCloser {
+    std::vector<int> fds;
+    ~FdCloser() {
+      for (int fd : fds) {
+        if (fd >= 0) close(fd);
+      }
+    }
+  };
+  FdCloser listeners;
+  std::vector<uint16_t> ports(world_size, 0);
+
+  // Phase 1: every rank binds an ephemeral loopback listener.
+  for (int r = 0; r < world_size; ++r) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError("dist: socket() failed");
+    listeners.fds.push_back(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return Status::IoError("dist: bind(127.0.0.1:0) failed");
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+      return Status::IoError("dist: getsockname failed");
+    }
+    ports[r] = ntohs(addr.sin_port);
+    if (listen(fd, 1) < 0) return Status::IoError("dist: listen failed");
+  }
+
+  // Phase 2: dial each directed link r -> (r+1) % W. In-process the
+  // connect lands in the listener's backlog, so connect-then-accept per
+  // link cannot block.
+  FdCloser send_fds;   // send_fds.fds[r]: rank r's pipe to its successor
+  FdCloser recv_fds;   // recv_fds.fds[r]: rank r's pipe from its predecessor
+  send_fds.fds.assign(world_size, -1);
+  recv_fds.fds.assign(world_size, -1);
+  for (int r = 0; r < world_size; ++r) {
+    const int next = (r + 1) % world_size;
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError("dist: socket() failed");
+    send_fds.fds[r] = fd;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ports[next]);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return Status::IoError("dist: connect to ring successor failed");
+    }
+    const int accepted = accept(listeners.fds[next], nullptr, nullptr);
+    if (accepted < 0) return Status::IoError("dist: accept failed");
+    recv_fds.fds[next] = accepted;
+  }
+
+  for (int r = 0; r < world_size; ++r) {
+    CL4SREC_RETURN_NOT_OK(TuneSocket(send_fds.fds[r]));
+    CL4SREC_RETURN_NOT_OK(TuneSocket(recv_fds.fds[r]));
+  }
+
+  std::unique_ptr<TcpCommGroup> group(new TcpCommGroup(world_size));
+  group->backends_.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    group->backends_.push_back(std::make_unique<RankBackend>(
+        r, world_size, options, send_fds.fds[r], recv_fds.fds[r]));
+  }
+  // Channels now own the fds; disarm the closers.
+  send_fds.fds.clear();
+  recv_fds.fds.clear();
+  return group;
+}
+
+TcpCommGroup::~TcpCommGroup() = default;
+
+CommBackend* TcpCommGroup::backend(int rank) {
+  CL4SREC_CHECK(rank >= 0 && rank < world_);
+  return backends_[rank].get();
+}
+
+void TcpCommGroup::Abort() {
+  for (auto& backend : backends_) backend->ShutdownChannel();
+}
+
+}  // namespace dist
+}  // namespace cl4srec

@@ -1,0 +1,108 @@
+// TCP ring backend: rank neighbors exchange over real sockets.
+//
+// TcpCommGroup::CreateLoopback wires a full ring over 127.0.0.1 — one
+// connected TCP stream per directed link (rank r -> rank (r+1) % W), built
+// by binding W ephemeral-port listeners and connecting each rank to its
+// successor. Every rank's backend is then driven by its own thread, exactly
+// like ThreadCommGroup; the collective schedule (ring.h) is byte-identical,
+// so results are bit-identical across the two backends.
+//
+// The wire carries raw payload bytes with no framing: both ends compute
+// every transfer size from the same schedule, and TCP's stream ordering
+// does the rest. Sockets are non-blocking with TCP_NODELAY; the channel's
+// SendRecv override drives both directions from one poll() loop, so a ring
+// step whose message exceeds the kernel socket buffers cannot deadlock the
+// way a naive write-then-read would.
+//
+// Failure model: a peer that resets, closes, or goes silent past
+// CommOptions::timeout_ms surfaces as kUnavailable.
+//
+// Scope: loopback within one process today (the launcher runs ranks as
+// threads). The byte protocol has no host-order or shared-memory
+// assumptions beyond "both ends are the same binary", so a multi-host
+// bootstrap only needs a different dial-up phase.
+
+#ifndef CL4SREC_DIST_TCP_COMM_H_
+#define CL4SREC_DIST_TCP_COMM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dist/ring.h"
+
+namespace cl4srec {
+namespace dist {
+
+class TcpCommGroup {
+ public:
+  ~TcpCommGroup();
+
+  TcpCommGroup(const TcpCommGroup&) = delete;
+  TcpCommGroup& operator=(const TcpCommGroup&) = delete;
+
+  // Builds the full loopback ring. Fails with kIoError if sockets cannot be
+  // created or connected.
+  static StatusOr<std::unique_ptr<TcpCommGroup>> CreateLoopback(
+      int world_size, const CommOptions& options = {});
+
+  int world_size() const { return world_; }
+
+  // The backend thread `rank` should drive; valid for the group's lifetime.
+  CommBackend* backend(int rank);
+
+  // Shuts down every link (shutdown(2), not close) so blocked peers see EOF
+  // and fail with kUnavailable immediately instead of waiting out the
+  // timeout. Safe from any thread; used when one rank errors.
+  void Abort();
+
+ private:
+  class Channel : public RingChannel {
+   public:
+    Channel(int send_fd, int recv_fd, int64_t timeout_ms)
+        : send_fd_(send_fd), recv_fd_(recv_fd), timeout_ms_(timeout_ms) {}
+    ~Channel() override;
+
+    Status SendToNext(const void* data, size_t bytes) override;
+    Status RecvFromPrev(void* data, size_t bytes) override;
+    Status SendRecv(const void* send, size_t send_bytes, void* recv,
+                    size_t recv_bytes) override;
+    void Shutdown();
+
+   private:
+    // Progresses both directions until done or the deadline; either size
+    // may be zero.
+    Status Transfer(const void* send, size_t send_bytes, void* recv,
+                    size_t recv_bytes);
+
+    int send_fd_;
+    int recv_fd_;
+    int64_t timeout_ms_;
+  };
+
+  class RankBackend : public RingBackend {
+   public:
+    RankBackend(int rank, int world, const CommOptions& options, int send_fd,
+                int recv_fd)
+        : RingBackend(rank, world, options),
+          channel_(send_fd, recv_fd, options.timeout_ms) {}
+
+    void ShutdownChannel() { channel_.Shutdown(); }
+
+   protected:
+    RingChannel* channel() override { return &channel_; }
+
+   private:
+    Channel channel_;
+  };
+
+  TcpCommGroup(int world_size) : world_(world_size) {}
+
+  const int world_;
+  std::vector<std::unique_ptr<RankBackend>> backends_;
+};
+
+}  // namespace dist
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DIST_TCP_COMM_H_

@@ -1,0 +1,96 @@
+#include "dist/thread_comm.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace dist {
+namespace {
+
+// Waits on cv until pred() or the timeout passes. timeout_ms <= 0 waits
+// forever. Returns true if pred() held on wakeup.
+template <typename Pred>
+bool WaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+             int64_t timeout_ms, Pred pred) {
+  if (timeout_ms <= 0) {
+    cv.wait(lock, pred);
+    return true;
+  }
+  return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), pred);
+}
+
+}  // namespace
+
+Status ThreadCommGroup::Mailbox::Put(const void* data, size_t bytes,
+                                     int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!WaitFor(cv_, lock, timeout_ms,
+               [this] { return !full_ || aborted_; })) {
+    return Status::Unavailable(
+        "dist: ring neighbor did not drain its mailbox in time");
+  }
+  if (aborted_) return Status::Unavailable("dist: comm group aborted");
+  if (buf_.size() < bytes) buf_.resize(bytes);
+  if (bytes > 0) std::memcpy(buf_.data(), data, bytes);
+  size_ = bytes;
+  full_ = true;
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Status ThreadCommGroup::Mailbox::Take(void* data, size_t bytes,
+                                      int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!WaitFor(cv_, lock, timeout_ms, [this] { return full_ || aborted_; })) {
+    return Status::Unavailable(
+        "dist: ring neighbor did not send its message in time");
+  }
+  if (aborted_) return Status::Unavailable("dist: comm group aborted");
+  // Both ends derive the size from the same schedule; disagreement means
+  // the ring arithmetic is broken, not that the peer misbehaved.
+  CL4SREC_CHECK_EQ(size_, bytes) << "dist: mailbox size mismatch ";
+  if (bytes > 0) std::memcpy(data, buf_.data(), bytes);
+  full_ = false;
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+void ThreadCommGroup::Mailbox::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+ThreadCommGroup::ThreadCommGroup(int world_size, const CommOptions& options)
+    : world_(world_size) {
+  CL4SREC_CHECK_GE(world_size, 1);
+  links_.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    links_.push_back(std::make_unique<Mailbox>());
+  }
+  backends_.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    Mailbox* out = links_[r].get();
+    Mailbox* in = links_[(r - 1 + world_size) % world_size].get();
+    backends_.push_back(
+        std::make_unique<RankBackend>(r, world_size, options, out, in));
+  }
+}
+
+ThreadCommGroup::~ThreadCommGroup() = default;
+
+CommBackend* ThreadCommGroup::backend(int rank) {
+  CL4SREC_CHECK(rank >= 0 && rank < world_);
+  return backends_[rank].get();
+}
+
+void ThreadCommGroup::Abort() {
+  for (auto& link : links_) link->Abort();
+}
+
+}  // namespace dist
+}  // namespace cl4srec

@@ -1,0 +1,115 @@
+// In-process multi-thread rank simulator: rank = thread, ring links =
+// shared-memory mailboxes.
+//
+// A ThreadCommGroup is built once for a world size; each participating
+// thread then drives its own backend(rank). The group owns one capacity-1
+// mailbox per directed ring link (rank r -> rank (r+1) % W): Send copies
+// into the mailbox and blocks while it is full, Recv blocks while it is
+// empty. Because sender and receiver compute every transfer size from the
+// same collective schedule, the mailbox CHECKs that both ends agreed on the
+// byte count — a mismatch is a schedule bug, not a runtime condition.
+//
+// This backend exists for two reasons:
+//   * `--world_size N --dist_backend thread` data-parallel training on one
+//     machine without sockets, and
+//   * a determinism oracle: it exercises the exact ring schedule the TCP
+//     backend runs, so dist_test and determinism_test can pin bit-equality
+//     cheaply.
+//
+// Failure model: a rank that stops participating leaves its neighbors
+// blocked on a full/empty mailbox; after CommOptions::timeout_ms they
+// return kUnavailable. Abort() wakes every waiter immediately with the same
+// code (used when one rank errors and the others must unwind).
+
+#ifndef CL4SREC_DIST_THREAD_COMM_H_
+#define CL4SREC_DIST_THREAD_COMM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dist/ring.h"
+
+namespace cl4srec {
+namespace dist {
+
+class ThreadCommGroup {
+ public:
+  explicit ThreadCommGroup(int world_size, const CommOptions& options = {});
+  ~ThreadCommGroup();
+
+  ThreadCommGroup(const ThreadCommGroup&) = delete;
+  ThreadCommGroup& operator=(const ThreadCommGroup&) = delete;
+
+  int world_size() const { return world_; }
+
+  // The backend thread `rank` should drive. Pointers stay valid for the
+  // group's lifetime. Each backend is single-threaded (one rank, one
+  // thread); distinct ranks may run concurrently.
+  CommBackend* backend(int rank);
+
+  // Wakes every blocked Send/Recv with kUnavailable and makes all future
+  // operations fail the same way. Safe to call from any thread.
+  void Abort();
+
+ private:
+  class Mailbox {
+   public:
+    Status Put(const void* data, size_t bytes, int64_t timeout_ms);
+    Status Take(void* data, size_t bytes, int64_t timeout_ms);
+    void Abort();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<unsigned char> buf_;
+    size_t size_ = 0;
+    bool full_ = false;
+    bool aborted_ = false;
+  };
+
+  class RankChannel : public RingChannel {
+   public:
+    RankChannel(Mailbox* out, Mailbox* in, int64_t timeout_ms)
+        : out_(out), in_(in), timeout_ms_(timeout_ms) {}
+
+    Status SendToNext(const void* data, size_t bytes) override {
+      return out_->Put(data, bytes, timeout_ms_);
+    }
+    Status RecvFromPrev(void* data, size_t bytes) override {
+      return in_->Take(data, bytes, timeout_ms_);
+    }
+    // The default Send-then-Recv is deadlock-free here: Put completes as
+    // soon as the bytes land in the mailbox, independent of the neighbor.
+
+   private:
+    Mailbox* out_;
+    Mailbox* in_;
+    int64_t timeout_ms_;
+  };
+
+  class RankBackend : public RingBackend {
+   public:
+    RankBackend(int rank, int world, const CommOptions& options, Mailbox* out,
+                Mailbox* in)
+        : RingBackend(rank, world, options),
+          channel_(out, in, options.timeout_ms) {}
+
+   protected:
+    RingChannel* channel() override { return &channel_; }
+
+   private:
+    RankChannel channel_;
+  };
+
+  const int world_;
+  std::vector<std::unique_ptr<Mailbox>> links_;  // links_[r]: r -> (r+1)%W
+  std::vector<std::unique_ptr<RankBackend>> backends_;
+};
+
+}  // namespace dist
+}  // namespace cl4srec
+
+#endif  // CL4SREC_DIST_THREAD_COMM_H_

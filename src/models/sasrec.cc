@@ -6,6 +6,7 @@
 #include "autograd/inference_mode.h"
 #include "data/batcher.h"
 #include "data/prefetch.h"
+#include "dist/comm.h"
 #include "models/training_utils.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
@@ -49,6 +50,12 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
   EarlyStopper stopper(options.patience);
   ParameterSnapshot best;
   TrainRunner runner(options.robust, &optimizer, &schedule, options.grad_clip);
+  // Data parallelism: every rank builds the same global batch list from the
+  // same seed, then trains on its contiguous user slice; TrainRunner
+  // averages the gradients, so all replicas stay bit-identical.
+  dist::CommBackend* comm = options.robust.comm;
+  const int world = comm == nullptr ? 1 : comm->world_size();
+  const int dist_rank = comm == nullptr ? 0 : comm->rank();
 
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
@@ -61,10 +68,16 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
     Prefetcher<SupervisedBatch> prefetch(
         batch_count, options.prefetch_depth, [&](int64_t index) {
           Rng batch_rng(BatchSeed(options.seed + 1, epoch, index));
-          return BuildSupervisedBatch(data,
-                                      epoch_batches[static_cast<size_t>(index)],
-                                      max_len_, /*time_major=*/false,
-                                      &batch_rng);
+          const auto& users = epoch_batches[static_cast<size_t>(index)];
+          if (world > 1) {
+            return BuildSupervisedBatch(data,
+                                        dist::ShardSlice(users, dist_rank,
+                                                         world),
+                                        max_len_, /*time_major=*/false,
+                                        &batch_rng);
+          }
+          return BuildSupervisedBatch(data, users, max_len_,
+                                      /*time_major=*/false, &batch_rng);
         });
     for (int64_t index = 0; index < batch_count; ++index) {
       // Every node/tensor built this step comes from the per-step arena and
@@ -72,6 +85,14 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
       // iteration.
       GraphArena::StepScope graph_arena;
       if (runner.SkipBatchForResume()) {
+        prefetch.Skip();
+        continue;
+      }
+      // Batches smaller than the world can't give every rank work; all
+      // ranks skip them by the same rule so collective counts stay aligned.
+      if (world > 1 &&
+          static_cast<int64_t>(
+              epoch_batches[static_cast<size_t>(index)].size()) < world) {
         prefetch.Skip();
         continue;
       }
@@ -94,6 +115,11 @@ void SasRec::TrainSupervised(const SequenceDataset& data,
       Variable loss = BceWithLogitsV(all_scores, labels);
 
       const StepOutcome outcome = runner.Step(loss);
+      if (!outcome.comm.ok()) {
+        CL4SREC_LOG(Error) << name() << " distributed step failed: "
+                           << outcome.comm.ToString() << "; aborting training";
+        return;
+      }
       if (std::isfinite(outcome.loss)) {
         epoch_loss += outcome.loss;
         ++batches;

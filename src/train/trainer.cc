@@ -28,17 +28,28 @@ TrainRunner::TrainRunner(const TrainRunnerOptions& options,
     : optimizer_(optimizer),
       schedule_(schedule),
       grad_clip_(grad_clip),
-      guard_(optimizer->params(), options.guard) {
+      guard_(optimizer->params(), options.guard),
+      grad_accum_(options.grad_accum < 1 ? 1 : options.grad_accum) {
+  if (options.comm != nullptr && options.comm->world_size() > 1) {
+    dist_rank_ = options.comm->rank();
+    dist_ = std::make_unique<dist::DistTrainer>(optimizer->params(),
+                                                options.comm, options.dist);
+  }
   // Stage label for telemetry: multi-stage trainers name their checkpoint
   // prefix ("pretrain"/"finetune"/"joint"); the single-stage default is
   // "ckpt", which records as plain "train".
   stage_ = options.checkpoints.prefix == "ckpt" ? "train"
                                                 : options.checkpoints.prefix;
-  if (!options.checkpoints.directory.empty()) {
+  // Only the lead rank touches the checkpoint directory; nonzero ranks are
+  // bit-identical replicas, so their state is already persisted by rank 0.
+  if (!options.checkpoints.directory.empty() && rank() == 0) {
     checkpoints_ = std::make_unique<CheckpointManager>(options.checkpoints,
                                                        optimizer->params());
   }
-  if (options.resume && checkpoints_ != nullptr) {
+  if (options.resume && dist_ != nullptr) {
+    CL4SREC_LOG(Warning)
+        << "resume is not supported with world_size > 1; starting fresh";
+  } else if (options.resume && checkpoints_ != nullptr) {
     StatusOr<int64_t> restored = checkpoints_->RestoreLatest();
     if (restored.ok()) {
       resume_step_ = *restored;
@@ -63,17 +74,47 @@ StepOutcome TrainRunner::Step(const Variable& loss) {
   CL4SREC_TRACE_SPAN_CAT("train/step", "train");
   Stopwatch step_timer;
   StepOutcome outcome;
-  optimizer_->ZeroGrad();
+  if (accum_count_ == 0) optimizer_->ZeroGrad();
   {
     CL4SREC_TRACE_SPAN_CAT("train/backward", "train");
     loss.Backward();
+  }
+  outcome.loss = static_cast<double>(loss.value().at(0));
+  if (++accum_count_ < grad_accum_) {
+    // Mid-window micro-batch: gradients accumulated, no update yet.
+    outcome.accumulated = true;
+    outcome.lr = optimizer_->lr();
+    outcome.step_ms = step_timer.ElapsedMillis();
+    return outcome;
+  }
+  accum_count_ = 0;
+  if (grad_accum_ > 1) {
+    // Mean over the window, matching the per-batch mean-loss convention.
+    const float inv = 1.0f / static_cast<float>(grad_accum_);
+    for (Variable* p : optimizer_->params()) {
+      if (p->has_grad()) const_cast<Tensor&>(p->grad()).ScaleInPlace(inv);
+    }
+  }
+  if (dist_ != nullptr) {
+    outcome.comm = dist_->AllReduceGrads();
+    if (outcome.comm.ok()) {
+      // Average the loss too: the step guard must reach the same verdict
+      // on every rank or the replicas would diverge.
+      float mean_loss = static_cast<float>(outcome.loss);
+      outcome.comm = dist_->AllReduceMean(&mean_loss);
+      outcome.loss = static_cast<double>(mean_loss);
+    }
+    if (!outcome.comm.ok()) {
+      outcome.verdict = StepVerdict::kSkipped;
+      outcome.step_ms = step_timer.ElapsedMillis();
+      return outcome;
+    }
   }
   {
     CL4SREC_TRACE_SPAN_CAT("train/clip_grad", "train");
     outcome.grad_norm = ClipGradNorm(optimizer_->params(), grad_clip_);
   }
   if (schedule_ != nullptr) schedule_->Apply(optimizer_, step_);
-  outcome.loss = static_cast<double>(loss.value().at(0));
   outcome.verdict =
       guard_.Inspect(step_, &outcome.loss, &outcome.grad_norm, optimizer_);
   // Inspect re-applies the guard's backoff scale, so this is the LR the
@@ -99,16 +140,18 @@ StepOutcome TrainRunner::Step(const Variable& loss) {
   }
   outcome.step_ms = step_timer.ElapsedMillis();
 
-  obs::StepTelemetry record;
-  record.step = step_;
-  record.stage = stage_;
-  record.loss = outcome.loss;
-  record.grad_norm = static_cast<double>(outcome.grad_norm);
-  record.lr = static_cast<double>(outcome.lr);
-  record.verdict = VerdictName(outcome.verdict);
-  record.step_ms = outcome.step_ms;
-  record.ckpt_ms = ckpt_ms;
-  obs::TrainTelemetry::EmitStep(record);
+  if (rank() == 0) {
+    obs::StepTelemetry record;
+    record.step = step_;
+    record.stage = stage_;
+    record.loss = outcome.loss;
+    record.grad_norm = static_cast<double>(outcome.grad_norm);
+    record.lr = static_cast<double>(outcome.lr);
+    record.verdict = VerdictName(outcome.verdict);
+    record.step_ms = outcome.step_ms;
+    record.ckpt_ms = ckpt_ms;
+    obs::TrainTelemetry::EmitStep(record);
+  }
   return outcome;
 }
 

@@ -1,9 +1,17 @@
 // TrainRunner — the training-robustness layer every model's loop routes
 // its optimizer steps through. One Step(loss) call performs
-//   ZeroGrad -> Backward -> ClipGradNorm -> LR schedule -> StepGuard
+//   [ZeroGrad at window start] -> Backward -> [dist gradient + loss
+//   averaging] -> ClipGradNorm -> LR schedule -> StepGuard
 //   -> (optimizer update when healthy) -> periodic checkpoint
 // so the divergence sentinel and crash-safe checkpointing apply uniformly
 // to SASRec, BERT4Rec, GRU4Rec, NCF, and both CL4SRec stages.
+//
+// With grad_accum = K > 1, K consecutive Step() calls form one window:
+// the first K-1 only backpropagate (outcome.accumulated), the K-th scales
+// the summed gradients by 1/K and runs the full update pipeline. With a
+// dist comm backend, the window-closing step averages gradients across
+// ranks (DistTrainer, fixed ring reduction order) and averages the loss so
+// the step guard reaches the same verdict on every rank.
 //
 // Resume protocol: checkpoints are tagged with the number of completed
 // steps. When resume is requested the constructor restores the latest
@@ -18,6 +26,8 @@
 #include <memory>
 #include <string>
 
+#include "dist/comm.h"
+#include "dist/dist_trainer.h"
 #include "optim/optimizer.h"
 #include "train/checkpoint.h"
 #include "train/step_guard.h"
@@ -30,11 +40,22 @@ struct TrainRunnerOptions {
   // Restore the latest valid checkpoint (if any) before training and skip
   // the already-completed steps. No-op when checkpointing is disabled.
   bool resume = false;
+  // Micro-batch gradient accumulation: every window of `grad_accum` Step()
+  // calls backpropagates each loss, then applies ONE optimizer update from
+  // the mean of the accumulated gradients. 1 = classic per-batch stepping.
+  int64_t grad_accum = 1;
+  // Data-parallel communication backend for this rank, or null for
+  // single-process training. When set (world > 1) the runner averages
+  // gradients and the loss across ranks every applied step, disables
+  // checkpoint writing and telemetry on nonzero ranks, and rejects resume.
+  dist::CommBackend* comm = nullptr;
+  dist::DistTrainerOptions dist;
 };
 
 struct StepOutcome {
   // Observed loss (after any fault injection); non-finite when the step
-  // was poisoned, so callers should only accumulate finite values.
+  // was poisoned, so callers should only accumulate finite values. Under
+  // data parallelism this is the mean over ranks on applied steps.
   double loss = 0.0;
   // Pre-clip global gradient norm.
   float grad_norm = 0.0f;
@@ -43,7 +64,16 @@ struct StepOutcome {
   // Wall time of the step (backward through checkpoint write).
   double step_ms = 0.0;
   StepVerdict verdict = StepVerdict::kApplied;
-  bool applied() const { return verdict == StepVerdict::kApplied; }
+  // True for the first grad_accum - 1 calls of an accumulation window: the
+  // gradient was accumulated but no optimizer update ran (verdict is
+  // kApplied pro forma; loss/grad_norm are the local micro-batch's).
+  bool accumulated = false;
+  // Non-OK when the communication backend failed (e.g. kUnavailable after
+  // a peer rank died). Training cannot continue; loops must propagate it.
+  Status comm;
+  bool applied() const {
+    return verdict == StepVerdict::kApplied && !accumulated;
+  }
 };
 
 class TrainRunner {
@@ -76,13 +106,22 @@ class TrainRunner {
   // ("pretrain", "finetune", "joint") or "train" when unset.
   const std::string& stage() const { return stage_; }
 
+  // 0 for single-process training or the lead rank; nonzero ranks stay
+  // silent (no checkpoints, no telemetry) and follow rank 0's decisions.
+  int rank() const { return dist_ == nullptr ? 0 : dist_rank_; }
+  int world_size() const { return dist_ == nullptr ? 1 : dist_->world_size(); }
+
  private:
   Optimizer* optimizer_;
   const LinearDecaySchedule* schedule_;
   float grad_clip_;
   StepGuard guard_;
   std::unique_ptr<CheckpointManager> checkpoints_;
+  std::unique_ptr<dist::DistTrainer> dist_;
+  int dist_rank_ = 0;
   std::string stage_;
+  int64_t grad_accum_ = 1;
+  int64_t accum_count_ = 0;  // micro-batches folded into the open window
   int64_t step_ = 0;
   int64_t resume_step_ = 0;
 };

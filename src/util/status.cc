@@ -25,6 +25,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Overloaded";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

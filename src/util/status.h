@@ -29,6 +29,10 @@ enum class StatusCode {
   // The operation's monotonic deadline (util/time_budget.h) passed before it
   // could produce a useful result.
   kDeadlineExceeded,
+  // A required peer is unreachable (a distributed rank died, a socket broke,
+  // or a collective timed out waiting for a neighbor). Distinguished from
+  // kDeadlineExceeded: the *peer* is gone, not merely this request late.
+  kUnavailable,
 };
 
 // Returns a short human-readable name such as "InvalidArgument".
@@ -70,6 +74,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

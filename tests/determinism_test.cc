@@ -12,8 +12,12 @@
 #include <cmath>
 #include <cstring>
 
+#include <memory>
+#include <vector>
+
 #include "core/cl4srec.h"
 #include "data/synthetic.h"
+#include "dist/launcher.h"
 #include "parallel/parallel.h"
 
 namespace cl4srec {
@@ -118,6 +122,105 @@ TEST(DeterminismTest, Cl4SRecEndToEndIdenticalAcrossPrefetchDepths) {
                           static_cast<size_t>(inline_build.scores.numel()) *
                               sizeof(float)),
               0);
+  }
+  parallel::SetNumThreads(0);
+}
+
+// Data-parallel run: `world` replicas (identical by seeded construction)
+// trained under a thread-backend ring, rank 0's replica evaluated. The
+// thread pool is sized before ranks launch (launcher.h contract); rank
+// options leave num_threads at 0 so Fit never resizes it mid-job.
+RunResult RunCl4SRecDist(int world, int threads) {
+  parallel::SetNumThreads(threads);
+  SequenceDataset data = SmallData();
+
+  Cl4SRecConfig cl;
+  cl.encoder.hidden_dim = 16;
+  cl.encoder.num_layers = 1;
+  cl.pretrain_epochs = 1;
+  cl.pretrain_batch_size = 32;
+  std::vector<std::unique_ptr<Cl4SRec>> replicas;
+  for (int r = 0; r < world; ++r) {
+    replicas.push_back(std::make_unique<Cl4SRec>(cl));
+  }
+
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 32;
+  options.max_len = 12;
+  options.seed = 11;
+  options.prefetch_depth = 2;
+
+  std::vector<double> pretrain_losses(static_cast<size_t>(world), 0.0);
+  dist::LaunchOptions launch;
+  launch.world_size = world;
+  const Status status = dist::RunDataParallel(
+      launch, [&](int rank, dist::CommBackend* comm) -> Status {
+        TrainOptions rank_options = options;
+        rank_options.robust.comm = comm;
+        Cl4SRec& model = *replicas[static_cast<size_t>(rank)];
+        pretrain_losses[static_cast<size_t>(rank)] =
+            model.Pretrain(data, rank_options);
+        model.Finetune(data, rank_options);
+        return Status::Ok();
+      });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  RunResult result;
+  result.pretrain_loss = pretrain_losses[0];
+  Cl4SRec& lead = *replicas[0];
+  result.valid = lead.Evaluate(data, EvalSplit::kValidation);
+  result.test = lead.Evaluate(data, EvalSplit::kTest);
+  result.scores = lead.ScoreBatch(
+      {0, 1, 2}, {data.TrainSequence(0), data.TrainSequence(1),
+                  data.TrainSequence(2)});
+  // The core data-parallel invariant: every replica ends bit-identical
+  // (same loss guard verdicts, same averaged gradients, same updates).
+  for (int r = 1; r < world; ++r) {
+    EXPECT_EQ(pretrain_losses[static_cast<size_t>(r)], pretrain_losses[0])
+        << "rank " << r;
+    const Tensor peer = replicas[static_cast<size_t>(r)]->ScoreBatch(
+        {0, 1, 2}, {data.TrainSequence(0), data.TrainSequence(1),
+                    data.TrainSequence(2)});
+    EXPECT_TRUE(peer.SameShape(result.scores));
+    EXPECT_EQ(std::memcmp(peer.data(), result.scores.data(),
+                          static_cast<size_t>(result.scores.numel()) *
+                              sizeof(float)),
+              0)
+        << "rank " << r;
+  }
+  return result;
+}
+
+TEST(DeterminismTest, DataParallelIdenticalAcrossThreadCounts) {
+  // Per world size, the result is a pure function of the seed: thread count
+  // must not change a bit. (Across world sizes results legitimately differ —
+  // different batch sharding and summation order — which is why the
+  // fingerprint is "fixed world size", not "any world size".)
+  for (int world : {1, 2, 4}) {
+    SCOPED_TRACE("world=" + std::to_string(world));
+    const RunResult serial = RunCl4SRecDist(world, 1);
+    EXPECT_TRUE(std::isfinite(serial.pretrain_loss));
+    const RunResult threaded = RunCl4SRecDist(world, 4);
+    EXPECT_EQ(threaded.pretrain_loss, serial.pretrain_loss);
+    ExpectIdenticalReports(threaded.valid, serial.valid);
+    ExpectIdenticalReports(threaded.test, serial.test);
+    ASSERT_TRUE(threaded.scores.SameShape(serial.scores));
+    EXPECT_EQ(std::memcmp(threaded.scores.data(), serial.scores.data(),
+                          static_cast<size_t>(serial.scores.numel()) *
+                              sizeof(float)),
+              0);
+    if (world == 1) {
+      // world_size 1 short-circuits to fn(0, nullptr) on the calling
+      // thread: byte-for-byte the non-distributed path.
+      const RunResult plain = RunCl4SRec(1);
+      EXPECT_EQ(serial.pretrain_loss, plain.pretrain_loss);
+      ExpectIdenticalReports(serial.valid, plain.valid);
+      EXPECT_EQ(std::memcmp(serial.scores.data(), plain.scores.data(),
+                            static_cast<size_t>(plain.scores.numel()) *
+                                sizeof(float)),
+                0);
+    }
   }
   parallel::SetNumThreads(0);
 }

@@ -1,0 +1,414 @@
+// Distributed comm-layer tests: the ring collectives against a serial
+// reference that implements the documented reduction order, bit-equality
+// between the thread and TCP backends, the sharded embedding against its
+// dense single-rank twin, and the failure model (silent peer -> typed
+// kUnavailable, never a hang).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "dist/comm.h"
+#include "dist/launcher.h"
+#include "dist/sharded_embedding.h"
+#include "dist/tcp_comm.h"
+#include "dist/thread_comm.h"
+#include "util/rng.h"
+
+namespace cl4srec {
+namespace dist {
+namespace {
+
+// Runs fn(rank, backend) on one thread per rank and returns the statuses.
+template <typename Group, typename Fn>
+std::vector<Status> RunRanks(Group* group, int world, Fn fn) {
+  std::vector<Status> statuses(static_cast<size_t>(world), Status::Ok());
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back(
+        [&, r] { statuses[static_cast<size_t>(r)] = fn(r, group->backend(r)); });
+  }
+  for (std::thread& t : threads) t.join();
+  return statuses;
+}
+
+std::vector<std::vector<float>> RandomRankBuffers(int world, int64_t n,
+                                                  uint64_t seed) {
+  std::vector<std::vector<float>> bufs(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    Rng rng(seed + static_cast<uint64_t>(r) * 1000003);
+    bufs[static_cast<size_t>(r)].resize(static_cast<size_t>(n));
+    for (float& v : bufs[static_cast<size_t>(r)]) {
+      v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+  }
+  return bufs;
+}
+
+// Serial model of the ring AllReduce's documented float semantics: within
+// each chunk (chunk_floats * W floats), segment s (ShardBounds of the chunk
+// over ranks) accumulates contributions in the fixed cyclic rank order
+// s, s+1, ..., s+W-1 (mod W). IEEE addition is commutative, so modeling the
+// ring's "own += received" as left-to-right accumulation in that order is
+// bit-exact.
+std::vector<float> ReferenceAllReduce(
+    const std::vector<std::vector<float>>& bufs, int64_t chunk_floats) {
+  const int world = static_cast<int>(bufs.size());
+  const auto n = static_cast<int64_t>(bufs[0].size());
+  std::vector<float> out(static_cast<size_t>(n));
+  const int64_t span = chunk_floats * world;
+  for (int64_t base = 0; base < n; base += span) {
+    const int64_t len = std::min(span, n - base);
+    for (int s = 0; s < world; ++s) {
+      const auto [lo, hi] = ShardBounds(len, s, world);
+      for (int64_t i = lo; i < hi; ++i) {
+        float acc = bufs[static_cast<size_t>(s)][static_cast<size_t>(base + i)];
+        for (int t = 1; t < world; ++t) {
+          const int r = (s + t) % world;
+          acc += bufs[static_cast<size_t>(r)][static_cast<size_t>(base + i)];
+        }
+        out[static_cast<size_t>(base + i)] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(DistTest, ShardBoundsCoverAndBalance) {
+  for (int64_t n : {0LL, 1LL, 5LL, 64LL, 1001LL}) {
+    for (int world : {1, 2, 3, 7}) {
+      int64_t covered = 0;
+      int64_t prev_hi = 0;
+      for (int r = 0; r < world; ++r) {
+        const auto [lo, hi] = ShardBounds(n, r, world);
+        EXPECT_EQ(lo, prev_hi);
+        EXPECT_LE(hi - lo, n / world + 1);
+        covered += hi - lo;
+        prev_hi = hi;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_hi, n);
+    }
+  }
+}
+
+TEST(DistTest, RingAllReduceMatchesSerialReference) {
+  // Small chunk_floats forces multiple chunks and sub-chunked messages;
+  // sizes cover empty segments (n < W), non-divisible splits, and spans
+  // larger than one chunk.
+  CommOptions options;
+  options.chunk_floats = 16;
+  for (int world : {2, 3, 4}) {
+    for (int64_t n : {1LL, 5LL, 64LL, 257LL, 1000LL}) {
+      SCOPED_TRACE("world=" + std::to_string(world) +
+                   " n=" + std::to_string(n));
+      auto bufs = RandomRankBuffers(world, n, 17);
+      const std::vector<float> want =
+          ReferenceAllReduce(bufs, options.chunk_floats);
+      ThreadCommGroup group(world, options);
+      auto statuses =
+          RunRanks(&group, world, [&](int rank, CommBackend* comm) {
+            return comm->AllReduce(bufs[static_cast<size_t>(rank)].data(), n);
+          });
+      for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+      for (int r = 0; r < world; ++r) {
+        ASSERT_EQ(std::memcmp(bufs[static_cast<size_t>(r)].data(),
+                              want.data(),
+                              static_cast<size_t>(n) * sizeof(float)),
+                  0)
+            << "rank " << r;
+      }
+    }
+  }
+}
+
+TEST(DistTest, TwoRankAllReduceIsPlainSum) {
+  // With two ranks every ordering of a+b is the same float, so the ring
+  // must match the naive elementwise sum bit for bit.
+  const int64_t n = 333;
+  auto bufs = RandomRankBuffers(2, n, 5);
+  std::vector<float> want(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    want[static_cast<size_t>(i)] = bufs[0][static_cast<size_t>(i)] +
+                                   bufs[1][static_cast<size_t>(i)];
+  }
+  ThreadCommGroup group(2);
+  auto statuses = RunRanks(&group, 2, [&](int rank, CommBackend* comm) {
+    return comm->AllReduce(bufs[static_cast<size_t>(rank)].data(), n);
+  });
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(std::memcmp(bufs[static_cast<size_t>(r)].data(), want.data(),
+                          static_cast<size_t>(n) * sizeof(float)),
+              0);
+  }
+}
+
+TEST(DistTest, AllGatherConcatenatesRankMajor) {
+  CommOptions options;
+  options.chunk_floats = 4;  // count > chunk_floats: sub-chunked rotation
+  for (int world : {2, 3}) {
+    const int64_t count = 10;
+    ThreadCommGroup group(world, options);
+    std::vector<std::vector<float>> recv(
+        static_cast<size_t>(world),
+        std::vector<float>(static_cast<size_t>(world * count), -1.f));
+    auto statuses = RunRanks(&group, world, [&](int rank, CommBackend* comm) {
+      std::vector<float> send(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        send[static_cast<size_t>(i)] = static_cast<float>(rank * 100 + i);
+      }
+      return comm->AllGather(send.data(), count,
+                             recv[static_cast<size_t>(rank)].data());
+    });
+    for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+    for (int r = 0; r < world; ++r) {
+      for (int b = 0; b < world; ++b) {
+        for (int64_t i = 0; i < count; ++i) {
+          EXPECT_EQ(recv[static_cast<size_t>(r)]
+                        [static_cast<size_t>(b * count + i)],
+                    static_cast<float>(b * 100 + i));
+        }
+      }
+    }
+  }
+}
+
+TEST(DistTest, BroadcastCopiesRootToAll) {
+  CommOptions options;
+  options.chunk_floats = 16;
+  const int world = 4;
+  const int root = 2;
+  const int64_t n = 100;
+  ThreadCommGroup group(world, options);
+  auto bufs = RandomRankBuffers(world, n, 29);
+  const std::vector<float> want = bufs[root];
+  auto statuses = RunRanks(&group, world, [&](int rank, CommBackend* comm) {
+    return comm->Broadcast(bufs[static_cast<size_t>(rank)].data(), n, root);
+  });
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(std::memcmp(bufs[static_cast<size_t>(r)].data(), want.data(),
+                          static_cast<size_t>(n) * sizeof(float)),
+              0)
+        << "rank " << r;
+  }
+}
+
+TEST(DistTest, BarrierWaitsForEveryRank) {
+  const int world = 4;
+  ThreadCommGroup group(world);
+  std::atomic<int> entered{0};
+  std::atomic<bool> mismatch{false};
+  auto statuses = RunRanks(&group, world, [&](int rank, CommBackend* comm) {
+    if (rank == 0) {
+      // Straggle: every other rank must still be parked in the barrier.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    entered.fetch_add(1);
+    const Status status = comm->Barrier();
+    if (entered.load() != world) mismatch.store(true);
+    return status;
+  });
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(DistTest, TcpBackendBitIdenticalToThreadBackend) {
+  const int world = 2;
+  const int64_t n = 1000;
+  CommOptions options;
+  options.chunk_floats = 64;
+
+  auto thread_bufs = RandomRankBuffers(world, n, 41);
+  auto tcp_bufs = thread_bufs;
+
+  ThreadCommGroup thread_group(world, options);
+  auto thread_statuses =
+      RunRanks(&thread_group, world, [&](int rank, CommBackend* comm) {
+        return comm->AllReduce(thread_bufs[static_cast<size_t>(rank)].data(),
+                               n);
+      });
+  for (const Status& s : thread_statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+
+  auto tcp_group_or = TcpCommGroup::CreateLoopback(world, options);
+  ASSERT_TRUE(tcp_group_or.ok()) << tcp_group_or.status().ToString();
+  std::unique_ptr<TcpCommGroup> tcp_group = std::move(*tcp_group_or);
+  auto tcp_statuses =
+      RunRanks(tcp_group.get(), world, [&](int rank, CommBackend* comm) {
+        return comm->AllReduce(tcp_bufs[static_cast<size_t>(rank)].data(), n);
+      });
+  for (const Status& s : tcp_statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(std::memcmp(tcp_bufs[static_cast<size_t>(r)].data(),
+                          thread_bufs[static_cast<size_t>(r)].data(),
+                          static_cast<size_t>(n) * sizeof(float)),
+              0)
+        << "rank " << r;
+  }
+}
+
+TEST(DistTest, SilentPeerSurfacesAsUnavailableNotHang) {
+  CommOptions options;
+  options.timeout_ms = 200;
+  ThreadCommGroup group(2, options);
+  // Rank 1 never participates: rank 0's collective must fail with the typed
+  // code within the timeout instead of blocking forever.
+  Status status;
+  std::thread rank0([&] {
+    std::vector<float> buf(1024, 1.f);
+    status = group.backend(0)->AllReduce(buf.data(),
+                                         static_cast<int64_t>(buf.size()));
+  });
+  rank0.join();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+}
+
+TEST(DistTest, AbortWakesBlockedRanksImmediately) {
+  CommOptions options;
+  options.timeout_ms = 60000;  // Far longer than the test: Abort must win.
+  ThreadCommGroup group(2, options);
+  Status status;
+  std::thread rank0([&] {
+    std::vector<float> buf(1024, 1.f);
+    status = group.backend(0)->AllReduce(buf.data(),
+                                         static_cast<int64_t>(buf.size()));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  group.Abort();
+  rank0.join();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+}
+
+TEST(DistTest, LauncherPropagatesRankFailureAndAbortsPeers) {
+  LaunchOptions launch;
+  launch.world_size = 2;
+  launch.comm.timeout_ms = 60000;
+  const Status status = RunDataParallel(
+      launch, [&](int rank, CommBackend* comm) -> Status {
+        if (rank == 1) return Status::Internal("rank 1 exploded");
+        // Rank 0 enters a collective its peer will never join; the launcher
+        // must Abort() the group so this returns quickly.
+        std::vector<float> buf(16, 1.f);
+        const Status comm_status =
+            comm->AllReduce(buf.data(), static_cast<int64_t>(buf.size()));
+        EXPECT_EQ(comm_status.code(), StatusCode::kUnavailable);
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("rank 1"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(DistTest, SingleRankLaunchRunsInlineWithoutComm) {
+  LaunchOptions launch;
+  launch.world_size = 1;
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  const Status status =
+      RunDataParallel(launch, [&](int rank, CommBackend* comm) -> Status {
+        EXPECT_EQ(rank, 0);
+        EXPECT_EQ(comm, nullptr);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ran = true;
+        return Status::Ok();
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(ran);
+}
+
+TEST(DistTest, ShardedEmbeddingMatchesDenseReference) {
+  const int64_t rows = 37;
+  const int64_t dim = 8;
+  const uint64_t seed = 5;
+  const std::vector<int64_t> ids = {0, 3, 5, 17, 35, 36};
+  const float lr = 0.1f;
+
+  for (int world : {2, 3}) {
+    SCOPED_TRACE("world=" + std::to_string(world));
+    // Dense twin: same (rows, dim, seed), no comm group — owns every row.
+    ShardedEmbedding dense(rows, dim, seed, nullptr);
+    Tensor dense_gather;
+    ASSERT_TRUE(dense.Gather(ids, &dense_gather).ok());
+
+    ThreadCommGroup group(world);
+    std::vector<Tensor> gathers(static_cast<size_t>(world));
+    std::vector<Tensor> tables(static_cast<size_t>(world));
+    // Rank r's local gradient is (r + 1) * base; the mean over ranks is
+    // (world + 1) / 2 * base.
+    Tensor base_grad({static_cast<int64_t>(ids.size()), dim});
+    Rng grad_rng(99);
+    for (int64_t i = 0; i < base_grad.numel(); ++i) {
+      base_grad.data()[i] = static_cast<float>(grad_rng.Uniform(-1.0, 1.0));
+    }
+    auto statuses = RunRanks(&group, world, [&](int rank, CommBackend* comm) {
+      ShardedEmbedding sharded(rows, dim, seed, comm);
+      CL4SREC_RETURN_NOT_OK(
+          sharded.Gather(ids, &gathers[static_cast<size_t>(rank)]));
+      Tensor grad({static_cast<int64_t>(ids.size()), dim});
+      for (int64_t i = 0; i < grad.numel(); ++i) {
+        grad.data()[i] = base_grad.data()[i] * static_cast<float>(rank + 1);
+      }
+      CL4SREC_RETURN_NOT_OK(sharded.ApplySgd(ids, grad, lr));
+      return sharded.Dense(&tables[static_cast<size_t>(rank)]);
+    });
+    for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s.ToString();
+
+    // Initialization is world-size-invariant: the sharded gather must be
+    // bit-equal to the dense one, on every rank.
+    for (int r = 0; r < world; ++r) {
+      ASSERT_TRUE(gathers[static_cast<size_t>(r)].SameShape(dense_gather));
+      EXPECT_EQ(std::memcmp(gathers[static_cast<size_t>(r)].data(),
+                            dense_gather.data(),
+                            static_cast<size_t>(dense_gather.numel()) *
+                                sizeof(float)),
+                0)
+          << "rank " << r;
+    }
+    // All ranks reassemble the same updated table, bit for bit.
+    for (int r = 1; r < world; ++r) {
+      ASSERT_TRUE(tables[static_cast<size_t>(r)].SameShape(tables[0]));
+      EXPECT_EQ(std::memcmp(tables[static_cast<size_t>(r)].data(),
+                            tables[0].data(),
+                            static_cast<size_t>(tables[0].numel()) *
+                                sizeof(float)),
+                0)
+          << "rank " << r;
+    }
+    // And the update itself equals the dense twin applying the rank-mean
+    // gradient (tolerance: the ring sums ranks in its own fixed order).
+    Tensor mean_grad({static_cast<int64_t>(ids.size()), dim});
+    const float mean_scale = static_cast<float>(world + 1) / 2.0f;
+    for (int64_t i = 0; i < mean_grad.numel(); ++i) {
+      mean_grad.data()[i] = base_grad.data()[i] * mean_scale;
+    }
+    ASSERT_TRUE(dense.ApplySgd(ids, mean_grad, lr).ok());
+    Tensor dense_table;
+    ASSERT_TRUE(dense.Dense(&dense_table).ok());
+    ASSERT_TRUE(dense_table.SameShape(tables[0]));
+    for (int64_t i = 0; i < dense_table.numel(); ++i) {
+      EXPECT_NEAR(tables[0].data()[i], dense_table.data()[i], 1e-5f)
+          << "element " << i;
+    }
+  }
+}
+
+TEST(DistTest, ShardedEmbeddingRejectsBadIds) {
+  ShardedEmbedding table(10, 4, 1, nullptr);
+  Tensor out;
+  EXPECT_EQ(table.Gather({3, 1}, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.Gather({1, 1}, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.Gather({-1}, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.Gather({10}, &out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace cl4srec

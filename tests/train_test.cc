@@ -246,6 +246,43 @@ TEST(TrainRunnerTest, GuardedStepsOptimizeAndCheckpoint) {
   EXPECT_EQ(steps[1], 10);
 }
 
+TEST(TrainRunnerTest, GradAccumAveragesMicroBatches) {
+  // grad_accum = 2: loss a*w on micro-batch k has gradient a_k, so the
+  // applied update must use mean(a_1, a_2) — bit-equal to one step over
+  // the combined batch (the single-rank stand-in for world_size x batch).
+  Variable w(Tensor::Full({1}, 4.f), true);
+  Sgd sgd({&w}, 0.1f);
+  TrainRunnerOptions options;
+  options.grad_accum = 2;
+  TrainRunner runner(options, &sgd, nullptr, /*grad_clip=*/100.f);
+
+  const float coeffs[] = {1.f, 3.f};
+  for (int k = 0; k < 2; ++k) {
+    Variable a(Tensor::Full({1}, coeffs[k]), false);
+    Variable loss = SumV(MulV(w, a));
+    const StepOutcome outcome = runner.Step(loss);
+    if (k == 0) {
+      EXPECT_TRUE(outcome.accumulated);
+      EXPECT_FALSE(outcome.applied());
+      EXPECT_EQ(w.value().at(0), 4.f);  // no optimizer apply mid-window
+      EXPECT_EQ(runner.step(), 0);
+    } else {
+      EXPECT_FALSE(outcome.accumulated);
+      EXPECT_TRUE(outcome.applied());
+      EXPECT_EQ(runner.step(), 1);
+    }
+  }
+
+  // Combined-batch twin: loss (a_1 + a_2)/2 * w in one un-accumulated step.
+  Variable w2(Tensor::Full({1}, 4.f), true);
+  Sgd sgd2({&w2}, 0.1f);
+  TrainRunner runner2(TrainRunnerOptions{}, &sgd2, nullptr, 100.f);
+  Variable mean(Tensor::Full({1}, 0.5f * (coeffs[0] + coeffs[1])), false);
+  Variable loss2 = SumV(MulV(w2, mean));
+  EXPECT_TRUE(runner2.Step(loss2).applied());
+  EXPECT_EQ(w.value().at(0), w2.value().at(0));
+}
+
 TEST(TrainRunnerTest, ResumeRestoresStepAndParams) {
   const std::string dir = FreshDir("runner_resume");
   Variable w(Tensor::Full({1}, 4.f), true);

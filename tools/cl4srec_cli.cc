@@ -106,7 +106,21 @@ int main(int argc, char** argv) {
   }
 
   if (command == "train") {
-    model->Fit(data, options);
+    if (config.world_size > 1) {
+      // Resume restores optimizer state into one replica only; under data
+      // parallelism the replicas would diverge from step one. Refuse rather
+      // than silently train a broken ensemble.
+      if (options.robust.resume) {
+        return Fail(Status::InvalidArgument(
+            "--resume is not supported with --world_size > 1"));
+      }
+      auto trained = DistTrainModel(flags.GetString("model"), config, data,
+                                    options);
+      if (!trained.ok()) return Fail(trained.status());
+      model = std::move(*trained);
+    } else {
+      model->Fit(data, options);
+    }
     std::printf("test:  %s\n", model->Evaluate(data).ToString().c_str());
     const std::string save = flags.GetString("save");
     if (!save.empty()) {
