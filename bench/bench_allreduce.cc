@@ -1,5 +1,6 @@
-// Ring-allreduce bandwidth benchmark: bus bandwidth vs payload size and
-// world size, for both comm backends (thread mailboxes and TCP loopback).
+// Ring-allreduce bandwidth benchmark: bus bandwidth vs payload size, world
+// size, and wire codec, for both comm backends (thread mailboxes and TCP
+// loopback).
 //
 // Bandwidth is reported two ways, following the NCCL convention:
 //   * alg_gbps — payload bytes / wall time. What a caller observes.
@@ -7,18 +8,38 @@
 //     rank (reduce-scatter + all-gather each send (W-1)/W of the payload),
 //     so it is comparable across world sizes: a perfect ring holds
 //     bus_gbps constant as W grows while alg_gbps stays flat too.
+// Both are computed from the UNCOMPRESSED payload bytes for every codec, so
+// a compressed run's gbps is the effective bandwidth — how fast fp32
+// gradients appear to move — and the fp16/int8 speedup over the fp32 run of
+// the same shape is read straight off the numbers. Compressed runs also
+// report compress_ratio (payload bytes / wire bytes: ~2x fp16, ~3.9x int8)
+// and speedup_vs_fp32 (fp32 time / codec time at the same shape).
 //
 // Every run first verifies the reduction (each rank contributes a known
 // pattern; the sum is checked elementwise) so a bandwidth number can never
-// come from a collective that silently corrupted data.
+// come from a collective that silently corrupted data. The pattern is made
+// of multiples of 0.25 whose ring partial sums stay below 512, so fp32 AND
+// fp16 reductions are exact (==); int8 is checked against a quantization
+// error bound.
 //
 //   ./bench_allreduce [--json BENCH_allreduce.json] [--backends thread,tcp]
-//                     [--worlds 2,4] [--min_floats 4096]
-//                     [--max_floats 4194304] [--iters 10] [--chunk_floats N]
+//                     [--worlds 2,4] [--codecs off,fp16,int8]
+//                     [--min_floats 4096] [--max_floats 4194304]
+//                     [--iters 10] [--chunk_floats N] [--wire_gbps 0.125]
+//
+// Loopback moves bytes at memory speed, so on a single host the codec
+// compute can mask the wire saving. --wire_gbps re-runs the codec sweep at
+// the largest payload over an emulated NIC of that bandwidth (pacing in the
+// TCP channel, see CommOptions::emulate_wire_gbps) — the wire-bound regime
+// every real multi-host network is in. Those runs carry a _wire<g>G name
+// suffix.
 //
 // scripts/bench_micro.sh smoke-runs a 2-rank configuration per PR; the
 // committed BENCH_allreduce.json comes from the full default sweep and is
 // gated by scripts/bench_regress.py (the *_gbps keys are higher-is-better).
+// fp32 runs keep their pre-codec names (thread_w2_4096f); compressed runs
+// append the codec (tcp_w2_1048576f_int8), so historical baselines keep
+// matching.
 
 #include <cmath>
 #include <cstdio>
@@ -62,30 +83,46 @@ struct RunResult {
   std::string backend;
   int world = 0;
   int64_t floats = 0;
+  dist::GradCodec codec = dist::GradCodec::kFp32;
   double time_per_call_ms = 0.0;
   double alg_gbps = 0.0;
   double bus_gbps = 0.0;
+  double compress_ratio = 1.0;    // payload bytes / wire bytes
+  double speedup_vs_fp32 = 0.0;   // filled after the sweep; 0 for fp32 runs
+  double wire_gbps = 0.0;         // emulated link bandwidth; 0 = raw loopback
 
   std::string name() const {
-    return StrFormat("%s_w%d_%lldf", backend.c_str(), world,
-                     static_cast<long long>(floats));
+    std::string base = StrFormat("%s_w%d_%lldf", backend.c_str(), world,
+                                 static_cast<long long>(floats));
+    // fp32 raw-loopback keeps the pre-codec name so historical baselines
+    // still match.
+    if (codec != dist::GradCodec::kFp32) {
+      base += StrFormat("_%s", dist::GradCodecName(codec));
+    }
+    if (wire_gbps > 0.0) base += StrFormat("_wire%gG", wire_gbps);
+    return base;
   }
 };
 
-// One (backend, world, payload) measurement. Every rank allreduces the same
-// buffer size; rank 0's barrier-bounded wall time is the run's time.
+// One (backend, world, payload, codec) measurement. Every rank allreduces
+// the same buffer size; rank 0's barrier-bounded wall time is the run's
+// time.
 StatusOr<RunResult> RunOnce(const std::string& backend, int world,
-                            int64_t floats, int64_t iters,
-                            int64_t chunk_floats) {
+                            int64_t floats, dist::GradCodec codec,
+                            int64_t iters, int64_t chunk_floats,
+                            double wire_gbps) {
   RunResult result;
   result.backend = backend;
   result.world = world;
   result.floats = floats;
+  result.codec = codec;
+  result.wire_gbps = wire_gbps;
 
   dist::LaunchOptions launch;
   launch.world_size = world;
   launch.backend = backend;
   if (chunk_floats > 0) launch.comm.chunk_floats = chunk_floats;
+  launch.comm.emulate_wire_gbps = wire_gbps;
 
   double rank0_seconds = 0.0;
   std::mutex mu;
@@ -97,31 +134,41 @@ StatusOr<RunResult> RunOnce(const std::string& backend, int world,
           buf[static_cast<size_t>(i)] =
               static_cast<float>(i % 17) * 0.25f + static_cast<float>(rank);
         }
-        // Correctness gate: the first allreduce must produce the exact sum
-        // of every rank's pattern (the ring adds floats in a fixed order,
-        // but these values are exactly representable, so == is exact).
-        CL4SREC_RETURN_NOT_OK(comm->AllReduce(buf.data(), floats));
+        // Correctness gate: the first allreduce must reproduce the sum of
+        // every rank's pattern. The values and every ring partial sum are
+        // multiples of 0.25 below 512, exactly representable in both fp32
+        // and binary16, so fp32 and fp16 are checked with ==; int8 against
+        // its per-hop quantization error bound (~W re-quantizations of
+        // magnitude <= amax/254 each, with amax <= the final sum).
+        CL4SREC_RETURN_NOT_OK(comm->AllReduceCodec(buf.data(), floats, codec));
         const auto w = static_cast<float>(world);
         const float rank_sum = 0.5f * w * (w - 1.0f);
+        const float max_sum = 16.f * 0.25f * w + rank_sum;
+        const float tol = codec == dist::GradCodec::kInt8
+                              ? w * max_sum / 127.f
+                              : 0.f;
         for (int64_t i = 0; i < floats; ++i) {
           const float want =
               static_cast<float>(i % 17) * 0.25f * w + rank_sum;
-          if (buf[static_cast<size_t>(i)] != want) {
+          if (std::fabs(buf[static_cast<size_t>(i)] - want) > tol) {
             std::lock_guard<std::mutex> lock(mu);
             verify = Status::Internal(StrFormat(
-                "allreduce mismatch at %lld: got %f want %f",
+                "allreduce mismatch at %lld: got %f want %f (codec %s)",
                 static_cast<long long>(i), buf[static_cast<size_t>(i)],
-                want));
+                want, dist::GradCodecName(codec)));
             break;
           }
         }
         // Warmup, then the timed window. Values grow by ~world x per call;
-        // with iters <= ~30 and world <= 8 they stay far from overflow.
-        CL4SREC_RETURN_NOT_OK(comm->AllReduce(buf.data(), floats));
+        // fp32/int8 never misbehave, and an fp16 value that outgrows
+        // binary16 range saturates to +inf, which encodes/decodes at the
+        // same speed — the timing stays valid.
+        CL4SREC_RETURN_NOT_OK(comm->AllReduceCodec(buf.data(), floats, codec));
         CL4SREC_RETURN_NOT_OK(comm->Barrier());
         Stopwatch wall;
         for (int64_t it = 0; it < iters; ++it) {
-          CL4SREC_RETURN_NOT_OK(comm->AllReduce(buf.data(), floats));
+          CL4SREC_RETURN_NOT_OK(
+              comm->AllReduceCodec(buf.data(), floats, codec));
         }
         CL4SREC_RETURN_NOT_OK(comm->Barrier());
         if (rank == 0) {
@@ -134,12 +181,16 @@ StatusOr<RunResult> RunOnce(const std::string& backend, int world,
   CL4SREC_RETURN_NOT_OK(verify);
 
   const double per_call_s = rank0_seconds / static_cast<double>(iters);
+  // Uncompressed-equivalent bytes for every codec: gbps is effective
+  // bandwidth, directly comparable across codecs at the same shape.
   const double bytes = static_cast<double>(floats) * sizeof(float);
   result.time_per_call_ms = per_call_s * 1e3;
   result.alg_gbps = bytes / per_call_s / 1e9;
   result.bus_gbps = result.alg_gbps * 2.0 *
                     (static_cast<double>(world) - 1.0) /
                     static_cast<double>(world);
+  result.compress_ratio =
+      bytes / static_cast<double>(dist::Compressor(codec).WireBytes(floats));
   return result;
 }
 
@@ -151,15 +202,32 @@ int main(int argc, char** argv) {
   flags.AddString("backends", "thread,tcp",
                   "comm backends to sweep (comma list: thread, tcp)");
   flags.AddString("worlds", "2,4", "world sizes to sweep (comma list)");
+  flags.AddString("codecs", "off,fp16,int8",
+                  "wire codecs to sweep (comma list: off, fp16, int8)");
   flags.AddInt("min_floats", 4096, "smallest payload, in floats");
   flags.AddInt("max_floats", 4194304, "largest payload, in floats");
   flags.AddInt("iters", 10, "timed allreduce calls per configuration");
   flags.AddInt("chunk_floats", 0, "ring chunk size override (0 = default)");
+  flags.AddDouble("wire_gbps", 0.125,
+                  "also sweep the codecs over an emulated NIC of this "
+                  "bandwidth (GB/s) on the tcp backend at the largest "
+                  "payload — the wire-bound regime where compression pays "
+                  "(0.125 ~ 1 GbE; 0 = skip)");
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) return 1;
 
   const std::vector<std::string> backends =
       ParseStringList(flags.GetString("backends"));
   const std::vector<int64_t> worlds = ParseInt64List(flags.GetString("worlds"));
+  std::vector<dist::GradCodec> codecs;
+  for (const std::string& name : ParseStringList(flags.GetString("codecs"))) {
+    dist::GradCodec codec;
+    if (!dist::ParseGradCodec(name, &codec)) {
+      std::fprintf(stderr, "invalid codec '%s' (want off|fp16|int8)\n",
+                   name.c_str());
+      return 1;
+    }
+    codecs.push_back(codec);
+  }
   const int64_t iters = std::max<int64_t>(1, flags.GetInt("iters"));
   const int64_t min_floats = std::max<int64_t>(1, flags.GetInt("min_floats"));
   const int64_t max_floats = std::max(min_floats, flags.GetInt("max_floats"));
@@ -168,26 +236,62 @@ int main(int argc, char** argv) {
               static_cast<long long>(iters),
               bench::MachineMetadataJson().c_str());
   std::vector<RunResult> runs;
+  // Codec innermost: the fp32 run of each shape lands first, so the
+  // compressed runs that follow can report their speedup against it.
+  double fp32_ms = 0.0;
+  auto sweep_codecs = [&](const std::string& backend, int64_t world,
+                          int64_t floats, double wire_gbps) -> bool {
+    fp32_ms = 0.0;  // speedups never compare across shapes
+    for (dist::GradCodec codec : codecs) {
+      auto run = RunOnce(backend, static_cast<int>(world), floats, codec,
+                         iters, flags.GetInt("chunk_floats"), wire_gbps);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s world %lld %lld floats %s: %s\n",
+                     backend.c_str(), static_cast<long long>(world),
+                     static_cast<long long>(floats),
+                     dist::GradCodecName(codec),
+                     run.status().ToString().c_str());
+        return false;
+      }
+      if (codec == dist::GradCodec::kFp32) {
+        fp32_ms = run->time_per_call_ms;
+      } else if (fp32_ms > 0.0) {
+        run->speedup_vs_fp32 = fp32_ms / run->time_per_call_ms;
+      }
+      std::printf(
+          "%-6s w%lld %9lld floats (%7.2f MiB) %-4s%s | %8.3f ms/call | "
+          "alg %6.2f GB/s | bus %6.2f GB/s | wire %.2fx%s\n",
+          backend.c_str(), static_cast<long long>(world),
+          static_cast<long long>(floats),
+          static_cast<double>(floats) * sizeof(float) / (1024.0 * 1024.0),
+          dist::GradCodecName(run->codec),
+          wire_gbps > 0.0 ? StrFormat(" @%gGB/s", wire_gbps).c_str() : "",
+          run->time_per_call_ms, run->alg_gbps, run->bus_gbps,
+          run->compress_ratio,
+          run->speedup_vs_fp32 > 0.0
+              ? StrFormat(" | %.2fx vs fp32", run->speedup_vs_fp32).c_str()
+              : "");
+      runs.push_back(*std::move(run));
+    }
+    return true;
+  };
   for (const std::string& backend : backends) {
     for (int64_t world : worlds) {
       for (int64_t floats = min_floats; floats <= max_floats; floats *= 16) {
-        auto run = RunOnce(backend, static_cast<int>(world), floats, iters,
-                           flags.GetInt("chunk_floats"));
-        if (!run.ok()) {
-          std::fprintf(stderr, "%s world %lld %lld floats: %s\n",
-                       backend.c_str(), static_cast<long long>(world),
-                       static_cast<long long>(floats),
-                       run.status().ToString().c_str());
-          return 1;
-        }
-        std::printf(
-            "%-6s w%lld %9lld floats (%7.2f MiB) | %8.3f ms/call | "
-            "alg %6.2f GB/s | bus %6.2f GB/s\n",
-            backend.c_str(), static_cast<long long>(world),
-            static_cast<long long>(floats),
-            static_cast<double>(floats) * sizeof(float) / (1024.0 * 1024.0),
-            run->time_per_call_ms, run->alg_gbps, run->bus_gbps);
-        runs.push_back(*std::move(run));
+        if (!sweep_codecs(backend, world, floats, 0.0)) return 1;
+      }
+    }
+  }
+  // Wire-bound regime: re-run the codec sweep at the largest payload over
+  // an emulated NIC (tcp only — pacing lives in the TCP channel). Raw
+  // loopback moves bytes at memory speed, so codec compute masks the wire
+  // saving there; these runs show what the codecs buy on a real network.
+  const double wire_gbps = flags.GetDouble("wire_gbps");
+  if (wire_gbps > 0.0) {
+    for (const std::string& backend : backends) {
+      if (backend != "tcp") continue;
+      for (int64_t world : worlds) {
+        if (!sweep_codecs(backend, world, max_floats, wire_gbps)) return 1;
       }
     }
   }
@@ -202,11 +306,17 @@ int main(int argc, char** argv) {
       const RunResult& r = runs[i];
       out << "    {\"name\": \"" << r.name() << "\", \"backend\": \""
           << r.backend << "\", \"world\": " << r.world
-          << ", \"floats\": " << r.floats
+          << ", \"floats\": " << r.floats << ", \"codec\": \""
+          << dist::GradCodecName(r.codec) << "\""
           << ",\n     \"time_per_call_ms\": " << r.time_per_call_ms
           << ", \"alg_gbps\": " << r.alg_gbps
-          << ", \"bus_gbps\": " << r.bus_gbps << "}"
-          << (i + 1 < runs.size() ? ",\n" : "\n");
+          << ", \"bus_gbps\": " << r.bus_gbps
+          << ", \"compress_ratio\": " << r.compress_ratio;
+      if (r.wire_gbps > 0.0) out << ", \"wire_gbps\": " << r.wire_gbps;
+      if (r.speedup_vs_fp32 > 0.0) {
+        out << ", \"speedup_vs_fp32\": " << r.speedup_vs_fp32;
+      }
+      out << "}" << (i + 1 < runs.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
     std::ofstream file(json_path);

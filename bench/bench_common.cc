@@ -38,6 +38,9 @@ void AddCommonFlags(FlagParser* flags) {
   flags->AddString("dist_backend", "thread",
                    "rank transport: thread (shared-memory mailboxes) or "
                    "tcp (loopback socket ring)");
+  flags->AddString("grad_compress", "off",
+                   "gradient wire codec under --world_size > 1: off (fp32), "
+                   "fp16, or int8 (with error feedback)");
   flags->AddInt("grad_accum", 1,
                 "micro-batches accumulated into one optimizer step");
   flags->AddString("simd", "",
@@ -74,6 +77,11 @@ BenchConfig ConfigFromFlags(const FlagParser& flags) {
   config.prefetch_depth = flags.GetInt("prefetch_depth");
   config.world_size = flags.GetInt("world_size");
   config.dist_backend = flags.GetString("dist_backend");
+  config.grad_compress = flags.GetString("grad_compress");
+  dist::GradCodec codec;
+  CL4SREC_CHECK(dist::ParseGradCodec(config.grad_compress, &codec))
+      << "invalid --grad_compress='" << config.grad_compress
+      << "' (want off|fp16|int8)";
   config.grad_accum = flags.GetInt("grad_accum");
   config.csv_path = flags.GetString("csv");
   // Applied here so every bench/CLI binary honors --threads without each
@@ -125,6 +133,12 @@ TrainOptions MakeTrainOptions(const BenchConfig& config) {
   options.num_threads = config.threads;
   options.prefetch_depth = config.prefetch_depth;
   options.robust.grad_accum = config.grad_accum;
+  dist::GradCodec codec = dist::GradCodec::kFp32;
+  // Validated in ConfigFromFlags; hand-built configs fall back to fp32 on
+  // an unset/unknown string rather than silently compressing.
+  if (dist::ParseGradCodec(config.grad_compress, &codec)) {
+    options.robust.dist.codec = codec;
+  }
   return options;
 }
 

@@ -52,6 +52,9 @@ struct BenchConfig {
   // Rank communication transport: "thread" (shared-memory mailboxes) or
   // "tcp" (loopback socket ring).
   std::string dist_backend = "thread";
+  // Gradient wire codec for data-parallel training: "off" (fp32), "fp16",
+  // or "int8" (error-feedback quantization, see src/dist/compress.h).
+  std::string grad_compress = "off";
   // Micro-batches accumulated per optimizer step (1 = step every batch).
   int64_t grad_accum = 1;
   std::string csv_path;

@@ -53,14 +53,18 @@ SERVING_OUT=${SERVING_OUT:-BENCH_serving.json}
   --duration_ms 800 --slow_worker_ms 10 --slow_batch_ms 8 \
   --overload_deadline_ms 25
 
-# Ring-allreduce smoke: 2-rank sweep over both backends with short timed
-# windows. Every run self-verifies the reduction before timing, so this
-# doubles as a per-PR correctness check of the comm layer. The committed
+# Ring-allreduce smoke: 2-rank sweep over both backends and all three
+# gradient codecs (fp32/fp16/int8), plus the 1-GbE-paced run where the
+# compressed wire's effective-bandwidth win shows up. Every run
+# self-verifies the reduction (the lossy codecs against analytic error
+# bounds) before timing, so this doubles as a per-PR correctness check of
+# the comm layer and the --grad_compress=int8 wire path. The committed
 # BENCH_allreduce.json comes from the full default sweep,
 # `bench_allreduce --json BENCH_allreduce.json` (see EXPERIMENTS.md).
 ALLREDUCE_OUT=${ALLREDUCE_OUT:-BENCH_allreduce.json}
 "$BUILD_DIR"/bench/bench_allreduce --json "$ALLREDUCE_OUT" \
-  --worlds 2 --min_floats 65536 --max_floats 1048576 --iters 6
+  --worlds 2 --min_floats 65536 --max_floats 1048576 --iters 6 \
+  --codecs off,fp16,int8
 
 # Regression gate: compare the fresh artifacts against the baselines
 # committed at HEAD. Machine-fingerprint-aware (skips when the host does

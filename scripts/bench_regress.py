@@ -11,12 +11,14 @@ note (a laptop run regressing against a CI baseline is noise, not signal).
 Comparable metrics are found by key name anywhere in the JSON tree:
 
   higher is better   qps, *users_per_s, *gflops, *steps_per_s, *_gbps,
-                     recall_at_k
+                     recall_at_k, compress_ratio, speedup_vs_fp32
   lower is better    p99_ms
 
 Paths containing "overload" are excluded — that bench phase runs with an
 injected worker fault and a saturating client load, so its numbers are
-deliberately chaotic. A metric regressing by more than --threshold
+deliberately chaotic. The "wire_gbps" key is excluded by name: it is the
+bench_allreduce pacing *setting* echoed into the artifact (it would
+otherwise match the *_gbps suffix), not a measurement. A metric regressing by more than --threshold
 (default 15%) relative to the baseline fails the run with exit 1.
 
 Usage:
@@ -34,8 +36,10 @@ import sys
 from pathlib import Path
 
 HIGHER_BETTER_SUFFIXES = ("users_per_s", "gflops", "steps_per_s", "_gbps")
-HIGHER_BETTER_KEYS = ("qps", "recall_at_k")
+HIGHER_BETTER_KEYS = ("qps", "recall_at_k", "compress_ratio",
+                      "speedup_vs_fp32")
 LOWER_BETTER_KEYS = ("p99_ms",)
+EXCLUDED_KEYS = ("wire_gbps",)
 EXCLUDED_PATH_PARTS = ("overload",)
 MACHINE_KEYS = ("hardware_concurrency", "parallel_threads", "active_isa")
 
@@ -60,6 +64,8 @@ def direction(path):
     if any(part in p for part in EXCLUDED_PATH_PARTS for p in path):
         return 0
     key = path[-1]
+    if key in EXCLUDED_KEYS:
+        return 0
     if key in LOWER_BETTER_KEYS:
         return -1
     if key in HIGHER_BETTER_KEYS or key.endswith(HIGHER_BETTER_SUFFIXES):

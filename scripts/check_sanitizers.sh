@@ -25,6 +25,10 @@
 #      abort-on-failure unwind) and the DistTrainer's comm worker thread
 #      are wall-to-wall cross-thread hand-offs, and determinism_test's
 #      data-parallel matrix drives full multi-rank training under TSan.
+#      dist_test now also covers the compressed allreduce modes
+#      (fp16/int8 wire codecs, error-feedback residuals, the int8+EF
+#      convergence run), so the encode/accumulate/forward hand-offs of
+#      the compressed ring run under the race detector too.
 #   3. Scalar-lane sweep: the ASan binaries rerun with CL4SREC_SIMD=off
 #      (runtime scalar dispatch over the kernel-heavy suites), then a
 #      -DCL4SREC_SIMD=off build compiles and runs simd_test — proving the
@@ -70,10 +74,13 @@ echo "thread sanitizer suite passed"
 # fused softmax-CE / NT-Xent / residual-LayerNorm kernels stay bit-equal.
 # retrieval_test here pins the int8 IVF contract where it matters most:
 # lane-independence is only real if the scalar dot_i8 path returns the
-# same bits the vector lanes do.
+# same bits the vector lanes do. dist_test rides along for the same
+# reason: the gradient wire codecs promise bit-identical compressed
+# allreduces whatever the dispatch, so the --grad_compress=int8 paths
+# (including the int8+EF convergence run) repeat on the scalar converts.
 CL4SREC_SIMD=off ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -j "$(nproc)" \
-  -R 'simd_test|tensor_test|parallel_test|determinism_test|optim_test|fused_test|retrieval_test' "$@"
+  -R 'simd_test|tensor_test|parallel_test|determinism_test|optim_test|fused_test|retrieval_test|dist_test' "$@"
 echo "scalar-dispatch (CL4SREC_SIMD=off) asan suite passed"
 
 # Scalar-only BUILD: no vector TU is compiled at all; simd_test must still

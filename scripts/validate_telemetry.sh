@@ -8,6 +8,11 @@
 #   - the metrics snapshot is valid JSON with a positive train.steps count
 #     that matches the JSONL line count.
 #
+# Then runs a 2-rank data-parallel job with --grad_compress=int8 and
+# validates the dist.* surface: the compressed/total bucket partition, the
+# raw-vs-wire byte accounting behind the dist.compress.ratio gauge (>3x
+# for int8), and a positive error-feedback residual norm.
+#
 # Then runs a short bench_serving load and validates the serve.* metrics:
 #   - the accounting invariant serve.requests == serve.answered.tier{0,1,2}
 #     + serve.shed.{overload,deadline} (every admitted request is answered
@@ -101,6 +106,61 @@ assert metrics["histograms"]["train.step_ms"]["count"] == steps
 
 print(f"telemetry OK: {steps} steps across stages {sorted(stages)}, "
       f"{len(events)} trace events, metrics consistent")
+PYEOF
+
+# Data-parallel compressed training: a 2-rank int8 run must export the
+# dist.compress.* surface — the achieved wire ratio (raw/wire bytes over
+# the compressed buckets; int8 is ~3.9x on large buckets), a nonzero
+# error-feedback residual norm, and a sane bucket partition (some buckets
+# compressed, small ones kept fp32).
+"$BUILD_DIR/tools/cl4srec_cli" train \
+  --preset beauty --model CL4SRec \
+  --scale 0.12 --dim 64 --epochs 1 --pretrain_epochs 1 --batch 64 \
+  --world_size 2 --grad_compress int8 \
+  --log_level warn \
+  --metrics_out "$OUT_DIR/dist_metrics.json"
+
+"$PYTHON" - "$OUT_DIR" <<'PYEOF'
+import json
+import math
+import sys
+
+out_dir = sys.argv[1]
+with open(f"{out_dir}/dist_metrics.json") as f:
+    metrics = json.load(f)
+counters = metrics["counters"]
+gauges = metrics["gauges"]
+
+for name in ("dist.compress.ratio", "dist.compress.residual_norm",
+             "dist.compress.buckets", "dist.grad_buckets"):
+    assert name in gauges, f"metrics missing gauge {name}"
+
+# The bucket partition engaged the lossy path: at least one compressed
+# bucket, and not more than the total.
+compressed = gauges["dist.compress.buckets"]
+total = gauges["dist.grad_buckets"]
+assert compressed >= 1, "no bucket took the int8 path"
+assert compressed <= total, f"{compressed} compressed of {total} buckets"
+
+# Wire accounting: every compressed bucket's raw fp32 bytes and actual
+# wire bytes are counted, and int8 shrinks large buckets close to 4x.
+raw = counters["dist.compress.raw_bytes"]
+wire = counters["dist.compress.wire_bytes"]
+assert raw > wire > 0, f"raw={raw} wire={wire}"
+ratio = gauges["dist.compress.ratio"]
+assert math.isfinite(ratio) and ratio > 3.0, \
+    f"int8 compress ratio {ratio} (expected ~3.9x on large buckets)"
+assert abs(ratio - raw / wire) < 1e-6 * ratio, \
+    f"ratio gauge {ratio} disagrees with counters {raw}/{wire}"
+
+# Error feedback is live: the residual norm is a positive finite number
+# (a zero residual would mean quantization was lossless, i.e. never ran).
+residual = gauges["dist.compress.residual_norm"]
+assert math.isfinite(residual) and residual > 0, \
+    f"dist.compress.residual_norm={residual}"
+
+print(f"dist telemetry OK: {int(compressed)}/{int(total)} buckets "
+      f"compressed, ratio {ratio:.2f}x, residual norm {residual:.3g}")
 PYEOF
 
 # Serving runtime: a short two-phase load (steady + overload with an

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/compress.h"
 #include "util/status.h"
 
 namespace cl4srec {
@@ -46,6 +47,19 @@ struct CommOptions {
   // How long a rank waits on a neighbor before declaring it gone
   // (kUnavailable). <= 0 waits forever.
   int64_t timeout_ms = 10000;
+  // Ring bring-up: how many times a rank re-dials its successor before
+  // giving up, and the backoff before the first retry (doubling each
+  // attempt, capped at 1s). With retries, rank startup order does not
+  // matter — the first step toward a multi-host bootstrap.
+  int connect_attempts = 20;
+  int64_t connect_backoff_ms = 25;
+  // TCP backend only: emulate a bandwidth-limited NIC by pacing each
+  // channel transfer to max(sent, received) / emulate_wire_gbps seconds
+  // (deadline-based, so sleep jitter doesn't accumulate). 0 = off. The
+  // loopback wire runs at memory speed, which no real multi-host network
+  // does; pacing reproduces the wire-bound regime where gradient
+  // compression pays off, without changing a single byte on the wire.
+  double emulate_wire_gbps = 0;
 };
 
 class CommBackend {
@@ -58,6 +72,18 @@ class CommBackend {
   // In-place elementwise SUM over all ranks; every rank ends with the same
   // bits. Fixed reduction order (see ring.h).
   virtual Status AllReduce(float* data, int64_t n) = 0;
+
+  // AllReduce with the given wire codec (compress.h). kFp32 is exactly
+  // AllReduce; lossy codecs compress each hop's message, accumulate in
+  // fp32, and still leave every rank with the same bits (the all-gather
+  // phase forwards encoded bytes verbatim). The reduction remains a pure
+  // function of (world, payload, chunk_floats, codec). Backends without a
+  // compressed path reject lossy codecs.
+  virtual Status AllReduceCodec(float* data, int64_t n, GradCodec codec) {
+    if (codec == GradCodec::kFp32) return AllReduce(data, n);
+    return Status::InvalidArgument(
+        "dist: backend does not support compressed allreduce");
+  }
 
   // Concatenates each rank's `count` floats rank-major into `recv`
   // (capacity world_size * count). send may alias &recv[rank * count].

@@ -1,0 +1,134 @@
+#include "dist/compress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/simd/simd.h"
+#include "util/logging.h"
+
+namespace cl4srec {
+namespace dist {
+namespace {
+
+int64_t Int8Groups(int64_t n) {
+  return (n + kInt8GroupFloats - 1) / kInt8GroupFloats;
+}
+
+}  // namespace
+
+bool ParseGradCodec(const std::string& name, GradCodec* codec) {
+  if (name == "off" || name == "fp32") {
+    *codec = GradCodec::kFp32;
+  } else if (name == "fp16") {
+    *codec = GradCodec::kFp16;
+  } else if (name == "int8") {
+    *codec = GradCodec::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* GradCodecName(GradCodec codec) {
+  switch (codec) {
+    case GradCodec::kFp32:
+      return "fp32";
+    case GradCodec::kFp16:
+      return "fp16";
+    case GradCodec::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+size_t Compressor::WireBytes(int64_t n) const {
+  if (n == 0) return 0;  // empty segments emit no message, not a bare tag
+  switch (codec_) {
+    case GradCodec::kFp32:
+      return static_cast<size_t>(n) * sizeof(float);
+    case GradCodec::kFp16:
+      return sizeof(int32_t) + static_cast<size_t>(n) * sizeof(uint16_t);
+    case GradCodec::kInt8:
+      return sizeof(int32_t) +
+             static_cast<size_t>(Int8Groups(n)) * sizeof(float) +
+             static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+void Compressor::Encode(const float* x, int64_t n, uint8_t* out) const {
+  if (codec_ == GradCodec::kFp32) {
+    std::memcpy(out, x, static_cast<size_t>(n) * sizeof(float));
+    return;
+  }
+  const int32_t tag = static_cast<int32_t>(codec_);
+  std::memcpy(out, &tag, sizeof(tag));
+  uint8_t* payload = out + sizeof(tag);
+  if (codec_ == GradCodec::kFp16) {
+    simd::Kernels().fp32_to_fp16(reinterpret_cast<uint16_t*>(payload), x, n);
+    return;
+  }
+  const int64_t groups = Int8Groups(n);
+  float* scales = reinterpret_cast<float*>(payload);
+  int8_t* codes = reinterpret_cast<int8_t*>(payload + groups * sizeof(float));
+  for (int64_t g = 0; g < groups; ++g) {
+    const int64_t lo = g * kInt8GroupFloats;
+    const int64_t len = std::min(kInt8GroupFloats, n - lo);
+    const float scale = simd::Kernels().abs_max(x + lo, len) / 127.f;
+    scales[g] = scale;
+    if (scale > 0.f) {
+      simd::Kernels().fp32_to_i8(codes + lo, x + lo, 1.f / scale, len);
+    } else {
+      // All-zero (or all-NaN) group; a zero scale also avoids the inf
+      // inv_scale a denormal-underflowed division would produce.
+      std::memset(codes + lo, 0, static_cast<size_t>(len));
+    }
+  }
+}
+
+void Compressor::Decode(const uint8_t* in, int64_t n, float* out) const {
+  if (codec_ == GradCodec::kFp32) {
+    std::memcpy(out, in, static_cast<size_t>(n) * sizeof(float));
+    return;
+  }
+  int32_t tag = -1;
+  std::memcpy(&tag, in, sizeof(tag));
+  CL4SREC_CHECK(tag == static_cast<int32_t>(codec_))
+      << "dist: wire codec tag " << tag << " != expected "
+      << static_cast<int32_t>(codec_);
+  const uint8_t* payload = in + sizeof(tag);
+  if (codec_ == GradCodec::kFp16) {
+    simd::Kernels().fp16_to_fp32(
+        out, reinterpret_cast<const uint16_t*>(payload), n);
+    return;
+  }
+  const int64_t groups = Int8Groups(n);
+  const float* scales = reinterpret_cast<const float*>(payload);
+  const int8_t* codes =
+      reinterpret_cast<const int8_t*>(payload + groups * sizeof(float));
+  for (int64_t g = 0; g < groups; ++g) {
+    const int64_t lo = g * kInt8GroupFloats;
+    const int64_t len = std::min(kInt8GroupFloats, n - lo);
+    simd::Kernels().i8_to_fp32(out + lo, codes + lo, scales[g], len);
+  }
+}
+
+void Compressor::QuantizeWithResidual(float* data, float* residual,
+                                      int64_t n) {
+  if (codec_ == GradCodec::kFp32) {
+    std::memset(residual, 0, static_cast<size_t>(n) * sizeof(float));
+    return;
+  }
+  if (wire_.size() < WireBytes(n)) wire_.resize(WireBytes(n));
+  if (decoded_.size() < static_cast<size_t>(n)) {
+    decoded_.resize(static_cast<size_t>(n));
+  }
+  Encode(data, n, wire_.data());
+  Decode(wire_.data(), n, decoded_.data());
+  simd::Kernels().sub_out(residual, data, decoded_.data(), n);
+  std::memcpy(data, decoded_.data(), static_cast<size_t>(n) * sizeof(float));
+}
+
+}  // namespace dist
+}  // namespace cl4srec

@@ -1,6 +1,7 @@
 #include "dist/dist_trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "obs/metrics.h"
@@ -16,30 +17,59 @@ DistTrainer::DistTrainer(std::vector<Variable*> params, CommBackend* comm,
                          const DistTrainerOptions& options)
     : params_(std::move(params)),
       comm_(comm != nullptr && comm->world_size() > 1 ? comm : nullptr),
-      options_(options) {
+      options_(options),
+      compressor_(options.codec) {
   if (comm_ == nullptr) return;
   CL4SREC_CHECK_GE(options_.bucket_floats, 1);
-  // Greedy packing in fixed parameter order: the bucket layout is a pure
-  // function of (params order, bucket_floats), part of the determinism
-  // fingerprint.
-  Bucket current;
-  for (int i = 0; i < static_cast<int>(params_.size()); ++i) {
-    const int64_t n = params_[i]->value().numel();
-    if (current.floats > 0 && current.floats + n > options_.bucket_floats) {
-      buckets_.push_back(std::move(current));
-      current = Bucket();
+  // Partition parameters into codec classes first (the lossy codec for
+  // tensors of at least min_compress_floats, fp32 for the small rest),
+  // then greedy-pack each class in parameter order. The bucket layout is a
+  // pure function of (params order, bucket_floats, codec,
+  // min_compress_floats), part of the determinism fingerprint; with
+  // codec == kFp32 every parameter lands in the fp32 class and the layout
+  // is exactly the pre-codec one.
+  auto pack_class = [&](const std::vector<int>& indices, GradCodec codec) {
+    Bucket current;
+    current.codec = codec;
+    for (int i : indices) {
+      const int64_t n = params_[i]->value().numel();
+      if (current.floats > 0 && current.floats + n > options_.bucket_floats) {
+        buckets_.push_back(std::move(current));
+        current = Bucket();
+        current.codec = codec;
+      }
+      current.param_index.push_back(i);
+      current.offset.push_back(current.floats);
+      current.floats += n;
     }
-    current.param_index.push_back(i);
-    current.offset.push_back(current.floats);
-    current.floats += n;
+    if (current.floats > 0) buckets_.push_back(std::move(current));
+  };
+  std::vector<int> plain;
+  std::vector<int> compressed;
+  for (int i = 0; i < static_cast<int>(params_.size()); ++i) {
+    const bool compress =
+        options_.codec != GradCodec::kFp32 &&
+        params_[i]->value().numel() >= options_.min_compress_floats;
+    (compress ? compressed : plain).push_back(i);
   }
-  if (current.floats > 0) buckets_.push_back(std::move(current));
+  pack_class(plain, GradCodec::kFp32);
+  pack_class(compressed, options_.codec);
   for (Bucket& bucket : buckets_) {
     bucket.flat = Tensor(Shape({bucket.floats}));
+    if (bucket.codec != GradCodec::kFp32) {
+      bucket.residual = Tensor(Shape({bucket.floats}));
+      bucket.residual.Fill(0.f);  // EF carry starts empty
+    }
   }
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetGauge("dist.grad_buckets")
       ->Set(static_cast<double>(buckets_.size()));
+  int64_t compressed_buckets = 0;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.codec != GradCodec::kFp32) ++compressed_buckets;
+  }
+  registry.GetGauge("dist.compress.buckets")
+      ->Set(static_cast<double>(compressed_buckets));
   worker_ = std::thread([this] { CommLoop(); });
 }
 
@@ -66,6 +96,17 @@ void DistTrainer::Pack(Bucket& bucket) {
       std::memset(dst, 0, static_cast<size_t>(n) * sizeof(float));
     }
   }
+  if (bucket.codec == GradCodec::kFp32) return;
+  // Error feedback: fold last step's quantization error back into the
+  // gradient, then quantize locally. The ring's first-hop encode of this
+  // pre-quantized bucket reproduces the same codes (encoding is idempotent
+  // on decoded values), so the residual captures exactly what this rank's
+  // contribution loses on the wire.
+  simd::Kernels().add(flat, bucket.residual.data(), bucket.floats);
+  compressor_.QuantizeWithResidual(flat, bucket.residual.data(),
+                                   bucket.floats);
+  residual_sq_ +=
+      simd::Kernels().sum_squares(bucket.residual.data(), bucket.floats);
 }
 
 Status DistTrainer::Unpack(Bucket& bucket) {
@@ -113,7 +154,8 @@ void DistTrainer::CommLoop() {
     }
     Bucket& bucket =
         buckets_[static_cast<size_t>(processed % num_buckets())];
-    Status status = comm_->AllReduce(bucket.flat.data(), bucket.floats);
+    Status status =
+        comm_->AllReduceCodec(bucket.flat.data(), bucket.floats, bucket.codec);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!status.ok() && comm_status_.ok()) comm_status_ = status;
@@ -127,6 +169,7 @@ Status DistTrainer::AllReduceGrads() {
   if (comm_ == nullptr || buckets_.empty()) return Status::Ok();
   CL4SREC_TRACE_SPAN_CAT("dist/grad_allreduce", "dist");
   Stopwatch total;
+  residual_sq_ = 0.0;
   const int64_t base = done_;  // worker idle between calls: done_ == ready_
   // Pack and hand off each bucket; the worker reduces bucket i while we
   // pack bucket i+1 and unpack anything already finished.
@@ -161,6 +204,10 @@ Status DistTrainer::AllReduceGrads() {
   if (total_us > 0.0) {
     registry.GetGauge("dist.overlap_fraction")
         ->Set(std::max(0.0, 1.0 - wait_us / total_us));
+  }
+  if (options_.codec != GradCodec::kFp32) {
+    registry.GetGauge("dist.compress.residual_norm")
+        ->Set(std::sqrt(residual_sq_));
   }
   return Status::Ok();
 }

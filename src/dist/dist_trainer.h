@@ -16,6 +16,17 @@
 //     are the unweighted mean over ranks (DDP convention). The reduction
 //     order is the ring's fixed schedule — bit-identical for a given world
 //     size regardless of backend or thread timing.
+//   * With a lossy codec (DistTrainerOptions::codec), buckets are
+//     partitioned per codec: tensors of at least min_compress_floats (the
+//     embedding table, the matmul weights) go into compressed buckets,
+//     everything small — biases, norm affines — stays fp32. Compressed
+//     buckets carry an error-feedback residual (EF-SGD): each step the
+//     previous step's quantization error is added back into the packed
+//     gradient before it is quantized locally, so the error is fed back
+//     into training instead of being lost, and int8 training converges to
+//     within tolerance of fp32. The wire moves the codec's bytes (see
+//     compress.h / ring.h); dist.compress.* gauges report the achieved
+//     ratio and the residual norm.
 //
 // Call pattern per step (enforced by TrainRunner):
 //   Backward() -> AllReduceGrads() -> [AllReduceMean(loss)] -> clip/step
@@ -47,6 +58,13 @@ struct DistTrainerOptions {
   // Fusion-buffer capacity in floats (default 4 MiB of floats). A single
   // parameter larger than this gets a bucket of its own.
   int64_t bucket_floats = 1 << 20;
+  // Wire codec for gradient buckets (--grad_compress). kFp32 disables
+  // compression; kFp16/kInt8 compress large buckets with error feedback.
+  GradCodec codec = GradCodec::kFp32;
+  // Smallest tensor the lossy codec applies to. Small tensors (biases,
+  // norm affines) are precision-sensitive and a rounding error's worth of
+  // bytes; they always travel fp32.
+  int64_t min_compress_floats = 4096;
 };
 
 class DistTrainer {
@@ -82,7 +100,9 @@ class DistTrainer {
     std::vector<int> param_index;   // indices into params_
     std::vector<int64_t> offset;    // float offset of each param in flat
     int64_t floats = 0;
+    GradCodec codec = GradCodec::kFp32;
     Tensor flat;
+    Tensor residual;  // error-feedback carry; allocated only when lossy
   };
 
   void Pack(Bucket& bucket);
@@ -92,6 +112,8 @@ class DistTrainer {
   std::vector<Variable*> params_;
   CommBackend* comm_;  // null when inactive
   const DistTrainerOptions options_;
+  Compressor compressor_;    // local EF quantization; caller thread only
+  double residual_sq_ = 0.;  // sum over buckets of ||residual||^2, per call
   std::vector<Bucket> buckets_;
 
   std::thread worker_;

@@ -21,6 +21,12 @@ struct RingMetrics {
   obs::Counter* allgather_calls;
   obs::Counter* broadcast_calls;
   obs::Counter* barrier_calls;
+  // Compressed-path wire accounting: raw = the fp32 bytes the same
+  // schedule would have moved, wire = bytes actually sent. The ratio gauge
+  // (raw / wire, cumulative) is the on-wire compression factor.
+  obs::Counter* compress_raw_bytes;
+  obs::Counter* compress_wire_bytes;
+  obs::Gauge* compress_ratio;
 };
 
 RingMetrics& Metrics() {
@@ -34,6 +40,11 @@ RingMetrics& Metrics() {
     metrics.allgather_calls = registry.GetCounter("dist.allgather_calls");
     metrics.broadcast_calls = registry.GetCounter("dist.broadcast_calls");
     metrics.barrier_calls = registry.GetCounter("dist.barrier_calls");
+    metrics.compress_raw_bytes =
+        registry.GetCounter("dist.compress.raw_bytes");
+    metrics.compress_wire_bytes =
+        registry.GetCounter("dist.compress.wire_bytes");
+    metrics.compress_ratio = registry.GetGauge("dist.compress.ratio");
     return metrics;
   }();
   return m;
@@ -124,6 +135,107 @@ Status RingBackend::AllReduce(float* data, int64_t n) {
       CL4SREC_RETURN_NOT_OK(StepSendRecv(chunk + send_lo, send_hi - send_lo,
                                          chunk + recv_lo, recv_hi - recv_lo));
     }
+  }
+  Metrics().allreduce_us->Add(static_cast<int64_t>(timer.ElapsedMicros()));
+  return Status::Ok();
+}
+
+Status RingBackend::StepSendRecvWire(const uint8_t* send, size_t send_bytes,
+                                     uint8_t* recv, size_t recv_bytes) {
+  // Encoded segments never exceed WireBytes(chunk_floats) < chunk_floats *
+  // sizeof(float), so unlike StepSendRecv no sub-chunking is needed.
+  if (send_bytes > 0 && recv_bytes > 0) {
+    CL4SREC_RETURN_NOT_OK(
+        channel()->SendRecv(send, send_bytes, recv, recv_bytes));
+  } else if (send_bytes > 0) {
+    CL4SREC_RETURN_NOT_OK(channel()->SendToNext(send, send_bytes));
+  } else if (recv_bytes > 0) {
+    CL4SREC_RETURN_NOT_OK(channel()->RecvFromPrev(recv, recv_bytes));
+  }
+  Metrics().bytes_sent->Add(static_cast<int64_t>(send_bytes));
+  Metrics().bytes_recv->Add(static_cast<int64_t>(recv_bytes));
+  Metrics().compress_wire_bytes->Add(static_cast<int64_t>(send_bytes));
+  return Status::Ok();
+}
+
+Status RingBackend::AllReduceCodec(float* data, int64_t n, GradCodec codec) {
+  // kFp32 short-circuits to the uncompressed path — same bytes on the wire
+  // as before the codec layer existed, so fp32 rings interoperate across
+  // versions and the determinism pins on AllReduce keep holding unchanged.
+  if (codec == GradCodec::kFp32) return AllReduce(data, n);
+  CL4SREC_TRACE_SPAN_CAT("dist/allreduce_codec", "dist");
+  Stopwatch timer;
+  Metrics().allreduce_calls->Increment();
+  if (world_ == 1 || n == 0) return Status::Ok();
+  const Compressor comp(codec);
+  const int W = world_;
+  const int64_t chunk_span = options_.chunk_floats * W;
+  const size_t max_wire = comp.WireBytes(options_.chunk_floats);
+  if (scratch_.size() < static_cast<size_t>(options_.chunk_floats)) {
+    scratch_.resize(static_cast<size_t>(options_.chunk_floats));
+  }
+  if (wire_send_.size() < max_wire) wire_send_.resize(max_wire);
+  if (wire_recv_.size() < max_wire) wire_recv_.resize(max_wire);
+  for (int64_t base = 0; base < n; base += chunk_span) {
+    const int64_t len = std::min(chunk_span, n - base);
+    float* chunk = data + base;
+    // Reduce-scatter, same segment schedule and accumulation order as
+    // AllReduce: encode the outgoing partial sum, decode the incoming one,
+    // accumulate in fp32. Each hop therefore re-quantizes a partial sum —
+    // that re-quantization error is what the DistTrainer's error-feedback
+    // residual cannot see (see DESIGN.md), but it is bounded by one
+    // quantization step per hop and identical on every rank.
+    for (int t = 0; t < W - 1; ++t) {
+      const int s_send = ((rank_ - t) % W + W) % W;
+      const int s_recv = ((rank_ - t - 1) % W + W) % W;
+      const auto [send_lo, send_hi] = ShardBounds(len, s_send, W);
+      const auto [recv_lo, recv_hi] = ShardBounds(len, s_recv, W);
+      const int64_t send_n = send_hi - send_lo;
+      const int64_t recv_n = recv_hi - recv_lo;
+      if (send_n > 0) comp.Encode(chunk + send_lo, send_n, wire_send_.data());
+      CL4SREC_RETURN_NOT_OK(StepSendRecvWire(
+          wire_send_.data(), comp.WireBytes(send_n), wire_recv_.data(),
+          comp.WireBytes(recv_n)));
+      Metrics().compress_raw_bytes->Add(send_n *
+                                        static_cast<int64_t>(sizeof(float)));
+      if (recv_n > 0) {
+        comp.Decode(wire_recv_.data(), recv_n, scratch_.data());
+        simd::Kernels().add(chunk + recv_lo, scratch_.data(), recv_n);
+      }
+    }
+    // All-gather: the owner of each reduced segment encodes it once; every
+    // later hop forwards those bytes verbatim (the send/recv buffers
+    // ping-pong), so all ranks decode identical bytes. The owner also
+    // replaces its own fp32 segment with the decode of its own encoding —
+    // otherwise it would keep a higher-precision copy and ranks would
+    // disagree bitwise.
+    const int s_own = (rank_ + 1) % W;
+    const auto [own_lo, own_hi] = ShardBounds(len, s_own, W);
+    if (own_hi > own_lo) {
+      comp.Encode(chunk + own_lo, own_hi - own_lo, wire_send_.data());
+      comp.Decode(wire_send_.data(), own_hi - own_lo, chunk + own_lo);
+    }
+    for (int t = 0; t < W - 1; ++t) {
+      const int s_send = ((rank_ + 1 - t) % W + W) % W;
+      const int s_recv = ((rank_ - t) % W + W) % W;
+      const auto [send_lo, send_hi] = ShardBounds(len, s_send, W);
+      const auto [recv_lo, recv_hi] = ShardBounds(len, s_recv, W);
+      const int64_t send_n = send_hi - send_lo;
+      const int64_t recv_n = recv_hi - recv_lo;
+      CL4SREC_RETURN_NOT_OK(StepSendRecvWire(
+          wire_send_.data(), comp.WireBytes(send_n), wire_recv_.data(),
+          comp.WireBytes(recv_n)));
+      Metrics().compress_raw_bytes->Add(send_n *
+                                        static_cast<int64_t>(sizeof(float)));
+      if (recv_n > 0) comp.Decode(wire_recv_.data(), recv_n, chunk + recv_lo);
+      std::swap(wire_send_, wire_recv_);
+    }
+  }
+  const int64_t wire = Metrics().compress_wire_bytes->value();
+  if (wire > 0) {
+    Metrics().compress_ratio->Set(
+        static_cast<double>(Metrics().compress_raw_bytes->value()) /
+        static_cast<double>(wire));
   }
   Metrics().allreduce_us->Add(static_cast<int64_t>(timer.ElapsedMicros()));
   return Status::Ok();

@@ -74,6 +74,15 @@ class RingBackend : public CommBackend {
   const CommOptions& options() const { return options_; }
 
   Status AllReduce(float* data, int64_t n) override;
+  // Compressed allreduce (compress.h). Reduce-scatter encodes each
+  // outgoing partial-sum segment, decodes the incoming one, and
+  // accumulates in fp32; the all-gather phase encodes each reduced
+  // segment ONCE at its owner and forwards the encoded bytes verbatim
+  // around the ring (the owner also re-decodes its own encoding), so every
+  // rank decodes identical bytes and ends bit-identical. Same schedule and
+  // reduction order as AllReduce; kFp32 short-circuits to it, keeping the
+  // uncompressed wire format byte-identical to the legacy protocol.
+  Status AllReduceCodec(float* data, int64_t n, GradCodec codec) override;
   Status AllGather(const float* send, int64_t count, float* recv) override;
   Status Broadcast(float* data, int64_t n, int root) override;
   Status Barrier() override;
@@ -86,10 +95,18 @@ class RingBackend : public CommBackend {
   Status StepSendRecv(const float* send, int64_t send_floats, float* recv,
                       int64_t recv_floats);
 
+  // One compressed ring step with the symmetric empty-segment skip rule of
+  // StepSendRecv (an empty segment emits no message; both ends compute the
+  // same zero wire size from the schedule).
+  Status StepSendRecvWire(const uint8_t* send, size_t send_bytes,
+                          uint8_t* recv, size_t recv_bytes);
+
   const int rank_;
   const int world_;
   const CommOptions options_;
   std::vector<float> scratch_;  // one segment; grown once, reused forever
+  std::vector<uint8_t> wire_send_;  // encoded outgoing segment
+  std::vector<uint8_t> wire_recv_;  // encoded incoming segment
 };
 
 }  // namespace dist

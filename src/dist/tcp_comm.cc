@@ -8,10 +8,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -50,6 +52,35 @@ int RemainingMs(int64_t timeout_ms,
 
 }  // namespace
 
+StatusOr<int> DialLoopbackWithRetry(uint16_t port, int attempts,
+                                    int64_t backoff_ms) {
+  CL4SREC_CHECK_GE(attempts, 1);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int64_t wait_ms = backoff_ms > 0 ? backoff_ms : 1;
+  int last_errno = 0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+      wait_ms = std::min<int64_t>(wait_ms * 2, 1000);
+    }
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError("dist: socket() failed");
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    // A failed connect leaves the socket unusable; each attempt dials
+    // fresh.
+    last_errno = errno;
+    close(fd);
+  }
+  return Status::Unavailable(
+      std::string("dist: connect to ring successor failed after ") +
+      std::to_string(attempts) + " attempts: " + std::strerror(last_errno));
+}
+
 TcpCommGroup::Channel::~Channel() {
   if (send_fd_ >= 0) close(send_fd_);
   if (recv_fd_ >= 0) close(recv_fd_);
@@ -57,9 +88,9 @@ TcpCommGroup::Channel::~Channel() {
 
 Status TcpCommGroup::Channel::Transfer(const void* send, size_t send_bytes,
                                        void* recv, size_t recv_bytes) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(
-                            timeout_ms_ > 0 ? timeout_ms_ : 0);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(
+                                    timeout_ms_ > 0 ? timeout_ms_ : 0);
   const unsigned char* send_p = static_cast<const unsigned char*>(send);
   unsigned char* recv_p = static_cast<unsigned char*>(recv);
   size_t sent = 0;
@@ -120,6 +151,22 @@ Status TcpCommGroup::Channel::Transfer(const void* send, size_t send_bytes,
       }
     }
   }
+  // Wire emulation (CommOptions::emulate_wire_gbps): hold this transfer
+  // until an emulated full-duplex link of that bandwidth would have drained
+  // it. The link's next-idle instant carries across messages, so sleep
+  // overshoot on one message shortens the next sleep instead of compounding
+  // — the long-run paced rate is exact.
+  if (pace_gbps_ > 0) {
+    const double busy_s =
+        static_cast<double>(std::max(send_bytes, recv_bytes)) /
+        (pace_gbps_ * 1e9);
+    wire_free_ = std::max(wire_free_, start) +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(busy_s));
+    if (wire_free_ > std::chrono::steady_clock::now()) {
+      std::this_thread::sleep_until(wire_free_);
+    }
+  }
   return Status::Ok();
 }
 
@@ -175,25 +222,21 @@ StatusOr<std::unique_ptr<TcpCommGroup>> TcpCommGroup::CreateLoopback(
     if (listen(fd, 1) < 0) return Status::IoError("dist: listen failed");
   }
 
-  // Phase 2: dial each directed link r -> (r+1) % W. In-process the
-  // connect lands in the listener's backlog, so connect-then-accept per
-  // link cannot block.
+  // Phase 2: dial each directed link r -> (r+1) % W. All listeners are
+  // already bound here, so in-process the first attempt always lands in
+  // the backlog — but dialing through the bounded-retry helper keeps this
+  // phase identical to what a multi-host bootstrap needs, where the
+  // successor's listener may come up later than ours.
   FdCloser send_fds;   // send_fds.fds[r]: rank r's pipe to its successor
   FdCloser recv_fds;   // recv_fds.fds[r]: rank r's pipe from its predecessor
   send_fds.fds.assign(world_size, -1);
   recv_fds.fds.assign(world_size, -1);
   for (int r = 0; r < world_size; ++r) {
     const int next = (r + 1) % world_size;
-    const int fd = socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return Status::IoError("dist: socket() failed");
-    send_fds.fds[r] = fd;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(ports[next]);
-    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-      return Status::IoError("dist: connect to ring successor failed");
-    }
+    auto dialed = DialLoopbackWithRetry(ports[next], options.connect_attempts,
+                                        options.connect_backoff_ms);
+    CL4SREC_RETURN_NOT_OK(dialed.status());
+    send_fds.fds[r] = dialed.value();
     const int accepted = accept(listeners.fds[next], nullptr, nullptr);
     if (accepted < 0) return Status::IoError("dist: accept failed");
     recv_fds.fds[next] = accepted;

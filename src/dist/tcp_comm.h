@@ -25,6 +25,7 @@
 #ifndef CL4SREC_DIST_TCP_COMM_H_
 #define CL4SREC_DIST_TCP_COMM_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -33,6 +34,17 @@
 
 namespace cl4srec {
 namespace dist {
+
+// Connects a blocking TCP socket to 127.0.0.1:port, retrying a refused or
+// unreachable dial up to `attempts` times with exponential backoff starting
+// at `backoff_ms` (doubling per attempt, capped at 1s). Returns the
+// connected fd (caller owns it). kUnavailable once the attempts are
+// exhausted. Ring bring-up dials through this, so a successor whose
+// listener is not up yet — the normal case when independently-started
+// processes join a multi-host ring — is waited for instead of failing the
+// job on startup-order luck.
+StatusOr<int> DialLoopbackWithRetry(uint16_t port, int attempts,
+                                    int64_t backoff_ms);
 
 class TcpCommGroup {
  public:
@@ -59,8 +71,11 @@ class TcpCommGroup {
  private:
   class Channel : public RingChannel {
    public:
-    Channel(int send_fd, int recv_fd, int64_t timeout_ms)
-        : send_fd_(send_fd), recv_fd_(recv_fd), timeout_ms_(timeout_ms) {}
+    Channel(int send_fd, int recv_fd, int64_t timeout_ms, double pace_gbps)
+        : send_fd_(send_fd),
+          recv_fd_(recv_fd),
+          timeout_ms_(timeout_ms),
+          pace_gbps_(pace_gbps) {}
     ~Channel() override;
 
     Status SendToNext(const void* data, size_t bytes) override;
@@ -78,6 +93,12 @@ class TcpCommGroup {
     int send_fd_;
     int recv_fd_;
     int64_t timeout_ms_;
+    // CommOptions::emulate_wire_gbps (0 = no pacing). wire_free_ is the
+    // emulated link's next-idle instant; pacing sleeps until it, so
+    // oversleeping one message shortens the next sleep instead of drifting.
+    double pace_gbps_;
+    std::chrono::steady_clock::time_point wire_free_ =
+        std::chrono::steady_clock::time_point::min();
   };
 
   class RankBackend : public RingBackend {
@@ -85,7 +106,8 @@ class TcpCommGroup {
     RankBackend(int rank, int world, const CommOptions& options, int send_fd,
                 int recv_fd)
         : RingBackend(rank, world, options),
-          channel_(send_fd, recv_fd, options.timeout_ms) {}
+          channel_(send_fd, recv_fd, options.timeout_ms,
+                   options.emulate_wire_gbps) {}
 
     void ShutdownChannel() { channel_.Shutdown(); }
 

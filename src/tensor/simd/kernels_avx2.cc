@@ -555,6 +555,100 @@ void DotI8BatchAvx2(const int8_t* rows, int64_t row_stride, int64_t num_rows,
   }
 }
 
+// ---- Codec converts ----
+//
+// fp32<->fp16 uses F16C (the TU adds -mf16c). Every AVX2+FMA host in the
+// wild also has F16C, but like VNNI in the AVX-512 TU it is probed at
+// runtime and falls back to the bit-identical soft-float reference, so the
+// table-level host check stays "avx2+fma".
+
+bool HostHasF16c() {
+  static const bool has = __builtin_cpu_supports("f16c");
+  return has;
+}
+
+void Fp32ToFp16Avx2(uint16_t* out, const float* x, int64_t n) {
+  if (!HostHasF16c()) {
+    ref::Fp32ToFp16(out, x, n);
+    return;
+  }
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm256_cvtps_ph(_mm256_loadu_ps(x + i), _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+  }
+  ref::Fp32ToFp16(out + i, x + i, n - i);
+}
+
+void Fp16ToFp32Avx2(float* out, const uint16_t* x, int64_t n) {
+  if (!HostHasF16c()) {
+    ref::Fp16ToFp32(out, x, n);
+    return;
+  }
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_cvtph_ps(_mm_loadu_si128(
+                                  reinterpret_cast<const __m128i*>(x + i))));
+  }
+  ref::Fp16ToFp32(out + i, x + i, n - i);
+}
+
+void Fp32ToI8Avx2(int8_t* out, const float* x, float inv_scale, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(inv_scale);
+  const __m256 hi = _mm256_set1_ps(127.f);
+  const __m256 lo = _mm256_set1_ps(-127.f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i), vs);
+    // NaN products quantize to 0 like the scalar reference: the ordered
+    // self-compare mask zeroes NaN lanes before the clamp.
+    v = _mm256_and_ps(v, _mm256_cmp_ps(v, v, _CMP_ORD_Q));
+    v = _mm256_max_ps(_mm256_min_ps(v, hi), lo);
+    const __m256i q = _mm256_cvtps_epi32(v);  // RNE under default MXCSR
+    // 8 x i32 -> 8 x i8; values are already in [-127, 127] so the
+    // saturating packs cannot alter them.
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                        _mm256_extracti128_si256(q, 1));
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), p8);
+  }
+  ref::Fp32ToI8(out + i, x + i, inv_scale, n - i);
+}
+
+void I8ToFp32Avx2(float* out, const int8_t* x, float scale, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + i));
+    const __m256i w = _mm256_cvtepi8_epi32(b);
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_cvtepi32_ps(w), vs));
+  }
+  ref::I8ToFp32(out + i, x + i, scale, n - i);
+}
+
+float AbsMaxAvx2(const float* x, int64_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.f);
+  __m256 acc = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(x + i);
+    // Zero NaN lanes first: _mm256_max_ps would propagate a NaN second
+    // operand, while the scalar reference skips NaNs.
+    v = _mm256_and_ps(v, _mm256_cmp_ps(v, v, _CMP_ORD_Q));
+    acc = _mm256_max_ps(acc, _mm256_andnot_ps(sign, v));
+  }
+  // Max folds are exact, so the horizontal fold order does not matter.
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(acc), hi);
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  float amax = _mm_cvtss_f32(m);
+  const float tail = ref::AbsMax(x + i, n - i);
+  return tail > amax ? tail : amax;
+}
+
 }  // namespace
 
 const KernelTable* GetAvx2Table() {
@@ -584,6 +678,11 @@ const KernelTable* GetAvx2Table() {
       /*matmul_micro=*/MatMulMicroAvx2,
       /*dot_i8=*/DotI8Avx2,
       /*dot_i8_batch=*/DotI8BatchAvx2,
+      /*fp32_to_fp16=*/Fp32ToFp16Avx2,
+      /*fp16_to_fp32=*/Fp16ToFp32Avx2,
+      /*fp32_to_i8=*/Fp32ToI8Avx2,
+      /*i8_to_fp32=*/I8ToFp32Avx2,
+      /*abs_max=*/AbsMaxAvx2,
   };
   return &table;
 }

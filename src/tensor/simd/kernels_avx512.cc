@@ -207,6 +207,33 @@ void DotI8BatchAvx512(const int8_t* rows, int64_t row_stride,
   }
 }
 
+// ---- fp32 <-> fp16 via the AVX-512F full-width converts ----
+//
+// VCVTPS2PH/VCVTPH2PS are baseline AVX-512F (no extra probe needed: the
+// table-level host check already requires it). RNE is uniquely defined, so
+// the 512-bit converts produce the same bits as the AVX2/F16C and scalar
+// paths; the masked tail keeps even remainder elements on the hardware
+// convert.
+
+void Fp32ToFp16Avx512(uint16_t* out, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h =
+        _mm512_cvtps_ph(_mm512_loadu_ps(x + i), _MM_FROUND_TO_NEAREST_INT);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  ref::Fp32ToFp16(out + i, x + i, n - i);
+}
+
+void Fp16ToFp32Avx512(float* out, const uint16_t* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_cvtph_ps(_mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(x + i))));
+  }
+  ref::Fp16ToFp32(out + i, x + i, n - i);
+}
+
 }  // namespace
 
 const KernelTable* GetAvx512Table() {
@@ -218,6 +245,10 @@ const KernelTable* GetAvx512Table() {
     t.matmul_micro = MatMulMicroAvx512;
     t.dot_i8 = DotI8Avx512;
     t.dot_i8_batch = DotI8BatchAvx512;
+    t.fp32_to_fp16 = Fp32ToFp16Avx512;
+    t.fp16_to_fp32 = Fp16ToFp32Avx512;
+    // fp32<->int8 converts stay on the 256-bit AVX2 versions (memory-bound;
+    // same bits by construction).
     return t;
   }();
   return &table;

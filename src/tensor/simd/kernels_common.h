@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 
 #include "tensor/simd/simd.h"
@@ -191,6 +192,115 @@ inline void DotI8Batch(const int8_t* rows, int64_t row_stride,
   for (int64_t r = 0; r < num_rows; ++r) {
     out[r] = DotI8(rows + r * row_stride, q, n);
   }
+}
+
+// ---- Codec converts (dist/ gradient compression) ----
+//
+// fp32 <-> binary16 in integer arithmetic with round-to-nearest-even. RNE
+// is a unique function of the input bits, so this soft-float path and the
+// hardware converts in the vector TUs (F16C, AVX-512F, NEON fcvt) agree
+// bit-for-bit — the cross-lane identity the dist determinism argument
+// leans on. NaNs quieten and keep their top 10 payload bits, overflow
+// saturates to ±inf, subnormal halves round exactly: all matching the
+// hardware instructions (with the default FP environment, i.e. FTZ/DAZ
+// off and RNE rounding).
+
+inline uint16_t Fp32ToFp16One(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t abs = bits & 0x7fffffffu;
+  uint32_t mant = abs & 0x007fffffu;
+  if (abs >= 0x7f800000u) {  // inf / NaN: quieten, truncate payload
+    const uint16_t payload =
+        abs > 0x7f800000u ? static_cast<uint16_t>(0x200u | (mant >> 13)) : 0u;
+    return sign | 0x7c00u | payload;
+  }
+  const int32_t exp = static_cast<int32_t>(abs >> 23) - 112;  // half-biased
+  if (exp >= 31) return sign | 0x7c00u;  // overflow -> inf
+  if (exp <= 0) {
+    // Subnormal half (or zero). Values below half the smallest subnormal
+    // (< 2^-25) round to zero under RNE.
+    if (exp < -10) return sign;
+    mant |= 0x00800000u;  // implicit bit
+    const uint32_t shift = static_cast<uint32_t>(14 - exp);  // 14..24
+    const uint32_t half_bit = 1u << (shift - 1);
+    const uint32_t rem = mant & ((half_bit << 1) - 1);
+    uint16_t out = static_cast<uint16_t>(mant >> shift);
+    if (rem > half_bit || (rem == half_bit && (out & 1u))) ++out;
+    return sign | out;  // a carry lands exactly on the smallest normal
+  }
+  // Normal half: drop 13 mantissa bits with RNE; a rounding carry ripples
+  // into the exponent (and saturates to inf at the top) by construction.
+  uint32_t out = (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return sign | static_cast<uint16_t>(out);
+}
+
+inline float Fp16ToFp32One(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t mant = h & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0x1fu) {  // inf / NaN (NaN quietens, payload preserved)
+    bits = sign | 0x7f800000u | (mant << 13);
+    if (mant != 0) bits |= 0x00400000u;
+  } else if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;
+    } else {  // subnormal half: normalize into a fp32 normal
+      uint32_t shift = 0;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        ++shift;
+      }
+      bits = sign | ((113u - shift) << 23) | ((mant & 0x3ffu) << 13);
+    }
+  } else {
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+inline void Fp32ToFp16(uint16_t* out, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = Fp32ToFp16One(x[i]);
+}
+
+inline void Fp16ToFp32(float* out, const uint16_t* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = Fp16ToFp32One(x[i]);
+}
+
+// nearbyintf under the default rounding mode is RNE — the same rounding
+// the vector lanes' float->int converts (cvtps2dq, vcvtnq) perform.
+inline int8_t Fp32ToI8One(float x, float inv_scale) {
+  const float scaled = x * inv_scale;
+  if (std::isnan(scaled)) return 0;
+  if (scaled >= 127.f) return 127;
+  if (scaled <= -127.f) return -127;
+  return static_cast<int8_t>(std::nearbyintf(scaled));
+}
+
+inline void Fp32ToI8(int8_t* out, const float* x, float inv_scale,
+                     int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = Fp32ToI8One(x[i], inv_scale);
+}
+
+inline void I8ToFp32(float* out, const int8_t* x, float scale, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = scale * static_cast<float>(x[i]);
+}
+
+inline float AbsMax(const float* x, int64_t n) {
+  float amax = 0.f;
+  for (int64_t i = 0; i < n; ++i) {
+    // `>` is false for NaN, so NaN elements are skipped (they quantize to
+    // 0); max folds are exact, so any fold order gives the same bits.
+    const float a = std::fabs(x[i]);
+    if (a > amax) amax = a;
+  }
+  return amax;
 }
 
 }  // namespace ref

@@ -399,6 +399,88 @@ void DotI8BatchNeon(const int8_t* rows, int64_t row_stride, int64_t num_rows,
   }
 }
 
+// ---- Codec converts ----
+//
+// AArch64's fcvt between single and half precision is baseline, rounds RNE
+// under the default FPCR, and quietens NaNs keeping their top payload bits
+// — the same semantics as the soft-float reference, so the converts are
+// bit-identical to the scalar lane by construction (untested on real ARM
+// hardware, like the rest of this TU).
+
+void Fp32ToFp16Neon(uint16_t* out, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float16x4_t h = vcvt_f16_f32(vld1q_f32(x + i));
+    vst1_u16(out + i, vreinterpret_u16_f16(h));
+  }
+  ref::Fp32ToFp16(out + i, x + i, n - i);
+}
+
+void Fp16ToFp32Neon(float* out, const uint16_t* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i,
+              vcvt_f32_f16(vreinterpret_f16_u16(vld1_u16(x + i))));
+  }
+  ref::Fp16ToFp32(out + i, x + i, n - i);
+}
+
+// NaN products quantize to 0 like the scalar reference: the self-equality
+// mask zeroes NaN lanes before the clamp, and vcvtnq rounds RNE.
+inline int32x4_t QuantizeQuad(float32x4_t v, float32x4_t hi, float32x4_t lo) {
+  v = vreinterpretq_f32_u32(
+      vandq_u32(vreinterpretq_u32_f32(v), vceqq_f32(v, v)));
+  v = vmaxq_f32(vminq_f32(v, hi), lo);
+  return vcvtnq_s32_f32(v);
+}
+
+void Fp32ToI8Neon(int8_t* out, const float* x, float inv_scale, int64_t n) {
+  const float32x4_t vs = vdupq_n_f32(inv_scale);
+  const float32x4_t hi = vdupq_n_f32(127.f);
+  const float32x4_t lo = vdupq_n_f32(-127.f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int32x4_t qa =
+        QuantizeQuad(vmulq_f32(vld1q_f32(x + i), vs), hi, lo);
+    const int32x4_t qb =
+        QuantizeQuad(vmulq_f32(vld1q_f32(x + i + 4), vs), hi, lo);
+    // Values already lie in [-127, 127], so the saturating narrows are
+    // exact.
+    const int16x8_t q16 = vcombine_s16(vqmovn_s32(qa), vqmovn_s32(qb));
+    vst1_s8(out + i, vqmovn_s16(q16));
+  }
+  ref::Fp32ToI8(out + i, x + i, inv_scale, n - i);
+}
+
+void I8ToFp32Neon(float* out, const int8_t* x, float scale, int64_t n) {
+  const float32x4_t vs = vdupq_n_f32(scale);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t w = vmovl_s8(vld1_s8(x + i));
+    vst1q_f32(out + i,
+              vmulq_f32(vcvtq_f32_s32(vmovl_s16(vget_low_s16(w))), vs));
+    vst1q_f32(out + i + 4,
+              vmulq_f32(vcvtq_f32_s32(vmovl_s16(vget_high_s16(w))), vs));
+  }
+  ref::I8ToFp32(out + i, x + i, scale, n - i);
+}
+
+float AbsMaxNeon(const float* x, int64_t n) {
+  float32x4_t acc = vdupq_n_f32(0.f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t v = vld1q_f32(x + i);
+    // Zero NaN lanes so vmaxq cannot pick one up (vmaxq propagates NaN;
+    // the scalar reference skips it).
+    v = vreinterpretq_f32_u32(
+        vandq_u32(vreinterpretq_u32_f32(v), vceqq_f32(v, v)));
+    acc = vmaxq_f32(acc, vabsq_f32(v));
+  }
+  float amax = vmaxvq_f32(acc);  // max folds are exact; order is free
+  const float tail = ref::AbsMax(x + i, n - i);
+  return tail > amax ? tail : amax;
+}
+
 }  // namespace
 
 const KernelTable* GetNeonTable() {
@@ -430,6 +512,11 @@ const KernelTable* GetNeonTable() {
       /*matmul_micro=*/MatMulMicroNeon,
       /*dot_i8=*/DotI8Neon,
       /*dot_i8_batch=*/DotI8BatchNeon,
+      /*fp32_to_fp16=*/Fp32ToFp16Neon,
+      /*fp16_to_fp32=*/Fp16ToFp32Neon,
+      /*fp32_to_i8=*/Fp32ToI8Neon,
+      /*i8_to_fp32=*/I8ToFp32Neon,
+      /*abs_max=*/AbsMaxNeon,
   };
   return &table;
 }

@@ -35,6 +35,11 @@ const KernelTable* GetScalarTable() {
       /*matmul_micro=*/ref::MatMulMicro,
       /*dot_i8=*/ref::DotI8,
       /*dot_i8_batch=*/ref::DotI8Batch,
+      /*fp32_to_fp16=*/ref::Fp32ToFp16,
+      /*fp16_to_fp32=*/ref::Fp16ToFp32,
+      /*fp32_to_i8=*/ref::Fp32ToI8,
+      /*i8_to_fp32=*/ref::I8ToFp32,
+      /*abs_max=*/ref::AbsMax,
   };
   return &table;
 }

@@ -140,6 +140,30 @@ struct KernelTable {
   void (*dot_i8_batch)(const int8_t* rows, int64_t row_stride,
                        int64_t num_rows, const int8_t* q, int64_t n,
                        int32_t* out);
+
+  // ---- Codec converts (compressed gradient communication, src/dist/) ----
+  // Round-to-nearest-even fp32 -> IEEE 754 binary16. RNE is a unique
+  // function of the input bits, so the hardware converts (F16C, AVX-512F,
+  // NEON fcvt) and the soft-float scalar reference agree bit-for-bit —
+  // these converts are BIT-IDENTICAL across every dispatch choice. NaNs
+  // quieten keeping their top 10 payload bits (matching vcvtps2ph/fcvt);
+  // overflow saturates to ±inf. out must not alias x.
+  void (*fp32_to_fp16)(uint16_t* out, const float* x, int64_t n);
+  // binary16 -> fp32 (exact: every half value is representable).
+  void (*fp16_to_fp32)(float* out, const uint16_t* x, int64_t n);
+  // out[i] = clamp(rne(x[i] * inv_scale), -127, 127); a NaN product maps
+  // to 0. Symmetric quantization with the same ±127 convention as the
+  // retrieval QuantizedTable (never -128). Assumes the default rounding
+  // mode; bit-identical across dispatch choices (one IEEE multiply, then a
+  // uniquely-defined RNE integer convert).
+  void (*fp32_to_i8)(int8_t* out, const float* x, float inv_scale, int64_t n);
+  // out[i] = scale * x[i] (int8 widens to fp32 exactly; one multiply).
+  void (*i8_to_fp32)(float* out, const int8_t* x, float scale, int64_t n);
+  // max_i |x[i]|, the int8 scale derivation. NaN elements are ignored
+  // (they quantize to 0); +-inf yields +inf. Max folds are exact (no
+  // rounding), so the result is BIT-IDENTICAL across dispatch choices
+  // regardless of lane structure.
+  float (*abs_max)(const float* x, int64_t n);
 };
 
 // ---- Dispatch ----

@@ -467,6 +467,188 @@ TEST(SimdInt8Test, EmptyAndSingleElementDots) {
   }
 }
 
+// ---- Convert kernels (gradient wire codecs) ----
+//
+// fp32<->fp16 and fp32<->int8 back the compressed allreduce; the dist
+// determinism story leans on these being BIT-IDENTICAL across every lane
+// (RNE is a unique function of the input bits), so the bar is exact
+// equality with the soft-float scalar reference — including NaN payloads,
+// signed zeros, subnormals, and saturation.
+
+// Random floats plus every edge the converts special-case, scattered at
+// lane-head/interior/tail positions.
+std::vector<float> ConvertTestVec(int64_t n, uint32_t seed) {
+  std::vector<float> v = RandomVec(n, seed, -4.f, 4.f);
+  const float specials[] = {0.f,
+                            -0.f,
+                            kNaN,
+                            -kNaN,
+                            kInf,
+                            -kInf,
+                            65504.f,   // largest binary16 normal
+                            65520.f,   // rounds to +inf in binary16
+                            -65520.f,
+                            6.1e-5f,   // near the binary16 normal boundary
+                            5.9e-8f,   // binary16 subnormal range
+                            1e-9f,     // underflows binary16 to zero
+                            1e30f,
+                            -1e30f,
+                            2.5f,      // RNE tie cases at inv_scale 1
+                            3.5f,
+                            -2.5f};
+  const int64_t count =
+      static_cast<int64_t>(sizeof(specials) / sizeof(specials[0]));
+  for (int64_t i = 0; i < std::min(n, count); ++i) {
+    // Spread them: head, then a stride that crosses lane boundaries.
+    v[static_cast<size_t>((i * 7) % n)] = specials[static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+TEST(SimdConvertTest, Fp16ConvertsBitIdenticalAcrossLanes) {
+  for (int64_t n : kSizes) {
+    const std::vector<float> x = ConvertTestVec(n, 700 + uint32_t(n));
+    std::vector<uint16_t> r_half(static_cast<size_t>(n));
+    ref::Fp32ToFp16(r_half.data(), x.data(), n);
+    std::vector<float> r_back(static_cast<size_t>(n));
+    ref::Fp16ToFp32(r_back.data(), r_half.data(), n);
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(::testing::Message() << "lane=" << kt->name << " n=" << n);
+      std::vector<uint16_t> half(static_cast<size_t>(n), 0xdead);
+      kt->fp32_to_fp16(half.data(), x.data(), n);
+      EXPECT_EQ(std::memcmp(half.data(), r_half.data(),
+                            static_cast<size_t>(n) * sizeof(uint16_t)),
+                0)
+          << "fp32_to_fp16 diverges from soft-float reference";
+      std::vector<float> back(static_cast<size_t>(n));
+      kt->fp16_to_fp32(back.data(), half.data(), n);
+      EXPECT_TRUE(BitEqual(back, r_back, "fp16_to_fp32"));
+    }
+  }
+}
+
+TEST(SimdConvertTest, Fp16RoundTripExactOnRepresentables) {
+  // Multiples of 0.25 below 512, powers of two, and binary16 subnormals
+  // are exactly representable: convert down and back must reproduce the
+  // input bits in every lane.
+  std::vector<float> x;
+  for (int i = -64; i < 65; ++i) x.push_back(0.25f * float(i));
+  for (int e = -24; e <= 15; ++e) x.push_back(std::ldexp(1.f, e));
+  x.push_back(-0.f);
+  x.push_back(65504.f);
+  const int64_t n = static_cast<int64_t>(x.size());
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    std::vector<uint16_t> half(x.size());
+    std::vector<float> back(x.size());
+    kt->fp32_to_fp16(half.data(), x.data(), n);
+    kt->fp16_to_fp32(back.data(), half.data(), n);
+    EXPECT_TRUE(BitEqual(back, x, "fp16 round trip"));
+  }
+}
+
+TEST(SimdConvertTest, Fp16SaturationAndNanSemantics) {
+  const std::vector<float> x = {65520.f, -65520.f, 1e30f, kNaN, 1e-9f, -0.f};
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    std::vector<uint16_t> half(x.size());
+    kt->fp32_to_fp16(half.data(), x.data(), static_cast<int64_t>(x.size()));
+    EXPECT_EQ(half[0], 0x7c00u);  // +inf
+    EXPECT_EQ(half[1], 0xfc00u);  // -inf
+    EXPECT_EQ(half[2], 0x7c00u);
+    EXPECT_EQ(half[3] & 0x7c00u, 0x7c00u);  // NaN keeps exp all-ones...
+    EXPECT_NE(half[3] & 0x03ffu, 0u);       // ...and a nonzero payload
+    EXPECT_EQ(half[4], 0x0000u);            // underflow to +0
+    EXPECT_EQ(half[5], 0x8000u);            // -0 keeps its sign
+  }
+}
+
+TEST(SimdConvertTest, Int8ConvertsBitIdenticalAcrossLanes) {
+  const float inv_scales[] = {1.f, 127.f, 31.75f, 1e4f};
+  for (int64_t n : kSizes) {
+    const std::vector<float> x = ConvertTestVec(n, 800 + uint32_t(n));
+    for (const float inv_scale : inv_scales) {
+      std::vector<int8_t> r_codes(static_cast<size_t>(n));
+      ref::Fp32ToI8(r_codes.data(), x.data(), inv_scale, n);
+      for (const KernelTable* kt : UsableTables()) {
+        SCOPED_TRACE(::testing::Message() << "lane=" << kt->name << " n=" << n
+                                          << " inv_scale=" << inv_scale);
+        std::vector<int8_t> codes(static_cast<size_t>(n), -128);
+        kt->fp32_to_i8(codes.data(), x.data(), inv_scale, n);
+        EXPECT_EQ(std::memcmp(codes.data(), r_codes.data(),
+                              static_cast<size_t>(n)),
+                  0)
+            << "fp32_to_i8 diverges from scalar reference";
+        // Never -128: the symmetric clamp convention.
+        for (int64_t i = 0; i < n; ++i) {
+          EXPECT_GE(codes[static_cast<size_t>(i)], -127) << "element " << i;
+        }
+        std::vector<float> back(static_cast<size_t>(n)),
+            r_back(static_cast<size_t>(n));
+        kt->i8_to_fp32(back.data(), codes.data(), 0.03125f, n);
+        ref::I8ToFp32(r_back.data(), codes.data(), 0.03125f, n);
+        EXPECT_TRUE(BitEqual(back, r_back, "i8_to_fp32"));
+      }
+    }
+  }
+}
+
+TEST(SimdConvertTest, Int8RoundingClampAndNan) {
+  //            2.5->2 (RNE)  3.5->4   clamp     clamp      NaN->0
+  const std::vector<float> x = {2.5f, 3.5f, 200.f, -200.f, kNaN,
+                                -2.5f, 126.5f, 127.49f, -126.5f, 0.f};
+  const std::vector<int8_t> want = {2, 4, 127, -127, 0, -2, 126, 127, -126, 0};
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    std::vector<int8_t> codes(x.size());
+    kt->fp32_to_i8(codes.data(), x.data(), 1.f, static_cast<int64_t>(x.size()));
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(codes[i], want[i]) << "element " << i << " (" << x[i] << ")";
+    }
+  }
+}
+
+TEST(SimdConvertTest, AbsMaxBitIdenticalAndSkipsNan) {
+  for (int64_t n : kSizes) {
+    std::vector<float> x = RandomVec(n, 900 + uint32_t(n), -100.f, 100.f);
+    const float expect = ref::AbsMax(x.data(), n);
+    for (const KernelTable* kt : UsableTables()) {
+      SCOPED_TRACE(::testing::Message() << "lane=" << kt->name << " n=" << n);
+      // Max folds are exact, so this is EQ, not NEAR — the int8 group
+      // scale derives from it and must not depend on the lane.
+      EXPECT_EQ(kt->abs_max(x.data(), n), expect);
+
+      // NaN anywhere is skipped (quantizes to 0), not propagated.
+      for (int64_t pos : {int64_t{0}, n / 2, n - 1}) {
+        std::vector<float> nan_case = x;
+        nan_case[static_cast<size_t>(pos)] = kNaN;
+        EXPECT_EQ(kt->abs_max(nan_case.data(), n), ref::AbsMax(nan_case.data(), n))
+            << "NaN at " << pos;
+        EXPECT_FALSE(std::isnan(kt->abs_max(nan_case.data(), n)))
+            << "NaN at " << pos << " propagated";
+      }
+      // The magnitude of a negative extreme counts.
+      std::vector<float> neg = x;
+      neg[static_cast<size_t>(n) / 2] = -1e6f;
+      EXPECT_EQ(kt->abs_max(neg.data(), n), 1e6f);
+      // +-inf yields +inf.
+      neg[static_cast<size_t>(n) / 2] = -kInf;
+      EXPECT_EQ(kt->abs_max(neg.data(), n), kInf);
+    }
+  }
+}
+
+TEST(SimdConvertTest, ConvertsZeroLengthAreNoOps) {
+  for (const KernelTable* kt : UsableTables()) {
+    SCOPED_TRACE(kt->name);
+    kt->fp32_to_fp16(nullptr, nullptr, 0);
+    kt->fp16_to_fp32(nullptr, nullptr, 0);
+    kt->fp32_to_i8(nullptr, nullptr, 1.f, 0);
+    kt->i8_to_fp32(nullptr, nullptr, 1.f, 0);
+    EXPECT_EQ(kt->abs_max(nullptr, 0), 0.f);
+  }
+}
+
 }  // namespace
 }  // namespace simd
 }  // namespace cl4srec
